@@ -1,0 +1,130 @@
+// Figure 13: space-performance cost trade-offs under the Case-1 workload.
+//   (a) Compression levels: Raw, zlite levels {-50,-10,1,15,22} with and
+//       without a pre-trained dictionary, and PBC.
+//   (b) Cache-ratio trade-off: in-memory vs write-back at 2X..5X.
+
+#include "bench_common.h"
+
+namespace tierbase {
+namespace bench {
+namespace {
+
+costmodel::EvaluationInput CaseOneInput() {
+  workload::SynthesizeOptions trace_options;
+  trace_options.profile = workload::TraceProfile::kUserInfo;
+  trace_options.num_ops = 60000;
+  trace_options.key_space = 12000;
+  trace_options.dataset.kind = workload::DatasetKind::kKv1;
+  trace_options.dataset.num_records = 12000;
+
+  costmodel::EvaluationInput input;
+  input.trace = workload::SynthesizeTrace(trace_options);
+  input.preload_keys = trace_options.key_space;
+  input.demand.qps = 50000;
+  input.demand.data_bytes = 16.0 * (1 << 30);
+  return input;
+}
+
+void RunCompressionLevels() {
+  costmodel::EvaluationInput input = CaseOneInput();
+  const workload::DatasetOptions dataset = input.trace.dataset;
+
+  std::vector<costmodel::CostEvaluator::Candidate> candidates;
+  candidates.push_back({"Raw", costmodel::StandardContainer(), [] {
+                          return std::unique_ptr<KvEngine>(
+                              std::make_unique<cache::HashEngine>());
+                        }});
+  for (bool dict : {false, true}) {
+    for (int level : {-50, -10, 1, 15, 22}) {
+      std::string name = (dict ? std::string("Zstd-dict") : std::string(
+                                                                "Zstd")) +
+                         " L" + std::to_string(level);
+      candidates.push_back(
+          {name, costmodel::StandardContainer(), [dataset, dict, level] {
+             CompressorOptions options;
+             options.level = level;
+             auto compressor = std::shared_ptr<Compressor>(TrainedCompressor(
+                 dict ? CompressorType::kZliteDict : CompressorType::kZlite,
+                 dataset, options));
+             cache::HashEngineOptions engine_options;
+             engine_options.compressor = compressor.get();
+             engine_options.compress_min_bytes = 16;
+             return std::unique_ptr<KvEngine>(std::make_unique<OwnedEngine>(
+                 std::make_unique<cache::HashEngine>(engine_options),
+                 std::vector<std::shared_ptr<void>>{compressor}));
+           }});
+    }
+  }
+  candidates.push_back(
+      {"PBC", costmodel::StandardContainer(), [dataset] {
+         auto compressor = std::shared_ptr<Compressor>(
+             TrainedCompressor(CompressorType::kPbc, dataset));
+         cache::HashEngineOptions engine_options;
+         engine_options.compressor = compressor.get();
+         engine_options.compress_min_bytes = 16;
+         return std::unique_ptr<KvEngine>(std::make_unique<OwnedEngine>(
+             std::make_unique<cache::HashEngine>(engine_options),
+             std::vector<std::shared_ptr<void>>{compressor}));
+       }});
+
+  costmodel::CostEvaluator evaluator;
+  auto sweep = evaluator.Iterate(candidates, input);
+  std::vector<CostRow> rows;
+  for (const auto& result : sweep.results) rows.push_back(ToCostRow(result));
+  PrintCostTable("Figure 13(a): compression level trade-offs (Case-1 trace)",
+                 rows);
+  printf("Cost-optimal: %s\n",
+         sweep.results[sweep.best].config_name.c_str());
+}
+
+void RunCacheRatios() {
+  ScratchDir scratch;
+  costmodel::EvaluationInput input = CaseOneInput();
+  const double payload = 12000.0 * 180.0;
+
+  std::vector<costmodel::CostEvaluator::Candidate> candidates;
+  candidates.push_back({"In-mem", costmodel::StandardContainer(), [] {
+                          return std::unique_ptr<KvEngine>(
+                              std::make_unique<cache::HashEngine>());
+                        }});
+  for (int ratio : {2, 3, 4, 5}) {
+    std::string name = "wb-" + std::to_string(ratio) + "X";
+    candidates.push_back(
+        {name, costmodel::DiskContainer(),
+         [&scratch, payload, ratio, name] {
+           return std::unique_ptr<KvEngine>(MakeTieredTierBase(
+               CachingPolicy::kWriteBack, scratch.Sub(name), payload,
+               static_cast<double>(ratio), name));
+         },
+         /*replay_threads=*/8, /*replication_factor=*/2.0});
+  }
+
+  costmodel::CostEvaluator evaluator;
+  auto sweep = evaluator.Iterate(candidates, input);
+  std::vector<CostRow> rows;
+  for (const auto& result : sweep.results) rows.push_back(ToCostRow(result));
+  PrintCostTable("Figure 13(b): cache-ratio trade-off (write-back 2X..5X)",
+                 rows);
+  printf("Cost-optimal: %s\n",
+         sweep.results[sweep.best].config_name.c_str());
+}
+
+void Run() {
+  WarmUpProcess();
+  RunCompressionLevels();
+  RunCacheRatios();
+  printf(
+      "\nExpected shape (paper Fig 13): (a) higher levels trade PC for SC\n"
+      "with diminishing SC returns; dictionary modes dominate their\n"
+      "no-dictionary counterparts; PBC reaches the lowest SC. (b) higher\n"
+      "cache ratios lower SC and raise PC; ~5X balances the two.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tierbase
+
+int main() {
+  tierbase::bench::Run();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Cost advisor: the §5.3 sample → load → replay → calculate → iterate
+// framework as a reusable tool. Give it a workload profile and a set of
+// candidate configurations; it measures each candidate's MaxPerf/MaxSpace,
+// computes PC/SC/C, and reports the cost-optimal configuration along with
+// the Theorem-2.1 balance check (|PC - SC| minimal at the optimum).
+
+#include <cstdio>
+#include <cstring>
+
+#include "tierbase/compressor.h"
+#include "tierbase/cost_model.h"
+#include "tierbase/tierbase.h"
+#include "tierbase/workload.h"
+
+using namespace tierbase;
+
+int main(int argc, char** argv) {
+  // Profile selection: --reconciliation for case 2, default user-info.
+  workload::TraceProfile profile = workload::TraceProfile::kUserInfo;
+  double demand_qps = 50000;
+  double demand_gb = 12.0;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--reconciliation") == 0) {
+      profile = workload::TraceProfile::kReconciliation;
+      demand_qps = 120000;  // Performance-leaning demand.
+      demand_gb = 4.0;
+    }
+  }
+
+  // --- Sample: synthesize (or record) a representative trace. ---
+  workload::SynthesizeOptions trace_options;
+  trace_options.profile = profile;
+  trace_options.num_ops = 50000;
+  trace_options.key_space = 12000;
+  trace_options.dataset.kind = workload::DatasetKind::kKv1;
+  trace_options.dataset.num_records = 12000;
+
+  costmodel::EvaluationInput input;
+  input.trace = workload::SynthesizeTrace(trace_options);
+  input.preload_keys = trace_options.key_space;
+  input.demand.qps = demand_qps;
+  input.demand.data_bytes = demand_gb * (1 << 30);
+
+  workload::DatasetOptions dataset = trace_options.dataset;
+  dataset.num_records = 300;
+  auto samples = workload::MakeDataset(dataset);
+
+  // --- Candidates: raw / dictionary LZ / PBC, one instance type each. ---
+  std::vector<costmodel::CostEvaluator::Candidate> candidates;
+  candidates.push_back({"raw", costmodel::StandardContainer(), [] {
+                          return std::make_unique<cache::HashEngine>();
+                        }});
+  for (CompressorType type :
+       {CompressorType::kZliteDict, CompressorType::kPbc}) {
+    candidates.push_back(
+        {CompressorTypeName(type), costmodel::StandardContainer(),
+         [type, &samples]() -> std::unique_ptr<KvEngine> {
+           struct Bundle : KvEngine {
+             std::unique_ptr<Compressor> compressor;
+             std::unique_ptr<cache::HashEngine> engine;
+             std::string name() const override { return engine->name(); }
+             Status Set(const Slice& k, const Slice& v) override {
+               return engine->Set(k, v);
+             }
+             Status Get(const Slice& k, std::string* v) override {
+               return engine->Get(k, v);
+             }
+             Status Delete(const Slice& k) override {
+               return engine->Delete(k);
+             }
+             UsageStats GetUsage() const override {
+               return engine->GetUsage();
+             }
+           };
+           auto bundle = std::make_unique<Bundle>();
+           bundle->compressor = CreateCompressor(type);
+           bundle->compressor->Train(samples);
+           cache::HashEngineOptions options;
+           options.compressor = bundle->compressor.get();
+           options.compress_min_bytes = 16;
+           bundle->engine = std::make_unique<cache::HashEngine>(options);
+           return bundle;
+         }});
+  }
+
+  // --- Iterate: measure every candidate, pick the cost optimum. ---
+  costmodel::CostEvaluator evaluator;
+  auto sweep = evaluator.Iterate(candidates, input);
+
+  printf("workload: %s, demand %.0f QPS / %.0f GB\n",
+         profile == workload::TraceProfile::kUserInfo ? "user-info (32:1)"
+                                                      : "reconciliation (1:1)",
+         input.demand.qps, demand_gb);
+  printf("%-12s %10s %10s %10s %10s %12s\n", "config", "PC", "SC", "C",
+         "|PC-SC|", "MaxPerf");
+  for (const auto& result : sweep.results) {
+    printf("%-12s %10.2f %10.2f %10.2f %10.2f %12.0f\n",
+           result.config_name.c_str(), result.cost.pc, result.cost.sc,
+           result.cost.cost, std::abs(result.cost.pc - result.cost.sc),
+           result.capacity.max_perf_qps);
+  }
+  const auto& best = sweep.results[sweep.best];
+  printf("\ncost-optimal configuration: %s (C = %.2f)\n",
+         best.config_name.c_str(), best.cost.cost);
+  printf("workload class at the optimum: %s\n",
+         costmodel::WorkloadClassName(costmodel::Classify(best.cost)));
+  return 0;
+}

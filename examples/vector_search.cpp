@@ -1,0 +1,89 @@
+// Vector search: TierBase's ANN feature (paper §3) — create a collection,
+// index embeddings with real-time inserts and deletes, and run k-NN
+// queries alongside ordinary key-value data (the embeddings' source
+// documents live in the cache tier as strings).
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "tierbase/tierbase.h"
+#include "tierbase/vector.h"
+
+using namespace tierbase;
+
+namespace {
+
+// Toy embedding: hash word buckets into a dense vector (stand-in for a
+// model-produced embedding; geometry is what the index cares about).
+std::vector<float> Embed(const std::string& text, size_t dim) {
+  std::vector<float> v(dim, 0.0f);
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find(' ', start);
+    if (end == std::string::npos) end = text.size();
+    uint64_t h = Hash64(text.data() + start, end - start);
+    v[h % dim] += 1.0f;
+    v[(h >> 17) % dim] += 0.5f;
+    start = end + 1;
+  }
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  const size_t kDim = 64;
+  cache::HashEngine documents;  // Key-value side: id -> document text.
+  vector::VectorStore vectors;  // ANN side: id -> embedding.
+
+  vector::IndexOptions options;
+  options.kind = vector::IndexKind::kHnsw;
+  options.dim = kDim;
+  options.metric = vector::Metric::kCosine;
+  vectors.CreateCollection("docs", options);
+
+  const std::vector<std::string> corpus = {
+      "tiered storage balances cache and disk cost",
+      "persistent memory extends dram capacity cheaply",
+      "pattern based compression shrinks templated records",
+      "elastic threading absorbs workload bursts",
+      "consistent hashing routes keys across instances",
+      "write back caching batches storage updates",
+      "bloom filters skip absent keys in sstables",
+      "miss ratio curves guide cache sizing",
+      "the five minute rule prices memory against disk",
+      "zipfian skew makes small caches effective",
+  };
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    documents.Set("doc:" + std::to_string(i), corpus[i]);
+    vectors.Add("docs", i, Embed(corpus[i], kDim));
+  }
+
+  auto query = [&](const std::string& text) {
+    std::vector<vector::SearchResult> results;
+    vectors.Search("docs", Embed(text, kDim), 3, &results);
+    printf("query: \"%s\"\n", text.c_str());
+    for (const auto& r : results) {
+      std::string doc;
+      documents.Get("doc:" + std::to_string(r.id), &doc);
+      printf("  %.3f  %s\n", r.distance, doc.c_str());
+    }
+  };
+
+  query("how do caches and disks trade cost");
+  query("compression of records with shared patterns");
+
+  // Real-time updates: remove a document, add another, query again.
+  printf("\n>>> doc 0 deleted, new doc added\n");
+  vectors.Remove("docs", 0);
+  documents.Delete("doc:0");
+  documents.Set("doc:10", "storage tiers with cache and disk cost tradeoffs");
+  vectors.Add("docs", 10, Embed("storage tiers with cache and disk cost "
+                                "tradeoffs", kDim));
+  query("how do caches and disks trade cost");
+
+  auto size = vectors.Size("docs");
+  printf("\ncollection size: %zu, memory: %llu bytes\n", *size,
+         static_cast<unsigned long long>(vectors.MemoryBytes()));
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Public umbrella header: the in-process cluster — consistent-hash
+// router, coordinator, instances and the failover-aware client.
+#ifndef TIERBASE_PUBLIC_CLUSTER_H_
+#define TIERBASE_PUBLIC_CLUSTER_H_
+#include "cluster/cluster_client.h"
+#include "cluster/coordinator.h"
+#include "cluster/instance.h"
+#include "cluster/router.h"
+#endif  // TIERBASE_PUBLIC_CLUSTER_H_

@@ -1,0 +1,7 @@
+// Public umbrella header: the pre-trained compression stack (paper §4.2).
+#ifndef TIERBASE_PUBLIC_COMPRESSOR_H_
+#define TIERBASE_PUBLIC_COMPRESSOR_H_
+#include "compression/compressor.h"
+#include "compression/monitor.h"
+#include "compression/recommender.h"
+#endif  // TIERBASE_PUBLIC_COMPRESSOR_H_

@@ -1,0 +1,11 @@
+// Public umbrella header: the Space-Performance Cost Model (paper §2, §5)
+// — definitions, theorems, tiered model, MRC, Five-Minute Rule, and the
+// sample→load→replay→calculate→iterate evaluation framework.
+#ifndef TIERBASE_PUBLIC_COST_MODEL_H_
+#define TIERBASE_PUBLIC_COST_MODEL_H_
+#include "costmodel/cost_model.h"
+#include "costmodel/evaluator.h"
+#include "costmodel/five_minute_rule.h"
+#include "costmodel/mrc.h"
+#include "costmodel/tiered.h"
+#endif  // TIERBASE_PUBLIC_COST_MODEL_H_

@@ -1,0 +1,8 @@
+// Public umbrella header: the KvEngine interface every TierBase engine,
+// baseline miniature and adapter implements, plus Status/Result/Slice.
+#ifndef TIERBASE_PUBLIC_ENGINE_H_
+#define TIERBASE_PUBLIC_ENGINE_H_
+#include "common/kv_engine.h"
+#include "common/slice.h"
+#include "common/status.h"
+#endif  // TIERBASE_PUBLIC_ENGINE_H_

@@ -1,0 +1,9 @@
+// Public umbrella header: the TierBase store, its options, the cache-tier
+// engine, and the pluggable storage adapters (LSM-backed, mock, remote).
+#ifndef TIERBASE_PUBLIC_TIERBASE_H_
+#define TIERBASE_PUBLIC_TIERBASE_H_
+#include "cache/hash_engine.h"
+#include "core/options.h"
+#include "core/storage_adapter.h"
+#include "core/tierbase.h"
+#endif  // TIERBASE_PUBLIC_TIERBASE_H_

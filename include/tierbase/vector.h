@@ -1,0 +1,7 @@
+// Public umbrella header: vector search (paper §3) — ANN indexes and
+// named collections.
+#ifndef TIERBASE_PUBLIC_VECTOR_H_
+#define TIERBASE_PUBLIC_VECTOR_H_
+#include "vector/vector_index.h"
+#include "vector/vector_store.h"
+#endif  // TIERBASE_PUBLIC_VECTOR_H_

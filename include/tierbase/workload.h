@@ -1,0 +1,9 @@
+// Public umbrella header: workload tooling — datasets, YCSB generators,
+// trace synthesis/record/replay.
+#ifndef TIERBASE_PUBLIC_WORKLOAD_H_
+#define TIERBASE_PUBLIC_WORKLOAD_H_
+#include "workload/dataset.h"
+#include "workload/recorder.h"
+#include "workload/trace.h"
+#include "workload/ycsb.h"
+#endif  // TIERBASE_PUBLIC_WORKLOAD_H_

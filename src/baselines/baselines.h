@@ -1,0 +1,110 @@
+// Baseline systems for the paper's comparisons (§6.1): Redis, Memcached,
+// Dragonfly, Redis-AOF, Cassandra, HBase.
+//
+// These are *architectural miniatures*, not reimplementations: each is the
+// composition of our own substrates (hash engine, LSM store, WAL) arranged
+// in the baseline's architecture class, plus a small documented per-op CPU
+// tax and per-entry memory overhead capturing the architectural properties
+// our substrates do not share with the original (e.g. Redis's robj
+// indirection, the JVM cost of Cassandra/HBase, memcached's slab
+// efficiency). Every constant is declared in one table below so the
+// emulation assumptions are auditable; DESIGN.md discusses why the *shape*
+// of the paper's comparisons survives this substitution.
+
+#ifndef TIERBASE_BASELINES_BASELINES_H_
+#define TIERBASE_BASELINES_BASELINES_H_
+
+#include <memory>
+#include <string>
+
+#include "cache/hash_engine.h"
+#include "common/kv_engine.h"
+#include "lsm/lsm_store.h"
+
+namespace tierbase {
+namespace baselines {
+
+/// The documented emulation constants for one baseline.
+struct BaselineProfile {
+  std::string name;
+  /// Extra CPU burned per operation (architecture tax), nanoseconds.
+  uint64_t per_op_extra_ns = 0;
+  /// Multiplier on measured DRAM usage (allocator/object-model overhead
+  /// relative to our hash engine; memcached slabs < 1.0 < Redis robj).
+  double memory_overhead_mult = 1.0;
+  /// Multiplier on measured disk usage.
+  double disk_overhead_mult = 1.0;
+};
+
+/// Wraps an engine, applying a BaselineProfile's tax and overhead.
+class ProfiledEngine : public KvEngine {
+ public:
+  ProfiledEngine(std::unique_ptr<KvEngine> inner, BaselineProfile profile)
+      : inner_(std::move(inner)), profile_(std::move(profile)) {}
+
+  std::string name() const override { return profile_.name; }
+
+  Status Set(const Slice& key, const Slice& value) override {
+    BurnTax();
+    return inner_->Set(key, value);
+  }
+  Status Get(const Slice& key, std::string* value) override {
+    BurnTax();
+    return inner_->Get(key, value);
+  }
+  Status Delete(const Slice& key) override {
+    BurnTax();
+    return inner_->Delete(key);
+  }
+  UsageStats GetUsage() const override {
+    UsageStats usage = inner_->GetUsage();
+    usage.memory_bytes = static_cast<uint64_t>(
+        usage.memory_bytes * profile_.memory_overhead_mult);
+    usage.disk_bytes = static_cast<uint64_t>(
+        usage.disk_bytes * profile_.disk_overhead_mult);
+    return usage;
+  }
+  Status WaitIdle() override { return inner_->WaitIdle(); }
+
+  KvEngine* inner() { return inner_.get(); }
+
+ private:
+  void BurnTax() const {
+    if (profile_.per_op_extra_ns > 0) BusySpinNanos(profile_.per_op_extra_ns);
+  }
+
+  std::unique_ptr<KvEngine> inner_;
+  BaselineProfile profile_;
+};
+
+// --- Caching systems. ---
+
+/// Redis-like: single dict guarded by one lock (single-threaded event-loop
+/// architecture); rich object model costs extra memory per entry.
+std::unique_ptr<KvEngine> MakeRedisLike();
+
+/// Memcached-like: fine-grained sharded table, slab-allocator memory
+/// efficiency, small per-op cost from its connection state machine; built
+/// for multi-threading (shards = `threads`-ish, min 8).
+std::unique_ptr<KvEngine> MakeMemcachedLike(int threads);
+
+/// Dragonfly-like: shared-nothing per-core shards; excellent multi-thread
+/// scaling, some single-thread overhead from its fiber machinery.
+std::unique_ptr<KvEngine> MakeDragonflyLike(int threads);
+
+// --- Databases with persistence. ---
+
+/// Redis + AOF: Redis-like plus an appendfsync-everysec WAL.
+std::unique_ptr<KvEngine> MakeRedisAof(const std::string& dir);
+
+/// Cassandra-like: LSM on disk, JVM + SEDA pipeline tax per op.
+std::unique_ptr<KvEngine> MakeCassandraLike(const std::string& dir);
+
+/// HBase-like: LSM on disk (HDFS-ish extra disk overhead), higher per-op
+/// RPC/JVM tax than Cassandra.
+std::unique_ptr<KvEngine> MakeHBaseLike(const std::string& dir);
+
+}  // namespace baselines
+}  // namespace tierbase
+
+#endif  // TIERBASE_BASELINES_BASELINES_H_

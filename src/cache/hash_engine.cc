@@ -1,0 +1,629 @@
+#include "cache/hash_engine.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace tierbase {
+namespace cache {
+
+namespace {
+constexpr size_t kEntryOverhead = 64;  // Hash node + LRU node + bookkeeping.
+constexpr size_t kPerElementOverhead = 32;
+}  // namespace
+
+size_t HashEngine::ComplexValue::MemoryBytes() const {
+  size_t total = sizeof(ComplexValue);
+  for (const auto& s : list) total += s.size() + kPerElementOverhead;
+  for (const auto& [f, v] : hash) {
+    total += f.size() + v.size() + kPerElementOverhead;
+  }
+  for (const auto& m : set) total += m.size() + kPerElementOverhead;
+  for (const auto& [m, s] : zscores) {
+    (void)s;
+    total += 2 * m.size() + 2 * kPerElementOverhead + sizeof(double) * 2;
+  }
+  return total;
+}
+
+HashEngine::HashEngine(HashEngineOptions options)
+    : options_(std::move(options)) {
+  int shards = std::max(1, options_.shards);
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  per_shard_budget_ = options_.memory_budget == 0
+                          ? 0
+                          : options_.memory_budget / shards_.size();
+}
+
+HashEngine::~HashEngine() { Clear(); }
+
+HashEngine::Shard& HashEngine::ShardFor(const Slice& key) {
+  return *shards_[Hash64(key) % shards_.size()];
+}
+const HashEngine::Shard& HashEngine::ShardFor(const Slice& key) const {
+  return *shards_[Hash64(key) % shards_.size()];
+}
+
+bool HashEngine::IsExpiredLocked(const Entry& e) const {
+  return e.expire_at != 0 && options_.clock->NowMicros() >= e.expire_at;
+}
+
+size_t HashEngine::EntryCharge(const std::string& key, const Entry& e) const {
+  size_t charge = kEntryOverhead + key.size() + e.str.size();
+  if (e.complex != nullptr) charge += e.complex->MemoryBytes();
+  return charge;
+}
+
+void HashEngine::RemoveEntryLocked(
+    Shard& shard, std::unordered_map<std::string, Entry>::iterator it) {
+  Entry& e = it->second;
+  if (e.pmem_ptr != kInvalidPmemPtr && options_.pmem != nullptr) {
+    options_.pmem->Free(e.pmem_ptr, e.pmem_size);
+    pmem_bytes_.fetch_sub(e.pmem_size, std::memory_order_relaxed);
+  }
+  shard.charged -= e.charge;
+  shard.lru.erase(e.lru_it);
+  shard.map.erase(it);
+}
+
+void HashEngine::TouchLocked(Shard& shard, Entry& e, const std::string& key) {
+  (void)key;
+  shard.lru.splice(shard.lru.begin(), shard.lru, e.lru_it);
+}
+
+Status HashEngine::EvictLocked(Shard& shard, size_t needed) {
+  if (per_shard_budget_ == 0) return Status::OK();
+  if (options_.eviction == EvictionPolicy::kNoEviction) {
+    if (shard.charged + needed > per_shard_budget_) {
+      return Status::OutOfSpace("cache: memory budget exceeded");
+    }
+    return Status::OK();
+  }
+
+  EvictionFilter filter;
+  {
+    std::lock_guard<std::mutex> lock(filter_mu_);
+    filter = eviction_filter_;
+  }
+
+  // Evict from the LRU tail, skipping pinned keys.
+  auto it = shard.lru.rbegin();
+  while (shard.charged + needed > per_shard_budget_ &&
+         it != shard.lru.rend()) {
+    const std::string& victim = *it;
+    if (filter && !filter(victim)) {
+      ++it;
+      continue;
+    }
+    auto map_it = shard.map.find(victim);
+    ++it;  // Advance before invalidating.
+    if (map_it != shard.map.end()) {
+      RemoveEntryLocked(shard, map_it);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      it = shard.lru.rbegin();  // List mutated; restart from the tail.
+      // Re-skip pinned tail entries cheaply: the loop handles it.
+    }
+  }
+  if (shard.charged + needed > per_shard_budget_) {
+    return Status::OutOfSpace("cache: all remaining entries pinned");
+  }
+  return Status::OK();
+}
+
+Status HashEngine::ChargeLocked(Shard& shard, Entry& e, const std::string& key,
+                                size_t new_charge) {
+  (void)key;
+  if (new_charge > e.charge) {
+    TIERBASE_RETURN_IF_ERROR(EvictLocked(shard, new_charge - e.charge));
+  }
+  shard.charged = shard.charged - e.charge + new_charge;
+  e.charge = new_charge;
+  return Status::OK();
+}
+
+Status HashEngine::FindLocked(Shard& shard, const Slice& key, ValueKind kind,
+                              bool create, Entry** out,
+                              std::string** stored_key) {
+  auto it = shard.map.find(key.ToString());
+  if (it != shard.map.end() && IsExpiredLocked(it->second)) {
+    expirations_.fetch_add(1, std::memory_order_relaxed);
+    RemoveEntryLocked(shard, it);
+    it = shard.map.end();
+  }
+  if (it == shard.map.end()) {
+    if (!create) return Status::NotFound("");
+    TIERBASE_RETURN_IF_ERROR(EvictLocked(shard, kEntryOverhead + key.size()));
+    auto [new_it, inserted] = shard.map.emplace(key.ToString(), Entry());
+    Entry& e = new_it->second;
+    e.kind = kind;
+    if (kind != ValueKind::kString) {
+      e.complex = std::make_unique<ComplexValue>();
+    }
+    shard.lru.push_front(new_it->first);
+    e.lru_it = shard.lru.begin();
+    e.charge = EntryCharge(new_it->first, e);
+    shard.charged += e.charge;
+    *out = &e;
+    if (stored_key != nullptr) {
+      *stored_key = const_cast<std::string*>(&new_it->first);
+    }
+    return Status::OK();
+  }
+  if (it->second.kind != kind) {
+    return Status::InvalidArgument("cache: wrong value type for key");
+  }
+  TouchLocked(shard, it->second, it->first);
+  *out = &it->second;
+  if (stored_key != nullptr) {
+    *stored_key = const_cast<std::string*>(&it->first);
+  }
+  return Status::OK();
+}
+
+Status HashEngine::LoadStringLocked(const Entry& e, std::string* out) const {
+  std::string raw;
+  if (e.pmem_ptr != kInvalidPmemPtr) {
+    TIERBASE_RETURN_IF_ERROR(
+        options_.pmem->Load(e.pmem_ptr, e.pmem_size, &raw));
+  } else {
+    raw = e.str;
+  }
+  if (e.compressed) {
+    return options_.compressor->Decompress(raw, out);
+  }
+  *out = std::move(raw);
+  return Status::OK();
+}
+
+Status HashEngine::StoreStringLocked(Shard& shard, Entry& e,
+                                     const std::string& key,
+                                     const Slice& value) {
+  // Free any previous PMem residency.
+  if (e.pmem_ptr != kInvalidPmemPtr && options_.pmem != nullptr) {
+    options_.pmem->Free(e.pmem_ptr, e.pmem_size);
+    pmem_bytes_.fetch_sub(e.pmem_size, std::memory_order_relaxed);
+    e.pmem_ptr = kInvalidPmemPtr;
+    e.pmem_size = 0;
+  }
+
+  std::string stored;
+  e.compressed = false;
+  if (options_.compressor != nullptr &&
+      value.size() >= options_.compress_min_bytes) {
+    std::string packed;
+    Status s = options_.compressor->Compress(value, &packed);
+    if (s.ok() && packed.size() < value.size()) {
+      stored = std::move(packed);
+      e.compressed = true;
+    } else {
+      stored = value.ToString();
+    }
+  } else {
+    stored = value.ToString();
+  }
+
+  // PMem placement: larger values go to the persistent-memory device;
+  // small hot data and all key/index structures stay in DRAM (§4.3).
+  if (options_.pmem != nullptr &&
+      stored.size() >= options_.pmem_value_threshold) {
+    PmemPtr ptr = options_.pmem->Store(stored);
+    if (ptr != kInvalidPmemPtr) {
+      e.pmem_ptr = ptr;
+      e.pmem_size = static_cast<uint32_t>(stored.size());
+      pmem_bytes_.fetch_add(stored.size(), std::memory_order_relaxed);
+      e.str.clear();
+      e.str.shrink_to_fit();
+      return ChargeLocked(shard, e, key, EntryCharge(key, e));
+    }
+    // PMem full: fall through to DRAM.
+  }
+  e.str = std::move(stored);
+  return ChargeLocked(shard, e, key, EntryCharge(key, e));
+}
+
+// --- Strings. ---
+
+Status HashEngine::Set(const Slice& key, const Slice& value) {
+  return SetEx(key, value, 0);
+}
+
+Status HashEngine::SetEx(const Slice& key, const Slice& value,
+                         uint64_t ttl_micros) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  std::string* stored_key = nullptr;
+  Status s = FindLocked(shard, key, ValueKind::kString, true, &e, &stored_key);
+  if (s.IsInvalidArgument()) {
+    // Overwrite a complex-typed key, Redis SET semantics.
+    auto it = shard.map.find(key.ToString());
+    RemoveEntryLocked(shard, it);
+    s = FindLocked(shard, key, ValueKind::kString, true, &e, &stored_key);
+  }
+  TIERBASE_RETURN_IF_ERROR(s);
+  e->expire_at =
+      ttl_micros == 0 ? 0 : options_.clock->NowMicros() + ttl_micros;
+  return StoreStringLocked(shard, *e, *stored_key, value);
+}
+
+Status HashEngine::Get(const Slice& key, std::string* value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  TIERBASE_RETURN_IF_ERROR(
+      FindLocked(shard, key, ValueKind::kString, false, &e, nullptr));
+  return LoadStringLocked(*e, value);
+}
+
+Status HashEngine::Delete(const Slice& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key.ToString());
+  if (it == shard.map.end()) return Status::NotFound("");
+  RemoveEntryLocked(shard, it);
+  return Status::OK();
+}
+
+Status HashEngine::Cas(const Slice& key, const Slice& expected,
+                       const Slice& value, bool allow_create) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  std::string* stored_key = nullptr;
+  Status s = FindLocked(shard, key, ValueKind::kString, false, &e, &stored_key);
+  if (s.IsNotFound()) {
+    if (!(allow_create && expected.empty())) {
+      return Status::Aborted("cas: key missing");
+    }
+    TIERBASE_RETURN_IF_ERROR(
+        FindLocked(shard, key, ValueKind::kString, true, &e, &stored_key));
+    return StoreStringLocked(shard, *e, *stored_key, value);
+  }
+  TIERBASE_RETURN_IF_ERROR(s);
+  std::string current;
+  TIERBASE_RETURN_IF_ERROR(LoadStringLocked(*e, &current));
+  if (Slice(current) != expected) {
+    return Status::Aborted("cas: value mismatch");
+  }
+  return StoreStringLocked(shard, *e, *stored_key, value);
+}
+
+bool HashEngine::Exists(const Slice& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key.ToString());
+  if (it == shard.map.end()) return false;
+  if (IsExpiredLocked(it->second)) {
+    expirations_.fetch_add(1, std::memory_order_relaxed);
+    RemoveEntryLocked(shard, it);
+    return false;
+  }
+  return true;
+}
+
+// --- TTL. ---
+
+Status HashEngine::Expire(const Slice& key, uint64_t ttl_micros) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key.ToString());
+  if (it == shard.map.end() || IsExpiredLocked(it->second)) {
+    return Status::NotFound("");
+  }
+  it->second.expire_at =
+      ttl_micros == 0 ? 0 : options_.clock->NowMicros() + ttl_micros;
+  return Status::OK();
+}
+
+Result<uint64_t> HashEngine::Ttl(const Slice& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key.ToString());
+  if (it == shard.map.end() || IsExpiredLocked(it->second)) {
+    return Status::NotFound("");
+  }
+  if (it->second.expire_at == 0) return uint64_t{0};
+  return it->second.expire_at - options_.clock->NowMicros();
+}
+
+// --- Lists. ---
+
+Status HashEngine::LPush(const Slice& key, const Slice& value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  std::string* stored_key = nullptr;
+  TIERBASE_RETURN_IF_ERROR(
+      FindLocked(shard, key, ValueKind::kList, true, &e, &stored_key));
+  e->complex->list.emplace_front(value.data(), value.size());
+  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+}
+
+Status HashEngine::RPush(const Slice& key, const Slice& value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  std::string* stored_key = nullptr;
+  TIERBASE_RETURN_IF_ERROR(
+      FindLocked(shard, key, ValueKind::kList, true, &e, &stored_key));
+  e->complex->list.emplace_back(value.data(), value.size());
+  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+}
+
+Status HashEngine::LPop(const Slice& key, std::string* value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  std::string* stored_key = nullptr;
+  TIERBASE_RETURN_IF_ERROR(
+      FindLocked(shard, key, ValueKind::kList, false, &e, &stored_key));
+  if (e->complex->list.empty()) return Status::NotFound("empty list");
+  *value = std::move(e->complex->list.front());
+  e->complex->list.pop_front();
+  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+}
+
+Status HashEngine::RPop(const Slice& key, std::string* value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  std::string* stored_key = nullptr;
+  TIERBASE_RETURN_IF_ERROR(
+      FindLocked(shard, key, ValueKind::kList, false, &e, &stored_key));
+  if (e->complex->list.empty()) return Status::NotFound("empty list");
+  *value = std::move(e->complex->list.back());
+  e->complex->list.pop_back();
+  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+}
+
+Result<uint64_t> HashEngine::LLen(const Slice& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  Status s = FindLocked(shard, key, ValueKind::kList, false, &e, nullptr);
+  if (s.IsNotFound()) return uint64_t{0};
+  if (!s.ok()) return s;
+  return static_cast<uint64_t>(e->complex->list.size());
+}
+
+Status HashEngine::LRange(const Slice& key, int64_t start, int64_t stop,
+                          std::vector<std::string>* out) {
+  out->clear();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  Status s = FindLocked(shard, key, ValueKind::kList, false, &e, nullptr);
+  if (s.IsNotFound()) return Status::OK();
+  TIERBASE_RETURN_IF_ERROR(s);
+  int64_t n = static_cast<int64_t>(e->complex->list.size());
+  if (start < 0) start += n;
+  if (stop < 0) stop += n;
+  start = std::max<int64_t>(0, start);
+  stop = std::min(stop, n - 1);
+  for (int64_t i = start; i <= stop; ++i) {
+    out->push_back(e->complex->list[static_cast<size_t>(i)]);
+  }
+  return Status::OK();
+}
+
+// --- Hashes. ---
+
+Status HashEngine::HSet(const Slice& key, const Slice& field,
+                        const Slice& value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  std::string* stored_key = nullptr;
+  TIERBASE_RETURN_IF_ERROR(
+      FindLocked(shard, key, ValueKind::kHash, true, &e, &stored_key));
+  e->complex->hash[field.ToString()] = value.ToString();
+  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+}
+
+Status HashEngine::HGet(const Slice& key, const Slice& field,
+                        std::string* value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  TIERBASE_RETURN_IF_ERROR(
+      FindLocked(shard, key, ValueKind::kHash, false, &e, nullptr));
+  auto it = e->complex->hash.find(field.ToString());
+  if (it == e->complex->hash.end()) return Status::NotFound("no field");
+  *value = it->second;
+  return Status::OK();
+}
+
+Status HashEngine::HDel(const Slice& key, const Slice& field) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  std::string* stored_key = nullptr;
+  TIERBASE_RETURN_IF_ERROR(
+      FindLocked(shard, key, ValueKind::kHash, false, &e, &stored_key));
+  if (e->complex->hash.erase(field.ToString()) == 0) {
+    return Status::NotFound("no field");
+  }
+  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+}
+
+Result<uint64_t> HashEngine::HLen(const Slice& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  Status s = FindLocked(shard, key, ValueKind::kHash, false, &e, nullptr);
+  if (s.IsNotFound()) return uint64_t{0};
+  if (!s.ok()) return s;
+  return static_cast<uint64_t>(e->complex->hash.size());
+}
+
+Status HashEngine::HGetAll(
+    const Slice& key, std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  Status s = FindLocked(shard, key, ValueKind::kHash, false, &e, nullptr);
+  if (s.IsNotFound()) return Status::OK();
+  TIERBASE_RETURN_IF_ERROR(s);
+  for (const auto& [f, v] : e->complex->hash) out->emplace_back(f, v);
+  return Status::OK();
+}
+
+// --- Sets. ---
+
+Status HashEngine::SAdd(const Slice& key, const Slice& member) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  std::string* stored_key = nullptr;
+  TIERBASE_RETURN_IF_ERROR(
+      FindLocked(shard, key, ValueKind::kSet, true, &e, &stored_key));
+  e->complex->set.insert(member.ToString());
+  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+}
+
+Status HashEngine::SRem(const Slice& key, const Slice& member) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  std::string* stored_key = nullptr;
+  TIERBASE_RETURN_IF_ERROR(
+      FindLocked(shard, key, ValueKind::kSet, false, &e, &stored_key));
+  if (e->complex->set.erase(member.ToString()) == 0) {
+    return Status::NotFound("no member");
+  }
+  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+}
+
+Result<bool> HashEngine::SIsMember(const Slice& key, const Slice& member) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  Status s = FindLocked(shard, key, ValueKind::kSet, false, &e, nullptr);
+  if (s.IsNotFound()) return false;
+  if (!s.ok()) return s;
+  return e->complex->set.count(member.ToString()) > 0;
+}
+
+Result<uint64_t> HashEngine::SCard(const Slice& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  Status s = FindLocked(shard, key, ValueKind::kSet, false, &e, nullptr);
+  if (s.IsNotFound()) return uint64_t{0};
+  if (!s.ok()) return s;
+  return static_cast<uint64_t>(e->complex->set.size());
+}
+
+// --- Sorted sets. ---
+
+Status HashEngine::ZAdd(const Slice& key, double score, const Slice& member) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  std::string* stored_key = nullptr;
+  TIERBASE_RETURN_IF_ERROR(
+      FindLocked(shard, key, ValueKind::kZSet, true, &e, &stored_key));
+  std::string m = member.ToString();
+  auto it = e->complex->zscores.find(m);
+  if (it != e->complex->zscores.end()) {
+    e->complex->zordered.erase({it->second, m});
+    it->second = score;
+  } else {
+    e->complex->zscores[m] = score;
+  }
+  e->complex->zordered.insert({score, m});
+  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+}
+
+Result<double> HashEngine::ZScore(const Slice& key, const Slice& member) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  Status s = FindLocked(shard, key, ValueKind::kZSet, false, &e, nullptr);
+  if (!s.ok()) return s;
+  auto it = e->complex->zscores.find(member.ToString());
+  if (it == e->complex->zscores.end()) return Status::NotFound("no member");
+  return it->second;
+}
+
+Status HashEngine::ZRangeByScore(const Slice& key, double min_score,
+                                 double max_score,
+                                 std::vector<std::string>* out) {
+  out->clear();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  Status s = FindLocked(shard, key, ValueKind::kZSet, false, &e, nullptr);
+  if (s.IsNotFound()) return Status::OK();
+  TIERBASE_RETURN_IF_ERROR(s);
+  auto lo = e->complex->zordered.lower_bound({min_score, ""});
+  for (auto it = lo; it != e->complex->zordered.end() &&
+                     it->first <= max_score;
+       ++it) {
+    out->push_back(it->second);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> HashEngine::ZCard(const Slice& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  Status s = FindLocked(shard, key, ValueKind::kZSet, false, &e, nullptr);
+  if (s.IsNotFound()) return uint64_t{0};
+  if (!s.ok()) return s;
+  return static_cast<uint64_t>(e->complex->zscores.size());
+}
+
+// --- Introspection / control. ---
+
+UsageStats HashEngine::GetUsage() const {
+  UsageStats usage;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    usage.memory_bytes += shard->charged;
+    usage.keys += shard->map.size();
+  }
+  usage.pmem_bytes = pmem_bytes_.load(std::memory_order_relaxed);
+  return usage;
+}
+
+void HashEngine::SetEvictionFilter(EvictionFilter filter) {
+  std::lock_guard<std::mutex> lock(filter_mu_);
+  eviction_filter_ = std::move(filter);
+}
+
+size_t HashEngine::SweepExpired() {
+  size_t removed = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->map.begin(); it != shard->map.end();) {
+      if (IsExpiredLocked(it->second)) {
+        auto victim = it++;
+        RemoveEntryLocked(*shard, victim);
+        ++removed;
+        expirations_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return removed;
+}
+
+void HashEngine::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->map.begin(); it != shard->map.end();) {
+      auto victim = it++;
+      RemoveEntryLocked(*shard, victim);
+    }
+  }
+}
+
+}  // namespace cache
+}  // namespace tierbase

@@ -1,0 +1,119 @@
+#include "cluster/cluster_client.h"
+
+namespace tierbase::cluster {
+
+ClusterClient::ClusterClient(Coordinator* coordinator)
+    : coordinator_(coordinator) {
+  RefreshRouting();
+}
+
+void ClusterClient::RefreshRouting() {
+  routing_ = coordinator_->GetRouting();
+  ++stats_.route_refreshes;
+}
+
+template <typename Op>
+Status ClusterClient::WithFailover(const Slice& key, Op op) {
+  if (routing_.epoch != coordinator_->epoch()) RefreshRouting();
+  std::string owner = routing_.router.Route(key);
+  if (owner.empty()) return Status::Unavailable("empty cluster");
+  Instance* inst = coordinator_->Find(owner);
+  Status s = inst == nullptr ? Status::Unavailable(owner) : op(inst);
+  if (!s.IsUnavailable()) return s;
+
+  // Owner is down: report, refresh, retry once against the new owner.
+  coordinator_->ReportFailure(owner);
+  RefreshRouting();
+  ++stats_.failovers;
+  std::string next = routing_.router.Route(key);
+  if (next.empty() || next == owner) return s;
+  Instance* successor = coordinator_->Find(next);
+  if (successor == nullptr) return Status::Unavailable(next);
+  return op(successor);
+}
+
+Status ClusterClient::Set(const Slice& key, const Slice& value) {
+  if (routing_.epoch != coordinator_->epoch()) RefreshRouting();
+  // Write to `replicas` ring successors so a failover still finds the data.
+  auto targets = routing_.router.RouteReplicas(key, routing_.replicas);
+  if (targets.empty()) return Status::Unavailable("empty cluster");
+  Status first;
+  bool any_ok = false;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    Instance* inst = coordinator_->Find(targets[i]);
+    Status s =
+        inst == nullptr ? Status::Unavailable(targets[i]) : inst->Set(key, value);
+    if (i == 0) first = s;
+    if (s.ok()) {
+      any_ok = true;
+    } else if (s.IsUnavailable()) {
+      coordinator_->ReportFailure(targets[i]);
+    }
+  }
+  if (first.ok()) return first;
+  if (any_ok) return Status::OK();  // Primary down but a replica took it.
+  RefreshRouting();
+  return WithFailover(key,
+                      [&](Instance* inst) { return inst->Set(key, value); });
+}
+
+Status ClusterClient::Get(const Slice& key, std::string* value) {
+  if (routing_.epoch != coordinator_->epoch()) RefreshRouting();
+  auto targets = routing_.router.RouteReplicas(key, routing_.replicas);
+  if (targets.empty()) return Status::Unavailable("empty cluster");
+  Status last;
+  for (const auto& id : targets) {
+    Instance* inst = coordinator_->Find(id);
+    if (inst == nullptr) {
+      last = Status::Unavailable(id);
+      continue;
+    }
+    last = inst->Get(key, value);
+    if (last.ok() || last.IsNotFound()) return last;
+    if (last.IsUnavailable()) {
+      coordinator_->ReportFailure(id);
+      ++stats_.failovers;
+    }
+  }
+  RefreshRouting();
+  return last;
+}
+
+Status ClusterClient::Delete(const Slice& key) {
+  if (routing_.epoch != coordinator_->epoch()) RefreshRouting();
+  auto targets = routing_.router.RouteReplicas(key, routing_.replicas);
+  if (targets.empty()) return Status::Unavailable("empty cluster");
+  Status first;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    Instance* inst = coordinator_->Find(targets[i]);
+    Status s =
+        inst == nullptr ? Status::Unavailable(targets[i]) : inst->Delete(key);
+    if (i == 0) first = s;
+    if (s.IsUnavailable()) coordinator_->ReportFailure(targets[i]);
+  }
+  return first;
+}
+
+UsageStats ClusterClient::GetUsage() const {
+  UsageStats total;
+  for (Instance* inst : coordinator_->instances()) {
+    if (!inst->healthy()) continue;
+    UsageStats u = inst->GetUsage();
+    total.memory_bytes += u.memory_bytes;
+    total.pmem_bytes += u.pmem_bytes;
+    total.disk_bytes += u.disk_bytes;
+    total.keys += u.keys;
+  }
+  return total;
+}
+
+Status ClusterClient::WaitIdle() {
+  for (Instance* inst : coordinator_->instances()) {
+    if (!inst->healthy()) continue;
+    Status s = inst->WaitIdle();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace tierbase::cluster

@@ -1,0 +1,53 @@
+// ClusterClient: the data-path client of the in-process cluster (§3 client
+// tier). It caches a routing snapshot from the coordinator, routes each key
+// to its owner, writes through to `replicas` ring successors, and reads
+// from the primary falling back to replicas. On Unavailable it reports the
+// failure to the coordinator, refreshes its snapshot, and retries once —
+// the automatic failover handling the paper attributes to TierBase clients.
+
+#ifndef TIERBASE_CLUSTER_CLUSTER_CLIENT_H_
+#define TIERBASE_CLUSTER_CLUSTER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/coordinator.h"
+#include "common/kv_engine.h"
+
+namespace tierbase::cluster {
+
+class ClusterClient : public KvEngine {
+ public:
+  /// `coordinator` is not owned and must outlive the client.
+  explicit ClusterClient(Coordinator* coordinator);
+
+  std::string name() const override { return "cluster-client"; }
+
+  Status Set(const Slice& key, const Slice& value) override;
+  Status Get(const Slice& key, std::string* value) override;
+  Status Delete(const Slice& key) override;
+  /// Aggregated usage across all healthy instances.
+  UsageStats GetUsage() const override;
+  Status WaitIdle() override;
+
+  struct Stats {
+    uint64_t route_refreshes = 0;
+    uint64_t failovers = 0;  // Operations retried on a replica/successor.
+  };
+  Stats GetStats() const { return stats_; }
+
+ private:
+  void RefreshRouting();
+  /// Applies `op` to the primary; on Unavailable reports the failure,
+  /// refreshes routing, and retries against the new owner.
+  template <typename Op>
+  Status WithFailover(const Slice& key, Op op);
+
+  Coordinator* coordinator_;
+  Coordinator::RoutingSnapshot routing_;
+  Stats stats_;
+};
+
+}  // namespace tierbase::cluster
+
+#endif  // TIERBASE_CLUSTER_CLUSTER_CLIENT_H_

@@ -1,0 +1,93 @@
+#include "cluster/coordinator.h"
+
+namespace tierbase::cluster {
+
+Coordinator::Coordinator(int virtual_nodes_per_instance, int replicas)
+    : replicas_(replicas < 1 ? 1 : replicas),
+      router_(virtual_nodes_per_instance) {}
+
+Status Coordinator::AddInstance(std::unique_ptr<Instance> instance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& existing : instances_) {
+    if (existing->id() == instance->id()) {
+      return Status::InvalidArgument("duplicate instance id: " +
+                                     instance->id());
+    }
+  }
+  router_.AddInstance(instance->id());
+  instances_.push_back(std::move(instance));
+  ++epoch_;
+  return Status::OK();
+}
+
+Status Coordinator::ReportFailure(const std::string& instance_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& inst : instances_) {
+    if (inst->id() == instance_id) {
+      inst->set_healthy(false);
+      // The node may have died externally (healthy flag already false):
+      // ring membership, not the flag, decides whether work remains.
+      if (router_.Contains(instance_id)) {
+        router_.RemoveInstance(instance_id);
+        ++epoch_;
+      }
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("unknown instance: " + instance_id);
+}
+
+Status Coordinator::Recover(const std::string& instance_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& inst : instances_) {
+    if (inst->id() == instance_id) {
+      if (inst->healthy()) return Status::OK();
+      inst->set_healthy(true);
+      router_.AddInstance(instance_id);
+      ++epoch_;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("unknown instance: " + instance_id);
+}
+
+uint64_t Coordinator::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+Coordinator::RoutingSnapshot Coordinator::GetRouting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RoutingSnapshot snap;
+  snap.epoch = epoch_;
+  snap.router = router_;
+  snap.replicas = replicas_;
+  return snap;
+}
+
+Instance* Coordinator::Find(const std::string& instance_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& inst : instances_) {
+    if (inst->id() == instance_id) return inst.get();
+  }
+  return nullptr;
+}
+
+std::vector<Instance*> Coordinator::instances() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Instance*> out;
+  out.reserve(instances_.size());
+  for (auto& inst : instances_) out.push_back(inst.get());
+  return out;
+}
+
+size_t Coordinator::healthy_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& inst : instances_) {
+    if (inst->healthy()) ++n;
+  }
+  return n;
+}
+
+}  // namespace tierbase::cluster

@@ -1,0 +1,59 @@
+// Coordinator: the control plane of the in-process cluster (§3). It owns
+// the instance registry and the routing epoch. Clients fetch routing
+// snapshots; when an instance is reported failed the coordinator removes it
+// from the ring, bumps the epoch, and clients refresh on the next
+// Unavailable error — the same pull-based route-refresh protocol TierBase
+// clients use against the coordinator cluster.
+
+#ifndef TIERBASE_CLUSTER_COORDINATOR_H_
+#define TIERBASE_CLUSTER_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/instance.h"
+#include "cluster/router.h"
+
+namespace tierbase::cluster {
+
+class Coordinator {
+ public:
+  explicit Coordinator(int virtual_nodes_per_instance = 64,
+                       int replicas = 1);
+
+  /// Registers a new data node and adds it to the ring.
+  Status AddInstance(std::unique_ptr<Instance> instance);
+  /// Marks the instance down and removes it from the ring. Keys it owned
+  /// are served by ring successors afterwards (cache refill on miss).
+  Status ReportFailure(const std::string& instance_id);
+  /// Brings a previously failed instance back into the ring.
+  Status Recover(const std::string& instance_id);
+
+  /// Monotonically increasing routing-table version.
+  uint64_t epoch() const;
+
+  struct RoutingSnapshot {
+    uint64_t epoch = 0;
+    Router router;
+    int replicas = 1;
+  };
+  RoutingSnapshot GetRouting() const;
+
+  Instance* Find(const std::string& instance_id);
+  std::vector<Instance*> instances();
+  size_t healthy_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  int replicas_;
+  uint64_t epoch_ = 1;
+  Router router_;
+  std::vector<std::unique_ptr<Instance>> instances_;
+};
+
+}  // namespace tierbase::cluster
+
+#endif  // TIERBASE_CLUSTER_COORDINATOR_H_

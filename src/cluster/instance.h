@@ -1,0 +1,57 @@
+// Instance: a data node in the in-process cluster — one KvEngine shard plus
+// health state. The coordinator flips health on failover; a down instance
+// rejects every operation with Unavailable so the client retries against
+// the promoted replica, mirroring the failover flow of §3 (coordinators
+// "managing failovers").
+
+#ifndef TIERBASE_CLUSTER_INSTANCE_H_
+#define TIERBASE_CLUSTER_INSTANCE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/kv_engine.h"
+
+namespace tierbase::cluster {
+
+class Instance : public KvEngine {
+ public:
+  Instance(std::string id, std::unique_ptr<KvEngine> engine)
+      : id_(std::move(id)), engine_(std::move(engine)) {}
+
+  const std::string& id() const { return id_; }
+  std::string name() const override { return "instance:" + id_; }
+
+  bool healthy() const { return healthy_.load(std::memory_order_acquire); }
+  void set_healthy(bool up) {
+    healthy_.store(up, std::memory_order_release);
+  }
+
+  KvEngine* engine() { return engine_.get(); }
+
+  Status Set(const Slice& key, const Slice& value) override {
+    if (!healthy()) return Status::Unavailable(id_);
+    return engine_->Set(key, value);
+  }
+  Status Get(const Slice& key, std::string* value) override {
+    if (!healthy()) return Status::Unavailable(id_);
+    return engine_->Get(key, value);
+  }
+  Status Delete(const Slice& key) override {
+    if (!healthy()) return Status::Unavailable(id_);
+    return engine_->Delete(key);
+  }
+  UsageStats GetUsage() const override { return engine_->GetUsage(); }
+  Status WaitIdle() override { return engine_->WaitIdle(); }
+
+ private:
+  std::string id_;
+  std::unique_ptr<KvEngine> engine_;
+  std::atomic<bool> healthy_{true};
+};
+
+}  // namespace tierbase::cluster
+
+#endif  // TIERBASE_CLUSTER_INSTANCE_H_

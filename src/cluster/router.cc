@@ -1,0 +1,83 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace tierbase::cluster {
+
+Router::Router(int virtual_nodes_per_instance)
+    : virtual_nodes_(virtual_nodes_per_instance < 1
+                         ? 1
+                         : virtual_nodes_per_instance) {}
+
+void Router::AddInstance(const std::string& instance_id) {
+  if (Contains(instance_id)) return;
+  instances_.push_back(instance_id);
+  for (int v = 0; v < virtual_nodes_; ++v) {
+    std::string point = instance_id + "#" + std::to_string(v);
+    ring_.emplace(Hash64(point.data(), point.size()), instance_id);
+  }
+}
+
+void Router::RemoveInstance(const std::string& instance_id) {
+  auto it = std::find(instances_.begin(), instances_.end(), instance_id);
+  if (it == instances_.end()) return;
+  instances_.erase(it);
+  for (auto rit = ring_.begin(); rit != ring_.end();) {
+    if (rit->second == instance_id) {
+      rit = ring_.erase(rit);
+    } else {
+      ++rit;
+    }
+  }
+}
+
+bool Router::Contains(const std::string& instance_id) const {
+  return std::find(instances_.begin(), instances_.end(), instance_id) !=
+         instances_.end();
+}
+
+std::string Router::Route(const Slice& key) const {
+  if (ring_.empty()) return {};
+  uint64_t h = Hash64(key);
+  auto it = ring_.lower_bound(h);
+  if (it == ring_.end()) it = ring_.begin();  // Wrap around the ring.
+  return it->second;
+}
+
+std::vector<std::string> Router::RouteReplicas(const Slice& key,
+                                               int replicas) const {
+  std::vector<std::string> out;
+  if (ring_.empty() || replicas <= 0) return out;
+  uint64_t h = Hash64(key);
+  auto it = ring_.lower_bound(h);
+  // Walk the ring collecting distinct instances.
+  for (size_t steps = 0;
+       steps < ring_.size() && out.size() < static_cast<size_t>(replicas);
+       ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+std::map<std::string, double> Router::OwnershipShares() const {
+  std::map<std::string, double> shares;
+  if (ring_.empty()) return shares;
+  // Each ring point owns the arc from the previous point (exclusive) to
+  // itself (inclusive); the first point also owns the wrap-around arc.
+  const double full = 18446744073709551616.0;  // 2^64.
+  uint64_t prev = ring_.rbegin()->first;
+  for (const auto& [point, id] : ring_) {
+    uint64_t arc = point - prev;  // Unsigned wrap-around is intentional.
+    shares[id] += static_cast<double>(arc) / full;
+    prev = point;
+  }
+  return shares;
+}
+
+}  // namespace tierbase::cluster

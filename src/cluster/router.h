@@ -1,0 +1,52 @@
+// Router: consistent-hash ring mapping keys to instance ids (§3 "client
+// tier" / "cache tier" sharding). Virtual nodes smooth the key distribution
+// so that adding or removing one instance only remaps ~1/N of the keyspace,
+// matching the even-sharding assumption of the cost model (Definition 1).
+
+#ifndef TIERBASE_CLUSTER_ROUTER_H_
+#define TIERBASE_CLUSTER_ROUTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace tierbase::cluster {
+
+class Router {
+ public:
+  explicit Router(int virtual_nodes_per_instance = 64);
+
+  /// Adds `instance_id` to the ring; no-op if already present.
+  void AddInstance(const std::string& instance_id);
+  /// Removes `instance_id`; keys it owned fall through to ring successors.
+  void RemoveInstance(const std::string& instance_id);
+
+  bool Contains(const std::string& instance_id) const;
+  size_t num_instances() const { return instances_.size(); }
+
+  /// Returns the owning instance id, or empty string if the ring is empty.
+  std::string Route(const Slice& key) const;
+
+  /// Returns the `replicas` distinct instances following the key's position
+  /// on the ring (the first entry is the primary owner). Fewer are returned
+  /// if the ring has fewer distinct instances.
+  std::vector<std::string> RouteReplicas(const Slice& key,
+                                         int replicas) const;
+
+  /// Fraction of a uniform keyspace owned by each instance (diagnostics for
+  /// the even-sharding tolerance ratios of §2.1).
+  std::map<std::string, double> OwnershipShares() const;
+
+ private:
+  int virtual_nodes_;
+  // hash point -> instance id.
+  std::map<uint64_t, std::string> ring_;
+  std::vector<std::string> instances_;
+};
+
+}  // namespace tierbase::cluster
+
+#endif  // TIERBASE_CLUSTER_ROUTER_H_

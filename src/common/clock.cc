@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace tierbase {
+
+Clock* Clock::Real() {
+  static RealClock clock;
+  return &clock;
+}
+
+}  // namespace tierbase

@@ -1,0 +1,206 @@
+#include "common/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace tierbase {
+namespace env {
+
+namespace {
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  Status Append(const Slice& data) override {
+    buffer_.append(data.data(), data.size());
+    size_ += data.size();
+    if (buffer_.size() >= kBufferSize) return Flush();
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (buffer_.empty()) return Status::OK();
+    const char* p = buffer_.data();
+    size_t left = buffer_.size();
+    while (left > 0) {
+      ssize_t n = write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("write failed: " + path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    buffer_.clear();
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    TIERBASE_RETURN_IF_ERROR(Flush());
+    if (fdatasync(fd_) != 0) return Status::IOError("fsync failed: " + path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    Status s = Flush();
+    if (fd_ >= 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+    return s;
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  static constexpr size_t kBufferSize = 64 * 1024;
+  std::string path_;
+  int fd_;
+  std::string buffer_;
+  uint64_t size_ = 0;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    out->resize(n);
+    ssize_t r = pread(fd_, out->data(), n, static_cast<off_t>(offset));
+    if (r < 0) return Status::IOError("pread failed: " + path_);
+    out->resize(static_cast<size_t>(r));
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  std::string path_;
+  int fd_;
+  uint64_t size_;
+};
+
+}  // namespace
+
+Status NewWritableFile(const std::string& path,
+                       std::unique_ptr<WritableFile>* file) {
+  int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError("cannot create " + path);
+  *file = std::make_unique<PosixWritableFile>(path, fd);
+  return Status::OK();
+}
+
+Status NewRandomAccessFile(const std::string& path,
+                           std::unique_ptr<RandomAccessFile>* file) {
+  int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open " + path);
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  *file = std::make_unique<PosixRandomAccessFile>(
+      path, fd, static_cast<uint64_t>(st.st_size));
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::unique_ptr<RandomAccessFile> file;
+  TIERBASE_RETURN_IF_ERROR(NewRandomAccessFile(path, &file));
+  return file->Read(0, file->Size(), out);
+}
+
+Status WriteStringToFileSync(const std::string& path, const Slice& data) {
+  std::unique_ptr<WritableFile> file;
+  TIERBASE_RETURN_IF_ERROR(NewWritableFile(path, &file));
+  TIERBASE_RETURN_IF_ERROR(file->Append(data));
+  TIERBASE_RETURN_IF_ERROR(file->Sync());
+  return file->Close();
+}
+
+Status CreateDirIfMissing(const std::string& path) {
+  if (mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("mkdir failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError("unlink failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IOError("rename failed: " + from + " -> " + to);
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  return access(path.c_str(), F_OK) == 0;
+}
+
+Status ListDir(const std::string& path, std::vector<std::string>* names) {
+  names->clear();
+  DIR* dir = opendir(path.c_str());
+  if (dir == nullptr) return Status::IOError("opendir failed: " + path);
+  struct dirent* entry;
+  while ((entry = readdir(dir)) != nullptr) {
+    std::string name = entry->d_name;
+    if (name != "." && name != "..") names->push_back(std::move(name));
+  }
+  closedir(dir);
+  return Status::OK();
+}
+
+uint64_t FileSize(const std::string& path) {
+  struct stat st;
+  if (stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  std::vector<std::string> names;
+  if (!ListDir(path, &names).ok()) return Status::OK();  // Already gone.
+  for (const auto& name : names) {
+    std::string full = path + "/" + name;
+    struct stat st;
+    if (stat(full.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      TIERBASE_RETURN_IF_ERROR(RemoveDirRecursive(full));
+    } else {
+      unlink(full.c_str());
+    }
+  }
+  rmdir(path.c_str());
+  return Status::OK();
+}
+
+std::string MakeTempDir(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  std::string path = "/tmp/" + prefix + "_" +
+                     std::to_string(static_cast<uint64_t>(getpid())) + "_" +
+                     std::to_string(counter.fetch_add(1));
+  CreateDirIfMissing(path);
+  return path;
+}
+
+}  // namespace env
+}  // namespace tierbase

@@ -1,0 +1,58 @@
+// Thin POSIX file wrappers used by the LSM engine (WAL, SSTs, manifest)
+// and the baselines' AOF persistence.
+
+#ifndef TIERBASE_COMMON_ENV_H_
+#define TIERBASE_COMMON_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace tierbase {
+
+/// Sequential append-only file with explicit Sync.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Flush() = 0;   // Push to OS.
+  virtual Status Sync() = 0;    // fsync.
+  virtual Status Close() = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// Positioned-read file.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  virtual Status Read(uint64_t offset, size_t n, std::string* out) const = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+namespace env {
+
+Status NewWritableFile(const std::string& path,
+                       std::unique_ptr<WritableFile>* file);
+Status NewRandomAccessFile(const std::string& path,
+                           std::unique_ptr<RandomAccessFile>* file);
+Status ReadFileToString(const std::string& path, std::string* out);
+Status WriteStringToFileSync(const std::string& path, const Slice& data);
+Status CreateDirIfMissing(const std::string& path);
+Status RemoveFile(const std::string& path);
+Status RenameFile(const std::string& from, const std::string& to);
+bool FileExists(const std::string& path);
+Status ListDir(const std::string& path, std::vector<std::string>* names);
+uint64_t FileSize(const std::string& path);
+/// Recursively deletes a directory tree (test/bench temp dirs).
+Status RemoveDirRecursive(const std::string& path);
+/// Creates a fresh unique temp directory under /tmp.
+std::string MakeTempDir(const std::string& prefix);
+
+}  // namespace env
+}  // namespace tierbase
+
+#endif  // TIERBASE_COMMON_ENV_H_

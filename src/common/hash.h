@@ -1,0 +1,40 @@
+// Hash functions used across the codebase: a 64-bit mix hash for hash
+// tables / sharding, and a 32-bit hash for bloom filters.
+
+#ifndef TIERBASE_COMMON_HASH_H_
+#define TIERBASE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace tierbase {
+
+/// 64-bit hash (xxhash64-flavoured mixing). Stable across runs; used for
+/// consistent-hash routing, shard selection, and hash-table bucketing.
+uint64_t Hash64(const char* data, size_t n, uint64_t seed = 0);
+
+inline uint64_t Hash64(const Slice& s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// 32-bit hash (murmur-flavoured) used by bloom filters where two
+/// independent-ish hashes are derived via double hashing.
+uint32_t Hash32(const char* data, size_t n, uint32_t seed = 0xbc9f1d34);
+
+inline uint32_t Hash32(const Slice& s, uint32_t seed = 0xbc9f1d34) {
+  return Hash32(s.data(), s.size(), seed);
+}
+
+/// Cheap integer finalizer (splitmix64) for hashing already-numeric keys.
+inline uint64_t MixU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace tierbase
+
+#endif  // TIERBASE_COMMON_HASH_H_

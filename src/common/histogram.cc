@@ -1,0 +1,108 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace tierbase {
+
+void Histogram::Clear() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < (1u << kSubBits)) return static_cast<int>(value);
+  int exponent = 63 - std::countl_zero(value);
+  int shift = exponent - kSubBits;
+  int sub = static_cast<int>((value >> shift) & ((1 << kSubBits) - 1));
+  int bucket = ((exponent - kSubBits + 1) << kSubBits) + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperEdge(int bucket) {
+  if (bucket < (1 << kSubBits)) return static_cast<uint64_t>(bucket);
+  int octave = (bucket >> kSubBits) - 1;
+  int sub = bucket & ((1 << kSubBits) - 1);
+  uint64_t base = 1ULL << (octave + kSubBits);
+  uint64_t step = base >> kSubBits;
+  return base + static_cast<uint64_t>(sub + 1) * step - 1;
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[static_cast<size_t>(BucketFor(value))]++;
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::AddBucketCount(int bucket, uint64_t count) {
+  if (count == 0) return;
+  buckets_[static_cast<size_t>(bucket)] += count;
+  count_ += count;
+  uint64_t edge = BucketUpperEdge(bucket);
+  sum_ += edge * count;
+  min_ = std::min(min_, edge);
+  max_ = std::max(max_, edge);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t threshold = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (threshold == 0) threshold = 1;
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= threshold) {
+      return std::min(BucketUpperEdge(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  snprintf(buf, sizeof(buf),
+           "cnt=%llu mean=%.1f p50=%llu p99=%llu p999=%llu max=%llu",
+           static_cast<unsigned long long>(count_), Mean(),
+           static_cast<unsigned long long>(Percentile(0.50)),
+           static_cast<unsigned long long>(Percentile(0.99)),
+           static_cast<unsigned long long>(Percentile(0.999)),
+           static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+void ConcurrentHistogram::Add(uint64_t value) {
+  int b = Histogram::BucketFor(value);
+  buckets_[static_cast<size_t>(b)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram ConcurrentHistogram::Snapshot() const {
+  Histogram h;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    h.AddBucketCount(
+        i, buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed));
+  }
+  return h;
+}
+
+}  // namespace tierbase

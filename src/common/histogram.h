@@ -1,0 +1,82 @@
+// Log-bucketed latency histogram with percentile queries. A thread-safe
+// variant is provided for the benchmark harness (many client threads record
+// concurrently; readers snapshot at the end).
+
+#ifndef TIERBASE_COMMON_HISTOGRAM_H_
+#define TIERBASE_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tierbase {
+
+/// Histogram over non-negative 64-bit values (typically microseconds).
+///
+/// Buckets encode (exponent, 1/16 sub-bucket), giving <= ~6% relative error
+/// on percentile queries — enough for p50/p99/p999 reporting in the
+/// benchmark tables.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 4;  // 16 sub-buckets per octave.
+  static constexpr int kNumBuckets = 64 << kSubBits;
+
+  Histogram() { Clear(); }
+
+  void Clear();
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+
+  /// Adds `count` observations into `bucket` directly (used when merging
+  /// from a ConcurrentHistogram whose per-value detail is already lost).
+  void AddBucketCount(int bucket, uint64_t count);
+
+  uint64_t Count() const { return count_; }
+  uint64_t Min() const { return count_ ? min_ : 0; }
+  uint64_t Max() const { return max_; }
+  double Mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0;
+  }
+
+  /// Value at quantile q in [0, 1], e.g. 0.99 for p99. Returns the upper
+  /// edge of the containing bucket (clamped to the observed max).
+  uint64_t Percentile(double q) const;
+
+  /// One-line summary: "cnt=N mean=X p50=A p99=B p999=C max=D".
+  std::string Summary() const;
+
+  /// Bucket index for a value; exposed for the concurrent variant.
+  static int BucketFor(uint64_t value);
+  /// Largest value mapping into `bucket`.
+  static uint64_t BucketUpperEdge(int bucket);
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_;
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+};
+
+/// Thread-safe histogram: Add() touches only atomics; Snapshot() produces a
+/// plain Histogram for reporting.
+class ConcurrentHistogram {
+ public:
+  ConcurrentHistogram() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  void Add(uint64_t value);
+  Histogram Snapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, Histogram::kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace tierbase
+
+#endif  // TIERBASE_COMMON_HISTOGRAM_H_

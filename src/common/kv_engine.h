@@ -1,0 +1,44 @@
+// KvEngine: the minimal key-value engine interface shared by TierBase, the
+// LSM store, the cache engine, and every baseline system. The cost
+// evaluation framework (paper §5.3) drives workloads against this interface
+// and reads usage via GetUsage().
+
+#ifndef TIERBASE_COMMON_KV_ENGINE_H_
+#define TIERBASE_COMMON_KV_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace tierbase {
+
+/// Resource usage snapshot used for space-cost accounting.
+struct UsageStats {
+  uint64_t memory_bytes = 0;  // DRAM footprint (data + structures).
+  uint64_t pmem_bytes = 0;    // Simulated persistent-memory footprint.
+  uint64_t disk_bytes = 0;    // SSD/HDD footprint (SSTs, AOF, WAL).
+  uint64_t keys = 0;
+};
+
+class KvEngine {
+ public:
+  virtual ~KvEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual Status Set(const Slice& key, const Slice& value) = 0;
+  virtual Status Get(const Slice& key, std::string* value) = 0;
+  virtual Status Delete(const Slice& key) = 0;
+
+  virtual UsageStats GetUsage() const = 0;
+
+  /// Blocks until background work (flush/compaction/write-back drain) is
+  /// quiesced; default no-op for purely synchronous engines.
+  virtual Status WaitIdle() { return Status::OK(); }
+};
+
+}  // namespace tierbase
+
+#endif  // TIERBASE_COMMON_KV_ENGINE_H_

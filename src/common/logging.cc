@@ -1,0 +1,64 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace tierbase {
+
+namespace {
+
+std::atomic<int> g_level{-1};
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("TIERBASE_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::mutex g_log_mutex;
+
+}  // namespace
+
+LogLevel GlobalLogLevel() {
+  int lvl = g_level.load(std::memory_order_relaxed);
+  if (lvl < 0) {
+    lvl = static_cast<int>(LevelFromEnv());
+    g_level.store(lvl, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(lvl);
+}
+
+void SetGlobalLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void LogV(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(GlobalLogLevel())) return;
+  const char* base = strrchr(file, '/');
+  base = base ? base + 1 : file;
+  char msg[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(msg, sizeof(msg), fmt, ap);
+  va_end(ap);
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg);
+}
+
+}  // namespace tierbase

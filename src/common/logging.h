@@ -1,0 +1,33 @@
+// Minimal leveled logging. Quiet by default (warnings and errors only) so
+// test and bench output stays readable; set TIERBASE_LOG_LEVEL=info|debug
+// in the environment to see more.
+
+#ifndef TIERBASE_COMMON_LOGGING_H_
+#define TIERBASE_COMMON_LOGGING_H_
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace tierbase {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Current minimum level (from env, default kWarn).
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+void LogV(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+#define TB_LOG_DEBUG(...) \
+  ::tierbase::LogV(::tierbase::LogLevel::kDebug, __FILE__, __LINE__, __VA_ARGS__)
+#define TB_LOG_INFO(...) \
+  ::tierbase::LogV(::tierbase::LogLevel::kInfo, __FILE__, __LINE__, __VA_ARGS__)
+#define TB_LOG_WARN(...) \
+  ::tierbase::LogV(::tierbase::LogLevel::kWarn, __FILE__, __LINE__, __VA_ARGS__)
+#define TB_LOG_ERROR(...) \
+  ::tierbase::LogV(::tierbase::LogLevel::kError, __FILE__, __LINE__, __VA_ARGS__)
+
+}  // namespace tierbase
+
+#endif  // TIERBASE_COMMON_LOGGING_H_

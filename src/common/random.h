@@ -1,0 +1,165 @@
+// Random number utilities: a fast xorshift engine plus the key-popularity
+// distributions the workload generator needs (uniform, Zipfian, scrambled
+// Zipfian, latest). The Zipfian generator follows Gray et al. ("Quickly
+// generating billion-record synthetic databases"), the same construction
+// YCSB uses, so skew parameters are comparable to the paper's setup.
+
+#ifndef TIERBASE_COMMON_RANDOM_H_
+#define TIERBASE_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace tierbase {
+
+/// xorshift128+ engine: fast, decent quality, deterministic per seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x2545F4914F6CDD1DULL) {
+    s0_ = MixU64(seed);
+    s1_ = MixU64(s0_);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Uniform in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    assert(hi >= lo);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+/// Zipfian-distributed values in [0, n). Item 0 is the most popular.
+///
+/// theta (a.k.a. the YCSB "zipfian constant") defaults to 0.99 as in YCSB.
+/// Supports growing n without full recomputation (used by insert-heavy
+/// workloads).
+class ZipfianGenerator {
+ public:
+  static constexpr double kDefaultTheta = 0.99;
+
+  ZipfianGenerator(uint64_t n, double theta = kDefaultTheta,
+                   uint64_t seed = 12345)
+      : rng_(seed), n_(n), theta_(theta) {
+    assert(n > 0);
+    zeta_n_ = Zeta(0, n, theta, 0.0);
+    Prepare();
+  }
+
+  uint64_t n() const { return n_; }
+
+  /// Expands the item space to new_n >= n(), incrementally updating zeta.
+  void Grow(uint64_t new_n) {
+    if (new_n <= n_) return;
+    zeta_n_ = Zeta(n_, new_n, theta_, zeta_n_);
+    n_ = new_n;
+    Prepare();
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  void Prepare() {
+    double zeta2 = Zeta(0, 2, theta_, 0.0);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zeta_n_);
+  }
+
+  static double Zeta(uint64_t from, uint64_t to, double theta, double base) {
+    double sum = base;
+    for (uint64_t i = from; i < to; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    }
+    return sum;
+  }
+
+  Random rng_;
+  uint64_t n_;
+  double theta_;
+  double zeta_n_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+/// Zipfian with the popular items scattered uniformly over the key space
+/// (YCSB's "scrambled zipfian"): avoids hot keys being lexicographically
+/// adjacent, which matters for range-partitioned stores.
+class ScrambledZipfianGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(uint64_t n,
+                                     double theta = ZipfianGenerator::kDefaultTheta,
+                                     uint64_t seed = 12345)
+      : zipf_(n, theta, seed), n_(n) {}
+
+  uint64_t Next() { return MixU64(zipf_.Next()) % n_; }
+  void Grow(uint64_t new_n) {
+    zipf_.Grow(new_n);
+    n_ = new_n;
+  }
+
+ private:
+  ZipfianGenerator zipf_;
+  uint64_t n_;
+};
+
+/// "Latest" distribution: recent inserts are most popular (YCSB workload D
+/// flavour). Next() returns max_id - zipf sample, clamped to [0, max_id].
+class LatestGenerator {
+ public:
+  explicit LatestGenerator(uint64_t n, uint64_t seed = 12345)
+      : zipf_(n, ZipfianGenerator::kDefaultTheta, seed), max_(n - 1) {}
+
+  void SetMax(uint64_t max_id) {
+    max_ = max_id;
+    if (max_id + 1 > zipf_.n()) zipf_.Grow(max_id + 1);
+  }
+
+  uint64_t Next() {
+    uint64_t off = zipf_.Next();
+    return off > max_ ? 0 : max_ - off;
+  }
+
+ private:
+  ZipfianGenerator zipf_;
+  uint64_t max_;
+};
+
+}  // namespace tierbase
+
+#endif  // TIERBASE_COMMON_RANDOM_H_

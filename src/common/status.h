@@ -1,0 +1,151 @@
+// Status: lightweight error propagation for all TierBase modules.
+//
+// Modeled after the LevelDB/RocksDB convention: cheap to copy on the OK
+// path (a single pointer-sized enum), carries a code plus a human-readable
+// message on the error path.
+
+#ifndef TIERBASE_COMMON_STATUS_H_
+#define TIERBASE_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tierbase {
+
+/// Result code for every fallible operation in the library.
+enum class Code {
+  kOk = 0,
+  kNotFound = 1,
+  kCorruption = 2,
+  kNotSupported = 3,
+  kInvalidArgument = 4,
+  kIOError = 5,
+  kBusy = 6,          // Backpressure: retry later.
+  kTimedOut = 7,
+  kAborted = 8,       // e.g. CAS mismatch.
+  kOutOfSpace = 9,    // Instance space budget exhausted.
+  kUnavailable = 10,  // Instance/replica down.
+};
+
+/// A Status is either OK or a (code, message) pair.
+///
+/// Usage:
+///   Status s = db.Put(k, v);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = "") {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg = "") {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg = "") {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = "") {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg = "") {
+    return Status(Code::kIOError, msg);
+  }
+  static Status Busy(std::string_view msg = "") {
+    return Status(Code::kBusy, msg);
+  }
+  static Status TimedOut(std::string_view msg = "") {
+    return Status(Code::kTimedOut, msg);
+  }
+  static Status Aborted(std::string_view msg = "") {
+    return Status(Code::kAborted, msg);
+  }
+  static Status OutOfSpace(std::string_view msg = "") {
+    return Status(Code::kOutOfSpace, msg);
+  }
+  static Status Unavailable(std::string_view msg = "") {
+    return Status(Code::kUnavailable, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsOutOfSpace() const { return code_ == Code::kOutOfSpace; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out = CodeName(code_);
+    if (!msg_.empty()) {
+      out += ": ";
+      out += msg_;
+    }
+    return out;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), msg_(msg) {}
+
+  static const char* CodeName(Code c) {
+    switch (c) {
+      case Code::kOk: return "OK";
+      case Code::kNotFound: return "NotFound";
+      case Code::kCorruption: return "Corruption";
+      case Code::kNotSupported: return "NotSupported";
+      case Code::kInvalidArgument: return "InvalidArgument";
+      case Code::kIOError: return "IOError";
+      case Code::kBusy: return "Busy";
+      case Code::kTimedOut: return "TimedOut";
+      case Code::kAborted: return "Aborted";
+      case Code::kOutOfSpace: return "OutOfSpace";
+      case Code::kUnavailable: return "Unavailable";
+    }
+    return "Unknown";
+  }
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Result<T>: a value or an error Status. Minimal StatusOr.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {}                 // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  T& value() { return value_; }
+  const T& value() const { return value_; }
+  T& operator*() { return value_; }
+  const T& operator*() const { return value_; }
+  T* operator->() { return &value_; }
+  const T* operator->() const { return &value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+#define TIERBASE_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::tierbase::Status _s = (expr);               \
+    if (!_s.ok()) return _s;                      \
+  } while (0)
+
+}  // namespace tierbase
+
+#endif  // TIERBASE_COMMON_STATUS_H_

@@ -1,0 +1,100 @@
+// Compressor: the per-record compression interface used by the cache
+// engine's value store and evaluated in Table 2 / Fig 13(a) of the paper.
+//
+// TierBase's pre-trained compression mechanism (paper §4.2) has two members:
+//   * Zlite        — an LZ77-family byte compressor (our Zstandard stand-in),
+//                    optionally seeded with a pre-trained dictionary.
+//   * PBC          — Pattern-Based Compression: hierarchical clustering of
+//                    sample records, per-cluster pattern (template)
+//                    extraction, residual coding.
+// Both support offline pre-training on sampled records (Train()), matching
+// the paper's sample → train → apply pipeline.
+
+#ifndef TIERBASE_COMPRESSION_COMPRESSOR_H_
+#define TIERBASE_COMPRESSION_COMPRESSOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace tierbase {
+
+enum class CompressorType {
+  kNone = 0,
+  kZlite = 1,      // LZ without pre-trained dictionary ("Zstd-b").
+  kZliteDict = 2,  // LZ with pre-trained dictionary ("Zstd-d").
+  kPbc = 3,        // Pattern-Based Compression.
+};
+
+const char* CompressorTypeName(CompressorType type);
+
+/// Per-record compressor. Thread-safe for concurrent Compress/Decompress
+/// after training completes.
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  virtual CompressorType type() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Offline pre-training on sampled records (no-op for kNone/kZlite).
+  virtual Status Train(const std::vector<std::string>& samples) = 0;
+  virtual bool trained() const = 0;
+
+  /// Compresses one record. Output is self-describing (decompressible by
+  /// the same trained compressor instance or one trained identically).
+  virtual Status Compress(const Slice& input, std::string* output) const = 0;
+  virtual Status Decompress(const Slice& input, std::string* output) const = 0;
+
+  /// True when the compressor failed to exploit its trained model on this
+  /// record (used by CompressionMonitor to trigger re-training). Default:
+  /// compressed not smaller than input.
+  virtual bool WasUnmatched(const Slice& input, const Slice& output) const {
+    return output.size() >= input.size();
+  }
+};
+
+/// Identity compressor (TierBase-Raw).
+class NoneCompressor : public Compressor {
+ public:
+  CompressorType type() const override { return CompressorType::kNone; }
+  std::string name() const override { return "none"; }
+  Status Train(const std::vector<std::string>&) override {
+    return Status::OK();
+  }
+  bool trained() const override { return true; }
+  Status Compress(const Slice& input, std::string* output) const override {
+    output->assign(input.data(), input.size());
+    return Status::OK();
+  }
+  Status Decompress(const Slice& input, std::string* output) const override {
+    output->assign(input.data(), input.size());
+    return Status::OK();
+  }
+};
+
+struct CompressorOptions {
+  /// Compression effort level, Zstd-style: negatives are fast modes.
+  /// The paper's Fig 13(a) sweeps {-50, -10, 1, 15, 22}.
+  int level = 1;
+  /// Dictionary size budget for trained modes, bytes.
+  size_t dict_size = 16 * 1024;
+  /// PBC: maximum number of pattern clusters.
+  size_t max_clusters = 64;
+  /// PBC: token-similarity threshold in [0,1] to join a cluster.
+  double cluster_similarity = 0.5;
+  /// PBC: compress the residual encoding with a dictionary-seeded LZ pass.
+  bool compress_residuals = true;
+};
+
+/// Factory. kZliteDict and kPbc require Train() before first Compress().
+std::unique_ptr<Compressor> CreateCompressor(CompressorType type,
+                                             const CompressorOptions& options =
+                                                 CompressorOptions());
+
+}  // namespace tierbase
+
+#endif  // TIERBASE_COMPRESSION_COMPRESSOR_H_

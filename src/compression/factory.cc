@@ -1,0 +1,24 @@
+#include "compression/compressor.h"
+#include "compression/pbc.h"
+#include "compression/zlite.h"
+
+namespace tierbase {
+
+std::unique_ptr<Compressor> CreateCompressor(CompressorType type,
+                                             const CompressorOptions& options) {
+  switch (type) {
+    case CompressorType::kNone:
+      return std::make_unique<NoneCompressor>();
+    case CompressorType::kZlite:
+      return std::make_unique<ZliteCompressor>(/*use_dictionary=*/false,
+                                               options);
+    case CompressorType::kZliteDict:
+      return std::make_unique<ZliteCompressor>(/*use_dictionary=*/true,
+                                               options);
+    case CompressorType::kPbc:
+      return std::make_unique<PbcCompressor>(options);
+  }
+  return std::make_unique<NoneCompressor>();
+}
+
+}  // namespace tierbase

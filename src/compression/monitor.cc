@@ -1,0 +1,61 @@
+#include "compression/monitor.h"
+
+namespace tierbase {
+
+void CompressionMonitor::Observe(size_t original_bytes,
+                                 size_t compressed_bytes, bool unmatched) {
+  if (original_bytes == 0) return;
+  double ratio = static_cast<double>(compressed_bytes) /
+                 static_cast<double>(original_bytes);
+
+  // EMA update under the lock: contention here is acceptable because
+  // Observe is called on the (already slow) compression path.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!has_ema_.load(std::memory_order_relaxed)) {
+      ema_ratio_.store(ratio);
+      has_ema_.store(true, std::memory_order_relaxed);
+    } else {
+      double ema = ema_ratio_.load();
+      ema_ratio_.store(ema + options_.ema_alpha * (ratio - ema));
+    }
+  }
+
+  observed_.fetch_add(1, std::memory_order_relaxed);
+  window_total_.fetch_add(1, std::memory_order_relaxed);
+  if (unmatched) window_unmatched_.fetch_add(1, std::memory_order_relaxed);
+
+  if (window_total_.load(std::memory_order_relaxed) >= options_.window) {
+    MaybeTrigger();
+  }
+}
+
+void CompressionMonitor::MaybeTrigger() {
+  uint64_t total = window_total_.exchange(0);
+  uint64_t unmatched = window_unmatched_.exchange(0);
+  if (total == 0) return;
+
+  double unmatched_rate =
+      static_cast<double>(unmatched) / static_cast<double>(total);
+  double ratio = ema_ratio_.load();
+  bool ratio_degraded =
+      ratio > options_.baseline_ratio * (1.0 + options_.ratio_slack);
+  bool too_unmatched = unmatched_rate > options_.max_unmatched_rate;
+
+  if (ratio_degraded || too_unmatched) {
+    retrain_count_.fetch_add(1, std::memory_order_relaxed);
+    RetrainCallback cb;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cb = on_retrain_;
+    }
+    if (cb) cb();
+  }
+}
+
+void CompressionMonitor::Rebase() {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.baseline_ratio = ema_ratio_.load();
+}
+
+}  // namespace tierbase

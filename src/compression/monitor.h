@@ -1,0 +1,74 @@
+// CompressionMonitor: the paper's monitoring service (§4.2) that tracks
+// compression efficiency in production and triggers re-sampling/re-training
+// when the data distribution drifts away from the trained model.
+//
+// Two triggers, exactly as described:
+//   * the observed compression ratio rises above a baseline level
+//     (ratio here = compressed/original, so higher is worse), or
+//   * the rate of records that do not match any trained pattern exceeds a
+//     threshold.
+
+#ifndef TIERBASE_COMPRESSION_MONITOR_H_
+#define TIERBASE_COMPRESSION_MONITOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace tierbase {
+
+struct CompressionMonitorOptions {
+  /// Re-train when EMA ratio exceeds baseline_ratio * (1 + slack).
+  double baseline_ratio = 0.5;
+  double ratio_slack = 0.25;
+  /// Re-train when unmatched fraction (per window) exceeds this.
+  double max_unmatched_rate = 0.20;
+  /// Observations per evaluation window.
+  uint64_t window = 1024;
+  /// EMA smoothing for the ratio.
+  double ema_alpha = 0.05;
+};
+
+class CompressionMonitor {
+ public:
+  using RetrainCallback = std::function<void()>;
+
+  explicit CompressionMonitor(CompressionMonitorOptions options = {},
+                              RetrainCallback on_retrain = nullptr)
+      : options_(options), on_retrain_(std::move(on_retrain)) {}
+
+  /// Records one compression event. Thread-safe.
+  void Observe(size_t original_bytes, size_t compressed_bytes, bool unmatched);
+
+  /// Installs / replaces the re-train hook.
+  void SetRetrainCallback(RetrainCallback cb) {
+    std::lock_guard<std::mutex> lock(mu_);
+    on_retrain_ = std::move(cb);
+  }
+
+  /// Resets the baseline to the current EMA (call after re-training).
+  void Rebase();
+
+  double ema_ratio() const { return ema_ratio_.load(); }
+  uint64_t retrain_count() const { return retrain_count_.load(); }
+  uint64_t observed() const { return observed_.load(); }
+
+ private:
+  void MaybeTrigger();
+
+  CompressionMonitorOptions options_;
+  RetrainCallback on_retrain_;
+  std::mutex mu_;
+
+  std::atomic<double> ema_ratio_{0.0};
+  std::atomic<uint64_t> observed_{0};
+  std::atomic<uint64_t> window_unmatched_{0};
+  std::atomic<uint64_t> window_total_{0};
+  std::atomic<uint64_t> retrain_count_{0};
+  std::atomic<bool> has_ema_{false};
+};
+
+}  // namespace tierbase
+
+#endif  // TIERBASE_COMPRESSION_MONITOR_H_

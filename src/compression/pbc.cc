@@ -1,0 +1,295 @@
+#include "compression/pbc.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace tierbase {
+
+namespace pbc {
+
+namespace {
+
+enum class CharClass { kAlpha, kDigit, kOther };
+
+inline CharClass ClassOf(unsigned char c) {
+  if (std::isalpha(c)) return CharClass::kAlpha;
+  if (std::isdigit(c)) return CharClass::kDigit;
+  return CharClass::kOther;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(const Slice& record) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  const size_t n = record.size();
+  while (i < n) {
+    unsigned char c = static_cast<unsigned char>(record[i]);
+    CharClass cls = ClassOf(c);
+    if (cls == CharClass::kOther) {
+      tokens.emplace_back(1, record[i]);
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < n && ClassOf(static_cast<unsigned char>(record[j])) == cls) {
+      ++j;
+    }
+    tokens.emplace_back(record.data() + i, j - i);
+    i = j;
+  }
+  return tokens;
+}
+
+std::vector<std::string> TokenLcs(const std::vector<std::string>& a,
+                                  const std::vector<std::string>& b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return {};
+  // Classic O(n*m) DP; training samples are short token sequences.
+  std::vector<std::vector<uint32_t>> dp(n + 1, std::vector<uint32_t>(m + 1, 0));
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        dp[i][j] = dp[i - 1][j - 1] + 1;
+      } else {
+        dp[i][j] = std::max(dp[i - 1][j], dp[i][j - 1]);
+      }
+    }
+  }
+  std::vector<std::string> out;
+  size_t i = n, j = m;
+  while (i > 0 && j > 0) {
+    if (a[i - 1] == b[j - 1]) {
+      out.push_back(a[i - 1]);
+      --i;
+      --j;
+    } else if (dp[i - 1][j] >= dp[i][j - 1]) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+double TokenSimilarity(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t lcs = TokenLcs(a, b).size();
+  return static_cast<double>(lcs) /
+         static_cast<double>(std::max(a.size(), b.size()));
+}
+
+}  // namespace pbc
+
+PbcCompressor::PbcCompressor(const CompressorOptions& options)
+    : options_(options), residual_codec_(options.level) {}
+
+Status PbcCompressor::Train(const std::vector<std::string>& samples) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("pbc: empty training sample");
+  }
+  patterns_.clear();
+
+  // --- Leader (hierarchical agglomerative, single pass) clustering. ---
+  // Each cluster keeps its evolving pattern = LCS of its members' tokens.
+  struct Cluster {
+    std::vector<std::string> pattern;
+    size_t members = 0;
+  };
+  std::vector<Cluster> clusters;
+
+  // Cap training cost: a few hundred samples suffice to find templates.
+  const size_t kMaxTrainSamples = 512;
+  size_t stride = std::max<size_t>(1, samples.size() / kMaxTrainSamples);
+
+  for (size_t idx = 0; idx < samples.size(); idx += stride) {
+    std::vector<std::string> toks = pbc::Tokenize(samples[idx]);
+    if (toks.empty()) continue;
+
+    double best_sim = 0.0;
+    size_t best_cluster = 0;
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      double sim = pbc::TokenSimilarity(clusters[c].pattern, toks);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best_cluster = c;
+      }
+    }
+    if (!clusters.empty() && best_sim >= options_.cluster_similarity) {
+      Cluster& c = clusters[best_cluster];
+      c.pattern = pbc::TokenLcs(c.pattern, toks);
+      c.members++;
+    } else if (clusters.size() < options_.max_clusters) {
+      clusters.push_back({std::move(toks), 1});
+    }
+    // When at capacity and nothing similar: the record stays uncovered and
+    // will use the raw fallback at compression time.
+  }
+
+  // Keep patterns that still carry real boilerplate (>= 4 bytes of fixed
+  // content), most valuable first.
+  for (auto& c : clusters) {
+    pbc::Pattern p;
+    p.tokens = std::move(c.pattern);
+    for (const auto& t : p.tokens) p.total_bytes += t.size();
+    if (p.total_bytes >= 4 && !p.tokens.empty()) {
+      patterns_.push_back(std::move(p));
+    }
+  }
+  std::sort(patterns_.begin(), patterns_.end(),
+            [](const pbc::Pattern& a, const pbc::Pattern& b) {
+              return a.total_bytes > b.total_bytes;
+            });
+  if (patterns_.size() > options_.max_clusters) {
+    patterns_.resize(options_.max_clusters);
+  }
+
+  // --- Residual-stage dictionary: train on the gap encodings of samples. ---
+  if (options_.compress_residuals) {
+    std::vector<std::string> residuals;
+    residuals.reserve(std::min<size_t>(samples.size(), 256));
+    for (size_t idx = 0; idx < samples.size() && residuals.size() < 256;
+         idx += stride) {
+      std::string enc;
+      EncodeRecord(samples[idx], &enc);
+      residuals.push_back(std::move(enc));
+    }
+    residual_codec_.SetDictionary(
+        TrainDictionary(residuals, options_.dict_size));
+  }
+
+  trained_ = true;
+  return Status::OK();
+}
+
+size_t PbcCompressor::MatchPattern(const Slice& record,
+                                   const pbc::Pattern& pattern,
+                                   std::vector<Slice>* gaps) {
+  gaps->clear();
+  gaps->reserve(pattern.tokens.size() + 1);
+  const char* data = record.data();
+  size_t pos = 0;
+  const size_t n = record.size();
+  size_t covered = 0;
+  for (const auto& tok : pattern.tokens) {
+    if (pos >= n) return 0;
+    const void* found =
+        memmem(data + pos, n - pos, tok.data(), tok.size());
+    if (found == nullptr) return 0;
+    size_t at = static_cast<size_t>(static_cast<const char*>(found) - data);
+    gaps->emplace_back(data + pos, at - pos);
+    pos = at + tok.size();
+    covered += tok.size();
+  }
+  gaps->emplace_back(data + pos, n - pos);
+  return covered;
+}
+
+uint32_t PbcCompressor::EncodeRecord(const Slice& input,
+                                     std::string* encoded) const {
+  encoded->clear();
+
+  // Choose the pattern with the best coverage. Trying every pattern is the
+  // deliberate CPU-for-space trade-off the paper reports for PBC SETs.
+  size_t best_covered = 0;
+  uint32_t best_idx = 0;  // 0 = raw fallback.
+  std::vector<Slice> best_gaps;
+  std::vector<Slice> gaps;
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    size_t covered = MatchPattern(input, patterns_[i], &gaps);
+    if (covered > best_covered) {
+      best_covered = covered;
+      best_idx = static_cast<uint32_t>(i) + 1;
+      best_gaps.swap(gaps);
+    }
+  }
+
+  PutVarint32(encoded, best_idx);
+  if (best_idx == 0) {
+    encoded->append(input.data(), input.size());
+    return 0;
+  }
+  for (const Slice& g : best_gaps) {
+    PutLengthPrefixedSlice(encoded, g);
+  }
+  return best_idx;
+}
+
+Status PbcCompressor::Compress(const Slice& input, std::string* output) const {
+  if (!trained_) return Status::InvalidArgument("pbc: not trained");
+  std::string encoded;
+  uint32_t pattern_idx = EncodeRecord(input, &encoded);
+  // Marker byte: bit 0 = residual-compressed, bit 1 = a pattern matched
+  // (bit 1 lets WasUnmatched answer without decoding the payload).
+  char marker = pattern_idx != 0 ? 2 : 0;
+  if (options_.compress_residuals) {
+    output->clear();
+    output->push_back(marker | 1);
+    std::string packed;
+    TIERBASE_RETURN_IF_ERROR(residual_codec_.Compress(encoded, &packed));
+    output->append(packed);
+  } else {
+    output->clear();
+    output->push_back(marker);
+    output->append(encoded);
+  }
+  return Status::OK();
+}
+
+Status PbcCompressor::Decompress(const Slice& input,
+                                 std::string* output) const {
+  if (!trained_) return Status::InvalidArgument("pbc: not trained");
+  if (input.empty()) return Status::Corruption("pbc: empty input");
+
+  Slice in = input;
+  const bool residual_compressed = (in[0] & 1) != 0;
+  in.remove_prefix(1);
+
+  std::string unpacked;
+  if (residual_compressed) {
+    TIERBASE_RETURN_IF_ERROR(residual_codec_.Decompress(in, &unpacked));
+    in = Slice(unpacked);
+  }
+
+  uint32_t pattern_idx = 0;
+  if (!GetVarint32(&in, &pattern_idx)) {
+    return Status::Corruption("pbc: bad pattern index");
+  }
+  if (pattern_idx == 0) {
+    output->assign(in.data(), in.size());
+    return Status::OK();
+  }
+  if (pattern_idx > patterns_.size()) {
+    return Status::Corruption("pbc: pattern index out of range");
+  }
+  const pbc::Pattern& pattern = patterns_[pattern_idx - 1];
+
+  output->clear();
+  for (size_t i = 0; i <= pattern.tokens.size(); ++i) {
+    Slice gap;
+    if (!GetLengthPrefixedSlice(&in, &gap)) {
+      return Status::Corruption("pbc: truncated gap");
+    }
+    output->append(gap.data(), gap.size());
+    if (i < pattern.tokens.size()) {
+      output->append(pattern.tokens[i]);
+    }
+  }
+  return Status::OK();
+}
+
+bool PbcCompressor::WasUnmatched(const Slice& /*input*/,
+                                 const Slice& output) const {
+  // Bit 1 of the marker byte records whether any trained pattern covered
+  // the record; unmatched records fell back to raw (+ LZ) encoding.
+  if (output.empty()) return true;
+  return (output[0] & 2) == 0;
+}
+
+}  // namespace tierbase

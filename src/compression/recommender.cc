@@ -1,0 +1,147 @@
+#include "compression/recommender.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/clock.h"
+
+namespace tierbase {
+
+namespace {
+
+CompressorProfile ProfileOne(CompressorType type,
+                             const std::vector<std::string>& samples,
+                             const CompressorOptions& options) {
+  CompressorProfile profile;
+  profile.type = type;
+  auto compressor = CreateCompressor(type, options);
+
+  Stopwatch train_timer;
+  if (!compressor->Train(samples).ok()) return profile;
+  profile.train_seconds = train_timer.ElapsedSeconds();
+
+  size_t original = 0, compressed = 0;
+  std::string out, back;
+  Stopwatch compress_timer;
+  for (const auto& s : samples) {
+    if (!compressor->Compress(s, &out).ok()) return profile;
+    original += s.size();
+    compressed += out.size();
+  }
+  double compress_secs = compress_timer.ElapsedSeconds();
+
+  Stopwatch decompress_timer;
+  for (const auto& s : samples) {
+    compressor->Compress(s, &out).ok();
+    compressor->Decompress(out, &back).ok();
+  }
+  // Subtract an estimate of the re-compression time included above.
+  double decompress_secs =
+      std::max(1e-9, decompress_timer.ElapsedSeconds() - compress_secs);
+
+  if (original > 0) {
+    profile.compression_ratio =
+        static_cast<double>(compressed) / static_cast<double>(original);
+  }
+  double mb = static_cast<double>(original) / (1024.0 * 1024.0);
+  profile.compress_mbps = mb / std::max(1e-9, compress_secs);
+  profile.decompress_mbps = mb / std::max(1e-9, decompress_secs);
+  return profile;
+}
+
+}  // namespace
+
+const char* CompressorTypeName(CompressorType type) {
+  switch (type) {
+    case CompressorType::kNone: return "none";
+    case CompressorType::kZlite: return "zlite";
+    case CompressorType::kZliteDict: return "zlite-dict";
+    case CompressorType::kPbc: return "pbc";
+  }
+  return "?";
+}
+
+Recommendation RecommendCompressor(const std::vector<std::string>& samples,
+                                   RecommendGoal goal,
+                                   const CompressorOptions& options,
+                                   std::vector<CompressorType> candidates) {
+  if (candidates.empty()) {
+    candidates = {CompressorType::kNone, CompressorType::kZlite,
+                  CompressorType::kZliteDict, CompressorType::kPbc};
+  }
+
+  Recommendation rec;
+  for (CompressorType type : candidates) {
+    rec.profiles.push_back(ProfileOne(type, samples, options));
+  }
+
+  const CompressorProfile* best = nullptr;
+  char reason[256];
+  switch (goal) {
+    case RecommendGoal::kSpaceFirst: {
+      for (const auto& p : rec.profiles) {
+        if (best == nullptr || p.compression_ratio < best->compression_ratio) {
+          best = &p;
+        }
+      }
+      snprintf(reason, sizeof(reason),
+               "lowest compression ratio %.3f (space-first)",
+               best->compression_ratio);
+      break;
+    }
+    case RecommendGoal::kSpeedFirst: {
+      for (const auto& p : rec.profiles) {
+        if (p.compression_ratio >= 0.95) continue;  // Must actually compress.
+        if (best == nullptr || p.compress_mbps > best->compress_mbps) {
+          best = &p;
+        }
+      }
+      if (best == nullptr) best = &rec.profiles.front();
+      snprintf(reason, sizeof(reason),
+               "highest compress throughput %.1f MB/s among compressing "
+               "candidates (speed-first)",
+               best->compress_mbps);
+      break;
+    }
+    case RecommendGoal::kBalanced: {
+      // Normalize each axis to the best candidate, then pick the candidate
+      // with the smallest max(space, perf) — the Optimal Cost Theorem's
+      // "balance the two costs" applied to compressor choice. The perf axis
+      // is normalized against the fastest candidate that actually
+      // compresses; otherwise the identity compressor's memcpy speed makes
+      // every real compressor look unaffordable.
+      double min_ratio = 1e9, max_mbps = 0;
+      for (const auto& p : rec.profiles) {
+        min_ratio = std::min(min_ratio, p.compression_ratio);
+        if (p.type != CompressorType::kNone && p.compression_ratio < 0.95) {
+          max_mbps = std::max(max_mbps, p.compress_mbps);
+        }
+      }
+      if (max_mbps == 0) {  // Nothing compresses: fall back to all.
+        for (const auto& p : rec.profiles) {
+          max_mbps = std::max(max_mbps, p.compress_mbps);
+        }
+      }
+      double best_score = 1e18;
+      for (const auto& p : rec.profiles) {
+        double space = p.compression_ratio / std::max(1e-9, min_ratio);
+        double perf = max_mbps / std::max(1e-9, p.compress_mbps);
+        double score = std::max(space, perf);
+        if (score < best_score) {
+          best_score = score;
+          best = &p;
+        }
+      }
+      snprintf(reason, sizeof(reason),
+               "min-max normalized space/perf score %.2f (balanced)",
+               best_score);
+      break;
+    }
+  }
+
+  rec.type = best->type;
+  rec.reason = reason;
+  return rec;
+}
+
+}  // namespace tierbase

@@ -1,0 +1,47 @@
+// CompressorRecommender: part of TierBase's Insight service (paper §4.2) —
+// given a sample of the workload's records, measure each candidate
+// compressor's ratio and throughput and suggest the best one for the
+// client's requirement (space-first, speed-first, or balanced via the
+// space-performance cost model's spirit: pick the candidate minimizing a
+// weighted max of normalized costs).
+
+#ifndef TIERBASE_COMPRESSION_RECOMMENDER_H_
+#define TIERBASE_COMPRESSION_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "compression/compressor.h"
+
+namespace tierbase {
+
+struct CompressorProfile {
+  CompressorType type = CompressorType::kNone;
+  double compression_ratio = 1.0;   // compressed / original (lower = better).
+  double compress_mbps = 0.0;       // Throughput, MB/s of input.
+  double decompress_mbps = 0.0;
+  double train_seconds = 0.0;
+};
+
+enum class RecommendGoal {
+  kSpaceFirst,    // Minimize ratio; throughput is secondary.
+  kSpeedFirst,    // Maximize SET throughput among those that compress at all.
+  kBalanced,      // Minimize max(normalized space, normalized perf cost).
+};
+
+struct Recommendation {
+  CompressorType type = CompressorType::kNone;
+  std::string reason;
+  std::vector<CompressorProfile> profiles;  // All measured candidates.
+};
+
+/// Benchmarks every candidate on `samples` and recommends per `goal`.
+/// `candidates` defaults to {kNone, kZlite, kZliteDict, kPbc}.
+Recommendation RecommendCompressor(
+    const std::vector<std::string>& samples, RecommendGoal goal,
+    const CompressorOptions& options = CompressorOptions(),
+    std::vector<CompressorType> candidates = {});
+
+}  // namespace tierbase
+
+#endif  // TIERBASE_COMPRESSION_RECOMMENDER_H_

@@ -1,0 +1,311 @@
+#include "compression/zlite.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace tierbase {
+
+namespace {
+
+// 4-byte prefix hash for the match finder.
+inline uint32_t HashPrefix(const char* p) {
+  uint32_t v;
+  memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 16;  // 16-bit table index.
+}
+
+constexpr size_t kHashTableSize = 1 << 16;
+
+}  // namespace
+
+ZliteCodec::Effort ZliteCodec::EffortForLevel() const {
+  Effort e;
+  if (level_ <= -20) {
+    e = {1, false, 8};     // Ultra-fast: long min-match, single probe.
+  } else if (level_ <= 0) {
+    e = {1, false, 6};     // Fast.
+  } else if (level_ <= 3) {
+    e = {8, false, 4};     // Default.
+  } else if (level_ <= 12) {
+    e = {32, true, 4};     // High.
+  } else if (level_ <= 19) {
+    e = {96, true, 4};     // Very high.
+  } else {
+    e = {256, true, 4};    // Max.
+  }
+  return e;
+}
+
+void ZliteCodec::SetDictionary(std::string dict) {
+  if (dict.size() > kMaxOffset / 2) {
+    dict = dict.substr(dict.size() - kMaxOffset / 2);
+  }
+  dict_ = std::move(dict);
+}
+
+Status ZliteCodec::Compress(const Slice& input, std::string* output) const {
+  output->clear();
+  PutVarint64(output, input.size());
+  if (input.empty()) {
+    PutVarint32(output, 0);  // lit_len = 0
+    PutVarint32(output, 0);  // match_len = 0 (end)
+    return Status::OK();
+  }
+
+  const Effort effort = EffortForLevel();
+
+  // Work buffer: dictionary followed by input. Offsets are distances back
+  // within this buffer, so they can address dictionary bytes.
+  std::string buf;
+  buf.reserve(dict_.size() + input.size());
+  buf.append(dict_);
+  buf.append(input.data(), input.size());
+  const char* base = buf.data();
+  const size_t start = dict_.size();
+  const size_t end = buf.size();
+
+  // Hash table of chain heads plus a per-position predecessor chain.
+  std::vector<int32_t> head(kHashTableSize, -1);
+  std::vector<int32_t> prev(buf.size(), -1);
+
+  auto insert_pos = [&](size_t pos) {
+    if (pos + 4 > end) return;
+    uint32_t h = HashPrefix(base + pos);
+    prev[pos] = head[h];
+    head[h] = static_cast<int32_t>(pos);
+  };
+
+  // Seed the match finder with dictionary content.
+  for (size_t i = 0; i + 4 <= start; ++i) insert_pos(i);
+
+  auto find_match = [&](size_t pos, size_t* match_pos) -> size_t {
+    if (pos + effort.min_match > end) return 0;
+    uint32_t h = HashPrefix(base + pos);
+    int32_t cand = head[h];
+    size_t best_len = 0;
+    size_t best_pos = 0;
+    int probes = effort.max_chain;
+    const size_t max_len = end - pos;
+    while (cand >= 0 && probes-- > 0) {
+      size_t cpos = static_cast<size_t>(cand);
+      size_t dist = pos - cpos;
+      if (dist > kMaxOffset) break;  // Chain is ordered by recency.
+      // Cheap reject: compare the byte one past the current best.
+      if (best_len == 0 || base[cpos + best_len] == base[pos + best_len]) {
+        size_t len = 0;
+        while (len < max_len && base[cpos + len] == base[pos + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_pos = cpos;
+          if (len >= max_len) break;
+        }
+      }
+      cand = prev[cpos];
+    }
+    if (best_len < effort.min_match) return 0;
+    *match_pos = best_pos;
+    return best_len;
+  };
+
+  size_t pos = start;
+  size_t literal_start = start;
+
+  auto emit_sequence = [&](size_t lit_end, size_t match_len, size_t offset) {
+    PutVarint32(output, static_cast<uint32_t>(lit_end - literal_start));
+    output->append(base + literal_start, lit_end - literal_start);
+    PutVarint32(output, static_cast<uint32_t>(match_len));
+    if (match_len > 0) {
+      PutVarint32(output, static_cast<uint32_t>(offset));
+    }
+  };
+
+  while (pos < end) {
+    size_t match_pos = 0;
+    size_t match_len = find_match(pos, &match_pos);
+
+    if (match_len > 0 && effort.lazy && pos + 1 < end) {
+      // One-step lazy matching: if the next position has a strictly longer
+      // match, emit this byte as a literal instead.
+      size_t next_match_pos = 0;
+      insert_pos(pos);
+      size_t next_len = find_match(pos + 1, &next_match_pos);
+      if (next_len > match_len + 1) {
+        ++pos;
+        continue;  // pos already inserted above.
+      }
+      // Use the original match; pos was inserted, match positions follow.
+      emit_sequence(pos, match_len, pos - match_pos);
+      for (size_t i = pos + 1; i < pos + match_len; ++i) insert_pos(i);
+      pos += match_len;
+      literal_start = pos;
+      continue;
+    }
+
+    if (match_len > 0) {
+      emit_sequence(pos, match_len, pos - match_pos);
+      for (size_t i = pos; i < pos + match_len; ++i) insert_pos(i);
+      pos += match_len;
+      literal_start = pos;
+    } else {
+      insert_pos(pos);
+      ++pos;
+    }
+  }
+
+  // Trailing literals + terminator.
+  emit_sequence(end, 0, 0);
+  return Status::OK();
+}
+
+Status ZliteCodec::Decompress(const Slice& input, std::string* output) const {
+  output->clear();
+  Slice in = input;
+  uint64_t original_size = 0;
+  if (!GetVarint64(&in, &original_size)) {
+    return Status::Corruption("zlite: bad header");
+  }
+
+  std::string buf;
+  buf.reserve(dict_.size() + original_size);
+  buf.append(dict_);
+
+  while (true) {
+    uint32_t lit_len = 0;
+    if (!GetVarint32(&in, &lit_len)) {
+      return Status::Corruption("zlite: truncated literal length");
+    }
+    if (in.size() < lit_len) {
+      return Status::Corruption("zlite: truncated literals");
+    }
+    buf.append(in.data(), lit_len);
+    in.remove_prefix(lit_len);
+
+    uint32_t match_len = 0;
+    if (!GetVarint32(&in, &match_len)) {
+      return Status::Corruption("zlite: truncated match length");
+    }
+    if (match_len == 0) break;  // Terminator.
+
+    uint32_t offset = 0;
+    if (!GetVarint32(&in, &offset)) {
+      return Status::Corruption("zlite: truncated offset");
+    }
+    if (offset == 0 || offset > buf.size()) {
+      return Status::Corruption("zlite: offset out of range");
+    }
+    // Byte-at-a-time copy supports overlapping matches (RLE-style).
+    size_t from = buf.size() - offset;
+    for (uint32_t i = 0; i < match_len; ++i) {
+      buf.push_back(buf[from + i]);
+    }
+  }
+
+  if (buf.size() - dict_.size() != original_size) {
+    return Status::Corruption("zlite: size mismatch after decompress");
+  }
+  output->assign(buf.data() + dict_.size(), buf.size() - dict_.size());
+  return Status::OK();
+}
+
+std::string TrainDictionary(const std::vector<std::string>& samples,
+                            size_t dict_size) {
+  if (samples.empty() || dict_size == 0) return "";
+
+  // Pass 1: count frequency of fixed-width grams across samples.
+  constexpr size_t kGram = 8;
+  std::unordered_map<uint64_t, uint32_t> gram_count;
+  gram_count.reserve(1 << 16);
+  for (const auto& s : samples) {
+    if (s.size() < kGram) continue;
+    for (size_t i = 0; i + kGram <= s.size(); i += 2) {  // Stride 2: cheaper.
+      gram_count[Hash64(s.data() + i, kGram)]++;
+    }
+  }
+
+  // Pass 2: score candidate segments (64-byte windows of samples) by the
+  // total frequency of the grams they cover; greedily take the best
+  // non-duplicate segments until the budget is filled.
+  constexpr size_t kSegment = 64;
+  struct Candidate {
+    uint64_t score;
+    const std::string* src;
+    size_t off;
+    size_t len;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& s : samples) {
+    for (size_t off = 0; off < s.size(); off += kSegment) {
+      size_t len = std::min(kSegment, s.size() - off);
+      if (len < kGram) continue;
+      uint64_t score = 0;
+      for (size_t i = off; i + kGram <= off + len; i += 2) {
+        auto it = gram_count.find(Hash64(s.data() + i, kGram));
+        if (it != gram_count.end() && it->second > 1) score += it->second;
+      }
+      if (score > 0) candidates.push_back({score, &s, off, len});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+
+  // Deduplicate near-identical segments via a content hash, then assemble
+  // least-frequent-first so the hottest content sits at the dictionary tail
+  // (smallest offsets).
+  std::unordered_map<uint64_t, bool> seen;
+  std::vector<std::string> picked;
+  size_t total = 0;
+  for (const auto& c : candidates) {
+    if (total >= dict_size) break;
+    uint64_t h = Hash64(c.src->data() + c.off, c.len);
+    if (seen.count(h)) continue;
+    seen[h] = true;
+    picked.emplace_back(c.src->substr(c.off, c.len));
+    total += c.len;
+  }
+  std::string dict;
+  dict.reserve(total);
+  for (auto it = picked.rbegin(); it != picked.rend(); ++it) dict.append(*it);
+  if (dict.size() > dict_size) dict = dict.substr(dict.size() - dict_size);
+  return dict;
+}
+
+ZliteCompressor::ZliteCompressor(bool use_dictionary,
+                                 const CompressorOptions& options)
+    : use_dictionary_(use_dictionary),
+      trained_(!use_dictionary),
+      options_(options),
+      codec_(options.level) {}
+
+std::string ZliteCompressor::name() const {
+  return use_dictionary_ ? "zlite-dict" : "zlite";
+}
+
+Status ZliteCompressor::Train(const std::vector<std::string>& samples) {
+  if (!use_dictionary_) return Status::OK();
+  if (samples.empty()) {
+    return Status::InvalidArgument("zlite-dict: empty training sample");
+  }
+  codec_.SetDictionary(TrainDictionary(samples, options_.dict_size));
+  trained_ = true;
+  return Status::OK();
+}
+
+Status ZliteCompressor::Compress(const Slice& input,
+                                 std::string* output) const {
+  if (!trained_) return Status::InvalidArgument("zlite-dict: not trained");
+  return codec_.Compress(input, output);
+}
+
+Status ZliteCompressor::Decompress(const Slice& input,
+                                   std::string* output) const {
+  if (!trained_) return Status::InvalidArgument("zlite-dict: not trained");
+  return codec_.Decompress(input, output);
+}
+
+}  // namespace tierbase

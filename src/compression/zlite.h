@@ -1,0 +1,95 @@
+// Zlite: a from-scratch LZ77-family byte compressor standing in for
+// Zstandard (which is not available offline in this environment). It
+// supports effort levels and pre-trained dictionaries, which is everything
+// the paper's evaluation exercises (Table 2, Fig 13a).
+//
+// Format (all varints little-endian base-128):
+//   varint64 original_size
+//   sequence*:
+//     varint32 literal_len, literal bytes,
+//     varint32 match_len   (0 terminates the stream; otherwise >= kMinMatch),
+//     varint32 offset      (distance back from current output position;
+//                           may reach into the pre-trained dictionary).
+//
+// Dictionary mode conceptually prepends the dictionary to the input: match
+// offsets may address dictionary bytes, so records sharing boilerplate with
+// the dictionary compress to near-nothing — the mechanism behind the
+// "pre-trained" gains of §4.2.
+
+#ifndef TIERBASE_COMPRESSION_ZLITE_H_
+#define TIERBASE_COMPRESSION_ZLITE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compression/compressor.h"
+
+namespace tierbase {
+
+/// Raw zlite block codec. Stateless aside from an optional dictionary.
+class ZliteCodec {
+ public:
+  static constexpr size_t kMinMatch = 4;
+  static constexpr size_t kMaxOffset = 1 << 20;  // 1 MiB back-reference cap.
+
+  explicit ZliteCodec(int level = 1) : level_(level) {}
+
+  /// Sets the dictionary (copied). Must match between compress/decompress.
+  void SetDictionary(std::string dict);
+  const std::string& dictionary() const { return dict_; }
+
+  int level() const { return level_; }
+  void set_level(int level) { level_ = level; }
+
+  Status Compress(const Slice& input, std::string* output) const;
+  Status Decompress(const Slice& input, std::string* output) const;
+
+ private:
+  /// Effort knobs derived from level.
+  struct Effort {
+    int max_chain;   // Hash-chain positions probed per match attempt.
+    bool lazy;       // One-step lazy matching.
+    size_t min_match;
+  };
+  Effort EffortForLevel() const;
+
+  int level_;
+  std::string dict_;
+};
+
+/// Compressor adapter: kZlite (no training) or kZliteDict (trains a
+/// dictionary from samples).
+class ZliteCompressor : public Compressor {
+ public:
+  ZliteCompressor(bool use_dictionary, const CompressorOptions& options);
+
+  CompressorType type() const override {
+    return use_dictionary_ ? CompressorType::kZliteDict
+                           : CompressorType::kZlite;
+  }
+  std::string name() const override;
+
+  Status Train(const std::vector<std::string>& samples) override;
+  bool trained() const override { return trained_; }
+
+  Status Compress(const Slice& input, std::string* output) const override;
+  Status Decompress(const Slice& input, std::string* output) const override;
+
+ private:
+  bool use_dictionary_;
+  bool trained_;
+  CompressorOptions options_;
+  ZliteCodec codec_;
+};
+
+/// Trains a dictionary from sample records: counts frequent fixed-width
+/// grams, then greedily selects covering segments from the samples until
+/// `dict_size` bytes are accumulated. Most frequent content is placed at
+/// the *end* of the dictionary (closest / cheapest offsets).
+std::string TrainDictionary(const std::vector<std::string>& samples,
+                            size_t dict_size);
+
+}  // namespace tierbase
+
+#endif  // TIERBASE_COMPRESSION_ZLITE_H_

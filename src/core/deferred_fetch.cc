@@ -1,0 +1,101 @@
+#include "core/deferred_fetch.h"
+
+#include <algorithm>
+
+namespace tierbase {
+
+DeferredFetcher::DeferredFetcher(StorageAdapter* storage,
+                                 DeferredFetchOptions options, Clock* clock)
+    : storage_(storage), options_(options), clock_(clock) {}
+
+Status DeferredFetcher::Fetch(const Slice& key, std::string* value) {
+  if (!options_.enabled) {
+    return storage_->Read(key, value);
+  }
+
+  std::shared_ptr<PendingKey> mine;
+  bool leader = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.fetches;
+    auto it = pending_.find(key.ToString());
+    if (it != pending_.end()) {
+      // Piggyback on an in-flight (or forming) batch containing this key.
+      mine = it->second;
+      ++mine->waiters;
+      ++stats_.shared;
+    } else {
+      mine = std::make_shared<PendingKey>();
+      mine->waiters = 1;
+      pending_.emplace(key.ToString(), mine);
+      if (!batch_leader_active_) {
+        batch_leader_active_ = true;
+        leader = true;
+      }
+    }
+  }
+
+  if (leader) {
+    // Give concurrent missers a short window to join the batch, then keep
+    // draining until no keys are pending (later joiners are picked up by a
+    // follow-on batch rather than stranded).
+    if (options_.batch_window_micros > 0) {
+      clock_->SleepMicros(options_.batch_window_micros);
+    }
+
+    while (true) {
+      std::vector<std::string> keys;
+      std::vector<std::shared_ptr<PendingKey>> entries;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto& [k, p] : pending_) {
+          if (p->done) continue;
+          if (keys.size() >= options_.max_batch) break;
+          keys.push_back(k);
+          entries.push_back(p);
+        }
+        if (keys.empty()) {
+          batch_leader_active_ = false;
+          break;
+        }
+      }
+
+      std::vector<std::string> values;
+      std::vector<bool> found;
+      Status s = storage_->MultiRead(keys, &values, &found);
+
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.batch_calls;
+        for (size_t i = 0; i < entries.size(); ++i) {
+          entries[i]->done = true;
+          if (s.ok()) {
+            entries[i]->found = found[i];
+            entries[i]->value = std::move(values[i]);
+          } else {
+            entries[i]->error = s;
+          }
+          pending_.erase(keys[i]);
+        }
+      }
+      cv_.notify_all();
+    }
+    cv_.notify_all();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return mine->done; });
+  }
+  if (!mine->error.ok()) return mine->error;
+  if (!mine->found) return Status::NotFound("");
+  *value = mine->value;
+  return Status::OK();
+}
+
+DeferredFetcher::Stats DeferredFetcher::GetStats() const {
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mu_));
+  return stats_;
+}
+
+}  // namespace tierbase

@@ -1,0 +1,60 @@
+// Deferred cache-fetching (paper §4.1.2): when concurrent operations miss
+// the cache, their storage reads are accumulated for a short window and
+// submitted as one batched MultiRead, "reducing read requests and
+// minimizing costs in both tiers".
+
+#ifndef TIERBASE_CORE_DEFERRED_FETCH_H_
+#define TIERBASE_CORE_DEFERRED_FETCH_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/options.h"
+#include "core/storage_adapter.h"
+
+namespace tierbase {
+
+class DeferredFetcher {
+ public:
+  DeferredFetcher(StorageAdapter* storage, DeferredFetchOptions options,
+                  Clock* clock = Clock::Real());
+
+  /// Fetches `key` from storage, sharing a batch with concurrent callers.
+  /// Returns NotFound when the key is absent from the storage tier.
+  Status Fetch(const Slice& key, std::string* value);
+
+  struct Stats {
+    uint64_t fetches = 0;
+    uint64_t batch_calls = 0;  // fetches/batch_calls = batching factor.
+    uint64_t shared = 0;       // Fetches that piggybacked on another's call.
+  };
+  Stats GetStats() const;
+
+ private:
+  struct PendingKey {
+    bool done = false;
+    bool found = false;
+    std::string value;
+    Status error;
+    int waiters = 0;
+  };
+
+  StorageAdapter* storage_;
+  DeferredFetchOptions options_;
+  Clock* clock_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, std::shared_ptr<PendingKey>> pending_;
+  bool batch_leader_active_ = false;
+  Stats stats_;
+};
+
+}  // namespace tierbase
+
+#endif  // TIERBASE_CORE_DEFERRED_FETCH_H_

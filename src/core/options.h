@@ -1,0 +1,74 @@
+// TierBase configuration. A "storage configuration s" in the cost model is
+// exactly one instance of these options; the cost optimization framework
+// (§5.3) iterates over candidate TierBaseOptions and measures each.
+
+#ifndef TIERBASE_CORE_OPTIONS_H_
+#define TIERBASE_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cache/hash_engine.h"
+#include "compression/compressor.h"
+
+namespace tierbase {
+
+/// How the cache tier synchronizes with the storage tier (paper §4.1), or
+/// persists on its own (§4.3 WAL modes, measured in Fig 8).
+enum class CachingPolicy {
+  kCacheOnly,      // Pure in-memory cache; no durability.
+  kWalFile,        // Cache + append-only WAL on disk, interval sync ("WAL").
+  kWalPmem,        // Cache + WAL on a PMem ring buffer ("WAL-PMem").
+  kWriteThrough,   // Tiered; storage updated synchronously ("wt").
+  kWriteBack,      // Tiered; storage updated in deferred batches ("wb").
+};
+
+const char* CachingPolicyName(CachingPolicy policy);
+
+enum class ReplicationMode {
+  kNone,
+  kMasterReplica,  // One in-process replica applied from an oplog.
+};
+
+struct WriteBackOptions {
+  /// Dirty-entry count that triggers an early flush.
+  size_t flush_threshold = 1024;
+  /// Maximum interval between batch flushes.
+  uint64_t flush_interval_micros = 50'000;
+  /// Maximum ops per storage batch.
+  size_t max_batch = 256;
+  /// Backpressure: writers block when this many entries are dirty.
+  size_t max_dirty = 8192;
+};
+
+struct DeferredFetchOptions {
+  bool enabled = true;
+  /// Collect concurrent misses for up to this long before issuing one
+  /// batched MultiRead to the storage tier.
+  uint64_t batch_window_micros = 200;
+  size_t max_batch = 64;
+};
+
+struct TierBaseOptions {
+  CachingPolicy policy = CachingPolicy::kCacheOnly;
+  ReplicationMode replication = ReplicationMode::kNone;
+
+  /// Cache-tier engine configuration (budget, shards, compressor, PMem).
+  cache::HashEngineOptions cache;
+
+  /// Directory for WAL files (kWalFile/kWalPmem backing log).
+  std::string wal_dir;
+  uint64_t wal_sync_interval_micros = 1'000'000;
+  /// PMem device for kWalPmem's ring buffer (not owned).
+  PmemDevice* wal_pmem_device = nullptr;
+
+  /// Populate cache on a storage-tier read hit (tiered policies).
+  bool populate_on_miss = true;
+
+  WriteBackOptions write_back;
+  DeferredFetchOptions deferred_fetch;
+};
+
+}  // namespace tierbase
+
+#endif  // TIERBASE_CORE_OPTIONS_H_

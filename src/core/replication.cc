@@ -1,0 +1,85 @@
+#include "core/replication.h"
+
+namespace tierbase {
+
+Replicator::Replicator(Options options) : options_(std::move(options)) {
+  replica_ = std::make_unique<cache::HashEngine>(options_.replica_engine);
+  apply_thread_ = std::thread(&Replicator::ApplyLoop, this);
+}
+
+Replicator::~Replicator() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  apply_cv_.notify_all();
+  space_cv_.notify_all();
+  if (apply_thread_.joinable()) apply_thread_.join();
+}
+
+void Replicator::Append(Op op) {
+  std::unique_lock<std::mutex> lock(mu_);
+  space_cv_.wait(lock, [this] {
+    return shutting_down_ || oplog_.size() < options_.max_lag_ops;
+  });
+  if (shutting_down_) return;
+  op.seq = next_seq_++;
+  oplog_.push_back(std::move(op));
+  apply_cv_.notify_one();
+}
+
+void Replicator::ReplicateSet(const Slice& key, const Slice& value) {
+  Append(Op{false, key.ToString(), value.ToString(), 0});
+}
+
+void Replicator::ReplicateDelete(const Slice& key) {
+  Append(Op{true, key.ToString(), "", 0});
+}
+
+void Replicator::ApplyLoop() {
+  while (true) {
+    Op op;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      apply_cv_.wait(lock, [this] {
+        return shutting_down_ || !oplog_.empty();
+      });
+      if (oplog_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      op = std::move(oplog_.front());
+      oplog_.pop_front();
+      space_cv_.notify_one();
+    }
+    if (op.is_delete) {
+      replica_->Delete(op.key);
+    } else {
+      replica_->Set(op.key, op.value);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      applied_seq_ = op.seq;
+      if (oplog_.empty()) caught_up_cv_.notify_all();
+    }
+  }
+}
+
+void Replicator::WaitCaughtUp() {
+  std::unique_lock<std::mutex> lock(mu_);
+  caught_up_cv_.wait(lock, [this] {
+    return shutting_down_ || oplog_.empty();
+  });
+}
+
+uint64_t Replicator::applied_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applied_seq_;
+}
+
+size_t Replicator::lag() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return oplog_.size();
+}
+
+}  // namespace tierbase

@@ -1,0 +1,71 @@
+// Master→replica replication for the cache tier (paper §4.1.2 "TierBase
+// maintains multiple replicas of dirty data and cache contents" and §6.4
+// "we implement a master-replica setup in the cache tier to ensure data
+// reliability"). Ops are appended to a bounded oplog and applied to the
+// replica engine by an apply thread; WaitCaughtUp() provides a sync point.
+
+#ifndef TIERBASE_CORE_REPLICATION_H_
+#define TIERBASE_CORE_REPLICATION_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "cache/hash_engine.h"
+
+namespace tierbase {
+
+class Replicator {
+ public:
+  struct Options {
+    size_t max_lag_ops = 16384;  // Oplog bound; appenders block beyond it.
+    cache::HashEngineOptions replica_engine;
+  };
+
+  Replicator() : Replicator(Options()) {}
+  explicit Replicator(Options options);
+  ~Replicator();
+
+  /// Appends one op to the oplog (blocking if the replica lags too far).
+  void ReplicateSet(const Slice& key, const Slice& value);
+  void ReplicateDelete(const Slice& key);
+
+  /// Blocks until the replica has applied everything appended so far.
+  void WaitCaughtUp();
+
+  const cache::HashEngine& replica() const { return *replica_; }
+  cache::HashEngine* mutable_replica() { return replica_.get(); }
+  uint64_t applied_ops() const;
+  size_t lag() const;
+
+ private:
+  struct Op {
+    bool is_delete;
+    std::string key;
+    std::string value;
+    uint64_t seq;
+  };
+
+  void ApplyLoop();
+  void Append(Op op);
+
+  Options options_;
+  std::unique_ptr<cache::HashEngine> replica_;
+
+  mutable std::mutex mu_;
+  std::condition_variable apply_cv_;
+  std::condition_variable space_cv_;
+  std::condition_variable caught_up_cv_;
+  std::deque<Op> oplog_;
+  uint64_t next_seq_ = 1;
+  uint64_t applied_seq_ = 0;
+  bool shutting_down_ = false;
+  std::thread apply_thread_;
+};
+
+}  // namespace tierbase
+
+#endif  // TIERBASE_CORE_REPLICATION_H_

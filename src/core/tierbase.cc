@@ -1,0 +1,426 @@
+#include "core/tierbase.h"
+
+#include "common/coding.h"
+#include "common/env.h"
+#include "common/logging.h"
+
+namespace tierbase {
+
+namespace {
+
+constexpr char kOpSet = 1;
+constexpr char kOpDelete = 0;
+
+std::string EncodeMutation(char op, const Slice& key, const Slice& value) {
+  std::string rec;
+  rec.push_back(op);
+  PutLengthPrefixedSlice(&rec, key);
+  PutLengthPrefixedSlice(&rec, value);
+  return rec;
+}
+
+bool DecodeMutation(const Slice& record, char* op, Slice* key, Slice* value) {
+  Slice in = record;
+  if (in.empty()) return false;
+  *op = in[0];
+  in.remove_prefix(1);
+  return GetLengthPrefixedSlice(&in, key) &&
+         GetLengthPrefixedSlice(&in, value);
+}
+
+}  // namespace
+
+const char* CachingPolicyName(CachingPolicy policy) {
+  switch (policy) {
+    case CachingPolicy::kCacheOnly: return "cache-only";
+    case CachingPolicy::kWalFile: return "wal";
+    case CachingPolicy::kWalPmem: return "wal-pmem";
+    case CachingPolicy::kWriteThrough: return "write-through";
+    case CachingPolicy::kWriteBack: return "write-back";
+  }
+  return "?";
+}
+
+TierBase::TierBase(const TierBaseOptions& options, StorageAdapter* storage)
+    : options_(options), storage_(storage) {}
+
+TierBase::~TierBase() {
+  // Flush write-back state before tearing anything down.
+  if (write_back_ != nullptr) write_back_->FlushAll();
+}
+
+std::string TierBase::name() const {
+  return std::string("tierbase-") + CachingPolicyName(options_.policy);
+}
+
+Result<std::unique_ptr<TierBase>> TierBase::Open(
+    const TierBaseOptions& options, StorageAdapter* storage) {
+  if ((options.policy == CachingPolicy::kWriteThrough ||
+       options.policy == CachingPolicy::kWriteBack) &&
+      storage == nullptr) {
+    return Status::InvalidArgument("tierbase: tiered policy needs storage");
+  }
+  if (options.policy == CachingPolicy::kWalPmem &&
+      options.wal_pmem_device == nullptr) {
+    return Status::InvalidArgument("tierbase: WAL-PMem needs a pmem device");
+  }
+  if ((options.policy == CachingPolicy::kWalFile ||
+       options.policy == CachingPolicy::kWalPmem) &&
+      options.wal_dir.empty()) {
+    return Status::InvalidArgument("tierbase: WAL policy needs wal_dir");
+  }
+  std::unique_ptr<TierBase> tb(new TierBase(options, storage));
+  Status s = tb->Init();
+  if (!s.ok()) return s;
+  return tb;
+}
+
+Status TierBase::Init() {
+  cache_ = std::make_unique<cache::HashEngine>(options_.cache);
+
+  if (options_.replication == ReplicationMode::kMasterReplica) {
+    Replicator::Options ropts;
+    ropts.replica_engine = options_.cache;
+    replicator_ = std::make_unique<Replicator>(ropts);
+  }
+
+  switch (options_.policy) {
+    case CachingPolicy::kCacheOnly:
+      break;
+
+    case CachingPolicy::kWalFile:
+    case CachingPolicy::kWalPmem: {
+      TIERBASE_RETURN_IF_ERROR(env::CreateDirIfMissing(options_.wal_dir));
+      if (options_.policy == CachingPolicy::kWalPmem) {
+        auto ring = PmemRingBuffer::Open(options_.wal_pmem_device);
+        if (!ring.ok()) return ring.status();
+        wal_ring_ = std::move(*ring);
+      }
+      TIERBASE_RETURN_IF_ERROR(RecoverFromWal());
+      break;
+    }
+
+    case CachingPolicy::kWriteThrough: {
+      write_through_ = std::make_unique<PerKeyCoalescer>(
+          [this](const Slice& key, const Slice& value, bool is_delete) {
+            return is_delete ? storage_->Delete(key)
+                             : storage_->Write(key, value);
+          });
+      fetcher_ = std::make_unique<DeferredFetcher>(storage_,
+                                                   options_.deferred_fetch);
+      break;
+    }
+
+    case CachingPolicy::kWriteBack: {
+      write_back_ = std::make_unique<WriteBackManager>(
+          storage_, options_.write_back);
+      fetcher_ = std::make_unique<DeferredFetcher>(storage_,
+                                                   options_.deferred_fetch);
+      // Dirty entries must stay cached until flushed (§4.1.2 reliability).
+      cache_->SetEvictionFilter([this](const Slice& key) {
+        return !write_back_->IsDirty(key);
+      });
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status TierBase::RecoverFromWal() {
+  const std::string wal_path = options_.wal_dir + "/tierbase.wal";
+
+  // Collect surviving records: backing file first (older), then the PMem
+  // ring (newest). Replay order preserves last-writer-wins.
+  std::vector<std::string> records;
+  if (env::FileExists(wal_path)) {
+    auto reader = lsm::WalReader::Open(wal_path);
+    if (reader.ok()) {
+      std::string rec;
+      while ((*reader)->ReadRecord(&rec)) records.push_back(rec);
+    }
+  }
+  if (wal_ring_ != nullptr) {
+    std::vector<std::string> batch;
+    do {
+      TIERBASE_RETURN_IF_ERROR(wal_ring_->Drain(1024, &batch));
+      for (auto& rec : batch) records.push_back(std::move(rec));
+    } while (!batch.empty());
+  }
+
+  // Fresh WAL (startup rewrite), then replay through the normal path so
+  // recovered state is re-logged compactly.
+  lsm::WalOptions wal_options;
+  wal_options.sync_mode = lsm::WalSyncMode::kInterval;
+  wal_options.sync_interval_micros = options_.wal_sync_interval_micros;
+  auto wal = lsm::WalWriter::Open(wal_path, wal_options);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(*wal);
+
+  for (const auto& rec : records) {
+    char op;
+    Slice key, value;
+    if (!DecodeMutation(rec, &op, &key, &value)) {
+      TB_LOG_WARN("tierbase: skipping corrupt WAL record during recovery");
+      continue;
+    }
+    TIERBASE_RETURN_IF_ERROR(LogMutation(key, value, op == kOpDelete));
+    if (op == kOpDelete) {
+      cache_->Delete(key);
+    } else {
+      TIERBASE_RETURN_IF_ERROR(cache_->Set(key, value));
+    }
+  }
+  return Status::OK();
+}
+
+Status TierBase::LogMutation(const Slice& key, const Slice& value,
+                             bool is_delete) {
+  std::string rec =
+      EncodeMutation(is_delete ? kOpDelete : kOpSet, key, value);
+  if (options_.policy == CachingPolicy::kWalFile) {
+    return wal_->AddRecord(rec);
+  }
+  // WAL-PMem: durable on the ring per record; batch-moved to the file when
+  // the ring fills (§4.3 "batch-moved to cloud storage").
+  Status s = wal_ring_->Append(rec);
+  if (s.IsBusy()) {
+    std::vector<std::string> batch;
+    TIERBASE_RETURN_IF_ERROR(wal_ring_->Drain(1024, &batch));
+    for (const auto& r : batch) {
+      TIERBASE_RETURN_IF_ERROR(wal_->AddRecord(r));
+    }
+    TIERBASE_RETURN_IF_ERROR(wal_->Sync());
+    s = wal_ring_->Append(rec);
+  }
+  return s;
+}
+
+Status TierBase::Set(const Slice& key, const Slice& value) {
+  return SetInternal(key, value, 0);
+}
+
+Status TierBase::SetEx(const Slice& key, const Slice& value,
+                       uint64_t ttl_micros) {
+  return SetInternal(key, value, ttl_micros);
+}
+
+Status TierBase::SetInternal(const Slice& key, const Slice& value,
+                             uint64_t ttl_micros) {
+  stats_sets_.fetch_add(1, std::memory_order_relaxed);
+
+  switch (options_.policy) {
+    case CachingPolicy::kCacheOnly:
+      TIERBASE_RETURN_IF_ERROR(cache_->SetEx(key, value, ttl_micros));
+      break;
+
+    case CachingPolicy::kWalFile:
+    case CachingPolicy::kWalPmem:
+      TIERBASE_RETURN_IF_ERROR(LogMutation(key, value, /*is_delete=*/false));
+      TIERBASE_RETURN_IF_ERROR(cache_->SetEx(key, value, ttl_micros));
+      break;
+
+    case CachingPolicy::kWriteThrough: {
+      // §4.1.1: the update is held in a temporary buffer (here: the
+      // coalescer's pending slot) and only applied to the main cache after
+      // the storage tier acknowledges; on failure the cache entry is
+      // invalidated so subsequent reads fetch the authoritative value.
+      Status s = write_through_->Write(key, value, /*is_delete=*/false);
+      if (!s.ok()) {
+        cache_->Delete(key);
+        return s;
+      }
+      TIERBASE_RETURN_IF_ERROR(cache_->SetEx(key, value, ttl_micros));
+      break;
+    }
+
+    case CachingPolicy::kWriteBack: {
+      // §4.1.2: update the cache immediately, defer the storage write.
+      Status s = cache_->SetEx(key, value, ttl_micros);
+      if (s.IsOutOfSpace()) {
+        // The cache is full of pinned dirty entries; skip the cache copy.
+        // The dirty buffer (replicated in production) serves reads until
+        // the batch flush lands, and MarkDirty's max_dirty backpressure —
+        // not a synchronous flush — bounds the backlog.
+        s = Status::OK();
+      }
+      TIERBASE_RETURN_IF_ERROR(s);
+      TIERBASE_RETURN_IF_ERROR(
+          write_back_->MarkDirty(key, value, /*is_delete=*/false));
+      break;
+    }
+  }
+
+  if (replicator_ != nullptr) replicator_->ReplicateSet(key, value);
+  return Status::OK();
+}
+
+Status TierBase::Get(const Slice& key, std::string* value) {
+  stats_gets_.fetch_add(1, std::memory_order_relaxed);
+
+  Status s = cache_->Get(key, value);
+  if (s.ok()) {
+    stats_hits_.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+  if (!s.IsNotFound()) return s;
+
+  if (!tiered()) {
+    stats_misses_.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotFound("");
+  }
+
+  // Write-back: consult the dirty buffer before declaring a miss — it is
+  // part of the cache tier (a dirty delete means the key is gone even if
+  // storage still has it; a dirty value may never have had a cache copy).
+  if (write_back_ != nullptr) {
+    std::string dirty_value;
+    bool dirty_delete = false;
+    if (write_back_->GetDirty(key, &dirty_value, &dirty_delete)) {
+      stats_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (dirty_delete) return Status::NotFound("");
+      *value = std::move(dirty_value);
+      return Status::OK();
+    }
+  }
+
+  stats_misses_.fetch_add(1, std::memory_order_relaxed);
+
+  s = fetcher_->Fetch(key, value);
+  if (!s.ok()) return s;
+
+  if (options_.populate_on_miss) {
+    // Populate without dirtying: this value is already durable in storage.
+    Status ps = cache_->Set(key, *value);
+    if (ps.ok()) {
+      stats_populates_.fetch_add(1, std::memory_order_relaxed);
+      if (replicator_ != nullptr) replicator_->ReplicateSet(key, *value);
+    }
+    // OutOfSpace here is fine — serving from storage still works.
+  }
+  return Status::OK();
+}
+
+Status TierBase::Delete(const Slice& key) {
+  switch (options_.policy) {
+    case CachingPolicy::kCacheOnly: {
+      Status s = cache_->Delete(key);
+      if (replicator_ != nullptr) replicator_->ReplicateDelete(key);
+      return s;
+    }
+    case CachingPolicy::kWalFile:
+    case CachingPolicy::kWalPmem: {
+      TIERBASE_RETURN_IF_ERROR(LogMutation(key, Slice(), /*is_delete=*/true));
+      Status s = cache_->Delete(key);
+      if (replicator_ != nullptr) replicator_->ReplicateDelete(key);
+      return s;
+    }
+    case CachingPolicy::kWriteThrough: {
+      Status s = write_through_->Write(key, Slice(), /*is_delete=*/true);
+      if (!s.ok()) {
+        cache_->Delete(key);  // Invalidate regardless.
+        return s;
+      }
+      cache_->Delete(key);
+      if (replicator_ != nullptr) replicator_->ReplicateDelete(key);
+      return Status::OK();
+    }
+    case CachingPolicy::kWriteBack: {
+      // Keep a tombstone in the dirty set; drop the cached value.
+      TIERBASE_RETURN_IF_ERROR(
+          write_back_->MarkDirty(key, Slice(), /*is_delete=*/true));
+      cache_->Delete(key);
+      if (replicator_ != nullptr) replicator_->ReplicateDelete(key);
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status TierBase::Cas(const Slice& key, const Slice& expected,
+                     const Slice& value, bool allow_create) {
+  // Tiered modes: fetch the authoritative value into the cache first
+  // (deferred cache-fetching path for update ops on missing keys, §4.1.2).
+  if (tiered() && !cache_->Exists(key)) {
+    bool dirty_delete = false;
+    std::string dirty_value;
+    bool have_dirty =
+        write_back_ != nullptr &&
+        write_back_->GetDirty(key, &dirty_value, &dirty_delete);
+    if (have_dirty && !dirty_delete) {
+      cache_->Set(key, dirty_value);
+    } else if (!have_dirty) {
+      std::string stored;
+      Status s = fetcher_->Fetch(key, &stored);
+      if (s.ok()) {
+        cache_->Set(key, stored);
+      } else if (!s.IsNotFound()) {
+        return s;
+      }
+    }
+  }
+
+  TIERBASE_RETURN_IF_ERROR(cache_->Cas(key, expected, value, allow_create));
+
+  // Propagate the accepted write like a Set.
+  switch (options_.policy) {
+    case CachingPolicy::kCacheOnly:
+      break;
+    case CachingPolicy::kWalFile:
+    case CachingPolicy::kWalPmem:
+      TIERBASE_RETURN_IF_ERROR(LogMutation(key, value, false));
+      break;
+    case CachingPolicy::kWriteThrough: {
+      Status s = write_through_->Write(key, value, false);
+      if (!s.ok()) {
+        cache_->Delete(key);
+        return s;
+      }
+      break;
+    }
+    case CachingPolicy::kWriteBack:
+      TIERBASE_RETURN_IF_ERROR(write_back_->MarkDirty(key, value, false));
+      break;
+  }
+  if (replicator_ != nullptr) replicator_->ReplicateSet(key, value);
+  return Status::OK();
+}
+
+UsageStats TierBase::GetUsage() const {
+  UsageStats usage = cache_->GetUsage();
+  if (replicator_ != nullptr) {
+    UsageStats replica = replicator_->replica().GetUsage();
+    usage.memory_bytes += replica.memory_bytes;
+    usage.pmem_bytes += replica.pmem_bytes;
+  }
+  if (wal_ != nullptr) usage.disk_bytes += wal_->size();
+  if (wal_ring_ != nullptr) {
+    usage.pmem_bytes +=
+        wal_ring_->data_capacity() - wal_ring_->free_bytes();
+  }
+  return usage;
+}
+
+Status TierBase::WaitIdle() {
+  if (write_back_ != nullptr) {
+    TIERBASE_RETURN_IF_ERROR(write_back_->FlushAll());
+  }
+  if (replicator_ != nullptr) replicator_->WaitCaughtUp();
+  if (wal_ != nullptr) TIERBASE_RETURN_IF_ERROR(wal_->Sync());
+  if (storage_ != nullptr) TIERBASE_RETURN_IF_ERROR(storage_->WaitIdle());
+  return Status::OK();
+}
+
+TierBase::Stats TierBase::GetStats() const {
+  Stats s;
+  s.gets = stats_gets_.load(std::memory_order_relaxed);
+  s.cache_hits = stats_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = stats_misses_.load(std::memory_order_relaxed);
+  s.sets = stats_sets_.load(std::memory_order_relaxed);
+  s.storage_populates = stats_populates_.load(std::memory_order_relaxed);
+  if (write_through_ != nullptr) s.write_through = write_through_->GetStats();
+  if (write_back_ != nullptr) s.write_back = write_back_->GetStats();
+  if (fetcher_ != nullptr) s.deferred_fetch = fetcher_->GetStats();
+  return s;
+}
+
+}  // namespace tierbase

@@ -1,0 +1,119 @@
+// TierBase: the paper's primary contribution — a tiered key-value store
+// that synchronizes data between a fast cache tier (hash engine over
+// DRAM/PMem) and a capacity-oriented storage tier (LSM engine behind a
+// pluggable adapter), under a configurable caching policy:
+//
+//   kCacheOnly     pure in-memory store (Redis/Memcached comparison mode)
+//   kWalFile       cache + append-only WAL on disk   (Fig 8 "WAL")
+//   kWalPmem       cache + WAL on PMem ring buffer   (Fig 8 "WAL-PMem")
+//   kWriteThrough  tiered, synchronous storage update (Fig 8 "wt")
+//   kWriteBack     tiered, deferred batched storage update (Fig 8 "wb")
+//
+// Write-through uses per-key write queues and write coalescing (§4.1.1);
+// write-back uses dirty tracking with batched merged flushes, backpressure,
+// and deferred cache-fetching (§4.1.2). An optional in-process replica
+// models the dual-replica reliability configuration of §6.4. Value
+// compression (§4.2) and PMem placement (§4.3) are configured through the
+// embedded cache engine options.
+
+#ifndef TIERBASE_CORE_TIERBASE_H_
+#define TIERBASE_CORE_TIERBASE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "cache/hash_engine.h"
+#include "core/deferred_fetch.h"
+#include "core/options.h"
+#include "core/replication.h"
+#include "core/storage_adapter.h"
+#include "core/write_back.h"
+#include "core/write_through.h"
+#include "lsm/wal.h"
+#include "pmem/ring_buffer.h"
+
+namespace tierbase {
+
+class TierBase : public KvEngine {
+ public:
+  /// `storage` is required for tiered policies (kWriteThrough/kWriteBack)
+  /// and ignored otherwise; not owned.
+  static Result<std::unique_ptr<TierBase>> Open(const TierBaseOptions& options,
+                                                StorageAdapter* storage);
+  ~TierBase() override;
+
+  std::string name() const override;
+
+  // --- KvEngine. ---
+  Status Set(const Slice& key, const Slice& value) override;
+  Status Get(const Slice& key, std::string* value) override;
+  Status Delete(const Slice& key) override;
+  UsageStats GetUsage() const override;
+  Status WaitIdle() override;
+
+  // --- Extensions. ---
+  Status SetEx(const Slice& key, const Slice& value, uint64_t ttl_micros);
+  /// Compare-and-set; in tiered modes a cache miss triggers a (deferred)
+  /// fetch before comparing, per §4.1.2's update-on-missing-key path.
+  Status Cas(const Slice& key, const Slice& expected, const Slice& value,
+             bool allow_create = false);
+
+  /// The cache-tier engine (rich data-type ops are reachable here; they are
+  /// cache-tier-only in this reproduction).
+  cache::HashEngine* cache() { return cache_.get(); }
+  StorageAdapter* storage() { return storage_; }
+
+  struct Stats {
+    uint64_t gets = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;     // Misses that consulted storage.
+    uint64_t sets = 0;
+    uint64_t storage_populates = 0;
+    PerKeyCoalescer::Stats write_through;
+    WriteBackManager::Stats write_back;
+    DeferredFetcher::Stats deferred_fetch;
+  };
+  Stats GetStats() const;
+
+  double hit_ratio() const {
+    uint64_t h = stats_hits_.load(), m = stats_misses_.load();
+    return h + m == 0 ? 0.0 : static_cast<double>(h) / (h + m);
+  }
+
+ private:
+  TierBase(const TierBaseOptions& options, StorageAdapter* storage);
+
+  Status Init();
+  Status RecoverFromWal();
+  Status LogMutation(const Slice& key, const Slice& value, bool is_delete);
+  Status SetInternal(const Slice& key, const Slice& value,
+                     uint64_t ttl_micros);
+  bool tiered() const {
+    return options_.policy == CachingPolicy::kWriteThrough ||
+           options_.policy == CachingPolicy::kWriteBack;
+  }
+
+  TierBaseOptions options_;
+  StorageAdapter* storage_;
+
+  std::unique_ptr<cache::HashEngine> cache_;
+  std::unique_ptr<PerKeyCoalescer> write_through_;
+  std::unique_ptr<WriteBackManager> write_back_;
+  std::unique_ptr<DeferredFetcher> fetcher_;
+  std::unique_ptr<Replicator> replicator_;
+
+  // WAL persistence modes.
+  std::unique_ptr<lsm::WalWriter> wal_;
+  std::unique_ptr<PmemRingBuffer> wal_ring_;
+
+  std::atomic<uint64_t> stats_gets_{0};
+  std::atomic<uint64_t> stats_hits_{0};
+  std::atomic<uint64_t> stats_misses_{0};
+  std::atomic<uint64_t> stats_sets_{0};
+  std::atomic<uint64_t> stats_populates_{0};
+};
+
+}  // namespace tierbase
+
+#endif  // TIERBASE_CORE_TIERBASE_H_

@@ -1,0 +1,157 @@
+#include "core/write_back.h"
+
+#include <chrono>
+#include <vector>
+
+namespace tierbase {
+
+WriteBackManager::WriteBackManager(StorageAdapter* storage,
+                                   WriteBackOptions options, Clock* clock)
+    : storage_(storage), options_(options), clock_(clock) {
+  flusher_ = std::thread(&WriteBackManager::FlusherLoop, this);
+}
+
+WriteBackManager::~WriteBackManager() {
+  FlushAll();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  flush_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+Status WriteBackManager::MarkDirty(const Slice& key, const Slice& value,
+                                   bool is_delete) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!flush_error_.ok()) return flush_error_;
+
+  // Backpressure: block while the dirty set is at capacity (§4.1.2 "a
+  // backpressure mechanism is activated when dirty data approaches a
+  // predefined threshold").
+  while (dirty_.size() >= options_.max_dirty &&
+         dirty_.find(key.ToString()) == dirty_.end()) {
+    ++stats_.backpressure_waits;
+    flush_cv_.notify_all();
+    space_cv_.wait(lock);
+    if (!flush_error_.ok()) return flush_error_;
+  }
+
+  ++stats_.updates;
+  auto [it, inserted] = dirty_.try_emplace(key.ToString());
+  if (!inserted) ++stats_.merged_updates;
+  it->second.value = value.ToString();
+  it->second.is_delete = is_delete;
+  it->second.gen = next_gen_++;
+
+  if (dirty_.size() >= options_.flush_threshold) {
+    flush_cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+bool WriteBackManager::IsDirty(const Slice& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dirty_.find(key.ToString()) != dirty_.end();
+}
+
+bool WriteBackManager::GetDirty(const Slice& key, std::string* value,
+                                bool* is_delete) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dirty_.find(key.ToString());
+  if (it == dirty_.end()) return false;
+  *value = it->second.value;
+  *is_delete = it->second.is_delete;
+  return true;
+}
+
+Result<size_t> WriteBackManager::FlushBatch() {
+  // Snapshot a batch under the lock, write it outside, then remove entries
+  // that were not re-dirtied during the write.
+  std::vector<StorageAdapter::BatchOp> batch;
+  std::vector<std::pair<std::string, uint64_t>> taken;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, entry] : dirty_) {
+      if (batch.size() >= options_.max_batch) break;
+      batch.push_back({key, entry.value, entry.is_delete});
+      taken.emplace_back(key, entry.gen);
+    }
+  }
+  if (batch.empty()) return size_t{0};
+
+  Status s = storage_->WriteBatch(batch);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!s.ok()) {
+    // Leave entries dirty; record the error so writers observe it.
+    flush_error_ = s;
+    space_cv_.notify_all();
+    return s;
+  }
+  for (const auto& [key, gen] : taken) {
+    auto it = dirty_.find(key);
+    if (it != dirty_.end() && it->second.gen == gen) {
+      dirty_.erase(it);
+    }
+  }
+  ++stats_.flush_batches;
+  stats_.flushed_ops += batch.size();
+  space_cv_.notify_all();
+  if (dirty_.empty()) clean_cv_.notify_all();
+  return batch.size();
+}
+
+void WriteBackManager::FlusherLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      flush_cv_.wait_for(
+          lock, std::chrono::microseconds(options_.flush_interval_micros),
+          [this] {
+            return shutting_down_ ||
+                   dirty_.size() >= options_.flush_threshold;
+          });
+      if (shutting_down_ && dirty_.empty()) return;
+      if (!flush_error_.ok()) return;
+    }
+    Result<size_t> flushed = FlushBatch();
+    if (!flushed.ok()) return;
+    // Keep draining without sleeping while there is a backlog.
+    while (flushed.ok() && *flushed > 0) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (dirty_.size() < options_.flush_threshold && !shutting_down_) {
+          break;
+        }
+      }
+      flushed = FlushBatch();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutting_down_ && dirty_.empty()) return;
+      if (!flush_error_.ok()) return;
+    }
+  }
+}
+
+Status WriteBackManager::FlushAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!dirty_.empty() && flush_error_.ok() && !shutting_down_) {
+    flush_cv_.notify_all();
+    clean_cv_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+  return flush_error_;
+}
+
+size_t WriteBackManager::dirty_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dirty_.size();
+}
+
+WriteBackManager::Stats WriteBackManager::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace tierbase

@@ -1,0 +1,85 @@
+// Write-back machinery (paper §4.1.2): dirty tracking, deferred batched
+// flushes with per-key update merging, interval-bounded staleness, and a
+// backpressure mechanism when dirty data approaches its cap.
+
+#ifndef TIERBASE_CORE_WRITE_BACK_H_
+#define TIERBASE_CORE_WRITE_BACK_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "core/options.h"
+#include "core/storage_adapter.h"
+
+namespace tierbase {
+
+class WriteBackManager {
+ public:
+  WriteBackManager(StorageAdapter* storage, WriteBackOptions options,
+                   Clock* clock = Clock::Real());
+  ~WriteBackManager();
+
+  /// Records a dirty update (latest value wins — multiple updates to the
+  /// same key merge into one storage op, "Optimizing Update" in §4.1.2).
+  /// Blocks when max_dirty is reached (backpressure).
+  Status MarkDirty(const Slice& key, const Slice& value, bool is_delete);
+
+  /// True while the key has an unflushed update; such keys must not be
+  /// evicted from the cache (the eviction filter consults this).
+  bool IsDirty(const Slice& key) const;
+
+  /// Reads the dirty (not yet flushed) value if present. Lets reads see
+  /// pending writes without touching storage.
+  bool GetDirty(const Slice& key, std::string* value, bool* is_delete) const;
+
+  /// Flushes everything and blocks until clean (shutdown, WaitIdle).
+  Status FlushAll();
+
+  size_t dirty_count() const;
+
+  struct Stats {
+    uint64_t updates = 0;
+    uint64_t merged_updates = 0;   // Updates absorbed by a pending entry.
+    uint64_t flush_batches = 0;
+    uint64_t flushed_ops = 0;
+    uint64_t backpressure_waits = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct DirtyEntry {
+    std::string value;
+    bool is_delete = false;
+    uint64_t gen = 0;
+  };
+
+  void FlusherLoop();
+  /// Takes up to max_batch dirty entries and writes them as one batch.
+  /// Returns number flushed.
+  Result<size_t> FlushBatch();
+
+  StorageAdapter* storage_;
+  WriteBackOptions options_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable flush_cv_;     // Wakes the flusher.
+  std::condition_variable space_cv_;     // Wakes backpressured writers.
+  std::condition_variable clean_cv_;     // Signals "all clean".
+  std::unordered_map<std::string, DirtyEntry> dirty_;
+  uint64_t next_gen_ = 1;
+  bool shutting_down_ = false;
+  bool flush_in_progress_ = false;
+
+  std::thread flusher_;
+  Stats stats_;
+  Status flush_error_;
+};
+
+}  // namespace tierbase
+
+#endif  // TIERBASE_CORE_WRITE_BACK_H_

@@ -1,0 +1,89 @@
+#include "core/write_through.h"
+
+#include <algorithm>
+
+namespace tierbase {
+
+Status PerKeyCoalescer::Write(const Slice& key, const Slice& value,
+                              bool is_delete) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++submitted_;
+
+  std::string key_str = key.ToString();
+  auto it = keys_.find(key_str);
+  if (it == keys_.end()) {
+    it = keys_.emplace(key_str, std::make_unique<KeyState>()).first;
+  }
+  KeyState* ks = it->second.get();
+  const uint64_t my_gen = ks->next_gen++;
+  ++ks->waiters;
+
+  Status result;
+  if (coalesce_) {
+    ks->latest_value = value.ToString();
+    ks->latest_is_delete = is_delete;
+    ks->latest_gen = my_gen;
+    ks->pending = true;
+
+    if (!ks->in_flight) {
+      // Leader: flush the latest pending value until none is newer. Each
+      // storage write covers every generation at or below the one written.
+      ks->in_flight = true;
+      while (ks->pending) {
+        std::string v = ks->latest_value;
+        bool d = ks->latest_is_delete;
+        uint64_t g = ks->latest_gen;
+        ks->pending = false;
+        lock.unlock();
+        Status s = write_fn_(key_str, v, d);
+        lock.lock();
+        ++storage_writes_;
+        if (s.ok()) {
+          ks->flushed_gen = std::max(ks->flushed_gen, g);
+        } else {
+          ks->last_error = s;
+        }
+        ks->processed_gen = std::max(ks->processed_gen, g);
+        ks->cv.notify_all();
+      }
+      ks->in_flight = false;
+      ks->cv.notify_all();
+    } else {
+      ks->cv.wait(lock, [&] { return ks->processed_gen >= my_gen; });
+    }
+    result = ks->flushed_gen >= my_gen
+                 ? Status::OK()
+                 : (ks->last_error.ok()
+                        ? Status::IOError("write-through failed")
+                        : ks->last_error);
+  } else {
+    // No coalescing: one storage write per update, per-key FIFO order.
+    std::string v = value.ToString();
+    ks->cv.wait(lock, [&] {
+      return ks->processed_gen == my_gen - 1 && !ks->in_flight;
+    });
+    ks->in_flight = true;
+    lock.unlock();
+    Status s = write_fn_(key_str, v, is_delete);
+    lock.lock();
+    ++storage_writes_;
+    ks->processed_gen = my_gen;
+    if (s.ok()) ks->flushed_gen = my_gen;
+    ks->in_flight = false;
+    ks->cv.notify_all();
+    result = s;
+  }
+
+  --ks->waiters;
+  if (ks->waiters == 0 && !ks->in_flight && !ks->pending) {
+    keys_.erase(key_str);
+  }
+  return result;
+}
+
+PerKeyCoalescer::Stats PerKeyCoalescer::GetStats() const {
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mu_));
+  return Stats{submitted_, storage_writes_};
+}
+
+}  // namespace tierbase

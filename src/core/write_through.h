@@ -1,0 +1,75 @@
+// Write-through machinery (paper §4.1.1): per-key write queues keep
+// sequential order, and write coalescing merges concurrent writes to the
+// same key into one storage update ("similar to group commit"), lowering
+// the miss penalty PC_miss.
+//
+// PerKeyCoalescer: callers submit (key, value, generation). The first
+// caller for a key becomes the leader: it repeatedly pushes the *latest*
+// pending value to storage until no newer value is pending. Every caller
+// returns once a storage write covering a generation >= its own has
+// succeeded, preserving write-through semantics while collapsing redundant
+// storage updates.
+
+#ifndef TIERBASE_CORE_WRITE_THROUGH_H_
+#define TIERBASE_CORE_WRITE_THROUGH_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace tierbase {
+
+class PerKeyCoalescer {
+ public:
+  /// Pushes one (key, value-or-delete) to the storage tier.
+  using StorageWriteFn =
+      std::function<Status(const Slice& key, const Slice& value,
+                           bool is_delete)>;
+
+  explicit PerKeyCoalescer(StorageWriteFn write_fn, bool coalesce = true)
+      : write_fn_(std::move(write_fn)), coalesce_(coalesce) {}
+
+  /// Write-through one update. Returns after a storage write covering this
+  /// update (or a newer one for the same key) succeeds; on storage failure
+  /// returns the error.
+  Status Write(const Slice& key, const Slice& value, bool is_delete);
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t storage_writes = 0;  // submitted - storage_writes = coalesced.
+  };
+  Stats GetStats() const;
+
+ private:
+  struct KeyState {
+    uint64_t next_gen = 1;
+    uint64_t flushed_gen = 0;    // Highest generation durably in storage.
+    uint64_t processed_gen = 0;  // Highest generation whose write finished.
+    bool in_flight = false;
+    bool pending = false;       // A newer value awaits flush.
+    std::string latest_value;
+    bool latest_is_delete = false;
+    uint64_t latest_gen = 0;
+    Status last_error;
+    int waiters = 0;
+    std::condition_variable cv;
+  };
+
+  StorageWriteFn write_fn_;
+  bool coalesce_;
+
+  std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<KeyState>> keys_;
+  uint64_t submitted_ = 0;
+  uint64_t storage_writes_ = 0;
+};
+
+}  // namespace tierbase
+
+#endif  // TIERBASE_CORE_WRITE_THROUGH_H_

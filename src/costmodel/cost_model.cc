@@ -1,0 +1,113 @@
+#include "costmodel/cost_model.h"
+
+#include <algorithm>
+
+namespace tierbase {
+namespace costmodel {
+
+ResourceInstance StandardContainer() {
+  return {"standard-1c4g", 1.0, 1, 4ULL << 30, 0, 0};
+}
+
+ResourceInstance MultiThreadContainer() {
+  return {"multi-4c16g", 4.0, 4, 16ULL << 30, 0, 0};
+}
+
+ResourceInstance PmemContainer() {
+  // 8 GB of PMem at ~2/5 DRAM price/GB (the Optane-era street ratio) on
+  // top of the standard container: 1.0 + 8 GB * (0.25/GB * 0.4) = 1.8.
+  // Priced so PMem beats raw DRAM on space but a strong compressor (PBC)
+  // beats PMem — the ordering behind the paper's Table 3 intervals.
+  return {"pmem-1c4g8p", 1.8, 1, 4ULL << 30, 8ULL << 30, 0};
+}
+
+ResourceInstance DiskContainer() {
+  return {"disk-4c16g512d", 4.5, 4, 16ULL << 30, 0, 512ULL << 30};
+}
+
+CostMetrics ComputeMetrics(const ResourceInstance& instance,
+                           const CapacityProfile& capacity) {
+  CostMetrics m;
+  if (capacity.max_perf_qps > 0) m.cpqps = instance.cost / capacity.max_perf_qps;
+  if (capacity.max_space_bytes > 0) {
+    m.cpgb = instance.cost /
+             (capacity.max_space_bytes / static_cast<double>(1ULL << 30));
+  }
+  return m;
+}
+
+CostBreakdown ComputeCost(const ResourceInstance& instance,
+                          const CapacityProfile& capacity,
+                          const WorkloadDemand& demand, double perf_tolerance,
+                          double space_tolerance, double replication_factor) {
+  CostBreakdown out;
+  if (capacity.max_perf_qps > 0) {
+    out.pc = instance.cost * (demand.qps * perf_tolerance) /
+             capacity.max_perf_qps;
+  }
+  if (capacity.max_space_bytes > 0) {
+    out.sc = instance.cost *
+             (demand.data_bytes * space_tolerance * replication_factor) /
+             capacity.max_space_bytes;
+  }
+  out.cost = std::max(out.pc, out.sc);
+  return out;
+}
+
+CostBreakdown ComputeCostCeil(const ResourceInstance& instance,
+                              const CapacityProfile& capacity,
+                              const WorkloadDemand& demand) {
+  CostBreakdown out;
+  if (capacity.max_perf_qps > 0) {
+    out.pc = instance.cost * std::ceil(demand.qps / capacity.max_perf_qps);
+  }
+  if (capacity.max_space_bytes > 0) {
+    out.sc = instance.cost *
+             std::ceil(demand.data_bytes / capacity.max_space_bytes);
+  }
+  out.cost = std::max(out.pc, out.sc);
+  return out;
+}
+
+size_t ArgminTotalCost(const std::vector<ConfigCost>& configs) {
+  size_t best = 0;
+  for (size_t i = 1; i < configs.size(); ++i) {
+    if (configs[i].cost.cost < configs[best].cost.cost) best = i;
+  }
+  return best;
+}
+
+size_t ArgminCostImbalance(const std::vector<ConfigCost>& configs) {
+  size_t best = 0;
+  double best_diff = std::abs(configs[0].cost.pc - configs[0].cost.sc);
+  for (size_t i = 1; i < configs.size(); ++i) {
+    double diff = std::abs(configs[i].cost.pc - configs[i].cost.sc);
+    if (diff < best_diff) {
+      best_diff = diff;
+      best = i;
+    }
+  }
+  return best;
+}
+
+WorkloadClass Classify(const CostBreakdown& cost, double balance_slack) {
+  if (cost.pc == 0 && cost.sc == 0) return WorkloadClass::kBalanced;
+  double hi = std::max(cost.pc, cost.sc);
+  if (std::abs(cost.pc - cost.sc) <= balance_slack * hi) {
+    return WorkloadClass::kBalanced;
+  }
+  return cost.pc > cost.sc ? WorkloadClass::kPerformanceCritical
+                           : WorkloadClass::kSpaceCritical;
+}
+
+const char* WorkloadClassName(WorkloadClass c) {
+  switch (c) {
+    case WorkloadClass::kPerformanceCritical: return "performance-critical";
+    case WorkloadClass::kSpaceCritical: return "space-critical";
+    case WorkloadClass::kBalanced: return "balanced";
+  }
+  return "?";
+}
+
+}  // namespace costmodel
+}  // namespace tierbase

@@ -1,0 +1,105 @@
+// Space-Performance Cost Model (paper §2).
+//
+// Definitions implemented here:
+//   Def. 1  C(w,i,s) = max(PC, SC) with
+//           PC = Cost(i) * ceil(QPS(w) / MaxPerf(w,i,s))
+//           SC = Cost(i) * ceil(DataSize(w) / MaxSpace(w,i,s))
+//   Def. 2  CPQPS = Cost(i)/MaxPerf,  CPGB = Cost(i)/MaxSpace,
+//           C = max(CPQPS*QPS, CPGB*DataSize)         (Eq. 2, smooth form)
+//   Thm 2.1 the optimal configuration minimizes max(PC,SC), equivalently
+//           (on a space-performance trade-off curve) |PC - SC|.
+//
+// Costs are in abstract "standard container" units: the paper normalizes
+// to a 1-core / 4 GB container at cost 1.0 (§6.4.1).
+
+#ifndef TIERBASE_COSTMODEL_COST_MODEL_H_
+#define TIERBASE_COSTMODEL_COST_MODEL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tierbase {
+namespace costmodel {
+
+/// A resource instance type: the unit of allocation (paper §2.1, "resource
+/// instances … provided with pre-defined allocations").
+struct ResourceInstance {
+  std::string name;
+  double cost = 1.0;  // Monetary cost per instance, standard-container units.
+  int cpu_cores = 1;
+  uint64_t dram_bytes = 4ULL << 30;
+  uint64_t pmem_bytes = 0;
+  uint64_t disk_bytes = 0;
+};
+
+/// §6.1 instance presets. Pricing constants (documented substitutions):
+/// PMem at ~1/4 the per-GB price of DRAM, SSD at ~1/40.
+ResourceInstance StandardContainer();     // 1 core, 4 GB — cost 1.0.
+ResourceInstance MultiThreadContainer();  // 4 cores, 16 GB — cost 4.0.
+ResourceInstance PmemContainer();         // 1 core, 4 GB + 16 GB PMem — 1.5.
+ResourceInstance DiskContainer();   // 4 cores, 16 GB + 512 GB SSD — 4.5.
+
+/// The workload's demands (QPS(w), DataSize(w)).
+struct WorkloadDemand {
+  double qps = 0;
+  double data_bytes = 0;
+};
+
+/// Measured capacity of one (instance, configuration) pair.
+struct CapacityProfile {
+  double max_perf_qps = 0;     // MaxPerf(w, i, s).
+  double max_space_bytes = 0;  // MaxSpace(w, i, s).
+};
+
+/// Def. 2 cost metrics.
+struct CostMetrics {
+  double cpqps = 0;  // Cost per query-per-second.
+  double cpgb = 0;   // Cost per GB of payload.
+};
+
+CostMetrics ComputeMetrics(const ResourceInstance& instance,
+                           const CapacityProfile& capacity);
+
+struct CostBreakdown {
+  double pc = 0;    // Performance cost.
+  double sc = 0;    // Space cost.
+  double cost = 0;  // max(pc, sc)  (Def. 1 / Eq. 2).
+};
+
+/// Smooth (Def. 2 / Eq. 2) form — the one used for all paper figures.
+/// `tolerance` head-room ratios inflate demand for redundancy (§2.1);
+/// `replication_factor` multiplies the space demand (dual-replica setups).
+CostBreakdown ComputeCost(const ResourceInstance& instance,
+                          const CapacityProfile& capacity,
+                          const WorkloadDemand& demand,
+                          double perf_tolerance = 1.0,
+                          double space_tolerance = 1.0,
+                          double replication_factor = 1.0);
+
+/// Integral (ceil) form of Def. 1 — whole instances must be provisioned.
+CostBreakdown ComputeCostCeil(const ResourceInstance& instance,
+                              const CapacityProfile& capacity,
+                              const WorkloadDemand& demand);
+
+/// A named candidate configuration with its computed cost.
+struct ConfigCost {
+  std::string name;
+  CostBreakdown cost;
+};
+
+/// Theorem 2.1: index of the configuration minimizing max(PC, SC).
+size_t ArgminTotalCost(const std::vector<ConfigCost>& configs);
+/// Theorem 2.1 (second form): index minimizing |PC - SC|.
+size_t ArgminCostImbalance(const std::vector<ConfigCost>& configs);
+
+/// Workload classification (§2.1 / Fig. 2a).
+enum class WorkloadClass { kPerformanceCritical, kSpaceCritical, kBalanced };
+WorkloadClass Classify(const CostBreakdown& cost, double balance_slack = 0.05);
+const char* WorkloadClassName(WorkloadClass c);
+
+}  // namespace costmodel
+}  // namespace tierbase
+
+#endif  // TIERBASE_COSTMODEL_COST_MODEL_H_

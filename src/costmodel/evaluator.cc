@@ -1,0 +1,112 @@
+#include "costmodel/evaluator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tierbase {
+namespace costmodel {
+
+EvaluationResult CostEvaluator::Evaluate(const std::string& config_name,
+                                         KvEngine* engine,
+                                         const ResourceInstance& instance,
+                                         const EvaluationInput& input) {
+  EvaluationResult result;
+  result.config_name = config_name;
+
+  // --- Load phase: install the sampled data snapshot. ---
+  double payload = 0;
+  for (uint64_t i = 0; i < input.preload_keys; ++i) {
+    std::string key = workload::KeyFor(i);
+    std::string value = workload::MakeRecord(input.trace.dataset, i);
+    payload += static_cast<double>(key.size() + value.size());
+    engine->Set(key, value);  // Best-effort; errors surface during replay.
+  }
+  engine->WaitIdle();
+
+  // --- Replay phase: drive the recorded trace at full speed. ---
+  result.replay = workload::ReplayTrace(engine, input.trace,
+                                        input.replay_threads);
+  engine->WaitIdle();
+
+  // Account for payload added by trace writes to keys beyond the preload.
+  std::unordered_set<uint64_t> extra_keys;
+  for (const auto& op : input.trace.ops) {
+    if (op.type != workload::OpType::kRead &&
+        op.key_index >= input.preload_keys) {
+      extra_keys.insert(op.key_index);
+    }
+  }
+  for (uint64_t k : extra_keys) {
+    payload += static_cast<double>(
+        workload::KeyFor(k).size() +
+        workload::MakeRecord(input.trace.dataset, k).size());
+  }
+  result.payload_bytes = payload;
+
+  // --- Calculate phase. ---
+  result.usage = engine->GetUsage();
+  result.capacity.max_perf_qps = result.replay.throughput;
+
+  // MaxSpace: the payload volume at which the first instance resource is
+  // exhausted, extrapolating the measured expansion factor per resource.
+  double max_space = std::numeric_limits<double>::infinity();
+  if (payload > 0) {
+    if (result.usage.memory_bytes > 0 && instance.dram_bytes > 0) {
+      result.expansion_dram =
+          static_cast<double>(result.usage.memory_bytes) / payload;
+      max_space = std::min(
+          max_space, static_cast<double>(instance.dram_bytes) /
+                         result.expansion_dram);
+    }
+    if (result.usage.pmem_bytes > 0) {
+      result.expansion_pmem =
+          static_cast<double>(result.usage.pmem_bytes) / payload;
+      if (instance.pmem_bytes > 0) {
+        max_space = std::min(
+            max_space, static_cast<double>(instance.pmem_bytes) /
+                           result.expansion_pmem);
+      }
+    }
+    if (result.usage.disk_bytes > 0 && instance.disk_bytes > 0) {
+      result.expansion_disk =
+          static_cast<double>(result.usage.disk_bytes) / payload;
+      max_space = std::min(
+          max_space,
+          static_cast<double>(instance.disk_bytes) / result.expansion_disk);
+    }
+  }
+  if (!std::isfinite(max_space)) max_space = 0;
+  result.capacity.max_space_bytes = max_space;
+
+  result.metrics = ComputeMetrics(instance, result.capacity);
+  result.cost = ComputeCost(instance, result.capacity, input.demand,
+                            input.perf_tolerance, input.space_tolerance,
+                            input.replication_factor);
+  return result;
+}
+
+CostEvaluator::Sweep CostEvaluator::Iterate(
+    const std::vector<Candidate>& candidates, const EvaluationInput& input) {
+  Sweep sweep;
+  for (const auto& candidate : candidates) {
+    EvaluationInput per_candidate = input;
+    if (candidate.replay_threads > 0) {
+      per_candidate.replay_threads = candidate.replay_threads;
+    }
+    if (candidate.replication_factor > 0) {
+      per_candidate.replication_factor = candidate.replication_factor;
+    }
+    auto engine = candidate.make_engine();
+    sweep.results.push_back(Evaluate(candidate.name, engine.get(),
+                                     candidate.instance, per_candidate));
+  }
+  for (size_t i = 1; i < sweep.results.size(); ++i) {
+    if (sweep.results[i].cost.cost < sweep.results[sweep.best].cost.cost) {
+      sweep.best = i;
+    }
+  }
+  return sweep;
+}
+
+}  // namespace costmodel
+}  // namespace tierbase

@@ -1,0 +1,73 @@
+#include "costmodel/five_minute_rule.h"
+
+#include <algorithm>
+
+namespace tierbase {
+namespace costmodel {
+
+double ClassicBreakEvenSeconds(double pages_per_mb_ram,
+                               double accesses_per_second_per_disk,
+                               double price_per_disk_drive,
+                               double price_per_mb_ram) {
+  if (accesses_per_second_per_disk <= 0 || price_per_mb_ram <= 0) return 0;
+  return (pages_per_mb_ram / accesses_per_second_per_disk) *
+         (price_per_disk_drive / price_per_mb_ram);
+}
+
+double BreakEvenSeconds(double cpqps_slow, double cpgb_fast,
+                        double avg_record_bytes) {
+  double record_gb = avg_record_bytes / static_cast<double>(1ULL << 30);
+  if (cpgb_fast <= 0 || record_gb <= 0) return 0;
+  return cpqps_slow / (cpgb_fast * record_gb);
+}
+
+std::vector<BreakEvenEntry> BreakEvenTable(
+    const std::vector<StorageConfigProfile>& configs,
+    double avg_record_bytes) {
+  std::vector<BreakEvenEntry> out;
+  for (const auto& fast : configs) {
+    for (const auto& slow : configs) {
+      if (&fast == &slow) continue;
+      // "fast" = performance-optimized (cheap queries, expensive space);
+      // "slow" = space-optimized (cheap space, expensive queries).
+      if (fast.metrics.cpqps < slow.metrics.cpqps &&
+          fast.metrics.cpgb > slow.metrics.cpgb) {
+        out.push_back({fast.name, slow.name,
+                       BreakEvenSeconds(slow.metrics.cpqps,
+                                        fast.metrics.cpgb,
+                                        avg_record_bytes)});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BreakEvenEntry& a, const BreakEvenEntry& b) {
+              return a.seconds < b.seconds;
+            });
+  return out;
+}
+
+std::string RecommendConfig(const std::vector<StorageConfigProfile>& configs,
+                            double avg_record_bytes,
+                            double access_interval_seconds) {
+  if (configs.empty()) return "";
+  // Evaluate the per-record cost of each configuration at the given access
+  // rate: cost = CPQPS * (1/interval) + CPGB * record_gb. The break-even
+  // interval between two configs is exactly where their costs cross.
+  double record_gb = avg_record_bytes / static_cast<double>(1ULL << 30);
+  double rate = access_interval_seconds > 0
+                    ? 1.0 / access_interval_seconds
+                    : 1e9;
+  const StorageConfigProfile* best = &configs.front();
+  double best_cost = best->metrics.cpqps * rate + best->metrics.cpgb * record_gb;
+  for (const auto& cfg : configs) {
+    double cost = cfg.metrics.cpqps * rate + cfg.metrics.cpgb * record_gb;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = &cfg;
+    }
+  }
+  return best->name;
+}
+
+}  // namespace costmodel
+}  // namespace tierbase

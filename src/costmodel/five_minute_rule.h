@@ -1,0 +1,66 @@
+// The Five-Minute Rule, classic and adapted (paper §5.1, Eq. 4 and 5).
+//
+// Classic (Gray & Putzolu):
+//   BreakEven = (PagesPerMBofRAM / AccessesPerSecondPerDisk)
+//             * (PricePerDiskDrive / PricePerMBofRAM)
+//
+// Adapted for modern distributed systems (Eq. 5):
+//   BreakEven = CPQPS_slow / (CPGB_fast * AverageRecordSizeGB)
+//
+// A record accessed more often than once per BreakEven seconds belongs in
+// the fast (performance-optimized) configuration; rarer access favours the
+// slow (space-optimized) one. Table 3 of the paper tabulates the intervals
+// between TierBase-Raw, TierBase-PMem and TierBase-PBC.
+
+#ifndef TIERBASE_COSTMODEL_FIVE_MINUTE_RULE_H_
+#define TIERBASE_COSTMODEL_FIVE_MINUTE_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "costmodel/cost_model.h"
+
+namespace tierbase {
+namespace costmodel {
+
+/// Classic rule (Eq. 4); returns seconds.
+double ClassicBreakEvenSeconds(double pages_per_mb_ram,
+                               double accesses_per_second_per_disk,
+                               double price_per_disk_drive,
+                               double price_per_mb_ram);
+
+/// Adapted rule (Eq. 5); `avg_record_bytes` is converted to GB internally.
+/// Returns seconds.
+double BreakEvenSeconds(double cpqps_slow, double cpgb_fast,
+                        double avg_record_bytes);
+
+/// A measured configuration profile for break-even comparisons.
+struct StorageConfigProfile {
+  std::string name;
+  CostMetrics metrics;  // CPQPS and CPGB of the configuration.
+};
+
+struct BreakEvenEntry {
+  std::string fast;   // Performance-optimized configuration.
+  std::string slow;   // Space-optimized configuration.
+  double seconds;     // Access interval at which their costs break even.
+};
+
+/// Computes break-even intervals for every (fast, slow) pair where `fast`
+/// has strictly higher CPGB (more expensive space) and lower CPQPS
+/// (cheaper queries) — the Table 3 shape.
+std::vector<BreakEvenEntry> BreakEvenTable(
+    const std::vector<StorageConfigProfile>& configs,
+    double avg_record_bytes);
+
+/// Given the average access interval of a key (seconds), picks the most
+/// cost-effective configuration: the cheapest `slow` whose break-even
+/// interval is below the access interval, else the fastest.
+std::string RecommendConfig(const std::vector<StorageConfigProfile>& configs,
+                            double avg_record_bytes,
+                            double access_interval_seconds);
+
+}  // namespace costmodel
+}  // namespace tierbase
+
+#endif  // TIERBASE_COSTMODEL_FIVE_MINUTE_RULE_H_

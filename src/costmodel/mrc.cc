@@ -1,0 +1,112 @@
+#include "costmodel/mrc.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace tierbase {
+namespace costmodel {
+
+namespace {
+
+/// Fenwick tree over op positions; a 1 marks "most recent access of some
+/// key happened here".
+class Fenwick {
+ public:
+  explicit Fenwick(size_t n) : tree_(n + 1, 0) {}
+
+  void Add(size_t i, int delta) {
+    for (++i; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  /// Sum of [0, i].
+  int64_t Sum(size_t i) const {
+    int64_t s = 0;
+    for (++i; i > 0; i -= i & (~i + 1)) s += tree_[i];
+    return s;
+  }
+
+  int64_t RangeSum(size_t lo, size_t hi) const {  // [lo, hi]
+    if (lo > hi) return 0;
+    return Sum(hi) - (lo == 0 ? 0 : Sum(lo - 1));
+  }
+
+ private:
+  std::vector<int64_t> tree_;
+};
+
+}  // namespace
+
+MissRatioCurve MissRatioCurve::FromTrace(const workload::Trace& trace) {
+  MissRatioCurve mrc;
+  const size_t n = trace.ops.size();
+  mrc.total_accesses_ = n;
+
+  Fenwick marks(n);
+  std::unordered_map<uint64_t, size_t> last_access;
+  last_access.reserve(n / 4);
+
+  std::unordered_map<uint64_t, uint64_t> distance_hist;
+
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t key = trace.ops[i].key_index;
+    auto it = last_access.find(key);
+    if (it == last_access.end()) {
+      ++mrc.cold_misses_;
+      last_access.emplace(key, i);
+    } else {
+      // Stack distance = number of distinct keys accessed strictly between
+      // the previous access and now = count of "most recent access" marks
+      // in (prev, i).
+      size_t prev = it->second;
+      uint64_t distance = static_cast<uint64_t>(
+          prev + 1 <= i - 1 && i >= 1 ? marks.RangeSum(prev + 1, i - 1) : 0);
+      ++distance_hist[distance];
+      marks.Add(prev, -1);
+      it->second = i;
+    }
+    marks.Add(i, +1);
+  }
+
+  mrc.distinct_keys_ = last_access.size();
+
+  uint64_t max_distance = 0;
+  for (const auto& [d, c] : distance_hist) {
+    max_distance = std::max(max_distance, d);
+  }
+  mrc.hits_at_size_.assign(max_distance + 1, 0);
+  for (const auto& [d, c] : distance_hist) mrc.hits_at_size_[d] = c;
+
+  mrc.cumulative_hits_.resize(mrc.hits_at_size_.size());
+  uint64_t running = 0;
+  for (size_t d = 0; d < mrc.hits_at_size_.size(); ++d) {
+    running += mrc.hits_at_size_[d];
+    mrc.cumulative_hits_[d] = running;
+  }
+  return mrc;
+}
+
+double MissRatioCurve::MissRatioAtEntries(uint64_t entries) const {
+  if (total_accesses_ == 0) return 0.0;
+  // A cache of `entries` slots hits every access whose stack distance is
+  // strictly less than `entries`.
+  uint64_t hits = 0;
+  if (entries > 0 && !cumulative_hits_.empty()) {
+    size_t idx = std::min<size_t>(static_cast<size_t>(entries) - 1,
+                                  cumulative_hits_.size() - 1);
+    hits = cumulative_hits_[idx];
+  }
+  return 1.0 -
+         static_cast<double>(hits) / static_cast<double>(total_accesses_);
+}
+
+double MissRatioCurve::MissRatio(double cache_fraction) const {
+  cache_fraction = std::clamp(cache_fraction, 0.0, 1.0);
+  uint64_t entries = static_cast<uint64_t>(
+      cache_fraction * static_cast<double>(distinct_keys_) + 0.5);
+  return MissRatioAtEntries(entries);
+}
+
+}  // namespace costmodel
+}  // namespace tierbase

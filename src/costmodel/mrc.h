@@ -1,0 +1,49 @@
+// Miss Ratio Curve estimation (paper §5.2 cites Hu et al.'s MRC work):
+// MR = f(CR), the fraction of requests missing an LRU cache of a given
+// size. Computed exactly from a trace with Mattson's stack-distance
+// algorithm using a Fenwick tree — O(N log N) over trace length N.
+
+#ifndef TIERBASE_COSTMODEL_MRC_H_
+#define TIERBASE_COSTMODEL_MRC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/trace.h"
+
+namespace tierbase {
+namespace costmodel {
+
+class MissRatioCurve {
+ public:
+  /// Builds the exact LRU MRC of `trace` (reads and writes both count as
+  /// accesses, matching a cache that allocates on write).
+  static MissRatioCurve FromTrace(const workload::Trace& trace);
+
+  /// Miss ratio of an LRU cache holding `entries` keys.
+  double MissRatioAtEntries(uint64_t entries) const;
+
+  /// Miss ratio at a cache sized to `cache_fraction` of the distinct key
+  /// population (CR in the paper's notation; 1.0 = everything fits).
+  double MissRatio(double cache_fraction) const;
+
+  uint64_t distinct_keys() const { return distinct_keys_; }
+  uint64_t total_accesses() const { return total_accesses_; }
+
+  /// f(CR) is non-increasing by construction; exposed for property tests.
+  const std::vector<uint64_t>& hit_histogram() const { return hits_at_size_; }
+
+ private:
+  // hits_at_size_[d] = number of accesses with stack distance exactly d
+  // (i.e. hits in any LRU cache of size > d). cold_misses_ are compulsory.
+  std::vector<uint64_t> hits_at_size_;
+  std::vector<uint64_t> cumulative_hits_;  // Prefix sums for queries.
+  uint64_t cold_misses_ = 0;
+  uint64_t total_accesses_ = 0;
+  uint64_t distinct_keys_ = 0;
+};
+
+}  // namespace costmodel
+}  // namespace tierbase
+
+#endif  // TIERBASE_COSTMODEL_MRC_H_

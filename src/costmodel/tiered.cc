@@ -1,0 +1,68 @@
+#include "costmodel/tiered.h"
+
+#include <algorithm>
+
+namespace tierbase {
+namespace costmodel {
+
+double CacheTierCost(const TieredCostInputs& in, double cache_ratio,
+                     double miss_ratio) {
+  double perf = in.pc_cache + in.pc_miss * miss_ratio;
+  double space = in.sc_cache * cache_ratio;
+  return std::max(perf, space);
+}
+
+double TieredCost(const TieredCostInputs& in, double cache_ratio,
+                  double miss_ratio) {
+  double storage =
+      std::max(in.pc_storage * miss_ratio, in.sc_storage);
+  return CacheTierCost(in, cache_ratio, miss_ratio) + storage;
+}
+
+double CacheOnlyCost(const TieredCostInputs& in) {
+  // Everything in cache: full space cost, no miss traffic, no storage tier.
+  return std::max(in.pc_cache, in.sc_cache);
+}
+
+double StorageOnlyCost(const TieredCostInputs& in) {
+  // No cache: every request is served by storage (MR = 1).
+  return std::max(in.pc_storage, in.sc_storage);
+}
+
+bool TieredBeatsSingleTier(const TieredCostInputs& in, double cache_ratio,
+                           double miss_ratio) {
+  double tiered = TieredCost(in, cache_ratio, miss_ratio);
+  return tiered < std::min(CacheOnlyCost(in), StorageOnlyCost(in));
+}
+
+double OptimalCacheRatio(const TieredCostInputs& in,
+                         const std::function<double(double)>& miss_ratio_fn,
+                         double tol) {
+  auto g = [&](double cr) {
+    return in.pc_cache + in.pc_miss * miss_ratio_fn(cr);
+  };
+  auto h = [&](double cr) { return in.sc_cache * cr; };
+
+  // g is non-increasing, h increasing. Bisect on g(cr) - h(cr).
+  double lo = 0.0, hi = 1.0;
+  if (g(lo) - h(lo) <= 0) return 0.0;  // Space cost dominates immediately.
+  if (g(hi) - h(hi) >= 0) return 1.0;  // Perf cost dominates even at CR=1.
+  while (hi - lo > tol) {
+    double mid = (lo + hi) / 2;
+    if (g(mid) - h(mid) > 0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2;
+}
+
+double OptimalCacheRatio(const TieredCostInputs& in, const MissRatioCurve& mrc,
+                         double tol) {
+  return OptimalCacheRatio(
+      in, [&mrc](double cr) { return mrc.MissRatio(cr); }, tol);
+}
+
+}  // namespace costmodel
+}  // namespace tierbase

@@ -1,0 +1,63 @@
+// Tiered-storage cost model (paper §2.4 Eq. 3, §5.2 Eq. 6 and Theorem 5.1).
+
+#ifndef TIERBASE_COSTMODEL_TIERED_H_
+#define TIERBASE_COSTMODEL_TIERED_H_
+
+#include <functional>
+
+#include "costmodel/mrc.h"
+
+namespace tierbase {
+namespace costmodel {
+
+/// Per-tier cost coefficients, all in the same monetary units:
+///   pc_cache    performance cost of serving the full QPS from cache,
+///   pc_miss     additional performance cost if *every* request missed
+///               (multiplied by MR for the actual miss traffic),
+///   sc_cache    space cost of caching *all* data (multiplied by CR),
+///   pc_storage  performance cost of the storage tier serving all QPS
+///               (multiplied by MR),
+///   sc_storage  space cost of storing all data in the storage tier.
+struct TieredCostInputs {
+  double pc_cache = 0;
+  double pc_miss = 0;
+  double sc_cache = 0;
+  double pc_storage = 0;
+  double sc_storage = 0;
+};
+
+/// Eq. 3: C_tiered = max(PC_cache + PC_miss*MR, SC_cache*CR)
+///                 + max(PC_storage*MR, SC_storage).
+double TieredCost(const TieredCostInputs& in, double cache_ratio,
+                  double miss_ratio);
+
+/// Eq. 6: cache-tier term only.
+double CacheTierCost(const TieredCostInputs& in, double cache_ratio,
+                     double miss_ratio);
+
+/// §2.4: tiered storage pays off when C_tiered < min(C_cache-only,
+/// C_storage-only). Cache-only: CR=1, MR=0, no storage tier. Storage-only:
+/// no cache, all requests hit storage.
+bool TieredBeatsSingleTier(const TieredCostInputs& in, double cache_ratio,
+                           double miss_ratio);
+double CacheOnlyCost(const TieredCostInputs& in);
+double StorageOnlyCost(const TieredCostInputs& in);
+
+/// Theorem 5.1: the optimal cache ratio CR* satisfies
+///   PC_cache + PC_miss * f(CR*) = SC_cache * CR*,
+/// the intersection of the non-increasing g(CR) and the increasing h(CR).
+/// Solved by bisection over CR in [0, 1]; when g(1) > h(1) (miss penalty
+/// still dominates with everything cached) returns 1.0, and when
+/// g(0) < h(0) returns 0.0.
+double OptimalCacheRatio(const TieredCostInputs& in,
+                         const std::function<double(double)>& miss_ratio_fn,
+                         double tol = 1e-4);
+
+/// Convenience overload using an exact MRC.
+double OptimalCacheRatio(const TieredCostInputs& in, const MissRatioCurve& mrc,
+                         double tol = 1e-4);
+
+}  // namespace costmodel
+}  // namespace tierbase
+
+#endif  // TIERBASE_COSTMODEL_TIERED_H_

@@ -1,0 +1,166 @@
+#include "lsm/block.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace tierbase {
+namespace lsm {
+
+BlockBuilder::BlockBuilder(int restart_interval)
+    : restart_interval_(restart_interval) {
+  restarts_.push_back(0);
+}
+
+void BlockBuilder::Add(const Slice& key, const Slice& value) {
+  assert(!finished_);
+  size_t shared = 0;
+  if (counter_ < restart_interval_) {
+    const size_t min_len = std::min(last_key_.size(), key.size());
+    while (shared < min_len && last_key_[shared] == key[shared]) ++shared;
+  } else {
+    restarts_.push_back(static_cast<uint32_t>(buffer_.size()));
+    counter_ = 0;
+  }
+  const size_t unshared = key.size() - shared;
+
+  PutVarint32(&buffer_, static_cast<uint32_t>(shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(unshared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(value.size()));
+  buffer_.append(key.data() + shared, unshared);
+  buffer_.append(value.data(), value.size());
+
+  last_key_.resize(shared);
+  last_key_.append(key.data() + shared, unshared);
+  ++counter_;
+}
+
+Slice BlockBuilder::Finish() {
+  for (uint32_t restart : restarts_) PutFixed32(&buffer_, restart);
+  PutFixed32(&buffer_, static_cast<uint32_t>(restarts_.size()));
+  finished_ = true;
+  return Slice(buffer_);
+}
+
+void BlockBuilder::Reset() {
+  buffer_.clear();
+  restarts_.clear();
+  restarts_.push_back(0);
+  counter_ = 0;
+  finished_ = false;
+  last_key_.clear();
+}
+
+size_t BlockBuilder::CurrentSizeEstimate() const {
+  return buffer_.size() + restarts_.size() * 4 + 4;
+}
+
+Block::Block(std::string contents) : contents_(std::move(contents)) {
+  if (contents_.size() < 4) {
+    num_restarts_ = 0;
+    restarts_offset_ = 0;
+    return;
+  }
+  num_restarts_ = DecodeFixed32(contents_.data() + contents_.size() - 4);
+  restarts_offset_ =
+      static_cast<uint32_t>(contents_.size() - 4 - 4 * num_restarts_);
+}
+
+Block::Iterator::Iterator(const Block* block)
+    : block_(block),
+      num_restarts_(block->num_restarts_),
+      restarts_offset_(block->restarts_offset_),
+      current_(restarts_offset_),
+      next_(restarts_offset_) {}
+
+uint32_t Block::Iterator::RestartPoint(uint32_t index) const {
+  return DecodeFixed32(block_->contents_.data() + restarts_offset_ + 4 * index);
+}
+
+void Block::Iterator::SeekToRestart(uint32_t index) {
+  key_.clear();
+  next_ = RestartPoint(index);
+  current_ = next_;
+  ParseCurrent();
+}
+
+bool Block::Iterator::ParseCurrent() {
+  current_ = next_;
+  if (current_ >= restarts_offset_) return false;
+  const char* p = block_->contents_.data() + current_;
+  const char* limit = block_->contents_.data() + restarts_offset_;
+  uint32_t shared = 0, unshared = 0, value_len = 0;
+  p = GetVarint32Ptr(p, limit, &shared);
+  if (p == nullptr) {
+    status_ = Status::Corruption("block: bad entry header");
+    return false;
+  }
+  p = GetVarint32Ptr(p, limit, &unshared);
+  if (p == nullptr) {
+    status_ = Status::Corruption("block: bad entry header");
+    return false;
+  }
+  p = GetVarint32Ptr(p, limit, &value_len);
+  if (p == nullptr || p + unshared + value_len > limit ||
+      shared > key_.size()) {
+    status_ = Status::Corruption("block: bad entry");
+    return false;
+  }
+  key_.resize(shared);
+  key_.append(p, unshared);
+  value_ = Slice(p + unshared, value_len);
+  next_ = static_cast<uint32_t>((p + unshared + value_len) -
+                                block_->contents_.data());
+  return true;
+}
+
+void Block::Iterator::SeekToFirst() {
+  if (num_restarts_ == 0) {
+    current_ = restarts_offset_;
+    return;
+  }
+  SeekToRestart(0);
+}
+
+void Block::Iterator::Seek(const Slice& target) {
+  if (num_restarts_ == 0) {
+    current_ = restarts_offset_;
+    return;
+  }
+  InternalKeyComparator cmp;
+
+  // Binary search over restart points: find the last restart whose key is
+  // < target, then scan linearly.
+  uint32_t left = 0, right = num_restarts_ - 1;
+  while (left < right) {
+    uint32_t mid = (left + right + 1) / 2;
+    // Decode the full key at the restart (shared == 0 there).
+    const char* p = block_->contents_.data() + RestartPoint(mid);
+    const char* limit = block_->contents_.data() + restarts_offset_;
+    uint32_t shared = 0, unshared = 0, value_len = 0;
+    p = GetVarint32Ptr(p, limit, &shared);
+    p = GetVarint32Ptr(p, limit, &unshared);
+    p = GetVarint32Ptr(p, limit, &value_len);
+    Slice restart_key(p, unshared);
+    if (cmp(restart_key, target) < 0) {
+      left = mid;
+    } else {
+      right = mid - 1;
+    }
+  }
+
+  SeekToRestart(left);
+  while (Valid()) {
+    if (cmp(Slice(key_), target) >= 0) return;
+    Next();
+  }
+}
+
+void Block::Iterator::Next() {
+  assert(Valid());
+  ParseCurrent();
+}
+
+}  // namespace lsm
+}  // namespace tierbase

@@ -1,0 +1,93 @@
+// SST data/index blocks with prefix compression and restart points,
+// following the classic LevelDB block layout:
+//
+//   entry*: varint32 shared_len | varint32 unshared_len | varint32 value_len
+//           | unshared key bytes | value bytes
+//   trailer: fixed32 restart_offset* | fixed32 num_restarts
+//
+// Keys within a block are internal keys in sorted order.
+
+#ifndef TIERBASE_LSM_BLOCK_H_
+#define TIERBASE_LSM_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "lsm/internal_key.h"
+
+namespace tierbase {
+namespace lsm {
+
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval = 16);
+
+  /// Keys must be added in strictly increasing internal-key order.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Appends the restart trailer and returns the finished block contents.
+  Slice Finish();
+
+  void Reset();
+  size_t CurrentSizeEstimate() const;
+  bool empty() const { return counter_ == 0 && buffer_.empty(); }
+  const std::string& last_key() const { return last_key_; }
+
+ private:
+  int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_ = 0;
+  bool finished_ = false;
+  std::string last_key_;
+};
+
+/// Read-side view over a finished block (owns a copy of the bytes).
+class Block {
+ public:
+  explicit Block(std::string contents);
+
+  size_t size() const { return contents_.size(); }
+
+  class Iterator {
+   public:
+    explicit Iterator(const Block* block);
+
+    bool Valid() const { return current_ < restarts_offset_; }
+    void SeekToFirst();
+    /// Positions at the first entry with internal key >= target.
+    void Seek(const Slice& target);
+    void Next();
+    Slice key() const { return Slice(key_); }
+    Slice value() const { return value_; }
+    Status status() const { return status_; }
+
+   private:
+    void SeekToRestart(uint32_t index);
+    bool ParseCurrent();
+    uint32_t RestartPoint(uint32_t index) const;
+
+    const Block* block_;
+    uint32_t num_restarts_;
+    uint32_t restarts_offset_;  // Offset where the restart array begins.
+    uint32_t current_;          // Offset of current entry.
+    uint32_t next_;             // Offset of next entry.
+    std::string key_;
+    Slice value_;
+    Status status_;
+  };
+
+ private:
+  friend class Iterator;
+  std::string contents_;
+  uint32_t num_restarts_;
+  uint32_t restarts_offset_;
+};
+
+}  // namespace lsm
+}  // namespace tierbase
+
+#endif  // TIERBASE_LSM_BLOCK_H_

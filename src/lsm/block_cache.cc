@@ -1,0 +1,74 @@
+#include "lsm/block_cache.h"
+
+#include <vector>
+
+namespace tierbase {
+namespace lsm {
+
+BlockCache::BlockCache(size_t capacity_bytes, int shards)
+    : capacity_per_shard_(capacity_bytes / static_cast<size_t>(shards)),
+      shards_(static_cast<size_t>(shards)) {}
+
+std::shared_ptr<Block> BlockCache::Lookup(uint64_t file_number,
+                                          uint64_t offset) {
+  Key key{file_number, offset};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void BlockCache::Insert(uint64_t file_number, uint64_t offset,
+                        std::shared_ptr<Block> block) {
+  Key key{file_number, offset};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) return;  // Racing insert; keep existing.
+  shard.charge += block->size();
+  shard.lru.emplace_front(key, std::move(block));
+  shard.index[key] = shard.lru.begin();
+  EvictIfNeeded(shard);
+}
+
+void BlockCache::EvictIfNeeded(Shard& shard) {
+  while (shard.charge > capacity_per_shard_ && !shard.lru.empty()) {
+    auto& back = shard.lru.back();
+    shard.charge -= back.second->size();
+    shard.index.erase(back.first);
+    shard.lru.pop_back();
+  }
+}
+
+void BlockCache::EraseFile(uint64_t file_number) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->first.file_number == file_number) {
+        shard.charge -= it->second->size();
+        shard.index.erase(it->first);
+        it = shard.lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+size_t BlockCache::TotalCharge() const {
+  size_t total = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(shard.mu));
+    total += shard.charge;
+  }
+  return total;
+}
+
+}  // namespace lsm
+}  // namespace tierbase

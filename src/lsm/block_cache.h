@@ -1,0 +1,69 @@
+// Sharded LRU cache of decoded SST blocks, keyed by (file_number, offset).
+// Charged by block byte size.
+
+#ifndef TIERBASE_LSM_BLOCK_CACHE_H_
+#define TIERBASE_LSM_BLOCK_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "lsm/block.h"
+
+namespace tierbase {
+namespace lsm {
+
+class BlockCache {
+ public:
+  explicit BlockCache(size_t capacity_bytes, int shards = 8);
+
+  std::shared_ptr<Block> Lookup(uint64_t file_number, uint64_t offset);
+  void Insert(uint64_t file_number, uint64_t offset,
+              std::shared_ptr<Block> block);
+  /// Drops all blocks of a file (after compaction deletes it).
+  void EraseFile(uint64_t file_number);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t TotalCharge() const;
+
+ private:
+  struct Key {
+    uint64_t file_number;
+    uint64_t offset;
+    bool operator==(const Key& o) const {
+      return file_number == o.file_number && offset == o.offset;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(k.file_number * 0x9E3779B97F4A7C15ULL ^
+                                 k.offset);
+    }
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<std::pair<Key, std::shared_ptr<Block>>> lru;  // Front = MRU.
+    std::unordered_map<Key, decltype(lru)::iterator, KeyHash> index;
+    size_t charge = 0;
+  };
+
+  Shard& ShardFor(const Key& k) {
+    return shards_[KeyHash()(k) % shards_.size()];
+  }
+  void EvictIfNeeded(Shard& shard);
+
+  size_t capacity_per_shard_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace lsm
+}  // namespace tierbase
+
+#endif  // TIERBASE_LSM_BLOCK_CACHE_H_

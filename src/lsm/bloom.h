@@ -1,0 +1,39 @@
+// Bloom filter for SST files: double-hashing variant with configurable
+// bits per key (default 10 → ~1% false positive rate).
+
+#ifndef TIERBASE_LSM_BLOOM_H_
+#define TIERBASE_LSM_BLOOM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace tierbase {
+namespace lsm {
+
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(int bits_per_key = 10);
+
+  void AddKey(const Slice& key);
+
+  /// Serializes the filter (bit array + 1 byte of probe count).
+  std::string Finish();
+
+  size_t num_keys() const { return hashes_.size(); }
+
+ private:
+  int bits_per_key_;
+  int num_probes_;
+  std::vector<uint32_t> hashes_;
+};
+
+/// Membership test over a serialized filter. An empty filter matches
+/// everything (filterless tables degrade gracefully).
+bool BloomFilterMayMatch(const Slice& filter, const Slice& key);
+
+}  // namespace lsm
+}  // namespace tierbase
+
+#endif  // TIERBASE_LSM_BLOOM_H_

@@ -1,0 +1,72 @@
+// Internal key encoding for the LSM tree: user_key ++ fixed64(seq << 8 | type).
+// Ordering: user key ascending, then sequence number descending, so the
+// newest version of a key sorts first.
+
+#ifndef TIERBASE_LSM_INTERNAL_KEY_H_
+#define TIERBASE_LSM_INTERNAL_KEY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+#include "common/slice.h"
+
+namespace tierbase {
+namespace lsm {
+
+using SequenceNumber = uint64_t;
+constexpr SequenceNumber kMaxSequenceNumber = (1ULL << 56) - 1;
+
+enum ValueType : uint8_t {
+  kTypeDeletion = 0,
+  kTypeValue = 1,
+};
+
+/// Type used when constructing seek targets: sorts before all entries with
+/// the same (user_key, seq).
+constexpr ValueType kValueTypeForSeek = kTypeValue;
+
+inline uint64_t PackSequenceAndType(SequenceNumber seq, ValueType type) {
+  return (seq << 8) | type;
+}
+
+inline void AppendInternalKey(std::string* dst, const Slice& user_key,
+                              SequenceNumber seq, ValueType type) {
+  dst->append(user_key.data(), user_key.size());
+  PutFixed64(dst, PackSequenceAndType(seq, type));
+}
+
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+inline uint64_t ExtractTag(const Slice& internal_key) {
+  return DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+}
+
+inline SequenceNumber ExtractSequence(const Slice& internal_key) {
+  return ExtractTag(internal_key) >> 8;
+}
+
+inline ValueType ExtractValueType(const Slice& internal_key) {
+  return static_cast<ValueType>(ExtractTag(internal_key) & 0xff);
+}
+
+/// Comparator over internal keys.
+struct InternalKeyComparator {
+  int operator()(const Slice& a, const Slice& b) const {
+    int r = ExtractUserKey(a).compare(ExtractUserKey(b));
+    if (r != 0) return r;
+    uint64_t atag = ExtractTag(a);
+    uint64_t btag = ExtractTag(b);
+    // Larger tag (newer) sorts first.
+    if (atag > btag) return -1;
+    if (atag < btag) return 1;
+    return 0;
+  }
+};
+
+}  // namespace lsm
+}  // namespace tierbase
+
+#endif  // TIERBASE_LSM_INTERNAL_KEY_H_

@@ -1,0 +1,129 @@
+// LsmStore: the storage-tier engine. Stands in for the paper's UCS
+// (Universal Configurable Storage, an internal Ant Group LSM service) behind
+// TierBase's pluggable StorageAdapter.
+//
+// A leveled LSM tree: writes land in the WAL and a skiplist memtable; full
+// memtables become immutable and are flushed to L0 SSTs by a background
+// thread; leveled compaction keeps read amplification bounded. The WAL can
+// run on a file (async or per-record sync) or on simulated persistent
+// memory via a durable ring buffer (the WAL-PMem mode of paper Fig 8).
+
+#ifndef TIERBASE_LSM_LSM_STORE_H_
+#define TIERBASE_LSM_LSM_STORE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/kv_engine.h"
+#include "lsm/block_cache.h"
+#include "lsm/memtable.h"
+#include "lsm/version.h"
+#include "lsm/wal.h"
+#include "pmem/ring_buffer.h"
+
+namespace tierbase {
+namespace lsm {
+
+enum class WalMode {
+  kNone,        // No WAL (cache-like durability).
+  kFile,        // File WAL, interval sync (paper's "WAL").
+  kFileSync,    // File WAL, fsync per record.
+  kPmem,        // PMem ring buffer front-end (paper's "WAL-PMem").
+};
+
+struct LsmOptions {
+  std::string dir;
+  size_t memtable_bytes = 4 << 20;
+  size_t block_cache_bytes = 8 << 20;
+  size_t target_file_bytes = 2 << 20;
+  int l0_compaction_trigger = 4;
+  uint64_t level1_max_bytes = 16 << 20;  // Level n max = level1 * 10^(n-1).
+  WalMode wal_mode = WalMode::kFile;
+  uint64_t wal_sync_interval_micros = 1'000'000;
+  /// Required when wal_mode == kPmem; not owned.
+  PmemDevice* pmem_device = nullptr;
+  TableBuilderOptions table_options;
+};
+
+class LsmStore : public KvEngine {
+ public:
+  static Result<std::unique_ptr<LsmStore>> Open(const LsmOptions& options);
+  ~LsmStore() override;
+
+  std::string name() const override { return "lsm"; }
+
+  Status Set(const Slice& key, const Slice& value) override;
+  Status Get(const Slice& key, std::string* value) override;
+  Status Delete(const Slice& key) override;
+
+  /// Applies a batch of (key, value-or-tombstone) with one WAL append —
+  /// the write-back flush path uses this to amortize storage-tier cost.
+  struct BatchOp {
+    std::string key;
+    std::string value;
+    bool is_delete = false;
+  };
+  Status ApplyBatch(const std::vector<BatchOp>& batch);
+
+  UsageStats GetUsage() const override;
+  Status WaitIdle() override;
+
+  /// Forces a memtable flush (tests).
+  Status FlushForTesting();
+
+  struct Stats {
+    uint64_t flushes = 0;
+    uint64_t compactions = 0;
+    uint64_t bytes_flushed = 0;
+    uint64_t bytes_compacted = 0;
+    uint64_t write_stalls = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  explicit LsmStore(const LsmOptions& options);
+
+  Status Init();
+  Status RecoverWals();
+  Status ReplayWalRecord(const Slice& record);
+  Status WriteInternal(const Slice& key, const Slice& value, ValueType type);
+  Status LogRecord(const Slice& record);
+
+  /// Rotates memtable → immutable; creates a fresh WAL. Holds mu_.
+  Status SwitchMemtable(std::unique_lock<std::mutex>& lock);
+
+  void BackgroundWork();
+  Status FlushImmutable();
+  Status MaybeCompact();
+  Status CompactLevel(int level);
+  uint64_t MaxBytesForLevel(int level) const;
+
+  LsmOptions options_;
+  std::unique_ptr<BlockCache> block_cache_;
+  std::unique_ptr<VersionSet> versions_;
+
+  mutable std::mutex mu_;
+  std::condition_variable bg_cv_;      // Wakes the background thread.
+  std::condition_variable stall_cv_;   // Wakes stalled writers.
+  std::shared_ptr<MemTable> mem_;
+  std::shared_ptr<MemTable> imm_;      // Being flushed; may be null.
+  uint64_t wal_number_ = 0;            // WAL backing mem_.
+  uint64_t imm_wal_number_ = 0;        // WAL backing imm_.
+  std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<PmemRingBuffer> ring_;  // WalMode::kPmem only.
+
+  std::thread bg_thread_;
+  bool shutting_down_ = false;
+  bool bg_error_set_ = false;
+  Status bg_error_;
+
+  Stats stats_;
+};
+
+}  // namespace lsm
+}  // namespace tierbase
+
+#endif  // TIERBASE_LSM_LSM_STORE_H_

@@ -1,0 +1,170 @@
+#include "lsm/version.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/env.h"
+
+namespace tierbase {
+namespace lsm {
+
+std::vector<std::shared_ptr<FileMeta>> Version::Overlapping(
+    int level, const Slice& smallest_user, const Slice& largest_user) const {
+  std::vector<std::shared_ptr<FileMeta>> out;
+  for (const auto& f : levels[static_cast<size_t>(level)]) {
+    Slice file_smallest = ExtractUserKey(Slice(f->smallest));
+    Slice file_largest = ExtractUserKey(Slice(f->largest));
+    if (file_largest.compare(smallest_user) < 0) continue;
+    if (file_smallest.compare(largest_user) > 0) continue;
+    out.push_back(f);
+  }
+  return out;
+}
+
+uint64_t Version::LevelBytes(int level) const {
+  uint64_t total = 0;
+  for (const auto& f : levels[static_cast<size_t>(level)]) total += f->size;
+  return total;
+}
+
+int Version::NumFiles() const {
+  int n = 0;
+  for (const auto& level : levels) n += static_cast<int>(level.size());
+  return n;
+}
+
+VersionSet::VersionSet(std::string dir, BlockCache* block_cache)
+    : dir_(std::move(dir)),
+      block_cache_(block_cache),
+      current_(std::make_shared<Version>()) {}
+
+std::string VersionSet::TableFileName(uint64_t number) const {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/%06llu.sst",
+           static_cast<unsigned long long>(number));
+  return dir_ + buf;
+}
+
+std::string VersionSet::WalFileName(uint64_t number) const {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/%06llu.wal",
+           static_cast<unsigned long long>(number));
+  return dir_ + buf;
+}
+
+Status VersionSet::Recover() {
+  std::string manifest = dir_ + "/MANIFEST";
+  if (!env::FileExists(manifest)) return Status::OK();  // Fresh directory.
+
+  auto v = std::make_shared<Version>();
+  TIERBASE_RETURN_IF_ERROR(LoadManifest(v.get()));
+
+  // Open every table referenced by the manifest.
+  for (auto& level : v->levels) {
+    for (auto& f : level) {
+      auto table =
+          Table::Open(TableFileName(f->number), f->number, block_cache_);
+      if (!table.ok()) return table.status();
+      f->table = *table;
+      BumpFileNumber(f->number);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = v;
+  return Status::OK();
+}
+
+Status VersionSet::Apply(const VersionEdit& edit) {
+  auto next = std::make_shared<Version>(*current());
+
+  for (const auto& [level, number] : edit.removed) {
+    auto& files = next->levels[static_cast<size_t>(level)];
+    files.erase(std::remove_if(files.begin(), files.end(),
+                               [number](const auto& f) {
+                                 return f->number == number;
+                               }),
+                files.end());
+  }
+  for (const auto& nf : edit.added) {
+    next->levels[static_cast<size_t>(nf.level)].push_back(nf.meta);
+  }
+  // Keep invariants: L0 ordered by file number (age), L1+ by key.
+  std::sort(next->levels[0].begin(), next->levels[0].end(),
+            [](const auto& a, const auto& b) { return a->number < b->number; });
+  for (int level = 1; level < kNumLevels; ++level) {
+    auto& files = next->levels[static_cast<size_t>(level)];
+    std::sort(files.begin(), files.end(), [](const auto& a, const auto& b) {
+      return Slice(a->smallest).compare(Slice(b->smallest)) < 0;
+    });
+  }
+
+  TIERBASE_RETURN_IF_ERROR(SaveManifest(*next));
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = next;
+  return Status::OK();
+}
+
+Status VersionSet::SaveManifest(const Version& v) {
+  std::string out;
+  PutFixed64(&out, next_file_number_);
+  PutFixed64(&out, last_sequence_);
+  for (int level = 0; level < kNumLevels; ++level) {
+    const auto& files = v.levels[static_cast<size_t>(level)];
+    PutVarint32(&out, static_cast<uint32_t>(files.size()));
+    for (const auto& f : files) {
+      PutVarint64(&out, f->number);
+      PutVarint64(&out, f->size);
+      PutLengthPrefixedSlice(&out, Slice(f->smallest));
+      PutLengthPrefixedSlice(&out, Slice(f->largest));
+    }
+  }
+  std::string framed;
+  PutFixed32(&framed, crc32c::Mask(crc32c::Value(out.data(), out.size())));
+  framed.append(out);
+
+  std::string tmp = dir_ + "/MANIFEST.tmp";
+  TIERBASE_RETURN_IF_ERROR(env::WriteStringToFileSync(tmp, framed));
+  return env::RenameFile(tmp, dir_ + "/MANIFEST");
+}
+
+Status VersionSet::LoadManifest(Version* v) {
+  std::string framed;
+  TIERBASE_RETURN_IF_ERROR(env::ReadFileToString(dir_ + "/MANIFEST", &framed));
+  if (framed.size() < 4) return Status::Corruption("manifest: too small");
+  uint32_t crc = crc32c::Unmask(DecodeFixed32(framed.data()));
+  Slice in(framed.data() + 4, framed.size() - 4);
+  if (crc32c::Value(in.data(), in.size()) != crc) {
+    return Status::Corruption("manifest: crc mismatch");
+  }
+
+  uint64_t next_file = 0, last_seq = 0;
+  if (!GetFixed64(&in, &next_file) || !GetFixed64(&in, &last_seq)) {
+    return Status::Corruption("manifest: bad header");
+  }
+  next_file_number_ = next_file;
+  last_sequence_ = last_seq;
+
+  for (int level = 0; level < kNumLevels; ++level) {
+    uint32_t count = 0;
+    if (!GetVarint32(&in, &count)) {
+      return Status::Corruption("manifest: bad level count");
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      auto f = std::make_shared<FileMeta>();
+      Slice smallest, largest;
+      if (!GetVarint64(&in, &f->number) || !GetVarint64(&in, &f->size) ||
+          !GetLengthPrefixedSlice(&in, &smallest) ||
+          !GetLengthPrefixedSlice(&in, &largest)) {
+        return Status::Corruption("manifest: bad file entry");
+      }
+      f->smallest = smallest.ToString();
+      f->largest = largest.ToString();
+      v->levels[static_cast<size_t>(level)].push_back(std::move(f));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lsm
+}  // namespace tierbase

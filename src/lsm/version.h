@@ -1,0 +1,101 @@
+// Version management for the LSM tree: which SST files live at which level,
+// plus manifest persistence.
+//
+// A Version is an immutable snapshot of the file layout; readers pin it via
+// shared_ptr while the writer installs new versions copy-on-write under the
+// engine mutex. The manifest is a full binary snapshot rewritten atomically
+// (write temp + rename) on every version change — simpler than a log of
+// edits and plenty fast at our file counts.
+
+#ifndef TIERBASE_LSM_VERSION_H_
+#define TIERBASE_LSM_VERSION_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lsm/internal_key.h"
+#include "lsm/table.h"
+
+namespace tierbase {
+namespace lsm {
+
+constexpr int kNumLevels = 7;
+
+struct FileMeta {
+  uint64_t number = 0;
+  uint64_t size = 0;
+  std::string smallest;  // Internal keys.
+  std::string largest;
+  std::shared_ptr<Table> table;  // Opened lazily at version install.
+};
+
+struct Version {
+  /// levels[0] may overlap and is ordered oldest → newest (by file number);
+  /// levels[1..] are key-ordered and disjoint.
+  std::vector<std::vector<std::shared_ptr<FileMeta>>> levels{kNumLevels};
+
+  /// Files in `level` whose range overlaps [smallest_user, largest_user].
+  std::vector<std::shared_ptr<FileMeta>> Overlapping(
+      int level, const Slice& smallest_user, const Slice& largest_user) const;
+
+  uint64_t LevelBytes(int level) const;
+  int NumFiles() const;
+};
+
+/// One atomic change to the file layout.
+struct VersionEdit {
+  struct NewFile {
+    int level;
+    std::shared_ptr<FileMeta> meta;
+  };
+  std::vector<NewFile> added;
+  std::vector<std::pair<int, uint64_t>> removed;  // (level, file number).
+};
+
+class VersionSet {
+ public:
+  VersionSet(std::string dir, BlockCache* block_cache);
+
+  /// Loads the manifest (if present) and opens all referenced tables.
+  Status Recover();
+
+  /// Applies the edit, persists the manifest, installs the new version.
+  /// Caller must serialize Apply calls (the engine mutex does).
+  Status Apply(const VersionEdit& edit);
+
+  std::shared_ptr<const Version> current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  uint64_t NewFileNumber() { return next_file_number_++; }
+  uint64_t next_file_number() const { return next_file_number_; }
+  void BumpFileNumber(uint64_t n) {
+    if (n >= next_file_number_) next_file_number_ = n + 1;
+  }
+
+  SequenceNumber last_sequence() const { return last_sequence_; }
+  void set_last_sequence(SequenceNumber s) { last_sequence_ = s; }
+
+  std::string TableFileName(uint64_t number) const;
+  std::string WalFileName(uint64_t number) const;
+
+ private:
+  Status SaveManifest(const Version& v);
+  Status LoadManifest(Version* v);
+
+  std::string dir_;
+  BlockCache* block_cache_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const Version> current_;
+  uint64_t next_file_number_ = 1;
+  SequenceNumber last_sequence_ = 0;
+};
+
+}  // namespace lsm
+}  // namespace tierbase
+
+#endif  // TIERBASE_LSM_VERSION_H_

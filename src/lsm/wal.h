@@ -1,0 +1,105 @@
+// Write-ahead log for the LSM engine and for TierBase's cache-tier
+// persistence modes. Three sink flavours (paper Fig 8):
+//   * file with async sync (WAL on SSD, flushed every sync_interval),
+//   * file with per-record sync,
+//   * PMem ring buffer with per-record persistence and background drain
+//     to a file (WAL-PMem).
+//
+// Record framing on file sinks: fixed32 masked-crc | fixed32 len | payload.
+
+#ifndef TIERBASE_LSM_WAL_H_
+#define TIERBASE_LSM_WAL_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/env.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "pmem/ring_buffer.h"
+
+namespace tierbase {
+namespace lsm {
+
+enum class WalSyncMode {
+  kNone,         // OS-buffered only (fast, loses recent writes on crash).
+  kEveryRecord,  // fsync per record.
+  kInterval,     // fsync at most every sync_interval_micros.
+};
+
+struct WalOptions {
+  WalSyncMode sync_mode = WalSyncMode::kInterval;
+  uint64_t sync_interval_micros = 1'000'000;  // 1 s, as in the paper's WAL.
+  Clock* clock = Clock::Real();
+};
+
+/// Append-only log writer over a file.
+class WalWriter {
+ public:
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 const WalOptions& options);
+  /// Flushes buffered records to the OS on clean shutdown (interval mode
+  /// buffers appends between syncs).
+  ~WalWriter() {
+    if (file_ != nullptr) file_->Close();
+  }
+
+  Status AddRecord(const Slice& record);
+  Status Sync();
+  uint64_t size() const { return file_->Size(); }
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, const WalOptions& options)
+      : file_(std::move(file)), options_(options) {}
+
+  std::unique_ptr<WritableFile> file_;
+  WalOptions options_;
+  std::mutex mu_;
+  uint64_t last_sync_micros_ = 0;
+};
+
+/// Sequential log reader; stops at the first corrupt/truncated record.
+class WalReader {
+ public:
+  static Result<std::unique_ptr<WalReader>> Open(const std::string& path);
+
+  /// Returns false at end-of-log.
+  bool ReadRecord(std::string* record);
+
+ private:
+  explicit WalReader(std::string contents) : contents_(std::move(contents)) {}
+
+  std::string contents_;
+  size_t pos_ = 0;
+};
+
+/// WAL backed by a persistent-memory ring buffer (paper §4.3): every record
+/// is durable on PMem at Append return; DrainTo() batch-moves records to a
+/// file-based log, freeing ring space.
+class PmemWal {
+ public:
+  PmemWal(PmemRingBuffer* ring, WalWriter* backing_log)
+      : ring_(ring), backing_log_(backing_log) {}
+
+  /// Durable on PMem when this returns. If the ring is full, drains
+  /// synchronously first (the backpressure path).
+  Status AddRecord(const Slice& record);
+
+  /// Moves up to `max_records` to the backing file log.
+  Status Drain(size_t max_records = 256);
+
+  size_t pending() const { return ring_->pending(); }
+
+ private:
+  PmemRingBuffer* ring_;
+  WalWriter* backing_log_;
+};
+
+}  // namespace lsm
+}  // namespace tierbase
+
+#endif  // TIERBASE_LSM_WAL_H_

@@ -1,0 +1,70 @@
+#include "pmem/pmem_allocator.h"
+
+#include <bit>
+
+namespace tierbase {
+
+PmemAllocator::PmemAllocator(PmemDevice* device, uint64_t region_start,
+                             uint64_t region_size)
+    : device_(device),
+      region_start_(region_start),
+      region_size_(region_size),
+      bump_(region_start),
+      free_lists_(kNumClasses) {}
+
+int PmemAllocator::ClassFor(size_t size) {
+  if (size <= 16) return 0;
+  int bits = 64 - std::countl_zero(static_cast<uint64_t>(size - 1));
+  return std::min(kNumClasses - 1, bits - 4);  // Class 0 = 2^4 bytes.
+}
+
+size_t PmemAllocator::ClassSize(int cls) { return 16ULL << cls; }
+
+PmemPtr PmemAllocator::Allocate(size_t size) {
+  if (size == 0) return kInvalidPmemPtr;
+  int cls = ClassFor(size);
+  size_t block = ClassSize(cls);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!free_lists_[cls].empty()) {
+    PmemPtr ptr = free_lists_[cls].back();
+    free_lists_[cls].pop_back();
+    bytes_in_use_ += block;
+    return ptr;
+  }
+  if (bump_ + block > region_start_ + region_size_) {
+    return kInvalidPmemPtr;  // Region exhausted.
+  }
+  PmemPtr ptr = bump_;
+  bump_ += block;
+  bytes_in_use_ += block;
+  return ptr;
+}
+
+void PmemAllocator::Free(PmemPtr ptr, size_t size) {
+  if (ptr == kInvalidPmemPtr) return;
+  int cls = ClassFor(size);
+  std::lock_guard<std::mutex> lock(mu_);
+  free_lists_[cls].push_back(ptr);
+  bytes_in_use_ -= ClassSize(cls);
+}
+
+PmemPtr PmemAllocator::Store(const Slice& data) {
+  PmemPtr ptr = Allocate(data.size());
+  if (ptr == kInvalidPmemPtr) return ptr;
+  if (!device_->Write(ptr, data).ok() ||
+      !device_->Persist(ptr, data.size()).ok()) {
+    Free(ptr, data.size());
+    return kInvalidPmemPtr;
+  }
+  return ptr;
+}
+
+Status PmemAllocator::Load(PmemPtr ptr, size_t size, std::string* out) const {
+  if (ptr == kInvalidPmemPtr) {
+    return Status::InvalidArgument("pmem-alloc: invalid pointer");
+  }
+  return device_->Read(ptr, size, out);
+}
+
+}  // namespace tierbase

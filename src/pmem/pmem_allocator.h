@@ -1,0 +1,63 @@
+// PmemAllocator: size-class allocator over a PmemDevice region, used by the
+// cache engine's DRAM/PMem split placement (paper §4.3: small hot keys and
+// indexes stay in DRAM; larger values live in PMem).
+
+#ifndef TIERBASE_PMEM_PMEM_ALLOCATOR_H_
+#define TIERBASE_PMEM_PMEM_ALLOCATOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "pmem/pmem_device.h"
+
+namespace tierbase {
+
+/// Offset-based allocation handle; kInvalidPmemPtr means "not allocated".
+using PmemPtr = uint64_t;
+constexpr PmemPtr kInvalidPmemPtr = ~0ULL;
+
+class PmemAllocator {
+ public:
+  /// Manages [region_start, region_start + region_size) of `device`.
+  /// The device must outlive the allocator.
+  PmemAllocator(PmemDevice* device, uint64_t region_start,
+                uint64_t region_size);
+
+  /// Allocates `size` bytes; returns kInvalidPmemPtr when out of space.
+  PmemPtr Allocate(size_t size);
+
+  /// Frees an allocation previously returned by Allocate with this size.
+  void Free(PmemPtr ptr, size_t size);
+
+  /// Convenience: allocate + write + persist. Returns kInvalidPmemPtr on
+  /// allocation failure.
+  PmemPtr Store(const Slice& data);
+  Status Load(PmemPtr ptr, size_t size, std::string* out) const;
+
+  uint64_t bytes_in_use() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_in_use_;
+  }
+  uint64_t region_size() const { return region_size_; }
+  PmemDevice* device() const { return device_; }
+
+ private:
+  static constexpr int kNumClasses = 24;  // 16 B ... 128 MiB, power of two.
+  static int ClassFor(size_t size);
+  static size_t ClassSize(int cls);
+
+  PmemDevice* device_;
+  uint64_t region_start_;
+  uint64_t region_size_;
+
+  mutable std::mutex mu_;
+  uint64_t bump_;                              // Next never-used offset.
+  std::vector<std::vector<uint64_t>> free_lists_;  // Per size class.
+  uint64_t bytes_in_use_ = 0;
+};
+
+}  // namespace tierbase
+
+#endif  // TIERBASE_PMEM_PMEM_ALLOCATOR_H_

@@ -1,0 +1,151 @@
+#include "pmem/pmem_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+namespace tierbase {
+
+namespace {
+constexpr size_t kPageSize = 4096;
+
+// Busy-wait for ns (sleep syscalls are far too coarse at these scales).
+inline void SpinNanos(uint64_t ns) {
+  if (ns == 0) return;
+  auto start = std::chrono::steady_clock::now();
+  auto deadline = start + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // spin
+  }
+}
+}  // namespace
+
+Result<std::unique_ptr<PmemDevice>> PmemDevice::Create(
+    const PmemOptions& options) {
+  if (options.capacity == 0) {
+    return Status::InvalidArgument("pmem: zero capacity");
+  }
+  std::unique_ptr<PmemDevice> dev(new PmemDevice(options));
+  if (!options.backing_file.empty()) {
+    Status s = dev->LoadBackingFile();
+    if (!s.ok()) return s;
+  }
+  return dev;
+}
+
+PmemDevice::PmemDevice(const PmemOptions& options)
+    : options_(options),
+      mem_(options.capacity, 0),
+      volatile_(options.capacity, 0),
+      dirty_((options.capacity + kPageSize - 1) / kPageSize, false) {}
+
+PmemDevice::~PmemDevice() {
+  if (backing_fd_ >= 0) close(backing_fd_);
+}
+
+Status PmemDevice::LoadBackingFile() {
+  backing_fd_ = open(options_.backing_file.c_str(), O_RDWR | O_CREAT, 0644);
+  if (backing_fd_ < 0) {
+    return Status::IOError("pmem: cannot open backing file " +
+                           options_.backing_file);
+  }
+  off_t size = lseek(backing_fd_, 0, SEEK_END);
+  if (size > 0) {
+    size_t to_read =
+        std::min(static_cast<size_t>(size), options_.capacity);
+    ssize_t n = pread(backing_fd_, mem_.data(), to_read, 0);
+    if (n < 0) return Status::IOError("pmem: backing file read failed");
+  }
+  // Recovered contents are the persisted state.
+  volatile_ = mem_;
+  return Status::OK();
+}
+
+void PmemDevice::InjectLatency(uint32_t base_ns, uint64_t bytes,
+                               uint64_t bandwidth) const {
+  if (!options_.inject_latency) return;
+  uint64_t ns = base_ns;
+  if (bandwidth > 0) {
+    ns += bytes * 1000000000ULL / bandwidth;
+  }
+  SpinNanos(ns);
+}
+
+Status PmemDevice::Read(uint64_t offset, size_t n, char* out) const {
+  if (offset + n > options_.capacity) {
+    return Status::InvalidArgument("pmem: read out of range");
+  }
+  InjectLatency(options_.read_latency_ns, n, options_.read_bandwidth);
+  memcpy(out, volatile_.data() + offset, n);
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(n, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status PmemDevice::Read(uint64_t offset, size_t n, std::string* out) const {
+  out->resize(n);
+  return Read(offset, n, out->data());
+}
+
+Status PmemDevice::Write(uint64_t offset, const Slice& data) {
+  if (offset + data.size() > options_.capacity) {
+    return Status::InvalidArgument("pmem: write out of range");
+  }
+  InjectLatency(options_.write_latency_ns, data.size(),
+                options_.write_bandwidth);
+  memcpy(volatile_.data() + offset, data.data(), data.size());
+  for (size_t page = offset / kPageSize;
+       page <= (offset + data.size() - 1) / kPageSize && data.size() > 0;
+       ++page) {
+    dirty_[page] = true;
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status PmemDevice::Persist(uint64_t offset, size_t n) {
+  if (n == 0) return Status::OK();
+  if (offset + n > options_.capacity) {
+    return Status::InvalidArgument("pmem: persist out of range");
+  }
+  // Flush cost is ~a store fence plus media write of the dirty lines.
+  InjectLatency(options_.write_latency_ns, 0, 0);
+
+  size_t first_page = offset / kPageSize;
+  size_t last_page = (offset + n - 1) / kPageSize;
+  for (size_t page = first_page; page <= last_page; ++page) {
+    if (!dirty_[page]) continue;
+    size_t page_off = page * kPageSize;
+    size_t page_len = std::min(kPageSize, options_.capacity - page_off);
+    memcpy(mem_.data() + page_off, volatile_.data() + page_off, page_len);
+    if (backing_fd_ >= 0) {
+      ssize_t w = pwrite(backing_fd_, mem_.data() + page_off, page_len,
+                         static_cast<off_t>(page_off));
+      if (w < 0) return Status::IOError("pmem: backing file write failed");
+    }
+    dirty_[page] = false;
+  }
+  persists_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void PmemDevice::CrashForTesting() {
+  // All non-persisted stores are lost.
+  volatile_ = mem_;
+  std::fill(dirty_.begin(), dirty_.end(), false);
+}
+
+PmemDevice::Stats PmemDevice::GetStats() const {
+  Stats s;
+  s.reads = reads_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.persists = persists_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace tierbase

@@ -1,0 +1,139 @@
+#include "threading/elastic_executor.h"
+
+#include <algorithm>
+
+namespace tierbase {
+namespace threading {
+
+ElasticExecutor::ElasticExecutor(ElasticOptions options)
+    : options_(options) {
+  options_.max_threads = std::max(1, options_.max_threads);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    desired_threads_ =
+        options_.mode == ThreadMode::kMulti ? options_.max_threads : 1;
+    for (int i = 0; i < desired_threads_; ++i) SpawnWorkerLocked();
+  }
+  if (options_.mode == ThreadMode::kElastic) {
+    controller_ = std::thread(&ElasticExecutor::ControlLoop, this);
+  }
+}
+
+ElasticExecutor::~ElasticExecutor() { Shutdown(); }
+
+void ElasticExecutor::SpawnWorkerLocked() {
+  ++alive_workers_;
+  workers_.emplace_back(&ElasticExecutor::WorkerLoop, this,
+                        static_cast<int>(workers_.size()));
+  active_threads_.store(alive_workers_, std::memory_order_relaxed);
+}
+
+void ElasticExecutor::Submit(Task task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  space_cv_.wait(lock, [this] {
+    return shutdown_ || queue_.size() < options_.max_queue;
+  });
+  if (shutdown_) return;
+  queue_.push_back(std::move(task));
+  task_cv_.notify_one();
+}
+
+void ElasticExecutor::Execute(const Task& task) {
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  Submit([&] {
+    task();
+    // Notify while holding the lock: the waiter owns done_cv on its
+    // stack, and may only destroy it once it re-acquires done_mu — which
+    // this critical section delays until notify_one has completed.
+    std::lock_guard<std::mutex> lock(done_mu);
+    done = true;
+    done_cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done; });
+}
+
+void ElasticExecutor::WorkerLoop(int worker_id) {
+  (void)worker_id;
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] {
+        return shutdown_ || !queue_.empty() ||
+               alive_workers_ > desired_threads_;
+      });
+      if (shutdown_ && queue_.empty()) return;
+      // Retire surplus workers only when the queue is calm, so a scale-down
+      // decision never abandons queued work.
+      if (alive_workers_ > desired_threads_ && queue_.empty()) {
+        --alive_workers_;
+        active_threads_.store(alive_workers_, std::memory_order_relaxed);
+        return;
+      }
+      if (queue_.empty()) continue;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      space_cv_.notify_one();
+    }
+    task();
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ElasticExecutor::ControlLoop() {
+  int up_votes = 0;
+  int down_votes = 0;
+  while (true) {
+    Clock::Real()->SleepMicros(options_.control_interval_micros);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    size_t depth = queue_.size();
+
+    if (depth >= options_.scale_up_depth &&
+        desired_threads_ < options_.max_threads) {
+      if (++up_votes >= options_.up_votes) {
+        up_votes = 0;
+        down_votes = 0;
+        ++desired_threads_;
+        // Always spawn a fresh thread; retired ones have exited and are
+        // joined at shutdown.
+        SpawnWorkerLocked();
+        scale_ups_.fetch_add(1, std::memory_order_relaxed);
+        task_cv_.notify_all();
+      }
+    } else {
+      up_votes = 0;
+      if (depth <= options_.scale_down_depth && desired_threads_ > 1) {
+        if (++down_votes >= options_.down_votes) {
+          down_votes = 0;
+          --desired_threads_;
+          scale_downs_.fetch_add(1, std::memory_order_relaxed);
+          task_cv_.notify_all();
+        }
+      } else {
+        down_votes = 0;
+      }
+    }
+  }
+}
+
+void ElasticExecutor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  task_cv_.notify_all();
+  space_cv_.notify_all();
+  if (controller_.joinable()) controller_.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  active_threads_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace threading
+}  // namespace tierbase

@@ -1,0 +1,118 @@
+// Elastic threading (paper §4.4): a TierBase data node normally runs one
+// event-loop thread per instance (best CPU efficiency, lowest performance
+// cost). When the workload on the instance spikes, idle "RPC threads"
+// pre-allocated inside the container are activated to boost throughput
+// without external scaling; when the spike subsides the node reverts to
+// single-threaded mode, releasing CPU back to co-located instances.
+//
+// This module models the mechanism directly: an MPMC command queue with a
+// dynamic worker pool governed by a queue-depth controller.
+//   * kSingle:  min = max = 1 (Redis-like event loop).
+//   * kMulti:   min = max = N (Memcached/Dragonfly-like fixed pool).
+//   * kElastic: 1..N, scaled by the controller.
+
+#ifndef TIERBASE_THREADING_ELASTIC_EXECUTOR_H_
+#define TIERBASE_THREADING_ELASTIC_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace tierbase {
+namespace threading {
+
+enum class ThreadMode {
+  kSingle,
+  kMulti,
+  kElastic,
+};
+
+struct ElasticOptions {
+  ThreadMode mode = ThreadMode::kElastic;
+  /// Container CPU budget: the max threads elastic/multi mode may use.
+  int max_threads = 4;
+  /// Queue depth that triggers scale-up when sustained.
+  size_t scale_up_depth = 32;
+  /// Queue depth under which an extra thread is retired.
+  size_t scale_down_depth = 4;
+  /// Controller evaluation period.
+  uint64_t control_interval_micros = 20'000;  // 20 ms.
+  /// Consecutive over-threshold evaluations required to add a thread
+  /// (debounces momentary bursts).
+  int up_votes = 2;
+  /// Consecutive under-threshold evaluations required to retire a thread.
+  int down_votes = 10;
+  /// Submit blocks when the queue holds this many tasks (backpressure).
+  size_t max_queue = 65536;
+};
+
+/// A unit of work; the executor runs it on one of its worker threads.
+using Task = std::function<void()>;
+
+class ElasticExecutor {
+ public:
+  explicit ElasticExecutor(ElasticOptions options = {});
+  ~ElasticExecutor();
+
+  ElasticExecutor(const ElasticExecutor&) = delete;
+  ElasticExecutor& operator=(const ElasticExecutor&) = delete;
+
+  /// Enqueues a task; blocks if the queue is full (client backpressure).
+  void Submit(Task task);
+
+  /// Enqueues and waits for the task to finish (the synchronous RPC shape
+  /// used by the benchmark clients; queueing delay is thus part of the
+  /// observed latency, as it would be on a real server).
+  void Execute(const Task& task);
+
+  /// Drains the queue and joins all workers. Idempotent.
+  void Shutdown();
+
+  int active_threads() const {
+    return active_threads_.load(std::memory_order_relaxed);
+  }
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+  uint64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  /// Number of scale-up events (the elastic "boost" activations).
+  uint64_t scale_ups() const { return scale_ups_.load(); }
+  uint64_t scale_downs() const { return scale_downs_.load(); }
+
+ private:
+  void WorkerLoop(int worker_id);
+  void ControlLoop();
+  void SpawnWorkerLocked();
+
+  ElasticOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable task_cv_;      // Workers wait for tasks.
+  std::condition_variable space_cv_;     // Producers wait for queue space.
+  std::deque<Task> queue_;
+  bool shutdown_ = false;
+  int desired_threads_ = 1;
+  int alive_workers_ = 0;  // Workers currently in their loop (under mu_).
+
+  std::vector<std::thread> workers_;
+  std::thread controller_;
+
+  std::atomic<int> active_threads_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> scale_ups_{0};
+  std::atomic<uint64_t> scale_downs_{0};
+};
+
+}  // namespace threading
+}  // namespace tierbase
+
+#endif  // TIERBASE_THREADING_ELASTIC_EXECUTOR_H_

@@ -1,0 +1,66 @@
+// Distance kernels for the vector-search subsystem (paper §3: TierBase
+// integrates the VSAG library for ANN queries over high-dimensional
+// vectors; this reproduction ships an HNSW index plus an exact baseline).
+
+#ifndef TIERBASE_VECTOR_DISTANCE_H_
+#define TIERBASE_VECTOR_DISTANCE_H_
+
+#include <cmath>
+#include <cstddef>
+
+namespace tierbase {
+namespace vector {
+
+enum class Metric {
+  kL2,             // Squared Euclidean distance (monotone in L2).
+  kInnerProduct,   // Negative dot product (smaller = more similar).
+  kCosine,         // 1 - cosine similarity.
+};
+
+const char* MetricName(Metric metric);
+
+inline float L2Squared(const float* a, const float* b, size_t dim) {
+  float sum = 0;
+  for (size_t i = 0; i < dim; ++i) {
+    float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+inline float NegativeInnerProduct(const float* a, const float* b,
+                                  size_t dim) {
+  float dot = 0;
+  for (size_t i = 0; i < dim; ++i) dot += a[i] * b[i];
+  return -dot;
+}
+
+inline float CosineDistance(const float* a, const float* b, size_t dim) {
+  float dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < dim; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  float denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom == 0) return 1.0f;
+  return 1.0f - dot / denom;
+}
+
+inline float Distance(Metric metric, const float* a, const float* b,
+                      size_t dim) {
+  switch (metric) {
+    case Metric::kL2:
+      return L2Squared(a, b, dim);
+    case Metric::kInnerProduct:
+      return NegativeInnerProduct(a, b, dim);
+    case Metric::kCosine:
+      return CosineDistance(a, b, dim);
+  }
+  return 0;
+}
+
+}  // namespace vector
+}  // namespace tierbase
+
+#endif  // TIERBASE_VECTOR_DISTANCE_H_

@@ -1,0 +1,98 @@
+#include "vector/flat_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <queue>
+
+namespace tierbase {
+namespace vector {
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kL2: return "l2";
+    case Metric::kInnerProduct: return "ip";
+    case Metric::kCosine: return "cosine";
+  }
+  return "?";
+}
+
+FlatIndex::FlatIndex(const IndexOptions& options) : options_(options) {}
+
+Status FlatIndex::Add(uint64_t id, const float* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(id);
+  if (it != slots_.end()) {
+    std::memcpy(&data_[it->second * options_.dim], data,
+                options_.dim * sizeof(float));
+    return Status::OK();
+  }
+  size_t slot = ids_.size();
+  ids_.push_back(id);
+  slots_.emplace(id, slot);
+  data_.insert(data_.end(), data, data + options_.dim);
+  return Status::OK();
+}
+
+Status FlatIndex::Remove(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(id);
+  if (it == slots_.end()) return Status::NotFound("vector id");
+  size_t slot = it->second;
+  size_t last = ids_.size() - 1;
+  if (slot != last) {
+    // Move the last vector into the vacated slot.
+    std::memcpy(&data_[slot * options_.dim], &data_[last * options_.dim],
+                options_.dim * sizeof(float));
+    ids_[slot] = ids_[last];
+    slots_[ids_[slot]] = slot;
+  }
+  ids_.pop_back();
+  data_.resize(ids_.size() * options_.dim);
+  slots_.erase(it);
+  return Status::OK();
+}
+
+bool FlatIndex::Contains(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.count(id) > 0;
+}
+
+Status FlatIndex::Search(const float* query, size_t k,
+                         std::vector<SearchResult>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->clear();
+  if (k == 0) return Status::OK();
+  // Max-heap of the best k seen so far.
+  std::priority_queue<std::pair<float, uint64_t>> heap;
+  for (size_t slot = 0; slot < ids_.size(); ++slot) {
+    float d = Distance(options_.metric, query, &data_[slot * options_.dim],
+                       options_.dim);
+    if (heap.size() < k) {
+      heap.emplace(d, ids_[slot]);
+    } else if (d < heap.top().first) {
+      heap.pop();
+      heap.emplace(d, ids_[slot]);
+    }
+  }
+  out->resize(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    (*out)[i] = {heap.top().second, heap.top().first};
+    heap.pop();
+  }
+  return Status::OK();
+}
+
+size_t FlatIndex::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ids_.size();
+}
+
+uint64_t FlatIndex::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_.capacity() * sizeof(float) +
+         ids_.capacity() * sizeof(uint64_t) +
+         slots_.size() * (sizeof(uint64_t) + sizeof(size_t) + 16);
+}
+
+}  // namespace vector
+}  // namespace tierbase

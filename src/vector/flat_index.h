@@ -1,0 +1,45 @@
+// FlatIndex: exact brute-force nearest neighbours. The correctness oracle
+// for the HNSW index's recall and the "conventional" baseline in the
+// vector ablation bench.
+
+#ifndef TIERBASE_VECTOR_FLAT_INDEX_H_
+#define TIERBASE_VECTOR_FLAT_INDEX_H_
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "vector/vector_index.h"
+
+namespace tierbase {
+namespace vector {
+
+class FlatIndex : public VectorIndex {
+ public:
+  explicit FlatIndex(const IndexOptions& options);
+
+  std::string name() const override { return "flat"; }
+  size_t dim() const override { return options_.dim; }
+  Metric metric() const override { return options_.metric; }
+
+  Status Add(uint64_t id, const float* data) override;
+  Status Remove(uint64_t id) override;
+  bool Contains(uint64_t id) const override;
+  Status Search(const float* query, size_t k,
+                std::vector<SearchResult>* out) const override;
+  size_t size() const override;
+  uint64_t MemoryBytes() const override;
+
+ private:
+  IndexOptions options_;
+  mutable std::mutex mu_;
+  // Dense storage with an id index; removal swaps with the back.
+  std::vector<float> data_;          // size() * dim floats.
+  std::vector<uint64_t> ids_;        // Slot -> id.
+  std::unordered_map<uint64_t, size_t> slots_;  // Id -> slot.
+};
+
+}  // namespace vector
+}  // namespace tierbase
+
+#endif  // TIERBASE_VECTOR_FLAT_INDEX_H_

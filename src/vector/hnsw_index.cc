@@ -1,0 +1,314 @@
+#include "vector/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <queue>
+
+#include "vector/flat_index.h"
+
+namespace tierbase {
+namespace vector {
+
+namespace {
+
+// Min-heap over (distance, node) pairs.
+using Candidate = std::pair<float, uint32_t>;
+
+}  // namespace
+
+HnswIndex::HnswIndex(const IndexOptions& options)
+    : options_(options), rng_(options.seed) {
+  options_.m = std::max<size_t>(2, options_.m);
+  options_.ef_construction = std::max(options_.ef_construction, options_.m);
+  level_mult_ = 1.0 / std::log(static_cast<double>(options_.m));
+}
+
+float HnswIndex::Dist(const float* a, uint32_t node) const {
+  return Distance(options_.metric, a, &data_[node * options_.dim],
+                  options_.dim);
+}
+
+int HnswIndex::RandomLevel() {
+  // Geometric level distribution: P(level >= l) = m^-l.
+  double u = rng_.NextDouble();
+  if (u <= 0) u = 1e-12;
+  int level = static_cast<int>(-std::log(u) * level_mult_);
+  return std::min(level, 24);
+}
+
+uint32_t HnswIndex::GreedyClosest(const float* query, uint32_t entry,
+                                  int level) const {
+  uint32_t current = entry;
+  float best = Dist(query, current);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (uint32_t next : nodes_[current].neighbors[static_cast<size_t>(level)]) {
+      float d = Dist(query, next);
+      if (d < best) {
+        best = d;
+        current = next;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<Candidate> HnswIndex::SearchLayer(const float* query,
+                                              uint32_t entry, int level,
+                                              size_t ef) const {
+  std::vector<bool> visited(nodes_.size(), false);
+  std::priority_queue<Candidate, std::vector<Candidate>,
+                      std::greater<Candidate>>
+      to_visit;  // Min-heap by distance.
+  std::priority_queue<Candidate> best;  // Max-heap of the ef closest.
+
+  float d0 = Dist(query, entry);
+  to_visit.emplace(d0, entry);
+  best.emplace(d0, entry);
+  visited[entry] = true;
+
+  while (!to_visit.empty()) {
+    auto [d, node] = to_visit.top();
+    to_visit.pop();
+    if (d > best.top().first && best.size() >= ef) break;
+    for (uint32_t next : nodes_[node].neighbors[static_cast<size_t>(level)]) {
+      if (visited[next]) continue;
+      visited[next] = true;
+      float dn = Dist(query, next);
+      if (best.size() < ef || dn < best.top().first) {
+        to_visit.emplace(dn, next);
+        best.emplace(dn, next);
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+
+  std::vector<Candidate> out(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    out[i] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+std::vector<uint32_t> HnswIndex::SelectNeighbors(
+    const float* query, std::vector<Candidate> candidates, size_t m) const {
+  // Heuristic from the HNSW paper: keep a candidate only if it is closer
+  // to the query than to every already-selected neighbour — this favours
+  // diverse directions over clustered ones.
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<uint32_t> selected;
+  for (const auto& [d, node] : candidates) {
+    if (selected.size() >= m) break;
+    bool keep = true;
+    for (uint32_t s : selected) {
+      float between = Distance(options_.metric, &data_[node * options_.dim],
+                               &data_[s * options_.dim], options_.dim);
+      if (between < d) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) selected.push_back(node);
+  }
+  // Backfill with nearest remaining if the heuristic was too strict.
+  if (selected.size() < m) {
+    for (const auto& [d, node] : candidates) {
+      if (selected.size() >= m) break;
+      if (std::find(selected.begin(), selected.end(), node) ==
+          selected.end()) {
+        selected.push_back(node);
+      }
+    }
+  }
+  return selected;
+}
+
+void HnswIndex::Link(uint32_t from, uint32_t to, int level, size_t cap) {
+  auto& adj = nodes_[from].neighbors[static_cast<size_t>(level)];
+  if (std::find(adj.begin(), adj.end(), to) != adj.end()) return;
+  adj.push_back(to);
+  if (adj.size() <= cap) return;
+  // Prune with the selection heuristic, anchored at `from`.
+  std::vector<Candidate> candidates;
+  candidates.reserve(adj.size());
+  const float* base = &data_[from * options_.dim];
+  for (uint32_t n : adj) candidates.emplace_back(Dist(base, n), n);
+  adj = SelectNeighbors(base, std::move(candidates), cap);
+}
+
+Status HnswIndex::Add(uint64_t id, const float* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AddLocked(id, data);
+}
+
+Status HnswIndex::AddLocked(uint64_t id, const float* data) {
+  auto it = by_id_.find(id);
+  if (it != by_id_.end() && !nodes_[it->second].deleted) {
+    // Replace = remove + insert (vectors are immutable per node; the
+    // graph edges were built for the old position).
+    nodes_[it->second].deleted = true;
+    --live_;
+    ++dead_;
+    by_id_.erase(it);
+  } else if (it != by_id_.end()) {
+    by_id_.erase(it);
+  }
+
+  uint32_t node_idx = static_cast<uint32_t>(nodes_.size());
+  int level = RandomLevel();
+  Node node;
+  node.id = id;
+  node.level = level;
+  node.neighbors.resize(static_cast<size_t>(level) + 1);
+  nodes_.push_back(std::move(node));
+  data_.insert(data_.end(), data, data + options_.dim);
+  by_id_[id] = node_idx;
+  ++live_;
+
+  if (empty_) {
+    entry_point_ = node_idx;
+    max_level_ = level;
+    empty_ = false;
+    return Status::OK();
+  }
+
+  uint32_t entry = entry_point_;
+  // Descend through layers above the node's level.
+  for (int l = max_level_; l > level; --l) {
+    entry = GreedyClosest(data, entry, l);
+  }
+  // Insert at each layer from min(level, max_level_) down to 0.
+  for (int l = std::min(level, max_level_); l >= 0; --l) {
+    auto candidates = SearchLayer(data, entry, l, options_.ef_construction);
+    size_t cap = l == 0 ? options_.m * 2 : options_.m;
+    auto neighbors = SelectNeighbors(data, candidates, options_.m);
+    for (uint32_t neighbor : neighbors) {
+      Link(node_idx, neighbor, l, cap);
+      Link(neighbor, node_idx, l, cap);
+    }
+    if (!candidates.empty()) entry = candidates.front().second;
+  }
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = node_idx;
+  }
+  return Status::OK();
+}
+
+Status HnswIndex::Remove(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end() || nodes_[it->second].deleted) {
+    return Status::NotFound("vector id");
+  }
+  nodes_[it->second].deleted = true;
+  by_id_.erase(it);
+  --live_;
+  ++dead_;
+  // Tombstones keep routing until they dominate; then rebuild.
+  if (live_ > 0 &&
+      static_cast<double>(dead_) / static_cast<double>(live_ + dead_) >
+          options_.compact_threshold) {
+    RebuildLocked();
+  }
+  return Status::OK();
+}
+
+void HnswIndex::RebuildLocked() {
+  std::vector<Node> old_nodes;
+  std::vector<float> old_data;
+  old_nodes.swap(nodes_);
+  old_data.swap(data_);
+  by_id_.clear();
+  empty_ = true;
+  max_level_ = 0;
+  entry_point_ = 0;
+  live_ = 0;
+  dead_ = 0;
+  ++rebuilds_;
+  for (size_t i = 0; i < old_nodes.size(); ++i) {
+    if (old_nodes[i].deleted) continue;
+    AddLocked(old_nodes[i].id, &old_data[i * options_.dim]);
+  }
+}
+
+bool HnswIndex::Contains(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  return it != by_id_.end() && !nodes_[it->second].deleted;
+}
+
+Status HnswIndex::Search(const float* query, size_t k,
+                         std::vector<SearchResult>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->clear();
+  if (k == 0 || empty_ || live_ == 0) return Status::OK();
+
+  uint32_t entry = entry_point_;
+  for (int l = max_level_; l > 0; --l) {
+    entry = GreedyClosest(query, entry, l);
+  }
+  // Widen the candidate list by the tombstone count (capped) so deleted
+  // routing nodes don't crowd live results out of the ef window.
+  size_t ef = std::max(options_.ef_search, k) + std::min(dead_, k * 4);
+  auto candidates = SearchLayer(query, entry, 0, ef);
+  for (const auto& [d, node] : candidates) {
+    if (nodes_[node].deleted) continue;
+    out->push_back({nodes_[node].id, d});
+    if (out->size() == k) break;
+  }
+  return Status::OK();
+}
+
+size_t HnswIndex::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_;
+}
+
+size_t HnswIndex::tombstones() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_;
+}
+
+int HnswIndex::max_level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_level_;
+}
+
+uint64_t HnswIndex::rebuilds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rebuilds_;
+}
+
+uint64_t HnswIndex::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = data_.capacity() * sizeof(float);
+  for (const auto& node : nodes_) {
+    for (const auto& adj : node.neighbors) {
+      total += adj.capacity() * sizeof(uint32_t);
+    }
+    total += sizeof(Node);
+  }
+  total += by_id_.size() * (sizeof(uint64_t) + sizeof(uint32_t) + 16);
+  return total;
+}
+
+Result<std::unique_ptr<VectorIndex>> CreateIndex(const IndexOptions& options) {
+  if (options.dim == 0) {
+    return Status::InvalidArgument("vector index: dim required");
+  }
+  switch (options.kind) {
+    case IndexKind::kFlat:
+      return std::unique_ptr<VectorIndex>(new FlatIndex(options));
+    case IndexKind::kHnsw:
+      return std::unique_ptr<VectorIndex>(new HnswIndex(options));
+  }
+  return Status::InvalidArgument("vector index: unknown kind");
+}
+
+}  // namespace vector
+}  // namespace tierbase

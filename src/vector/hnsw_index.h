@@ -1,0 +1,97 @@
+// HnswIndex: Hierarchical Navigable Small World graphs (Malkov & Yashunin)
+// with dynamic insertion and deletion — the "conventional algorithm"
+// TierBase's VSAG integration is compared against in the paper (§3), and
+// the production-grade ANN engine of this reproduction.
+//
+// Deletion marks nodes as tombstones: they keep routing greedy search (so
+// graph connectivity survives) but never appear in results. When the
+// tombstoned fraction crosses `compact_threshold`, the index rebuilds
+// itself from the live vectors (the standard mitigation; VSAG's in-place
+// repair is its headline improvement).
+
+#ifndef TIERBASE_VECTOR_HNSW_INDEX_H_
+#define TIERBASE_VECTOR_HNSW_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "vector/vector_index.h"
+
+namespace tierbase {
+namespace vector {
+
+class HnswIndex : public VectorIndex {
+ public:
+  explicit HnswIndex(const IndexOptions& options);
+
+  std::string name() const override { return "hnsw"; }
+  size_t dim() const override { return options_.dim; }
+  Metric metric() const override { return options_.metric; }
+
+  Status Add(uint64_t id, const float* data) override;
+  Status Remove(uint64_t id) override;
+  bool Contains(uint64_t id) const override;
+  Status Search(const float* query, size_t k,
+                std::vector<SearchResult>* out) const override;
+  size_t size() const override;
+  uint64_t MemoryBytes() const override;
+
+  /// Internal stats for tests and the ablation bench.
+  size_t tombstones() const;
+  int max_level() const;
+  uint64_t rebuilds() const;
+
+ private:
+  struct Node {
+    uint64_t id = 0;
+    int level = 0;
+    bool deleted = false;
+    // neighbors[l] = adjacency list at layer l (0..level).
+    std::vector<std::vector<uint32_t>> neighbors;
+  };
+
+  // All private helpers require mu_ (search uses it shared via the single
+  // mutex; the cache tier wraps whole collections in their own locks, so
+  // a simple mutex keeps the implementation auditable).
+  float Dist(const float* a, uint32_t node) const;
+  int RandomLevel();
+  /// Greedy descent to the closest node at `level`, starting from `entry`.
+  uint32_t GreedyClosest(const float* query, uint32_t entry, int level) const;
+  /// Best-first search at one layer; returns up to `ef` (distance, node)
+  /// pairs, closest first. `include_deleted` keeps tombstones (used while
+  /// routing during construction).
+  std::vector<std::pair<float, uint32_t>> SearchLayer(const float* query,
+                                                      uint32_t entry, int level,
+                                                      size_t ef) const;
+  /// Heuristic neighbour selection (keeps diverse edges, cap `m`).
+  std::vector<uint32_t> SelectNeighbors(
+      const float* query, std::vector<std::pair<float, uint32_t>> candidates,
+      size_t m) const;
+  void Link(uint32_t from, uint32_t to, int level, size_t cap);
+  Status AddLocked(uint64_t id, const float* data);
+  void RebuildLocked();
+
+  IndexOptions options_;
+  mutable std::mutex mu_;
+  Random rng_;
+
+  std::vector<Node> nodes_;
+  std::vector<float> data_;  // nodes_.size() * dim.
+  std::unordered_map<uint64_t, uint32_t> by_id_;
+  uint32_t entry_point_ = 0;
+  bool empty_ = true;
+  int max_level_ = 0;
+  size_t live_ = 0;
+  size_t dead_ = 0;
+  uint64_t rebuilds_ = 0;
+  double level_mult_ = 0;
+};
+
+}  // namespace vector
+}  // namespace tierbase
+
+#endif  // TIERBASE_VECTOR_HNSW_INDEX_H_

@@ -1,0 +1,76 @@
+// VectorIndex: the ANN index interface of TierBase's vector search
+// feature (paper §3). Supports dynamic (real-time) insertion and deletion,
+// which the paper calls out as the integration's distinguishing property.
+
+#ifndef TIERBASE_VECTOR_VECTOR_INDEX_H_
+#define TIERBASE_VECTOR_VECTOR_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "vector/distance.h"
+
+namespace tierbase {
+namespace vector {
+
+struct SearchResult {
+  uint64_t id = 0;
+  float distance = 0;
+};
+
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  virtual std::string name() const = 0;
+  virtual size_t dim() const = 0;
+  virtual Metric metric() const = 0;
+
+  /// Inserts (or replaces) the vector for `id`. `data` must hold dim()
+  /// floats.
+  virtual Status Add(uint64_t id, const float* data) = 0;
+  /// Removes `id`; NotFound if absent. Removal is immediate from the
+  /// caller's perspective (deleted ids never appear in results).
+  virtual Status Remove(uint64_t id) = 0;
+  virtual bool Contains(uint64_t id) const = 0;
+
+  /// k nearest neighbours of `query`, ascending distance.
+  virtual Status Search(const float* query, size_t k,
+                        std::vector<SearchResult>* out) const = 0;
+
+  /// Live (non-deleted) vectors.
+  virtual size_t size() const = 0;
+  virtual uint64_t MemoryBytes() const = 0;
+};
+
+enum class IndexKind {
+  kFlat,  // Exact brute force (baseline + ground truth).
+  kHnsw,  // Hierarchical navigable small-world graph.
+};
+
+struct IndexOptions {
+  IndexKind kind = IndexKind::kHnsw;
+  size_t dim = 0;
+  Metric metric = Metric::kL2;
+
+  // --- HNSW parameters. ---
+  /// Out-degree per node on upper layers (2M on layer 0).
+  size_t m = 16;
+  /// Candidate-list width during construction.
+  size_t ef_construction = 120;
+  /// Candidate-list width during search (>= k for good recall).
+  size_t ef_search = 64;
+  /// Tombstoned fraction that triggers a compaction rebuild.
+  double compact_threshold = 0.3;
+  uint64_t seed = 42;
+};
+
+Result<std::unique_ptr<VectorIndex>> CreateIndex(const IndexOptions& options);
+
+}  // namespace vector
+}  // namespace tierbase
+
+#endif  // TIERBASE_VECTOR_VECTOR_INDEX_H_

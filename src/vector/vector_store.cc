@@ -1,0 +1,95 @@
+#include "vector/vector_store.h"
+
+namespace tierbase {
+namespace vector {
+
+Status VectorStore::CreateCollection(const std::string& name,
+                                     const IndexOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  if (it != collections_.end()) {
+    const IndexOptions& existing = it->second.options;
+    if (existing.kind == options.kind && existing.dim == options.dim &&
+        existing.metric == options.metric) {
+      return Status::OK();  // Idempotent re-create.
+    }
+    return Status::InvalidArgument("collection exists with other options: " +
+                                   name);
+  }
+  auto index = CreateIndex(options);
+  if (!index.ok()) return index.status();
+  collections_.emplace(name, Collection{options, std::move(index.value())});
+  return Status::OK();
+}
+
+Status VectorStore::DropCollection(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return collections_.erase(name) > 0
+             ? Status::OK()
+             : Status::NotFound("collection: " + name);
+}
+
+bool VectorStore::HasCollection(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return collections_.count(name) > 0;
+}
+
+std::vector<std::string> VectorStore::Collections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(collections_.size());
+  for (const auto& [name, c] : collections_) names.push_back(name);
+  return names;
+}
+
+VectorIndex* VectorStore::Find(const std::string& name) const {
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.index.get();
+}
+
+Status VectorStore::Add(const std::string& collection, uint64_t id,
+                        const std::vector<float>& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VectorIndex* index = Find(collection);
+  if (index == nullptr) return Status::NotFound("collection: " + collection);
+  if (data.size() != index->dim()) {
+    return Status::InvalidArgument("dim mismatch");
+  }
+  return index->Add(id, data.data());
+}
+
+Status VectorStore::Remove(const std::string& collection, uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VectorIndex* index = Find(collection);
+  if (index == nullptr) return Status::NotFound("collection: " + collection);
+  return index->Remove(id);
+}
+
+Status VectorStore::Search(const std::string& collection,
+                           const std::vector<float>& query, size_t k,
+                           std::vector<SearchResult>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  VectorIndex* index = Find(collection);
+  if (index == nullptr) return Status::NotFound("collection: " + collection);
+  if (query.size() != index->dim()) {
+    return Status::InvalidArgument("dim mismatch");
+  }
+  return index->Search(query.data(), k, out);
+}
+
+Result<size_t> VectorStore::Size(const std::string& collection) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  VectorIndex* index = Find(collection);
+  if (index == nullptr) return Status::NotFound("collection: " + collection);
+  return index->size();
+}
+
+uint64_t VectorStore::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, c] : collections_) total += c.index->MemoryBytes();
+  return total;
+}
+
+}  // namespace vector
+}  // namespace tierbase

@@ -1,0 +1,56 @@
+// VectorStore: named vector collections inside a TierBase cache instance
+// (paper §3: "CAS operations, wide-columns, and vector searching" within
+// the key-value infrastructure). Each collection is one ANN index with a
+// fixed dimensionality and metric; ids are user-assigned 64-bit keys.
+
+#ifndef TIERBASE_VECTOR_VECTOR_STORE_H_
+#define TIERBASE_VECTOR_VECTOR_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "vector/vector_index.h"
+
+namespace tierbase {
+namespace vector {
+
+class VectorStore {
+ public:
+  /// Creates a collection; InvalidArgument if it exists with different
+  /// options, OK (idempotent) if identical.
+  Status CreateCollection(const std::string& name,
+                          const IndexOptions& options);
+  Status DropCollection(const std::string& name);
+  bool HasCollection(const std::string& name) const;
+  std::vector<std::string> Collections() const;
+
+  /// Adds/replaces a vector. `data.size()` must equal the collection dim.
+  Status Add(const std::string& collection, uint64_t id,
+             const std::vector<float>& data);
+  Status Remove(const std::string& collection, uint64_t id);
+  Status Search(const std::string& collection,
+                const std::vector<float>& query, size_t k,
+                std::vector<SearchResult>* out) const;
+  Result<size_t> Size(const std::string& collection) const;
+
+  uint64_t MemoryBytes() const;
+
+ private:
+  VectorIndex* Find(const std::string& name) const;
+
+  mutable std::mutex mu_;
+  struct Collection {
+    IndexOptions options;
+    std::unique_ptr<VectorIndex> index;
+  };
+  std::unordered_map<std::string, Collection> collections_;
+};
+
+}  // namespace vector
+}  // namespace tierbase
+
+#endif  // TIERBASE_VECTOR_VECTOR_STORE_H_

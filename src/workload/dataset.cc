@@ -1,0 +1,187 @@
+#include "workload/dataset.h"
+
+#include <array>
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace tierbase {
+namespace workload {
+
+namespace {
+
+// Vocabulary pools shared across records — the source of the cross-record
+// redundancy that dictionary and pattern compression exploit.
+constexpr std::array<const char*, 16> kCountries = {
+    "CN", "US", "IN", "BR", "RU", "JP", "DE", "FR",
+    "GB", "IT", "AU", "CA", "KR", "ES", "MX", "ID"};
+constexpr std::array<const char*, 12> kTimezones = {
+    "Asia/Shanghai",    "America/New_York", "Asia/Kolkata",
+    "America/Sao_Paulo", "Europe/Moscow",   "Asia/Tokyo",
+    "Europe/Berlin",     "Europe/Paris",    "Europe/London",
+    "Australia/Sydney",  "America/Toronto", "Asia/Seoul"};
+constexpr std::array<const char*, 12> kFeatureCodes = {
+    "PPL", "PPLA", "PPLA2", "PPLA3", "PPLC", "PPLX",
+    "ADM1", "ADM2", "ADM3", "ADM4", "LK",   "MT"};
+constexpr std::array<const char*, 10> kSyllables = {
+    "an", "ber", "chi", "dor", "el", "fan", "gra", "hol", "ing", "jo"};
+constexpr std::array<const char*, 8> kChannels = {
+    "alipay", "wechat", "unionpay", "visa", "master", "bank", "cash", "card"};
+constexpr std::array<const char*, 8> kStatuses = {
+    "SUCCESS", "PENDING", "FAILED", "TIMEOUT",
+    "REVERSED", "SETTLED", "FROZEN", "REFUND"};
+
+std::string MakeName(Random* rng, int syllables) {
+  std::string name;
+  for (int i = 0; i < syllables; ++i) {
+    name += kSyllables[rng->Uniform(kSyllables.size())];
+  }
+  name[0] = static_cast<char>(name[0] - 'a' + 'A');
+  return name;
+}
+
+std::string MakeCitiesRecord(Random* rng, uint64_t index, size_t mean_bytes) {
+  // geonames-like TSV: id, name, asciiname, lat, lon, feature, country,
+  // population, elevation, timezone, moddate.
+  char buf[512];
+  std::string name = MakeName(rng, 2 + static_cast<int>(rng->Uniform(3)));
+  double lat = (rng->NextDouble() - 0.5) * 180.0;
+  double lon = (rng->NextDouble() - 0.5) * 360.0;
+  int len = snprintf(
+      buf, sizeof(buf),
+      "%llu\t%s\t%s\t%.5f\t%.5f\t%s\t%s\t%llu\t%d\t%s\t2024-%02d-%02d",
+      static_cast<unsigned long long>(3000000 + index), name.c_str(),
+      name.c_str(), lat, lon, kFeatureCodes[rng->Uniform(kFeatureCodes.size())],
+      kCountries[rng->Uniform(kCountries.size())],
+      static_cast<unsigned long long>(rng->Uniform(10000000)),
+      static_cast<int>(rng->Uniform(4000)),
+      kTimezones[rng->Uniform(kTimezones.size())],
+      static_cast<int>(1 + rng->Uniform(12)),
+      static_cast<int>(1 + rng->Uniform(28)));
+  std::string record(buf, static_cast<size_t>(len));
+  // Pad toward the target mean with an alternate-names column (repeats the
+  // city name with suffixes — realistic and compressible).
+  while (record.size() + name.size() + 6 < mean_bytes) {
+    record += "\t";
+    record += name;
+    record += kSyllables[rng->Uniform(kSyllables.size())];
+  }
+  return record;
+}
+
+std::string MakeKv1Record(Random* rng, uint64_t index, size_t mean_bytes) {
+  // Serialized user-profile-ish object.
+  char buf[640];
+  int len = snprintf(
+      buf, sizeof(buf),
+      "{\"uid\":\"2088%012llu\",\"nick\":\"%s\",\"level\":%d,"
+      "\"vip\":%s,\"score\":%llu,\"country\":\"%s\",\"timezone\":\"%s\","
+      "\"last_login\":\"2025-%02d-%02dT%02d:%02d:%02dZ\","
+      "\"device\":\"iPhone%d,%d\",\"app_version\":\"10.%d.%d\"",
+      static_cast<unsigned long long>(index),
+      MakeName(rng, 2 + static_cast<int>(rng->Uniform(2))).c_str(),
+      static_cast<int>(1 + rng->Uniform(10)),
+      rng->Bernoulli(0.2) ? "true" : "false",
+      static_cast<unsigned long long>(rng->Uniform(1000000)),
+      kCountries[rng->Uniform(kCountries.size())],
+      kTimezones[rng->Uniform(kTimezones.size())],
+      static_cast<int>(1 + rng->Uniform(12)),
+      static_cast<int>(1 + rng->Uniform(28)),
+      static_cast<int>(rng->Uniform(24)), static_cast<int>(rng->Uniform(60)),
+      static_cast<int>(rng->Uniform(60)),
+      static_cast<int>(12 + rng->Uniform(5)),
+      static_cast<int>(1 + rng->Uniform(4)),
+      static_cast<int>(rng->Uniform(9)), static_cast<int>(rng->Uniform(30)));
+  std::string record(buf, static_cast<size_t>(len));
+  int tag = 0;
+  while (record.size() + 24 < mean_bytes) {
+    char ext[64];
+    int n = snprintf(ext, sizeof(ext), ",\"tag_%d\":\"%s\"", tag++,
+                     kStatuses[rng->Uniform(kStatuses.size())]);
+    record.append(ext, static_cast<size_t>(n));
+  }
+  record += "}";
+  return record;
+}
+
+std::string MakeKv2Record(Random* rng, uint64_t index, size_t mean_bytes) {
+  // Transaction/reconciliation-ish record: very rigid template.
+  char buf[640];
+  int len = snprintf(
+      buf, sizeof(buf),
+      "biz_order_id=2025%016llu&channel=%s&amount=%llu.%02llu&currency=CNY"
+      "&status=%s&merchant_id=M%08llu&settle_batch=B2025%06llu"
+      "&check_flag=%d&gmt_create=2025-%02d-%02d %02d:%02d:%02d",
+      static_cast<unsigned long long>(index),
+      kChannels[rng->Uniform(kChannels.size())],
+      static_cast<unsigned long long>(rng->Uniform(100000)),
+      static_cast<unsigned long long>(rng->Uniform(100)),
+      kStatuses[rng->Uniform(kStatuses.size())],
+      static_cast<unsigned long long>(rng->Uniform(100000000)),
+      static_cast<unsigned long long>(rng->Uniform(1000000)),
+      static_cast<int>(rng->Uniform(2)),
+      static_cast<int>(1 + rng->Uniform(12)),
+      static_cast<int>(1 + rng->Uniform(28)),
+      static_cast<int>(rng->Uniform(24)), static_cast<int>(rng->Uniform(60)),
+      static_cast<int>(rng->Uniform(60)));
+  std::string record(buf, static_cast<size_t>(len));
+  int leg = 0;
+  while (record.size() + 40 < mean_bytes) {
+    char ext[96];
+    int n = snprintf(
+        ext, sizeof(ext), "&leg_%d_account=6222%012llu&leg_%d_amount=%llu",
+        leg, static_cast<unsigned long long>(rng->Uniform(999999999999ULL)),
+        leg, static_cast<unsigned long long>(rng->Uniform(100000)));
+    record.append(ext, static_cast<size_t>(n));
+    ++leg;
+  }
+  return record;
+}
+
+std::string MakeRandomRecord(Random* rng, size_t mean_bytes) {
+  size_t len = mean_bytes / 2 + rng->Uniform(mean_bytes);
+  std::string record(len, '\0');
+  for (auto& c : record) {
+    c = static_cast<char>(rng->Uniform(256));
+  }
+  return record;
+}
+
+}  // namespace
+
+const char* DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kCities: return "Cities";
+    case DatasetKind::kKv1: return "KV1";
+    case DatasetKind::kKv2: return "KV2";
+    case DatasetKind::kRandom: return "Random";
+  }
+  return "?";
+}
+
+std::string MakeRecord(const DatasetOptions& options, uint64_t index) {
+  Random rng(MixU64(options.seed) ^ MixU64(index));
+  switch (options.kind) {
+    case DatasetKind::kCities:
+      return MakeCitiesRecord(&rng, index, options.mean_record_bytes);
+    case DatasetKind::kKv1:
+      return MakeKv1Record(&rng, index, options.mean_record_bytes);
+    case DatasetKind::kKv2:
+      return MakeKv2Record(&rng, index, options.mean_record_bytes);
+    case DatasetKind::kRandom:
+      return MakeRandomRecord(&rng, options.mean_record_bytes);
+  }
+  return "";
+}
+
+std::vector<std::string> MakeDataset(const DatasetOptions& options) {
+  std::vector<std::string> records;
+  records.reserve(options.num_records);
+  for (uint64_t i = 0; i < options.num_records; ++i) {
+    records.push_back(MakeRecord(options, i));
+  }
+  return records;
+}
+
+}  // namespace workload
+}  // namespace tierbase

@@ -1,0 +1,50 @@
+// Dataset generators for the paper's evaluation inputs.
+//
+// The paper uses the public geonames "Cities" dataset as YCSB values and
+// two proprietary machine-generated KV datasets (KV1, KV2). Neither is
+// bundled offline, so we synthesize records with the statistical property
+// the compression experiments depend on: records share rigid templates
+// (schema boilerplate, repeated field names, enumerated vocabulary) with
+// variable fields (names, numbers, coordinates). Cities-like records mimic
+// geonames TSV rows; KV1/KV2 mimic serialized business objects with
+// key=value fields — the "distinctive patterns within the values" the
+// paper credits for PBC's edge on KV datasets.
+
+#ifndef TIERBASE_WORKLOAD_DATASET_H_
+#define TIERBASE_WORKLOAD_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace tierbase {
+namespace workload {
+
+enum class DatasetKind {
+  kCities,  // Geonames-like TSV rows.
+  kKv1,     // Serialized user-profile-like objects, moderate templating.
+  kKv2,     // Serialized transaction-like objects, heavy templating.
+  kRandom,  // Incompressible random bytes (control).
+};
+
+const char* DatasetKindName(DatasetKind kind);
+
+struct DatasetOptions {
+  DatasetKind kind = DatasetKind::kCities;
+  size_t num_records = 10000;
+  /// Target mean record size; actual sizes vary naturally around it.
+  size_t mean_record_bytes = 160;
+  uint64_t seed = 42;
+};
+
+/// Generates the i-th record deterministically (same seed → same dataset).
+std::string MakeRecord(const DatasetOptions& options, uint64_t index);
+
+/// Generates the whole dataset.
+std::vector<std::string> MakeDataset(const DatasetOptions& options);
+
+}  // namespace workload
+}  // namespace tierbase
+
+#endif  // TIERBASE_WORKLOAD_DATASET_H_

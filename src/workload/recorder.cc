@@ -1,0 +1,29 @@
+#include "workload/recorder.h"
+
+namespace tierbase {
+namespace workload {
+
+void RecordingEngine::Record(OpType type, const Slice& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string k = key.ToString();
+  auto [it, inserted] = key_index_.emplace(k, keys_.size());
+  if (inserted) keys_.push_back(k);
+  ops_.push_back({type, it->second});
+}
+
+Trace RecordingEngine::ToTrace(const DatasetOptions& dataset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Trace trace;
+  trace.ops = ops_;
+  trace.key_space = keys_.size();
+  trace.dataset = dataset;
+  return trace;
+}
+
+std::vector<std::string> RecordingEngine::Keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return keys_;
+}
+
+}  // namespace workload
+}  // namespace tierbase

@@ -1,0 +1,73 @@
+// RecordingEngine: step 1 of the cost-optimization framework (paper §5.3,
+// "record a representative period of workload from production instances").
+// Wraps any KvEngine and appends every operation flowing through it to a
+// Trace, which WriteTrace can persist for later replay against candidate
+// configurations.
+//
+// Key-index mapping: trace ops reference dense key indexes, so the
+// recorder interns keys in arrival order. ToTrace() emits the trace; the
+// interned key table can be exported to re-create the preload snapshot.
+
+#ifndef TIERBASE_WORKLOAD_RECORDER_H_
+#define TIERBASE_WORKLOAD_RECORDER_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/kv_engine.h"
+#include "workload/trace.h"
+
+namespace tierbase {
+namespace workload {
+
+class RecordingEngine : public KvEngine {
+ public:
+  /// `inner` is not owned and must outlive the recorder.
+  explicit RecordingEngine(KvEngine* inner) : inner_(inner) {}
+
+  std::string name() const override { return "recording+" + inner_->name(); }
+
+  Status Set(const Slice& key, const Slice& value) override {
+    Record(OpType::kUpdate, key);
+    return inner_->Set(key, value);
+  }
+  Status Get(const Slice& key, std::string* value) override {
+    Record(OpType::kRead, key);
+    return inner_->Get(key, value);
+  }
+  Status Delete(const Slice& key) override {
+    Record(OpType::kDelete, key);
+    return inner_->Delete(key);
+  }
+  UsageStats GetUsage() const override { return inner_->GetUsage(); }
+  Status WaitIdle() override { return inner_->WaitIdle(); }
+
+  /// Snapshot of the recorded trace so far. `dataset` describes the value
+  /// source replays should use (recorded values are not retained — the
+  /// cost framework replays with representative synthetic values).
+  Trace ToTrace(const DatasetOptions& dataset) const;
+
+  /// Keys in interned order (index i is the trace's key_index i).
+  std::vector<std::string> Keys() const;
+
+  size_t recorded_ops() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ops_.size();
+  }
+
+ private:
+  void Record(OpType type, const Slice& key);
+
+  KvEngine* inner_;
+  mutable std::mutex mu_;
+  std::vector<TraceOp> ops_;
+  std::vector<std::string> keys_;
+  std::unordered_map<std::string, uint64_t> key_index_;
+};
+
+}  // namespace workload
+}  // namespace tierbase
+
+#endif  // TIERBASE_WORKLOAD_RECORDER_H_

@@ -1,0 +1,212 @@
+#include "workload/ycsb.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace tierbase {
+namespace workload {
+
+YcsbOptions WorkloadA() {
+  YcsbOptions o;
+  o.update_proportion = 0.5;
+  return o;
+}
+
+YcsbOptions WorkloadB() {
+  YcsbOptions o;
+  o.update_proportion = 0.05;
+  return o;
+}
+
+YcsbOptions WorkloadC() {
+  YcsbOptions o;
+  o.update_proportion = 0.0;
+  return o;
+}
+
+std::string KeyFor(uint64_t index) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%016llu",
+           static_cast<unsigned long long>(index));
+  return buf;
+}
+
+YcsbGenerator::YcsbGenerator(const YcsbOptions& options, uint64_t thread_seed)
+    : options_(options),
+      rng_(options.seed ^ MixU64(thread_seed + 1)),
+      insert_cursor_(options.record_count) {
+  switch (options_.distribution) {
+    case Distribution::kUniform:
+      break;
+    case Distribution::kZipfian:
+      zipf_ = std::make_unique<ScrambledZipfianGenerator>(
+          options_.record_count, options_.zipfian_theta,
+          options_.seed ^ MixU64(thread_seed + 99));
+      break;
+    case Distribution::kLatest:
+      latest_ = std::make_unique<LatestGenerator>(
+          options_.record_count, options_.seed ^ MixU64(thread_seed + 99));
+      break;
+  }
+}
+
+Op YcsbGenerator::Next() {
+  double p = rng_.NextDouble();
+  OpType type;
+  if (p < options_.update_proportion) {
+    type = OpType::kUpdate;
+  } else if (p < options_.update_proportion + options_.insert_proportion) {
+    type = OpType::kInsert;
+  } else {
+    type = OpType::kRead;
+  }
+
+  if (type == OpType::kInsert) {
+    return Op{type, insert_cursor_++};
+  }
+  uint64_t key_index = 0;
+  switch (options_.distribution) {
+    case Distribution::kUniform:
+      key_index = rng_.Uniform(options_.record_count);
+      break;
+    case Distribution::kZipfian:
+      key_index = zipf_->Next();
+      break;
+    case Distribution::kLatest:
+      key_index = latest_->Next();
+      break;
+  }
+  return Op{type, key_index};
+}
+
+std::string YcsbGenerator::Value(uint64_t key_index) const {
+  return MakeRecord(options_.dataset, key_index);
+}
+
+namespace {
+
+/// Simple token-less pacing: each thread sleeps to hold its per-thread rate.
+class Pacer {
+ public:
+  Pacer(double per_thread_qps, Clock* clock)
+      : interval_micros_(per_thread_qps > 0 ? 1e6 / per_thread_qps : 0),
+        clock_(clock),
+        next_(clock->NowMicros()) {}
+
+  void Wait() {
+    if (interval_micros_ <= 0) return;
+    next_ += interval_micros_;
+    uint64_t now = clock_->NowMicros();
+    if (next_ > static_cast<double>(now)) {
+      clock_->SleepMicros(static_cast<uint64_t>(next_) - now);
+    } else if (static_cast<double>(now) - next_ > 1e6) {
+      next_ = static_cast<double>(now);  // Don't accumulate unbounded debt.
+    }
+  }
+
+ private:
+  double interval_micros_;
+  Clock* clock_;
+  double next_;
+};
+
+RunResult RunThreads(
+    int threads, uint64_t total_ops, double target_qps,
+    const std::function<Status(int thread, uint64_t op_index)>& body) {
+  std::vector<std::thread> workers;
+  std::vector<Histogram> histograms(static_cast<size_t>(threads));
+  std::atomic<uint64_t> errors{0}, not_found{0};
+
+  Stopwatch watch;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Pacer pacer(target_qps > 0 ? target_qps / threads : 0, Clock::Real());
+      uint64_t ops_for_me = total_ops / static_cast<uint64_t>(threads) +
+                            (static_cast<uint64_t>(t) <
+                                     total_ops % static_cast<uint64_t>(threads)
+                                 ? 1
+                                 : 0);
+      for (uint64_t i = 0; i < ops_for_me; ++i) {
+        pacer.Wait();
+        uint64_t start = Clock::Real()->NowMicros();
+        Status s = body(t, i);
+        histograms[static_cast<size_t>(t)].Add(Clock::Real()->NowMicros() -
+                                               start);
+        if (s.IsNotFound()) {
+          not_found.fetch_add(1, std::memory_order_relaxed);
+        } else if (!s.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  RunResult result;
+  result.seconds = watch.ElapsedSeconds();
+  result.ops = total_ops;
+  result.throughput =
+      result.seconds > 0 ? static_cast<double>(total_ops) / result.seconds : 0;
+  for (const auto& h : histograms) result.latency.Merge(h);
+  result.errors = errors.load();
+  result.not_found = not_found.load();
+  return result;
+}
+
+}  // namespace
+
+RunResult RunLoadPhase(KvEngine* engine, const YcsbOptions& options,
+                       const RunnerOptions& runner) {
+  return RunThreads(
+      runner.threads, options.record_count, runner.target_qps,
+      [&](int thread, uint64_t i) {
+        uint64_t index =
+            static_cast<uint64_t>(thread) +
+            i * static_cast<uint64_t>(runner.threads);
+        if (index >= options.record_count) index %= options.record_count;
+        return engine->Set(KeyFor(index), MakeRecord(options.dataset, index));
+      });
+}
+
+RunResult RunPhase(KvEngine* engine, const YcsbOptions& options,
+                   const RunnerOptions& runner) {
+  return RunPhaseWith(options, runner,
+                      [&](const Op& op, const std::string& key,
+                          const std::string& value) {
+                        if (op.type == OpType::kRead) {
+                          std::string out;
+                          return engine->Get(key, &out);
+                        }
+                        if (op.type == OpType::kDelete) {
+                          return engine->Delete(key);
+                        }
+                        return engine->Set(key, value);
+                      });
+}
+
+RunResult RunPhaseWith(
+    const YcsbOptions& options, const RunnerOptions& runner,
+    const std::function<Status(const Op& op, const std::string& key,
+                               const std::string& value)>& execute) {
+  std::vector<std::unique_ptr<YcsbGenerator>> generators;
+  for (int t = 0; t < runner.threads; ++t) {
+    generators.push_back(
+        std::make_unique<YcsbGenerator>(options, static_cast<uint64_t>(t)));
+  }
+  return RunThreads(
+      runner.threads, options.operation_count, runner.target_qps,
+      [&](int thread, uint64_t) {
+        YcsbGenerator* gen = generators[static_cast<size_t>(thread)].get();
+        Op op = gen->Next();
+        std::string key = KeyFor(op.key_index);
+        std::string value;
+        if (op.type != OpType::kRead) value = gen->Value(op.key_index);
+        return execute(op, key, value);
+      });
+}
+
+}  // namespace workload
+}  // namespace tierbase

@@ -1,0 +1,113 @@
+// YCSB-style workload generation and a multi-threaded runner, matching the
+// paper's setup (§6.1): load phase inserts a dataset, run phase issues a
+// read/update mix with Zipfian key popularity; workload A = 50% read / 50%
+// update, workload B = 95% read / 5% update. Values come from the dataset
+// generators (the paper adapts YCSB to take user-specified datasets).
+
+#ifndef TIERBASE_WORKLOAD_YCSB_H_
+#define TIERBASE_WORKLOAD_YCSB_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/kv_engine.h"
+#include "common/random.h"
+#include "workload/dataset.h"
+
+namespace tierbase {
+namespace workload {
+
+enum class Distribution {
+  kUniform,
+  kZipfian,
+  kLatest,
+};
+
+enum class OpType : uint8_t {
+  kRead = 0,
+  kUpdate = 1,
+  kInsert = 2,
+  kDelete = 3,
+};
+
+struct Op {
+  OpType type;
+  uint64_t key_index;
+};
+
+struct YcsbOptions {
+  /// Mix proportions; must sum to <= 1 (remainder = reads).
+  double update_proportion = 0.5;
+  double insert_proportion = 0.0;
+  Distribution distribution = Distribution::kZipfian;
+  double zipfian_theta = ZipfianGenerator::kDefaultTheta;
+
+  uint64_t record_count = 100000;
+  uint64_t operation_count = 100000;
+  DatasetOptions dataset;
+  uint64_t seed = 7;
+};
+
+/// Standard mixes from the YCSB core workloads.
+YcsbOptions WorkloadA();  // 50/50 read/update.
+YcsbOptions WorkloadB();  // 95/5 read/update.
+YcsbOptions WorkloadC();  // 100% read.
+
+/// Key for record i ("user################", YCSB-style fixed width).
+std::string KeyFor(uint64_t index);
+
+/// Deterministic op-stream generator (thread-safe when each thread owns
+/// its own generator instance with a distinct seed).
+class YcsbGenerator {
+ public:
+  explicit YcsbGenerator(const YcsbOptions& options, uint64_t thread_seed = 0);
+
+  Op Next();
+  std::string Value(uint64_t key_index) const;
+
+ private:
+  YcsbOptions options_;
+  Random rng_;
+  std::unique_ptr<ScrambledZipfianGenerator> zipf_;
+  std::unique_ptr<LatestGenerator> latest_;
+  uint64_t insert_cursor_;
+};
+
+/// Result of one workload phase.
+struct RunResult {
+  double seconds = 0;
+  uint64_t ops = 0;
+  double throughput = 0;  // ops/sec.
+  Histogram latency;      // Microseconds.
+  uint64_t errors = 0;
+  uint64_t not_found = 0;
+};
+
+struct RunnerOptions {
+  int threads = 1;
+  /// Target ops/sec across all threads; 0 = unthrottled (max throughput).
+  double target_qps = 0;
+};
+
+/// Loads the dataset into `engine` (insert all records).
+RunResult RunLoadPhase(KvEngine* engine, const YcsbOptions& options,
+                       const RunnerOptions& runner);
+
+/// Runs the op mix against `engine`.
+RunResult RunPhase(KvEngine* engine, const YcsbOptions& options,
+                   const RunnerOptions& runner);
+
+/// Like RunPhase but drives ops through an arbitrary closure (used to push
+/// work through an ElasticExecutor or a cluster client).
+RunResult RunPhaseWith(
+    const YcsbOptions& options, const RunnerOptions& runner,
+    const std::function<Status(const Op& op, const std::string& key,
+                               const std::string& value)>& execute);
+
+}  // namespace workload
+}  // namespace tierbase
+
+#endif  // TIERBASE_WORKLOAD_YCSB_H_

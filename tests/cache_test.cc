@@ -1,0 +1,530 @@
+// Tests for the cache-tier hash engine: strings, TTL, CAS, rich data
+// types, LRU eviction under a memory budget, the eviction filter used by
+// write-back, value compression, and DRAM/PMem split placement.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/hash_engine.h"
+#include "common/clock.h"
+#include "compression/compressor.h"
+#include "pmem/pmem_allocator.h"
+#include "pmem/pmem_device.h"
+#include "workload/dataset.h"
+
+namespace tierbase {
+namespace cache {
+namespace {
+
+// --- Strings. ---
+
+TEST(HashEngineTest, SetGetDelete) {
+  HashEngine engine;
+  ASSERT_TRUE(engine.Set("k", "v").ok());
+  std::string value;
+  ASSERT_TRUE(engine.Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
+  EXPECT_TRUE(engine.Exists("k"));
+  ASSERT_TRUE(engine.Delete("k").ok());
+  EXPECT_TRUE(engine.Get("k", &value).IsNotFound());
+  EXPECT_FALSE(engine.Exists("k"));
+}
+
+TEST(HashEngineTest, DeleteMissingIsNotFound) {
+  HashEngine engine;
+  EXPECT_TRUE(engine.Delete("missing").IsNotFound());
+}
+
+TEST(HashEngineTest, OverwriteUpdatesValueAndUsage) {
+  HashEngine engine;
+  ASSERT_TRUE(engine.Set("k", std::string(1000, 'a')).ok());
+  uint64_t big = engine.GetUsage().memory_bytes;
+  ASSERT_TRUE(engine.Set("k", "tiny").ok());
+  std::string value;
+  ASSERT_TRUE(engine.Get("k", &value).ok());
+  EXPECT_EQ(value, "tiny");
+  EXPECT_LT(engine.GetUsage().memory_bytes, big);
+  EXPECT_EQ(engine.GetUsage().keys, 1u);
+}
+
+TEST(HashEngineTest, EmptyValueAndBinaryData) {
+  HashEngine engine;
+  ASSERT_TRUE(engine.Set("empty", "").ok());
+  std::string binary("\x00\x01\xff\x7f", 4);
+  ASSERT_TRUE(engine.Set("bin", binary).ok());
+  std::string value;
+  ASSERT_TRUE(engine.Get("empty", &value).ok());
+  EXPECT_TRUE(value.empty());
+  ASSERT_TRUE(engine.Get("bin", &value).ok());
+  EXPECT_EQ(value, binary);
+}
+
+// --- TTL. ---
+
+TEST(HashEngineTest, TtlExpiresLazily) {
+  ManualClock clock;
+  HashEngineOptions options;
+  options.clock = &clock;
+  HashEngine engine(options);
+  ASSERT_TRUE(engine.SetEx("k", "v", 1000).ok());
+  std::string value;
+  ASSERT_TRUE(engine.Get("k", &value).ok());
+  clock.Advance(999);
+  ASSERT_TRUE(engine.Get("k", &value).ok());
+  clock.Advance(2);
+  EXPECT_TRUE(engine.Get("k", &value).IsNotFound());
+  EXPECT_GE(engine.expirations(), 1u);
+}
+
+TEST(HashEngineTest, TtlQueryAndUpdate) {
+  ManualClock clock;
+  HashEngineOptions options;
+  options.clock = &clock;
+  HashEngine engine(options);
+  ASSERT_TRUE(engine.Set("k", "v").ok());
+  auto ttl = engine.Ttl("k");
+  ASSERT_TRUE(ttl.ok());
+  EXPECT_EQ(*ttl, 0u);  // No expiry.
+  ASSERT_TRUE(engine.Expire("k", 5000).ok());
+  clock.Advance(1000);
+  ttl = engine.Ttl("k");
+  ASSERT_TRUE(ttl.ok());
+  EXPECT_EQ(*ttl, 4000u);
+  EXPECT_TRUE(engine.Ttl("missing").status().IsNotFound());
+}
+
+TEST(HashEngineTest, SetClearsPreviousTtl) {
+  ManualClock clock;
+  HashEngineOptions options;
+  options.clock = &clock;
+  HashEngine engine(options);
+  ASSERT_TRUE(engine.SetEx("k", "v1", 100).ok());
+  ASSERT_TRUE(engine.Set("k", "v2").ok());  // Plain SET removes TTL.
+  clock.Advance(1000);
+  std::string value;
+  ASSERT_TRUE(engine.Get("k", &value).ok());
+  EXPECT_EQ(value, "v2");
+}
+
+TEST(HashEngineTest, SweepExpiredRemovesEagerly) {
+  ManualClock clock;
+  HashEngineOptions options;
+  options.clock = &clock;
+  HashEngine engine(options);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.SetEx("k" + std::to_string(i), "v", 100).ok());
+  }
+  ASSERT_TRUE(engine.Set("keeper", "v").ok());
+  clock.Advance(200);
+  EXPECT_EQ(engine.SweepExpired(), 10u);
+  EXPECT_EQ(engine.GetUsage().keys, 1u);
+}
+
+// --- CAS. ---
+
+TEST(HashEngineTest, CasSucceedsOnMatch) {
+  HashEngine engine;
+  ASSERT_TRUE(engine.Set("k", "old").ok());
+  ASSERT_TRUE(engine.Cas("k", "old", "new").ok());
+  std::string value;
+  ASSERT_TRUE(engine.Get("k", &value).ok());
+  EXPECT_EQ(value, "new");
+}
+
+TEST(HashEngineTest, CasAbortsOnMismatch) {
+  HashEngine engine;
+  ASSERT_TRUE(engine.Set("k", "actual").ok());
+  EXPECT_TRUE(engine.Cas("k", "expected", "new").IsAborted());
+  std::string value;
+  ASSERT_TRUE(engine.Get("k", &value).ok());
+  EXPECT_EQ(value, "actual");
+}
+
+TEST(HashEngineTest, CasOnMissingKey) {
+  HashEngine engine;
+  EXPECT_FALSE(engine.Cas("missing", "x", "new").ok());
+  // allow_create with empty expected creates the key.
+  ASSERT_TRUE(engine.Cas("missing", "", "created", true).ok());
+  std::string value;
+  ASSERT_TRUE(engine.Get("missing", &value).ok());
+  EXPECT_EQ(value, "created");
+}
+
+// --- Lists. ---
+
+TEST(HashEngineTest, ListPushPopBothEnds) {
+  HashEngine engine;
+  ASSERT_TRUE(engine.RPush("l", "b").ok());
+  ASSERT_TRUE(engine.RPush("l", "c").ok());
+  ASSERT_TRUE(engine.LPush("l", "a").ok());
+  auto len = engine.LLen("l");
+  ASSERT_TRUE(len.ok());
+  EXPECT_EQ(*len, 3u);
+  std::string value;
+  ASSERT_TRUE(engine.LPop("l", &value).ok());
+  EXPECT_EQ(value, "a");
+  ASSERT_TRUE(engine.RPop("l", &value).ok());
+  EXPECT_EQ(value, "c");
+}
+
+TEST(HashEngineTest, ListRangeWithNegativeIndexes) {
+  HashEngine engine;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine.RPush("l", std::to_string(i)).ok());
+  }
+  std::vector<std::string> out;
+  ASSERT_TRUE(engine.LRange("l", 1, 3, &out).ok());
+  EXPECT_EQ(out, (std::vector<std::string>{"1", "2", "3"}));
+  out.clear();
+  ASSERT_TRUE(engine.LRange("l", -2, -1, &out).ok());
+  EXPECT_EQ(out, (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(HashEngineTest, PopEmptyListNotFound) {
+  HashEngine engine;
+  std::string value;
+  EXPECT_FALSE(engine.LPop("nope", &value).ok());
+}
+
+TEST(HashEngineTest, WrongTypeRejected) {
+  HashEngine engine;
+  ASSERT_TRUE(engine.Set("str", "v").ok());
+  EXPECT_TRUE(engine.LPush("str", "x").IsInvalidArgument());
+  ASSERT_TRUE(engine.RPush("list", "x").ok());
+  std::string value;
+  EXPECT_TRUE(engine.Get("list", &value).IsInvalidArgument());
+}
+
+// --- Hashes. ---
+
+TEST(HashEngineTest, HashFieldOperations) {
+  HashEngine engine;
+  ASSERT_TRUE(engine.HSet("h", "f1", "v1").ok());
+  ASSERT_TRUE(engine.HSet("h", "f2", "v2").ok());
+  ASSERT_TRUE(engine.HSet("h", "f1", "v1b").ok());  // Overwrite.
+  auto len = engine.HLen("h");
+  ASSERT_TRUE(len.ok());
+  EXPECT_EQ(*len, 2u);
+  std::string value;
+  ASSERT_TRUE(engine.HGet("h", "f1", &value).ok());
+  EXPECT_EQ(value, "v1b");
+  ASSERT_TRUE(engine.HDel("h", "f1").ok());
+  EXPECT_FALSE(engine.HGet("h", "f1", &value).ok());
+
+  std::vector<std::pair<std::string, std::string>> all;
+  ASSERT_TRUE(engine.HGetAll("h", &all).ok());
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].first, "f2");
+}
+
+// --- Sets. ---
+
+TEST(HashEngineTest, SetMembership) {
+  HashEngine engine;
+  ASSERT_TRUE(engine.SAdd("s", "a").ok());
+  ASSERT_TRUE(engine.SAdd("s", "b").ok());
+  ASSERT_TRUE(engine.SAdd("s", "a").ok());  // Duplicate is a no-op.
+  auto card = engine.SCard("s");
+  ASSERT_TRUE(card.ok());
+  EXPECT_EQ(*card, 2u);
+  auto member = engine.SIsMember("s", "a");
+  ASSERT_TRUE(member.ok());
+  EXPECT_TRUE(*member);
+  ASSERT_TRUE(engine.SRem("s", "a").ok());
+  member = engine.SIsMember("s", "a");
+  ASSERT_TRUE(member.ok());
+  EXPECT_FALSE(*member);
+}
+
+// --- Sorted sets. ---
+
+TEST(HashEngineTest, ZsetScoreAndRange) {
+  HashEngine engine;
+  ASSERT_TRUE(engine.ZAdd("z", 3.0, "c").ok());
+  ASSERT_TRUE(engine.ZAdd("z", 1.0, "a").ok());
+  ASSERT_TRUE(engine.ZAdd("z", 2.0, "b").ok());
+  auto score = engine.ZScore("z", "b");
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(*score, 2.0);
+  std::vector<std::string> out;
+  ASSERT_TRUE(engine.ZRangeByScore("z", 1.5, 3.0, &out).ok());
+  EXPECT_EQ(out, (std::vector<std::string>{"b", "c"}));
+}
+
+TEST(HashEngineTest, ZsetRescoreMovesMember) {
+  HashEngine engine;
+  ASSERT_TRUE(engine.ZAdd("z", 1.0, "m").ok());
+  ASSERT_TRUE(engine.ZAdd("z", 9.0, "m").ok());
+  auto card = engine.ZCard("z");
+  ASSERT_TRUE(card.ok());
+  EXPECT_EQ(*card, 1u);
+  std::vector<std::string> out;
+  ASSERT_TRUE(engine.ZRangeByScore("z", 0.0, 2.0, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(engine.ZRangeByScore("z", 8.0, 10.0, &out).ok());
+  EXPECT_EQ(out, (std::vector<std::string>{"m"}));
+}
+
+// --- LRU eviction. ---
+
+TEST(HashEngineTest, EvictsLruUnderBudget) {
+  HashEngineOptions options;
+  options.memory_budget = 64 * 1024;
+  HashEngine engine(options);
+  // Insert well past the budget.
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        engine.Set("key" + std::to_string(i), std::string(500, 'v')).ok());
+  }
+  EXPECT_GT(engine.evictions(), 0u);
+  EXPECT_LE(engine.GetUsage().memory_bytes, 64 * 1024u);
+  // Newest keys are resident, oldest are gone.
+  std::string value;
+  EXPECT_TRUE(engine.Get("key499", &value).ok());
+  EXPECT_TRUE(engine.Get("key0", &value).IsNotFound());
+}
+
+TEST(HashEngineTest, GetRefreshesLruOrder) {
+  HashEngineOptions options;
+  options.memory_budget = 32 * 1024;
+  HashEngine engine(options);
+  ASSERT_TRUE(engine.Set("hot", std::string(500, 'h')).ok());
+  std::string value;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        engine.Set("cold" + std::to_string(i), std::string(500, 'c')).ok());
+    ASSERT_TRUE(engine.Get("hot", &value).ok()) << "iteration " << i;
+  }
+  // "hot" survived 200 inserts worth of eviction pressure.
+  EXPECT_TRUE(engine.Get("hot", &value).ok());
+}
+
+TEST(HashEngineTest, NoEvictionPolicyReturnsOutOfSpace) {
+  HashEngineOptions options;
+  options.memory_budget = 8 * 1024;
+  options.eviction = EvictionPolicy::kNoEviction;
+  HashEngine engine(options);
+  Status s;
+  int inserted = 0;
+  for (int i = 0; i < 1000; ++i) {
+    s = engine.Set("key" + std::to_string(i), std::string(200, 'v'));
+    if (!s.ok()) break;
+    ++inserted;
+  }
+  EXPECT_TRUE(s.IsOutOfSpace());
+  EXPECT_GT(inserted, 5);
+}
+
+TEST(HashEngineTest, EvictionFilterPinsDirtyKeys) {
+  HashEngineOptions options;
+  options.memory_budget = 32 * 1024;
+  HashEngine engine(options);
+  engine.SetEvictionFilter(
+      [](const Slice& key) { return !key.starts_with("dirty"); });
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        engine.Set("dirty" + std::to_string(i), std::string(500, 'd')).ok());
+  }
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        engine.Set("clean" + std::to_string(i), std::string(500, 'c')).ok());
+  }
+  std::string value;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(engine.Get("dirty" + std::to_string(i), &value).ok()) << i;
+  }
+}
+
+TEST(HashEngineTest, ClearDropsEverything) {
+  HashEngine engine;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine.Set("key" + std::to_string(i), "v").ok());
+  }
+  engine.Clear();
+  EXPECT_EQ(engine.GetUsage().keys, 0u);
+  std::string value;
+  EXPECT_TRUE(engine.Get("key0", &value).IsNotFound());
+}
+
+// --- Sharding. ---
+
+TEST(HashEngineTest, ShardedEngineBehavesIdentically) {
+  HashEngineOptions options;
+  options.shards = 8;
+  HashEngine engine(options);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(
+        engine.Set("key" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  std::string value;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(engine.Get("key" + std::to_string(i), &value).ok());
+    ASSERT_EQ(value, "v" + std::to_string(i));
+  }
+  EXPECT_EQ(engine.GetUsage().keys, 1000u);
+}
+
+TEST(HashEngineTest, ShardedBudgetStillEnforced) {
+  HashEngineOptions options;
+  options.shards = 4;
+  options.memory_budget = 64 * 1024;
+  HashEngine engine(options);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(
+        engine.Set("key" + std::to_string(i), std::string(300, 'v')).ok());
+  }
+  EXPECT_LE(engine.GetUsage().memory_bytes, 80 * 1024u);  // Per-shard slack.
+}
+
+// --- Compression integration. ---
+
+TEST(HashEngineTest, CompressedValuesRoundTrip) {
+  workload::DatasetOptions dataset;
+  dataset.kind = workload::DatasetKind::kKv1;
+  dataset.num_records = 200;
+  auto samples = workload::MakeDataset(dataset);
+
+  auto compressor = CreateCompressor(CompressorType::kZliteDict);
+  ASSERT_TRUE(compressor->Train(samples).ok());
+
+  HashEngineOptions options;
+  options.compressor = compressor.get();
+  options.compress_min_bytes = 16;
+  HashEngine engine(options);
+
+  for (size_t i = 0; i < samples.size(); ++i) {
+    ASSERT_TRUE(engine.Set("key" + std::to_string(i), samples[i]).ok());
+  }
+  std::string value;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    ASSERT_TRUE(engine.Get("key" + std::to_string(i), &value).ok());
+    ASSERT_EQ(value, samples[i]);
+  }
+}
+
+TEST(HashEngineTest, CompressionShrinksMemoryFootprint) {
+  workload::DatasetOptions dataset;
+  dataset.kind = workload::DatasetKind::kKv2;
+  dataset.num_records = 500;
+  auto samples = workload::MakeDataset(dataset);
+
+  auto compressor = CreateCompressor(CompressorType::kPbc);
+  ASSERT_TRUE(compressor->Train(samples).ok());
+
+  HashEngine raw_engine;
+  HashEngineOptions copts;
+  copts.compressor = compressor.get();
+  copts.compress_min_bytes = 16;
+  HashEngine compressed_engine(copts);
+
+  for (size_t i = 0; i < samples.size(); ++i) {
+    std::string key = "key" + std::to_string(i);
+    ASSERT_TRUE(raw_engine.Set(key, samples[i]).ok());
+    ASSERT_TRUE(compressed_engine.Set(key, samples[i]).ok());
+  }
+  EXPECT_LT(compressed_engine.GetUsage().memory_bytes,
+            raw_engine.GetUsage().memory_bytes * 3 / 4);
+}
+
+TEST(HashEngineTest, SmallValuesSkipCompression) {
+  auto compressor = CreateCompressor(CompressorType::kZlite);
+  HashEngineOptions options;
+  options.compressor = compressor.get();
+  options.compress_min_bytes = 64;
+  HashEngine engine(options);
+  ASSERT_TRUE(engine.Set("k", "small").ok());
+  std::string value;
+  ASSERT_TRUE(engine.Get("k", &value).ok());
+  EXPECT_EQ(value, "small");
+}
+
+// --- PMem placement. ---
+
+TEST(HashEngineTest, LargeValuesPlacedInPmem) {
+  PmemOptions pmem_options;
+  pmem_options.capacity = 8 << 20;
+  pmem_options.inject_latency = false;
+  auto device = PmemDevice::Create(pmem_options);
+  ASSERT_TRUE(device.ok());
+  PmemAllocator allocator(device->get(), 0, 8 << 20);
+
+  HashEngineOptions options;
+  options.pmem = &allocator;
+  options.pmem_value_threshold = 64;
+  HashEngine engine(options);
+
+  ASSERT_TRUE(engine.Set("small", "tiny value").ok());
+  ASSERT_TRUE(engine.Set("large", std::string(1000, 'L')).ok());
+
+  UsageStats usage = engine.GetUsage();
+  EXPECT_GT(usage.pmem_bytes, 500u);       // Large value lives in PMem.
+  std::string value;
+  ASSERT_TRUE(engine.Get("large", &value).ok());
+  EXPECT_EQ(value, std::string(1000, 'L'));
+  ASSERT_TRUE(engine.Get("small", &value).ok());
+  EXPECT_EQ(value, "tiny value");
+}
+
+TEST(HashEngineTest, PmemFreedOnDeleteAndOverwrite) {
+  PmemOptions pmem_options;
+  pmem_options.capacity = 8 << 20;
+  pmem_options.inject_latency = false;
+  auto device = PmemDevice::Create(pmem_options);
+  ASSERT_TRUE(device.ok());
+  PmemAllocator allocator(device->get(), 0, 8 << 20);
+
+  HashEngineOptions options;
+  options.pmem = &allocator;
+  options.pmem_value_threshold = 64;
+  HashEngine engine(options);
+
+  ASSERT_TRUE(engine.Set("a", std::string(5000, 'a')).ok());
+  uint64_t with_a = allocator.bytes_in_use();
+  EXPECT_GT(with_a, 0u);
+  ASSERT_TRUE(engine.Set("a", "now small").ok());  // Moves back to DRAM.
+  EXPECT_LT(allocator.bytes_in_use(), with_a);
+  ASSERT_TRUE(engine.Set("b", std::string(5000, 'b')).ok());
+  uint64_t with_b = allocator.bytes_in_use();
+  ASSERT_TRUE(engine.Delete("b").ok());
+  EXPECT_LT(allocator.bytes_in_use(), with_b);
+}
+
+TEST(HashEngineTest, PmemWithCompressionComposes) {
+  workload::DatasetOptions dataset;
+  dataset.kind = workload::DatasetKind::kCities;
+  dataset.num_records = 100;
+  dataset.mean_record_bytes = 400;
+  auto samples = workload::MakeDataset(dataset);
+  auto compressor = CreateCompressor(CompressorType::kZliteDict);
+  ASSERT_TRUE(compressor->Train(samples).ok());
+
+  PmemOptions pmem_options;
+  pmem_options.capacity = 8 << 20;
+  pmem_options.inject_latency = false;
+  auto device = PmemDevice::Create(pmem_options);
+  ASSERT_TRUE(device.ok());
+  PmemAllocator allocator(device->get(), 0, 8 << 20);
+
+  HashEngineOptions options;
+  options.compressor = compressor.get();
+  options.compress_min_bytes = 32;
+  options.pmem = &allocator;
+  options.pmem_value_threshold = 64;
+  HashEngine engine(options);
+
+  for (size_t i = 0; i < samples.size(); ++i) {
+    ASSERT_TRUE(engine.Set("key" + std::to_string(i), samples[i]).ok());
+  }
+  std::string value;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    ASSERT_TRUE(engine.Get("key" + std::to_string(i), &value).ok());
+    ASSERT_EQ(value, samples[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cache
+}  // namespace tierbase

@@ -1,0 +1,461 @@
+// Tests for the compression stack (paper §4.2): zlite (LZ77 stand-in for
+// Zstd), dictionary pre-training, PBC pattern-based compression, the
+// compression monitor's retrain triggers, and the recommender.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compression/compressor.h"
+#include "compression/monitor.h"
+#include "compression/pbc.h"
+#include "compression/recommender.h"
+#include "compression/zlite.h"
+#include "workload/dataset.h"
+
+namespace tierbase {
+namespace {
+
+using workload::DatasetKind;
+using workload::DatasetOptions;
+using workload::MakeDataset;
+
+std::vector<std::string> Samples(DatasetKind kind, size_t n,
+                                 uint64_t seed = 42) {
+  DatasetOptions options;
+  options.kind = kind;
+  options.num_records = n;
+  options.seed = seed;
+  return MakeDataset(options);
+}
+
+// --- ZliteCodec. ---
+
+TEST(ZliteCodecTest, RoundTripSimple) {
+  ZliteCodec codec(1);
+  std::string out, back;
+  ASSERT_TRUE(codec.Compress("hello hello hello hello", &out).ok());
+  ASSERT_TRUE(codec.Decompress(out, &back).ok());
+  EXPECT_EQ(back, "hello hello hello hello");
+}
+
+TEST(ZliteCodecTest, RoundTripEmpty) {
+  ZliteCodec codec(1);
+  std::string out, back;
+  ASSERT_TRUE(codec.Compress("", &out).ok());
+  ASSERT_TRUE(codec.Decompress(out, &back).ok());
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(ZliteCodecTest, CompressesRepetitiveData) {
+  ZliteCodec codec(1);
+  std::string input;
+  for (int i = 0; i < 100; ++i) input += "abcdefgh12345678";
+  std::string out;
+  ASSERT_TRUE(codec.Compress(input, &out).ok());
+  EXPECT_LT(out.size(), input.size() / 4);
+}
+
+TEST(ZliteCodecTest, RandomDataDoesNotExplode) {
+  Random rng(5);
+  std::string input;
+  for (int i = 0; i < 4096; ++i) input.push_back(static_cast<char>(rng.Next()));
+  ZliteCodec codec(1);
+  std::string out, back;
+  ASSERT_TRUE(codec.Compress(input, &out).ok());
+  // Incompressible data may grow slightly but stays bounded.
+  EXPECT_LT(out.size(), input.size() + input.size() / 8 + 64);
+  ASSERT_TRUE(codec.Decompress(out, &back).ok());
+  EXPECT_EQ(back, input);
+}
+
+TEST(ZliteCodecTest, HigherLevelNoWorseRatio) {
+  std::vector<std::string> records = Samples(DatasetKind::kCities, 200);
+  std::string input;
+  for (const auto& r : records) input += r;
+  std::string fast_out, slow_out;
+  ZliteCodec fast(-10), slow(22);
+  ASSERT_TRUE(fast.Compress(input, &fast_out).ok());
+  ASSERT_TRUE(slow.Compress(input, &slow_out).ok());
+  EXPECT_LE(slow_out.size(), fast_out.size());
+  // Both round-trip.
+  std::string back;
+  ASSERT_TRUE(slow.Decompress(slow_out, &back).ok());
+  EXPECT_EQ(back, input);
+}
+
+TEST(ZliteCodecTest, DictionaryImprovesSmallRecords) {
+  std::vector<std::string> samples = Samples(DatasetKind::kKv2, 500);
+  std::string dict = TrainDictionary(samples, 16 * 1024);
+  ASSERT_FALSE(dict.empty());
+
+  ZliteCodec plain(1), dicted(1);
+  dicted.SetDictionary(dict);
+
+  // Compress unseen records from the same distribution.
+  std::vector<std::string> fresh = Samples(DatasetKind::kKv2, 50, /*seed=*/99);
+  size_t plain_total = 0, dict_total = 0, raw_total = 0;
+  for (const auto& r : fresh) {
+    std::string a, b;
+    ASSERT_TRUE(plain.Compress(r, &a).ok());
+    ASSERT_TRUE(dicted.Compress(r, &b).ok());
+    std::string back;
+    ASSERT_TRUE(dicted.Decompress(b, &back).ok());
+    ASSERT_EQ(back, r);
+    plain_total += a.size();
+    dict_total += b.size();
+    raw_total += r.size();
+  }
+  EXPECT_LT(dict_total, plain_total);  // Dictionary helps on small records.
+  // Paper Table 2 reports overall per-record Zstd-d ratios of ~0.71 on the
+  // KV2-like dataset; hold this reproduction to that ballpark.
+  EXPECT_LT(dict_total, raw_total * 0.85);
+}
+
+TEST(ZliteCodecTest, DictionaryMismatchDetected) {
+  ZliteCodec a(1), b(1);
+  a.SetDictionary("the quick brown fox jumps over the lazy dog");
+  std::string out;
+  ASSERT_TRUE(a.Compress("the quick brown fox", &out).ok());
+  std::string back;
+  // Decompressing without the dictionary must fail or produce a mismatch,
+  // never crash.
+  Status s = b.Decompress(out, &back);
+  if (s.ok()) EXPECT_NE(back, "the quick brown fox");
+}
+
+TEST(ZliteCodecTest, CorruptInputRejected) {
+  ZliteCodec codec(1);
+  std::string out;
+  ASSERT_TRUE(codec.Compress("some reasonable input data here", &out).ok());
+  std::string back;
+  // Truncations must error, not crash.
+  for (size_t cut = 0; cut < out.size(); cut += 3) {
+    std::string trunc = out.substr(0, cut);
+    codec.Decompress(trunc, &back);  // Status checked implicitly: no crash.
+  }
+  std::string corrupt = out;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  codec.Decompress(corrupt, &back);  // Must not crash.
+}
+
+// --- Parameterized round-trip sweep: dataset x level x dictionary. ---
+
+struct RoundTripParam {
+  DatasetKind kind;
+  int level;
+  bool dict;
+};
+
+class ZliteRoundTripTest : public ::testing::TestWithParam<RoundTripParam> {};
+
+TEST_P(ZliteRoundTripTest, AllRecordsRoundTrip) {
+  const RoundTripParam& p = GetParam();
+  std::vector<std::string> samples = Samples(p.kind, 200);
+  ZliteCodec codec(p.level);
+  if (p.dict) codec.SetDictionary(TrainDictionary(samples, 8 * 1024));
+  std::vector<std::string> fresh = Samples(p.kind, 40, /*seed=*/7);
+  for (const auto& r : fresh) {
+    std::string out, back;
+    ASSERT_TRUE(codec.Compress(r, &out).ok());
+    ASSERT_TRUE(codec.Decompress(out, &back).ok());
+    ASSERT_EQ(back, r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZliteRoundTripTest,
+    ::testing::Values(
+        RoundTripParam{DatasetKind::kCities, -50, false},
+        RoundTripParam{DatasetKind::kCities, -10, true},
+        RoundTripParam{DatasetKind::kCities, 1, false},
+        RoundTripParam{DatasetKind::kCities, 1, true},
+        RoundTripParam{DatasetKind::kCities, 15, true},
+        RoundTripParam{DatasetKind::kCities, 22, false},
+        RoundTripParam{DatasetKind::kKv1, 1, false},
+        RoundTripParam{DatasetKind::kKv1, 1, true},
+        RoundTripParam{DatasetKind::kKv1, 22, true},
+        RoundTripParam{DatasetKind::kKv2, 1, true},
+        RoundTripParam{DatasetKind::kKv2, 15, false},
+        RoundTripParam{DatasetKind::kRandom, 1, false},
+        RoundTripParam{DatasetKind::kRandom, 22, true}),
+    [](const ::testing::TestParamInfo<RoundTripParam>& info) {
+      std::string name = workload::DatasetKindName(info.param.kind);
+      name += info.param.level < 0
+                  ? "_lm" + std::to_string(-info.param.level)
+                  : "_l" + std::to_string(info.param.level);
+      if (info.param.dict) name += "_dict";
+      return name;
+    });
+
+// --- PBC primitives. ---
+
+TEST(PbcTokenizeTest, SplitsByCharacterClass) {
+  auto tokens = pbc::Tokenize("user123:active,score=42");
+  std::vector<std::string> expected = {"user", "123", ":",     "active",
+                                       ",",    "score", "=",   "42"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(PbcTokenizeTest, EmptyInput) {
+  EXPECT_TRUE(pbc::Tokenize("").empty());
+}
+
+TEST(PbcSimilarityTest, IdenticalIsOne) {
+  auto a = pbc::Tokenize("id=1,name=alice");
+  EXPECT_DOUBLE_EQ(pbc::TokenSimilarity(a, a), 1.0);
+}
+
+TEST(PbcSimilarityTest, TemplatedRecordsAreSimilar) {
+  auto a = pbc::Tokenize("id=1001,name=alice,city=Paris");
+  auto b = pbc::Tokenize("id=2002,name=bob,city=Tokyo");
+  // Same template, different fields: structural tokens dominate.
+  EXPECT_GT(pbc::TokenSimilarity(a, b), 0.5);
+}
+
+TEST(PbcSimilarityTest, UnrelatedRecordsAreDissimilar) {
+  auto a = pbc::Tokenize("id=1001,name=alice");
+  auto b = pbc::Tokenize("GET /index.html HTTP/1.1");
+  EXPECT_LT(pbc::TokenSimilarity(a, b), 0.3);
+}
+
+TEST(PbcLcsTest, ExtractsCommonTemplate) {
+  auto a = pbc::Tokenize("k=aa,v=11");
+  auto b = pbc::Tokenize("k=bb,v=22");
+  auto lcs = pbc::TokenLcs(a, b);
+  // Template tokens survive: "k", "=", ",", "v", "=".
+  std::vector<std::string> expected = {"k", "=", ",", "v", "="};
+  EXPECT_EQ(lcs, expected);
+}
+
+// --- PbcCompressor. ---
+
+TEST(PbcCompressorTest, RequiresTraining) {
+  PbcCompressor pbc((CompressorOptions()));
+  std::string out;
+  EXPECT_FALSE(pbc.trained());
+  EXPECT_FALSE(pbc.Compress("data", &out).ok());
+}
+
+TEST(PbcCompressorTest, RoundTripOnTemplatedData) {
+  CompressorOptions options;
+  PbcCompressor pbc(options);
+  std::vector<std::string> samples = Samples(DatasetKind::kKv2, 400);
+  ASSERT_TRUE(pbc.Train(samples).ok());
+  EXPECT_TRUE(pbc.trained());
+  EXPECT_GT(pbc.num_patterns(), 0u);
+
+  std::vector<std::string> fresh = Samples(DatasetKind::kKv2, 60, /*seed=*/3);
+  size_t raw = 0, compressed = 0;
+  for (const auto& r : fresh) {
+    std::string out, back;
+    ASSERT_TRUE(pbc.Compress(r, &out).ok());
+    ASSERT_TRUE(pbc.Decompress(out, &back).ok());
+    ASSERT_EQ(back, r);
+    raw += r.size();
+    compressed += out.size();
+  }
+  // The headline property: strong ratio on machine-generated data.
+  EXPECT_LT(compressed, raw / 2);
+}
+
+TEST(PbcCompressorTest, BeatsDictionaryLzOnTemplatedData) {
+  // Table 2's key claim: PBC ratio < Zstd-dict ratio on KV datasets.
+  std::vector<std::string> samples = Samples(DatasetKind::kKv2, 400);
+  CompressorOptions options;
+  auto pbc = CreateCompressor(CompressorType::kPbc, options);
+  auto zd = CreateCompressor(CompressorType::kZliteDict, options);
+  ASSERT_TRUE(pbc->Train(samples).ok());
+  ASSERT_TRUE(zd->Train(samples).ok());
+
+  std::vector<std::string> fresh = Samples(DatasetKind::kKv2, 80, /*seed=*/17);
+  size_t pbc_total = 0, zd_total = 0;
+  for (const auto& r : fresh) {
+    std::string a, b;
+    ASSERT_TRUE(pbc->Compress(r, &a).ok());
+    ASSERT_TRUE(zd->Compress(r, &b).ok());
+    pbc_total += a.size();
+    zd_total += b.size();
+  }
+  EXPECT_LT(pbc_total, zd_total);
+}
+
+TEST(PbcCompressorTest, UnmatchedRecordFallsBackToRaw) {
+  CompressorOptions options;
+  PbcCompressor pbc(options);
+  ASSERT_TRUE(pbc.Train(Samples(DatasetKind::kKv1, 200)).ok());
+  // A record sharing nothing with the training distribution.
+  std::string weird(200, '\x07');
+  std::string out, back;
+  ASSERT_TRUE(pbc.Compress(weird, &out).ok());
+  ASSERT_TRUE(pbc.Decompress(out, &back).ok());
+  EXPECT_EQ(back, weird);
+  EXPECT_TRUE(pbc.WasUnmatched(weird, out));
+}
+
+TEST(PbcCompressorTest, MatchedRecordIsNotUnmatched) {
+  CompressorOptions options;
+  PbcCompressor pbc(options);
+  std::vector<std::string> samples = Samples(DatasetKind::kKv2, 300);
+  ASSERT_TRUE(pbc.Train(samples).ok());
+  std::string out;
+  ASSERT_TRUE(pbc.Compress(samples[0], &out).ok());
+  EXPECT_FALSE(pbc.WasUnmatched(samples[0], out));
+}
+
+TEST(PbcCompressorTest, ClusterCountRespectsCap) {
+  CompressorOptions options;
+  options.max_clusters = 4;
+  PbcCompressor pbc(options);
+  ASSERT_TRUE(pbc.Train(Samples(DatasetKind::kCities, 300)).ok());
+  EXPECT_LE(pbc.num_patterns(), 4u);
+}
+
+TEST(PbcCompressorTest, EmptyRecordRoundTrip) {
+  CompressorOptions options;
+  PbcCompressor pbc(options);
+  ASSERT_TRUE(pbc.Train(Samples(DatasetKind::kKv1, 100)).ok());
+  std::string out, back;
+  ASSERT_TRUE(pbc.Compress("", &out).ok());
+  ASSERT_TRUE(pbc.Decompress(out, &back).ok());
+  EXPECT_TRUE(back.empty());
+}
+
+// --- Factory. ---
+
+TEST(CompressorFactoryTest, CreatesEveryType) {
+  for (CompressorType t : {CompressorType::kNone, CompressorType::kZlite,
+                           CompressorType::kZliteDict, CompressorType::kPbc}) {
+    auto c = CreateCompressor(t);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->type(), t);
+  }
+}
+
+TEST(CompressorFactoryTest, NoneIsIdentity) {
+  auto c = CreateCompressor(CompressorType::kNone);
+  std::string out, back;
+  ASSERT_TRUE(c->Compress("abc", &out).ok());
+  EXPECT_EQ(out, "abc");
+  ASSERT_TRUE(c->Decompress(out, &back).ok());
+  EXPECT_EQ(back, "abc");
+}
+
+TEST(CompressorFactoryTest, UntrainedZliteWorksWithoutTraining) {
+  auto c = CreateCompressor(CompressorType::kZlite);
+  EXPECT_TRUE(c->trained());
+  std::string out, back;
+  ASSERT_TRUE(c->Compress("no training needed, just LZ", &out).ok());
+  ASSERT_TRUE(c->Decompress(out, &back).ok());
+  EXPECT_EQ(back, "no training needed, just LZ");
+}
+
+// --- CompressionMonitor. ---
+
+TEST(CompressionMonitorTest, NoTriggerWhenHealthy) {
+  CompressionMonitorOptions options;
+  options.baseline_ratio = 0.5;
+  options.window = 100;
+  CompressionMonitor monitor(options);
+  int retrains = 0;
+  monitor.SetRetrainCallback([&] { ++retrains; });
+  for (int i = 0; i < 1000; ++i) monitor.Observe(100, 40, false);
+  EXPECT_EQ(retrains, 0);
+  EXPECT_NEAR(monitor.ema_ratio(), 0.4, 0.05);
+}
+
+TEST(CompressionMonitorTest, TriggersOnRatioDegradation) {
+  CompressionMonitorOptions options;
+  options.baseline_ratio = 0.4;
+  options.ratio_slack = 0.25;  // Trigger when ema > 0.5.
+  options.window = 50;
+  CompressionMonitor monitor(options);
+  int retrains = 0;
+  monitor.SetRetrainCallback([&] { ++retrains; });
+  // Data pattern shifts: compression stops working.
+  for (int i = 0; i < 2000; ++i) monitor.Observe(100, 95, false);
+  EXPECT_GE(retrains, 1);
+}
+
+TEST(CompressionMonitorTest, TriggersOnUnmatchedRate) {
+  CompressionMonitorOptions options;
+  options.baseline_ratio = 0.9;  // Ratio alone stays acceptable.
+  options.max_unmatched_rate = 0.2;
+  options.window = 100;
+  CompressionMonitor monitor(options);
+  int retrains = 0;
+  monitor.SetRetrainCallback([&] { ++retrains; });
+  for (int i = 0; i < 500; ++i) monitor.Observe(100, 50, i % 3 == 0);  // 33%.
+  EXPECT_GE(retrains, 1);
+}
+
+TEST(CompressionMonitorTest, RebaseResetsBaseline) {
+  CompressionMonitorOptions options;
+  options.baseline_ratio = 0.4;
+  options.ratio_slack = 0.25;
+  options.window = 50;
+  CompressionMonitor monitor(options);
+  int retrains = 0;
+  monitor.SetRetrainCallback([&] {
+    ++retrains;
+    monitor.Rebase();  // Model retrained: adopt current ratio as baseline.
+  });
+  for (int i = 0; i < 2000; ++i) monitor.Observe(100, 80, false);
+  EXPECT_GE(retrains, 1);
+  int after_first = retrains;
+  // Ratio stable at the new baseline: no more retrains.
+  for (int i = 0; i < 2000; ++i) monitor.Observe(100, 80, false);
+  EXPECT_LE(retrains - after_first, 1);
+}
+
+// --- Recommender. ---
+
+TEST(RecommenderTest, SpaceFirstPicksBestRatioOnTemplatedData) {
+  std::vector<std::string> samples = Samples(DatasetKind::kKv2, 300);
+  Recommendation rec =
+      RecommendCompressor(samples, RecommendGoal::kSpaceFirst);
+  // On heavily templated machine-generated data PBC has the best ratio
+  // (Table 2's claim); at minimum the winner must actually compress.
+  EXPECT_EQ(rec.type, CompressorType::kPbc);
+  EXPECT_EQ(rec.profiles.size(), 4u);
+  EXPECT_FALSE(rec.reason.empty());
+}
+
+TEST(RecommenderTest, SpeedFirstAvoidsSlowestCompressor) {
+  std::vector<std::string> samples = Samples(DatasetKind::kCities, 300);
+  Recommendation rec =
+      RecommendCompressor(samples, RecommendGoal::kSpeedFirst);
+  // Speed-first picks among compressors that actually shrink data; the
+  // winner's compress throughput must be the max among those.
+  double winner_mbps = 0, best_mbps = 0;
+  for (const auto& p : rec.profiles) {
+    if (p.compression_ratio < 1.0 && p.type != CompressorType::kNone) {
+      best_mbps = std::max(best_mbps, p.compress_mbps);
+    }
+    if (p.type == rec.type) winner_mbps = p.compress_mbps;
+  }
+  EXPECT_GE(winner_mbps, best_mbps * 0.5);  // Allow measurement noise.
+}
+
+TEST(RecommenderTest, BalancedGoalCompresses) {
+  std::vector<std::string> samples = Samples(DatasetKind::kKv1, 300);
+  Recommendation rec = RecommendCompressor(samples, RecommendGoal::kBalanced);
+  // Balanced must not pick the no-compression extreme on compressible data.
+  EXPECT_NE(rec.type, CompressorType::kNone);
+  EXPECT_FALSE(rec.reason.empty());
+}
+
+TEST(RecommenderTest, RestrictedCandidateSetHonored) {
+  std::vector<std::string> samples = Samples(DatasetKind::kKv1, 200);
+  Recommendation rec = RecommendCompressor(
+      samples, RecommendGoal::kSpaceFirst, CompressorOptions(),
+      {CompressorType::kNone, CompressorType::kZlite});
+  EXPECT_TRUE(rec.type == CompressorType::kNone ||
+              rec.type == CompressorType::kZlite);
+  EXPECT_EQ(rec.profiles.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tierbase

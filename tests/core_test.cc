@@ -1,0 +1,763 @@
+// Tests for the TierBase core: caching policies (cache-only, WAL, WAL-PMem,
+// write-through, write-back), the write-through coalescer, the write-back
+// manager (merging, backpressure, flush), deferred fetching, replication,
+// and crash recovery of the cache tier.
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "core/deferred_fetch.h"
+#include "core/options.h"
+#include "core/replication.h"
+#include "core/storage_adapter.h"
+#include "core/tierbase.h"
+#include "core/write_back.h"
+#include "core/write_through.h"
+
+namespace tierbase {
+namespace {
+
+class TierBaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = env::MakeTempDir("tb_core_test"); }
+  void TearDown() override { env::RemoveDirRecursive(dir_); }
+  std::string dir_;
+};
+
+// --- Cache-only mode. ---
+
+TEST_F(TierBaseTest, CacheOnlyBasicOps) {
+  TierBaseOptions options;
+  auto db = TierBase::Open(options, nullptr);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Set("k", "v").ok());
+  std::string value;
+  ASSERT_TRUE((*db)->Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
+  ASSERT_TRUE((*db)->Delete("k").ok());
+  EXPECT_TRUE((*db)->Get("k", &value).IsNotFound());
+}
+
+TEST_F(TierBaseTest, TieredPolicyRequiresStorage) {
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteThrough;
+  auto db = TierBase::Open(options, nullptr);
+  EXPECT_FALSE(db.ok());
+}
+
+TEST_F(TierBaseTest, SetExExpires) {
+  TierBaseOptions options;
+  ManualClock clock;
+  options.cache.clock = &clock;
+  auto db = TierBase::Open(options, nullptr);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->SetEx("k", "v", 1000).ok());
+  std::string value;
+  ASSERT_TRUE((*db)->Get("k", &value).ok());
+  clock.Advance(1500);
+  EXPECT_TRUE((*db)->Get("k", &value).IsNotFound());
+}
+
+TEST_F(TierBaseTest, CasInCacheOnlyMode) {
+  TierBaseOptions options;
+  auto db = TierBase::Open(options, nullptr);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Set("k", "a").ok());
+  ASSERT_TRUE((*db)->Cas("k", "a", "b").ok());
+  EXPECT_TRUE((*db)->Cas("k", "a", "c").IsAborted());
+  std::string value;
+  ASSERT_TRUE((*db)->Get("k", &value).ok());
+  EXPECT_EQ(value, "b");
+}
+
+// --- WAL persistence (Fig 8 "WAL"). ---
+
+TEST_F(TierBaseTest, WalFileRecoversAfterRestart) {
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWalFile;
+  options.wal_dir = dir_;
+  {
+    auto db = TierBase::Open(options, nullptr);
+    ASSERT_TRUE(db.ok());
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(
+          (*db)->Set("key" + std::to_string(i), "val" + std::to_string(i))
+              .ok());
+    }
+    ASSERT_TRUE((*db)->Delete("key7").ok());
+    ASSERT_TRUE((*db)->WaitIdle().ok());
+  }
+  auto db = TierBase::Open(options, nullptr);
+  ASSERT_TRUE(db.ok());
+  std::string value;
+  ASSERT_TRUE((*db)->Get("key42", &value).ok());
+  EXPECT_EQ(value, "val42");
+  EXPECT_TRUE((*db)->Get("key7", &value).IsNotFound());
+}
+
+TEST_F(TierBaseTest, WalPmemRecoversViaBackingFile) {
+  PmemOptions pmem_options;
+  pmem_options.capacity = 4 << 20;
+  pmem_options.inject_latency = false;
+  pmem_options.backing_file = dir_ + "/pmem.img";
+
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWalPmem;
+  options.wal_dir = dir_;
+  {
+    auto device = PmemDevice::Create(pmem_options);
+    ASSERT_TRUE(device.ok());
+    options.wal_pmem_device = device->get();
+    auto db = TierBase::Open(options, nullptr);
+    ASSERT_TRUE(db.ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE((*db)->Set("pk" + std::to_string(i), "pv").ok());
+    }
+    ASSERT_TRUE((*db)->WaitIdle().ok());
+  }
+  auto device = PmemDevice::Create(pmem_options);
+  ASSERT_TRUE(device.ok());
+  options.wal_pmem_device = device->get();
+  auto db = TierBase::Open(options, nullptr);
+  ASSERT_TRUE(db.ok());
+  std::string value;
+  ASSERT_TRUE((*db)->Get("pk99", &value).ok());
+  EXPECT_EQ(value, "pv");
+}
+
+// --- Write-through (paper §4.1.1). ---
+
+TEST_F(TierBaseTest, WriteThroughReachesStorageSynchronously) {
+  MockStorageAdapter storage;
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteThrough;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Set("k", "v").ok());
+  // The Set already returned: storage must hold the value.
+  std::string value;
+  ASSERT_TRUE(storage.Read("k", &value).ok());
+  EXPECT_EQ(value, "v");
+}
+
+TEST_F(TierBaseTest, WriteThroughMissPopulatesCache) {
+  MockStorageAdapter storage;
+  ASSERT_TRUE(storage.Write("cold", "from-storage").ok());
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteThrough;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+  std::string value;
+  ASSERT_TRUE((*db)->Get("cold", &value).ok());
+  EXPECT_EQ(value, "from-storage");
+  auto stats = (*db)->GetStats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.storage_populates, 1u);
+  // Second read is a cache hit: storage not consulted again.
+  uint64_t reads_before = storage.counters().reads;
+  ASSERT_TRUE((*db)->Get("cold", &value).ok());
+  EXPECT_EQ(storage.counters().reads, reads_before);
+}
+
+TEST_F(TierBaseTest, WriteThroughStorageFailureInvalidatesCache) {
+  MockStorageAdapter::Options mock_options;
+  mock_options.fail_every = 2;  // Second write fails.
+  MockStorageAdapter storage(mock_options);
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteThrough;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Set("k", "v1").ok());
+  Status s = (*db)->Set("k", "v2");  // Storage write fails.
+  EXPECT_FALSE(s.ok());
+  // Consistency: the cache must not serve the unpersisted v2. The entry is
+  // invalidated; the next read refetches v1 from storage.
+  std::string value;
+  Status read = (*db)->Get("k", &value);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(value, "v1");
+}
+
+TEST_F(TierBaseTest, WriteThroughDeletePropagates) {
+  MockStorageAdapter storage;
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteThrough;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Set("k", "v").ok());
+  ASSERT_TRUE((*db)->Delete("k").ok());
+  std::string value;
+  EXPECT_TRUE(storage.Read("k", &value).IsNotFound());
+  EXPECT_TRUE((*db)->Get("k", &value).IsNotFound());
+}
+
+TEST_F(TierBaseTest, WriteThroughCasFetchesMissingKey) {
+  MockStorageAdapter storage;
+  ASSERT_TRUE(storage.Write("k", "stored").ok());
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteThrough;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+  // Key is not cached; CAS must fetch it before comparing.
+  ASSERT_TRUE((*db)->Cas("k", "stored", "updated").ok());
+  std::string value;
+  ASSERT_TRUE(storage.Read("k", &value).ok());
+  EXPECT_EQ(value, "updated");
+}
+
+// --- PerKeyCoalescer unit behaviour. ---
+
+TEST(PerKeyCoalescerTest, AllWritersObserveSuccess) {
+  std::atomic<int> storage_writes{0};
+  PerKeyCoalescer coalescer(
+      [&](const Slice&, const Slice&, bool) {
+        storage_writes.fetch_add(1);
+        return Status::OK();
+      },
+      /*coalesce=*/true);
+  ASSERT_TRUE(coalescer.Write("k", "v", false).ok());
+  EXPECT_EQ(storage_writes.load(), 1);
+  auto stats = coalescer.GetStats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.storage_writes, 1u);
+}
+
+TEST(PerKeyCoalescerTest, ConcurrentWritesSameKeyCoalesce) {
+  std::atomic<int> storage_writes{0};
+  PerKeyCoalescer coalescer(
+      [&](const Slice&, const Slice&, bool) {
+        storage_writes.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        return Status::OK();
+      },
+      /*coalesce=*/true);
+  constexpr int kThreads = 8, kWritesPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kWritesPerThread; ++i) {
+        ASSERT_TRUE(
+            coalescer.Write("hotkey", std::to_string(t * 100 + i), false)
+                .ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto stats = coalescer.GetStats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kThreads) * kWritesPerThread);
+  // The whole point: far fewer storage writes than submissions.
+  EXPECT_LT(stats.storage_writes, stats.submitted);
+}
+
+TEST(PerKeyCoalescerTest, ErrorsPropagateToWaiters) {
+  PerKeyCoalescer coalescer(
+      [&](const Slice&, const Slice&, bool) {
+        return Status::IOError("storage down");
+      },
+      true);
+  Status s = coalescer.Write("k", "v", false);
+  EXPECT_TRUE(s.IsIOError());
+}
+
+TEST(PerKeyCoalescerTest, DisabledCoalescingWritesEveryUpdate) {
+  std::atomic<int> storage_writes{0};
+  PerKeyCoalescer coalescer(
+      [&](const Slice&, const Slice&, bool) {
+        storage_writes.fetch_add(1);
+        return Status::OK();
+      },
+      /*coalesce=*/false);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(coalescer.Write("k", std::to_string(i), false).ok());
+  }
+  EXPECT_EQ(storage_writes.load(), 20);
+}
+
+// --- Write-back (paper §4.1.2). ---
+
+TEST_F(TierBaseTest, WriteBackDefersAndFlushes) {
+  MockStorageAdapter storage;
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteBack;
+  options.write_back.flush_interval_micros = 5'000;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Set("k", "v").ok());
+  // Deferred write: will reach storage once flushed.
+  ASSERT_TRUE((*db)->WaitIdle().ok());
+  std::string value;
+  ASSERT_TRUE(storage.Read("k", &value).ok());
+  EXPECT_EQ(value, "v");
+}
+
+TEST_F(TierBaseTest, WriteBackReadsSeeUnflushedWrites) {
+  MockStorageAdapter storage;
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteBack;
+  options.write_back.flush_interval_micros = 60'000'000;  // Don't auto-flush.
+  options.write_back.flush_threshold = 1 << 30;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Set("k", "dirty-value").ok());
+  std::string value;
+  ASSERT_TRUE((*db)->Get("k", &value).ok());
+  EXPECT_EQ(value, "dirty-value");
+}
+
+TEST_F(TierBaseTest, WriteBackMergesUpdatesToSameKey) {
+  MockStorageAdapter storage;
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteBack;
+  options.write_back.flush_interval_micros = 100'000;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*db)->Set("hot", "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*db)->WaitIdle().ok());
+  std::string value;
+  ASSERT_TRUE(storage.Read("hot", &value).ok());
+  EXPECT_EQ(value, "v99");  // Latest wins.
+  auto stats = (*db)->GetStats();
+  EXPECT_GT(stats.write_back.merged_updates, 0u);
+  // Storage saw far fewer individual writes than 100.
+  EXPECT_LT(storage.counters().writes, 100u);
+}
+
+TEST_F(TierBaseTest, WriteBackUpdateOnMissingKeyFetchesFirst) {
+  MockStorageAdapter storage;
+  ASSERT_TRUE(storage.Write("k", "original").ok());
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteBack;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+  // CAS on a key not in cache: §4.1.2's deferred cache-fetch path.
+  ASSERT_TRUE((*db)->Cas("k", "original", "updated").ok());
+  ASSERT_TRUE((*db)->WaitIdle().ok());
+  std::string value;
+  ASSERT_TRUE(storage.Read("k", &value).ok());
+  EXPECT_EQ(value, "updated");
+}
+
+TEST_F(TierBaseTest, WriteBackFlushAllOnShutdownNoDataLoss) {
+  MockStorageAdapter storage;
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteBack;
+  options.write_back.flush_interval_micros = 60'000'000;
+  options.write_back.flush_threshold = 1 << 30;
+  {
+    auto db = TierBase::Open(options, &storage);
+    ASSERT_TRUE(db.ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE((*db)->Set("key" + std::to_string(i), "v").ok());
+    }
+    // Destructor must flush dirty data.
+  }
+  EXPECT_EQ(storage.size(), 50u);
+}
+
+TEST(WriteBackManagerTest, BackpressureBlocksThenRecovers) {
+  MockStorageAdapter storage;
+  WriteBackOptions options;
+  options.max_dirty = 16;
+  options.flush_threshold = 8;
+  options.flush_interval_micros = 1'000;
+  options.max_batch = 8;
+  WriteBackManager manager(&storage, options);
+  // Push far beyond max_dirty; backpressure must engage but all writes land.
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        manager.MarkDirty("key" + std::to_string(i), "v", false).ok());
+  }
+  ASSERT_TRUE(manager.FlushAll().ok());
+  EXPECT_EQ(storage.size(), 500u);
+  auto stats = manager.GetStats();
+  EXPECT_GT(stats.backpressure_waits, 0u);
+  EXPECT_GT(stats.flush_batches, 0u);
+}
+
+TEST(WriteBackManagerTest, DirtyStateVisible) {
+  MockStorageAdapter storage;
+  WriteBackOptions options;
+  options.flush_interval_micros = 60'000'000;
+  options.flush_threshold = 1 << 30;
+  WriteBackManager manager(&storage, options);
+  ASSERT_TRUE(manager.MarkDirty("k", "v", false).ok());
+  EXPECT_TRUE(manager.IsDirty("k"));
+  std::string value;
+  bool is_delete = true;
+  EXPECT_TRUE(manager.GetDirty("k", &value, &is_delete));
+  EXPECT_EQ(value, "v");
+  EXPECT_FALSE(is_delete);
+  ASSERT_TRUE(manager.FlushAll().ok());
+  EXPECT_FALSE(manager.IsDirty("k"));
+  EXPECT_EQ(manager.dirty_count(), 0u);
+}
+
+TEST(WriteBackManagerTest, DeletesFlushAsTombstones) {
+  MockStorageAdapter storage;
+  ASSERT_TRUE(storage.Write("k", "v").ok());
+  WriteBackOptions options;
+  WriteBackManager manager(&storage, options);
+  ASSERT_TRUE(manager.MarkDirty("k", "", true).ok());
+  ASSERT_TRUE(manager.FlushAll().ok());
+  std::string value;
+  EXPECT_TRUE(storage.Read("k", &value).IsNotFound());
+}
+
+TEST(WriteBackManagerTest, BatchesReduceRemoteCalls) {
+  MockStorageAdapter storage;
+  WriteBackOptions options;
+  options.flush_interval_micros = 60'000'000;
+  options.flush_threshold = 1 << 30;
+  options.max_batch = 64;
+  WriteBackManager manager(&storage, options);
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_TRUE(manager.MarkDirty("key" + std::to_string(i), "v", false).ok());
+  }
+  ASSERT_TRUE(manager.FlushAll().ok());
+  // 256 ops in >= 4 batches but far fewer than 256 remote calls.
+  EXPECT_LE(storage.counters().batch_calls, 16u);
+  EXPECT_EQ(storage.size(), 256u);
+}
+
+// --- DeferredFetcher. ---
+
+TEST(DeferredFetcherTest, FetchesFromStorage) {
+  MockStorageAdapter storage;
+  ASSERT_TRUE(storage.Write("k", "v").ok());
+  DeferredFetchOptions options;
+  DeferredFetcher fetcher(&storage, options);
+  std::string value;
+  ASSERT_TRUE(fetcher.Fetch("k", &value).ok());
+  EXPECT_EQ(value, "v");
+  EXPECT_TRUE(fetcher.Fetch("missing", &value).IsNotFound());
+}
+
+TEST(DeferredFetcherTest, ConcurrentMissesShareBatches) {
+  MockStorageAdapter::Options mock_options;
+  mock_options.latency_micros = 500;  // Make batching worthwhile & likely.
+  MockStorageAdapter storage(mock_options);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(storage.Write("key" + std::to_string(i), "v").ok());
+  }
+  DeferredFetchOptions options;
+  options.batch_window_micros = 2000;
+  options.max_batch = 64;
+  DeferredFetcher fetcher(&storage, options);
+
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  for (int t = 0; t < 16; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 4; ++i) {
+        std::string value;
+        if (fetcher.Fetch("key" + std::to_string(t * 4 + i), &value).ok()) {
+          ok_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok_count.load(), 64);
+  auto stats = fetcher.GetStats();
+  EXPECT_EQ(stats.fetches, 64u);
+  // Batching happened: fewer storage calls than fetches.
+  EXPECT_LT(stats.batch_calls, 64u);
+}
+
+TEST(DeferredFetcherTest, DisabledModeStillCorrect) {
+  MockStorageAdapter storage;
+  ASSERT_TRUE(storage.Write("k", "v").ok());
+  DeferredFetchOptions options;
+  options.enabled = false;
+  DeferredFetcher fetcher(&storage, options);
+  std::string value;
+  ASSERT_TRUE(fetcher.Fetch("k", &value).ok());
+  EXPECT_EQ(value, "v");
+}
+
+// --- Replication. ---
+
+TEST(ReplicatorTest, ReplicaConverges) {
+  Replicator replicator;
+  for (int i = 0; i < 1000; ++i) {
+    replicator.ReplicateSet("key" + std::to_string(i), "v" + std::to_string(i));
+  }
+  replicator.ReplicateDelete("key500");
+  replicator.WaitCaughtUp();
+  EXPECT_EQ(replicator.applied_ops(), 1001u);
+  EXPECT_EQ(replicator.lag(), 0u);
+  std::string value;
+  ASSERT_TRUE(replicator.mutable_replica()->Get("key999", &value).ok());
+  EXPECT_EQ(value, "v999");
+  EXPECT_TRUE(replicator.mutable_replica()->Get("key500", &value).IsNotFound());
+}
+
+TEST(ReplicatorTest, LagBoundedByOplogCap) {
+  Replicator::Options options;
+  options.max_lag_ops = 64;
+  Replicator replicator(options);
+  for (int i = 0; i < 10000; ++i) {
+    replicator.ReplicateSet("k" + std::to_string(i % 100), "v");
+  }
+  EXPECT_LE(replicator.lag(), 64u);
+  replicator.WaitCaughtUp();
+  EXPECT_EQ(replicator.lag(), 0u);
+}
+
+TEST_F(TierBaseTest, ReplicationDoublesMemoryUsage) {
+  TierBaseOptions options;
+  options.replication = ReplicationMode::kMasterReplica;
+  auto db = TierBase::Open(options, nullptr);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        (*db)->Set("key" + std::to_string(i), std::string(200, 'r')).ok());
+  }
+  ASSERT_TRUE((*db)->WaitIdle().ok());
+  TierBaseOptions solo;
+  auto db2 = TierBase::Open(solo, nullptr);
+  ASSERT_TRUE(db2.ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        (*db2)->Set("key" + std::to_string(i), std::string(200, 'r')).ok());
+  }
+  // Replicated instance carries roughly twice the memory.
+  EXPECT_GT((*db)->GetUsage().memory_bytes,
+            (*db2)->GetUsage().memory_bytes * 3 / 2);
+}
+
+// --- Hit-ratio accounting. ---
+
+TEST_F(TierBaseTest, HitRatioTracksCacheEffectiveness) {
+  MockStorageAdapter storage;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(storage.Write("key" + std::to_string(i), "v").ok());
+  }
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteThrough;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+  std::string value;
+  // First pass: all misses (populate). Second pass: all hits.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*db)->Get("key" + std::to_string(i), &value).ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*db)->Get("key" + std::to_string(i), &value).ok());
+  }
+  EXPECT_NEAR((*db)->hit_ratio(), 0.5, 0.01);
+  auto stats = (*db)->GetStats();
+  EXPECT_EQ(stats.gets, 200u);
+  EXPECT_EQ(stats.cache_hits, 100u);
+  EXPECT_EQ(stats.cache_misses, 100u);
+}
+
+TEST_F(TierBaseTest, PopulateOnMissDisabled) {
+  MockStorageAdapter storage;
+  ASSERT_TRUE(storage.Write("k", "v").ok());
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteThrough;
+  options.populate_on_miss = false;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+  std::string value;
+  ASSERT_TRUE((*db)->Get("k", &value).ok());
+  ASSERT_TRUE((*db)->Get("k", &value).ok());
+  auto stats = (*db)->GetStats();
+  EXPECT_EQ(stats.cache_misses, 2u);  // Never cached.
+  EXPECT_EQ(stats.storage_populates, 0u);
+}
+
+// --- Cache budget integration: tiered mode evicts but storage retains. ---
+
+TEST_F(TierBaseTest, EvictionIsSafeUnderWriteThrough) {
+  MockStorageAdapter storage;
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteThrough;
+  options.cache.memory_budget = 32 * 1024;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        (*db)->Set("key" + std::to_string(i), std::string(300, 'e')).ok());
+  }
+  EXPECT_GT((*db)->cache()->evictions(), 0u);
+  // Every key remains readable (through storage on cache miss).
+  std::string value;
+  for (int i = 0; i < 500; i += 50) {
+    ASSERT_TRUE((*db)->Get("key" + std::to_string(i), &value).ok()) << i;
+    EXPECT_EQ(value.size(), 300u);
+  }
+}
+
+TEST_F(TierBaseTest, EvictionIsSafeUnderWriteBack) {
+  MockStorageAdapter storage;
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteBack;
+  options.cache.memory_budget = 32 * 1024;
+  options.write_back.flush_interval_micros = 2'000;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        (*db)->Set("key" + std::to_string(i), std::string(300, 'w')).ok());
+  }
+  ASSERT_TRUE((*db)->WaitIdle().ok());
+  // No data loss despite eviction pressure: dirty entries were pinned
+  // until flushed, and all keys are in storage.
+  std::string value;
+  for (int i = 0; i < 500; i += 25) {
+    ASSERT_TRUE((*db)->Get("key" + std::to_string(i), &value).ok()) << i;
+  }
+  EXPECT_EQ(storage.size(), 500u);
+}
+
+}  // namespace
+}  // namespace tierbase
+
+// --- RemoteStorageAdapter: the disaggregated-RPC cost model. ---
+
+namespace tierbase {
+namespace {
+
+TEST(RemoteStorageAdapterTest, ForwardsAndCounts) {
+  MockStorageAdapter inner;
+  RemoteStorageAdapter remote(&inner, /*rtt_micros=*/0);
+  ASSERT_TRUE(remote.Write("k", "v").ok());
+  std::string value;
+  ASSERT_TRUE(remote.Read("k", &value).ok());
+  EXPECT_EQ(value, "v");
+  std::vector<StorageAdapter::BatchOp> batch = {{"a", "1", false},
+                                                {"b", "2", false}};
+  ASSERT_TRUE(remote.WriteBatch(batch).ok());
+  auto counters = remote.counters();
+  EXPECT_EQ(counters.writes, 3u);       // 1 single + 2 batched.
+  EXPECT_EQ(counters.batch_calls, 1u);  // One round trip for the batch.
+  ASSERT_TRUE(remote.Delete("k").ok());
+  EXPECT_TRUE(remote.Read("k", &value).IsNotFound());
+}
+
+TEST(RemoteStorageAdapterTest, BatchPaysOneRoundTrip) {
+  MockStorageAdapter inner;
+  RemoteStorageAdapter remote(&inner, /*rtt_micros=*/300);
+  // 64 individual writes vs one 64-op batch: the batch must be close to
+  // 64x cheaper in wall time.
+  std::vector<StorageAdapter::BatchOp> batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back({"b" + std::to_string(i), "v", false});
+  }
+  Stopwatch batch_timer;
+  ASSERT_TRUE(remote.WriteBatch(batch).ok());
+  double batch_secs = batch_timer.ElapsedSeconds();
+
+  Stopwatch single_timer;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(remote.Write("s" + std::to_string(i), "v").ok());
+  }
+  double single_secs = single_timer.ElapsedSeconds();
+  EXPECT_GT(single_secs, batch_secs * 10);
+}
+
+TEST(RemoteStorageAdapterTest, MultiReadSharesRoundTrip) {
+  MockStorageAdapter inner;
+  ASSERT_TRUE(inner.Write("a", "1").ok());
+  ASSERT_TRUE(inner.Write("b", "2").ok());
+  RemoteStorageAdapter remote(&inner, 0);
+  std::vector<std::string> values;
+  std::vector<bool> found;
+  ASSERT_TRUE(remote.MultiRead({"a", "b", "missing"}, &values, &found).ok());
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_TRUE(found[0]);
+  EXPECT_TRUE(found[1]);
+  EXPECT_FALSE(found[2]);
+  EXPECT_EQ(values[1], "2");
+}
+
+// --- Differential property test across every caching policy. ---
+
+struct PolicyParam {
+  CachingPolicy policy;
+  const char* name;
+};
+
+class PolicyDifferentialTest : public ::testing::TestWithParam<PolicyParam> {};
+
+TEST_P(PolicyDifferentialTest, MatchesModelUnderRandomOps) {
+  const CachingPolicy policy = GetParam().policy;
+  std::string dir = env::MakeTempDir("tb_policy_diff");
+
+  PmemOptions pmem_options;
+  pmem_options.capacity = 8 << 20;
+  pmem_options.inject_latency = false;
+  auto device = PmemDevice::Create(pmem_options);
+  ASSERT_TRUE(device.ok());
+
+  MockStorageAdapter storage;
+  TierBaseOptions options;
+  options.policy = policy;
+  options.wal_dir = dir;
+  options.wal_pmem_device = device->get();
+  options.write_back.flush_interval_micros = 5'000;
+
+  bool tiered = policy == CachingPolicy::kWriteThrough ||
+                policy == CachingPolicy::kWriteBack;
+  auto db = TierBase::Open(options, tiered ? &storage : nullptr);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  Random rng(2024);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 4000; ++i) {
+    std::string key = "key" + std::to_string(rng.Uniform(300));
+    int action = static_cast<int>(rng.Uniform(10));
+    if (action < 6) {
+      std::string value = "v" + std::to_string(i);
+      ASSERT_TRUE((*db)->Set(key, value).ok());
+      model[key] = value;
+    } else if (action < 8) {
+      (*db)->Delete(key);
+      model.erase(key);
+    } else {
+      std::string value;
+      Status s = (*db)->Get(key, &value);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        ASSERT_TRUE(s.IsNotFound()) << GetParam().name << " " << key;
+      } else {
+        ASSERT_TRUE(s.ok()) << GetParam().name << " " << key;
+        ASSERT_EQ(value, it->second) << GetParam().name << " " << key;
+      }
+    }
+  }
+  ASSERT_TRUE((*db)->WaitIdle().ok());
+  for (const auto& [key, expected] : model) {
+    std::string value;
+    ASSERT_TRUE((*db)->Get(key, &value).ok()) << GetParam().name << " " << key;
+    ASSERT_EQ(value, expected) << GetParam().name << " " << key;
+  }
+  db.value().reset();
+  env::RemoveDirRecursive(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyDifferentialTest,
+    ::testing::Values(PolicyParam{CachingPolicy::kCacheOnly, "cache_only"},
+                      PolicyParam{CachingPolicy::kWalFile, "wal_file"},
+                      PolicyParam{CachingPolicy::kWalPmem, "wal_pmem"},
+                      PolicyParam{CachingPolicy::kWriteThrough,
+                                  "write_through"},
+                      PolicyParam{CachingPolicy::kWriteBack, "write_back"}),
+    [](const ::testing::TestParamInfo<PolicyParam>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace tierbase

@@ -1,0 +1,437 @@
+// Tests for the Space-Performance Cost Model (paper §2 and §5): Defs 1-2,
+// Theorem 2.1, the tiered cost model (Eq. 3/6) and Theorem 5.1, exact MRC
+// computation, the adapted Five-Minute Rule (Eq. 4/5, Table 3), and the
+// sample-load-replay-calculate evaluation framework (§5.3).
+
+#include <cmath>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/hash_engine.h"
+#include "costmodel/cost_model.h"
+#include "costmodel/evaluator.h"
+#include "costmodel/five_minute_rule.h"
+#include "costmodel/mrc.h"
+#include "costmodel/tiered.h"
+#include "workload/trace.h"
+
+namespace tierbase {
+namespace costmodel {
+namespace {
+
+// --- Definitions 1-2 / Eq. 1-2. ---
+
+TEST(CostModelTest, MetricsFromCapacity) {
+  ResourceInstance instance = StandardContainer();
+  CapacityProfile capacity{/*max_perf_qps=*/100000,
+                           /*max_space_bytes=*/4.0 * (1 << 30)};
+  CostMetrics metrics = ComputeMetrics(instance, capacity);
+  EXPECT_DOUBLE_EQ(metrics.cpqps, instance.cost / 100000);
+  EXPECT_DOUBLE_EQ(metrics.cpgb, instance.cost / 4.0);  // Per GB.
+}
+
+TEST(CostModelTest, CostIsMaxOfPcAndSc) {
+  ResourceInstance instance = StandardContainer();
+  CapacityProfile capacity{100000, 4.0 * (1 << 30)};
+  // Perf-critical: high QPS, little data.
+  WorkloadDemand demand{/*qps=*/200000, /*data_bytes=*/1.0 * (1 << 30)};
+  CostBreakdown cost = ComputeCost(instance, capacity, demand);
+  EXPECT_DOUBLE_EQ(cost.pc, 2.0);   // 200k / 100k per instance.
+  EXPECT_DOUBLE_EQ(cost.sc, 0.25);  // 1 GB / 4 GB.
+  EXPECT_DOUBLE_EQ(cost.cost, 2.0);
+  EXPECT_EQ(Classify(cost), WorkloadClass::kPerformanceCritical);
+
+  // Space-critical: the reverse.
+  demand = {10000, 40.0 * (1 << 30)};
+  cost = ComputeCost(instance, capacity, demand);
+  EXPECT_DOUBLE_EQ(cost.cost, cost.sc);
+  EXPECT_EQ(Classify(cost), WorkloadClass::kSpaceCritical);
+}
+
+TEST(CostModelTest, CeilFormProvisionsWholeInstances) {
+  ResourceInstance instance = StandardContainer();
+  CapacityProfile capacity{100000, 4.0 * (1 << 30)};
+  WorkloadDemand demand{150000, 1.0 * (1 << 30)};  // 1.5 instances of perf.
+  CostBreakdown cost = ComputeCostCeil(instance, capacity, demand);
+  EXPECT_DOUBLE_EQ(cost.pc, 2.0);  // ceil(1.5) = 2 instances.
+  CostBreakdown smooth = ComputeCost(instance, capacity, demand);
+  EXPECT_DOUBLE_EQ(smooth.pc, 1.5);
+  EXPECT_GE(cost.cost, smooth.cost);  // Ceil never cheaper.
+}
+
+TEST(CostModelTest, ToleranceInflatesDemand) {
+  ResourceInstance instance = StandardContainer();
+  CapacityProfile capacity{100000, 4.0 * (1 << 30)};
+  WorkloadDemand demand{100000, 4.0 * (1 << 30)};
+  CostBreakdown base = ComputeCost(instance, capacity, demand);
+  CostBreakdown padded =
+      ComputeCost(instance, capacity, demand, /*perf_tolerance=*/1.3,
+                  /*space_tolerance=*/1.2);
+  EXPECT_NEAR(padded.pc, base.pc * 1.3, 1e-9);
+  EXPECT_NEAR(padded.sc, base.sc * 1.2, 1e-9);
+}
+
+TEST(CostModelTest, ReplicationMultipliesSpaceOnly) {
+  ResourceInstance instance = StandardContainer();
+  CapacityProfile capacity{100000, 4.0 * (1 << 30)};
+  WorkloadDemand demand{50000, 2.0 * (1 << 30)};
+  CostBreakdown single = ComputeCost(instance, capacity, demand);
+  CostBreakdown dual = ComputeCost(instance, capacity, demand, 1.0, 1.0,
+                                   /*replication_factor=*/2.0);
+  EXPECT_NEAR(dual.sc, single.sc * 2, 1e-9);
+  EXPECT_NEAR(dual.pc, single.pc, 1e-9);
+}
+
+TEST(CostModelTest, InstancePresetsAreOrderedSanely) {
+  // Larger containers cost more; PMem adds capacity at modest cost.
+  EXPECT_GT(MultiThreadContainer().cost, StandardContainer().cost);
+  EXPECT_GT(PmemContainer().cost, StandardContainer().cost);
+  EXPECT_GT(PmemContainer().pmem_bytes, 0u);
+  EXPECT_GT(DiskContainer().disk_bytes, 0u);
+}
+
+// --- Theorem 2.1. ---
+
+TEST(OptimalCostTest, ArgminTotalEqualsArgminImbalanceOnTradeoffCurve) {
+  // Build a space-performance trade-off curve (Def. 3): increasing
+  // compression level lowers SC, raises PC.
+  std::vector<ConfigCost> configs;
+  for (int level = 0; level <= 10; ++level) {
+    ConfigCost config;
+    config.name = "level" + std::to_string(level);
+    config.cost.pc = 1.0 + 0.35 * level;
+    config.cost.sc = 6.0 - 0.5 * level;
+    config.cost.cost = std::max(config.cost.pc, config.cost.sc);
+    configs.push_back(config);
+  }
+  size_t by_total = ArgminTotalCost(configs);
+  size_t by_balance = ArgminCostImbalance(configs);
+  // On a discrete grid the two selectors land on the same (or an equally
+  // priced adjacent) configuration — the theorem's equality point.
+  EXPECT_NEAR(configs[by_total].cost.cost, configs[by_balance].cost.cost,
+              0.35 + 1e-9);
+  // And the optimum is interior: cheaper than both extremes.
+  EXPECT_LT(configs[by_total].cost.cost, configs.front().cost.cost);
+  EXPECT_LT(configs[by_total].cost.cost, configs.back().cost.cost);
+}
+
+TEST(OptimalCostTest, BalancedConfigurationHasNearEqualCosts) {
+  std::vector<ConfigCost> configs;
+  for (double pc = 0.5; pc <= 8.0; pc += 0.125) {
+    ConfigCost config;
+    config.cost.pc = pc;
+    config.cost.sc = 4.0 / pc;  // Hyperbolic trade-off.
+    config.cost.cost = std::max(config.cost.pc, config.cost.sc);
+    configs.push_back(config);
+  }
+  size_t best = ArgminTotalCost(configs);
+  // min max(pc, 4/pc) is at pc = 2: PC == SC == 2.
+  EXPECT_NEAR(configs[best].cost.pc, 2.0, 0.2);
+  EXPECT_NEAR(configs[best].cost.sc, 2.0, 0.2);
+}
+
+TEST(OptimalCostTest, EmptyAndSingletonInputs) {
+  std::vector<ConfigCost> one(1);
+  one[0].cost = {3, 1, 3};
+  EXPECT_EQ(ArgminTotalCost(one), 0u);
+  EXPECT_EQ(ArgminCostImbalance(one), 0u);
+}
+
+// --- Tiered cost model (Eq. 3 / 6). ---
+
+TEST(TieredCostTest, EquationThreeComputes) {
+  TieredCostInputs in;
+  in.pc_cache = 1.0;
+  in.pc_miss = 4.0;
+  in.sc_cache = 10.0;
+  in.pc_storage = 2.0;
+  in.sc_storage = 1.5;
+  double cost = TieredCost(in, /*cache_ratio=*/0.2, /*miss_ratio=*/0.1);
+  // Cache term: max(1 + 4*0.1, 10*0.2) = max(1.4, 2) = 2.
+  // Storage term: max(2*0.1, 1.5) = 1.5.
+  EXPECT_DOUBLE_EQ(cost, 3.5);
+  EXPECT_DOUBLE_EQ(CacheTierCost(in, 0.2, 0.1), 2.0);
+}
+
+TEST(TieredCostTest, SingleTierExtremes) {
+  TieredCostInputs in;
+  in.pc_cache = 1.0;
+  in.pc_miss = 4.0;
+  in.sc_cache = 10.0;
+  in.pc_storage = 2.0;
+  in.sc_storage = 1.5;
+  // Cache-only: all data in cache (CR=1, MR=0), no storage tier.
+  EXPECT_DOUBLE_EQ(CacheOnlyCost(in), std::max(1.0, 10.0));
+  // Storage-only: everything misses.
+  EXPECT_DOUBLE_EQ(StorageOnlyCost(in), std::max(2.0, 1.5));
+}
+
+TEST(TieredCostTest, TieredWinsOnSkewedWorkload) {
+  // Skew premises of §2.5.2: low CR captures most hits; big cost disparity
+  // between tiers; low miss penalty.
+  TieredCostInputs in;
+  in.pc_cache = 1.0;
+  in.pc_miss = 0.5;
+  in.sc_cache = 20.0;   // Caching everything is very expensive.
+  in.pc_storage = 12.0; // Serving all traffic from storage is too.
+  in.sc_storage = 1.0;
+  // Zipfian-ish MRC: 10% of data catches 95% of accesses.
+  auto mrc = [](double cr) { return cr >= 0.1 ? 0.05 * (1 - cr) : 1 - 9.5 * cr; };
+  double tiered = TieredCost(in, 0.1, mrc(0.1));
+  EXPECT_TRUE(TieredBeatsSingleTier(in, 0.1, mrc(0.1)));
+  EXPECT_LT(tiered, CacheOnlyCost(in));
+  EXPECT_LT(tiered, StorageOnlyCost(in));
+}
+
+TEST(TieredCostTest, TieredLosesWithoutSkew) {
+  TieredCostInputs in;
+  in.pc_cache = 1.0;
+  in.pc_miss = 3.0;
+  in.sc_cache = 2.0;   // Cache is cheap: just cache everything.
+  in.pc_storage = 1.0;
+  in.sc_storage = 1.8;
+  // Uniform workload: MR = 1 - CR.
+  auto mrc = [](double cr) { return 1.0 - cr; };
+  EXPECT_FALSE(TieredBeatsSingleTier(in, 0.5, mrc(0.5)));
+}
+
+// --- Theorem 5.1 (optimal cache ratio). ---
+
+TEST(OptimalCacheRatioTest, BalancesAtIntersection) {
+  TieredCostInputs in;
+  in.pc_cache = 0.5;
+  in.pc_miss = 8.0;
+  in.sc_cache = 10.0;
+  auto mrc = [](double cr) { return std::pow(1.0 - cr, 3.0); };  // Skewed.
+  double cr_star = OptimalCacheRatio(in, mrc);
+  ASSERT_GT(cr_star, 0.0);
+  ASSERT_LT(cr_star, 1.0);
+  // g(CR*) == h(CR*) within tolerance.
+  double g = in.pc_cache + in.pc_miss * mrc(cr_star);
+  double h = in.sc_cache * cr_star;
+  EXPECT_NEAR(g, h, 0.05);
+  // And CR* is (near) the cost minimizer over a grid.
+  double best = 1e100;
+  double best_cr = 0;
+  for (double cr = 0.0; cr <= 1.0; cr += 0.001) {
+    double c = CacheTierCost(in, cr, mrc(cr));
+    if (c < best) {
+      best = c;
+      best_cr = cr;
+    }
+  }
+  EXPECT_NEAR(cr_star, best_cr, 0.02);
+}
+
+TEST(OptimalCacheRatioTest, DegenerateEdges) {
+  TieredCostInputs in;
+  in.pc_cache = 5.0;
+  in.pc_miss = 10.0;
+  in.sc_cache = 1.0;  // Space is nearly free: cache everything.
+  auto mrc = [](double cr) { return 1.0 - cr; };
+  EXPECT_DOUBLE_EQ(OptimalCacheRatio(in, mrc), 1.0);
+
+  TieredCostInputs in2;
+  in2.pc_cache = 0.1;
+  in2.pc_miss = 0.0;  // Misses are free: almost no reason to cache.
+  in2.sc_cache = 100.0;
+  // g(CR) is the constant 0.1; h(CR) = 100*CR; they cross at CR = 0.001.
+  EXPECT_NEAR(OptimalCacheRatio(in2, mrc), 0.001, 1e-3);
+}
+
+// --- Miss Ratio Curve. ---
+
+workload::Trace MakeTrace(workload::TraceProfile profile, uint64_t ops,
+                          uint64_t keys, uint64_t seed = 11) {
+  workload::SynthesizeOptions options;
+  options.profile = profile;
+  options.num_ops = ops;
+  options.key_space = keys;
+  options.seed = seed;
+  return workload::SynthesizeTrace(options);
+}
+
+// Brute-force LRU simulation for cross-checking Mattson's algorithm.
+double ExactLruMissRatio(const workload::Trace& trace, size_t cache_entries) {
+  std::list<uint64_t> lru;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index;
+  uint64_t misses = 0;
+  for (const auto& op : trace.ops) {
+    auto it = index.find(op.key_index);
+    if (it != index.end()) {
+      lru.erase(it->second);
+    } else {
+      ++misses;
+      if (index.size() == cache_entries) {
+        index.erase(lru.back());
+        lru.pop_back();
+      }
+    }
+    lru.push_front(op.key_index);
+    index[op.key_index] = lru.begin();
+  }
+  return static_cast<double>(misses) / trace.ops.size();
+}
+
+TEST(MrcTest, MatchesBruteForceLruSimulation) {
+  workload::Trace trace =
+      MakeTrace(workload::TraceProfile::kUserInfo, 20000, 1000);
+  MissRatioCurve mrc = MissRatioCurve::FromTrace(trace);
+  for (size_t entries : {10u, 50u, 100u, 500u, 1000u}) {
+    double exact = ExactLruMissRatio(trace, entries);
+    double estimated = mrc.MissRatioAtEntries(entries);
+    EXPECT_NEAR(estimated, exact, 1e-9) << "cache=" << entries;
+  }
+}
+
+TEST(MrcTest, MonotoneNonIncreasing) {
+  workload::Trace trace =
+      MakeTrace(workload::TraceProfile::kReconciliation, 30000, 2000);
+  MissRatioCurve mrc = MissRatioCurve::FromTrace(trace);
+  double prev = 1.1;
+  for (double cr = 0.0; cr <= 1.0; cr += 0.01) {
+    double mr = mrc.MissRatio(cr);
+    EXPECT_LE(mr, prev + 1e-12);
+    prev = mr;
+  }
+}
+
+TEST(MrcTest, FullCacheMissesOnlyCold) {
+  workload::Trace trace =
+      MakeTrace(workload::TraceProfile::kUserInfo, 20000, 500);
+  MissRatioCurve mrc = MissRatioCurve::FromTrace(trace);
+  // With every key cached, only compulsory misses remain.
+  double mr = mrc.MissRatio(1.0);
+  EXPECT_NEAR(mr, static_cast<double>(mrc.distinct_keys()) /
+                      mrc.total_accesses(),
+              1e-9);
+}
+
+TEST(MrcTest, SkewedTraceHasSteepCurve) {
+  workload::Trace trace =
+      MakeTrace(workload::TraceProfile::kUserInfo, 50000, 5000);
+  MissRatioCurve mrc = MissRatioCurve::FromTrace(trace);
+  // 10% of keys should catch well over half the accesses (Zipfian skew);
+  // a uniform trace would miss ~90% at this cache size.
+  EXPECT_LT(mrc.MissRatio(0.1), 0.45);
+}
+
+// --- Five-Minute Rule. ---
+
+TEST(FiveMinuteRuleTest, ClassicFormula) {
+  // Gray & Putzolu's original example: ~100s-400s era break-evens; verify
+  // the arithmetic, not the era.
+  double interval = ClassicBreakEvenSeconds(
+      /*pages_per_mb_ram=*/128, /*accesses_per_second_per_disk=*/15,
+      /*price_per_disk_drive=*/15000, /*price_per_mb_ram=*/400);
+  EXPECT_NEAR(interval, (128.0 / 15.0) * (15000.0 / 400.0), 1e-9);
+}
+
+TEST(FiveMinuteRuleTest, AdaptedFormula) {
+  // Eq. 5: BreakEven = CPQPS_slow / (CPGB_fast * record_size_gb).
+  double interval = BreakEvenSeconds(/*cpqps_slow=*/1e-4, /*cpgb_fast=*/0.5,
+                                     /*avg_record_bytes=*/1024);
+  double record_gb = 1024.0 / (1 << 30);
+  EXPECT_NEAR(interval, 1e-4 / (0.5 * record_gb), 1e-6);
+}
+
+TEST(FiveMinuteRuleTest, TableShapeFastSlowPairs) {
+  // Three configurations with the Table 3 structure: Raw (fast, expensive
+  // space), PMem (middle), PBC-compressed (slow, cheap space).
+  std::vector<StorageConfigProfile> configs = {
+      {"raw", {1e-5, 1.00}},
+      {"pmem", {2e-5, 0.40}},
+      {"pbc", {6e-5, 0.25}},
+  };
+  auto table = BreakEvenTable(configs, /*avg_record_bytes=*/256);
+  ASSERT_EQ(table.size(), 3u);  // raw/pmem, raw/pbc, pmem/pbc.
+  // Intervals are positive and ordered: raw→pmem < raw→pbc < pmem→pbc,
+  // matching Table 3's 98 < 184 < 264 ordering.
+  double raw_pmem = 0, raw_pbc = 0, pmem_pbc = 0;
+  for (const auto& entry : table) {
+    if (entry.fast == "raw" && entry.slow == "pmem") raw_pmem = entry.seconds;
+    if (entry.fast == "raw" && entry.slow == "pbc") raw_pbc = entry.seconds;
+    if (entry.fast == "pmem" && entry.slow == "pbc") pmem_pbc = entry.seconds;
+  }
+  EXPECT_GT(raw_pmem, 0);
+  EXPECT_LT(raw_pmem, raw_pbc);
+  EXPECT_LT(raw_pbc, pmem_pbc);
+}
+
+TEST(FiveMinuteRuleTest, RecommendationFollowsAccessInterval) {
+  std::vector<StorageConfigProfile> configs = {
+      {"raw", {1e-5, 1.00}},
+      {"pmem", {2e-5, 0.40}},
+      {"pbc", {6e-5, 0.25}},
+  };
+  // Hot data (accessed every second): fast config.
+  EXPECT_EQ(RecommendConfig(configs, 256, 1.0), "raw");
+  // Very cold data (accessed hourly): cheapest space.
+  EXPECT_EQ(RecommendConfig(configs, 256, 3600.0), "pbc");
+  // The §6.5 conclusion: an access interval comfortably beyond the largest
+  // break-even favours compression. (Eq. 5's break-even drops the fast
+  // config's CPQPS and the slow config's CPGB, so the exact cost crossing
+  // sits somewhat above the tabulated interval — hence the 3x margin.)
+  auto table = BreakEvenTable(configs, 256);
+  double largest = 0;
+  for (const auto& e : table) largest = std::max(largest, e.seconds);
+  EXPECT_EQ(RecommendConfig(configs, 256, largest * 3.0), "pbc");
+}
+
+// --- CostEvaluator (§5.3 framework). ---
+
+TEST(CostEvaluatorTest, EvaluatesEngineEndToEnd) {
+  cache::HashEngine engine;
+  CostEvaluator evaluator;
+  EvaluationInput input;
+  input.trace = MakeTrace(workload::TraceProfile::kUserInfo, 20000, 2000);
+  input.preload_keys = 2000;
+  input.demand.qps = 50000;
+  input.demand.data_bytes = 1.0 * (1 << 30);
+  EvaluationResult result = evaluator.Evaluate(
+      "hash-engine", &engine, StandardContainer(), input);
+  EXPECT_GT(result.capacity.max_perf_qps, 0);
+  EXPECT_GT(result.capacity.max_space_bytes, 0);
+  EXPECT_GT(result.metrics.cpqps, 0);
+  EXPECT_GT(result.cost.cost, 0);
+  EXPECT_GT(result.payload_bytes, 0);
+  EXPECT_GE(result.expansion_dram, 1.0);  // Structures cost something.
+  EXPECT_EQ(result.replay.errors, 0u);
+}
+
+TEST(CostEvaluatorTest, IterationPicksCheapestConfig) {
+  CostEvaluator evaluator;
+  EvaluationInput input;
+  input.trace = MakeTrace(workload::TraceProfile::kUserInfo, 10000, 1000);
+  input.preload_keys = 1000;
+  // Space-critical demand: lots of data, little traffic.
+  input.demand.qps = 1000;
+  input.demand.data_bytes = 64.0 * (1 << 30);
+
+  std::vector<CostEvaluator::Candidate> candidates;
+  // Candidate A: plain engine on a standard container.
+  candidates.push_back({"plain", StandardContainer(),
+                        [] { return std::make_unique<cache::HashEngine>(); }});
+  // Candidate B: same engine but modeled with a replica (2x space).
+  CostEvaluator::Candidate replicated{
+      "replicated", StandardContainer(),
+      [] { return std::make_unique<cache::HashEngine>(); }};
+  replicated.replication_factor = 2.0;
+  candidates.push_back(std::move(replicated));
+
+  auto sweep = evaluator.Iterate(candidates, input);
+  ASSERT_EQ(sweep.results.size(), 2u);
+  // For a space-critical workload the non-replicated config must win.
+  EXPECT_EQ(sweep.results[sweep.best].config_name, "plain");
+  EXPECT_LT(sweep.results[0].cost.cost, sweep.results[1].cost.cost);
+}
+
+}  // namespace
+}  // namespace costmodel
+}  // namespace tierbase

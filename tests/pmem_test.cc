@@ -1,0 +1,287 @@
+// Tests for the simulated persistent memory substrate (paper §4.3):
+// PmemDevice persistence semantics, PmemAllocator, and the persistent WAL
+// ring buffer including crash recovery.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "common/random.h"
+#include "pmem/pmem_allocator.h"
+#include "pmem/pmem_device.h"
+#include "pmem/ring_buffer.h"
+
+namespace tierbase {
+namespace {
+
+PmemOptions FastOptions(size_t capacity = 1 << 20) {
+  PmemOptions options;
+  options.capacity = capacity;
+  options.inject_latency = false;
+  return options;
+}
+
+// --- PmemDevice. ---
+
+TEST(PmemDeviceTest, WriteReadRoundTrip) {
+  auto device = PmemDevice::Create(FastOptions());
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE((*device)->Write(100, "persistent bytes").ok());
+  std::string out;
+  ASSERT_TRUE((*device)->Read(100, 16, &out).ok());
+  EXPECT_EQ(out, "persistent bytes");
+}
+
+TEST(PmemDeviceTest, OutOfBoundsRejected) {
+  auto device = PmemDevice::Create(FastOptions(4096));
+  ASSERT_TRUE(device.ok());
+  EXPECT_FALSE((*device)->Write(4090, "too long to fit").ok());
+  std::string out;
+  EXPECT_FALSE((*device)->Read(4095, 100, &out).ok());
+}
+
+TEST(PmemDeviceTest, UnpersistedWritesLostOnCrash) {
+  auto device = PmemDevice::Create(FastOptions());
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE((*device)->Write(0, "durable00").ok());
+  ASSERT_TRUE((*device)->Persist(0, 9).ok());
+  ASSERT_TRUE((*device)->Write(100, "volatile0").ok());
+  // No Persist for the second write.
+  (*device)->CrashForTesting();
+
+  std::string out;
+  ASSERT_TRUE((*device)->Read(0, 9, &out).ok());
+  EXPECT_EQ(out, "durable00");
+  ASSERT_TRUE((*device)->Read(100, 9, &out).ok());
+  EXPECT_NE(out, "volatile0");  // Dropped by the crash.
+}
+
+TEST(PmemDeviceTest, BackingFileSurvivesReopen) {
+  std::string dir = env::MakeTempDir("tb_pmem_test");
+  PmemOptions options = FastOptions(64 * 1024);
+  options.backing_file = dir + "/pmem.img";
+  {
+    auto device = PmemDevice::Create(options);
+    ASSERT_TRUE(device.ok());
+    ASSERT_TRUE((*device)->Write(512, "recover me").ok());
+    ASSERT_TRUE((*device)->Persist(512, 10).ok());
+  }
+  {
+    auto device = PmemDevice::Create(options);
+    ASSERT_TRUE(device.ok());
+    std::string out;
+    ASSERT_TRUE((*device)->Read(512, 10, &out).ok());
+    EXPECT_EQ(out, "recover me");
+  }
+  env::RemoveDirRecursive(dir);
+}
+
+TEST(PmemDeviceTest, StatsCount) {
+  auto device = PmemDevice::Create(FastOptions());
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE((*device)->Write(0, "abcd").ok());
+  std::string out;
+  ASSERT_TRUE((*device)->Read(0, 4, &out).ok());
+  ASSERT_TRUE((*device)->Persist(0, 4).ok());
+  auto stats = (*device)->GetStats();
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.reads, 1u);
+  EXPECT_EQ(stats.persists, 1u);
+  EXPECT_EQ(stats.bytes_written, 4u);
+}
+
+TEST(PmemDeviceTest, LatencyInjectionSlowsOperations) {
+  PmemOptions slow = FastOptions();
+  slow.inject_latency = true;
+  slow.write_latency_ns = 200000;  // 200us, measurable.
+  auto device = PmemDevice::Create(slow);
+  ASSERT_TRUE(device.ok());
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*device)->Write(i * 16, "0123456789abcdef").ok());
+  }
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_GE(elapsed, 1500);  // >= 10 * 200us, minus scheduling slack.
+}
+
+// --- PmemAllocator. ---
+
+TEST(PmemAllocatorTest, AllocateStoreLoad) {
+  auto device = PmemDevice::Create(FastOptions());
+  ASSERT_TRUE(device.ok());
+  PmemAllocator alloc(device->get(), 0, 1 << 20);
+  PmemPtr p = alloc.Store("value payload");
+  ASSERT_NE(p, kInvalidPmemPtr);
+  std::string out;
+  ASSERT_TRUE(alloc.Load(p, 13, &out).ok());
+  EXPECT_EQ(out, "value payload");
+  EXPECT_GT(alloc.bytes_in_use(), 0u);
+}
+
+TEST(PmemAllocatorTest, FreeEnablesReuse) {
+  auto device = PmemDevice::Create(FastOptions(64 * 1024));
+  ASSERT_TRUE(device.ok());
+  PmemAllocator alloc(device->get(), 0, 64 * 1024);
+  PmemPtr a = alloc.Allocate(100);
+  ASSERT_NE(a, kInvalidPmemPtr);
+  alloc.Free(a, 100);
+  PmemPtr b = alloc.Allocate(100);
+  EXPECT_EQ(a, b);  // Same size class: freed block is recycled.
+}
+
+TEST(PmemAllocatorTest, ExhaustionReturnsInvalid) {
+  auto device = PmemDevice::Create(FastOptions(64 * 1024));
+  ASSERT_TRUE(device.ok());
+  PmemAllocator alloc(device->get(), 0, 4096);
+  std::vector<PmemPtr> ptrs;
+  PmemPtr p;
+  while ((p = alloc.Allocate(512)) != kInvalidPmemPtr) ptrs.push_back(p);
+  EXPECT_LE(ptrs.size(), 8u);
+  EXPECT_GE(ptrs.size(), 4u);
+  // Free one: allocation works again.
+  alloc.Free(ptrs.back(), 512);
+  EXPECT_NE(alloc.Allocate(512), kInvalidPmemPtr);
+}
+
+TEST(PmemAllocatorTest, ManyAllocationsDistinctRegions) {
+  auto device = PmemDevice::Create(FastOptions());
+  ASSERT_TRUE(device.ok());
+  PmemAllocator alloc(device->get(), 4096, (1 << 20) - 4096);
+  Random rng(13);
+  std::vector<std::pair<PmemPtr, std::string>> stored;
+  for (int i = 0; i < 200; ++i) {
+    std::string value(16 + rng.Uniform(200), static_cast<char>('a' + i % 26));
+    PmemPtr p = alloc.Store(value);
+    ASSERT_NE(p, kInvalidPmemPtr);
+    stored.emplace_back(p, value);
+  }
+  for (const auto& [ptr, value] : stored) {
+    std::string out;
+    ASSERT_TRUE(alloc.Load(ptr, value.size(), &out).ok());
+    ASSERT_EQ(out, value);
+  }
+}
+
+// --- PmemRingBuffer. ---
+
+TEST(RingBufferTest, AppendDrainFifo) {
+  auto device = PmemDevice::Create(FastOptions());
+  ASSERT_TRUE(device.ok());
+  auto ring = PmemRingBuffer::Open(device->get());
+  ASSERT_TRUE(ring.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*ring)->Append("record-" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ((*ring)->pending(), 10u);
+  std::vector<std::string> out;
+  ASSERT_TRUE((*ring)->Drain(4, &out).ok());
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], "record-0");
+  EXPECT_EQ(out[3], "record-3");
+  EXPECT_EQ((*ring)->pending(), 6u);
+  out.clear();
+  ASSERT_TRUE((*ring)->Drain(100, &out).ok());
+  EXPECT_EQ(out.size(), 6u);
+  EXPECT_EQ(out.back(), "record-9");
+}
+
+TEST(RingBufferTest, FullReturnsBusy) {
+  auto device = PmemDevice::Create(FastOptions(8 * 1024));
+  ASSERT_TRUE(device.ok());
+  auto ring = PmemRingBuffer::Open(device->get());
+  ASSERT_TRUE(ring.ok());
+  std::string record(512, 'r');
+  Status s;
+  int appended = 0;
+  while ((s = (*ring)->Append(record)).ok()) ++appended;
+  EXPECT_TRUE(s.IsBusy());
+  EXPECT_GT(appended, 5);
+  // Draining frees space.
+  std::vector<std::string> out;
+  ASSERT_TRUE((*ring)->Drain(2, &out).ok());
+  EXPECT_TRUE((*ring)->Append(record).ok());
+}
+
+TEST(RingBufferTest, WrapAroundPreservesRecords) {
+  auto device = PmemDevice::Create(FastOptions(8 * 1024));
+  ASSERT_TRUE(device.ok());
+  auto ring = PmemRingBuffer::Open(device->get());
+  ASSERT_TRUE(ring.ok());
+  // Append/drain far more total bytes than capacity to force wraps.
+  Random rng(17);
+  uint64_t seq_in = 0, seq_out = 0;
+  for (int round = 0; round < 50; ++round) {
+    while (true) {
+      std::string record =
+          "seq=" + std::to_string(seq_in) +
+          std::string(rng.Uniform(300), 'x');
+      if (!(*ring)->Append(record).ok()) break;
+      ++seq_in;
+    }
+    std::vector<std::string> out;
+    ASSERT_TRUE((*ring)->Drain(rng.Uniform(8) + 1, &out).ok());
+    for (const auto& record : out) {
+      ASSERT_TRUE(record.starts_with("seq=" + std::to_string(seq_out)))
+          << record;
+      ++seq_out;
+    }
+  }
+  EXPECT_GT(seq_in, 100u);
+}
+
+TEST(RingBufferTest, RecoversAfterCrash) {
+  std::string dir = env::MakeTempDir("tb_ring_test");
+  PmemOptions options = FastOptions(64 * 1024);
+  options.backing_file = dir + "/ring.img";
+  {
+    auto device = PmemDevice::Create(options);
+    ASSERT_TRUE(device.ok());
+    auto ring = PmemRingBuffer::Open(device->get());
+    ASSERT_TRUE(ring.ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE((*ring)->Append("durable-" + std::to_string(i)).ok());
+    }
+    std::vector<std::string> out;
+    ASSERT_TRUE((*ring)->Drain(5, &out).ok());  // head moves to 5.
+  }
+  {
+    auto device = PmemDevice::Create(options);
+    ASSERT_TRUE(device.ok());
+    auto ring = PmemRingBuffer::Open(device->get());
+    ASSERT_TRUE(ring.ok());
+    EXPECT_EQ((*ring)->pending(), 15u);
+    std::vector<std::string> out;
+    ASSERT_TRUE((*ring)->Drain(100, &out).ok());
+    ASSERT_EQ(out.size(), 15u);
+    EXPECT_EQ(out.front(), "durable-5");
+    EXPECT_EQ(out.back(), "durable-19");
+  }
+  env::RemoveDirRecursive(dir);
+}
+
+TEST(RingBufferTest, RejectsOversizedRecord) {
+  auto device = PmemDevice::Create(FastOptions(4 * 1024));
+  ASSERT_TRUE(device.ok());
+  auto ring = PmemRingBuffer::Open(device->get());
+  ASSERT_TRUE(ring.ok());
+  std::string huge(64 * 1024, 'h');
+  EXPECT_FALSE((*ring)->Append(huge).ok());
+}
+
+TEST(RingBufferTest, EmptyDrainIsOk) {
+  auto device = PmemDevice::Create(FastOptions());
+  ASSERT_TRUE(device.ok());
+  auto ring = PmemRingBuffer::Open(device->get());
+  ASSERT_TRUE(ring.ok());
+  std::vector<std::string> out;
+  ASSERT_TRUE((*ring)->Drain(10, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace tierbase

@@ -1,0 +1,336 @@
+// Tests for the vector-search subsystem (paper §3): distance kernels, the
+// exact flat index, HNSW recall against the flat oracle, real-time
+// insert/delete behaviour including tombstone compaction, and the
+// VectorStore collection layer.
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "vector/flat_index.h"
+#include "vector/hnsw_index.h"
+#include "vector/vector_store.h"
+
+namespace tierbase {
+namespace vector {
+namespace {
+
+std::vector<float> RandomVector(Random* rng, size_t dim) {
+  std::vector<float> v(dim);
+  for (auto& x : v) x = static_cast<float>(rng->NextDouble() * 2 - 1);
+  return v;
+}
+
+std::vector<std::vector<float>> RandomVectors(size_t n, size_t dim,
+                                              uint64_t seed = 7) {
+  Random rng(seed);
+  std::vector<std::vector<float>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(RandomVector(&rng, dim));
+  return out;
+}
+
+// --- Distance kernels. ---
+
+TEST(DistanceTest, L2Squared) {
+  float a[] = {1, 2, 3};
+  float b[] = {4, 6, 3};
+  EXPECT_FLOAT_EQ(L2Squared(a, b, 3), 9 + 16 + 0);
+  EXPECT_FLOAT_EQ(L2Squared(a, a, 3), 0);
+}
+
+TEST(DistanceTest, InnerProduct) {
+  float a[] = {1, 2, 3};
+  float b[] = {4, 5, 6};
+  EXPECT_FLOAT_EQ(NegativeInnerProduct(a, b, 3), -(4 + 10 + 18));
+}
+
+TEST(DistanceTest, Cosine) {
+  float a[] = {1, 0};
+  float b[] = {0, 1};
+  float c[] = {2, 0};
+  EXPECT_NEAR(CosineDistance(a, b, 2), 1.0, 1e-6);   // Orthogonal.
+  EXPECT_NEAR(CosineDistance(a, c, 2), 0.0, 1e-6);   // Parallel.
+  float zero[] = {0, 0};
+  EXPECT_NEAR(CosineDistance(a, zero, 2), 1.0, 1e-6);  // Degenerate-safe.
+}
+
+// --- FlatIndex. ---
+
+TEST(FlatIndexTest, ExactNearestNeighbours) {
+  IndexOptions options;
+  options.kind = IndexKind::kFlat;
+  options.dim = 4;
+  auto index = CreateIndex(options);
+  ASSERT_TRUE(index.ok());
+  // Points on a line: distances from origin are known.
+  for (uint64_t i = 1; i <= 10; ++i) {
+    std::vector<float> v = {static_cast<float>(i), 0, 0, 0};
+    ASSERT_TRUE((*index)->Add(i, v.data()).ok());
+  }
+  std::vector<float> query = {0, 0, 0, 0};
+  std::vector<SearchResult> results;
+  ASSERT_TRUE((*index)->Search(query.data(), 3, &results).ok());
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].id, 1u);
+  EXPECT_EQ(results[1].id, 2u);
+  EXPECT_EQ(results[2].id, 3u);
+  EXPECT_FLOAT_EQ(results[0].distance, 1.0f);
+}
+
+TEST(FlatIndexTest, RemoveAndReplace) {
+  IndexOptions options;
+  options.kind = IndexKind::kFlat;
+  options.dim = 2;
+  FlatIndex index(options);
+  float a[] = {1, 1}, b[] = {5, 5}, a2[] = {9, 9};
+  ASSERT_TRUE(index.Add(1, a).ok());
+  ASSERT_TRUE(index.Add(2, b).ok());
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_TRUE(index.Contains(1));
+  ASSERT_TRUE(index.Remove(1).ok());
+  EXPECT_FALSE(index.Contains(1));
+  EXPECT_TRUE(index.Remove(1).IsNotFound());
+  // Replace updates in place.
+  ASSERT_TRUE(index.Add(2, a2).ok());
+  std::vector<SearchResult> results;
+  float query[] = {9, 9};
+  ASSERT_TRUE(index.Search(query, 1, &results).ok());
+  EXPECT_EQ(results[0].id, 2u);
+  EXPECT_FLOAT_EQ(results[0].distance, 0.0f);
+}
+
+TEST(FlatIndexTest, KLargerThanSize) {
+  IndexOptions options;
+  options.kind = IndexKind::kFlat;
+  options.dim = 2;
+  FlatIndex index(options);
+  float a[] = {1, 1};
+  ASSERT_TRUE(index.Add(1, a).ok());
+  std::vector<SearchResult> results;
+  ASSERT_TRUE(index.Search(a, 10, &results).ok());
+  EXPECT_EQ(results.size(), 1u);
+}
+
+// --- HNSW. ---
+
+double RecallAtK(VectorIndex* index, FlatIndex* oracle,
+                 const std::vector<std::vector<float>>& queries, size_t k) {
+  double hits = 0, total = 0;
+  std::vector<SearchResult> approx, exact;
+  for (const auto& q : queries) {
+    EXPECT_TRUE(index->Search(q.data(), k, &approx).ok());
+    EXPECT_TRUE(oracle->Search(q.data(), k, &exact).ok());
+    std::set<uint64_t> truth;
+    for (const auto& r : exact) truth.insert(r.id);
+    for (const auto& r : approx) hits += truth.count(r.id);
+    total += static_cast<double>(truth.size());
+  }
+  return total == 0 ? 0 : hits / total;
+}
+
+TEST(HnswIndexTest, HighRecallOnRandomData) {
+  const size_t kDim = 16, kN = 2000, kQueries = 50, kK = 10;
+  IndexOptions options;
+  options.kind = IndexKind::kHnsw;
+  options.dim = kDim;
+  options.ef_search = 96;
+  HnswIndex hnsw(options);
+  IndexOptions flat_options = options;
+  flat_options.kind = IndexKind::kFlat;
+  FlatIndex flat(flat_options);
+
+  auto vectors = RandomVectors(kN, kDim);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(hnsw.Add(i, vectors[i].data()).ok());
+    ASSERT_TRUE(flat.Add(i, vectors[i].data()).ok());
+  }
+  auto queries = RandomVectors(kQueries, kDim, /*seed=*/99);
+  EXPECT_GT(RecallAtK(&hnsw, &flat, queries, kK), 0.9);
+}
+
+TEST(HnswIndexTest, ResultsSortedAscending) {
+  IndexOptions options;
+  options.dim = 8;
+  HnswIndex hnsw(options);
+  auto vectors = RandomVectors(500, 8);
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    ASSERT_TRUE(hnsw.Add(i, vectors[i].data()).ok());
+  }
+  std::vector<SearchResult> results;
+  ASSERT_TRUE(hnsw.Search(vectors[0].data(), 20, &results).ok());
+  ASSERT_GE(results.size(), 2u);
+  EXPECT_EQ(results[0].id, 0u);  // The query itself is indexed.
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i - 1].distance, results[i].distance);
+  }
+}
+
+TEST(HnswIndexTest, DeletedIdsNeverReturned) {
+  IndexOptions options;
+  options.dim = 8;
+  options.compact_threshold = 0.9;  // Keep tombstones around.
+  HnswIndex hnsw(options);
+  auto vectors = RandomVectors(600, 8);
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    ASSERT_TRUE(hnsw.Add(i, vectors[i].data()).ok());
+  }
+  // Delete every third vector.
+  std::set<uint64_t> deleted;
+  for (size_t i = 0; i < vectors.size(); i += 3) {
+    ASSERT_TRUE(hnsw.Remove(i).ok());
+    deleted.insert(i);
+  }
+  EXPECT_GT(hnsw.tombstones(), 0u);
+  auto queries = RandomVectors(20, 8, 5);
+  std::vector<SearchResult> results;
+  for (const auto& q : queries) {
+    ASSERT_TRUE(hnsw.Search(q.data(), 10, &results).ok());
+    EXPECT_EQ(results.size(), 10u);
+    for (const auto& r : results) {
+      EXPECT_EQ(deleted.count(r.id), 0u) << r.id;
+    }
+  }
+}
+
+TEST(HnswIndexTest, RecallSurvivesDeleteChurn) {
+  const size_t kDim = 12, kN = 1500;
+  IndexOptions options;
+  options.dim = kDim;
+  options.ef_search = 96;
+  options.compact_threshold = 0.25;
+  HnswIndex hnsw(options);
+  IndexOptions flat_options = options;
+  flat_options.kind = IndexKind::kFlat;
+  FlatIndex flat(flat_options);
+
+  auto vectors = RandomVectors(kN, kDim);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(hnsw.Add(i, vectors[i].data()).ok());
+    ASSERT_TRUE(flat.Add(i, vectors[i].data()).ok());
+  }
+  // Churn: delete half (triggering compaction), re-add with new ids.
+  Random rng(3);
+  for (size_t i = 0; i < kN / 2; ++i) {
+    ASSERT_TRUE(hnsw.Remove(i).ok());
+    ASSERT_TRUE(flat.Remove(i).ok());
+  }
+  EXPECT_GT(hnsw.rebuilds(), 0u);  // Compaction fired.
+  auto fresh = RandomVectors(kN / 2, kDim, 77);
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    uint64_t id = kN + i;
+    ASSERT_TRUE(hnsw.Add(id, fresh[i].data()).ok());
+    ASSERT_TRUE(flat.Add(id, fresh[i].data()).ok());
+  }
+  EXPECT_EQ(hnsw.size(), flat.size());
+  auto queries = RandomVectors(30, kDim, 123);
+  EXPECT_GT(RecallAtK(&hnsw, &flat, queries, 10), 0.85);
+}
+
+TEST(HnswIndexTest, ReplaceMovesVector) {
+  IndexOptions options;
+  options.dim = 4;
+  HnswIndex hnsw(options);
+  float old_pos[] = {0, 0, 0, 0}, new_pos[] = {100, 100, 100, 100};
+  ASSERT_TRUE(hnsw.Add(7, old_pos).ok());
+  ASSERT_TRUE(hnsw.Add(7, new_pos).ok());  // Replace.
+  EXPECT_EQ(hnsw.size(), 1u);
+  std::vector<SearchResult> results;
+  ASSERT_TRUE(hnsw.Search(new_pos, 1, &results).ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, 7u);
+  EXPECT_FLOAT_EQ(results[0].distance, 0.0f);
+}
+
+TEST(HnswIndexTest, EmptyAndDegenerateQueries) {
+  IndexOptions options;
+  options.dim = 4;
+  HnswIndex hnsw(options);
+  std::vector<SearchResult> results;
+  float q[] = {1, 2, 3, 4};
+  ASSERT_TRUE(hnsw.Search(q, 5, &results).ok());
+  EXPECT_TRUE(results.empty());
+  ASSERT_TRUE(hnsw.Add(1, q).ok());
+  ASSERT_TRUE(hnsw.Search(q, 0, &results).ok());
+  EXPECT_TRUE(results.empty());
+}
+
+// Parameterized metric sweep: HNSW recall holds across metrics.
+class HnswMetricTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(HnswMetricTest, RecallAcrossMetrics) {
+  const size_t kDim = 16, kN = 1200;
+  IndexOptions options;
+  options.dim = kDim;
+  options.metric = GetParam();
+  options.ef_search = 96;
+  HnswIndex hnsw(options);
+  IndexOptions flat_options = options;
+  flat_options.kind = IndexKind::kFlat;
+  FlatIndex flat(flat_options);
+  auto vectors = RandomVectors(kN, kDim, 31);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(hnsw.Add(i, vectors[i].data()).ok());
+    ASSERT_TRUE(flat.Add(i, vectors[i].data()).ok());
+  }
+  auto queries = RandomVectors(30, kDim, 313);
+  EXPECT_GT(RecallAtK(&hnsw, &flat, queries, 10), 0.85)
+      << MetricName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, HnswMetricTest,
+                         ::testing::Values(Metric::kL2, Metric::kInnerProduct,
+                                           Metric::kCosine),
+                         [](const ::testing::TestParamInfo<Metric>& info) {
+                           return MetricName(info.param);
+                         });
+
+// --- VectorStore. ---
+
+TEST(VectorStoreTest, CollectionLifecycle) {
+  VectorStore store;
+  IndexOptions options;
+  options.dim = 4;
+  ASSERT_TRUE(store.CreateCollection("embeddings", options).ok());
+  ASSERT_TRUE(store.CreateCollection("embeddings", options).ok());  // Idem.
+  IndexOptions different = options;
+  different.dim = 8;
+  EXPECT_TRUE(
+      store.CreateCollection("embeddings", different).IsInvalidArgument());
+  EXPECT_TRUE(store.HasCollection("embeddings"));
+  EXPECT_EQ(store.Collections().size(), 1u);
+  ASSERT_TRUE(store.DropCollection("embeddings").ok());
+  EXPECT_TRUE(store.DropCollection("embeddings").IsNotFound());
+}
+
+TEST(VectorStoreTest, AddSearchRemove) {
+  VectorStore store;
+  IndexOptions options;
+  options.dim = 3;
+  ASSERT_TRUE(store.CreateCollection("c", options).ok());
+  ASSERT_TRUE(store.Add("c", 1, {1, 0, 0}).ok());
+  ASSERT_TRUE(store.Add("c", 2, {0, 1, 0}).ok());
+  EXPECT_TRUE(store.Add("c", 3, {1, 2}).IsInvalidArgument());  // Bad dim.
+  EXPECT_TRUE(store.Add("missing", 1, {1, 0, 0}).IsNotFound());
+
+  std::vector<SearchResult> results;
+  ASSERT_TRUE(store.Search("c", {0.9f, 0.1f, 0}, 1, &results).ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, 1u);
+
+  auto size = store.Size("c");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 2u);
+  ASSERT_TRUE(store.Remove("c", 1).ok());
+  size = store.Size("c");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 1u);
+  EXPECT_GT(store.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace vector
+}  // namespace tierbase
