@@ -74,7 +74,8 @@ void HashEngine::TouchLocked(Shard& shard, Entry& e, const std::string& key) {
   shard.lru.splice(shard.lru.begin(), shard.lru, e.lru_it);
 }
 
-Status HashEngine::EvictLocked(Shard& shard, size_t needed) {
+Status HashEngine::EvictLocked(Shard& shard, size_t needed,
+                               const std::string* protect) {
   if (per_shard_budget_ == 0) return Status::OK();
   if (options_.eviction == EvictionPolicy::kNoEviction) {
     if (shard.charged + needed > per_shard_budget_) {
@@ -94,7 +95,8 @@ Status HashEngine::EvictLocked(Shard& shard, size_t needed) {
   while (shard.charged + needed > per_shard_budget_ &&
          it != shard.lru.rend()) {
     const std::string& victim = *it;
-    if (filter && !filter(victim)) {
+    if ((protect != nullptr && victim == *protect) ||
+        (filter && !filter(victim))) {
       ++it;
       continue;
     }
@@ -115,9 +117,20 @@ Status HashEngine::EvictLocked(Shard& shard, size_t needed) {
 
 Status HashEngine::ChargeLocked(Shard& shard, Entry& e, const std::string& key,
                                 size_t new_charge) {
-  (void)key;
   if (new_charge > e.charge) {
-    TIERBASE_RETURN_IF_ERROR(EvictLocked(shard, new_charge - e.charge));
+    // Never evict the entry being charged: `e` and `key` point into its
+    // map node, which eviction would free out from under us.
+    Status s = EvictLocked(shard, new_charge - e.charge, &key);
+    if (!s.ok()) {
+      // The caller already mutated the entry to its new (unaffordable)
+      // size. Keeping it would serve the new value while shard.charged
+      // still records the old one, silently busting the budget — drop the
+      // entry instead, like an eviction. Under tiered policies the value
+      // survives in storage or the write-back dirty buffer.
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) RemoveEntryLocked(shard, it);
+      return s;
+    }
   }
   shard.charged = shard.charged - e.charge + new_charge;
   e.charge = new_charge;

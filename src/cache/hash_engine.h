@@ -178,7 +178,10 @@ class HashEngine : public KvEngine {
   void TouchLocked(Shard& shard, Entry& e, const std::string& key);
   Status ChargeLocked(Shard& shard, Entry& e, const std::string& key,
                       size_t new_charge);
-  Status EvictLocked(Shard& shard, size_t needed);
+  /// Evicts from the LRU tail until `needed` more bytes fit. `protect`, when
+  /// non-null, names a key that must survive (the entry being charged).
+  Status EvictLocked(Shard& shard, size_t needed,
+                     const std::string* protect = nullptr);
   size_t EntryCharge(const std::string& key, const Entry& e) const;
 
   /// Returns the entry if present & live, creating when `create` with the

@@ -1,7 +1,6 @@
 #include "common/histogram.h"
 
 #include <algorithm>
-#include <bit>
 #include <cstdio>
 
 namespace tierbase {
@@ -16,7 +15,7 @@ void Histogram::Clear() {
 
 int Histogram::BucketFor(uint64_t value) {
   if (value < (1u << kSubBits)) return static_cast<int>(value);
-  int exponent = 63 - std::countl_zero(value);
+  int exponent = 63 - __builtin_clzll(value);
   int shift = exponent - kSubBits;
   int sub = static_cast<int>((value >> shift) & ((1 << kSubBits) - 1));
   int bucket = ((exponent - kSubBits + 1) << kSubBits) + sub;

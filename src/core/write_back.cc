@@ -109,7 +109,7 @@ void WriteBackManager::FlusherLoop() {
       flush_cv_.wait_for(
           lock, std::chrono::microseconds(options_.flush_interval_micros),
           [this] {
-            return shutting_down_ ||
+            return shutting_down_ || flush_waiters_ > 0 ||
                    dirty_.size() >= options_.flush_threshold;
           });
       if (shutting_down_ && dirty_.empty()) return;
@@ -121,7 +121,8 @@ void WriteBackManager::FlusherLoop() {
     while (flushed.ok() && *flushed > 0) {
       {
         std::lock_guard<std::mutex> lock(mu_);
-        if (dirty_.size() < options_.flush_threshold && !shutting_down_) {
+        if (dirty_.size() < options_.flush_threshold && !shutting_down_ &&
+            flush_waiters_ == 0) {
           break;
         }
       }
@@ -137,10 +138,12 @@ void WriteBackManager::FlusherLoop() {
 
 Status WriteBackManager::FlushAll() {
   std::unique_lock<std::mutex> lock(mu_);
+  ++flush_waiters_;
   while (!dirty_.empty() && flush_error_.ok() && !shutting_down_) {
     flush_cv_.notify_all();
     clean_cv_.wait_for(lock, std::chrono::milliseconds(5));
   }
+  --flush_waiters_;
   return flush_error_;
 }
 

@@ -73,7 +73,9 @@ class WriteBackManager {
   std::unordered_map<std::string, DirtyEntry> dirty_;
   uint64_t next_gen_ = 1;
   bool shutting_down_ = false;
-  bool flush_in_progress_ = false;
+  int flush_waiters_ = 0;  // FlushAll calls in progress; while > 0 the
+                           // flusher flushes regardless of
+                           // threshold/interval.
 
   std::thread flusher_;
   Stats stats_;

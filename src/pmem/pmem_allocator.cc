@@ -1,6 +1,6 @@
 #include "pmem/pmem_allocator.h"
 
-#include <bit>
+#include <algorithm>
 
 namespace tierbase {
 
@@ -14,7 +14,7 @@ PmemAllocator::PmemAllocator(PmemDevice* device, uint64_t region_start,
 
 int PmemAllocator::ClassFor(size_t size) {
   if (size <= 16) return 0;
-  int bits = 64 - std::countl_zero(static_cast<uint64_t>(size - 1));
+  int bits = 64 - __builtin_clzll(static_cast<uint64_t>(size - 1));
   return std::min(kNumClasses - 1, bits - 4);  // Class 0 = 2^4 bytes.
 }
 

@@ -95,7 +95,7 @@ std::vector<Candidate> HnswIndex::SearchLayer(const float* query,
 }
 
 std::vector<uint32_t> HnswIndex::SelectNeighbors(
-    const float* query, std::vector<Candidate> candidates, size_t m) const {
+    const float* /*query*/, std::vector<Candidate> candidates, size_t m) const {
   // Heuristic from the HNSW paper: keep a candidate only if it is closer
   // to the query than to every already-selected neighbour — this favours
   // diverse directions over clustered ones.

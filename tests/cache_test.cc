@@ -338,6 +338,34 @@ TEST(HashEngineTest, EvictionFilterPinsDirtyKeys) {
   }
 }
 
+// Regression: charging an entry's new size could evict the entry itself
+// (its map node freed mid-charge — an ASan heap-use-after-free) once the
+// LRU march, skipping pinned keys, reached the only evictable entry: the
+// one being stored. Now the charged key is protected; an unaffordable
+// store drops the entry with accounting intact instead of corrupting it.
+TEST(HashEngineTest, ChargingNeverEvictsTheEntryBeingStored) {
+  HashEngineOptions options;
+  options.shards = 1;
+  options.memory_budget = 4 * 1024;
+  HashEngine engine(options);
+  ASSERT_TRUE(engine.Set("grow", "small").ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(engine.Set("pin" + std::to_string(i), "small").ok());
+  }
+  size_t charged_before = engine.GetUsage().memory_bytes;
+  // Pin everything except the key being grown, then grow it past the
+  // budget: eviction must skip the pins AND the entry being charged.
+  engine.SetEvictionFilter(
+      [](const Slice& key) { return key == Slice("grow"); });
+  Status s = engine.Set("grow", std::string(8 * 1024, 'x'));
+  EXPECT_TRUE(s.IsOutOfSpace()) << s.ToString();
+  // The unaffordable entry was dropped, not left half-charged.
+  std::string value;
+  EXPECT_TRUE(engine.Get("grow", &value).IsNotFound());
+  size_t grow_charge = charged_before / 9;  // All nine entries equal-sized.
+  EXPECT_EQ(engine.GetUsage().memory_bytes, charged_before - grow_charge);
+}
+
 TEST(HashEngineTest, ClearDropsEverything) {
   HashEngine engine;
   for (int i = 0; i < 100; ++i) {

@@ -263,6 +263,24 @@ TEST(HistogramTest, PercentileWithinRelativeError) {
   }
 }
 
+// Regression: BucketFor's leading-zero count (now __builtin_clzll for
+// C++17) must place values across the full 64-bit range without
+// overflowing the bucket array or breaking percentile ordering.
+TEST(HistogramTest, HugeValuesBucketSanely) {
+  Histogram h;
+  h.Add(1);
+  h.Add(1ULL << 20);
+  h.Add(1ULL << 40);
+  h.Add(~0ULL);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Min(), 1u);
+  EXPECT_EQ(h.Max(), ~0ULL);
+  EXPECT_EQ(h.Percentile(0.25), 1u);
+  EXPECT_LE(h.Percentile(0.5), (1ULL << 21));
+  EXPECT_GE(h.Percentile(0.5), (1ULL << 20));
+  EXPECT_EQ(h.Percentile(1.0), ~0ULL);  // Clamped to the observed max.
+}
+
 TEST(HistogramTest, MergeEqualsCombined) {
   Histogram a, b, combined;
   Random rng(9);

@@ -123,7 +123,9 @@ TEST(ZliteCodecTest, DictionaryMismatchDetected) {
   // Decompressing without the dictionary must fail or produce a mismatch,
   // never crash.
   Status s = b.Decompress(out, &back);
-  if (s.ok()) EXPECT_NE(back, "the quick brown fox");
+  if (s.ok()) {
+    EXPECT_NE(back, "the quick brown fox");
+  }
 }
 
 TEST(ZliteCodecTest, CorruptInputRejected) {

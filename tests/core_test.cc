@@ -311,6 +311,25 @@ TEST_F(TierBaseTest, WriteBackReadsSeeUnflushedWrites) {
   EXPECT_EQ(value, "dirty-value");
 }
 
+// Regression: FlushAll once only nudged flush_cv_, whose predicate ignored
+// the request — with a long interval and a huge threshold the flusher went
+// straight back to sleep and FlushAll (and thus WaitIdle and the
+// destructor) spun forever.
+TEST_F(TierBaseTest, WriteBackWaitIdleFlushesDespiteIdleFlusher) {
+  MockStorageAdapter storage;
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteBack;
+  options.write_back.flush_interval_micros = 60'000'000;  // Never on its own.
+  options.write_back.flush_threshold = 1 << 30;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Set("k", "must-flush").ok());
+  ASSERT_TRUE((*db)->WaitIdle().ok());
+  std::string value;
+  ASSERT_TRUE(storage.Read("k", &value).ok());
+  EXPECT_EQ(value, "must-flush");
+}
+
 TEST_F(TierBaseTest, WriteBackMergesUpdatesToSameKey) {
   MockStorageAdapter storage;
   TierBaseOptions options;

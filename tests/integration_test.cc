@@ -279,7 +279,9 @@ TEST_F(IntegrationTest, BaselineAndTierBaseAgreeUnderSameWorkload) {
     Status sa = (*db)->Get(key, &va);
     Status sb = redis->Get(key, &vb);
     ASSERT_EQ(sa.ok(), sb.ok()) << key;
-    if (sa.ok()) ASSERT_EQ(va, vb) << key;
+    if (sa.ok()) {
+      ASSERT_EQ(va, vb) << key;
+    }
   }
 }
 

@@ -328,7 +328,9 @@ TEST_F(TableTest, IteratorScansAllInOrder) {
   std::string prev;
   while (it.Valid()) {
     std::string user_key = ExtractUserKey(it.key()).ToString();
-    if (!prev.empty()) EXPECT_GT(user_key, prev);
+    if (!prev.empty()) {
+      EXPECT_GT(user_key, prev);
+    }
     prev = user_key;
     ++count;
     it.Next();

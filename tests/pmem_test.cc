@@ -10,6 +10,7 @@
 
 #include "common/env.h"
 #include "common/random.h"
+#include "common/slice.h"
 #include "pmem/pmem_allocator.h"
 #include "pmem/pmem_device.h"
 #include "pmem/ring_buffer.h"
@@ -134,6 +135,22 @@ TEST(PmemAllocatorTest, FreeEnablesReuse) {
   EXPECT_EQ(a, b);  // Same size class: freed block is recycled.
 }
 
+// Regression: the size-class computation (now __builtin_clzll for C++17)
+// must round 17..32 bytes into the 32-byte class and keep 16 bytes in the
+// smallest class, so frees are recycled by the right class.
+TEST(PmemAllocatorTest, SizeClassBoundariesRecycleCorrectly) {
+  auto device = PmemDevice::Create(FastOptions(64 * 1024));
+  ASSERT_TRUE(device.ok());
+  PmemAllocator alloc(device->get(), 0, 64 * 1024);
+  PmemPtr p17 = alloc.Allocate(17);
+  ASSERT_NE(p17, kInvalidPmemPtr);
+  alloc.Free(p17, 17);
+  PmemPtr p16 = alloc.Allocate(16);  // Smaller class: must not recycle p17.
+  EXPECT_NE(p16, p17);
+  PmemPtr p32 = alloc.Allocate(32);  // Same 32-byte class: recycles p17.
+  EXPECT_EQ(p32, p17);
+}
+
 TEST(PmemAllocatorTest, ExhaustionReturnsInvalid) {
   auto device = PmemDevice::Create(FastOptions(64 * 1024));
   ASSERT_TRUE(device.ok());
@@ -226,7 +243,7 @@ TEST(RingBufferTest, WrapAroundPreservesRecords) {
     std::vector<std::string> out;
     ASSERT_TRUE((*ring)->Drain(rng.Uniform(8) + 1, &out).ok());
     for (const auto& record : out) {
-      ASSERT_TRUE(record.starts_with("seq=" + std::to_string(seq_out)))
+      ASSERT_TRUE(Slice(record).starts_with("seq=" + std::to_string(seq_out)))
           << record;
       ++seq_out;
     }

@@ -7,12 +7,14 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "cache/hash_engine.h"
 #include "common/env.h"
+#include "common/slice.h"
 #include "workload/dataset.h"
 #include "workload/recorder.h"
 #include "workload/trace.h"
@@ -32,7 +34,7 @@ TEST(YcsbTest, KeysAreFixedWidthAndUnique) {
     EXPECT_EQ(key.size(), width);
     EXPECT_TRUE(keys.insert(key).second);
   }
-  EXPECT_TRUE(KeyFor(7).starts_with("user"));
+  EXPECT_TRUE(Slice(KeyFor(7)).starts_with("user"));
 }
 
 // --- Generator mixes. ---
@@ -400,6 +402,11 @@ class OrderProbeEngine : public KvEngine {
 TEST(TraceTest, ConcurrentReplayPreservesApproximateOrder) {
   // A trace whose keys are its own positions, so observed order can be
   // compared against trace order directly.
+  if (std::thread::hardware_concurrency() < 2) {
+    // On one CPU a descheduled replayer misses whole scheduler quanta
+    // (thousands of ops), so the jitter bound below cannot hold.
+    GTEST_SKIP() << "needs >=2 CPUs for bounded replay displacement";
+  }
   Trace trace;
   trace.key_space = 20000;
   for (uint64_t i = 0; i < 20000; ++i) {
