@@ -90,6 +90,16 @@ class ExecutorEngine : public KvEngine {
     executor_.Execute([&] { s = inner_->Delete(k); });
     return s;
   }
+  void MultiGet(const std::vector<Slice>& keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses) override {
+    executor_.Execute([&] { inner_->MultiGet(keys, values, statuses); });
+  }
+  void MultiSet(const std::vector<Slice>& keys,
+                const std::vector<Slice>& values,
+                std::vector<Status>* statuses) override {
+    executor_.Execute([&] { inner_->MultiSet(keys, values, statuses); });
+  }
   UsageStats GetUsage() const override { return inner_->GetUsage(); }
   Status WaitIdle() override { return inner_->WaitIdle(); }
 
@@ -156,6 +166,16 @@ class OwnedEngine : public KvEngine {
     return inner_->Get(key, value);
   }
   Status Delete(const Slice& key) override { return inner_->Delete(key); }
+  void MultiGet(const std::vector<Slice>& keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses) override {
+    inner_->MultiGet(keys, values, statuses);
+  }
+  void MultiSet(const std::vector<Slice>& keys,
+                const std::vector<Slice>& values,
+                std::vector<Status>* statuses) override {
+    inner_->MultiSet(keys, values, statuses);
+  }
   UsageStats GetUsage() const override { return inner_->GetUsage(); }
   Status WaitIdle() override { return inner_->WaitIdle(); }
   KvEngine* inner() { return inner_.get(); }
@@ -190,6 +210,16 @@ class TieredTierBase : public KvEngine {
     return db_->Get(key, value);
   }
   Status Delete(const Slice& key) override { return db_->Delete(key); }
+  void MultiGet(const std::vector<Slice>& keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses) override {
+    db_->MultiGet(keys, values, statuses);
+  }
+  void MultiSet(const std::vector<Slice>& keys,
+                const std::vector<Slice>& values,
+                std::vector<Status>* statuses) override {
+    db_->MultiSet(keys, values, statuses);
+  }
   UsageStats GetUsage() const override {
     UsageStats usage = db_->GetUsage();
     UsageStats storage = storage_->GetUsage();

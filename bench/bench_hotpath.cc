@@ -1,0 +1,309 @@
+// bench_hotpath: repeatable cache-tier hot-path benchmark. Measures
+// single-thread Get/Set throughput plus batched MultiGet/MultiSet over the
+// §6-style uniform and Zipfian key-popularity configurations (16B keys,
+// 100B values), for both the bare HashEngine (1 and 8 shards) and the full
+// TierBase cache-only stack. Latency percentiles come from a separate
+// nanosecond-timed sampling pass so the throughput loop stays untimed.
+//
+// Emits machine-readable JSON (stdout, or --json <path>); refresh the
+// committed baseline with:
+//
+//   build/bench_hotpath --json after.json   # then merge into
+//                                           # BENCH_hotpath.json "after"
+//
+// Flags: --smoke (tiny op counts, CI bit-rot guard), --json <path>,
+//        --records N, --ops N.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/histogram.h"
+#include "common/random.h"
+
+namespace tierbase {
+namespace bench {
+namespace {
+
+constexpr size_t kBatch = 32;  // MultiGet/MultiSet ops per call.
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string BenchKey(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "k%015llu", static_cast<unsigned long long>(i));
+  return buf;  // 16 bytes.
+}
+
+struct Row {
+  std::string engine;
+  int shards = 1;
+  std::string dist;
+  std::string op;
+  double mops = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+struct Workload {
+  uint64_t records;
+  uint64_t ops;
+  std::vector<std::string> keys;
+  std::vector<uint32_t> uniform;  // Pre-drawn key indices per op.
+  std::vector<uint32_t> zipfian;
+
+  const std::vector<uint32_t>& order(const std::string& dist) const {
+    return dist == "zipfian" ? zipfian : uniform;
+  }
+};
+
+Workload MakeWorkload(uint64_t records, uint64_t ops) {
+  Workload w;
+  w.records = records;
+  w.ops = ops;
+  w.keys.reserve(records);
+  for (uint64_t i = 0; i < records; ++i) w.keys.push_back(BenchKey(i));
+  w.uniform.resize(ops);
+  w.zipfian.resize(ops);
+  Random rng(42);
+  ScrambledZipfianGenerator zipf(records, ZipfianGenerator::kDefaultTheta,
+                                 43);
+  for (uint64_t i = 0; i < ops; ++i) {
+    w.uniform[i] = static_cast<uint32_t>(rng.Uniform(records));
+    w.zipfian[i] = static_cast<uint32_t>(zipf.Next());
+  }
+  return w;
+}
+
+// Runs one (engine, distribution) configuration: load, then time each op
+// kind. The latency pass samples at most `lat_ops` operations (or batches)
+// with per-call nanosecond timing.
+void RunConfig(KvEngine* engine, const std::string& engine_name, int shards,
+               const std::string& dist, const Workload& w,
+               std::vector<Row>* rows) {
+  const std::string value(100, 'v');
+  const std::vector<uint32_t>& order = w.order(dist);
+  const uint64_t lat_ops = std::min<uint64_t>(w.ops / 10 + 1, 100000);
+
+  {  // Load.
+    std::vector<Slice> ks, vs;
+    std::vector<Status> statuses;
+    for (uint64_t i = 0; i < w.records; i += kBatch) {
+      ks.clear();
+      vs.clear();
+      for (uint64_t j = i; j < std::min(w.records, i + kBatch); ++j) {
+        ks.push_back(w.keys[j]);
+        vs.push_back(value);
+      }
+      engine->MultiSet(ks, vs, &statuses);
+    }
+  }
+
+  auto add_row = [&](const std::string& op, double seconds, uint64_t ops,
+                     const Histogram& lat) {
+    Row r;
+    r.engine = engine_name;
+    r.shards = shards;
+    r.dist = dist;
+    r.op = op;
+    r.mops = seconds > 0 ? static_cast<double>(ops) / seconds / 1e6 : 0;
+    r.p50_us = static_cast<double>(lat.Percentile(0.50)) / 1000.0;
+    r.p99_us = static_cast<double>(lat.Percentile(0.99)) / 1000.0;
+    rows->push_back(r);
+  };
+
+  std::string out;
+
+  {  // Get.
+    Stopwatch watch;
+    for (uint64_t i = 0; i < w.ops; ++i) {
+      engine->Get(w.keys[order[i]], &out);
+    }
+    double seconds = watch.ElapsedSeconds();
+    Histogram lat;
+    for (uint64_t i = 0; i < lat_ops; ++i) {
+      uint64_t t0 = NowNanos();
+      engine->Get(w.keys[order[i]], &out);
+      lat.Add(NowNanos() - t0);
+    }
+    add_row("get", seconds, w.ops, lat);
+  }
+
+  {  // Set (overwrite).
+    Stopwatch watch;
+    for (uint64_t i = 0; i < w.ops; ++i) {
+      engine->Set(w.keys[order[i]], value);
+    }
+    double seconds = watch.ElapsedSeconds();
+    Histogram lat;
+    for (uint64_t i = 0; i < lat_ops; ++i) {
+      uint64_t t0 = NowNanos();
+      engine->Set(w.keys[order[i]], value);
+      lat.Add(NowNanos() - t0);
+    }
+    add_row("set", seconds, w.ops, lat);
+  }
+
+  {  // MultiGet, kBatch keys per call.
+    std::vector<Slice> ks;
+    std::vector<std::string> values;
+    std::vector<Status> statuses;
+    auto fill_batch = [&](uint64_t start) {
+      ks.clear();
+      for (uint64_t j = start; j < std::min(w.ops, start + kBatch); ++j) {
+        ks.push_back(w.keys[order[j]]);
+      }
+    };
+    Stopwatch watch;
+    for (uint64_t i = 0; i < w.ops; i += kBatch) {
+      fill_batch(i);
+      engine->MultiGet(ks, &values, &statuses);
+    }
+    double seconds = watch.ElapsedSeconds();
+    Histogram lat;  // Per-batch latency.
+    for (uint64_t i = 0; i < lat_ops; i += kBatch) {
+      fill_batch(i);
+      uint64_t t0 = NowNanos();
+      engine->MultiGet(ks, &values, &statuses);
+      lat.Add(NowNanos() - t0);
+    }
+    add_row("multiget", seconds, w.ops, lat);
+  }
+
+  {  // MultiSet, kBatch pairs per call.
+    std::vector<Slice> ks, vs;
+    std::vector<Status> statuses;
+    auto fill_batch = [&](uint64_t start) {
+      ks.clear();
+      vs.clear();
+      for (uint64_t j = start; j < std::min(w.ops, start + kBatch); ++j) {
+        ks.push_back(w.keys[order[j]]);
+        vs.push_back(value);
+      }
+    };
+    Stopwatch watch;
+    for (uint64_t i = 0; i < w.ops; i += kBatch) {
+      fill_batch(i);
+      engine->MultiSet(ks, vs, &statuses);
+    }
+    double seconds = watch.ElapsedSeconds();
+    Histogram lat;
+    for (uint64_t i = 0; i < lat_ops; i += kBatch) {
+      fill_batch(i);
+      uint64_t t0 = NowNanos();
+      engine->MultiSet(ks, vs, &statuses);
+      lat.Add(NowNanos() - t0);
+    }
+    add_row("multiset", seconds, w.ops, lat);
+  }
+}
+
+void EmitJson(FILE* f, const Workload& w, const std::vector<Row>& rows) {
+  fprintf(f, "{\n");
+  fprintf(f, "  \"bench\": \"hotpath\",\n");
+  fprintf(f, "  \"key_bytes\": 16,\n");
+  fprintf(f, "  \"value_bytes\": 100,\n");
+  fprintf(f, "  \"records\": %" PRIu64 ",\n", w.records);
+  fprintf(f, "  \"ops\": %" PRIu64 ",\n", w.ops);
+  fprintf(f, "  \"multi_batch\": %zu,\n", kBatch);
+  fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    fprintf(f,
+            "    {\"engine\": \"%s\", \"shards\": %d, \"dist\": \"%s\", "
+            "\"op\": \"%s\", \"mops\": %.3f, \"p50_us\": %.2f, "
+            "\"p99_us\": %.2f}%s\n",
+            r.engine.c_str(), r.shards, r.dist.c_str(), r.op.c_str(),
+            r.mops, r.p50_us, r.p99_us,
+            i + 1 < rows.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+}
+
+int Main(int argc, char** argv) {
+  uint64_t records = 200000;
+  uint64_t ops = 2000000;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--smoke") == 0) {
+      records = 5000;
+      ops = 20000;
+    } else if (strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
+      records = strtoull(argv[++i], nullptr, 10);
+    } else if (strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+      ops = strtoull(argv[++i], nullptr, 10);
+    } else {
+      fprintf(stderr,
+              "usage: %s [--smoke] [--json path] [--records N] [--ops N]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+
+  WarmUpProcess();
+  Workload w = MakeWorkload(records, ops);
+  std::vector<Row> rows;
+
+  for (int shards : {1, 8}) {
+    cache::HashEngineOptions options;
+    options.shards = shards;
+    cache::HashEngine engine(options);
+    for (const char* dist : {"uniform", "zipfian"}) {
+      RunConfig(&engine, "hash", shards, dist, w, &rows);
+    }
+  }
+
+  {  // Full stack, cache-only policy (the paper's Redis-comparison mode).
+    TierBaseOptions options;
+    options.policy = CachingPolicy::kCacheOnly;
+    options.cache.shards = 1;
+    auto db = TierBase::Open(options, nullptr);
+    if (!db.ok()) {
+      fprintf(stderr, "tierbase open failed: %s\n",
+              db.status().ToString().c_str());
+      return 1;
+    }
+    RunConfig(db->get(), "tierbase-cache-only", 1, "uniform", w, &rows);
+  }
+
+  PrintHeader("hot-path throughput (single thread)");
+  printf("%-22s %6s %-8s %-9s %10s %9s %9s\n", "engine", "shards", "dist",
+         "op", "Mops", "p50(us)", "p99(us)");
+  for (const Row& r : rows) {
+    printf("%-22s %6d %-8s %-9s %10.3f %9.2f %9.2f\n", r.engine.c_str(),
+           r.shards, r.dist.c_str(), r.op.c_str(), r.mops, r.p50_us,
+           r.p99_us);
+  }
+
+  if (!json_path.empty()) {
+    FILE* f = fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    EmitJson(f, w, rows);
+    fclose(f);
+    printf("\nJSON written to %s\n", json_path.c_str());
+  } else {
+    EmitJson(stdout, w, rows);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tierbase
+
+int main(int argc, char** argv) { return tierbase::bench::Main(argc, argv); }

@@ -8,74 +8,128 @@ namespace tierbase {
 namespace cache {
 
 namespace {
-constexpr size_t kEntryOverhead = 64;  // Hash node + LRU node + bookkeeping.
+constexpr size_t kEntryOverhead = 64;  // Hash node + LRU links + bookkeeping.
 constexpr size_t kPerElementOverhead = 32;
+// Initial bucket reservation for hash/zset entries: covers the common
+// small-collection case without rehashing on the first few inserts.
+constexpr size_t kComplexReserve = 8;
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
 }  // namespace
 
-size_t HashEngine::ComplexValue::MemoryBytes() const {
-  size_t total = sizeof(ComplexValue);
-  for (const auto& s : list) total += s.size() + kPerElementOverhead;
-  for (const auto& [f, v] : hash) {
-    total += f.size() + v.size() + kPerElementOverhead;
-  }
-  for (const auto& m : set) total += m.size() + kPerElementOverhead;
-  for (const auto& [m, s] : zscores) {
-    (void)s;
-    total += 2 * m.size() + 2 * kPerElementOverhead + sizeof(double) * 2;
-  }
-  return total;
+// --- Intrusive chained hash table. ---
+
+void HashEngine::Table::Insert(Entry* e) {
+  Entry** ptr = &buckets[e->hash & (buckets.size() - 1)];
+  e->next_hash = *ptr;
+  *ptr = e;
+  if (++size > buckets.size()) Grow();
 }
+
+HashEngine::Entry* HashEngine::Table::Remove(const Slice& key,
+                                             uint64_t hash) {
+  Entry** ptr = &buckets[hash & (buckets.size() - 1)];
+  while (*ptr != nullptr &&
+         ((*ptr)->hash != hash || Slice((*ptr)->key) != key)) {
+    ptr = &(*ptr)->next_hash;
+  }
+  Entry* e = *ptr;
+  if (e != nullptr) {
+    *ptr = e->next_hash;
+    e->next_hash = nullptr;
+    --size;
+  }
+  return e;
+}
+
+void HashEngine::Table::Grow() {
+  std::vector<Entry*> grown(buckets.size() * 2, nullptr);
+  const size_t mask = grown.size() - 1;
+  for (Entry* e : buckets) {
+    while (e != nullptr) {
+      Entry* next = e->next_hash;
+      Entry** dst = &grown[e->hash & mask];
+      e->next_hash = *dst;
+      *dst = e;
+      e = next;
+    }
+  }
+  buckets.swap(grown);
+}
+
+// --- Intrusive LRU list. ---
+
+void HashEngine::LruPushFront(Shard& shard, Entry* e) {
+  e->lru_prev = nullptr;
+  e->lru_next = shard.lru_head;
+  if (shard.lru_head != nullptr) shard.lru_head->lru_prev = e;
+  shard.lru_head = e;
+  if (shard.lru_tail == nullptr) shard.lru_tail = e;
+}
+
+void HashEngine::LruUnlink(Shard& shard, Entry* e) {
+  if (e->lru_prev != nullptr) e->lru_prev->lru_next = e->lru_next;
+  else shard.lru_head = e->lru_next;
+  if (e->lru_next != nullptr) e->lru_next->lru_prev = e->lru_prev;
+  else shard.lru_tail = e->lru_prev;
+  e->lru_prev = e->lru_next = nullptr;
+}
+
+// --- Engine. ---
 
 HashEngine::HashEngine(HashEngineOptions options)
     : options_(std::move(options)) {
-  int shards = std::max(1, options_.shards);
-  shards_.reserve(static_cast<size_t>(shards));
-  for (int i = 0; i < shards; ++i) {
+  size_t shards =
+      RoundUpPow2(static_cast<size_t>(std::max(1, options_.shards)));
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
-  per_shard_budget_ = options_.memory_budget == 0
-                          ? 0
-                          : options_.memory_budget / shards_.size();
+  shard_shift_ = 64;
+  for (size_t s = shards; s > 1; s >>= 1) --shard_shift_;
+  per_shard_budget_ =
+      options_.memory_budget == 0 ? 0 : options_.memory_budget / shards;
 }
 
 HashEngine::~HashEngine() { Clear(); }
-
-HashEngine::Shard& HashEngine::ShardFor(const Slice& key) {
-  return *shards_[Hash64(key) % shards_.size()];
-}
-const HashEngine::Shard& HashEngine::ShardFor(const Slice& key) const {
-  return *shards_[Hash64(key) % shards_.size()];
-}
 
 bool HashEngine::IsExpiredLocked(const Entry& e) const {
   return e.expire_at != 0 && options_.clock->NowMicros() >= e.expire_at;
 }
 
-size_t HashEngine::EntryCharge(const std::string& key, const Entry& e) const {
-  size_t charge = kEntryOverhead + key.size() + e.str.size();
+size_t HashEngine::EntryCharge(const Entry& e) const {
+  size_t charge = kEntryOverhead + e.key.size() + e.str.size();
   if (e.complex != nullptr) charge += e.complex->MemoryBytes();
   return charge;
 }
 
-void HashEngine::RemoveEntryLocked(
-    Shard& shard, std::unordered_map<std::string, Entry>::iterator it) {
-  Entry& e = it->second;
-  if (e.pmem_ptr != kInvalidPmemPtr && options_.pmem != nullptr) {
-    options_.pmem->Free(e.pmem_ptr, e.pmem_size);
-    pmem_bytes_.fetch_sub(e.pmem_size, std::memory_order_relaxed);
+void HashEngine::RemoveEntryLocked(Shard& shard, Entry* e) {
+  if (e->pmem_ptr != kInvalidPmemPtr && options_.pmem != nullptr) {
+    options_.pmem->Free(e->pmem_ptr, e->pmem_size);
+    pmem_bytes_.fetch_sub(e->pmem_size, std::memory_order_relaxed);
   }
-  shard.charged -= e.charge;
-  shard.lru.erase(e.lru_it);
-  shard.map.erase(it);
+  shard.charged -= e->charge;
+  LruUnlink(shard, e);
+  shard.table.Remove(Slice(e->key), e->hash);
+  delete e;
 }
 
-void HashEngine::TouchLocked(Shard& shard, Entry& e, const std::string& key) {
-  (void)key;
-  shard.lru.splice(shard.lru.begin(), shard.lru, e.lru_it);
+void HashEngine::TouchLocked(Shard& shard, Entry* e) {
+  // No budget → no eviction → recency order is irrelevant; skip the
+  // reordering so reads mutate nothing.
+  if (per_shard_budget_ == 0) return;
+  if (shard.lru_head == e) return;
+  LruUnlink(shard, e);
+  LruPushFront(shard, e);
+  ++shard.lru_touches;
 }
 
 Status HashEngine::EvictLocked(Shard& shard, size_t needed,
-                               const std::string* protect) {
+                               const Entry* protect) {
   if (per_shard_budget_ == 0) return Status::OK();
   if (options_.eviction == EvictionPolicy::kNoEviction) {
     if (shard.charged + needed > per_shard_budget_) {
@@ -84,30 +138,22 @@ Status HashEngine::EvictLocked(Shard& shard, size_t needed,
     return Status::OK();
   }
 
-  EvictionFilter filter;
-  {
-    std::lock_guard<std::mutex> lock(filter_mu_);
-    filter = eviction_filter_;
-  }
+  std::shared_ptr<const EvictionFilter> filter =
+      std::atomic_load_explicit(&eviction_filter_,
+                                std::memory_order_acquire);
 
-  // Evict from the LRU tail, skipping pinned keys.
-  auto it = shard.lru.rbegin();
-  while (shard.charged + needed > per_shard_budget_ &&
-         it != shard.lru.rend()) {
-    const std::string& victim = *it;
-    if ((protect != nullptr && victim == *protect) ||
-        (filter && !filter(victim))) {
-      ++it;
-      continue;
-    }
-    auto map_it = shard.map.find(victim);
-    ++it;  // Advance before invalidating.
-    if (map_it != shard.map.end()) {
-      RemoveEntryLocked(shard, map_it);
+  // March from the LRU tail, skipping pinned entries. Removing a node
+  // leaves its neighbours' links intact, so the walk continues from the
+  // saved predecessor without restarting.
+  Entry* e = shard.lru_tail;
+  while (shard.charged + needed > per_shard_budget_ && e != nullptr) {
+    Entry* prev = e->lru_prev;
+    if (e != protect &&
+        (filter == nullptr || (*filter)(Slice(e->key)))) {
+      RemoveEntryLocked(shard, e);
       evictions_.fetch_add(1, std::memory_order_relaxed);
-      it = shard.lru.rbegin();  // List mutated; restart from the tail.
-      // Re-skip pinned tail entries cheaply: the loop handles it.
     }
+    e = prev;
   }
   if (shard.charged + needed > per_shard_budget_) {
     return Status::OutOfSpace("cache: all remaining entries pinned");
@@ -115,64 +161,60 @@ Status HashEngine::EvictLocked(Shard& shard, size_t needed,
   return Status::OK();
 }
 
-Status HashEngine::ChargeLocked(Shard& shard, Entry& e, const std::string& key,
-                                size_t new_charge) {
-  if (new_charge > e.charge) {
-    // Never evict the entry being charged: `e` and `key` point into its
-    // map node, which eviction would free out from under us.
-    Status s = EvictLocked(shard, new_charge - e.charge, &key);
+Status HashEngine::ChargeLocked(Shard& shard, Entry* e, size_t new_charge) {
+  if (new_charge > e->charge) {
+    // Never evict the entry being charged: eviction would free the node
+    // out from under us.
+    Status s = EvictLocked(shard, new_charge - e->charge, e);
     if (!s.ok()) {
       // The caller already mutated the entry to its new (unaffordable)
       // size. Keeping it would serve the new value while shard.charged
       // still records the old one, silently busting the budget — drop the
       // entry instead, like an eviction. Under tiered policies the value
       // survives in storage or the write-back dirty buffer.
-      auto it = shard.map.find(key);
-      if (it != shard.map.end()) RemoveEntryLocked(shard, it);
+      RemoveEntryLocked(shard, e);
       return s;
     }
   }
-  shard.charged = shard.charged - e.charge + new_charge;
-  e.charge = new_charge;
+  shard.charged = shard.charged - e->charge + new_charge;
+  e->charge = new_charge;
   return Status::OK();
 }
 
-Status HashEngine::FindLocked(Shard& shard, const Slice& key, ValueKind kind,
-                              bool create, Entry** out,
-                              std::string** stored_key) {
-  auto it = shard.map.find(key.ToString());
-  if (it != shard.map.end() && IsExpiredLocked(it->second)) {
+Status HashEngine::FindLocked(Shard& shard, const Slice& key, uint64_t hash,
+                              ValueKind kind, bool create, Entry** out) {
+  Entry* e = shard.table.Find(key, hash);
+  if (e != nullptr && IsExpiredLocked(*e)) {
     expirations_.fetch_add(1, std::memory_order_relaxed);
-    RemoveEntryLocked(shard, it);
-    it = shard.map.end();
+    RemoveEntryLocked(shard, e);
+    e = nullptr;
   }
-  if (it == shard.map.end()) {
+  if (e == nullptr) {
     if (!create) return Status::NotFound("");
     TIERBASE_RETURN_IF_ERROR(EvictLocked(shard, kEntryOverhead + key.size()));
-    auto [new_it, inserted] = shard.map.emplace(key.ToString(), Entry());
-    Entry& e = new_it->second;
-    e.kind = kind;
+    e = new Entry();
+    e->hash = hash;
+    e->key.assign(key.data(), key.size());
+    e->kind = kind;
     if (kind != ValueKind::kString) {
-      e.complex = std::make_unique<ComplexValue>();
+      e->complex = std::make_unique<ComplexValue>();
+      if (kind == ValueKind::kHash) e->complex->hash.reserve(kComplexReserve);
+      if (kind == ValueKind::kZSet) {
+        e->complex->zscores.reserve(kComplexReserve);
+      }
     }
-    shard.lru.push_front(new_it->first);
-    e.lru_it = shard.lru.begin();
-    e.charge = EntryCharge(new_it->first, e);
-    shard.charged += e.charge;
-    *out = &e;
-    if (stored_key != nullptr) {
-      *stored_key = const_cast<std::string*>(&new_it->first);
-    }
+    shard.table.Insert(e);
+    LruPushFront(shard, e);
+    e->charge = EntryCharge(*e);
+    shard.charged += e->charge;
+    *out = e;
     return Status::OK();
   }
-  if (it->second.kind != kind) {
+  if (e->kind != kind) {
     return Status::InvalidArgument("cache: wrong value type for key");
   }
-  TouchLocked(shard, it->second, it->first);
-  *out = &it->second;
-  if (stored_key != nullptr) {
-    *stored_key = const_cast<std::string*>(&it->first);
-  }
+  TouchLocked(shard, e);
+  *out = e;
   return Status::OK();
 }
 
@@ -181,6 +223,10 @@ Status HashEngine::LoadStringLocked(const Entry& e, std::string* out) const {
   if (e.pmem_ptr != kInvalidPmemPtr) {
     TIERBASE_RETURN_IF_ERROR(
         options_.pmem->Load(e.pmem_ptr, e.pmem_size, &raw));
+  } else if (!e.compressed) {
+    // Hot path: DRAM-resident uncompressed value, copy straight out.
+    out->assign(e.str.data(), e.str.size());
+    return Status::OK();
   } else {
     raw = e.str;
   }
@@ -191,53 +237,73 @@ Status HashEngine::LoadStringLocked(const Entry& e, std::string* out) const {
   return Status::OK();
 }
 
-Status HashEngine::StoreStringLocked(Shard& shard, Entry& e,
-                                     const std::string& key,
+Status HashEngine::StoreStringLocked(Shard& shard, Entry* e,
                                      const Slice& value) {
   // Free any previous PMem residency.
-  if (e.pmem_ptr != kInvalidPmemPtr && options_.pmem != nullptr) {
-    options_.pmem->Free(e.pmem_ptr, e.pmem_size);
-    pmem_bytes_.fetch_sub(e.pmem_size, std::memory_order_relaxed);
-    e.pmem_ptr = kInvalidPmemPtr;
-    e.pmem_size = 0;
+  if (e->pmem_ptr != kInvalidPmemPtr && options_.pmem != nullptr) {
+    options_.pmem->Free(e->pmem_ptr, e->pmem_size);
+    pmem_bytes_.fetch_sub(e->pmem_size, std::memory_order_relaxed);
+    e->pmem_ptr = kInvalidPmemPtr;
+    e->pmem_size = 0;
   }
 
-  std::string stored;
-  e.compressed = false;
+  e->compressed = false;
   if (options_.compressor != nullptr &&
       value.size() >= options_.compress_min_bytes) {
     std::string packed;
     Status s = options_.compressor->Compress(value, &packed);
     if (s.ok() && packed.size() < value.size()) {
-      stored = std::move(packed);
-      e.compressed = true;
+      e->str = std::move(packed);
+      e->compressed = true;
     } else {
-      stored = value.ToString();
+      e->str.assign(value.data(), value.size());
     }
   } else {
-    stored = value.ToString();
+    e->str.assign(value.data(), value.size());
   }
 
   // PMem placement: larger values go to the persistent-memory device;
   // small hot data and all key/index structures stay in DRAM (§4.3).
   if (options_.pmem != nullptr &&
-      stored.size() >= options_.pmem_value_threshold) {
-    PmemPtr ptr = options_.pmem->Store(stored);
+      e->str.size() >= options_.pmem_value_threshold) {
+    PmemPtr ptr = options_.pmem->Store(e->str);
     if (ptr != kInvalidPmemPtr) {
-      e.pmem_ptr = ptr;
-      e.pmem_size = static_cast<uint32_t>(stored.size());
-      pmem_bytes_.fetch_add(stored.size(), std::memory_order_relaxed);
-      e.str.clear();
-      e.str.shrink_to_fit();
-      return ChargeLocked(shard, e, key, EntryCharge(key, e));
+      e->pmem_ptr = ptr;
+      e->pmem_size = static_cast<uint32_t>(e->str.size());
+      pmem_bytes_.fetch_add(e->str.size(), std::memory_order_relaxed);
+      e->str.clear();
+      e->str.shrink_to_fit();
     }
-    // PMem full: fall through to DRAM.
+    // PMem full: the value stays in DRAM.
   }
-  e.str = std::move(stored);
-  return ChargeLocked(shard, e, key, EntryCharge(key, e));
+  return ChargeLocked(shard, e, EntryCharge(*e));
 }
 
 // --- Strings. ---
+
+Status HashEngine::SetLocked(Shard& shard, const Slice& key, uint64_t hash,
+                             const Slice& value, uint64_t ttl_micros) {
+  Entry* e = nullptr;
+  Status s = FindLocked(shard, key, hash, ValueKind::kString, true, &e);
+  if (s.IsInvalidArgument()) {
+    // Overwrite a complex-typed key, Redis SET semantics.
+    Entry* old = shard.table.Find(key, hash);
+    if (old != nullptr) RemoveEntryLocked(shard, old);
+    s = FindLocked(shard, key, hash, ValueKind::kString, true, &e);
+  }
+  TIERBASE_RETURN_IF_ERROR(s);
+  e->expire_at =
+      ttl_micros == 0 ? 0 : options_.clock->NowMicros() + ttl_micros;
+  return StoreStringLocked(shard, e, value);
+}
+
+Status HashEngine::GetLocked(Shard& shard, const Slice& key, uint64_t hash,
+                             std::string* value) {
+  Entry* e = nullptr;
+  TIERBASE_RETURN_IF_ERROR(
+      FindLocked(shard, key, hash, ValueKind::kString, false, &e));
+  return LoadStringLocked(*e, value);
+}
 
 Status HashEngine::Set(const Slice& key, const Slice& value) {
   return SetEx(key, value, 0);
@@ -245,55 +311,114 @@ Status HashEngine::Set(const Slice& key, const Slice& value) {
 
 Status HashEngine::SetEx(const Slice& key, const Slice& value,
                          uint64_t ttl_micros) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
-  Entry* e = nullptr;
-  std::string* stored_key = nullptr;
-  Status s = FindLocked(shard, key, ValueKind::kString, true, &e, &stored_key);
-  if (s.IsInvalidArgument()) {
-    // Overwrite a complex-typed key, Redis SET semantics.
-    auto it = shard.map.find(key.ToString());
-    RemoveEntryLocked(shard, it);
-    s = FindLocked(shard, key, ValueKind::kString, true, &e, &stored_key);
-  }
-  TIERBASE_RETURN_IF_ERROR(s);
-  e->expire_at =
-      ttl_micros == 0 ? 0 : options_.clock->NowMicros() + ttl_micros;
-  return StoreStringLocked(shard, *e, *stored_key, value);
+  return SetLocked(shard, key, hash, value, ttl_micros);
 }
 
 Status HashEngine::Get(const Slice& key, std::string* value) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
-  Entry* e = nullptr;
-  TIERBASE_RETURN_IF_ERROR(
-      FindLocked(shard, key, ValueKind::kString, false, &e, nullptr));
-  return LoadStringLocked(*e, value);
+  return GetLocked(shard, key, hash, value);
 }
 
 Status HashEngine::Delete(const Slice& key) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(key.ToString());
-  if (it == shard.map.end()) return Status::NotFound("");
-  RemoveEntryLocked(shard, it);
+  Entry* e = shard.table.Find(key, hash);
+  if (e == nullptr) return Status::NotFound("");
+  RemoveEntryLocked(shard, e);
   return Status::OK();
+}
+
+void HashEngine::GroupByShard(const std::vector<Slice>& keys,
+                              std::vector<uint64_t>* hashes,
+                              std::vector<uint32_t>* order,
+                              std::vector<uint32_t>* shard_begin) const {
+  const size_t n = keys.size();
+  const size_t num_shards = shards_.size();
+  hashes->resize(n);
+  shard_begin->assign(num_shards + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    (*hashes)[i] = Hash64(keys[i]);
+    ++(*shard_begin)[ShardIndex((*hashes)[i]) + 1];
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    (*shard_begin)[s + 1] += (*shard_begin)[s];
+  }
+  // Counting sort of indices into shard-contiguous order.
+  std::vector<uint32_t> cursor(shard_begin->begin(), shard_begin->end() - 1);
+  order->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*order)[cursor[ShardIndex((*hashes)[i])]++] = static_cast<uint32_t>(i);
+  }
+}
+
+void HashEngine::MultiGet(const std::vector<Slice>& keys,
+                          std::vector<std::string>* values,
+                          std::vector<Status>* statuses) {
+  values->assign(keys.size(), std::string());
+  statuses->assign(keys.size(), Status::OK());
+  if (keys.empty()) return;
+  multi_batches_.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<uint64_t> hashes;
+  std::vector<uint32_t> order, shard_begin;
+  GroupByShard(keys, &hashes, &order, &shard_begin);
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shard_begin[s] == shard_begin[s + 1]) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    multi_shard_locks_.fetch_add(1, std::memory_order_relaxed);
+    for (uint32_t pos = shard_begin[s]; pos < shard_begin[s + 1]; ++pos) {
+      const uint32_t i = order[pos];
+      (*statuses)[i] =
+          GetLocked(shard, keys[i], hashes[i], &(*values)[i]);
+    }
+  }
+}
+
+void HashEngine::MultiSet(const std::vector<Slice>& keys,
+                          const std::vector<Slice>& values,
+                          std::vector<Status>* statuses) {
+  statuses->assign(keys.size(), Status::OK());
+  if (keys.empty()) return;
+  multi_batches_.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<uint64_t> hashes;
+  std::vector<uint32_t> order, shard_begin;
+  GroupByShard(keys, &hashes, &order, &shard_begin);
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shard_begin[s] == shard_begin[s + 1]) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    multi_shard_locks_.fetch_add(1, std::memory_order_relaxed);
+    for (uint32_t pos = shard_begin[s]; pos < shard_begin[s + 1]; ++pos) {
+      const uint32_t i = order[pos];
+      (*statuses)[i] = SetLocked(shard, keys[i], hashes[i], values[i], 0);
+    }
+  }
 }
 
 Status HashEngine::Cas(const Slice& key, const Slice& expected,
                        const Slice& value, bool allow_create) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  std::string* stored_key = nullptr;
-  Status s = FindLocked(shard, key, ValueKind::kString, false, &e, &stored_key);
+  Status s = FindLocked(shard, key, hash, ValueKind::kString, false, &e);
   if (s.IsNotFound()) {
     if (!(allow_create && expected.empty())) {
       return Status::Aborted("cas: key missing");
     }
     TIERBASE_RETURN_IF_ERROR(
-        FindLocked(shard, key, ValueKind::kString, true, &e, &stored_key));
-    return StoreStringLocked(shard, *e, *stored_key, value);
+        FindLocked(shard, key, hash, ValueKind::kString, true, &e));
+    return StoreStringLocked(shard, e, value);
   }
   TIERBASE_RETURN_IF_ERROR(s);
   std::string current;
@@ -301,17 +426,18 @@ Status HashEngine::Cas(const Slice& key, const Slice& expected,
   if (Slice(current) != expected) {
     return Status::Aborted("cas: value mismatch");
   }
-  return StoreStringLocked(shard, *e, *stored_key, value);
+  return StoreStringLocked(shard, e, value);
 }
 
 bool HashEngine::Exists(const Slice& key) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(key.ToString());
-  if (it == shard.map.end()) return false;
-  if (IsExpiredLocked(it->second)) {
+  Entry* e = shard.table.Find(key, hash);
+  if (e == nullptr) return false;
+  if (IsExpiredLocked(*e)) {
     expirations_.fetch_add(1, std::memory_order_relaxed);
-    RemoveEntryLocked(shard, it);
+    RemoveEntryLocked(shard, e);
     return false;
   }
   return true;
@@ -320,83 +446,90 @@ bool HashEngine::Exists(const Slice& key) {
 // --- TTL. ---
 
 Status HashEngine::Expire(const Slice& key, uint64_t ttl_micros) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(key.ToString());
-  if (it == shard.map.end() || IsExpiredLocked(it->second)) {
+  Entry* e = shard.table.Find(key, hash);
+  if (e == nullptr || IsExpiredLocked(*e)) {
     return Status::NotFound("");
   }
-  it->second.expire_at =
+  e->expire_at =
       ttl_micros == 0 ? 0 : options_.clock->NowMicros() + ttl_micros;
   return Status::OK();
 }
 
 Result<uint64_t> HashEngine::Ttl(const Slice& key) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(key.ToString());
-  if (it == shard.map.end() || IsExpiredLocked(it->second)) {
+  Entry* e = shard.table.Find(key, hash);
+  if (e == nullptr || IsExpiredLocked(*e)) {
     return Status::NotFound("");
   }
-  if (it->second.expire_at == 0) return uint64_t{0};
-  return it->second.expire_at - options_.clock->NowMicros();
+  if (e->expire_at == 0) return uint64_t{0};
+  return e->expire_at - options_.clock->NowMicros();
 }
 
 // --- Lists. ---
 
 Status HashEngine::LPush(const Slice& key, const Slice& value) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  std::string* stored_key = nullptr;
   TIERBASE_RETURN_IF_ERROR(
-      FindLocked(shard, key, ValueKind::kList, true, &e, &stored_key));
+      FindLocked(shard, key, hash, ValueKind::kList, true, &e));
   e->complex->list.emplace_front(value.data(), value.size());
-  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+  e->complex->bytes += value.size() + kPerElementOverhead;
+  return ChargeLocked(shard, e, EntryCharge(*e));
 }
 
 Status HashEngine::RPush(const Slice& key, const Slice& value) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  std::string* stored_key = nullptr;
   TIERBASE_RETURN_IF_ERROR(
-      FindLocked(shard, key, ValueKind::kList, true, &e, &stored_key));
+      FindLocked(shard, key, hash, ValueKind::kList, true, &e));
   e->complex->list.emplace_back(value.data(), value.size());
-  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+  e->complex->bytes += value.size() + kPerElementOverhead;
+  return ChargeLocked(shard, e, EntryCharge(*e));
 }
 
 Status HashEngine::LPop(const Slice& key, std::string* value) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  std::string* stored_key = nullptr;
   TIERBASE_RETURN_IF_ERROR(
-      FindLocked(shard, key, ValueKind::kList, false, &e, &stored_key));
+      FindLocked(shard, key, hash, ValueKind::kList, false, &e));
   if (e->complex->list.empty()) return Status::NotFound("empty list");
   *value = std::move(e->complex->list.front());
   e->complex->list.pop_front();
-  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+  e->complex->bytes -= value->size() + kPerElementOverhead;
+  return ChargeLocked(shard, e, EntryCharge(*e));
 }
 
 Status HashEngine::RPop(const Slice& key, std::string* value) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  std::string* stored_key = nullptr;
   TIERBASE_RETURN_IF_ERROR(
-      FindLocked(shard, key, ValueKind::kList, false, &e, &stored_key));
+      FindLocked(shard, key, hash, ValueKind::kList, false, &e));
   if (e->complex->list.empty()) return Status::NotFound("empty list");
   *value = std::move(e->complex->list.back());
   e->complex->list.pop_back();
-  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+  e->complex->bytes -= value->size() + kPerElementOverhead;
+  return ChargeLocked(shard, e, EntryCharge(*e));
 }
 
 Result<uint64_t> HashEngine::LLen(const Slice& key) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  Status s = FindLocked(shard, key, ValueKind::kList, false, &e, nullptr);
+  Status s = FindLocked(shard, key, hash, ValueKind::kList, false, &e);
   if (s.IsNotFound()) return uint64_t{0};
   if (!s.ok()) return s;
   return static_cast<uint64_t>(e->complex->list.size());
@@ -405,10 +538,11 @@ Result<uint64_t> HashEngine::LLen(const Slice& key) {
 Status HashEngine::LRange(const Slice& key, int64_t start, int64_t stop,
                           std::vector<std::string>* out) {
   out->clear();
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  Status s = FindLocked(shard, key, ValueKind::kList, false, &e, nullptr);
+  Status s = FindLocked(shard, key, hash, ValueKind::kList, false, &e);
   if (s.IsNotFound()) return Status::OK();
   TIERBASE_RETURN_IF_ERROR(s);
   int64_t n = static_cast<int64_t>(e->complex->list.size());
@@ -426,23 +560,32 @@ Status HashEngine::LRange(const Slice& key, int64_t start, int64_t stop,
 
 Status HashEngine::HSet(const Slice& key, const Slice& field,
                         const Slice& value) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  std::string* stored_key = nullptr;
   TIERBASE_RETURN_IF_ERROR(
-      FindLocked(shard, key, ValueKind::kHash, true, &e, &stored_key));
-  e->complex->hash[field.ToString()] = value.ToString();
-  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+      FindLocked(shard, key, hash, ValueKind::kHash, true, &e));
+  auto [it, inserted] =
+      e->complex->hash.try_emplace(field.ToString(), std::string());
+  if (inserted) {
+    e->complex->bytes += field.size() + value.size() + kPerElementOverhead;
+  } else {
+    e->complex->bytes += value.size();
+    e->complex->bytes -= it->second.size();
+  }
+  it->second.assign(value.data(), value.size());
+  return ChargeLocked(shard, e, EntryCharge(*e));
 }
 
 Status HashEngine::HGet(const Slice& key, const Slice& field,
                         std::string* value) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
   TIERBASE_RETURN_IF_ERROR(
-      FindLocked(shard, key, ValueKind::kHash, false, &e, nullptr));
+      FindLocked(shard, key, hash, ValueKind::kHash, false, &e));
   auto it = e->complex->hash.find(field.ToString());
   if (it == e->complex->hash.end()) return Status::NotFound("no field");
   *value = it->second;
@@ -450,23 +593,26 @@ Status HashEngine::HGet(const Slice& key, const Slice& field,
 }
 
 Status HashEngine::HDel(const Slice& key, const Slice& field) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  std::string* stored_key = nullptr;
   TIERBASE_RETURN_IF_ERROR(
-      FindLocked(shard, key, ValueKind::kHash, false, &e, &stored_key));
-  if (e->complex->hash.erase(field.ToString()) == 0) {
-    return Status::NotFound("no field");
-  }
-  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+      FindLocked(shard, key, hash, ValueKind::kHash, false, &e));
+  auto it = e->complex->hash.find(field.ToString());
+  if (it == e->complex->hash.end()) return Status::NotFound("no field");
+  e->complex->bytes -=
+      field.size() + it->second.size() + kPerElementOverhead;
+  e->complex->hash.erase(it);
+  return ChargeLocked(shard, e, EntryCharge(*e));
 }
 
 Result<uint64_t> HashEngine::HLen(const Slice& key) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  Status s = FindLocked(shard, key, ValueKind::kHash, false, &e, nullptr);
+  Status s = FindLocked(shard, key, hash, ValueKind::kHash, false, &e);
   if (s.IsNotFound()) return uint64_t{0};
   if (!s.ok()) return s;
   return static_cast<uint64_t>(e->complex->hash.size());
@@ -475,10 +621,11 @@ Result<uint64_t> HashEngine::HLen(const Slice& key) {
 Status HashEngine::HGetAll(
     const Slice& key, std::vector<std::pair<std::string, std::string>>* out) {
   out->clear();
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  Status s = FindLocked(shard, key, ValueKind::kHash, false, &e, nullptr);
+  Status s = FindLocked(shard, key, hash, ValueKind::kHash, false, &e);
   if (s.IsNotFound()) return Status::OK();
   TIERBASE_RETURN_IF_ERROR(s);
   for (const auto& [f, v] : e->complex->hash) out->emplace_back(f, v);
@@ -488,44 +635,49 @@ Status HashEngine::HGetAll(
 // --- Sets. ---
 
 Status HashEngine::SAdd(const Slice& key, const Slice& member) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  std::string* stored_key = nullptr;
   TIERBASE_RETURN_IF_ERROR(
-      FindLocked(shard, key, ValueKind::kSet, true, &e, &stored_key));
-  e->complex->set.insert(member.ToString());
-  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+      FindLocked(shard, key, hash, ValueKind::kSet, true, &e));
+  if (e->complex->set.insert(member.ToString()).second) {
+    e->complex->bytes += member.size() + kPerElementOverhead;
+  }
+  return ChargeLocked(shard, e, EntryCharge(*e));
 }
 
 Status HashEngine::SRem(const Slice& key, const Slice& member) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  std::string* stored_key = nullptr;
   TIERBASE_RETURN_IF_ERROR(
-      FindLocked(shard, key, ValueKind::kSet, false, &e, &stored_key));
+      FindLocked(shard, key, hash, ValueKind::kSet, false, &e));
   if (e->complex->set.erase(member.ToString()) == 0) {
     return Status::NotFound("no member");
   }
-  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+  e->complex->bytes -= member.size() + kPerElementOverhead;
+  return ChargeLocked(shard, e, EntryCharge(*e));
 }
 
 Result<bool> HashEngine::SIsMember(const Slice& key, const Slice& member) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  Status s = FindLocked(shard, key, ValueKind::kSet, false, &e, nullptr);
+  Status s = FindLocked(shard, key, hash, ValueKind::kSet, false, &e);
   if (s.IsNotFound()) return false;
   if (!s.ok()) return s;
   return e->complex->set.count(member.ToString()) > 0;
 }
 
 Result<uint64_t> HashEngine::SCard(const Slice& key) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  Status s = FindLocked(shard, key, ValueKind::kSet, false, &e, nullptr);
+  Status s = FindLocked(shard, key, hash, ValueKind::kSet, false, &e);
   if (s.IsNotFound()) return uint64_t{0};
   if (!s.ok()) return s;
   return static_cast<uint64_t>(e->complex->set.size());
@@ -534,12 +686,12 @@ Result<uint64_t> HashEngine::SCard(const Slice& key) {
 // --- Sorted sets. ---
 
 Status HashEngine::ZAdd(const Slice& key, double score, const Slice& member) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  std::string* stored_key = nullptr;
   TIERBASE_RETURN_IF_ERROR(
-      FindLocked(shard, key, ValueKind::kZSet, true, &e, &stored_key));
+      FindLocked(shard, key, hash, ValueKind::kZSet, true, &e));
   std::string m = member.ToString();
   auto it = e->complex->zscores.find(m);
   if (it != e->complex->zscores.end()) {
@@ -547,16 +699,19 @@ Status HashEngine::ZAdd(const Slice& key, double score, const Slice& member) {
     it->second = score;
   } else {
     e->complex->zscores[m] = score;
+    e->complex->bytes +=
+        2 * m.size() + 2 * kPerElementOverhead + sizeof(double) * 2;
   }
   e->complex->zordered.insert({score, m});
-  return ChargeLocked(shard, *e, *stored_key, EntryCharge(*stored_key, *e));
+  return ChargeLocked(shard, e, EntryCharge(*e));
 }
 
 Result<double> HashEngine::ZScore(const Slice& key, const Slice& member) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  Status s = FindLocked(shard, key, ValueKind::kZSet, false, &e, nullptr);
+  Status s = FindLocked(shard, key, hash, ValueKind::kZSet, false, &e);
   if (!s.ok()) return s;
   auto it = e->complex->zscores.find(member.ToString());
   if (it == e->complex->zscores.end()) return Status::NotFound("no member");
@@ -567,10 +722,11 @@ Status HashEngine::ZRangeByScore(const Slice& key, double min_score,
                                  double max_score,
                                  std::vector<std::string>* out) {
   out->clear();
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  Status s = FindLocked(shard, key, ValueKind::kZSet, false, &e, nullptr);
+  Status s = FindLocked(shard, key, hash, ValueKind::kZSet, false, &e);
   if (s.IsNotFound()) return Status::OK();
   TIERBASE_RETURN_IF_ERROR(s);
   auto lo = e->complex->zordered.lower_bound({min_score, ""});
@@ -583,10 +739,11 @@ Status HashEngine::ZRangeByScore(const Slice& key, double min_score,
 }
 
 Result<uint64_t> HashEngine::ZCard(const Slice& key) {
-  Shard& shard = ShardFor(key);
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = nullptr;
-  Status s = FindLocked(shard, key, ValueKind::kZSet, false, &e, nullptr);
+  Status s = FindLocked(shard, key, hash, ValueKind::kZSet, false, &e);
   if (s.IsNotFound()) return uint64_t{0};
   if (!s.ok()) return s;
   return static_cast<uint64_t>(e->complex->zscores.size());
@@ -599,29 +756,43 @@ UsageStats HashEngine::GetUsage() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     usage.memory_bytes += shard->charged;
-    usage.keys += shard->map.size();
+    usage.keys += shard->table.size;
   }
   usage.pmem_bytes = pmem_bytes_.load(std::memory_order_relaxed);
   return usage;
 }
 
+uint64_t HashEngine::lru_touches() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru_touches;
+  }
+  return total;
+}
+
 void HashEngine::SetEvictionFilter(EvictionFilter filter) {
-  std::lock_guard<std::mutex> lock(filter_mu_);
-  eviction_filter_ = std::move(filter);
+  std::shared_ptr<const EvictionFilter> next =
+      filter ? std::make_shared<const EvictionFilter>(std::move(filter))
+             : nullptr;
+  std::atomic_store_explicit(&eviction_filter_, std::move(next),
+                             std::memory_order_release);
 }
 
 size_t HashEngine::SweepExpired() {
   size_t removed = 0;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    for (auto it = shard->map.begin(); it != shard->map.end();) {
-      if (IsExpiredLocked(it->second)) {
-        auto victim = it++;
-        RemoveEntryLocked(*shard, victim);
-        ++removed;
-        expirations_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        ++it;
+    for (size_t b = 0; b < shard->table.buckets.size(); ++b) {
+      Entry* e = shard->table.buckets[b];
+      while (e != nullptr) {
+        Entry* next = e->next_hash;
+        if (IsExpiredLocked(*e)) {
+          RemoveEntryLocked(*shard, e);
+          ++removed;
+          expirations_.fetch_add(1, std::memory_order_relaxed);
+        }
+        e = next;
       }
     }
   }
@@ -631,9 +802,13 @@ size_t HashEngine::SweepExpired() {
 void HashEngine::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    for (auto it = shard->map.begin(); it != shard->map.end();) {
-      auto victim = it++;
-      RemoveEntryLocked(*shard, victim);
+    for (size_t b = 0; b < shard->table.buckets.size(); ++b) {
+      Entry* e = shard->table.buckets[b];
+      while (e != nullptr) {
+        Entry* next = e->next_hash;
+        RemoveEntryLocked(*shard, e);
+        e = next;
+      }
     }
   }
 }

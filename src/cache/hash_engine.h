@@ -12,9 +12,23 @@
 //     in DRAM; string values >= pmem_value_threshold move to the simulated
 //     persistent-memory device through a PmemAllocator.
 //
+// Hot-path design (zero allocation per lookup):
+//   * Each key is hashed exactly once per operation; the 64-bit hash picks
+//     the shard (power-of-two count, topmost bits) and probes the shard's
+//     table (low bits + bucket mask) without rehashing.
+//   * The shard index is an intrusive chained hash table: every Entry node
+//     owns the single copy of its key and carries its hash-chain link plus
+//     the LRU prev/next pointers, so lookups compare against a Slice with
+//     no temporary std::string and the LRU needs no separate list nodes.
+//   * When memory_budget == 0 no eviction can occur, so Get/Set skip LRU
+//     reordering entirely (observable through lru_touches()).
+//   * MultiGet/MultiSet group keys by shard and take each shard mutex at
+//     most once per batch.
+//
 // Thread model: the engine is sharded; shard count 1 gives the
 // single-threaded event-loop behaviour, higher counts support the
-// multi-thread / elastic modes with per-shard mutexes.
+// multi-thread / elastic modes with per-shard mutexes. The requested shard
+// count is rounded up to the next power of two.
 
 #ifndef TIERBASE_CACHE_HASH_ENGINE_H_
 #define TIERBASE_CACHE_HASH_ENGINE_H_
@@ -22,8 +36,6 @@
 #include <atomic>
 #include <deque>
 #include <functional>
-#include <list>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -56,6 +68,7 @@ struct HashEngineOptions {
   /// DRAM budget; 0 = unlimited.
   size_t memory_budget = 0;
   EvictionPolicy eviction = EvictionPolicy::kLru;
+  /// Rounded up to the next power of two.
   int shards = 1;
   Clock* clock = Clock::Real();
 
@@ -79,6 +92,14 @@ class HashEngine : public KvEngine {
   Status Set(const Slice& key, const Slice& value) override;
   Status Get(const Slice& key, std::string* value) override;
   Status Delete(const Slice& key) override;
+  /// Batched ops: keys grouped per shard, each shard mutex taken at most
+  /// once per call (multi_shard_locks() counts the acquisitions).
+  void MultiGet(const std::vector<Slice>& keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses) override;
+  void MultiSet(const std::vector<Slice>& keys,
+                const std::vector<Slice>& values,
+                std::vector<Status>* statuses) override;
   /// Set with TTL (microseconds from now; 0 = no expiry).
   Status SetEx(const Slice& key, const Slice& value, uint64_t ttl_micros);
   /// Compare-and-set: succeeds iff the current value equals `expected`
@@ -127,8 +148,18 @@ class HashEngine : public KvEngine {
   UsageStats GetUsage() const override;
   uint64_t evictions() const { return evictions_.load(); }
   uint64_t expirations() const { return expirations_.load(); }
+  /// LRU reorderings performed. Stays zero while memory_budget == 0: with
+  /// no eviction possible the hot path skips recency maintenance (and the
+  /// allocation-free lookup leaves no other per-op side effects).
+  uint64_t lru_touches() const;
+  /// Shard mutex acquisitions made by MultiGet/MultiSet (at most one per
+  /// shard per batch) and the number of batch calls served.
+  uint64_t multi_shard_locks() const { return multi_shard_locks_.load(); }
+  uint64_t multi_batches() const { return multi_batches_.load(); }
 
   /// Write-back integration: return false to protect a key from eviction.
+  /// The filter is installed behind an atomically swapped shared_ptr, so
+  /// installation never blocks (or takes a lock on) the eviction path.
   using EvictionFilter = std::function<bool(const Slice& key)>;
   void SetEvictionFilter(EvictionFilter filter);
 
@@ -145,11 +176,23 @@ class HashEngine : public KvEngine {
     std::set<std::string> set;
     std::unordered_map<std::string, double> zscores;
     std::set<std::pair<double, std::string>> zordered;
+    /// Element bytes, maintained incrementally by the mutating ops so
+    /// EntryCharge never re-walks the containers.
+    size_t bytes = 0;
 
-    size_t MemoryBytes() const;
+    size_t MemoryBytes() const { return sizeof(ComplexValue) + bytes; }
   };
 
+  /// One cache entry. Nodes are heap-allocated and never move: the hash
+  /// chain (next_hash) and the intrusive LRU list (lru_prev/lru_next) link
+  /// them directly, and the node owns the only copy of its key.
   struct Entry {
+    Entry* next_hash = nullptr;
+    Entry* lru_prev = nullptr;
+    Entry* lru_next = nullptr;
+    uint64_t hash = 0;  // Hash64(key), computed once at insertion.
+    std::string key;
+
     ValueKind kind = ValueKind::kString;
     std::string str;  // Inline (possibly compressed) string value.
     bool compressed = false;
@@ -158,53 +201,104 @@ class HashEngine : public KvEngine {
     uint64_t expire_at = 0;      // Clock micros; 0 = never.
     size_t charge = 0;           // DRAM bytes charged to the budget.
     std::unique_ptr<ComplexValue> complex;
-    std::list<std::string>::iterator lru_it;
+  };
+
+  /// Chained hash table over Entry nodes (LevelDB HandleTable idiom):
+  /// power-of-two bucket count, probe by precomputed hash + Slice compare.
+  struct Table {
+    std::vector<Entry*> buckets;
+    size_t size = 0;
+
+    Table() : buckets(kInitialBuckets, nullptr) {}
+
+    Entry* Find(const Slice& key, uint64_t hash) const {
+      Entry* e = buckets[hash & (buckets.size() - 1)];
+      while (e != nullptr && (e->hash != hash || Slice(e->key) != key)) {
+        e = e->next_hash;
+      }
+      return e;
+    }
+    /// Inserts a node whose key is known to be absent.
+    void Insert(Entry* e);
+    /// Unlinks (does not delete) the node; returns it, or null if absent.
+    Entry* Remove(const Slice& key, uint64_t hash);
+
+   private:
+    static constexpr size_t kInitialBuckets = 16;
+    void Grow();
   };
 
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<std::string, Entry> map;
-    std::list<std::string> lru;  // Front = most recently used.
+    Table table;
+    Entry* lru_head = nullptr;  // Most recently used.
+    Entry* lru_tail = nullptr;  // Eviction candidate.
     size_t charged = 0;
+    uint64_t lru_touches = 0;
   };
 
-  Shard& ShardFor(const Slice& key);
-  const Shard& ShardFor(const Slice& key) const;
+  size_t ShardIndex(uint64_t hash) const {
+    // The topmost log2(shards) bits select the shard so they stay
+    // decorrelated from the table's bucket index (low bits). Shift 64 is
+    // the single-shard case (shifting by the full width would be UB).
+    return shard_shift_ == 64 ? 0 : (hash >> shard_shift_);
+  }
+  Shard& ShardFor(uint64_t hash) { return *shards_[ShardIndex(hash)]; }
+
+  static void LruPushFront(Shard& shard, Entry* e);
+  static void LruUnlink(Shard& shard, Entry* e);
 
   /// All Locked helpers require the shard mutex.
   bool IsExpiredLocked(const Entry& e) const;
-  void RemoveEntryLocked(Shard& shard,
-                         std::unordered_map<std::string, Entry>::iterator it);
-  void TouchLocked(Shard& shard, Entry& e, const std::string& key);
-  Status ChargeLocked(Shard& shard, Entry& e, const std::string& key,
-                      size_t new_charge);
-  /// Evicts from the LRU tail until `needed` more bytes fit. `protect`, when
-  /// non-null, names a key that must survive (the entry being charged).
+  void RemoveEntryLocked(Shard& shard, Entry* e);
+  void TouchLocked(Shard& shard, Entry* e);
+  Status ChargeLocked(Shard& shard, Entry* e, size_t new_charge);
+  /// Evicts from the LRU tail until `needed` more bytes fit. `protect`,
+  /// when non-null, names an entry that must survive (the one being
+  /// charged).
   Status EvictLocked(Shard& shard, size_t needed,
-                     const std::string* protect = nullptr);
-  size_t EntryCharge(const std::string& key, const Entry& e) const;
+                     const Entry* protect = nullptr);
+  size_t EntryCharge(const Entry& e) const;
 
   /// Returns the entry if present & live, creating when `create` with the
-  /// given kind. WrongType → InvalidArgument.
-  Status FindLocked(Shard& shard, const Slice& key, ValueKind kind,
-                    bool create, Entry** out, std::string** stored_key);
+  /// given kind. WrongType → InvalidArgument. `hash` is Hash64(key).
+  Status FindLocked(Shard& shard, const Slice& key, uint64_t hash,
+                    ValueKind kind, bool create, Entry** out);
+  /// Full string-set path (create/overwrite + TTL + store), shared by
+  /// SetEx and MultiSet.
+  Status SetLocked(Shard& shard, const Slice& key, uint64_t hash,
+                   const Slice& value, uint64_t ttl_micros);
+  /// Get path under the shard lock, shared by Get and MultiGet.
+  Status GetLocked(Shard& shard, const Slice& key, uint64_t hash,
+                   std::string* value);
 
   /// Materializes a string entry's value (decompress / PMem fetch).
   Status LoadStringLocked(const Entry& e, std::string* out) const;
   /// Stores a string value into the entry (compress / PMem placement).
-  Status StoreStringLocked(Shard& shard, Entry& e, const std::string& key,
-                           const Slice& value);
+  Status StoreStringLocked(Shard& shard, Entry* e, const Slice& value);
+
+  /// Computes hashes and a per-shard grouping of [0, n) so Multi ops can
+  /// visit each shard once. Returns, via `order`, the indices sorted by
+  /// shard; `shard_begin[s]..shard_begin[s+1]` delimits shard s's range.
+  void GroupByShard(const std::vector<Slice>& keys,
+                    std::vector<uint64_t>* hashes,
+                    std::vector<uint32_t>* order,
+                    std::vector<uint32_t>* shard_begin) const;
 
   HashEngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  int shard_shift_ = 64;  // 64 - log2(shard count).
   size_t per_shard_budget_ = 0;
 
-  EvictionFilter eviction_filter_;
-  std::mutex filter_mu_;
+  /// Swapped wholesale with atomic shared_ptr ops; eviction loads it
+  /// lock-free.
+  std::shared_ptr<const EvictionFilter> eviction_filter_;
 
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> expirations_{0};
   std::atomic<uint64_t> pmem_bytes_{0};
+  std::atomic<uint64_t> multi_shard_locks_{0};
+  std::atomic<uint64_t> multi_batches_{0};
 };
 
 }  // namespace cache

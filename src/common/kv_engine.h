@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/slice.h"
 #include "common/status.h"
@@ -31,6 +32,31 @@ class KvEngine {
   virtual Status Set(const Slice& key, const Slice& value) = 0;
   virtual Status Get(const Slice& key, std::string* value) = 0;
   virtual Status Delete(const Slice& key) = 0;
+
+  /// Batched read: fills values[i]/statuses[i] per key. Engines override
+  /// this to amortize locking and remote round trips across the batch; the
+  /// default degrades to one Get per key.
+  virtual void MultiGet(const std::vector<Slice>& keys,
+                        std::vector<std::string>* values,
+                        std::vector<Status>* statuses) {
+    values->assign(keys.size(), std::string());
+    statuses->assign(keys.size(), Status::OK());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      (*statuses)[i] = Get(keys[i], &(*values)[i]);
+    }
+  }
+
+  /// Batched write of keys[i] = values[i] (parallel arrays, same length).
+  /// Per-op outcomes land in statuses[i]; the default degrades to one Set
+  /// per key.
+  virtual void MultiSet(const std::vector<Slice>& keys,
+                        const std::vector<Slice>& values,
+                        std::vector<Status>* statuses) {
+    statuses->assign(keys.size(), Status::OK());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      (*statuses)[i] = Set(keys[i], values[i]);
+    }
+  }
 
   virtual UsageStats GetUsage() const = 0;
 

@@ -8,6 +8,49 @@ DeferredFetcher::DeferredFetcher(StorageAdapter* storage,
                                  DeferredFetchOptions options, Clock* clock)
     : storage_(storage), options_(options), clock_(clock) {}
 
+void DeferredFetcher::LeaderDrain() {
+  // Keep draining until no keys are pending (later joiners are picked up
+  // by a follow-on batch rather than stranded).
+  while (true) {
+    std::vector<std::string> keys;
+    std::vector<std::shared_ptr<PendingKey>> entries;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [k, p] : pending_) {
+        if (p->done) continue;
+        if (keys.size() >= options_.max_batch) break;
+        keys.push_back(k);
+        entries.push_back(p);
+      }
+      if (keys.empty()) {
+        batch_leader_active_ = false;
+        break;
+      }
+    }
+
+    std::vector<std::string> values;
+    std::vector<bool> found;
+    Status s = storage_->MultiRead(keys, &values, &found);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.batch_calls;
+      for (size_t i = 0; i < entries.size(); ++i) {
+        entries[i]->done = true;
+        if (s.ok()) {
+          entries[i]->found = found[i];
+          entries[i]->value = std::move(values[i]);
+        } else {
+          entries[i]->error = s;
+        }
+        pending_.erase(keys[i]);
+      }
+    }
+    cv_.notify_all();
+  }
+  cv_.notify_all();
+}
+
 Status DeferredFetcher::Fetch(const Slice& key, std::string* value) {
   if (!options_.enabled) {
     return storage_->Read(key, value);
@@ -36,51 +79,11 @@ Status DeferredFetcher::Fetch(const Slice& key, std::string* value) {
   }
 
   if (leader) {
-    // Give concurrent missers a short window to join the batch, then keep
-    // draining until no keys are pending (later joiners are picked up by a
-    // follow-on batch rather than stranded).
+    // Give concurrent missers a short window to join the batch.
     if (options_.batch_window_micros > 0) {
       clock_->SleepMicros(options_.batch_window_micros);
     }
-
-    while (true) {
-      std::vector<std::string> keys;
-      std::vector<std::shared_ptr<PendingKey>> entries;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        for (auto& [k, p] : pending_) {
-          if (p->done) continue;
-          if (keys.size() >= options_.max_batch) break;
-          keys.push_back(k);
-          entries.push_back(p);
-        }
-        if (keys.empty()) {
-          batch_leader_active_ = false;
-          break;
-        }
-      }
-
-      std::vector<std::string> values;
-      std::vector<bool> found;
-      Status s = storage_->MultiRead(keys, &values, &found);
-
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.batch_calls;
-        for (size_t i = 0; i < entries.size(); ++i) {
-          entries[i]->done = true;
-          if (s.ok()) {
-            entries[i]->found = found[i];
-            entries[i]->value = std::move(values[i]);
-          } else {
-            entries[i]->error = s;
-          }
-          pending_.erase(keys[i]);
-        }
-      }
-      cv_.notify_all();
-    }
-    cv_.notify_all();
+    LeaderDrain();
   }
 
   {
@@ -91,6 +94,83 @@ Status DeferredFetcher::Fetch(const Slice& key, std::string* value) {
   if (!mine->found) return Status::NotFound("");
   *value = mine->value;
   return Status::OK();
+}
+
+void DeferredFetcher::FetchMany(const std::vector<Slice>& keys,
+                                std::vector<std::string>* values,
+                                std::vector<Status>* statuses) {
+  const size_t n = keys.size();
+  values->assign(n, std::string());
+  statuses->assign(n, Status::OK());
+  if (n == 0) return;
+
+  if (!options_.enabled) {
+    std::vector<std::string> key_strs;
+    key_strs.reserve(n);
+    for (const Slice& k : keys) key_strs.push_back(k.ToString());
+    std::vector<std::string> out;
+    std::vector<bool> found;
+    Status s = storage_->MultiRead(key_strs, &out, &found);
+    for (size_t i = 0; i < n; ++i) {
+      if (!s.ok()) {
+        (*statuses)[i] = s;
+      } else if (!found[i]) {
+        (*statuses)[i] = Status::NotFound("");
+      } else {
+        (*values)[i] = std::move(out[i]);
+      }
+    }
+    return;
+  }
+
+  // Register every key (deduplicating against in-flight singles and
+  // earlier occurrences in this batch), then drain as leader unless one is
+  // already active — the batch already IS batched, so the forming window
+  // is skipped.
+  std::vector<std::shared_ptr<PendingKey>> mine(n);
+  bool leader = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (size_t i = 0; i < n; ++i) {
+      ++stats_.fetches;
+      std::string k = keys[i].ToString();
+      auto it = pending_.find(k);
+      if (it != pending_.end()) {
+        mine[i] = it->second;
+        ++mine[i]->waiters;
+        ++stats_.shared;
+      } else {
+        mine[i] = std::make_shared<PendingKey>();
+        mine[i]->waiters = 1;
+        pending_.emplace(std::move(k), mine[i]);
+      }
+    }
+    if (!batch_leader_active_) {
+      batch_leader_active_ = true;
+      leader = true;
+    }
+  }
+
+  if (leader) LeaderDrain();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      for (const auto& p : mine) {
+        if (!p->done) return false;
+      }
+      return true;
+    });
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!mine[i]->error.ok()) {
+      (*statuses)[i] = mine[i]->error;
+    } else if (!mine[i]->found) {
+      (*statuses)[i] = Status::NotFound("");
+    } else {
+      (*values)[i] = mine[i]->value;
+    }
+  }
 }
 
 DeferredFetcher::Stats DeferredFetcher::GetStats() const {

@@ -28,6 +28,13 @@ class DeferredFetcher {
   /// Returns NotFound when the key is absent from the storage tier.
   Status Fetch(const Slice& key, std::string* value);
 
+  /// Fetches a whole batch in (at most) one MultiRead, deduplicating
+  /// against concurrently in-flight fetches of the same keys. Per-key
+  /// outcomes land in statuses[i] (NotFound for absent keys).
+  void FetchMany(const std::vector<Slice>& keys,
+                 std::vector<std::string>* values,
+                 std::vector<Status>* statuses);
+
   struct Stats {
     uint64_t fetches = 0;
     uint64_t batch_calls = 0;  // fetches/batch_calls = batching factor.
@@ -43,6 +50,10 @@ class DeferredFetcher {
     Status error;
     int waiters = 0;
   };
+
+  /// Leader: issues MultiReads until no pending keys remain, then clears
+  /// batch_leader_active_ and wakes the waiters.
+  void LeaderDrain();
 
   StorageAdapter* storage_;
   DeferredFetchOptions options_;

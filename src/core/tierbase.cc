@@ -105,6 +105,15 @@ Status TierBase::Init() {
           [this](const Slice& key, const Slice& value, bool is_delete) {
             return is_delete ? storage_->Delete(key)
                              : storage_->Write(key, value);
+          },
+          /*coalesce=*/true,
+          [this](const std::vector<PerKeyCoalescer::BatchWrite>& ops) {
+            std::vector<StorageAdapter::BatchOp> batch;
+            batch.reserve(ops.size());
+            for (const auto& op : ops) {
+              batch.push_back({op.key, op.value, op.is_delete});
+            }
+            return storage_->WriteBatch(batch);
           });
       fetcher_ = std::make_unique<DeferredFetcher>(storage_,
                                                    options_.deferred_fetch);
@@ -298,6 +307,195 @@ Status TierBase::Get(const Slice& key, std::string* value) {
     // OutOfSpace here is fine — serving from storage still works.
   }
   return Status::OK();
+}
+
+void TierBase::MultiGet(const std::vector<Slice>& keys,
+                        std::vector<std::string>* values,
+                        std::vector<Status>* statuses) {
+  const size_t n = keys.size();
+  stats_gets_.fetch_add(n, std::memory_order_relaxed);
+
+  cache_->MultiGet(keys, values, statuses);
+
+  uint64_t hits = 0;
+  std::vector<uint32_t> misses;
+  for (size_t i = 0; i < n; ++i) {
+    if ((*statuses)[i].ok()) {
+      ++hits;
+    } else if ((*statuses)[i].IsNotFound()) {
+      misses.push_back(static_cast<uint32_t>(i));
+    }
+    // Other errors (e.g. wrong type) pass through untouched.
+  }
+  stats_hits_.fetch_add(hits, std::memory_order_relaxed);
+
+  if (!tiered()) {
+    stats_misses_.fetch_add(misses.size(), std::memory_order_relaxed);
+    return;
+  }
+
+  // Write-back: the dirty buffer is part of the cache tier — consult it
+  // before going to storage, one dirty-set lock for the whole batch.
+  if (write_back_ != nullptr && !misses.empty()) {
+    std::vector<Slice> miss_keys;
+    miss_keys.reserve(misses.size());
+    for (uint32_t i : misses) miss_keys.push_back(keys[i]);
+    std::vector<bool> dirty_found, dirty_deletes;
+    std::vector<std::string> dirty_values;
+    write_back_->GetDirtyBatch(miss_keys, &dirty_found, &dirty_values,
+                               &dirty_deletes);
+    std::vector<uint32_t> still_missing;
+    for (size_t m = 0; m < misses.size(); ++m) {
+      const uint32_t i = misses[m];
+      if (dirty_found[m]) {
+        stats_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (!dirty_deletes[m]) {
+          (*values)[i] = std::move(dirty_values[m]);
+          (*statuses)[i] = Status::OK();
+        }
+        // A dirty delete keeps NotFound: the key is gone even if storage
+        // still has it.
+      } else {
+        still_missing.push_back(i);
+      }
+    }
+    misses.swap(still_missing);
+  }
+  if (misses.empty()) return;
+  stats_misses_.fetch_add(misses.size(), std::memory_order_relaxed);
+
+  // One batched storage fetch for all remaining misses.
+  std::vector<Slice> miss_keys;
+  miss_keys.reserve(misses.size());
+  for (uint32_t i : misses) miss_keys.push_back(keys[i]);
+  std::vector<std::string> fetched;
+  std::vector<Status> fetch_statuses;
+  fetcher_->FetchMany(miss_keys, &fetched, &fetch_statuses);
+
+  std::vector<Slice> populate_keys;
+  std::vector<Slice> populate_values;
+  for (size_t m = 0; m < misses.size(); ++m) {
+    const uint32_t i = misses[m];
+    (*statuses)[i] = fetch_statuses[m];
+    if (fetch_statuses[m].ok()) {
+      (*values)[i] = std::move(fetched[m]);
+      if (options_.populate_on_miss) {
+        populate_keys.push_back(keys[i]);
+        populate_values.push_back(Slice((*values)[i]));
+      }
+    }
+  }
+
+  if (!populate_keys.empty()) {
+    // Populate without dirtying: these values are already durable in
+    // storage. OutOfSpace is fine — serving from storage still works.
+    std::vector<Status> populate_statuses;
+    cache_->MultiSet(populate_keys, populate_values, &populate_statuses);
+    for (size_t p = 0; p < populate_keys.size(); ++p) {
+      if (populate_statuses[p].ok()) {
+        stats_populates_.fetch_add(1, std::memory_order_relaxed);
+        if (replicator_ != nullptr) {
+          replicator_->ReplicateSet(populate_keys[p], populate_values[p]);
+        }
+      }
+    }
+  }
+}
+
+void TierBase::MultiSet(const std::vector<Slice>& keys,
+                        const std::vector<Slice>& values,
+                        std::vector<Status>* statuses) {
+  const size_t n = keys.size();
+  stats_sets_.fetch_add(n, std::memory_order_relaxed);
+  statuses->assign(n, Status::OK());
+  if (n == 0) return;
+
+  switch (options_.policy) {
+    case CachingPolicy::kCacheOnly:
+      cache_->MultiSet(keys, values, statuses);
+      break;
+
+    case CachingPolicy::kWalFile:
+    case CachingPolicy::kWalPmem: {
+      // Log sequentially (the WAL is a single append stream), then apply
+      // the surviving ops to the cache as one batch.
+      std::vector<Slice> logged_keys, logged_values;
+      std::vector<uint32_t> logged_index;
+      for (size_t i = 0; i < n; ++i) {
+        Status s = LogMutation(keys[i], values[i], /*is_delete=*/false);
+        if (s.ok()) {
+          logged_keys.push_back(keys[i]);
+          logged_values.push_back(values[i]);
+          logged_index.push_back(static_cast<uint32_t>(i));
+        } else {
+          (*statuses)[i] = s;
+        }
+      }
+      std::vector<Status> cache_statuses;
+      cache_->MultiSet(logged_keys, logged_values, &cache_statuses);
+      for (size_t m = 0; m < logged_index.size(); ++m) {
+        (*statuses)[logged_index[m]] = cache_statuses[m];
+      }
+      break;
+    }
+
+    case CachingPolicy::kWriteThrough: {
+      // §4.1.1 batched: the whole batch is coalesced into one storage
+      // call; the cache is updated only for acknowledged writes and
+      // invalidated for failed ones.
+      write_through_->WriteBatch(keys, values, statuses);
+      std::vector<Slice> ok_keys, ok_values;
+      std::vector<uint32_t> ok_index;
+      for (size_t i = 0; i < n; ++i) {
+        if ((*statuses)[i].ok()) {
+          ok_keys.push_back(keys[i]);
+          ok_values.push_back(values[i]);
+          ok_index.push_back(static_cast<uint32_t>(i));
+        } else {
+          cache_->Delete(keys[i]);
+        }
+      }
+      std::vector<Status> cache_statuses;
+      cache_->MultiSet(ok_keys, ok_values, &cache_statuses);
+      for (size_t m = 0; m < ok_index.size(); ++m) {
+        (*statuses)[ok_index[m]] = cache_statuses[m];
+      }
+      break;
+    }
+
+    case CachingPolicy::kWriteBack: {
+      // §4.1.2 batched: update the cache immediately, then mark the whole
+      // batch dirty under one dirty-set lock acquisition.
+      std::vector<Status> cache_statuses;
+      cache_->MultiSet(keys, values, &cache_statuses);
+      std::vector<Slice> dirty_keys, dirty_values;
+      std::vector<uint32_t> dirty_index;
+      for (size_t i = 0; i < n; ++i) {
+        // OutOfSpace: the cache is full of pinned dirty entries; the dirty
+        // buffer still serves reads until the flush lands.
+        if (cache_statuses[i].ok() || cache_statuses[i].IsOutOfSpace()) {
+          dirty_keys.push_back(keys[i]);
+          dirty_values.push_back(values[i]);
+          dirty_index.push_back(static_cast<uint32_t>(i));
+        } else {
+          (*statuses)[i] = cache_statuses[i];
+        }
+      }
+      Status s = write_back_->MarkDirtyBatch(dirty_keys, dirty_values);
+      if (!s.ok()) {
+        for (uint32_t i : dirty_index) (*statuses)[i] = s;
+      }
+      break;
+    }
+  }
+
+  if (replicator_ != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      if ((*statuses)[i].ok()) {
+        replicator_->ReplicateSet(keys[i], values[i]);
+      }
+    }
+  }
 }
 
 Status TierBase::Delete(const Slice& key) {

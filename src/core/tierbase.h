@@ -49,6 +49,19 @@ class TierBase : public KvEngine {
   Status Set(const Slice& key, const Slice& value) override;
   Status Get(const Slice& key, std::string* value) override;
   Status Delete(const Slice& key) override;
+  /// Batched reads: one cache MultiGet, then (tiered policies) one dirty-
+  /// buffer pass and one batched storage MultiRead for the misses, with a
+  /// single batched cache populate.
+  void MultiGet(const std::vector<Slice>& keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses) override;
+  /// Batched writes under every caching policy: cache-only and WAL modes
+  /// use the cache's per-shard batching; write-through coalesces the batch
+  /// into one storage call; write-back marks the whole batch dirty under
+  /// one dirty-set lock.
+  void MultiSet(const std::vector<Slice>& keys,
+                const std::vector<Slice>& values,
+                std::vector<Status>* statuses) override;
   UsageStats GetUsage() const override;
   Status WaitIdle() override;
 

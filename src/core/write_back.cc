@@ -50,6 +50,31 @@ Status WriteBackManager::MarkDirty(const Slice& key, const Slice& value,
   return Status::OK();
 }
 
+Status WriteBackManager::MarkDirtyBatch(const std::vector<Slice>& keys,
+                                        const std::vector<Slice>& values) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (!flush_error_.ok()) return flush_error_;
+    while (dirty_.size() >= options_.max_dirty &&
+           dirty_.find(keys[i].ToString()) == dirty_.end()) {
+      ++stats_.backpressure_waits;
+      flush_cv_.notify_all();
+      space_cv_.wait(lock);
+      if (!flush_error_.ok()) return flush_error_;
+    }
+    ++stats_.updates;
+    auto [it, inserted] = dirty_.try_emplace(keys[i].ToString());
+    if (!inserted) ++stats_.merged_updates;
+    it->second.value = values[i].ToString();
+    it->second.is_delete = false;
+    it->second.gen = next_gen_++;
+  }
+  if (dirty_.size() >= options_.flush_threshold) {
+    flush_cv_.notify_all();
+  }
+  return Status::OK();
+}
+
 bool WriteBackManager::IsDirty(const Slice& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   return dirty_.find(key.ToString()) != dirty_.end();
@@ -63,6 +88,24 @@ bool WriteBackManager::GetDirty(const Slice& key, std::string* value,
   *value = it->second.value;
   *is_delete = it->second.is_delete;
   return true;
+}
+
+void WriteBackManager::GetDirtyBatch(const std::vector<Slice>& keys,
+                                     std::vector<bool>* found,
+                                     std::vector<std::string>* values,
+                                     std::vector<bool>* deletes) const {
+  const size_t n = keys.size();
+  found->assign(n, false);
+  values->assign(n, std::string());
+  deletes->assign(n, false);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < n; ++i) {
+    auto it = dirty_.find(keys[i].ToString());
+    if (it == dirty_.end()) continue;
+    (*found)[i] = true;
+    (*values)[i] = it->second.value;
+    (*deletes)[i] = it->second.is_delete;
+  }
 }
 
 Result<size_t> WriteBackManager::FlushBatch() {

@@ -10,6 +10,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "common/clock.h"
 #include "core/options.h"
@@ -28,6 +29,13 @@ class WriteBackManager {
   /// Blocks when max_dirty is reached (backpressure).
   Status MarkDirty(const Slice& key, const Slice& value, bool is_delete);
 
+  /// Batched MarkDirty for keys[i] = values[i]: the dirty-set mutex is
+  /// taken once for the whole batch (released only while backpressure
+  /// blocks mid-batch). Flush errors are sticky, so on one the batch
+  /// aborts immediately — the remaining ops would fail identically.
+  Status MarkDirtyBatch(const std::vector<Slice>& keys,
+                        const std::vector<Slice>& values);
+
   /// True while the key has an unflushed update; such keys must not be
   /// evicted from the cache (the eviction filter consults this).
   bool IsDirty(const Slice& key) const;
@@ -35,6 +43,13 @@ class WriteBackManager {
   /// Reads the dirty (not yet flushed) value if present. Lets reads see
   /// pending writes without touching storage.
   bool GetDirty(const Slice& key, std::string* value, bool* is_delete) const;
+
+  /// Batched GetDirty: one dirty-set lock acquisition for the whole
+  /// batch. found[i]/values[i]/deletes[i] are filled per key.
+  void GetDirtyBatch(const std::vector<Slice>& keys,
+                     std::vector<bool>* found,
+                     std::vector<std::string>* values,
+                     std::vector<bool>* deletes) const;
 
   /// Flushes everything and blocks until clean (shutdown, WaitIdle).
   Status FlushAll();

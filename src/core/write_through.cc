@@ -4,6 +4,27 @@
 
 namespace tierbase {
 
+void PerKeyCoalescer::DrainLocked(std::unique_lock<std::mutex>& lock,
+                                  const std::string& key, KeyState* ks) {
+  while (ks->pending) {
+    std::string v = ks->latest_value;
+    bool d = ks->latest_is_delete;
+    uint64_t g = ks->latest_gen;
+    ks->pending = false;
+    lock.unlock();
+    Status s = write_fn_(key, v, d);
+    lock.lock();
+    ++storage_writes_;
+    if (s.ok()) {
+      ks->flushed_gen = std::max(ks->flushed_gen, g);
+    } else {
+      ks->last_error = s;
+    }
+    ks->processed_gen = std::max(ks->processed_gen, g);
+    ks->cv.notify_all();
+  }
+}
+
 Status PerKeyCoalescer::Write(const Slice& key, const Slice& value,
                               bool is_delete) {
   std::unique_lock<std::mutex> lock(mu_);
@@ -29,23 +50,7 @@ Status PerKeyCoalescer::Write(const Slice& key, const Slice& value,
       // Leader: flush the latest pending value until none is newer. Each
       // storage write covers every generation at or below the one written.
       ks->in_flight = true;
-      while (ks->pending) {
-        std::string v = ks->latest_value;
-        bool d = ks->latest_is_delete;
-        uint64_t g = ks->latest_gen;
-        ks->pending = false;
-        lock.unlock();
-        Status s = write_fn_(key_str, v, d);
-        lock.lock();
-        ++storage_writes_;
-        if (s.ok()) {
-          ks->flushed_gen = std::max(ks->flushed_gen, g);
-        } else {
-          ks->last_error = s;
-        }
-        ks->processed_gen = std::max(ks->processed_gen, g);
-        ks->cv.notify_all();
-      }
+      DrainLocked(lock, key_str, ks);
       ks->in_flight = false;
       ks->cv.notify_all();
     } else {
@@ -81,9 +86,131 @@ Status PerKeyCoalescer::Write(const Slice& key, const Slice& value,
   return result;
 }
 
+void PerKeyCoalescer::WriteBatch(const std::vector<Slice>& keys,
+                                 const std::vector<Slice>& values,
+                                 std::vector<Status>* statuses) {
+  const size_t n = keys.size();
+  statuses->assign(n, Status::OK());
+  if (n == 0) return;
+  if (batch_write_fn_ == nullptr || !coalesce_) {
+    for (size_t i = 0; i < n; ++i) {
+      (*statuses)[i] = Write(keys[i], values[i], /*is_delete=*/false);
+    }
+    return;
+  }
+
+  // One registration per distinct key; later ops in the batch supersede
+  // earlier ones (intra-batch coalescing, last writer wins). Keys whose
+  // leader is already flushing are delegated to that leader — it will pick
+  // up our value from the pending slot, preserving per-key order. The
+  // remaining ("owned") keys go to storage as one batched call.
+  struct Reg {
+    KeyState* ks = nullptr;
+    uint64_t gen = 0;
+    size_t value_index = 0;
+    bool delegated = false;
+  };
+  std::vector<Reg> regs;
+  std::vector<std::string> reg_keys;
+  std::unordered_map<std::string, size_t> reg_of;  // key → regs index.
+  std::vector<size_t> reg_for_op(n);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  submitted_ += n;
+  for (size_t i = 0; i < n; ++i) {
+    std::string k = keys[i].ToString();
+    auto [it, inserted] = reg_of.emplace(std::move(k), regs.size());
+    if (inserted) {
+      auto key_it = keys_.find(it->first);
+      if (key_it == keys_.end()) {
+        key_it =
+            keys_.emplace(it->first, std::make_unique<KeyState>()).first;
+      }
+      Reg r;
+      r.ks = key_it->second.get();
+      ++r.ks->waiters;
+      r.value_index = i;
+      regs.push_back(r);
+      reg_keys.push_back(it->first);
+    } else {
+      regs[it->second].value_index = i;
+    }
+    reg_for_op[i] = it->second;
+  }
+
+  std::vector<BatchWrite> batch;
+  for (size_t r = 0; r < regs.size(); ++r) {
+    Reg& reg = regs[r];
+    reg.gen = reg.ks->next_gen++;
+    reg.ks->latest_value = values[reg.value_index].ToString();
+    reg.ks->latest_is_delete = false;
+    reg.ks->latest_gen = reg.gen;
+    if (reg.ks->in_flight) {
+      // An active leader will flush this value; wait for it below.
+      reg.ks->pending = true;
+      reg.delegated = true;
+    } else {
+      // We flush it ourselves as part of the batch. pending stays false so
+      // the value isn't flushed twice; a write arriving while the batch is
+      // on the wire sets pending again and we drain it afterwards.
+      reg.ks->in_flight = true;
+      reg.ks->pending = false;
+      batch.push_back({reg_keys[r], reg.ks->latest_value, false});
+    }
+  }
+
+  if (!batch.empty()) {
+    lock.unlock();
+    Status s = batch_write_fn_(batch);
+    lock.lock();
+    ++batch_calls_;
+    storage_writes_ += batch.size();
+    for (size_t r = 0; r < regs.size(); ++r) {
+      Reg& reg = regs[r];
+      if (reg.delegated) continue;
+      if (s.ok()) {
+        reg.ks->flushed_gen = std::max(reg.ks->flushed_gen, reg.gen);
+      } else {
+        reg.ks->last_error = s;
+      }
+      reg.ks->processed_gen = std::max(reg.ks->processed_gen, reg.gen);
+      reg.ks->cv.notify_all();
+      // Serve any writers that queued behind the batch, then step down.
+      DrainLocked(lock, reg_keys[r], reg.ks);
+      reg.ks->in_flight = false;
+      reg.ks->cv.notify_all();
+    }
+  }
+
+  for (size_t r = 0; r < regs.size(); ++r) {
+    Reg& reg = regs[r];
+    if (reg.delegated) {
+      reg.ks->cv.wait(lock,
+                      [&] { return reg.ks->processed_gen >= reg.gen; });
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const Reg& reg = regs[reg_for_op[i]];
+    (*statuses)[i] =
+        reg.ks->flushed_gen >= reg.gen
+            ? Status::OK()
+            : (reg.ks->last_error.ok()
+                   ? Status::IOError("write-through failed")
+                   : reg.ks->last_error);
+  }
+
+  for (size_t r = 0; r < regs.size(); ++r) {
+    KeyState* ks = regs[r].ks;
+    if (--ks->waiters == 0 && !ks->in_flight && !ks->pending) {
+      keys_.erase(reg_keys[r]);
+    }
+  }
+}
+
 PerKeyCoalescer::Stats PerKeyCoalescer::GetStats() const {
   std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mu_));
-  return Stats{submitted_, storage_writes_};
+  return Stats{submitted_, storage_writes_, batch_calls_};
 }
 
 }  // namespace tierbase

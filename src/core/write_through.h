@@ -19,6 +19,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/slice.h"
 #include "common/status.h"
@@ -32,17 +33,40 @@ class PerKeyCoalescer {
       std::function<Status(const Slice& key, const Slice& value,
                            bool is_delete)>;
 
-  explicit PerKeyCoalescer(StorageWriteFn write_fn, bool coalesce = true)
-      : write_fn_(std::move(write_fn)), coalesce_(coalesce) {}
+  /// One element of a batched storage write.
+  struct BatchWrite {
+    std::string key;
+    std::string value;
+    bool is_delete = false;
+  };
+  /// Pushes a whole batch to the storage tier in one remote call.
+  using BatchStorageWriteFn =
+      std::function<Status(const std::vector<BatchWrite>& ops)>;
+
+  explicit PerKeyCoalescer(StorageWriteFn write_fn, bool coalesce = true,
+                           BatchStorageWriteFn batch_write_fn = nullptr)
+      : write_fn_(std::move(write_fn)),
+        batch_write_fn_(std::move(batch_write_fn)),
+        coalesce_(coalesce) {}
 
   /// Write-through one update. Returns after a storage write covering this
   /// update (or a newer one for the same key) succeeds; on storage failure
   /// returns the error.
   Status Write(const Slice& key, const Slice& value, bool is_delete);
 
+  /// Write-through a batch: duplicate keys coalesce to the last value, the
+  /// surviving updates go to storage as ONE batched call, and updates to
+  /// keys with an in-flight leader are delegated to that leader (keeping
+  /// per-key ordering). Per-op outcomes land in statuses[i]. Falls back to
+  /// per-key Write when no batch function was supplied.
+  void WriteBatch(const std::vector<Slice>& keys,
+                  const std::vector<Slice>& values,
+                  std::vector<Status>* statuses);
+
   struct Stats {
     uint64_t submitted = 0;
     uint64_t storage_writes = 0;  // submitted - storage_writes = coalesced.
+    uint64_t batch_calls = 0;     // Remote calls made by WriteBatch.
   };
   Stats GetStats() const;
 
@@ -61,13 +85,21 @@ class PerKeyCoalescer {
     std::condition_variable cv;
   };
 
+  /// Leader drain loop: flushes the key's latest pending value until no
+  /// newer one arrives. Requires `lock` held; releases it around storage
+  /// calls. The caller owns ks->in_flight.
+  void DrainLocked(std::unique_lock<std::mutex>& lock,
+                   const std::string& key, KeyState* ks);
+
   StorageWriteFn write_fn_;
+  BatchStorageWriteFn batch_write_fn_;
   bool coalesce_;
 
   std::mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<KeyState>> keys_;
   uint64_t submitted_ = 0;
   uint64_t storage_writes_ = 0;
+  uint64_t batch_calls_ = 0;
 };
 
 }  // namespace tierbase

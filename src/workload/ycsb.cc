@@ -1,5 +1,6 @@
 #include "workload/ycsb.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <thread>
@@ -156,10 +157,162 @@ RunResult RunThreads(
   return result;
 }
 
+/// Batched run phase: each thread slices its op stream into batches of
+/// `batch_size`, splits every batch into its read and write halves and
+/// issues them as one MultiGet + one MultiSet. Per-batch latency lands in
+/// the histogram; errors/not-found aggregate per op.
+RunResult RunBatchedPhase(KvEngine* engine, const YcsbOptions& options,
+                          const RunnerOptions& runner) {
+  const size_t batch_size = static_cast<size_t>(runner.batch_size);
+  std::vector<std::unique_ptr<YcsbGenerator>> generators;
+  for (int t = 0; t < runner.threads; ++t) {
+    generators.push_back(
+        std::make_unique<YcsbGenerator>(options, static_cast<uint64_t>(t)));
+  }
+
+  std::vector<std::thread> workers;
+  std::vector<Histogram> histograms(static_cast<size_t>(runner.threads));
+  std::atomic<uint64_t> errors{0}, not_found{0}, ops_done{0};
+
+  Stopwatch watch;
+  for (int t = 0; t < runner.threads; ++t) {
+    workers.emplace_back([&, t] {
+      // Throttle per batch: a batch of K ops counts K ops against the
+      // per-thread share of target_qps.
+      Pacer pacer(runner.target_qps > 0
+                      ? runner.target_qps / runner.threads /
+                            static_cast<double>(batch_size)
+                      : 0,
+                  Clock::Real());
+      YcsbGenerator* gen = generators[static_cast<size_t>(t)].get();
+      uint64_t ops_for_me =
+          options.operation_count / static_cast<uint64_t>(runner.threads) +
+          (static_cast<uint64_t>(t) <
+                   options.operation_count %
+                       static_cast<uint64_t>(runner.threads)
+               ? 1
+               : 0);
+      // Reused across batches: the keys are stable strings, the Slices
+      // point into them.
+      std::vector<std::string> read_keys, write_keys, write_values;
+      std::vector<Slice> rk, wk, wv;
+      std::vector<std::string> read_out;
+      std::vector<Status> statuses;
+
+      uint64_t remaining = ops_for_me;
+      while (remaining > 0) {
+        pacer.Wait();
+        const size_t this_batch =
+            static_cast<size_t>(std::min<uint64_t>(remaining, batch_size));
+        read_keys.clear();
+        write_keys.clear();
+        write_values.clear();
+        for (size_t i = 0; i < this_batch; ++i) {
+          Op op = gen->Next();
+          if (op.type == OpType::kRead) {
+            read_keys.push_back(KeyFor(op.key_index));
+          } else {
+            write_keys.push_back(KeyFor(op.key_index));
+            write_values.push_back(gen->Value(op.key_index));
+          }
+        }
+        rk.assign(read_keys.begin(), read_keys.end());
+        wk.assign(write_keys.begin(), write_keys.end());
+        wv.assign(write_values.begin(), write_values.end());
+
+        uint64_t start = Clock::Real()->NowMicros();
+        if (!rk.empty()) {
+          engine->MultiGet(rk, &read_out, &statuses);
+          for (const Status& s : statuses) {
+            if (s.IsNotFound()) {
+              not_found.fetch_add(1, std::memory_order_relaxed);
+            } else if (!s.ok()) {
+              errors.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+        if (!wk.empty()) {
+          engine->MultiSet(wk, wv, &statuses);
+          for (const Status& s : statuses) {
+            if (!s.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        histograms[static_cast<size_t>(t)].Add(Clock::Real()->NowMicros() -
+                                               start);
+        ops_done.fetch_add(this_batch, std::memory_order_relaxed);
+        remaining -= this_batch;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  RunResult result;
+  result.seconds = watch.ElapsedSeconds();
+  result.ops = ops_done.load();
+  result.throughput =
+      result.seconds > 0 ? static_cast<double>(result.ops) / result.seconds
+                         : 0;
+  for (const auto& h : histograms) result.latency.Merge(h);
+  result.errors = errors.load();
+  result.not_found = not_found.load();
+  return result;
+}
+
 }  // namespace
 
 RunResult RunLoadPhase(KvEngine* engine, const YcsbOptions& options,
                        const RunnerOptions& runner) {
+  if (runner.batch_size > 1) {
+    // Batched load: contiguous index ranges per MultiSet call.
+    const size_t batch_size = static_cast<size_t>(runner.batch_size);
+    std::vector<std::thread> workers;
+    std::vector<Histogram> histograms(static_cast<size_t>(runner.threads));
+    std::atomic<uint64_t> errors{0};
+    Stopwatch watch;
+    for (int t = 0; t < runner.threads; ++t) {
+      workers.emplace_back([&, t] {
+        Pacer pacer(runner.target_qps > 0
+                        ? runner.target_qps / runner.threads /
+                              static_cast<double>(batch_size)
+                        : 0,
+                    Clock::Real());
+        std::vector<std::string> keys, values;
+        std::vector<Slice> ks, vs;
+        std::vector<Status> statuses;
+        for (uint64_t index = static_cast<uint64_t>(t);
+             index < options.record_count;) {
+          pacer.Wait();
+          keys.clear();
+          values.clear();
+          while (keys.size() < batch_size && index < options.record_count) {
+            keys.push_back(KeyFor(index));
+            values.push_back(MakeRecord(options.dataset, index));
+            index += static_cast<uint64_t>(runner.threads);
+          }
+          ks.assign(keys.begin(), keys.end());
+          vs.assign(values.begin(), values.end());
+          uint64_t start = Clock::Real()->NowMicros();
+          engine->MultiSet(ks, vs, &statuses);
+          histograms[static_cast<size_t>(t)].Add(
+              Clock::Real()->NowMicros() - start);
+          for (const Status& s : statuses) {
+            if (!s.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    RunResult result;
+    result.seconds = watch.ElapsedSeconds();
+    result.ops = options.record_count;
+    result.throughput =
+        result.seconds > 0
+            ? static_cast<double>(result.ops) / result.seconds
+            : 0;
+    for (const auto& h : histograms) result.latency.Merge(h);
+    result.errors = errors.load();
+    return result;
+  }
   return RunThreads(
       runner.threads, options.record_count, runner.target_qps,
       [&](int thread, uint64_t i) {
@@ -173,6 +326,9 @@ RunResult RunLoadPhase(KvEngine* engine, const YcsbOptions& options,
 
 RunResult RunPhase(KvEngine* engine, const YcsbOptions& options,
                    const RunnerOptions& runner) {
+  if (runner.batch_size > 1) {
+    return RunBatchedPhase(engine, options, runner);
+  }
   return RunPhaseWith(options, runner,
                       [&](const Op& op, const std::string& key,
                           const std::string& value) {

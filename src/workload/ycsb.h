@@ -90,6 +90,10 @@ struct RunnerOptions {
   int threads = 1;
   /// Target ops/sec across all threads; 0 = unthrottled (max throughput).
   double target_qps = 0;
+  /// Ops per engine call. > 1 routes reads through MultiGet and writes
+  /// through MultiSet so batched workloads exercise the engines' real
+  /// batch paths; latency is then recorded per batch.
+  int batch_size = 1;
 };
 
 /// Loads the dataset into `engine` (insert all records).

@@ -2,8 +2,10 @@
 // types, LRU eviction under a memory budget, the eviction filter used by
 // write-back, value compression, and DRAM/PMem split placement.
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -551,6 +553,216 @@ TEST(HashEngineTest, PmemWithCompressionComposes) {
     ASSERT_TRUE(engine.Get("key" + std::to_string(i), &value).ok());
     ASSERT_EQ(value, samples[i]);
   }
+}
+
+// --- Batched MultiGet / MultiSet. ---
+
+TEST(HashEngineTest, MultiSetMultiGetCrossShard) {
+  HashEngineOptions options;
+  options.shards = 8;
+  HashEngine engine(options);
+
+  std::vector<std::string> key_strs, value_strs;
+  for (int i = 0; i < 100; ++i) {
+    key_strs.push_back("mk" + std::to_string(i));
+    value_strs.push_back("mv" + std::to_string(i));
+  }
+  std::vector<Slice> keys(key_strs.begin(), key_strs.end());
+  std::vector<Slice> values(value_strs.begin(), value_strs.end());
+  std::vector<Status> statuses;
+  engine.MultiSet(keys, values, &statuses);
+  ASSERT_EQ(statuses.size(), keys.size());
+  for (const Status& s : statuses) ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(engine.GetUsage().keys, 100u);
+
+  // Mix present and missing keys in one batch.
+  key_strs.push_back("absent");
+  keys.assign(key_strs.begin(), key_strs.end());
+  std::vector<std::string> out;
+  engine.MultiGet(keys, &out, &statuses);
+  ASSERT_EQ(out.size(), 101u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(statuses[static_cast<size_t>(i)].ok());
+    EXPECT_EQ(out[static_cast<size_t>(i)], value_strs[static_cast<size_t>(i)]);
+  }
+  EXPECT_TRUE(statuses[100].IsNotFound());
+}
+
+TEST(HashEngineTest, MultiGetReportsExpiredMembersAsNotFound) {
+  ManualClock clock;
+  HashEngineOptions options;
+  options.clock = &clock;
+  options.shards = 4;
+  HashEngine engine(options);
+  ASSERT_TRUE(engine.SetEx("short", "v1", 100).ok());
+  ASSERT_TRUE(engine.SetEx("long", "v2", 10000).ok());
+  ASSERT_TRUE(engine.Set("forever", "v3").ok());
+  clock.Advance(500);
+
+  std::vector<Slice> keys = {"short", "long", "forever"};
+  std::vector<std::string> out;
+  std::vector<Status> statuses;
+  engine.MultiGet(keys, &out, &statuses);
+  EXPECT_TRUE(statuses[0].IsNotFound());  // Expired mid-batch.
+  ASSERT_TRUE(statuses[1].ok());
+  EXPECT_EQ(out[1], "v2");
+  ASSERT_TRUE(statuses[2].ok());
+  EXPECT_EQ(out[2], "v3");
+  EXPECT_GE(engine.expirations(), 1u);
+}
+
+TEST(HashEngineTest, MultiOpsTakeEachShardLockAtMostOncePerBatch) {
+  HashEngineOptions options;
+  options.shards = 4;
+  HashEngine engine(options);
+
+  std::vector<std::string> key_strs;
+  for (int i = 0; i < 64; ++i) key_strs.push_back("k" + std::to_string(i));
+  std::vector<Slice> keys(key_strs.begin(), key_strs.end());
+  std::vector<Slice> values(keys.size(), Slice("v"));
+  std::vector<Status> statuses;
+
+  engine.MultiSet(keys, values, &statuses);
+  uint64_t locks_after_set = engine.multi_shard_locks();
+  EXPECT_EQ(engine.multi_batches(), 1u);
+  EXPECT_LE(locks_after_set, 4u);  // ≤ one acquisition per shard.
+
+  std::vector<std::string> out;
+  engine.MultiGet(keys, &out, &statuses);
+  EXPECT_EQ(engine.multi_batches(), 2u);
+  EXPECT_LE(engine.multi_shard_locks() - locks_after_set, 4u);
+}
+
+TEST(HashEngineTest, MultiSetReportsPerKeyWrongTypeRecovery) {
+  HashEngine engine;
+  ASSERT_TRUE(engine.RPush("list", "x").ok());
+  std::vector<Slice> keys = {"list", "str"};
+  std::vector<Slice> values = {"v1", "v2"};
+  std::vector<Status> statuses;
+  // Redis SET semantics: a complex-typed key is overwritten.
+  engine.MultiSet(keys, values, &statuses);
+  ASSERT_TRUE(statuses[0].ok());
+  ASSERT_TRUE(statuses[1].ok());
+  std::string out;
+  ASSERT_TRUE(engine.Get("list", &out).ok());
+  EXPECT_EQ(out, "v1");
+
+  // MultiGet against a complex key reports the type error per key only.
+  ASSERT_TRUE(engine.RPush("l2", "x").ok());
+  keys = {"l2", "str"};
+  std::vector<std::string> outs;
+  engine.MultiGet(keys, &outs, &statuses);
+  EXPECT_TRUE(statuses[0].IsInvalidArgument());
+  EXPECT_TRUE(statuses[1].ok());
+}
+
+// Regression for the zero-allocation hot path: with no memory budget there
+// is no eviction, so reads must not maintain LRU recency (the lookup's
+// only side effect would have been the list splice — and before the
+// intrusive-LRU rewrite, a per-call key allocation).
+TEST(HashEngineTest, GetLeavesLruUntouchedWhenUnbudgeted) {
+  HashEngine unbudgeted;
+  ASSERT_TRUE(unbudgeted.Set("a", "1").ok());
+  ASSERT_TRUE(unbudgeted.Set("b", "2").ok());
+  std::string out;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(unbudgeted.Get("a", &out).ok());
+    ASSERT_TRUE(unbudgeted.Get("b", &out).ok());
+  }
+  EXPECT_EQ(unbudgeted.lru_touches(), 0u);
+
+  // With a budget the same access pattern must reorder the LRU.
+  HashEngineOptions options;
+  options.memory_budget = 1 << 20;
+  HashEngine budgeted(options);
+  ASSERT_TRUE(budgeted.Set("a", "1").ok());
+  ASSERT_TRUE(budgeted.Set("b", "2").ok());
+  ASSERT_TRUE(budgeted.Get("a", &out).ok());  // "a" is behind "b".
+  EXPECT_GT(budgeted.lru_touches(), 0u);
+}
+
+TEST(HashEngineTest, ShardCountRoundsUpToPowerOfTwo) {
+  HashEngineOptions options;
+  options.shards = 6;  // Rounds to 8.
+  options.memory_budget = 80 * 1024;
+  HashEngine engine(options);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        engine.Set("key" + std::to_string(i), std::string(100, 'v')).ok());
+  }
+  std::string out;
+  int found = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (engine.Get("key" + std::to_string(i), &out).ok()) ++found;
+  }
+  EXPECT_GT(found, 0);
+  EXPECT_LE(engine.GetUsage().memory_bytes, 80 * 1024u);
+}
+
+// The incremental complex-bytes tracking must agree with a full walk:
+// usage returns to its baseline after add/remove cycles across every
+// complex type, and rescoring a zset member is charge-neutral.
+TEST(HashEngineTest, ComplexChargeTracksIncrementally) {
+  HashEngine engine;
+
+  ASSERT_TRUE(engine.RPush("l", "elem").ok());
+  uint64_t one_elem = engine.GetUsage().memory_bytes;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(engine.RPush("l", "padding-" + std::to_string(i)).ok());
+  }
+  std::string out;
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(engine.RPop("l", &out).ok());
+  EXPECT_EQ(engine.GetUsage().memory_bytes, one_elem);
+
+  ASSERT_TRUE(engine.HSet("h", "f", "v").ok());
+  uint64_t one_field = engine.GetUsage().memory_bytes;
+  ASSERT_TRUE(engine.HSet("h", "f2", "second").ok());
+  ASSERT_TRUE(engine.HSet("h", "f2", "overwritten-longer").ok());
+  ASSERT_TRUE(engine.HDel("h", "f2").ok());
+  EXPECT_EQ(engine.GetUsage().memory_bytes, one_field);
+
+  ASSERT_TRUE(engine.ZAdd("z", 1.0, "m").ok());
+  uint64_t one_member = engine.GetUsage().memory_bytes;
+  ASSERT_TRUE(engine.ZAdd("z", 9.0, "m").ok());  // Rescore: no new bytes.
+  EXPECT_EQ(engine.GetUsage().memory_bytes, one_member);
+
+  ASSERT_TRUE(engine.SAdd("s", "m").ok());
+  uint64_t with_set = engine.GetUsage().memory_bytes;
+  ASSERT_TRUE(engine.SAdd("s", "m").ok());  // Duplicate: no new bytes.
+  EXPECT_EQ(engine.GetUsage().memory_bytes, with_set);
+  ASSERT_TRUE(engine.SAdd("s", "m2").ok());
+  ASSERT_TRUE(engine.SRem("s", "m2").ok());
+  EXPECT_EQ(engine.GetUsage().memory_bytes, with_set);
+}
+
+TEST(HashEngineTest, EvictionFilterSwapsWithoutStallingEviction) {
+  HashEngineOptions options;
+  options.shards = 1;
+  options.memory_budget = 32 * 1024;
+  HashEngine engine(options);
+  // Swap the filter concurrently with eviction-heavy writes; the eviction
+  // path reads the filter through an atomic shared_ptr, so this must be
+  // race-free (verified under TSan/ASan CI) and never deadlock.
+  std::atomic<bool> stop{false};
+  std::thread swapper([&] {
+    int flip = 0;
+    while (!stop.load()) {
+      if (++flip % 2 == 0) {
+        engine.SetEvictionFilter(
+            [](const Slice& key) { return !key.starts_with("pin"); });
+      } else {
+        engine.SetEvictionFilter(nullptr);
+      }
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(
+        engine.Set("key" + std::to_string(i), std::string(400, 'x')).ok());
+  }
+  stop.store(true);
+  swapper.join();
+  EXPECT_GT(engine.evictions(), 0u);
+  EXPECT_LE(engine.GetUsage().memory_bytes, 32 * 1024u);
 }
 
 }  // namespace

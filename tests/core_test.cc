@@ -766,6 +766,89 @@ TEST_P(PolicyDifferentialTest, MatchesModelUnderRandomOps) {
   env::RemoveDirRecursive(dir);
 }
 
+// MultiGet/MultiSet must agree with the single-op model under every
+// caching policy, including mixed hit/miss/dirty batches.
+TEST_P(PolicyDifferentialTest, MultiOpsMatchModel) {
+  const CachingPolicy policy = GetParam().policy;
+  std::string dir = env::MakeTempDir("tb_policy_multi");
+
+  PmemOptions pmem_options;
+  pmem_options.capacity = 8 << 20;
+  pmem_options.inject_latency = false;
+  auto device = PmemDevice::Create(pmem_options);
+  ASSERT_TRUE(device.ok());
+
+  MockStorageAdapter storage;
+  TierBaseOptions options;
+  options.policy = policy;
+  options.cache.shards = 4;
+  options.wal_dir = dir;
+  options.wal_pmem_device = device->get();
+  options.write_back.flush_interval_micros = 5'000;
+  options.deferred_fetch.batch_window_micros = 0;
+
+  bool tiered = policy == CachingPolicy::kWriteThrough ||
+                policy == CachingPolicy::kWriteBack;
+  auto db = TierBase::Open(options, tiered ? &storage : nullptr);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  Random rng(77);
+  std::map<std::string, std::string> model;
+  for (int round = 0; round < 60; ++round) {
+    std::vector<std::string> key_strs, value_strs;
+    for (int i = 0; i < 16; ++i) {
+      key_strs.push_back("key" + std::to_string(rng.Uniform(200)));
+      value_strs.push_back("v" + std::to_string(round) + "-" +
+                           std::to_string(i));
+    }
+    std::vector<Slice> keys(key_strs.begin(), key_strs.end());
+    if (round % 3 != 0) {
+      std::vector<Slice> values(value_strs.begin(), value_strs.end());
+      std::vector<Status> statuses;
+      (*db)->MultiSet(keys, values, &statuses);
+      for (size_t i = 0; i < keys.size(); ++i) {
+        ASSERT_TRUE(statuses[i].ok())
+            << GetParam().name << " " << key_strs[i] << " "
+            << statuses[i].ToString();
+        model[key_strs[i]] = value_strs[i];
+      }
+      // Exercise single-op Delete between batches.
+      if (round % 6 == 1 && !model.empty()) {
+        std::string victim = model.begin()->first;
+        (*db)->Delete(victim);
+        model.erase(victim);
+      }
+    } else {
+      key_strs.push_back("never-written-" + std::to_string(round));
+      keys.assign(key_strs.begin(), key_strs.end());
+      std::vector<std::string> out;
+      std::vector<Status> statuses;
+      (*db)->MultiGet(keys, &out, &statuses);
+      for (size_t i = 0; i < keys.size(); ++i) {
+        auto it = model.find(key_strs[i]);
+        if (it == model.end()) {
+          ASSERT_TRUE(statuses[i].IsNotFound())
+              << GetParam().name << " " << key_strs[i] << " "
+              << statuses[i].ToString();
+        } else {
+          ASSERT_TRUE(statuses[i].ok())
+              << GetParam().name << " " << key_strs[i] << " "
+              << statuses[i].ToString();
+          ASSERT_EQ(out[i], it->second) << GetParam().name;
+        }
+      }
+    }
+  }
+  ASSERT_TRUE((*db)->WaitIdle().ok());
+  for (const auto& [key, expected] : model) {
+    std::string value;
+    ASSERT_TRUE((*db)->Get(key, &value).ok()) << GetParam().name << " " << key;
+    ASSERT_EQ(value, expected) << GetParam().name << " " << key;
+  }
+  db.value().reset();
+  env::RemoveDirRecursive(dir);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllPolicies, PolicyDifferentialTest,
     ::testing::Values(PolicyParam{CachingPolicy::kCacheOnly, "cache_only"},
@@ -777,6 +860,160 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<PolicyParam>& info) {
       return std::string(info.param.name);
     });
+
+// --- Batched-path plumbing details. ---
+
+TEST(TierBaseMultiOpsTest, WriteThroughMultiSetCoalescesToOneStorageCall) {
+  MockStorageAdapter storage;
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteThrough;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+
+  std::vector<std::string> key_strs, value_strs;
+  for (int i = 0; i < 32; ++i) {
+    key_strs.push_back("wt" + std::to_string(i));
+    value_strs.push_back("v" + std::to_string(i));
+  }
+  // Duplicate key inside the batch: the later value must win after
+  // intra-batch coalescing.
+  key_strs.push_back("wt0");
+  value_strs.push_back("v0-final");
+  std::vector<Slice> keys(key_strs.begin(), key_strs.end());
+  std::vector<Slice> values(value_strs.begin(), value_strs.end());
+  std::vector<Status> statuses;
+  (*db)->MultiSet(keys, values, &statuses);
+  for (const Status& s : statuses) ASSERT_TRUE(s.ok()) << s.ToString();
+
+  auto counters = storage.counters();
+  EXPECT_EQ(counters.batch_calls, 1u);  // One remote call for the batch.
+  EXPECT_EQ(counters.writes, 32u);      // 32 distinct keys; dup coalesced.
+
+  auto stats = (*db)->GetStats();
+  EXPECT_EQ(stats.write_through.batch_calls, 1u);
+  EXPECT_EQ(stats.write_through.submitted, 33u);
+  EXPECT_EQ(stats.write_through.storage_writes, 32u);  // Dup coalesced.
+
+  std::string value;
+  ASSERT_TRUE(storage.Read("wt0", &value).ok());
+  EXPECT_EQ(value, "v0-final");
+  ASSERT_TRUE((*db)->Get("wt0", &value).ok());
+  EXPECT_EQ(value, "v0-final");
+}
+
+TEST(TierBaseMultiOpsTest, WriteBackMultiSetMarksBatchDirty) {
+  MockStorageAdapter storage;
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteBack;
+  options.write_back.flush_threshold = 1000;           // No early flush.
+  options.write_back.flush_interval_micros = 10'000'000;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+
+  std::vector<std::string> key_strs, value_strs;
+  for (int i = 0; i < 20; ++i) {
+    key_strs.push_back("wb" + std::to_string(i));
+    value_strs.push_back("v" + std::to_string(i));
+  }
+  std::vector<Slice> keys(key_strs.begin(), key_strs.end());
+  std::vector<Slice> values(value_strs.begin(), value_strs.end());
+  std::vector<Status> statuses;
+  (*db)->MultiSet(keys, values, &statuses);
+  for (const Status& s : statuses) ASSERT_TRUE(s.ok());
+
+  // Every key is dirty (accounted) and storage untouched until the flush.
+  auto stats = (*db)->GetStats();
+  EXPECT_EQ(stats.write_back.updates, 20u);
+  EXPECT_EQ(storage.size(), 0u);
+
+  // MultiGet serves the batch from the cache tier (no storage reads).
+  std::vector<std::string> out;
+  (*db)->MultiGet(keys, &out, &statuses);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(statuses[i].ok());
+    EXPECT_EQ(out[i], value_strs[i]);
+  }
+  EXPECT_EQ(storage.counters().reads, 0u);
+
+  ASSERT_TRUE((*db)->WaitIdle().ok());
+  EXPECT_EQ(storage.size(), 20u);
+  auto flushed = (*db)->GetStats().write_back;
+  EXPECT_EQ(flushed.flushed_ops, 20u);
+}
+
+TEST(TierBaseMultiOpsTest, WriteBackMultiGetServesDirtyAfterEviction) {
+  MockStorageAdapter storage;
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteBack;
+  options.cache.memory_budget = 4 * 1024;  // Tiny: forces OutOfSpace.
+  options.write_back.flush_threshold = 100000;
+  options.write_back.flush_interval_micros = 10'000'000;
+  options.write_back.max_dirty = 100000;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+
+  // Far more dirty data than the cache holds: the overflow lives only in
+  // the dirty buffer, and MultiGet must still return every value.
+  std::vector<std::string> key_strs, value_strs;
+  for (int i = 0; i < 60; ++i) {
+    key_strs.push_back("spill" + std::to_string(i));
+    value_strs.push_back(std::string(200, 'a' + (i % 26)));
+  }
+  std::vector<Slice> keys(key_strs.begin(), key_strs.end());
+  std::vector<Slice> values(value_strs.begin(), value_strs.end());
+  std::vector<Status> statuses;
+  (*db)->MultiSet(keys, values, &statuses);
+  for (const Status& s : statuses) ASSERT_TRUE(s.ok()) << s.ToString();
+
+  std::vector<std::string> out;
+  (*db)->MultiGet(keys, &out, &statuses);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(statuses[i].ok()) << key_strs[i];
+    EXPECT_EQ(out[i], value_strs[i]);
+  }
+  EXPECT_EQ(storage.counters().reads, 0u);  // Dirty buffer, not storage.
+}
+
+TEST(TierBaseMultiOpsTest, MultiGetMissesFetchInOneBatchAndPopulate) {
+  MockStorageAdapter storage;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        storage.Write("cold" + std::to_string(i), "s" + std::to_string(i))
+            .ok());
+  }
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteThrough;
+  options.deferred_fetch.batch_window_micros = 0;
+  options.deferred_fetch.max_batch = 64;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok());
+
+  std::vector<std::string> key_strs;
+  for (int i = 0; i < 40; ++i) key_strs.push_back("cold" + std::to_string(i));
+  key_strs.push_back("missing-everywhere");
+  std::vector<Slice> keys(key_strs.begin(), key_strs.end());
+  std::vector<std::string> out;
+  std::vector<Status> statuses;
+  (*db)->MultiGet(keys, &out, &statuses);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(statuses[static_cast<size_t>(i)].ok());
+    EXPECT_EQ(out[static_cast<size_t>(i)], "s" + std::to_string(i));
+  }
+  EXPECT_TRUE(statuses[40].IsNotFound());
+  // All 41 misses were served by one batched MultiRead round trip.
+  EXPECT_EQ(storage.counters().batch_calls, 1u);
+
+  // The fetched values were batch-populated: a second MultiGet is all
+  // cache hits with no further storage traffic.
+  auto batch_calls_before = storage.counters().batch_calls;
+  (*db)->MultiGet(keys, &out, &statuses);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(statuses[static_cast<size_t>(i)].ok());
+  }
+  EXPECT_GE((*db)->GetStats().storage_populates, 40u);
+  // Only the still-missing key goes back to storage.
+  EXPECT_LE(storage.counters().batch_calls, batch_calls_before + 1);
+}
 
 }  // namespace
 }  // namespace tierbase

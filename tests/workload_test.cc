@@ -235,6 +235,22 @@ TEST(RunnerTest, ThrottledRunApproximatesTargetQps) {
   EXPECT_NEAR(result.throughput, 10000, 4000);
 }
 
+TEST(RunnerTest, BatchModeHonorsTargetQps) {
+  cache::HashEngine engine;
+  YcsbOptions options = WorkloadC();
+  options.record_count = 100;
+  options.operation_count = 2000;
+  RunnerOptions load_runner;
+  RunLoadPhase(&engine, options, load_runner);
+  RunnerOptions runner;
+  runner.batch_size = 20;
+  runner.target_qps = 10000;
+  RunResult result = RunPhase(&engine, options, runner);
+  // Unthrottled this engine does millions of ops/sec; throttled batches
+  // (100 batches at 500 batches/sec) must land near the target.
+  EXPECT_NEAR(result.throughput, 10000, 4000);
+}
+
 TEST(RunnerTest, RunPhaseWithClosure) {
   YcsbOptions options = WorkloadA();
   options.record_count = 100;
@@ -512,6 +528,45 @@ TEST(RecorderTest, ConcurrentRecordingIsSafe) {
   EXPECT_EQ(recorder.recorded_ops(), 8000u);
   DatasetOptions dataset;
   EXPECT_EQ(recorder.ToTrace(dataset).key_space, 50u);
+}
+
+TEST(YcsbTest, BatchModeDrivesMultiOpsAndMatchesSingleOpResults) {
+  cache::HashEngineOptions cache_options;
+  cache_options.shards = 4;
+  cache::HashEngine engine(cache_options);
+
+  YcsbOptions workload = WorkloadB();
+  workload.record_count = 2000;
+  workload.operation_count = 8000;
+
+  RunnerOptions batched;
+  batched.threads = 2;
+  batched.batch_size = 16;
+  RunResult load = RunLoadPhase(&engine, workload, batched);
+  EXPECT_EQ(load.ops, workload.record_count);
+  EXPECT_EQ(load.errors, 0u);
+  EXPECT_EQ(engine.GetUsage().keys, workload.record_count);
+  EXPECT_GT(engine.multi_batches(), 0u);  // The real batch path ran.
+
+  uint64_t batches_before_run = engine.multi_batches();
+  RunResult run = RunPhase(&engine, workload, batched);
+  EXPECT_EQ(run.ops, workload.operation_count);
+  EXPECT_EQ(run.errors, 0u);
+  EXPECT_EQ(run.not_found, 0u);  // Every key was loaded.
+  EXPECT_GT(engine.multi_batches(), batches_before_run);
+  EXPECT_GT(run.throughput, 0.0);
+  EXPECT_GT(run.latency.Count(), 0u);
+
+  // The batched runner visits the same loaded key space: a fresh engine
+  // driven with batch_size == 1 agrees on the not-found count.
+  cache::HashEngine single_engine(cache_options);
+  RunnerOptions single;
+  single.threads = 2;
+  RunResult single_load = RunLoadPhase(&single_engine, workload, single);
+  EXPECT_EQ(single_load.errors, 0u);
+  RunResult single_run = RunPhase(&single_engine, workload, single);
+  EXPECT_EQ(single_run.not_found, run.not_found);
+  EXPECT_EQ(single_run.errors, 0u);
 }
 
 }  // namespace
