@@ -1,0 +1,255 @@
+// bench_server: loopback throughput/latency for the RESP front end.
+//
+// Boots an in-process tierbase server (cache-only TierBase, 4 shards,
+// kSingle executor — the paper's one-event-loop-per-instance shape) and
+// drives GET/SET traffic over 127.0.0.1 with 1-4 client connections,
+// unpipelined (depth 1: one request per round trip) and pipelined
+// (depth 32: the client batches 32 requests per flush, which the event
+// loop dispatches as one batch and the command table coalesces into one
+// MultiGet/MultiSet). The pipelined-vs-unpipelined gap is the headline:
+// it is the network-visible form of the PR-2 batching work.
+//
+// Emits machine-readable JSON (stdout, or --json <path>); the committed
+// baseline lives in BENCH_server.json. Latency percentiles are per round
+// trip (per batch at depth 32).
+//
+// Flags: --smoke (tiny op counts, CI bit-rot guard), --json <path>,
+//        --records N, --ops N (ops per pipelined row; unpipelined rows
+//        run ops/8).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "core/tierbase.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workload/ycsb.h"
+
+namespace tierbase {
+namespace bench {
+namespace {
+
+struct Row {
+  std::string op;
+  int connections = 1;
+  int pipeline = 1;
+  double kops = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+std::string BenchKey(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "k%015llu", static_cast<unsigned long long>(i));
+  return buf;
+}
+
+/// One client thread: `ops` operations against `port`, `pipeline` per
+/// round trip. Returns the per-round-trip latency histogram (micros).
+Histogram RunClient(uint16_t port, const std::string& op, uint64_t records,
+                    uint64_t ops, int pipeline, uint64_t seed,
+                    bool* failed) {
+  Histogram latency;
+  server::Client client;
+  if (!client.Connect("127.0.0.1", port).ok()) {
+    *failed = true;
+    return latency;
+  }
+  Random rng(seed);
+  const std::string value(100, 'v');
+  server::RespValue reply;
+  uint64_t remaining = ops;
+  while (remaining > 0) {
+    const int batch = static_cast<int>(
+        std::min<uint64_t>(remaining, static_cast<uint64_t>(pipeline)));
+    for (int i = 0; i < batch; ++i) {
+      std::string key = BenchKey(rng.Uniform(records));
+      if (op == "get") {
+        client.Append({"GET", key});
+      } else {
+        client.Append({"SET", key, value});
+      }
+    }
+    const uint64_t start = Clock::Real()->NowMicros();
+    if (!client.Flush().ok()) {
+      *failed = true;
+      return latency;
+    }
+    for (int i = 0; i < batch; ++i) {
+      if (!client.ReadReply(&reply).ok() || reply.IsError()) {
+        *failed = true;
+        return latency;
+      }
+    }
+    latency.Add(Clock::Real()->NowMicros() - start);
+    remaining -= static_cast<uint64_t>(batch);
+  }
+  return latency;
+}
+
+void EmitJson(FILE* f, uint64_t records, uint64_t ops,
+              const std::vector<Row>& rows) {
+  fprintf(f, "{\n");
+  fprintf(f, "  \"bench\": \"server\",\n");
+  fprintf(f, "  \"transport\": \"tcp-loopback\",\n");
+  fprintf(f, "  \"value_bytes\": 100,\n");
+  fprintf(f, "  \"records\": %" PRIu64 ",\n", records);
+  fprintf(f, "  \"ops_pipelined_row\": %" PRIu64 ",\n", ops);
+  fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    fprintf(f,
+            "    {\"op\": \"%s\", \"connections\": %d, \"pipeline\": %d, "
+            "\"kops\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+            r.op.c_str(), r.connections, r.pipeline, r.kops, r.p50_us,
+            r.p99_us, i + 1 < rows.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+}
+
+int Main(int argc, char** argv) {
+  uint64_t records = 100000;
+  uint64_t ops = 400000;  // Per pipelined row; unpipelined rows run ops/8.
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--smoke") == 0) {
+      records = 2000;
+      ops = 4000;
+    } else if (strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
+      records = strtoull(argv[++i], nullptr, 10);
+    } else if (strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+      ops = strtoull(argv[++i], nullptr, 10);
+    } else {
+      fprintf(stderr,
+              "usage: %s [--smoke] [--json path] [--records N] [--ops N]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kCacheOnly;
+  options.cache.shards = 4;
+  auto db = TierBase::Open(options, nullptr);
+  if (!db.ok()) {
+    fprintf(stderr, "tierbase: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  server::ServerOptions server_options;
+  server_options.net.port = 0;
+  server_options.executor.mode = threading::ThreadMode::kSingle;
+  server::Server srv(db->get(), server_options);
+  Status s = srv.Start();
+  if (!s.ok()) {
+    fprintf(stderr, "server: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  {  // Preload every key via one pipelined connection.
+    server::Client client;
+    if (!client.Connect("127.0.0.1", srv.port()).ok()) {
+      fprintf(stderr, "preload connect failed\n");
+      return 1;
+    }
+    const std::string value(100, 'v');
+    server::RespValue reply;
+    constexpr uint64_t kLoadBatch = 64;
+    for (uint64_t i = 0; i < records; i += kLoadBatch) {
+      const uint64_t end = std::min(records, i + kLoadBatch);
+      for (uint64_t j = i; j < end; ++j) {
+        client.Append({"SET", BenchKey(j), value});
+      }
+      if (!client.Flush().ok()) {
+        fprintf(stderr, "preload failed\n");
+        return 1;
+      }
+      for (uint64_t j = i; j < end; ++j) {
+        if (!client.ReadReply(&reply).ok() || reply.IsError()) {
+          fprintf(stderr, "preload failed\n");
+          return 1;
+        }
+      }
+    }
+  }
+
+  std::vector<Row> rows;
+  for (const char* op : {"get", "set"}) {
+    for (int connections : {1, 2, 4}) {
+      for (int pipeline : {1, 32}) {
+        const uint64_t row_ops = pipeline == 1 ? ops / 8 : ops;
+        const uint64_t per_conn =
+            row_ops / static_cast<uint64_t>(connections);
+        std::vector<std::thread> threads;
+        std::vector<Histogram> latencies(static_cast<size_t>(connections));
+        std::vector<bool> failed(static_cast<size_t>(connections), false);
+        Stopwatch watch;
+        for (int c = 0; c < connections; ++c) {
+          threads.emplace_back([&, c] {
+            bool f = false;
+            latencies[static_cast<size_t>(c)] =
+                RunClient(srv.port(), op, records, per_conn, pipeline,
+                          100 + static_cast<uint64_t>(c), &f);
+            failed[static_cast<size_t>(c)] = f;
+          });
+        }
+        for (auto& t : threads) t.join();
+        const double seconds = watch.ElapsedSeconds();
+        for (bool f : failed) {
+          if (f) {
+            fprintf(stderr, "client failed (%s c=%d p=%d)\n", op,
+                    connections, pipeline);
+            return 1;
+          }
+        }
+        Histogram merged;
+        for (const Histogram& h : latencies) merged.Merge(h);
+        Row row;
+        row.op = op;
+        row.connections = connections;
+        row.pipeline = pipeline;
+        const uint64_t total =
+            per_conn * static_cast<uint64_t>(connections);
+        row.kops =
+            seconds > 0 ? static_cast<double>(total) / seconds / 1e3 : 0;
+        row.p50_us = static_cast<double>(merged.Percentile(0.50));
+        row.p99_us = static_cast<double>(merged.Percentile(0.99));
+        rows.push_back(row);
+        printf("%-4s conns=%d pipeline=%-3d %10.1f kops  p50=%6.0fus "
+               "p99=%6.0fus\n",
+               op, connections, pipeline, row.kops, row.p50_us, row.p99_us);
+        fflush(stdout);
+      }
+    }
+  }
+
+  srv.Stop();
+
+  if (!json_path.empty()) {
+    FILE* f = fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    EmitJson(f, records, ops, rows);
+    fclose(f);
+    printf("JSON written to %s\n", json_path.c_str());
+  } else {
+    EmitJson(stdout, records, ops, rows);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tierbase
+
+int main(int argc, char** argv) { return tierbase::bench::Main(argc, argv); }

@@ -1,0 +1,147 @@
+// tierbase_cli: a minimal redis-cli-style client for tierbase_server.
+//
+//   ./build/tierbase_cli -p 6380 PING              # one-shot command
+//   ./build/tierbase_cli -p 6380 SET user:1 alice
+//   ./build/tierbase_cli -p 6380                   # REPL on stdin
+//
+// Flags: -h/--host HOST (default 127.0.0.1), -p/--port PORT (default
+// 6380). Replies print in redis-cli notation: simple strings bare, bulk
+// strings quoted, integers as "(integer) n", errors as "(error) ...",
+// arrays numbered.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tierbase/server.h"
+
+using namespace tierbase;
+
+namespace {
+
+void PrintReply(const server::RespValue& v, int indent) {
+  using Type = server::RespValue::Type;
+  switch (v.type) {
+    case Type::kSimpleString:
+      printf("%s\n", v.str.c_str());
+      break;
+    case Type::kError:
+      printf("(error) %s\n", v.str.c_str());
+      break;
+    case Type::kInteger:
+      printf("(integer) %lld\n", static_cast<long long>(v.integer));
+      break;
+    case Type::kBulkString:
+      printf("\"%s\"\n", v.str.c_str());
+      break;
+    case Type::kNull:
+      printf("(nil)\n");
+      break;
+    case Type::kArray:
+      if (v.elements.empty()) {
+        printf("(empty array)\n");
+        break;
+      }
+      for (size_t i = 0; i < v.elements.size(); ++i) {
+        if (i > 0 && indent > 0) printf("%*s", indent, "");
+        printf("%zu) ", i + 1);
+        PrintReply(v.elements[i], indent + static_cast<int>(i < 9 ? 3 : 4));
+      }
+      break;
+  }
+}
+
+/// Splits a REPL line on whitespace, honouring double quotes.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size()) break;
+    std::string token;
+    if (line[i] == '"') {
+      ++i;
+      while (i < line.size() && line[i] != '"') token.push_back(line[i++]);
+      if (i < line.size()) ++i;  // Closing quote.
+    } else {
+      while (i < line.size() &&
+             !isspace(static_cast<unsigned char>(line[i]))) {
+        token.push_back(line[i++]);
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+int RunCommand(server::Client* client, const std::vector<std::string>& words) {
+  std::vector<Slice> args(words.begin(), words.end());
+  server::RespValue reply;
+  Status s = client->Call(args, &reply);
+  if (!s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  PrintReply(reply, 0);
+  return reply.IsError() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 6380;
+  int i = 1;
+  for (; i < argc; ++i) {
+    if ((strcmp(argv[i], "-h") == 0 || strcmp(argv[i], "--host") == 0) &&
+        i + 1 < argc) {
+      host = argv[++i];
+    } else if ((strcmp(argv[i], "-p") == 0 ||
+                strcmp(argv[i], "--port") == 0) &&
+               i + 1 < argc) {
+      port = atoi(argv[++i]);
+    } else {
+      break;  // First command word.
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    fprintf(stderr, "bad port\n");
+    return 2;
+  }
+
+  server::Client client;
+  Status s = client.Connect(host, static_cast<uint16_t>(port));
+  if (!s.ok()) {
+    fprintf(stderr, "connect %s:%d: %s\n", host.c_str(), port,
+            s.ToString().c_str());
+    return 1;
+  }
+
+  if (i < argc) {
+    // One-shot: remaining argv is the command.
+    std::vector<std::string> words;
+    for (; i < argc; ++i) words.emplace_back(argv[i]);
+    return RunCommand(&client, words);
+  }
+
+  // REPL.
+  char line[4096];
+  for (;;) {
+    printf("%s:%d> ", host.c_str(), port);
+    fflush(stdout);
+    if (fgets(line, sizeof(line), stdin) == nullptr) break;
+    std::vector<std::string> words = Tokenize(line);
+    if (words.empty()) continue;
+    if (words.size() == 1 &&
+        (words[0] == "exit" || words[0] == "quit")) {
+      break;
+    }
+    RunCommand(&client, words);
+    if (!client.connected()) break;  // Server closed (e.g. SHUTDOWN).
+  }
+  return 0;
+}

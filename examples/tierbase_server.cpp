@@ -1,0 +1,180 @@
+// tierbase_server: a standalone RESP-speaking TierBase data node.
+//
+//   ./build/tierbase_server                        # cache-only on :6380
+//   ./build/tierbase_server --port 0 --port-file p # ephemeral port -> file
+//   ./build/tierbase_server --policy write-back --dir /tmp/tb
+//   redis-cli -p 6380 ping
+//
+// Flags:
+//   --host H            bind address          (default 127.0.0.1)
+//   --port N            listen port; 0 = ephemeral (default 6380)
+//   --port-file PATH    write the bound port to PATH once listening
+//   --policy P          cache-only | wal | write-through | write-back
+//   --dir PATH          data directory (WAL / LSM storage tier)
+//   --threads MODE      single | multi | elastic (default elastic)
+//   --max-threads N     executor thread cap (default 4)
+//   --shards N          cache shards (default 4)
+//   --memory-budget B   cache budget in bytes; 0 = unlimited (default 0)
+//
+// The process exits when a client issues SHUTDOWN (or on SIGINT/SIGTERM).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/env.h"
+#include "tierbase/server.h"
+#include "tierbase/tierbase.h"
+
+using namespace tierbase;
+
+namespace {
+
+server::EventLoop* g_loop = nullptr;
+
+void HandleSignal(int) {
+  // Only the async-signal-safe half of shutdown: an atomic store plus a
+  // self-pipe write. The main thread's Wait() then returns and performs
+  // the joins (Server::Stop would join threads — not signal-safe).
+  if (g_loop != nullptr) g_loop->Stop();
+}
+
+int Usage(const char* argv0) {
+  fprintf(stderr,
+          "usage: %s [--host H] [--port N] [--port-file PATH]\n"
+          "          [--policy cache-only|wal|write-through|write-back]\n"
+          "          [--dir PATH] [--threads single|multi|elastic]\n"
+          "          [--max-threads N] [--shards N] [--memory-budget B]\n",
+          argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 6380;
+  std::string port_file;
+  std::string policy = "cache-only";
+  std::string dir;
+  std::string threads = "elastic";
+  int max_threads = 4;
+  int shards = 4;
+  size_t memory_budget = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        fprintf(stderr, "%s needs a value\n", flag);
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (strcmp(argv[i], "--host") == 0) {
+      host = next("--host");
+    } else if (strcmp(argv[i], "--port") == 0) {
+      port = atoi(next("--port"));
+    } else if (strcmp(argv[i], "--port-file") == 0) {
+      port_file = next("--port-file");
+    } else if (strcmp(argv[i], "--policy") == 0) {
+      policy = next("--policy");
+    } else if (strcmp(argv[i], "--dir") == 0) {
+      dir = next("--dir");
+    } else if (strcmp(argv[i], "--threads") == 0) {
+      threads = next("--threads");
+    } else if (strcmp(argv[i], "--max-threads") == 0) {
+      max_threads = atoi(next("--max-threads"));
+    } else if (strcmp(argv[i], "--shards") == 0) {
+      shards = atoi(next("--shards"));
+    } else if (strcmp(argv[i], "--memory-budget") == 0) {
+      memory_budget = strtoull(next("--memory-budget"), nullptr, 10);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (port < 0 || port > 65535) return Usage(argv[0]);
+
+  TierBaseOptions options;
+  options.cache.shards = shards;
+  options.cache.memory_budget = memory_budget;
+
+  Result<std::unique_ptr<LsmStorageAdapter>> storage{
+      std::unique_ptr<LsmStorageAdapter>()};
+  if (policy == "cache-only") {
+    options.policy = CachingPolicy::kCacheOnly;
+  } else if (policy == "wal") {
+    options.policy = CachingPolicy::kWalFile;
+    if (dir.empty()) dir = env::MakeTempDir("tb_server");
+    options.wal_dir = dir;
+  } else if (policy == "write-through" || policy == "write-back") {
+    options.policy = policy == "write-through" ? CachingPolicy::kWriteThrough
+                                               : CachingPolicy::kWriteBack;
+    if (dir.empty()) dir = env::MakeTempDir("tb_server");
+    Status mk = env::CreateDirIfMissing(dir);
+    if (!mk.ok()) {
+      fprintf(stderr, "data dir: %s\n", mk.ToString().c_str());
+      return 1;
+    }
+    lsm::LsmOptions lsm_options;
+    lsm_options.dir = dir + "/storage";
+    storage = LsmStorageAdapter::Open(lsm_options);
+    if (!storage.ok()) {
+      fprintf(stderr, "storage tier: %s\n",
+              storage.status().ToString().c_str());
+      return 1;
+    }
+  } else {
+    return Usage(argv[0]);
+  }
+
+  auto db = TierBase::Open(options, storage.ok() ? storage->get() : nullptr);
+  if (!db.ok()) {
+    fprintf(stderr, "tierbase: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  server::ServerOptions server_options;
+  server_options.net.host = host;
+  server_options.net.port = static_cast<uint16_t>(port);
+  if (threads == "single") {
+    server_options.executor.mode = threading::ThreadMode::kSingle;
+  } else if (threads == "multi") {
+    server_options.executor.mode = threading::ThreadMode::kMulti;
+  } else if (threads == "elastic") {
+    server_options.executor.mode = threading::ThreadMode::kElastic;
+  } else {
+    return Usage(argv[0]);
+  }
+  server_options.executor.max_threads = max_threads;
+
+  server::Server srv(db->get(), server_options);
+  Status s = srv.Start();
+  if (!s.ok()) {
+    fprintf(stderr, "server: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  g_loop = srv.loop();
+  signal(SIGINT, HandleSignal);
+  signal(SIGTERM, HandleSignal);
+
+  printf("tierbase_server: %s policy, %s threading, listening on %s:%u\n",
+         policy.c_str(), threads.c_str(), host.c_str(),
+         static_cast<unsigned>(srv.port()));
+  fflush(stdout);
+  if (!port_file.empty()) {
+    std::string contents = std::to_string(srv.port()) + "\n";
+    Status ws = env::WriteStringToFileSync(port_file, contents);
+    if (!ws.ok()) {
+      fprintf(stderr, "port file: %s\n", ws.ToString().c_str());
+      srv.Stop();
+      return 1;
+    }
+  }
+
+  srv.Wait();   // Until SHUTDOWN (or a signal calls Stop()).
+  srv.Stop();   // Join the executor if SHUTDOWN ended the loop.
+  printf("tierbase_server: shut down cleanly\n");
+  return 0;
+}

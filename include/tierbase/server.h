@@ -1,0 +1,10 @@
+// Public umbrella header: the RESP network front end — server, event
+// loop, command table, and the bundled client / remote-engine adapter.
+#ifndef TIERBASE_PUBLIC_SERVER_H_
+#define TIERBASE_PUBLIC_SERVER_H_
+#include "server/client.h"
+#include "server/command.h"
+#include "server/event_loop.h"
+#include "server/resp.h"
+#include "server/server.h"
+#endif  // TIERBASE_PUBLIC_SERVER_H_

@@ -1,6 +1,7 @@
 #include "cache/hash_engine.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/hash.h"
 
@@ -734,6 +735,30 @@ Status HashEngine::ZRangeByScore(const Slice& key, double min_score,
                      it->first <= max_score;
        ++it) {
     out->push_back(it->second);
+  }
+  return Status::OK();
+}
+
+Status HashEngine::ZRange(const Slice& key, int64_t start, int64_t stop,
+                          std::vector<std::pair<std::string, double>>* out) {
+  out->clear();
+  const uint64_t hash = Hash64(key);
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = nullptr;
+  Status s = FindLocked(shard, key, hash, ValueKind::kZSet, false, &e);
+  if (s.IsNotFound()) return Status::OK();
+  TIERBASE_RETURN_IF_ERROR(s);
+  const int64_t n = static_cast<int64_t>(e->complex->zordered.size());
+  // Branch before adding to keep INT64_MIN-ish ranks from overflowing.
+  if (start < 0) start = start < -n ? 0 : start + n;
+  if (stop < 0) stop = stop < -n ? -1 : stop + n;
+  if (stop >= n) stop = n - 1;
+  if (start > stop || start >= n) return Status::OK();
+  auto it = e->complex->zordered.begin();
+  std::advance(it, start);
+  for (int64_t rank = start; rank <= stop; ++rank, ++it) {
+    out->emplace_back(it->second, it->first);
   }
   return Status::OK();
 }

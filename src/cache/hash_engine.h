@@ -142,6 +142,11 @@ class HashEngine : public KvEngine {
   Result<double> ZScore(const Slice& key, const Slice& member);
   Status ZRangeByScore(const Slice& key, double min_score, double max_score,
                        std::vector<std::string>* out);
+  /// Rank-based range over the score order (Redis ZRANGE semantics:
+  /// negative indices count from the end, `stop` is inclusive). A missing
+  /// key yields an empty result.
+  Status ZRange(const Slice& key, int64_t start, int64_t stop,
+                std::vector<std::pair<std::string, double>>* out);
   Result<uint64_t> ZCard(const Slice& key);
 
   // --- Introspection / control. ---

@@ -615,6 +615,15 @@ TierBase::Stats TierBase::GetStats() const {
   s.cache_misses = stats_misses_.load(std::memory_order_relaxed);
   s.sets = stats_sets_.load(std::memory_order_relaxed);
   s.storage_populates = stats_populates_.load(std::memory_order_relaxed);
+  s.evictions = cache_->evictions();
+  s.expirations = cache_->expirations();
+  s.lru_touches = cache_->lru_touches();
+  s.multi_shard_locks = cache_->multi_shard_locks();
+  s.multi_batches = cache_->multi_batches();
+  UsageStats cache_usage = cache_->GetUsage();
+  s.bytes_cached = cache_usage.memory_bytes;
+  s.pmem_bytes = cache_usage.pmem_bytes;
+  s.keys_cached = cache_usage.keys;
   if (write_through_ != nullptr) s.write_through = write_through_->GetStats();
   if (write_back_ != nullptr) s.write_back = write_back_->GetStats();
   if (fetcher_ != nullptr) s.deferred_fetch = fetcher_->GetStats();

@@ -77,12 +77,25 @@ class TierBase : public KvEngine {
   cache::HashEngine* cache() { return cache_.get(); }
   StorageAdapter* storage() { return storage_; }
 
+  /// Aggregated snapshot across the whole instance: the engine's own op
+  /// counters plus the cache tier's eviction/recency/batching gauges and
+  /// footprint, so one call yields everything the server's INFO reply
+  /// (and any external monitoring) needs.
   struct Stats {
     uint64_t gets = 0;
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;     // Misses that consulted storage.
     uint64_t sets = 0;
     uint64_t storage_populates = 0;
+    // Cache-tier aggregates (from the embedded HashEngine).
+    uint64_t evictions = 0;
+    uint64_t expirations = 0;
+    uint64_t lru_touches = 0;
+    uint64_t multi_shard_locks = 0;  // Shard locks taken by batch ops.
+    uint64_t multi_batches = 0;      // MultiGet/MultiSet calls served.
+    uint64_t bytes_cached = 0;       // DRAM charged to cached entries.
+    uint64_t pmem_bytes = 0;         // Simulated-PMem value bytes.
+    uint64_t keys_cached = 0;
     PerKeyCoalescer::Stats write_through;
     WriteBackManager::Stats write_back;
     DeferredFetcher::Stats deferred_fetch;

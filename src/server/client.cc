@@ -1,0 +1,290 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace tierbase {
+namespace server {
+
+Client::~Client() { Close(); }
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + strerror(errno));
+  }
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Not a dotted-quad literal; resolve it ("localhost", DNS names).
+    addrinfo hints;
+    memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* result = nullptr;
+    int rc = getaddrinfo(host.c_str(), nullptr, &hints, &result);
+    if (rc != 0 || result == nullptr) {
+      Close();
+      if (result != nullptr) freeaddrinfo(result);
+      return Status::InvalidArgument("cannot resolve host: " + host);
+    }
+    addr.sin_addr =
+        reinterpret_cast<sockaddr_in*>(result->ai_addr)->sin_addr;
+    freeaddrinfo(result);
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IOError(std::string("connect: ") + strerror(errno));
+    Close();
+    return s;
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  send_buf_.clear();
+  recv_buf_.clear();
+  recv_pos_ = 0;
+}
+
+void Client::Append(const std::vector<Slice>& args) {
+  AppendArrayHeader(&send_buf_, args.size());
+  for (const Slice& arg : args) AppendBulk(&send_buf_, arg);
+}
+
+Status Client::Flush() {
+  if (fd_ < 0) return Status::IOError("client not connected");
+  size_t sent = 0;
+  while (sent < send_buf_.size()) {
+    ssize_t n = send(fd_, send_buf_.data() + sent, send_buf_.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Status::IOError(std::string("send: ") + strerror(errno));
+      Close();
+      return s;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  send_buf_.clear();
+  return Status::OK();
+}
+
+Status Client::ReadReply(RespValue* reply) {
+  if (fd_ < 0) return Status::IOError("client not connected");
+  for (;;) {
+    if (recv_pos_ < recv_buf_.size()) {
+      size_t consumed = 0;
+      std::string error;
+      ParseResult r = ParseReply(recv_buf_.data() + recv_pos_,
+                                 recv_buf_.size() - recv_pos_, reply,
+                                 &consumed, &error);
+      if (r == ParseResult::kOk) {
+        recv_pos_ += consumed;
+        // Compact once the parsed prefix dominates the buffer.
+        if (recv_pos_ > 4096 && recv_pos_ * 2 > recv_buf_.size()) {
+          recv_buf_.erase(0, recv_pos_);
+          recv_pos_ = 0;
+        }
+        return Status::OK();
+      }
+      if (r == ParseResult::kError) {
+        Close();
+        return Status::Corruption("bad reply: " + error);
+      }
+    }
+    char chunk[16384];
+    ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      Close();
+      return Status::IOError("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Status::IOError(std::string("recv: ") + strerror(errno));
+      Close();
+      return s;
+    }
+    recv_buf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status Client::Call(const std::vector<Slice>& args, RespValue* reply) {
+  Append(args);
+  TIERBASE_RETURN_IF_ERROR(Flush());
+  return ReadReply(reply);
+}
+
+// ---------------------------------------------------------------------------
+// RemoteEngine.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Maps a RESP error payload back onto a Status.
+Status ErrorToStatus(const RespValue& v) {
+  if (v.str.rfind("WRONGTYPE", 0) == 0) {
+    return Status::InvalidArgument(v.str);
+  }
+  return Status::IOError(v.str);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RemoteEngine>> RemoteEngine::Connect(
+    const std::string& host, uint16_t port) {
+  std::unique_ptr<RemoteEngine> engine(
+      new RemoteEngine(host + ":" + std::to_string(port)));
+  Status s = engine->client_.Connect(host, port);
+  if (!s.ok()) return s;
+  return engine;
+}
+
+Status RemoteEngine::Set(const Slice& key, const Slice& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RespValue reply;
+  TIERBASE_RETURN_IF_ERROR(client_.Call({"SET", key, value}, &reply));
+  if (reply.IsError()) return ErrorToStatus(reply);
+  return Status::OK();
+}
+
+Status RemoteEngine::Get(const Slice& key, std::string* value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RespValue reply;
+  TIERBASE_RETURN_IF_ERROR(client_.Call({"GET", key}, &reply));
+  if (reply.IsError()) return ErrorToStatus(reply);
+  if (reply.IsNull()) return Status::NotFound("");
+  *value = std::move(reply.str);
+  return Status::OK();
+}
+
+Status RemoteEngine::Delete(const Slice& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RespValue reply;
+  TIERBASE_RETURN_IF_ERROR(client_.Call({"DEL", key}, &reply));
+  if (reply.IsError()) return ErrorToStatus(reply);
+  return Status::OK();
+}
+
+void RemoteEngine::MultiGet(const std::vector<Slice>& keys,
+                            std::vector<std::string>* values,
+                            std::vector<Status>* statuses) {
+  values->assign(keys.size(), std::string());
+  statuses->assign(keys.size(), Status::OK());
+  if (keys.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Slice> args;
+  args.reserve(keys.size() + 1);
+  args.emplace_back("MGET");
+  args.insert(args.end(), keys.begin(), keys.end());
+  RespValue reply;
+  Status s = client_.Call(args, &reply);
+  if (!s.ok() || reply.type != RespValue::Type::kArray ||
+      reply.elements.size() != keys.size()) {
+    if (s.ok()) {
+      s = reply.IsError() ? ErrorToStatus(reply)
+                          : Status::IOError("malformed MGET reply");
+    }
+    statuses->assign(keys.size(), s);
+    return;
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    RespValue& e = reply.elements[i];
+    if (e.type == RespValue::Type::kBulkString) {
+      (*values)[i] = std::move(e.str);
+    } else {
+      (*statuses)[i] = Status::NotFound("");
+    }
+  }
+}
+
+void RemoteEngine::MultiSet(const std::vector<Slice>& keys,
+                            const std::vector<Slice>& values,
+                            std::vector<Status>* statuses) {
+  statuses->assign(keys.size(), Status::OK());
+  if (keys.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Slice> args;
+  args.reserve(keys.size() * 2 + 1);
+  args.emplace_back("MSET");
+  for (size_t i = 0; i < keys.size(); ++i) {
+    args.push_back(keys[i]);
+    args.push_back(values[i]);
+  }
+  RespValue reply;
+  Status s = client_.Call(args, &reply);
+  if (!s.ok()) {
+    statuses->assign(keys.size(), s);
+    return;
+  }
+  if (reply.IsError()) {
+    statuses->assign(keys.size(), ErrorToStatus(reply));
+  }
+}
+
+UsageStats RemoteEngine::GetUsage() const {
+  UsageStats usage;
+  std::lock_guard<std::mutex> lock(mu_);
+  RespValue reply;
+  if (!client_.Call({"INFO"}, &reply).ok() ||
+      reply.type != RespValue::Type::kBulkString) {
+    return usage;
+  }
+  auto parse_field = [&](const char* field) -> uint64_t {
+    size_t pos = reply.str.find(field);
+    if (pos == std::string::npos) return 0;
+    return strtoull(reply.str.c_str() + pos + strlen(field), nullptr, 10);
+  };
+  usage.memory_bytes = parse_field("bytes_cached:");
+  usage.pmem_bytes = parse_field("pmem_bytes:");
+  usage.keys = parse_field("keys_cached:");
+  return usage;
+}
+
+Status RemoteEngine::WaitIdle() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RespValue reply;
+  TIERBASE_RETURN_IF_ERROR(client_.Call({"PING"}, &reply));
+  if (reply.IsError()) return ErrorToStatus(reply);
+  return Status::OK();
+}
+
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port) {
+  std::string port_part = spec;
+  *host = "127.0.0.1";
+  size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) *host = spec.substr(0, colon);
+    port_part = spec.substr(colon + 1);
+  }
+  if (port_part.empty()) {
+    return Status::InvalidArgument("missing port in '" + spec + "'");
+  }
+  char* end = nullptr;
+  unsigned long v = strtoul(port_part.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v == 0 || v > 65535) {
+    return Status::InvalidArgument("bad port in '" + spec + "'");
+  }
+  *port = static_cast<uint16_t>(v);
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace tierbase

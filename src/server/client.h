@@ -1,0 +1,104 @@
+// The bundled RESP client: a small blocking client used by the tests, the
+// tierbase_cli example, the loopback benchmarks, and the YCSB runner's
+// --remote mode.
+//
+// Two layers:
+//
+//   * Client — socket + RESP framing. One synchronous Call(), or explicit
+//     pipelining: Append() N requests, Flush() the wire, ReadReply() N
+//     times. Pipelining is what makes the server's batch dispatch visible
+//     from outside: N appended GETs arrive as one batch and reach the
+//     engine as one MultiGet.
+//   * RemoteEngine — a KvEngine adapter over a Client, so every existing
+//     workload driver (YCSB load/run phases, traces) can be replayed
+//     against a live server unchanged. Point ops map to GET/SET/DEL;
+//     MultiGet/MultiSet map to MGET/MSET. Calls are serialized with an
+//     internal mutex (one socket), so use one RemoteEngine per runner
+//     thread when measuring parallel client throughput.
+
+#ifndef TIERBASE_SERVER_CLIENT_H_
+#define TIERBASE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/kv_engine.h"
+#include "server/resp.h"
+
+namespace tierbase {
+namespace server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Encodes one command (array of bulks) into the send buffer.
+  void Append(const std::vector<Slice>& args);
+  /// Writes the send buffer to the socket (blocking until fully written).
+  Status Flush();
+  /// Blocking read of the next reply.
+  Status ReadReply(RespValue* reply);
+
+  /// Append + Flush + ReadReply — the synchronous convenience path.
+  Status Call(const std::vector<Slice>& args, RespValue* reply);
+
+ private:
+  int fd_ = -1;
+  std::string send_buf_;
+  std::string recv_buf_;
+  size_t recv_pos_ = 0;  // Parsed-up-to offset within recv_buf_.
+};
+
+/// KvEngine view of a remote server (see file comment). Thread-safe via a
+/// per-engine mutex.
+class RemoteEngine : public KvEngine {
+ public:
+  static Result<std::unique_ptr<RemoteEngine>> Connect(
+      const std::string& host, uint16_t port);
+
+  std::string name() const override { return "remote:" + endpoint_; }
+
+  Status Set(const Slice& key, const Slice& value) override;
+  Status Get(const Slice& key, std::string* value) override;
+  Status Delete(const Slice& key) override;
+  void MultiGet(const std::vector<Slice>& keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses) override;
+  void MultiSet(const std::vector<Slice>& keys,
+                const std::vector<Slice>& values,
+                std::vector<Status>* statuses) override;
+  /// Reports the remote cache footprint parsed from INFO
+  /// (bytes_cached/keys_cached).
+  UsageStats GetUsage() const override;
+  /// PING round trip: all previously acknowledged commands are executed.
+  Status WaitIdle() override;
+
+  Client* client() { return &client_; }
+
+ private:
+  explicit RemoteEngine(std::string endpoint) : endpoint_(std::move(endpoint)) {}
+
+  mutable std::mutex mu_;
+  mutable Client client_;
+  std::string endpoint_;
+};
+
+/// Parses "host:port" (or ":port" / "port" with a 127.0.0.1 default).
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port);
+
+}  // namespace server
+}  // namespace tierbase
+
+#endif  // TIERBASE_SERVER_CLIENT_H_

@@ -1,0 +1,625 @@
+#include "server/command.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tierbase {
+namespace server {
+
+namespace {
+
+/// Uppercases a command name into `buf`; false if it can't be a command
+/// (too long for any table entry).
+bool UpperName(const Slice& name, char* buf, size_t cap) {
+  if (name.size() >= cap) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    buf[i] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(name[i])));
+  }
+  buf[name.size()] = '\0';
+  return true;
+}
+
+void AppendWrongArity(std::string* out, const char* upper_name) {
+  std::string msg = "ERR wrong number of arguments for '";
+  for (const char* c = upper_name; *c != '\0'; ++c) {
+    msg.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*c))));
+  }
+  msg += "' command";
+  AppendError(out, msg);
+}
+
+/// Strict signed-integer parse of a RESP argument.
+bool ParseArgInt(const Slice& arg, int64_t* out) {
+  if (arg.empty() || arg.size() > 20) return false;
+  char buf[24];
+  memcpy(buf, arg.data(), arg.size());
+  buf[arg.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  long long v = strtoll(buf, &end, 10);
+  if (errno != 0 || end != buf + arg.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseArgDouble(const Slice& arg, double* out) {
+  if (arg.empty() || arg.size() > 63) return false;
+  char buf[64];
+  memcpy(buf, arg.data(), arg.size());
+  buf[arg.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  double v = strtod(buf, &end);
+  if (errno != 0 || end != buf + arg.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Redis-style score formatting: integral scores print without a decimal
+/// point, everything else with %.17g round-trip precision.
+std::string FormatDouble(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+bool EqualsIgnoreCase(const Slice& arg, const char* word) {
+  size_t n = strlen(word);
+  if (arg.size() != n) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::toupper(static_cast<unsigned char>(arg[i])) != word[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+constexpr const char* kOk = "OK";
+constexpr uint64_t kMicrosPerSecond = 1'000'000;
+
+}  // namespace
+
+void AppendStatusError(std::string* out, const Status& s) {
+  if (s.IsInvalidArgument() &&
+      s.message().find("wrong value type") != std::string::npos) {
+    AppendError(out,
+                "WRONGTYPE Operation against a key holding the wrong kind "
+                "of value");
+    return;
+  }
+  AppendError(out, "ERR " + s.ToString());
+}
+
+CommandTable::CommandTable(TierBase* db) : db_(db) {}
+
+void CommandTable::ExecuteBatch(const std::vector<RespCommand>& cmds,
+                                std::string* out, bool* close_connection,
+                                bool* shutdown_server) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  commands_.fetch_add(cmds.size(), std::memory_order_relaxed);
+
+  char name[16];
+  size_t i = 0;
+  while (i < cmds.size()) {
+    // Coalesce trains of plain single-key GETs / two-argument SETs that a
+    // pipelining client queued back-to-back into one batched engine call.
+    if (cmds[i].args.size() == 2 && UpperName(cmds[i].args[0], name, 16) &&
+        strcmp(name, "GET") == 0) {
+      size_t j = i + 1;
+      while (j < cmds.size() && cmds[j].args.size() == 2 &&
+             UpperName(cmds[j].args[0], name, 16) &&
+             strcmp(name, "GET") == 0) {
+        ++j;
+      }
+      if (j - i >= 2) {
+        CoalescedGets(cmds, i, j, out);
+        coalesced_.fetch_add(j - i, std::memory_order_relaxed);
+        i = j;
+        continue;
+      }
+    } else if (cmds[i].args.size() == 3 &&
+               UpperName(cmds[i].args[0], name, 16) &&
+               strcmp(name, "SET") == 0) {
+      size_t j = i + 1;
+      while (j < cmds.size() && cmds[j].args.size() == 3 &&
+             UpperName(cmds[j].args[0], name, 16) &&
+             strcmp(name, "SET") == 0) {
+        ++j;
+      }
+      if (j - i >= 2) {
+        CoalescedSets(cmds, i, j, out);
+        coalesced_.fetch_add(j - i, std::memory_order_relaxed);
+        i = j;
+        continue;
+      }
+    }
+    ExecuteOne(cmds[i], out, close_connection, shutdown_server);
+    ++i;
+  }
+}
+
+void CommandTable::CoalescedGets(const std::vector<RespCommand>& cmds,
+                                 size_t begin, size_t end, std::string* out) {
+  std::vector<Slice> keys;
+  keys.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) keys.push_back(cmds[i].args[1]);
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  db_->MultiGet(keys, &values, &statuses);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (statuses[i].ok()) {
+      AppendBulk(out, values[i]);
+    } else if (statuses[i].IsNotFound()) {
+      AppendNullBulk(out);
+    } else {
+      AppendStatusError(out, statuses[i]);
+      errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void CommandTable::CoalescedSets(const std::vector<RespCommand>& cmds,
+                                 size_t begin, size_t end, std::string* out) {
+  std::vector<Slice> keys, values;
+  keys.reserve(end - begin);
+  values.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    keys.push_back(cmds[i].args[1]);
+    values.push_back(cmds[i].args[2]);
+  }
+  std::vector<Status> statuses;
+  db_->MultiSet(keys, values, &statuses);
+  for (const Status& s : statuses) {
+    if (s.ok()) {
+      AppendSimpleString(out, kOk);
+    } else {
+      AppendStatusError(out, s);
+      errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void CommandTable::ExecuteOne(const RespCommand& cmd, std::string* out,
+                              bool* close_connection, bool* shutdown_server) {
+  char name[16];
+  if (cmd.args.empty() || !UpperName(cmd.args[0], name, 16)) {
+    AppendError(out, "ERR unknown command");
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const size_t argc = cmd.args.size();
+  const size_t before_errors = out->size();
+
+  // Dispatch. Arity rules: {min, max} inclusive argument counts
+  // (command name included); parity constraints checked in the handlers.
+  struct Entry {
+    const char* name;
+    size_t min_argc;
+    size_t max_argc;  // 0 = unbounded.
+    void (CommandTable::*handler)(const RespCommand&, std::string*);
+  };
+  static constexpr Entry kTable[] = {
+      {"GET", 2, 2, &CommandTable::Get},
+      {"SET", 3, 5, &CommandTable::Set},
+      {"DEL", 2, 0, &CommandTable::Del},
+      {"EXISTS", 2, 0, &CommandTable::Exists},
+      {"MGET", 2, 0, &CommandTable::MGet},
+      {"MSET", 3, 0, &CommandTable::MSet},
+      {"EXPIRE", 3, 3, &CommandTable::Expire},
+      {"TTL", 2, 2, &CommandTable::Ttl},
+      {"INCR", 2, 2, &CommandTable::Incr},
+      {"HSET", 4, 0, &CommandTable::HSet},
+      {"HGET", 3, 3, &CommandTable::HGet},
+      {"LPUSH", 3, 0, &CommandTable::LPush},
+      {"LRANGE", 4, 4, &CommandTable::LRange},
+      {"ZADD", 4, 0, &CommandTable::ZAdd},
+      {"ZRANGE", 4, 5, &CommandTable::ZRange},
+      {"INFO", 1, 2, &CommandTable::Info},
+  };
+
+  if (strcmp(name, "PING") == 0) {
+    if (argc == 1) {
+      AppendSimpleString(out, "PONG");
+    } else if (argc == 2) {
+      AppendBulk(out, cmd.args[1]);
+    } else {
+      AppendWrongArity(out, name);
+    }
+    return;
+  }
+  if (strcmp(name, "QUIT") == 0) {
+    AppendSimpleString(out, kOk);
+    *close_connection = true;
+    return;
+  }
+  if (strcmp(name, "SHUTDOWN") == 0) {
+    // Reply before stopping so a synchronous client sees the ack; the
+    // event loop flushes pending output during teardown.
+    AppendSimpleString(out, kOk);
+    *close_connection = true;
+    *shutdown_server = true;
+    return;
+  }
+  if (strcmp(name, "COMMAND") == 0) {
+    // Stub so redis-cli's startup probe doesn't error out.
+    AppendArrayHeader(out, 0);
+    return;
+  }
+
+  for (const Entry& entry : kTable) {
+    if (strcmp(name, entry.name) != 0) continue;
+    if (argc < entry.min_argc ||
+        (entry.max_argc != 0 && argc > entry.max_argc)) {
+      AppendWrongArity(out, name);
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    (this->*entry.handler)(cmd, out);
+    if (out->size() > before_errors && (*out)[before_errors] == '-') {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+
+  std::string msg = "ERR unknown command '";
+  msg.append(cmd.args[0].data(),
+             std::min<size_t>(cmd.args[0].size(), 64));
+  msg += "'";
+  AppendError(out, msg);
+  errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CommandTable::Get(const RespCommand& cmd, std::string* out) {
+  std::string value;
+  Status s = db_->Get(cmd.args[1], &value);
+  if (s.ok()) {
+    AppendBulk(out, value);
+  } else if (s.IsNotFound()) {
+    AppendNullBulk(out);
+  } else {
+    AppendStatusError(out, s);
+  }
+}
+
+void CommandTable::Set(const RespCommand& cmd, std::string* out) {
+  uint64_t ttl_micros = 0;
+  if (cmd.args.size() > 3) {
+    // SET key value [EX seconds | PX millis].
+    if (cmd.args.size() != 5) {
+      AppendError(out, "ERR syntax error");
+      return;
+    }
+    int64_t amount = 0;
+    if (!ParseArgInt(cmd.args[4], &amount) || amount <= 0) {
+      AppendError(out, "ERR invalid expire time in 'set' command");
+      return;
+    }
+    if (EqualsIgnoreCase(cmd.args[3], "EX")) {
+      ttl_micros = static_cast<uint64_t>(amount) * kMicrosPerSecond;
+    } else if (EqualsIgnoreCase(cmd.args[3], "PX")) {
+      ttl_micros = static_cast<uint64_t>(amount) * 1000;
+    } else {
+      AppendError(out, "ERR syntax error");
+      return;
+    }
+  }
+  Status s = ttl_micros == 0 ? db_->Set(cmd.args[1], cmd.args[2])
+                             : db_->SetEx(cmd.args[1], cmd.args[2], ttl_micros);
+  if (s.ok()) {
+    AppendSimpleString(out, kOk);
+  } else {
+    AppendStatusError(out, s);
+  }
+}
+
+void CommandTable::Del(const RespCommand& cmd, std::string* out) {
+  int64_t removed = 0;
+  for (size_t i = 1; i < cmd.args.size(); ++i) {
+    // Delete is policy-aware (tombstones under write-back, synchronous
+    // under write-through); count only keys that were present. For
+    // cache-cold keys the storage tier is probed directly — no value
+    // round trip through the Get path and no cache populate just to
+    // answer a count. (The probe can overcount a key whose write-back
+    // delete tombstone has not flushed yet; Redis-exact counting there
+    // would need a dirty-buffer existence API for a rare edge.)
+    bool existed = db_->cache()->Exists(cmd.args[i]);
+    if (!existed && db_->storage() != nullptr) {
+      std::string scratch;
+      existed = db_->storage()->Read(cmd.args[i], &scratch).ok();
+    }
+    Status s = db_->Delete(cmd.args[i]);
+    if (s.ok() && existed) ++removed;
+  }
+  AppendInteger(out, removed);
+}
+
+void CommandTable::Exists(const RespCommand& cmd, std::string* out) {
+  int64_t count = 0;
+  for (size_t i = 1; i < cmd.args.size(); ++i) {
+    if (db_->cache()->Exists(cmd.args[i])) {
+      ++count;
+    } else if (db_->storage() != nullptr) {
+      // Tiered: the key may live only in the storage tier; a Get both
+      // answers existence and warms the cache.
+      std::string scratch;
+      if (db_->Get(cmd.args[i], &scratch).ok()) ++count;
+    }
+  }
+  AppendInteger(out, count);
+}
+
+void CommandTable::MGet(const RespCommand& cmd, std::string* out) {
+  std::vector<Slice> keys(cmd.args.begin() + 1, cmd.args.end());
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  db_->MultiGet(keys, &values, &statuses);
+  AppendArrayHeader(out, keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (statuses[i].ok()) {
+      AppendBulk(out, values[i]);
+    } else {
+      AppendNullBulk(out);  // Redis: wrong-type/missing both read as null.
+    }
+  }
+}
+
+void CommandTable::MSet(const RespCommand& cmd, std::string* out) {
+  if (cmd.args.size() % 2 != 1) {
+    AppendError(out, "ERR wrong number of arguments for 'mset' command");
+    return;
+  }
+  std::vector<Slice> keys, values;
+  for (size_t i = 1; i < cmd.args.size(); i += 2) {
+    keys.push_back(cmd.args[i]);
+    values.push_back(cmd.args[i + 1]);
+  }
+  std::vector<Status> statuses;
+  db_->MultiSet(keys, values, &statuses);
+  for (const Status& s : statuses) {
+    if (!s.ok()) {
+      AppendStatusError(out, s);
+      return;
+    }
+  }
+  AppendSimpleString(out, kOk);
+}
+
+void CommandTable::Expire(const RespCommand& cmd, std::string* out) {
+  int64_t seconds = 0;
+  if (!ParseArgInt(cmd.args[2], &seconds)) {
+    AppendError(out, "ERR value is not an integer or out of range");
+    return;
+  }
+  if (seconds <= 0) {
+    // Redis deletes the key on a non-positive TTL.
+    bool existed = db_->cache()->Exists(cmd.args[1]);
+    if (existed) db_->Delete(cmd.args[1]);
+    AppendInteger(out, existed ? 1 : 0);
+    return;
+  }
+  Status s = db_->cache()->Expire(
+      cmd.args[1], static_cast<uint64_t>(seconds) * kMicrosPerSecond);
+  AppendInteger(out, s.ok() ? 1 : 0);
+}
+
+void CommandTable::Ttl(const RespCommand& cmd, std::string* out) {
+  Result<uint64_t> ttl = db_->cache()->Ttl(cmd.args[1]);
+  if (!ttl.ok()) {
+    AppendInteger(out, -2);  // No such key.
+    return;
+  }
+  if (*ttl == 0) {
+    AppendInteger(out, -1);  // No expiry set.
+    return;
+  }
+  AppendInteger(out,
+                static_cast<int64_t>((*ttl + kMicrosPerSecond - 1) /
+                                     kMicrosPerSecond));
+}
+
+void CommandTable::Incr(const RespCommand& cmd, std::string* out) {
+  // Lock-free counter bump via the engine's CAS: read, add one, swap;
+  // retry on interleaved writers.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::string current;
+    Status s = db_->Get(cmd.args[1], &current);
+    bool create = s.IsNotFound();
+    int64_t value = 0;
+    if (s.ok()) {
+      if (!ParseArgInt(current, &value)) {
+        AppendError(out, "ERR value is not an integer or out of range");
+        return;
+      }
+    } else if (!create) {
+      AppendStatusError(out, s);
+      return;
+    }
+    if (value == INT64_MAX) {
+      AppendError(out, "ERR increment or decrement would overflow");
+      return;
+    }
+    const std::string next = std::to_string(value + 1);
+    s = create ? db_->Cas(cmd.args[1], "", next, /*allow_create=*/true)
+               : db_->Cas(cmd.args[1], current, next);
+    if (s.ok()) {
+      AppendInteger(out, value + 1);
+      return;
+    }
+    if (!s.IsAborted()) {
+      AppendStatusError(out, s);
+      return;
+    }
+  }
+  AppendError(out, "ERR INCR retry budget exhausted under contention");
+}
+
+void CommandTable::HSet(const RespCommand& cmd, std::string* out) {
+  if (cmd.args.size() % 2 != 0) {
+    AppendError(out, "ERR wrong number of arguments for 'hset' command");
+    return;
+  }
+  cache::HashEngine* cache = db_->cache();
+  int64_t added = 0;
+  for (size_t i = 2; i < cmd.args.size(); i += 2) {
+    std::string existing;
+    const bool is_new = !cache->HGet(cmd.args[1], cmd.args[i], &existing).ok();
+    Status s = cache->HSet(cmd.args[1], cmd.args[i], cmd.args[i + 1]);
+    if (!s.ok()) {
+      AppendStatusError(out, s);
+      return;
+    }
+    if (is_new) ++added;
+  }
+  AppendInteger(out, added);
+}
+
+void CommandTable::HGet(const RespCommand& cmd, std::string* out) {
+  std::string value;
+  Status s = db_->cache()->HGet(cmd.args[1], cmd.args[2], &value);
+  if (s.ok()) {
+    AppendBulk(out, value);
+  } else if (s.IsNotFound()) {
+    AppendNullBulk(out);
+  } else {
+    AppendStatusError(out, s);
+  }
+}
+
+void CommandTable::LPush(const RespCommand& cmd, std::string* out) {
+  cache::HashEngine* cache = db_->cache();
+  for (size_t i = 2; i < cmd.args.size(); ++i) {
+    Status s = cache->LPush(cmd.args[1], cmd.args[i]);
+    if (!s.ok()) {
+      AppendStatusError(out, s);
+      return;
+    }
+  }
+  Result<uint64_t> len = cache->LLen(cmd.args[1]);
+  AppendInteger(out, len.ok() ? static_cast<int64_t>(*len) : 0);
+}
+
+void CommandTable::LRange(const RespCommand& cmd, std::string* out) {
+  int64_t start = 0, stop = 0;
+  if (!ParseArgInt(cmd.args[2], &start) || !ParseArgInt(cmd.args[3], &stop)) {
+    AppendError(out, "ERR value is not an integer or out of range");
+    return;
+  }
+  std::vector<std::string> elements;
+  Status s = db_->cache()->LRange(cmd.args[1], start, stop, &elements);
+  if (!s.ok() && !s.IsNotFound()) {
+    AppendStatusError(out, s);
+    return;
+  }
+  AppendArrayHeader(out, elements.size());
+  for (const std::string& e : elements) AppendBulk(out, e);
+}
+
+void CommandTable::ZAdd(const RespCommand& cmd, std::string* out) {
+  if (cmd.args.size() % 2 != 0) {
+    AppendError(out, "ERR syntax error");
+    return;
+  }
+  cache::HashEngine* cache = db_->cache();
+  int64_t added = 0;
+  for (size_t i = 2; i < cmd.args.size(); i += 2) {
+    double score = 0;
+    if (!ParseArgDouble(cmd.args[i], &score)) {
+      AppendError(out, "ERR value is not a valid float");
+      return;
+    }
+    const bool is_new = !cache->ZScore(cmd.args[1], cmd.args[i + 1]).ok();
+    Status s = cache->ZAdd(cmd.args[1], score, cmd.args[i + 1]);
+    if (!s.ok()) {
+      AppendStatusError(out, s);
+      return;
+    }
+    if (is_new) ++added;
+  }
+  AppendInteger(out, added);
+}
+
+void CommandTable::ZRange(const RespCommand& cmd, std::string* out) {
+  int64_t start = 0, stop = 0;
+  if (!ParseArgInt(cmd.args[2], &start) || !ParseArgInt(cmd.args[3], &stop)) {
+    AppendError(out, "ERR value is not an integer or out of range");
+    return;
+  }
+  bool with_scores = false;
+  if (cmd.args.size() == 5) {
+    if (!EqualsIgnoreCase(cmd.args[4], "WITHSCORES")) {
+      AppendError(out, "ERR syntax error");
+      return;
+    }
+    with_scores = true;
+  }
+  std::vector<std::pair<std::string, double>> members;
+  Status s = db_->cache()->ZRange(cmd.args[1], start, stop, &members);
+  if (!s.ok() && !s.IsNotFound()) {
+    AppendStatusError(out, s);
+    return;
+  }
+  AppendArrayHeader(out, members.size() * (with_scores ? 2 : 1));
+  for (const auto& [member, score] : members) {
+    AppendBulk(out, member);
+    if (with_scores) AppendBulk(out, FormatDouble(score));
+  }
+}
+
+void CommandTable::Info(const RespCommand& cmd, std::string* out) {
+  (void)cmd;  // Section filters are accepted but the full report is sent.
+  TierBase::Stats stats = db_->GetStats();
+
+  std::string body;
+  char line[160];
+  auto add = [&](const char* fmt, auto... args) {
+    snprintf(line, sizeof(line), fmt, args...);
+    body += line;
+    body += "\r\n";
+  };
+
+  body += "# Server\r\n";
+  add("engine:%s", db_->name().c_str());
+  if (info_extra_) info_extra_(&body);
+
+  body += "\r\n# Stats\r\n";
+  add("total_commands_processed:%" PRIu64, commands());
+  add("dispatch_batches:%" PRIu64, batches());
+  add("coalesced_commands:%" PRIu64, coalesced_commands());
+  add("command_errors:%" PRIu64, errors());
+  add("gets:%" PRIu64, stats.gets);
+  add("sets:%" PRIu64, stats.sets);
+  add("keyspace_hits:%" PRIu64, stats.cache_hits);
+  add("keyspace_misses:%" PRIu64, stats.cache_misses);
+  add("evicted_keys:%" PRIu64, stats.evictions);
+  add("expired_keys:%" PRIu64, stats.expirations);
+  add("lru_touches:%" PRIu64, stats.lru_touches);
+  add("multi_shard_locks:%" PRIu64, stats.multi_shard_locks);
+  add("multi_batches:%" PRIu64, stats.multi_batches);
+  add("storage_populates:%" PRIu64, stats.storage_populates);
+  add("write_back_flushed_ops:%" PRIu64, stats.write_back.flushed_ops);
+  add("write_back_flush_batches:%" PRIu64, stats.write_back.flush_batches);
+  add("write_through_storage_writes:%" PRIu64,
+      stats.write_through.storage_writes);
+  add("deferred_fetches:%" PRIu64, stats.deferred_fetch.fetches);
+
+  body += "\r\n# Memory\r\n";
+  add("bytes_cached:%" PRIu64, stats.bytes_cached);
+  add("pmem_bytes:%" PRIu64, stats.pmem_bytes);
+
+  body += "\r\n# Keyspace\r\n";
+  add("keys_cached:%" PRIu64, stats.keys_cached);
+
+  AppendBulk(out, body);
+}
+
+}  // namespace server
+}  // namespace tierbase

@@ -1,0 +1,100 @@
+// Command dispatch: maps RESP command names onto the TierBase engine API.
+//
+// A batch of pipelined commands is executed in one call. Runs of
+// consecutive plain GETs (and plain two-argument SETs) inside a batch are
+// coalesced into a single KvEngine::MultiGet / MultiSet, so a client that
+// pipelines N reads pays for one cache lock round per shard instead of N —
+// the same batch paths MGET/MSET and the batched YCSB runner use. Replies
+// are emitted in command order regardless of coalescing.
+//
+// String commands go through TierBase (and therefore observe the caching
+// policy: WAL logging, write-through acknowledgement, write-back dirty
+// marking). Rich-type and TTL commands operate on the cache tier engine,
+// which is where those types live in this reproduction.
+
+#ifndef TIERBASE_SERVER_COMMAND_H_
+#define TIERBASE_SERVER_COMMAND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/tierbase.h"
+#include "server/resp.h"
+
+namespace tierbase {
+namespace server {
+
+class CommandTable {
+ public:
+  /// `db` is not owned and must outlive the table.
+  explicit CommandTable(TierBase* db);
+
+  /// Extra "# Server"-section lines for INFO (the Server object injects
+  /// connection and executor gauges here). Called on the dispatch thread.
+  using InfoExtra = std::function<void(std::string* out)>;
+  void set_info_extra(InfoExtra extra) { info_extra_ = std::move(extra); }
+
+  /// Executes a pipelined batch, appending one reply per command to *out.
+  /// Sets *close_connection for QUIT/SHUTDOWN (reply still sent first) and
+  /// *shutdown_server for SHUTDOWN.
+  void ExecuteBatch(const std::vector<RespCommand>& cmds, std::string* out,
+                    bool* close_connection, bool* shutdown_server);
+
+  // Dispatch statistics (INFO "# Stats").
+  uint64_t commands() const { return commands_.load(); }
+  uint64_t batches() const { return batches_.load(); }
+  /// Commands served through a coalesced MultiGet/MultiSet run (pipelined
+  /// GET/SET trains, ≥ 2 commands per run).
+  uint64_t coalesced_commands() const { return coalesced_.load(); }
+  uint64_t errors() const { return errors_.load(); }
+
+ private:
+  void ExecuteOne(const RespCommand& cmd, std::string* out,
+                  bool* close_connection, bool* shutdown_server);
+
+  // Individual command implementations (cmd.args already arity-checked
+  // against the table entry).
+  void Get(const RespCommand& cmd, std::string* out);
+  void Set(const RespCommand& cmd, std::string* out);
+  void Del(const RespCommand& cmd, std::string* out);
+  void Exists(const RespCommand& cmd, std::string* out);
+  void MGet(const RespCommand& cmd, std::string* out);
+  void MSet(const RespCommand& cmd, std::string* out);
+  void Expire(const RespCommand& cmd, std::string* out);
+  void Ttl(const RespCommand& cmd, std::string* out);
+  void Incr(const RespCommand& cmd, std::string* out);
+  void HSet(const RespCommand& cmd, std::string* out);
+  void HGet(const RespCommand& cmd, std::string* out);
+  void LPush(const RespCommand& cmd, std::string* out);
+  void LRange(const RespCommand& cmd, std::string* out);
+  void ZAdd(const RespCommand& cmd, std::string* out);
+  void ZRange(const RespCommand& cmd, std::string* out);
+  void Info(const RespCommand& cmd, std::string* out);
+
+  /// Executes cmds[begin..end) single GETs as one MultiGet.
+  void CoalescedGets(const std::vector<RespCommand>& cmds, size_t begin,
+                     size_t end, std::string* out);
+  /// Executes cmds[begin..end) plain SETs as one MultiSet.
+  void CoalescedSets(const std::vector<RespCommand>& cmds, size_t begin,
+                     size_t end, std::string* out);
+
+  TierBase* db_;
+  InfoExtra info_extra_;
+
+  std::atomic<uint64_t> commands_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> errors_{0};
+};
+
+/// Appends a `-...` RESP error translated from a Status (WrongType maps to
+/// -WRONGTYPE, everything else to -ERR <code>: <msg>).
+void AppendStatusError(std::string* out, const Status& s);
+
+}  // namespace server
+}  // namespace tierbase
+
+#endif  // TIERBASE_SERVER_COMMAND_H_

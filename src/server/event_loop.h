@@ -1,0 +1,181 @@
+// The network front end's reactor: a poll(2)-based event loop (portable —
+// no epoll/kqueue dependency) multiplexing a nonblocking listener, a
+// self-pipe wakeup channel, and N nonblocking client connections with
+// per-connection read/write buffers.
+//
+// Pipelining model. The loop parses every complete RESP command sitting in
+// a connection's read buffer and hands them to the dispatcher as ONE
+// batch; while that batch is in flight the loop keeps reading (and
+// buffering) but does not dispatch again for that connection, so all
+// commands arriving during execution coalesce into the next batch. A
+// client that pipelines N GETs therefore reaches the engine as one
+// N-command batch, which the command layer turns into one MultiGet. This
+// is the mechanism that makes the paper's single event-loop thread
+// (§4.4 kSingle) efficient: batch depth grows exactly when the server
+// falls behind.
+//
+// Threading. The loop itself is single-threaded. The dispatcher runs
+// batches elsewhere (the Server submits them to an ElasticExecutor) and
+// completes them from any thread via Connection::CompleteBatch(), which
+// enqueues the replies and wakes the loop through the self-pipe. Per-batch
+// ordering per connection is guaranteed by the one-in-flight rule.
+
+#ifndef TIERBASE_SERVER_EVENT_LOOP_H_
+#define TIERBASE_SERVER_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "server/resp.h"
+
+namespace tierbase {
+namespace server {
+
+struct EventLoopOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = kernel-assigned ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  int backlog = 128;
+  /// A connection whose unparsed input exceeds this is dropped (a client
+  /// streaming an over-long frame or garbage without newlines).
+  size_t max_read_buffer = 64u << 20;
+  /// Run() wakes at least this often to evaluate shutdown deadlines.
+  int poll_interval_ms = 100;
+  /// After Stop()/SHUTDOWN, pending replies get this long to flush.
+  uint64_t drain_deadline_micros = 2'000'000;
+};
+
+class EventLoop;
+
+/// One parsed pipeline batch. Owns the raw request bytes; the command
+/// Slices alias `raw`, so the batch can travel to another thread without
+/// copying any argument.
+struct CommandBatch {
+  std::string raw;
+  std::vector<RespCommand> cmds;
+};
+
+/// Per-connection state. The loop thread owns the socket and the buffers;
+/// dispatcher threads interact only through CompleteBatch().
+class Connection {
+ public:
+  Connection(EventLoop* loop, int fd, uint64_t id);
+
+  uint64_t id() const { return id_; }
+
+  /// Delivers the replies for the in-flight batch. Safe from any thread,
+  /// including after the peer (or the whole loop) has gone away — the
+  /// output is then discarded. `close_after` closes the connection once
+  /// the replies are flushed; `shutdown_server` additionally stops the
+  /// loop (SHUTDOWN command).
+  void CompleteBatch(std::string&& output, bool close_after,
+                     bool shutdown_server);
+
+ private:
+  friend class EventLoop;
+
+  EventLoop* const loop_;
+  const int fd_;
+  const uint64_t id_;
+
+  // --- Loop-thread state. ---
+  std::string in_buf;    // Unparsed request bytes.
+  std::string out_buf;   // Encoded replies awaiting write().
+  bool busy = false;     // A dispatch batch is in flight.
+  bool closing = false;  // Close once out_buf drains.
+
+  // --- Cross-thread completion slot (guarded by mu_). ---
+  std::mutex mu_;
+  std::string done_output_;
+  bool done_ = false;
+  bool done_close_ = false;
+  bool detached_ = false;  // Loop dropped the connection (peer died).
+};
+
+class EventLoop {
+ public:
+  /// The dispatcher receives each parsed batch on the loop thread and must
+  /// (eventually, from any thread) call conn->CompleteBatch exactly once.
+  using Dispatcher =
+      std::function<void(std::shared_ptr<Connection> conn, CommandBatch batch)>;
+
+  EventLoop(EventLoopOptions options, Dispatcher dispatcher);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Binds and listens; after success port() returns the bound port.
+  Status Listen();
+  uint16_t port() const { return port_; }
+
+  /// Runs until Stop() (or a SHUTDOWN completion). Call on a dedicated
+  /// thread; returns after all sockets are closed.
+  void Run();
+
+  /// Requests a graceful stop: pending replies are flushed (bounded by
+  /// drain_deadline_micros), then every socket closes. Any thread.
+  void Stop();
+
+  // Gauges for INFO and tests.
+  uint64_t connections_accepted() const { return accepted_.load(); }
+  uint64_t connections_active() const { return active_.load(); }
+  uint64_t batches_dispatched() const { return batches_.load(); }
+  uint64_t commands_dispatched() const { return commands_.load(); }
+  /// Largest command count a single dispatch batch carried (pipelining
+  /// depth actually achieved).
+  uint64_t max_batch_commands() const { return max_batch_.load(); }
+  uint64_t protocol_errors() const { return protocol_errors_.load(); }
+
+ private:
+  friend class Connection;
+
+  void AcceptNew();
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  void HandleWritable(const std::shared_ptr<Connection>& conn);
+  /// Parses conn->in_buf and dispatches one batch if the connection is
+  /// idle. Returns false if the connection was torn down (protocol error).
+  bool TryDispatch(const std::shared_ptr<Connection>& conn);
+  /// Collects completed batches (from the completion slots) into write
+  /// buffers and re-dispatches buffered pipeline input.
+  void DrainCompletions();
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  /// Writes one byte into the self-pipe; any thread.
+  void Notify();
+
+  EventLoopOptions options_;
+  Dispatcher dispatcher_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  uint16_t port_ = 0;
+  uint64_t next_conn_id_ = 1;
+
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+  // Completion queue: connections whose batch finished (loop scans their
+  // slots). Guarded by completions_mu_.
+  std::mutex completions_mu_;
+  std::vector<std::weak_ptr<Connection>> completions_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> active_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> commands_{0};
+  std::atomic<uint64_t> max_batch_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+}  // namespace server
+}  // namespace tierbase
+
+#endif  // TIERBASE_SERVER_EVENT_LOOP_H_

@@ -1,0 +1,107 @@
+// RESP2: the Redis serialization protocol spoken by the network front end
+// (the paper's production deployment is Redis-protocol compatible; clients
+// reach a TierBase data node exactly as they would reach Redis).
+//
+// Two halves live here:
+//
+//   * Request parsing — ParseRequests() decodes as many complete commands
+//     as the connection's read buffer holds. It is incremental: a partial
+//     frame consumes nothing and simply waits for more bytes, so the event
+//     loop can hand it arbitrary read() chunks. Parsed argument Slices
+//     point straight into the caller's buffer (zero copies); they stay
+//     valid as long as that buffer does, which the event loop guarantees
+//     by moving buffer ownership into the dispatch batch.
+//   * Reply serialization — Append*() helpers encode simple strings,
+//     errors, integers, bulk strings, nulls and arrays onto a growing
+//     output string (the connection's write buffer).
+//
+// Both multibulk frames ("*2\r\n$3\r\nGET\r\n$1\r\nk\r\n") and inline
+// commands ("PING\r\n", what you get from `nc`) are accepted. Malformed
+// input — non-numeric or out-of-range lengths, negative bulk lengths,
+// oversized frames — yields kError with a message the server sends as
+// `-ERR Protocol error: ...` before closing the connection, mirroring
+// Redis's behaviour; the parser itself never crashes on garbage bytes.
+
+#ifndef TIERBASE_SERVER_RESP_H_
+#define TIERBASE_SERVER_RESP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace tierbase {
+namespace server {
+
+/// Hard protocol bounds (Redis's own limits): a single bulk argument may
+/// not exceed 512 MiB and a command may not carry more than 1M arguments.
+constexpr int64_t kMaxBulkBytes = 512ll << 20;
+constexpr int64_t kMaxArrayElements = 1 << 20;
+/// Inline commands are capped far lower; nobody types 64 KiB into nc.
+constexpr size_t kMaxInlineBytes = 64 << 10;
+
+/// One parsed command: argv[0] is the (case-preserved) command name. The
+/// Slices alias the parse buffer — see file comment for lifetime rules.
+struct RespCommand {
+  std::vector<Slice> args;
+};
+
+enum class ParseResult {
+  kOk,          // At least zero complete commands parsed; buffer advanced.
+  kNeedMore,    // Trailing partial frame; re-run after the next read().
+  kError,       // Protocol violation; *error holds the human-readable why.
+};
+
+/// Decodes complete commands from buf[0..len). `*consumed` receives the
+/// number of bytes holding fully parsed commands (the caller drops them or
+/// transfers them with the batch); bytes past *consumed are a partial
+/// frame to retry later. On kError, *consumed is untouched and the
+/// connection should be torn down after sending `-ERR Protocol error: ...`.
+ParseResult ParseRequests(const char* buf, size_t len,
+                          std::vector<RespCommand>* out, size_t* consumed,
+                          std::string* error);
+
+// --- Reply serialization (RESP2 wire encoding onto `out`). ---
+
+void AppendSimpleString(std::string* out, const Slice& s);
+/// `msg` should already carry its error-class prefix ("ERR ...",
+/// "WRONGTYPE ...").
+void AppendError(std::string* out, const Slice& msg);
+void AppendInteger(std::string* out, int64_t v);
+void AppendBulk(std::string* out, const Slice& s);
+/// RESP2 null bulk ("$-1\r\n") — the "no such key" reply.
+void AppendNullBulk(std::string* out);
+/// Array header only; the caller appends `n` elements after it.
+void AppendArrayHeader(std::string* out, size_t n);
+
+// --- Reply parsing (client side). ---
+
+struct RespValue {
+  enum class Type {
+    kSimpleString,
+    kError,
+    kInteger,
+    kBulkString,
+    kNull,
+    kArray,
+  };
+  Type type = Type::kNull;
+  std::string str;     // Simple/error/bulk payload.
+  int64_t integer = 0;
+  std::vector<RespValue> elements;
+
+  bool IsError() const { return type == Type::kError; }
+  bool IsNull() const { return type == Type::kNull; }
+};
+
+/// Decodes one complete reply from buf[0..len) into *out and sets
+/// *consumed to its encoded size. kNeedMore on a partial reply; kError on
+/// malformed bytes (a broken or impostor server).
+ParseResult ParseReply(const char* buf, size_t len, RespValue* out,
+                       size_t* consumed, std::string* error);
+
+}  // namespace server
+}  // namespace tierbase
+
+#endif  // TIERBASE_SERVER_RESP_H_

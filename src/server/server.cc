@@ -1,0 +1,94 @@
+#include "server/server.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace tierbase {
+namespace server {
+
+Server::Server(TierBase* db, ServerOptions options)
+    : db_(db), options_(std::move(options)), table_(db) {
+  table_.set_info_extra([this](std::string* out) {
+    char line[128];
+    auto add = [&](const char* fmt, auto... args) {
+      snprintf(line, sizeof(line), fmt, args...);
+      *out += line;
+      *out += "\r\n";
+    };
+    const char* mode = "single";
+    if (options_.executor.mode == threading::ThreadMode::kMulti) {
+      mode = "multi";
+    } else if (options_.executor.mode == threading::ThreadMode::kElastic) {
+      mode = "elastic";
+    }
+    add("tcp_port:%u", static_cast<unsigned>(port()));
+    add("thread_mode:%s", mode);
+    if (executor_ != nullptr) {
+      add("active_threads:%d", executor_->active_threads());
+      add("executor_scale_ups:%" PRIu64, executor_->scale_ups());
+    }
+    if (loop_ != nullptr) {
+      add("connected_clients:%" PRIu64, loop_->connections_active());
+      add("total_connections_received:%" PRIu64,
+          loop_->connections_accepted());
+      add("dispatched_batches:%" PRIu64, loop_->batches_dispatched());
+      add("max_pipeline_batch:%" PRIu64, loop_->max_batch_commands());
+      add("protocol_errors:%" PRIu64, loop_->protocol_errors());
+    }
+  });
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_) return Status::InvalidArgument("server already running");
+  executor_ =
+      std::make_unique<threading::ElasticExecutor>(options_.executor);
+  loop_ = std::make_unique<EventLoop>(
+      options_.net, [this](std::shared_ptr<Connection> conn,
+                           CommandBatch batch) {
+        Dispatch(std::move(conn), std::move(batch));
+      });
+  Status s = loop_->Listen();
+  if (!s.ok()) {
+    loop_.reset();
+    executor_->Shutdown();
+    executor_.reset();
+    return s;
+  }
+  loop_thread_ = std::thread([this] { loop_->Run(); });
+  running_ = true;
+  return Status::OK();
+}
+
+void Server::Dispatch(std::shared_ptr<Connection> conn, CommandBatch batch) {
+  // The executor task owns the connection handle and the batch's raw
+  // bytes; the parsed Slices stay valid for the task's lifetime.
+  auto shared_batch =
+      std::make_shared<CommandBatch>(std::move(batch));
+  executor_->Submit([this, conn = std::move(conn), shared_batch] {
+    std::string out;
+    bool close_connection = false;
+    bool shutdown_server = false;
+    table_.ExecuteBatch(shared_batch->cmds, &out, &close_connection,
+                        &shutdown_server);
+    conn->CompleteBatch(std::move(out), close_connection, shutdown_server);
+  });
+}
+
+void Server::Stop() {
+  if (!running_) return;
+  loop_->Stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // Executor after loop: queued batches may still complete (their output
+  // is discarded against detached connections).
+  executor_->Shutdown();
+  running_ = false;
+}
+
+void Server::Wait() {
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+}  // namespace server
+}  // namespace tierbase

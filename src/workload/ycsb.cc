@@ -28,6 +28,43 @@ YcsbOptions WorkloadC() {
   return o;
 }
 
+YcsbOptions WorkloadD() {
+  YcsbOptions o;
+  o.update_proportion = 0.0;
+  o.insert_proportion = 0.05;
+  o.distribution = Distribution::kLatest;
+  return o;
+}
+
+YcsbOptions WorkloadE() {
+  // Scans are approximated as reads (see header); the insert fraction and
+  // Zipfian popularity match the core workload definition.
+  YcsbOptions o;
+  o.update_proportion = 0.0;
+  o.insert_proportion = 0.05;
+  return o;
+}
+
+YcsbOptions WorkloadF() {
+  // Read-modify-write issued as update (the read half is the same Zipfian
+  // read the mix already contains).
+  YcsbOptions o;
+  o.update_proportion = 0.5;
+  return o;
+}
+
+bool WorkloadByName(char name, YcsbOptions* out) {
+  switch (name) {
+    case 'a': case 'A': *out = WorkloadA(); return true;
+    case 'b': case 'B': *out = WorkloadB(); return true;
+    case 'c': case 'C': *out = WorkloadC(); return true;
+    case 'd': case 'D': *out = WorkloadD(); return true;
+    case 'e': case 'E': *out = WorkloadE(); return true;
+    case 'f': case 'F': *out = WorkloadF(); return true;
+    default: return false;
+  }
+}
+
 std::string KeyFor(uint64_t index) {
   char buf[32];
   snprintf(buf, sizeof(buf), "user%016llu",

@@ -51,10 +51,19 @@ struct YcsbOptions {
   uint64_t seed = 7;
 };
 
-/// Standard mixes from the YCSB core workloads.
+/// Standard mixes from the YCSB core workloads. D's "read latest" uses the
+/// Latest key distribution; E and F are approximated within this runner's
+/// op set — E's scans are issued as reads (no range scans over the hash
+/// cache tier) and F's read-modify-write as updates.
 YcsbOptions WorkloadA();  // 50/50 read/update.
 YcsbOptions WorkloadB();  // 95/5 read/update.
 YcsbOptions WorkloadC();  // 100% read.
+YcsbOptions WorkloadD();  // 95/5 read-latest/insert.
+YcsbOptions WorkloadE();  // 95/5 "scan"(read)/insert.
+YcsbOptions WorkloadF();  // 50/50 read/read-modify-write(update).
+
+/// Workload by letter 'A'..'F' (case-insensitive); false if unknown.
+bool WorkloadByName(char name, YcsbOptions* out);
 
 /// Key for record i ("user################", YCSB-style fixed width).
 std::string KeyFor(uint64_t index);

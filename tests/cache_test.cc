@@ -256,6 +256,40 @@ TEST(HashEngineTest, ZsetScoreAndRange) {
   EXPECT_EQ(out, (std::vector<std::string>{"b", "c"}));
 }
 
+TEST(HashEngineTest, ZrangeByRank) {
+  HashEngine engine;
+  ASSERT_TRUE(engine.ZAdd("z", 3.0, "c").ok());
+  ASSERT_TRUE(engine.ZAdd("z", 1.0, "a").ok());
+  ASSERT_TRUE(engine.ZAdd("z", 2.0, "b").ok());
+
+  std::vector<std::pair<std::string, double>> out;
+  ASSERT_TRUE(engine.ZRange("z", 0, -1, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, "a");
+  EXPECT_DOUBLE_EQ(out[0].second, 1.0);
+  EXPECT_EQ(out[2].first, "c");
+
+  // Negative ranks count from the end; stop is inclusive and clamped.
+  ASSERT_TRUE(engine.ZRange("z", -2, -1, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, "b");
+  ASSERT_TRUE(engine.ZRange("z", 1, 100, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, "b");
+
+  // Empty results: inverted range, range past the end, missing key.
+  ASSERT_TRUE(engine.ZRange("z", 2, 1, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(engine.ZRange("z", 5, 9, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(engine.ZRange("nosuch", 0, -1, &out).ok());
+  EXPECT_TRUE(out.empty());
+
+  // Wrong type surfaces InvalidArgument, like the other zset ops.
+  ASSERT_TRUE(engine.Set("str", "v").ok());
+  EXPECT_TRUE(engine.ZRange("str", 0, -1, &out).IsInvalidArgument());
+}
+
 TEST(HashEngineTest, ZsetRescoreMovesMember) {
   HashEngine engine;
   ASSERT_TRUE(engine.ZAdd("z", 1.0, "m").ok());
