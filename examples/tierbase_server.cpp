@@ -16,15 +16,26 @@
 //   --shards N          cache shards (default 4)
 //   --memory-budget B   cache budget in bytes; 0 = unlimited (default 0)
 //
+// Cluster membership (see README "Running a cluster"):
+//   --cluster-id ID     join a cluster under this node id: enables the
+//                       CLUSTER/REPLICAOF/REPLPULL/WAIT vocabulary, -MOVED
+//                       replies, and oplog recording for wire replication
+//   --replicaof H:P     boot as a replica streaming from this master
+//                       (normally the coordinator wires this on ADDNODE)
+//   --oplog-cap N       replication oplog bound in ops (default 65536)
+//
 // The process exits when a client issues SHUTDOWN (or on SIGINT/SIGTERM).
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "cluster_net/node_state.h"
 #include "common/env.h"
+#include "server/client.h"
 #include "tierbase/server.h"
 #include "tierbase/tierbase.h"
 
@@ -46,7 +57,9 @@ int Usage(const char* argv0) {
           "usage: %s [--host H] [--port N] [--port-file PATH]\n"
           "          [--policy cache-only|wal|write-through|write-back]\n"
           "          [--dir PATH] [--threads single|multi|elastic]\n"
-          "          [--max-threads N] [--shards N] [--memory-budget B]\n",
+          "          [--max-threads N] [--shards N] [--memory-budget B]\n"
+          "          [--cluster-id ID] [--replicaof HOST:PORT]\n"
+          "          [--oplog-cap N]\n",
           argv0);
   return 2;
 }
@@ -63,6 +76,9 @@ int main(int argc, char** argv) {
   int max_threads = 4;
   int shards = 4;
   size_t memory_budget = 0;
+  std::string cluster_id;
+  std::string replicaof;
+  size_t oplog_cap = 65536;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -90,6 +106,12 @@ int main(int argc, char** argv) {
       shards = atoi(next("--shards"));
     } else if (strcmp(argv[i], "--memory-budget") == 0) {
       memory_budget = strtoull(next("--memory-budget"), nullptr, 10);
+    } else if (strcmp(argv[i], "--cluster-id") == 0) {
+      cluster_id = next("--cluster-id");
+    } else if (strcmp(argv[i], "--replicaof") == 0) {
+      replicaof = next("--replicaof");
+    } else if (strcmp(argv[i], "--oplog-cap") == 0) {
+      oplog_cap = strtoull(next("--oplog-cap"), nullptr, 10);
     } else {
       return Usage(argv[0]);
     }
@@ -150,6 +172,20 @@ int main(int argc, char** argv) {
   server_options.executor.max_threads = max_threads;
 
   server::Server srv(db->get(), server_options);
+
+  std::unique_ptr<cluster_net::NodeClusterState> cluster;
+  if (!cluster_id.empty()) {
+    cluster_net::NodeClusterState::Options cluster_options;
+    cluster_options.id = cluster_id;
+    cluster_options.oplog_capacity = oplog_cap;
+    cluster = std::make_unique<cluster_net::NodeClusterState>(
+        db->get(), std::move(cluster_options));
+    srv.commands()->set_cluster(cluster.get());
+  } else if (!replicaof.empty()) {
+    fprintf(stderr, "--replicaof requires --cluster-id\n");
+    return 2;
+  }
+
   Status s = srv.Start();
   if (!s.ok()) {
     fprintf(stderr, "server: %s\n", s.ToString().c_str());
@@ -159,9 +195,23 @@ int main(int argc, char** argv) {
   signal(SIGINT, HandleSignal);
   signal(SIGTERM, HandleSignal);
 
-  printf("tierbase_server: %s policy, %s threading, listening on %s:%u\n",
+  if (!replicaof.empty()) {
+    std::string master_host;
+    uint16_t master_port = 0;
+    Status rs = server::ParseHostPort(replicaof, &master_host, &master_port);
+    if (rs.ok()) rs = cluster->StartReplicaOf(master_host, master_port);
+    if (!rs.ok()) {
+      fprintf(stderr, "--replicaof: %s\n", rs.ToString().c_str());
+      srv.Stop();
+      return 1;
+    }
+  }
+
+  printf("tierbase_server: %s policy, %s threading, listening on %s:%u%s%s\n",
          policy.c_str(), threads.c_str(), host.c_str(),
-         static_cast<unsigned>(srv.port()));
+         static_cast<unsigned>(srv.port()),
+         cluster_id.empty() ? "" : ", cluster node ",
+         cluster_id.c_str());
   fflush(stdout);
   if (!port_file.empty()) {
     std::string contents = std::to_string(srv.port()) + "\n";

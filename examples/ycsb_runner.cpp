@@ -15,7 +15,10 @@
 //   --threads N         client threads (default 1)
 //   --batch N           ops per engine call; >1 uses MultiGet/MultiSet,
 //                       which the remote mode ships as MGET/MSET (default 1)
-//   --remote HOST:PORT  drive a live server instead of in-process
+//   --remote HOST:PORT  drive a live server (or tierbase_proxy) directly
+//   --cluster SPEC[,..] drive a live cluster through the smart client:
+//                       SPECs are coordinator endpoints; keys route on the
+//                       shared ring, batches scatter–gather per node
 //   --policy P          in-process policy: cache-only (default) | wal
 //   --shards N          in-process cache shards (default 4)
 
@@ -23,9 +26,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "cluster_net/cluster_client.h"
 #include "common/env.h"
 #include "tierbase/server.h"
 #include "tierbase/tierbase.h"
@@ -51,7 +56,7 @@ int main(int argc, char** argv) {
   char workload_name = 'A';
   uint64_t records = 100000, ops = 100000;
   int threads = 1, batch = 1, shards = 4;
-  std::string remote, policy = "cache-only";
+  std::string remote, cluster, policy = "cache-only";
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -73,6 +78,8 @@ int main(int argc, char** argv) {
       batch = atoi(next("--batch"));
     } else if (strcmp(argv[i], "--remote") == 0) {
       remote = next("--remote");
+    } else if (strcmp(argv[i], "--cluster") == 0) {
+      cluster = next("--cluster");
     } else if (strcmp(argv[i], "--policy") == 0) {
       policy = next("--policy");
     } else if (strcmp(argv[i], "--shards") == 0) {
@@ -81,6 +88,7 @@ int main(int argc, char** argv) {
       fprintf(stderr,
               "usage: %s [--workload A-F] [--records N] [--ops N]\n"
               "          [--threads N] [--batch N] [--remote HOST:PORT]\n"
+              "          [--cluster COORD[,COORD...]]\n"
               "          [--policy cache-only|wal] [--shards N]\n",
               argv[0]);
       return 2;
@@ -100,8 +108,30 @@ int main(int argc, char** argv) {
   runner.batch_size = batch;
 
   std::unique_ptr<KvEngine> engine;
+  cluster_net::NetClusterClient* cluster_client = nullptr;
   std::string wal_dir;
-  if (!remote.empty()) {
+  if (!cluster.empty()) {
+    cluster_net::NetClusterClient::Options cluster_options;
+    std::stringstream specs(cluster);
+    std::string spec;
+    while (std::getline(specs, spec, ',')) {
+      if (!spec.empty()) cluster_options.coordinators.push_back(spec);
+    }
+    auto client = cluster_net::NetClusterClient::Connect(cluster_options);
+    if (!client.ok()) {
+      fprintf(stderr, "cluster connect %s: %s\n", cluster.c_str(),
+              client.status().ToString().c_str());
+      return 1;
+    }
+    cluster_client = client->get();
+    engine = std::move(*client);
+    if (threads > 1) {
+      fprintf(stderr,
+              "warning: --cluster shares one smart client; --threads %d "
+              "will be serialized\n",
+              threads);
+    }
+  } else if (!remote.empty()) {
     std::string host;
     uint16_t port = 0;
     Status s = server::ParseHostPort(remote, &host, &port);
@@ -152,6 +182,19 @@ int main(int argc, char** argv) {
 
   PrintResult("load", workload::RunLoadPhase(engine.get(), options, runner));
   PrintResult("run", workload::RunPhase(engine.get(), options, runner));
+
+  if (cluster_client != nullptr) {
+    cluster_net::NetClusterClient::Stats stats = cluster_client->GetStats();
+    printf("cluster: epoch=%llu refreshes=%llu moved=%llu reported=%llu\n",
+           static_cast<unsigned long long>(cluster_client->epoch()),
+           static_cast<unsigned long long>(stats.route_refreshes),
+           static_cast<unsigned long long>(stats.moved_redirects),
+           static_cast<unsigned long long>(stats.failures_reported));
+    for (const auto& [node, batches] : stats.node_batches) {
+      printf("cluster: routed_batches[%s]=%llu\n", node.c_str(),
+             static_cast<unsigned long long>(batches));
+    }
+  }
 
   engine->WaitIdle();
   engine.reset();

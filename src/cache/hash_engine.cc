@@ -824,6 +824,46 @@ size_t HashEngine::SweepExpired() {
   return removed;
 }
 
+uint64_t HashEngine::Scan(uint64_t cursor, size_t count,
+                          std::vector<std::string>* keys) {
+  // Cursor layout: shard index in the high 16 bits, bucket index below.
+  // Bucket counts can grow between calls; a rehash splits chains across
+  // buckets we may already have passed, which is within the documented
+  // (Redis-style) weak guarantee.
+  if (count == 0) count = 10;
+  size_t shard_idx = static_cast<size_t>(cursor >> 48);
+  size_t bucket_idx = static_cast<size_t>(cursor & ((uint64_t{1} << 48) - 1));
+  while (shard_idx < shards_.size()) {
+    Shard& shard = *shards_[shard_idx];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const size_t buckets = shard.table.buckets.size();
+    if (bucket_idx >= buckets) {
+      ++shard_idx;
+      bucket_idx = 0;
+      continue;
+    }
+    while (bucket_idx < buckets) {
+      for (Entry* e = shard.table.buckets[bucket_idx]; e != nullptr;
+           e = e->next_hash) {
+        if (!IsExpiredLocked(*e)) keys->push_back(e->key);
+      }
+      ++bucket_idx;
+      if (keys->size() >= count) {
+        if (bucket_idx >= buckets) {
+          ++shard_idx;
+          bucket_idx = 0;
+        }
+        if (shard_idx >= shards_.size()) return 0;
+        return (static_cast<uint64_t>(shard_idx) << 48) |
+               static_cast<uint64_t>(bucket_idx);
+      }
+    }
+    ++shard_idx;
+    bucket_idx = 0;
+  }
+  return 0;
+}
+
 void HashEngine::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

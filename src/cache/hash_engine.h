@@ -171,6 +171,14 @@ class HashEngine : public KvEngine {
   /// Removes expired entries eagerly (normally lazy). Returns # removed.
   size_t SweepExpired();
 
+  /// Cursor-based key iteration (SCAN / full-resync snapshots / key
+  /// migration). Starts at cursor 0; appends at least `count` live keys
+  /// (modulo expiry) and returns the cursor to resume from, or 0 when the
+  /// keyspace is exhausted. Guarantees match Redis SCAN loosely: keys
+  /// present for the whole scan are returned at least once; keys mutated
+  /// concurrently with a bucket rehash may be missed or duplicated.
+  uint64_t Scan(uint64_t cursor, size_t count, std::vector<std::string>* keys);
+
   /// Drops everything (tests, reload).
   void Clear();
 

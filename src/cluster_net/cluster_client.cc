@@ -1,0 +1,448 @@
+#include "cluster_net/cluster_client.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tierbase::cluster_net {
+
+namespace {
+
+/// Internal retry marker: the reply says our routing snapshot is stale
+/// (-MOVED from a node with a newer epoch, -READONLY from a not-yet
+/// promoted replica, -CLUSTERDOWN). Busy never escapes to callers.
+Status StaleRouteMarker(const std::string& msg) { return Status::Busy(msg); }
+
+bool IsStaleRouteReply(const server::RespValue& reply) {
+  return reply.IsError() && (reply.str.rfind("MOVED", 0) == 0 ||
+                             reply.str.rfind("READONLY", 0) == 0 ||
+                             reply.str.rfind("CLUSTERDOWN", 0) == 0);
+}
+
+uint64_t ParseInfoField(const std::string& info, const char* field) {
+  size_t pos = info.find(field);
+  if (pos == std::string::npos) return 0;
+  return strtoull(info.c_str() + pos + strlen(field), nullptr, 10);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<NetClusterClient>> NetClusterClient::Connect(
+    Options options) {
+  if (options.coordinators.empty()) {
+    return Status::InvalidArgument("no coordinator endpoints");
+  }
+  std::unique_ptr<NetClusterClient> client(
+      new NetClusterClient(std::move(options)));
+  std::lock_guard<std::mutex> lock(client->mu_);
+  Status s = client->RefreshRoutingLocked();
+  if (!s.ok()) return s;
+  return client;
+}
+
+Status NetClusterClient::CoordinatorCallLocked(const std::vector<Slice>& args,
+                                               server::RespValue* reply) {
+  Status last = Status::IOError("no coordinator reachable");
+  for (size_t attempt = 0; attempt < options_.coordinators.size() + 1;
+       ++attempt) {
+    if (!coordinator_.connected()) {
+      // Round-robin over the configured coordinator endpoints.
+      const std::string& spec =
+          options_.coordinators[attempt % options_.coordinators.size()];
+      std::string host;
+      uint16_t port = 0;
+      last = server::ParseHostPort(spec, &host, &port);
+      if (!last.ok()) continue;
+      last = coordinator_.Connect(host, port);
+      if (!last.ok()) continue;
+    }
+    last = coordinator_.Call(args, reply);
+    if (last.ok()) return Status::OK();
+    coordinator_.Close();
+  }
+  return last;
+}
+
+Status NetClusterClient::RefreshRoutingLocked() {
+  server::RespValue reply;
+  TIERBASE_RETURN_IF_ERROR(CoordinatorCallLocked({"CLUSTER", "NODES"}, &reply));
+  if (reply.type != server::RespValue::Type::kBulkString) {
+    return Status::IOError("malformed CLUSTER NODES reply");
+  }
+  WireRouting wire;
+  TIERBASE_RETURN_IF_ERROR(WireRouting::Parse(reply.str, &wire));
+  routing_ = std::move(wire);
+  router_ = routing_.BuildRouter();
+  reported_.clear();
+  ++stats_.route_refreshes;
+  return Status::OK();
+}
+
+void NetClusterClient::ReportFailureLocked(const std::string& node_id) {
+  conns_.erase(node_id);
+  // One report per node per routing snapshot: a dead node shows up once
+  // per failed sub-batch key otherwise (the refresh clears the set).
+  if (!reported_.insert(node_id).second) return;
+  ++stats_.failures_reported;
+  server::RespValue reply;
+  CoordinatorCallLocked({"CLUSTER", "FAIL", node_id}, &reply);
+}
+
+server::Client* NetClusterClient::MasterConnLocked(const std::string& shard,
+                                                   Status* why,
+                                                   std::string* node_id) {
+  const NodeRecord* master = routing_.MasterOfShard(shard);
+  if (master == nullptr) {
+    *why = Status::Unavailable("no healthy master for shard " + shard);
+    node_id->clear();
+    return nullptr;
+  }
+  *node_id = master->id;
+  auto it = conns_.find(master->id);
+  if (it != conns_.end() && it->second->connected()) return it->second.get();
+  auto conn = std::make_unique<server::Client>();
+  *why = conn->Connect(master->host, master->port);
+  if (!why->ok()) {
+    conns_.erase(master->id);
+    return nullptr;
+  }
+  server::Client* raw = conn.get();
+  conns_[master->id] = std::move(conn);
+  return raw;
+}
+
+template <typename Op>
+Status NetClusterClient::WithRetriesLocked(const Slice& key, Op op) {
+  Status last = Status::Unavailable("empty cluster");
+  for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
+    std::string shard = router_.Route(key);
+    if (shard.empty()) {
+      last = Status::Unavailable("no shards in the ring");
+      Status r = RefreshRoutingLocked();
+      if (!r.ok()) return r;
+      continue;
+    }
+    Status why;
+    std::string node_id;
+    server::Client* conn = MasterConnLocked(shard, &why, &node_id);
+    if (conn == nullptr) {
+      last = why;
+      if (!node_id.empty()) ReportFailureLocked(node_id);
+      RefreshRoutingLocked();
+      continue;
+    }
+    Status s = op(conn);
+    if (s.IsIOError()) {
+      // Connection-level failure: the node is likely down.
+      last = s;
+      ReportFailureLocked(node_id);
+      RefreshRoutingLocked();
+      continue;
+    }
+    if (s.IsBusy()) {
+      // Stale route (-MOVED / -READONLY): refresh, no failure report.
+      last = Status::Unavailable(s.message());
+      ++stats_.moved_redirects;
+      RefreshRoutingLocked();
+      continue;
+    }
+    return s;
+  }
+  return last;
+}
+
+Status NetClusterClient::Set(const Slice& key, const Slice& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WithRetriesLocked(key, [&](server::Client* conn) {
+    server::RespValue reply;
+    TIERBASE_RETURN_IF_ERROR(conn->Call({"SET", key, value}, &reply));
+    if (IsStaleRouteReply(reply)) return StaleRouteMarker(reply.str);
+    if (reply.IsError()) return Status::InvalidArgument(reply.str);
+    return Status::OK();
+  });
+}
+
+Status NetClusterClient::Get(const Slice& key, std::string* value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WithRetriesLocked(key, [&](server::Client* conn) {
+    server::RespValue reply;
+    TIERBASE_RETURN_IF_ERROR(conn->Call({"GET", key}, &reply));
+    if (IsStaleRouteReply(reply)) return StaleRouteMarker(reply.str);
+    if (reply.IsError()) return Status::InvalidArgument(reply.str);
+    if (reply.IsNull()) return Status::NotFound("");
+    *value = std::move(reply.str);
+    return Status::OK();
+  });
+}
+
+Status NetClusterClient::Delete(const Slice& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WithRetriesLocked(key, [&](server::Client* conn) {
+    server::RespValue reply;
+    TIERBASE_RETURN_IF_ERROR(conn->Call({"DEL", key}, &reply));
+    if (IsStaleRouteReply(reply)) return StaleRouteMarker(reply.str);
+    if (reply.IsError()) return Status::InvalidArgument(reply.str);
+    return Status::OK();
+  });
+}
+
+Status NetClusterClient::Forward(const std::vector<Slice>& args,
+                                 const Slice& key,
+                                 server::RespValue* reply) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WithRetriesLocked(key, [&](server::Client* conn) {
+    TIERBASE_RETURN_IF_ERROR(conn->Call(args, reply));
+    if (IsStaleRouteReply(*reply)) return StaleRouteMarker(reply->str);
+    // Other error replies (WRONGTYPE, arity) relay verbatim to the caller.
+    return Status::OK();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Scatter–gather batches.
+// ---------------------------------------------------------------------------
+
+void NetClusterClient::MultiGet(const std::vector<Slice>& keys,
+                                std::vector<std::string>* values,
+                                std::vector<Status>* statuses) {
+  values->assign(keys.size(), std::string());
+  statuses->assign(keys.size(), Status::Unavailable("not attempted"));
+  if (keys.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+
+  std::vector<bool> pending(keys.size(), true);
+  for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
+    // Plan: per healthy-master node, the pending key indices it owns.
+    struct Group {
+      server::Client* conn;
+      std::string node_id;
+      std::vector<size_t> indices;
+    };
+    std::map<std::string, Group> groups;
+    bool any_pending = false;
+    bool need_refresh = false;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (!pending[i]) continue;
+      any_pending = true;
+      std::string shard = router_.Route(keys[i]);
+      Status why;
+      std::string node_id;
+      server::Client* conn =
+          shard.empty() ? nullptr : MasterConnLocked(shard, &why, &node_id);
+      if (conn == nullptr) {
+        (*statuses)[i] = shard.empty()
+                             ? Status::Unavailable("no shards in the ring")
+                             : why;
+        if (!node_id.empty()) ReportFailureLocked(node_id);
+        need_refresh = true;
+        continue;
+      }
+      Group& g = groups[node_id];
+      g.conn = conn;
+      g.node_id = node_id;
+      g.indices.push_back(i);
+    }
+    if (!any_pending) return;
+
+    // Scatter: ship every sub-batch before reading any reply.
+    for (auto& [id, g] : groups) {
+      std::vector<Slice> args;
+      args.reserve(g.indices.size() + 1);
+      args.emplace_back("MGET");
+      for (size_t i : g.indices) args.push_back(keys[i]);
+      g.conn->Append(args);
+      Status s = g.conn->Flush();
+      if (!s.ok()) {
+        for (size_t i : g.indices) (*statuses)[i] = s;
+        ReportFailureLocked(g.node_id);
+        g.conn = nullptr;
+        need_refresh = true;
+        continue;
+      }
+      ++stats_.node_batches[g.node_id];
+    }
+
+    // Gather.
+    for (auto& [id, g] : groups) {
+      if (g.conn == nullptr) continue;  // Flush already failed.
+      server::RespValue reply;
+      Status s = g.conn->ReadReply(&reply);
+      if (!s.ok()) {
+        for (size_t i : g.indices) (*statuses)[i] = s;
+        ReportFailureLocked(g.node_id);
+        need_refresh = true;
+        continue;
+      }
+      if (IsStaleRouteReply(reply)) {
+        ++stats_.moved_redirects;
+        for (size_t i : g.indices) {
+          (*statuses)[i] = Status::Unavailable(reply.str);
+        }
+        need_refresh = true;
+        continue;
+      }
+      if (reply.type != server::RespValue::Type::kArray ||
+          reply.elements.size() != g.indices.size()) {
+        Status bad = reply.IsError() ? Status::InvalidArgument(reply.str)
+                                     : Status::IOError("malformed MGET reply");
+        for (size_t i : g.indices) {
+          (*statuses)[i] = bad;
+          pending[i] = false;  // Final: a malformed reply will not improve.
+        }
+        continue;
+      }
+      for (size_t k = 0; k < g.indices.size(); ++k) {
+        size_t i = g.indices[k];
+        server::RespValue& e = reply.elements[k];
+        if (e.type == server::RespValue::Type::kBulkString) {
+          (*values)[i] = std::move(e.str);
+          (*statuses)[i] = Status::OK();
+        } else {
+          (*statuses)[i] = Status::NotFound("");
+        }
+        pending[i] = false;
+      }
+    }
+
+    if (!need_refresh) return;
+    RefreshRoutingLocked();
+  }
+}
+
+void NetClusterClient::MultiSet(const std::vector<Slice>& keys,
+                                const std::vector<Slice>& values,
+                                std::vector<Status>* statuses) {
+  statuses->assign(keys.size(), Status::Unavailable("not attempted"));
+  if (keys.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+
+  std::vector<bool> pending(keys.size(), true);
+  for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
+    struct Group {
+      server::Client* conn;
+      std::string node_id;
+      std::vector<size_t> indices;
+    };
+    std::map<std::string, Group> groups;
+    bool any_pending = false;
+    bool need_refresh = false;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (!pending[i]) continue;
+      any_pending = true;
+      std::string shard = router_.Route(keys[i]);
+      Status why;
+      std::string node_id;
+      server::Client* conn =
+          shard.empty() ? nullptr : MasterConnLocked(shard, &why, &node_id);
+      if (conn == nullptr) {
+        (*statuses)[i] = shard.empty()
+                             ? Status::Unavailable("no shards in the ring")
+                             : why;
+        if (!node_id.empty()) ReportFailureLocked(node_id);
+        need_refresh = true;
+        continue;
+      }
+      Group& g = groups[node_id];
+      g.conn = conn;
+      g.node_id = node_id;
+      g.indices.push_back(i);
+    }
+    if (!any_pending) return;
+
+    for (auto& [id, g] : groups) {
+      std::vector<Slice> args;
+      args.reserve(g.indices.size() * 2 + 1);
+      args.emplace_back("MSET");
+      for (size_t i : g.indices) {
+        args.push_back(keys[i]);
+        args.push_back(values[i]);
+      }
+      g.conn->Append(args);
+      Status s = g.conn->Flush();
+      if (!s.ok()) {
+        for (size_t i : g.indices) (*statuses)[i] = s;
+        ReportFailureLocked(g.node_id);
+        g.conn = nullptr;
+        need_refresh = true;
+        continue;
+      }
+      ++stats_.node_batches[g.node_id];
+    }
+
+    for (auto& [id, g] : groups) {
+      if (g.conn == nullptr) continue;
+      server::RespValue reply;
+      Status s = g.conn->ReadReply(&reply);
+      if (!s.ok()) {
+        for (size_t i : g.indices) (*statuses)[i] = s;
+        ReportFailureLocked(g.node_id);
+        need_refresh = true;
+        continue;
+      }
+      if (IsStaleRouteReply(reply)) {
+        ++stats_.moved_redirects;
+        for (size_t i : g.indices) {
+          (*statuses)[i] = Status::Unavailable(reply.str);
+        }
+        need_refresh = true;
+        continue;
+      }
+      Status outcome = reply.IsError() ? Status::InvalidArgument(reply.str)
+                                       : Status::OK();
+      for (size_t i : g.indices) {
+        (*statuses)[i] = outcome;
+        pending[i] = false;
+      }
+    }
+
+    if (!need_refresh) return;
+    RefreshRoutingLocked();
+  }
+}
+
+UsageStats NetClusterClient::GetUsage() const {
+  UsageStats total;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto* self = const_cast<NetClusterClient*>(this);
+  for (const NodeRecord& node : routing_.nodes) {
+    if (node.is_replica || !node.healthy) continue;
+    Status why;
+    std::string node_id;
+    server::Client* conn = self->MasterConnLocked(node.shard, &why, &node_id);
+    if (conn == nullptr) continue;
+    server::RespValue reply;
+    if (!conn->Call({"INFO"}, &reply).ok() ||
+        reply.type != server::RespValue::Type::kBulkString) {
+      continue;
+    }
+    total.memory_bytes += ParseInfoField(reply.str, "bytes_cached:");
+    total.pmem_bytes += ParseInfoField(reply.str, "pmem_bytes:");
+    total.keys += ParseInfoField(reply.str, "keys_cached:");
+  }
+  return total;
+}
+
+Status NetClusterClient::WaitIdle() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    server::RespValue reply;
+    if (it->second->connected() &&
+        it->second->Call({"PING"}, &reply).ok()) {
+      ++it;
+    } else {
+      it = conns_.erase(it);
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t NetClusterClient::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return routing_.epoch;
+}
+
+NetClusterClient::Stats NetClusterClient::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace tierbase::cluster_net

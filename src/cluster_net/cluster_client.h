@@ -1,0 +1,110 @@
+// NetClusterClient: the smart data-path client of the networked cluster
+// (§3 client tier). It pulls a routing snapshot from the coordinator,
+// routes each key on the shared consistent-hash ring, and keeps one
+// pipelined connection per data node.
+//
+// Batched ops are scatter–gathered: MultiGet/MultiSet split the batch into
+// per-node sub-batches, ship them as MGET/MSET on every node's connection
+// before reading any reply (so the sub-batches execute concurrently server
+// side), then stitch the replies back into caller order.
+//
+// Staleness and failure handling follow the paper's pull-based refresh
+// protocol: on -MOVED (a node with a newer epoch rejected the key), on
+// connection failure, or on Unavailable, the client reports the failure to
+// the coordinator (CLUSTER FAIL), refreshes its snapshot, and retries —
+// which is how a master kill converges to the promoted replica without any
+// client restart.
+//
+// Thread model: one internal mutex serializes operations (connections are
+// plain blocking sockets). Use one client per runner thread to measure
+// parallel throughput, exactly like RemoteEngine.
+
+#ifndef TIERBASE_CLUSTER_NET_CLUSTER_CLIENT_H_
+#define TIERBASE_CLUSTER_NET_CLUSTER_CLIENT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster_net/routing.h"
+#include "common/kv_engine.h"
+#include "server/client.h"
+
+namespace tierbase::cluster_net {
+
+class NetClusterClient : public KvEngine {
+ public:
+  struct Options {
+    /// Coordinator endpoints ("host:port"), tried in order.
+    std::vector<std::string> coordinators;
+    /// Routing refreshes (and retries) per operation before giving up.
+    int max_retries = 3;
+  };
+
+  static Result<std::unique_ptr<NetClusterClient>> Connect(Options options);
+
+  std::string name() const override { return "cluster-client-net"; }
+
+  Status Set(const Slice& key, const Slice& value) override;
+  Status Get(const Slice& key, std::string* value) override;
+  Status Delete(const Slice& key) override;
+  void MultiGet(const std::vector<Slice>& keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses) override;
+  void MultiSet(const std::vector<Slice>& keys,
+                const std::vector<Slice>& values,
+                std::vector<Status>* statuses) override;
+  /// Aggregated footprint across all healthy masters (INFO per node).
+  UsageStats GetUsage() const override;
+  /// PING round trip on every cached connection.
+  Status WaitIdle() override;
+
+  /// Forwards an arbitrary single-key command to the key's owner with the
+  /// same refresh/retry loop (the proxy relays rich-type commands this
+  /// way). `key` must be one of `args`.
+  Status Forward(const std::vector<Slice>& args, const Slice& key,
+                 server::RespValue* reply);
+
+  uint64_t epoch() const;
+
+  struct Stats {
+    uint64_t route_refreshes = 0;
+    uint64_t moved_redirects = 0;
+    uint64_t failures_reported = 0;
+    /// Scatter–gather sub-batches shipped, per node id.
+    std::map<std::string, uint64_t> node_batches;
+  };
+  Stats GetStats() const;
+
+ private:
+  explicit NetClusterClient(Options options)
+      : options_(std::move(options)) {}
+
+  // All Locked methods require mu_.
+  Status RefreshRoutingLocked();
+  void ReportFailureLocked(const std::string& node_id);
+  /// Connection to the healthy master of `shard` (cached; reconnects on
+  /// demand). Null with *why set when the shard has no reachable master.
+  server::Client* MasterConnLocked(const std::string& shard, Status* why,
+                                   std::string* node_id);
+  Status CoordinatorCallLocked(const std::vector<Slice>& args,
+                               server::RespValue* reply);
+  template <typename Op>
+  Status WithRetriesLocked(const Slice& key, Op op);
+
+  Options options_;
+  mutable std::mutex mu_;
+  WireRouting routing_;
+  cluster::Router router_{64};
+  std::map<std::string, std::unique_ptr<server::Client>> conns_;  // By node.
+  std::set<std::string> reported_;  // Failure reports this snapshot.
+  server::Client coordinator_;
+  Stats stats_;
+};
+
+}  // namespace tierbase::cluster_net
+
+#endif  // TIERBASE_CLUSTER_NET_CLUSTER_CLIENT_H_

@@ -1,0 +1,368 @@
+#include "cluster_net/coordinator_service.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#include "server/client.h"
+
+namespace tierbase::cluster_net {
+
+namespace {
+
+using server::EqualsUpper;
+
+/// Ids, hosts and shard names travel in the whitespace/line-delimited
+/// WireRouting payload; one malformed token would wedge routing parsing
+/// cluster-wide, so registration rejects anything outside [A-Za-z0-9._-].
+bool ValidToken(const std::string& s) {
+  if (s.empty() || s.size() > 128) return false;
+  for (char c : s) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CoordinatorService::CoordinatorService(Options options)
+    : options_(std::move(options)) {
+  routing_.virtual_nodes = options_.virtual_nodes;
+  routing_.epoch = 1;
+}
+
+CoordinatorService::~CoordinatorService() { Stop(); }
+
+Status CoordinatorService::Start() {
+  if (running_) return Status::InvalidArgument("coordinator already running");
+  server::EventLoopOptions net;
+  net.host = options_.host;
+  net.port = options_.port;
+  loop_ = std::make_unique<server::EventLoop>(
+      net, [this](std::shared_ptr<server::Connection> conn,
+                  server::CommandBatch batch) {
+        // Control-plane commands are cheap; execute on the loop thread.
+        std::string out;
+        bool close_connection = false;
+        bool shutdown_server = false;
+        Execute(batch.cmds, &out, &close_connection, &shutdown_server);
+        conn->CompleteBatch(std::move(out), close_connection,
+                            shutdown_server);
+      });
+  Status s = loop_->Listen();
+  if (!s.ok()) {
+    loop_.reset();
+    return s;
+  }
+  loop_thread_ = std::thread([this] { loop_->Run(); });
+  if (options_.probe_interval_micros > 0) {
+    stop_probe_.store(false);
+    probe_thread_ = std::thread(&CoordinatorService::ProbeLoop, this);
+  }
+  running_ = true;
+  return Status::OK();
+}
+
+void CoordinatorService::Stop() {
+  if (!running_) return;
+  stop_probe_.store(true, std::memory_order_release);
+  if (probe_thread_.joinable()) probe_thread_.join();
+  loop_->Stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  running_ = false;
+}
+
+void CoordinatorService::Wait() {
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+uint64_t CoordinatorService::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return routing_.epoch;
+}
+
+WireRouting CoordinatorService::Routing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return routing_;
+}
+
+Status CoordinatorService::CallNode(const NodeRecord& node,
+                                    const std::vector<Slice>& args,
+                                    server::RespValue* reply) {
+  // Bounded I/O: a hung node must cost the control plane at most a couple
+  // of seconds, not a kernel TCP timeout (the loop thread runs this).
+  constexpr uint64_t kNodeIoTimeoutMicros = 2'000'000;
+  server::Client client;
+  TIERBASE_RETURN_IF_ERROR(
+      client.Connect(node.host, node.port, kNodeIoTimeoutMicros));
+  TIERBASE_RETURN_IF_ERROR(client.Call(args, reply));
+  if (reply->IsError()) return Status::IOError(reply->str);
+  return Status::OK();
+}
+
+void CoordinatorService::PushRouting() {
+  WireRouting snapshot = Routing();
+  const std::string payload = snapshot.Serialize();
+  for (const NodeRecord& node : snapshot.nodes) {
+    if (!node.healthy) continue;
+    server::RespValue reply;
+    // Best effort: a node that misses the push answers -MOVED with a stale
+    // epoch until the next push; clients recover via coordinator refresh.
+    CallNode(node, {"CLUSTER", "SETSLOTS", payload}, &reply);
+  }
+}
+
+Status CoordinatorService::AddNode(const std::string& id,
+                                   const std::string& host, uint16_t port,
+                                   const std::string& replica_of_shard) {
+  if (!ValidToken(id) || !ValidToken(host) ||
+      (!replica_of_shard.empty() && !ValidToken(replica_of_shard))) {
+    return Status::InvalidArgument("invalid node id/host/shard token");
+  }
+  NodeRecord master_of_shard;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (routing_.FindNode(id) != nullptr) {
+      return Status::InvalidArgument("duplicate node id: " + id);
+    }
+    NodeRecord rec;
+    rec.id = id;
+    rec.host = host;
+    rec.port = port;
+    if (replica_of_shard.empty()) {
+      rec.shard = id;
+    } else {
+      const NodeRecord* master = routing_.MasterOfShard(replica_of_shard);
+      if (master == nullptr) {
+        return Status::NotFound("no healthy master for shard: " +
+                                replica_of_shard);
+      }
+      master_of_shard = *master;
+      rec.is_replica = true;
+      rec.shard = replica_of_shard;
+    }
+    routing_.nodes.push_back(std::move(rec));
+    ++routing_.epoch;
+  }
+  PushRouting();
+  if (!replica_of_shard.empty()) {
+    // Wire replication: tell the replica who its master is.
+    NodeRecord replica;
+    replica.id = id;
+    replica.host = host;
+    replica.port = port;
+    server::RespValue reply;
+    CallNode(replica,
+             {"REPLICAOF", master_of_shard.host,
+              std::to_string(master_of_shard.port)},
+             &reply);
+  }
+  return Status::OK();
+}
+
+Status CoordinatorService::MarkFailed(const std::string& id) {
+  NodeRecord promoted;
+  bool have_promotion = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NodeRecord* failed = nullptr;
+    for (NodeRecord& n : routing_.nodes) {
+      if (n.id == id) failed = &n;
+    }
+    if (failed == nullptr) return Status::NotFound("unknown node: " + id);
+    if (!failed->healthy) return Status::OK();  // Already handled.
+    failed->healthy = false;
+    if (!failed->is_replica) {
+      // Promote the shard's healthy replica, if any; otherwise the shard
+      // leaves the ring and its keyspace falls to ring successors.
+      for (NodeRecord& n : routing_.nodes) {
+        if (n.is_replica && n.healthy && n.shard == failed->shard) {
+          n.is_replica = false;
+          promoted = n;
+          have_promotion = true;
+          break;
+        }
+      }
+    }
+    ++routing_.epoch;
+  }
+  if (have_promotion) {
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+    server::RespValue reply;
+    CallNode(promoted, {"REPLICAOF", "NO", "ONE"}, &reply);
+  }
+  PushRouting();
+  return Status::OK();
+}
+
+Status CoordinatorService::Recover(const std::string& id) {
+  NodeRecord rejoined;
+  NodeRecord current_master;
+  bool as_replica = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NodeRecord* rec = nullptr;
+    for (NodeRecord& n : routing_.nodes) {
+      if (n.id == id) rec = &n;
+    }
+    if (rec == nullptr) return Status::NotFound("unknown node: " + id);
+    if (rec->healthy) return Status::OK();
+    rec->healthy = true;
+    // If the shard gained another master while this node was down (its old
+    // replica was promoted), the node rejoins as a replica of that master.
+    const NodeRecord* master = routing_.MasterOfShard(rec->shard);
+    if (master != nullptr && master->id != rec->id) {
+      rec->is_replica = true;
+      as_replica = true;
+      current_master = *master;
+    } else {
+      rec->is_replica = false;
+    }
+    rejoined = *rec;
+    ++routing_.epoch;
+  }
+  server::RespValue reply;
+  if (as_replica) {
+    CallNode(rejoined,
+             {"REPLICAOF", current_master.host,
+              std::to_string(current_master.port)},
+             &reply);
+  } else {
+    CallNode(rejoined, {"REPLICAOF", "NO", "ONE"}, &reply);
+  }
+  PushRouting();
+  return Status::OK();
+}
+
+void CoordinatorService::ProbeLoop() {
+  constexpr uint64_t kSliceMicros = 5'000;
+  while (!stop_probe_.load(std::memory_order_acquire)) {
+    uint64_t slept = 0;
+    while (slept < options_.probe_interval_micros &&
+           !stop_probe_.load(std::memory_order_acquire)) {
+      uint64_t slice =
+          std::min(kSliceMicros, options_.probe_interval_micros - slept);
+      std::this_thread::sleep_for(std::chrono::microseconds(slice));
+      slept += slice;
+    }
+    if (stop_probe_.load(std::memory_order_acquire)) return;
+    WireRouting snapshot = Routing();
+    for (const NodeRecord& node : snapshot.nodes) {
+      if (!node.healthy) continue;
+      server::RespValue reply;
+      if (!CallNode(node, {"PING"}, &reply).ok()) MarkFailed(node.id);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RESP front end.
+// ---------------------------------------------------------------------------
+
+void CoordinatorService::Execute(
+    const std::vector<server::RespCommand>& cmds, std::string* out,
+    bool* close_connection, bool* shutdown_server) {
+  for (const server::RespCommand& cmd : cmds) {
+    if (cmd.args.empty()) {
+      server::AppendError(out, "ERR empty command");
+      continue;
+    }
+    const Slice& name = cmd.args[0];
+    if (EqualsUpper(name, "PING")) {
+      server::AppendSimpleString(out, "PONG");
+    } else if (EqualsUpper(name, "QUIT")) {
+      server::AppendSimpleString(out, "OK");
+      *close_connection = true;
+    } else if (EqualsUpper(name, "SHUTDOWN")) {
+      server::AppendSimpleString(out, "OK");
+      *close_connection = true;
+      *shutdown_server = true;
+    } else if (EqualsUpper(name, "COMMAND")) {
+      server::AppendArrayHeader(out, 0);
+    } else if (EqualsUpper(name, "INFO")) {
+      WireRouting snapshot = Routing();
+      std::string body = "# Coordinator\r\n";
+      char line[96];
+      snprintf(line, sizeof(line), "cluster_epoch:%" PRIu64 "\r\n",
+               snapshot.epoch);
+      body += line;
+      snprintf(line, sizeof(line), "known_nodes:%zu\r\n",
+               snapshot.nodes.size());
+      body += line;
+      snprintf(line, sizeof(line), "failovers:%" PRIu64 "\r\n",
+               failovers_.load());
+      body += line;
+      server::AppendBulk(out, body);
+    } else if (EqualsUpper(name, "CLUSTER") && cmd.args.size() >= 2) {
+      ExecuteCluster(cmd, out);
+    } else {
+      std::string msg = "ERR unknown command '";
+      msg.append(name.data(), std::min<size_t>(name.size(), 64));
+      msg += "'";
+      server::AppendError(out, msg);
+    }
+  }
+}
+
+void CoordinatorService::ExecuteCluster(const server::RespCommand& cmd,
+                                        std::string* out) {
+  const Slice& sub = cmd.args[1];
+  if (EqualsUpper(sub, "EPOCH") && cmd.args.size() == 2) {
+    server::AppendInteger(out, static_cast<int64_t>(epoch()));
+  } else if (EqualsUpper(sub, "NODES") && cmd.args.size() == 2) {
+    server::AppendBulk(out, Routing().Serialize());
+  } else if (EqualsUpper(sub, "ROUTE") && cmd.args.size() == 3) {
+    WireRouting snapshot = Routing();
+    cluster::Router router = snapshot.BuildRouter();
+    std::string shard = router.Route(cmd.args[2]);
+    if (shard.empty()) {
+      server::AppendError(out, "CLUSTERDOWN no shards in the ring");
+      return;
+    }
+    const NodeRecord* master = snapshot.MasterOfShard(shard);
+    server::AppendBulk(
+        out, shard + " " + (master == nullptr ? "?:0" : master->endpoint()));
+  } else if (EqualsUpper(sub, "ADDNODE") &&
+             (cmd.args.size() == 5 || cmd.args.size() == 7)) {
+    long port = strtol(cmd.args[4].ToString().c_str(), nullptr, 10);
+    if (port <= 0 || port > 65535) {
+      server::AppendError(out, "ERR invalid node port");
+      return;
+    }
+    std::string replica_of;
+    if (cmd.args.size() == 7) {
+      if (!EqualsUpper(cmd.args[5], "REPLICAOF")) {
+        server::AppendError(out, "ERR syntax error");
+        return;
+      }
+      replica_of = cmd.args[6].ToString();
+    }
+    Status s = AddNode(cmd.args[2].ToString(), cmd.args[3].ToString(),
+                       static_cast<uint16_t>(port), replica_of);
+    if (s.ok()) {
+      server::AppendSimpleString(out, "OK");
+    } else {
+      server::AppendError(out, "ERR " + s.ToString());
+    }
+  } else if (EqualsUpper(sub, "FAIL") && cmd.args.size() == 3) {
+    Status s = MarkFailed(cmd.args[2].ToString());
+    if (s.ok()) {
+      server::AppendSimpleString(out, "OK");
+    } else {
+      server::AppendError(out, "ERR " + s.ToString());
+    }
+  } else if (EqualsUpper(sub, "RECOVER") && cmd.args.size() == 3) {
+    Status s = Recover(cmd.args[2].ToString());
+    if (s.ok()) {
+      server::AppendSimpleString(out, "OK");
+    } else {
+      server::AppendError(out, "ERR " + s.ToString());
+    }
+  } else {
+    server::AppendError(out, "ERR unknown CLUSTER subcommand");
+  }
+}
+
+}  // namespace tierbase::cluster_net

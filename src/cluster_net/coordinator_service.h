@@ -1,0 +1,101 @@
+// CoordinatorService: the networked control plane (§3 "coordinator
+// cluster"). It owns the authoritative routing table — shards on a
+// consistent-hash ring, each served by a master and optionally a replica —
+// and serves it over RESP:
+//
+//   CLUSTER ADDNODE <id> <host> <port> [REPLICAOF <shard>]
+//   CLUSTER NODES | CLUSTER EPOCH | CLUSTER ROUTE <key>
+//   CLUSTER FAIL <id> | CLUSTER RECOVER <id>
+//
+// Every membership change bumps the epoch and pushes the new snapshot to
+// all healthy data nodes (CLUSTER SETSLOTS), so nodes answer -MOVED with
+// fresh routes while clients pull refreshes lazily. Registering a replica
+// wires replication automatically: the coordinator tells the replica
+// REPLICAOF <master host> <master port>. When a master is reported failed,
+// the coordinator promotes the shard's healthy replica (REPLICAOF NO ONE),
+// repoints the shard at it, and bumps the epoch — the failover flow of
+// §6.4, observable from outside via CLUSTER EPOCH / INFO role.
+//
+// An optional probe thread PINGs every node and reports failures itself;
+// clients also report failures they observe (CLUSTER FAIL), so failover
+// works with probing disabled (the deterministic test configuration).
+
+#ifndef TIERBASE_CLUSTER_NET_COORDINATOR_SERVICE_H_
+#define TIERBASE_CLUSTER_NET_COORDINATOR_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster_net/routing.h"
+#include "server/event_loop.h"
+
+namespace tierbase::cluster_net {
+
+class CoordinatorService {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  // 0 = ephemeral.
+    int virtual_nodes = 64;
+    /// PING every node this often and fail unresponsive ones; 0 = off.
+    uint64_t probe_interval_micros = 0;
+  };
+
+  explicit CoordinatorService(Options options);
+  ~CoordinatorService();
+
+  CoordinatorService(const CoordinatorService&) = delete;
+  CoordinatorService& operator=(const CoordinatorService&) = delete;
+
+  Status Start();
+  void Stop();
+  /// Async-signal-safe half of Stop(): ends the event loop; the caller's
+  /// Wait()/Stop() then performs the joins.
+  void RequestStop() {
+    if (loop_ != nullptr) loop_->Stop();
+  }
+  /// Blocks until the control loop exits (SHUTDOWN or Stop()).
+  void Wait();
+  uint16_t port() const { return loop_ == nullptr ? 0 : loop_->port(); }
+
+  // In-process API (the RESP commands call straight into these).
+  Status AddNode(const std::string& id, const std::string& host,
+                 uint16_t port, const std::string& replica_of_shard);
+  Status MarkFailed(const std::string& id);
+  Status Recover(const std::string& id);
+  uint64_t epoch() const;
+  WireRouting Routing() const;
+
+  uint64_t failovers() const { return failovers_.load(); }
+
+ private:
+  void Execute(const std::vector<server::RespCommand>& cmds, std::string* out,
+               bool* close_connection, bool* shutdown_server);
+  void ExecuteCluster(const server::RespCommand& cmd, std::string* out);
+  /// Best-effort CLUSTER SETSLOTS push to every healthy node.
+  void PushRouting();
+  /// Best-effort one-shot command to a node (REPLICAOF wiring, probes).
+  static Status CallNode(const NodeRecord& node,
+                         const std::vector<Slice>& args,
+                         server::RespValue* reply);
+  void ProbeLoop();
+
+  Options options_;
+  mutable std::mutex mu_;
+  WireRouting routing_;
+
+  std::unique_ptr<server::EventLoop> loop_;
+  std::thread loop_thread_;
+  std::thread probe_thread_;
+  std::atomic<bool> stop_probe_{false};
+  std::atomic<uint64_t> failovers_{0};
+  bool running_ = false;
+};
+
+}  // namespace tierbase::cluster_net
+
+#endif  // TIERBASE_CLUSTER_NET_COORDINATOR_SERVICE_H_

@@ -1,0 +1,87 @@
+// OpLog: the master side of wire replication (§4.1.2, §6.4). Every applied
+// string mutation is appended with a monotonically increasing sequence
+// number; replicas pull ranges with REPLPULL and detect gaps by sequence.
+// The log is a bounded ring — when a replica falls further behind than the
+// capacity, its next pull reports a gap and the replica performs a full
+// resync (REPLSNAPSHOT pages) before resuming incremental pulls.
+
+#ifndef TIERBASE_CLUSTER_NET_OPLOG_H_
+#define TIERBASE_CLUSTER_NET_OPLOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tierbase::cluster_net {
+
+struct ReplOp {
+  enum class Type : uint8_t {
+    kSet = 0,
+    kDelete = 1,
+    kFlushAll = 2,
+    kExpire = 3,
+  };
+  Type type = Type::kSet;
+  uint64_t seq = 0;
+  std::string key;
+  std::string value;
+  uint64_t ttl_micros = 0;  // 0 = no expiry (kSet/kExpire).
+};
+
+class OpLog {
+ public:
+  explicit OpLog(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Assigns the next sequence number, appends, and drops the oldest entry
+  /// beyond capacity. Returns the assigned sequence.
+  uint64_t Append(ReplOp op) {
+    std::lock_guard<std::mutex> lock(mu_);
+    op.seq = next_seq_++;
+    log_.push_back(std::move(op));
+    while (log_.size() > capacity_) log_.pop_front();
+    return next_seq_ - 1;
+  }
+
+  /// Copies up to `max_ops` ops with seq >= `from` into *out. Returns false
+  /// when `from` precedes the oldest retained op (the caller lost the race
+  /// with the ring bound and must full-resync).
+  bool Read(uint64_t from, size_t max_ops, std::vector<ReplOp>* out) const {
+    out->clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (from < MinSeqLocked()) return false;
+    for (const ReplOp& op : log_) {
+      if (op.seq < from) continue;
+      if (out->size() >= max_ops) break;
+      out->push_back(op);
+    }
+    return true;
+  }
+
+  /// Last assigned sequence (0 = nothing appended yet).
+  uint64_t head_seq() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_seq_ - 1;
+  }
+
+  /// Oldest sequence still retained (head+1 when the log is empty).
+  uint64_t min_seq() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return MinSeqLocked();
+  }
+
+ private:
+  uint64_t MinSeqLocked() const {
+    return log_.empty() ? next_seq_ : log_.front().seq;
+  }
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::deque<ReplOp> log_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace tierbase::cluster_net
+
+#endif  // TIERBASE_CLUSTER_NET_OPLOG_H_

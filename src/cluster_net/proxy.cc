@@ -1,0 +1,319 @@
+#include "cluster_net/proxy.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "server/resp.h"
+
+namespace tierbase::cluster_net {
+
+namespace {
+
+using server::EqualsUpper;
+
+void AppendStatus(std::string* out, const Status& s) {
+  server::AppendError(out, "ERR " + s.ToString());
+}
+
+}  // namespace
+
+ClusterProxy::ClusterProxy(Options options) : options_(std::move(options)) {}
+
+ClusterProxy::~ClusterProxy() { Stop(); }
+
+Status ClusterProxy::Start() {
+  if (running_) return Status::InvalidArgument("proxy already running");
+  auto backend = NetClusterClient::Connect(options_.backend);
+  if (!backend.ok()) return backend.status();
+  backend_ = std::move(*backend);
+  executor_ =
+      std::make_unique<threading::ElasticExecutor>(options_.executor);
+  server::EventLoopOptions net;
+  net.host = options_.host;
+  net.port = options_.port;
+  loop_ = std::make_unique<server::EventLoop>(
+      net, [this](std::shared_ptr<server::Connection> conn,
+                  server::CommandBatch batch) {
+        auto shared = std::make_shared<server::CommandBatch>(std::move(batch));
+        executor_->Submit([this, conn = std::move(conn), shared] {
+          std::string out;
+          bool close_connection = false;
+          bool shutdown_server = false;
+          ExecuteBatch(shared->cmds, &out, &close_connection,
+                       &shutdown_server);
+          conn->CompleteBatch(std::move(out), close_connection,
+                              shutdown_server);
+        });
+      });
+  Status s = loop_->Listen();
+  if (!s.ok()) {
+    loop_.reset();
+    executor_->Shutdown();
+    executor_.reset();
+    backend_.reset();
+    return s;
+  }
+  loop_thread_ = std::thread([this] { loop_->Run(); });
+  running_ = true;
+  return Status::OK();
+}
+
+void ClusterProxy::Stop() {
+  if (!running_) return;
+  loop_->Stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  executor_->Shutdown();
+  running_ = false;
+}
+
+void ClusterProxy::Wait() {
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+void ClusterProxy::ExecuteBatch(const std::vector<server::RespCommand>& cmds,
+                                std::string* out, bool* close_connection,
+                                bool* shutdown_server) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  commands_.fetch_add(cmds.size(), std::memory_order_relaxed);
+  size_t i = 0;
+  while (i < cmds.size()) {
+    // A pipelined train of plain GETs (or SETs) becomes one cluster-wide
+    // scatter–gather, the proxy's equivalent of the server's coalescing.
+    if (cmds[i].args.size() == 2 && EqualsUpper(cmds[i].args[0], "GET")) {
+      size_t j = i + 1;
+      while (j < cmds.size() && cmds[j].args.size() == 2 &&
+             EqualsUpper(cmds[j].args[0], "GET")) {
+        ++j;
+      }
+      if (j - i >= 2) {
+        BatchedGets(cmds, i, j, out);
+        coalesced_.fetch_add(j - i, std::memory_order_relaxed);
+        i = j;
+        continue;
+      }
+    } else if (cmds[i].args.size() == 3 &&
+               EqualsUpper(cmds[i].args[0], "SET")) {
+      size_t j = i + 1;
+      while (j < cmds.size() && cmds[j].args.size() == 3 &&
+             EqualsUpper(cmds[j].args[0], "SET")) {
+        ++j;
+      }
+      if (j - i >= 2) {
+        BatchedSets(cmds, i, j, out);
+        coalesced_.fetch_add(j - i, std::memory_order_relaxed);
+        i = j;
+        continue;
+      }
+    }
+    ExecuteOne(cmds[i], out, close_connection, shutdown_server);
+    ++i;
+  }
+}
+
+void ClusterProxy::BatchedGets(const std::vector<server::RespCommand>& cmds,
+                               size_t begin, size_t end, std::string* out) {
+  std::vector<Slice> keys;
+  keys.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) keys.push_back(cmds[i].args[1]);
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  backend_->MultiGet(keys, &values, &statuses);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (statuses[i].ok()) {
+      server::AppendBulk(out, values[i]);
+    } else if (statuses[i].IsNotFound()) {
+      server::AppendNullBulk(out);
+    } else {
+      AppendStatus(out, statuses[i]);
+    }
+  }
+}
+
+void ClusterProxy::BatchedSets(const std::vector<server::RespCommand>& cmds,
+                               size_t begin, size_t end, std::string* out) {
+  std::vector<Slice> keys, values;
+  keys.reserve(end - begin);
+  values.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    keys.push_back(cmds[i].args[1]);
+    values.push_back(cmds[i].args[2]);
+  }
+  std::vector<Status> statuses;
+  backend_->MultiSet(keys, values, &statuses);
+  for (const Status& s : statuses) {
+    if (s.ok()) {
+      server::AppendSimpleString(out, "OK");
+    } else {
+      AppendStatus(out, s);
+    }
+  }
+}
+
+void ClusterProxy::ExecuteOne(const server::RespCommand& cmd,
+                              std::string* out, bool* close_connection,
+                              bool* shutdown_server) {
+  if (cmd.args.empty()) {
+    server::AppendError(out, "ERR empty command");
+    return;
+  }
+  const Slice& name = cmd.args[0];
+  const size_t argc = cmd.args.size();
+
+  if (EqualsUpper(name, "PING")) {
+    if (argc == 2) {
+      server::AppendBulk(out, cmd.args[1]);
+    } else {
+      server::AppendSimpleString(out, "PONG");
+    }
+    return;
+  }
+  if (EqualsUpper(name, "QUIT")) {
+    server::AppendSimpleString(out, "OK");
+    *close_connection = true;
+    return;
+  }
+  if (EqualsUpper(name, "SHUTDOWN")) {
+    // Shuts the proxy down, not the data nodes.
+    server::AppendSimpleString(out, "OK");
+    *close_connection = true;
+    *shutdown_server = true;
+    return;
+  }
+  if (EqualsUpper(name, "COMMAND")) {
+    server::AppendArrayHeader(out, 0);
+    return;
+  }
+  if (EqualsUpper(name, "INFO")) {
+    Info(out);
+    return;
+  }
+  if (EqualsUpper(name, "GET") && argc == 2) {
+    std::string value;
+    Status s = backend_->Get(cmd.args[1], &value);
+    if (s.ok()) {
+      server::AppendBulk(out, value);
+    } else if (s.IsNotFound()) {
+      server::AppendNullBulk(out);
+    } else {
+      AppendStatus(out, s);
+    }
+    return;
+  }
+  if (EqualsUpper(name, "SET") && argc == 3) {
+    Status s = backend_->Set(cmd.args[1], cmd.args[2]);
+    if (s.ok()) {
+      server::AppendSimpleString(out, "OK");
+    } else {
+      AppendStatus(out, s);
+    }
+    return;
+  }
+  if (EqualsUpper(name, "MGET") && argc >= 2) {
+    std::vector<Slice> keys(cmd.args.begin() + 1, cmd.args.end());
+    std::vector<std::string> values;
+    std::vector<Status> statuses;
+    backend_->MultiGet(keys, &values, &statuses);
+    // Nil is strictly "no such key": a shard that stayed unreachable must
+    // surface as an error, not as a phantom miss.
+    for (const Status& s : statuses) {
+      if (!s.ok() && !s.IsNotFound()) {
+        AppendStatus(out, s);
+        return;
+      }
+    }
+    server::AppendArrayHeader(out, keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (statuses[i].ok()) {
+        server::AppendBulk(out, values[i]);
+      } else {
+        server::AppendNullBulk(out);
+      }
+    }
+    return;
+  }
+  if (EqualsUpper(name, "MSET") && argc >= 3 && argc % 2 == 1) {
+    std::vector<Slice> keys, values;
+    for (size_t i = 1; i < argc; i += 2) {
+      keys.push_back(cmd.args[i]);
+      values.push_back(cmd.args[i + 1]);
+    }
+    std::vector<Status> statuses;
+    backend_->MultiSet(keys, values, &statuses);
+    for (const Status& s : statuses) {
+      if (!s.ok()) {
+        AppendStatus(out, s);
+        return;
+      }
+    }
+    server::AppendSimpleString(out, "OK");
+    return;
+  }
+  if (EqualsUpper(name, "DEL") && argc >= 2) {
+    // DEL fans out per owner; the reply sums the per-node removal counts.
+    // An unreachable shard fails the whole command — ":N" must never
+    // masquerade as "the other keys did not exist".
+    int64_t removed = 0;
+    for (size_t i = 1; i < argc; ++i) {
+      server::RespValue reply;
+      Status s =
+          backend_->Forward({"DEL", cmd.args[i]}, cmd.args[i], &reply);
+      if (!s.ok()) {
+        AppendStatus(out, s);
+        return;
+      }
+      if (reply.type == server::RespValue::Type::kInteger) {
+        removed += reply.integer;
+      }
+    }
+    server::AppendInteger(out, removed);
+    return;
+  }
+
+  // Any other single-key command (INCR, EXPIRE, TTL, EXISTS, HSET, HGET,
+  // LPUSH, LRANGE, ZADD, ZRANGE, ...) forwards verbatim to the key's
+  // owner and relays the reply.
+  if (argc >= 2) {
+    server::RespValue reply;
+    Status s = backend_->Forward(cmd.args, cmd.args[1], &reply);
+    if (!s.ok()) {
+      AppendStatus(out, s);
+      return;
+    }
+    server::AppendValue(out, reply);
+    return;
+  }
+  std::string msg = "ERR unknown command '";
+  msg.append(name.data(), std::min<size_t>(name.size(), 64));
+  msg += "'";
+  server::AppendError(out, msg);
+}
+
+void ClusterProxy::Info(std::string* out) {
+  std::string body;
+  char line[160];
+  auto add = [&](const char* fmt, auto... args) {
+    snprintf(line, sizeof(line), fmt, args...);
+    body += line;
+    body += "\r\n";
+  };
+  NetClusterClient::Stats stats = backend_->GetStats();
+  body += "# Proxy\r\n";
+  add("proxy_port:%u", static_cast<unsigned>(port()));
+  add("proxy_commands:%" PRIu64, commands_.load());
+  add("proxy_batches:%" PRIu64, batches_.load());
+  add("proxy_coalesced_commands:%" PRIu64, coalesced_.load());
+  if (loop_ != nullptr) {
+    add("connected_clients:%" PRIu64, loop_->connections_active());
+  }
+  body += "\r\n# Cluster\r\n";
+  add("cluster_epoch:%" PRIu64, backend_->epoch());
+  add("route_refreshes:%" PRIu64, stats.route_refreshes);
+  add("moved_redirects:%" PRIu64, stats.moved_redirects);
+  add("failures_reported:%" PRIu64, stats.failures_reported);
+  for (const auto& [node, batches] : stats.node_batches) {
+    add("routed_batches_%s:%" PRIu64, node.c_str(), batches);
+  }
+  server::AppendBulk(out, body);
+}
+
+}  // namespace tierbase::cluster_net

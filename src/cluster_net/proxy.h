@@ -1,0 +1,86 @@
+// ClusterProxy: the RESP front end for naive clients. Anything that speaks
+// plain Redis protocol — redis-cli, the bundled Client/RemoteEngine, the
+// YCSB runner's --remote mode — connects to the proxy as if it were a
+// single server; the proxy routes per key and scatter–gathers batches
+// across the cluster server-side through an embedded NetClusterClient.
+//
+// The proxy reuses the server's poll(2) event loop and executor: pipelined
+// command batches arrive as one dispatch, runs of GETs/SETs (and explicit
+// MGET/MSET) become cluster MultiGet/MultiSet — so a client that pipelines
+// N reads pays one scatter–gather round instead of N routed round trips.
+// Rich-type and TTL commands forward verbatim to the owning node.
+//
+// Smart-client vs proxy trade-off (README "Running a cluster"): the smart
+// client saves a network hop and spreads client-side, the proxy
+// centralizes routing (and its single backend connection set serializes
+// concurrent batches) but requires zero client changes.
+
+#ifndef TIERBASE_CLUSTER_NET_PROXY_H_
+#define TIERBASE_CLUSTER_NET_PROXY_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster_net/cluster_client.h"
+#include "server/event_loop.h"
+#include "threading/elastic_executor.h"
+
+namespace tierbase::cluster_net {
+
+class ClusterProxy {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  // 0 = ephemeral.
+    NetClusterClient::Options backend;
+    threading::ElasticOptions executor;
+  };
+
+  explicit ClusterProxy(Options options);
+  ~ClusterProxy();
+
+  ClusterProxy(const ClusterProxy&) = delete;
+  ClusterProxy& operator=(const ClusterProxy&) = delete;
+
+  Status Start();
+  void Stop();
+  /// Async-signal-safe half of Stop(): ends the event loop; the caller's
+  /// Wait()/Stop() then performs the joins.
+  void RequestStop() {
+    if (loop_ != nullptr) loop_->Stop();
+  }
+  void Wait();
+  uint16_t port() const { return loop_ == nullptr ? 0 : loop_->port(); }
+
+  NetClusterClient* backend() { return backend_.get(); }
+
+ private:
+  void ExecuteBatch(const std::vector<server::RespCommand>& cmds,
+                    std::string* out, bool* close_connection,
+                    bool* shutdown_server);
+  void ExecuteOne(const server::RespCommand& cmd, std::string* out,
+                  bool* close_connection, bool* shutdown_server);
+  void BatchedGets(const std::vector<server::RespCommand>& cmds, size_t begin,
+                   size_t end, std::string* out);
+  void BatchedSets(const std::vector<server::RespCommand>& cmds, size_t begin,
+                   size_t end, std::string* out);
+  void Info(std::string* out);
+
+  Options options_;
+  std::unique_ptr<NetClusterClient> backend_;
+  std::unique_ptr<threading::ElasticExecutor> executor_;
+  std::unique_ptr<server::EventLoop> loop_;
+  std::thread loop_thread_;
+  bool running_ = false;
+
+  std::atomic<uint64_t> commands_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> coalesced_{0};
+};
+
+}  // namespace tierbase::cluster_net
+
+#endif  // TIERBASE_CLUSTER_NET_PROXY_H_

@@ -76,6 +76,10 @@ class TierBase : public KvEngine {
   /// cache-tier-only in this reproduction).
   cache::HashEngine* cache() { return cache_.get(); }
   StorageAdapter* storage() { return storage_; }
+  /// Non-null when ReplicationMode::kMasterReplica is configured (INFO
+  /// surfaces its lag; the wire-replication layer is separate).
+  Replicator* replicator() { return replicator_.get(); }
+  const Replicator* replicator() const { return replicator_.get(); }
 
   /// Aggregated snapshot across the whole instance: the engine's own op
   /// counters plus the cache tier's eviction/recency/batching gauges and

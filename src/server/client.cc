@@ -1,9 +1,11 @@
 #include "server/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -16,7 +18,8 @@ namespace server {
 
 Client::~Client() { Close(); }
 
-Status Client::Connect(const std::string& host, uint16_t port) {
+Status Client::Connect(const std::string& host, uint16_t port,
+                       uint64_t timeout_micros) {
   Close();
   fd_ = socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
@@ -43,10 +46,48 @@ Status Client::Connect(const std::string& host, uint16_t port) {
         reinterpret_cast<sockaddr_in*>(result->ai_addr)->sin_addr;
     freeaddrinfo(result);
   }
-  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status s = Status::IOError(std::string("connect: ") + strerror(errno));
-    Close();
-    return s;
+  if (timeout_micros == 0) {
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Status s = Status::IOError(std::string("connect: ") + strerror(errno));
+      Close();
+      return s;
+    }
+  } else {
+    // Bounded connect: nonblocking + poll, then per-op socket timeouts.
+    int flags = fcntl(fd_, F_GETFL, 0);
+    fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rc = connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      Status s = Status::IOError(std::string("connect: ") + strerror(errno));
+      Close();
+      return s;
+    }
+    if (rc != 0) {
+      pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      int pr = poll(&pfd, 1, static_cast<int>(timeout_micros / 1000));
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      if (pr > 0) {
+        getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &err_len);
+      }
+      if (pr <= 0 || err != 0) {
+        Status s = Status::IOError(
+            pr <= 0 ? "connect: timed out"
+                    : std::string("connect: ") + strerror(err));
+        Close();
+        return s;
+      }
+    }
+    fcntl(fd_, F_SETFL, flags);
+    timeval tv;
+    tv.tv_sec = static_cast<time_t>(timeout_micros / 1'000'000);
+    tv.tv_usec = static_cast<suseconds_t>(timeout_micros % 1'000'000);
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   }
   int one = 1;
   setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

@@ -39,7 +39,16 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  Status Connect(const std::string& host, uint16_t port);
+  Status Connect(const std::string& host, uint16_t port) {
+    return Connect(host, port, 0);
+  }
+  /// With `timeout_micros` > 0 the connect is bounded (nonblocking +
+  /// poll) and SO_RCVTIMEO/SO_SNDTIMEO cap every subsequent send/recv, so
+  /// a hung peer turns into an IOError instead of blocking forever. The
+  /// control plane uses this; data-path clients keep unbounded blocking
+  /// I/O (a WAIT round trip may legitimately take seconds).
+  Status Connect(const std::string& host, uint16_t port,
+                 uint64_t timeout_micros);
   void Close();
   bool connected() const { return fd_ >= 0; }
 

@@ -2,15 +2,27 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
+
+#include "cluster_net/node_state.h"
 
 namespace tierbase {
 namespace server {
 
 namespace {
+
+// Cluster admission flags per table entry: which arguments are keys (for
+// -MOVED ownership checks) and whether the command mutates (for -READONLY
+// on replicas).
+constexpr uint8_t kFlagKey = 1;        // args[1] is a key.
+constexpr uint8_t kFlagKeysAll = 2;    // args[1..] are keys.
+constexpr uint8_t kFlagKeysPairs = 4;  // args[1,3,5..] are keys (MSET).
+constexpr uint8_t kFlagWrite = 8;
 
 /// Uppercases a command name into `buf`; false if it can't be a command
 /// (too long for any table entry).
@@ -72,17 +84,6 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
-bool EqualsIgnoreCase(const Slice& arg, const char* word) {
-  size_t n = strlen(word);
-  if (arg.size() != n) return false;
-  for (size_t i = 0; i < n; ++i) {
-    if (std::toupper(static_cast<unsigned char>(arg[i])) != word[i]) {
-      return false;
-    }
-  }
-  return true;
-}
-
 constexpr const char* kOk = "OK";
 constexpr uint64_t kMicrosPerSecond = 1'000'000;
 
@@ -107,6 +108,23 @@ void CommandTable::ExecuteBatch(const std::vector<RespCommand>& cmds,
   batches_.fetch_add(1, std::memory_order_relaxed);
   commands_.fetch_add(cmds.size(), std::memory_order_relaxed);
 
+  // Coalesced batches must be uniformly admissible in cluster mode: every
+  // key owned here and (for SETs) not a read-only replica. A train with
+  // any inadmissible command falls back to per-command dispatch so each
+  // gets its own -MOVED / -READONLY reply.
+  auto batch_admissible = [&](size_t begin, size_t end, bool write) {
+    if (cluster_ == nullptr) return true;
+    if (write && cluster_->is_replica()) return false;
+    // One routing-snapshot fetch for the whole train, then lock-free
+    // per-key checks.
+    cluster_net::NodeClusterState::RouteChecker checker =
+        cluster_->route_checker();
+    for (size_t k = begin; k < end; ++k) {
+      if (checker.Misrouted(cmds[k].args[1])) return false;
+    }
+    return true;
+  };
+
   char name[16];
   size_t i = 0;
   while (i < cmds.size()) {
@@ -120,7 +138,7 @@ void CommandTable::ExecuteBatch(const std::vector<RespCommand>& cmds,
              strcmp(name, "GET") == 0) {
         ++j;
       }
-      if (j - i >= 2) {
+      if (j - i >= 2 && batch_admissible(i, j, /*write=*/false)) {
         CoalescedGets(cmds, i, j, out);
         coalesced_.fetch_add(j - i, std::memory_order_relaxed);
         i = j;
@@ -135,7 +153,7 @@ void CommandTable::ExecuteBatch(const std::vector<RespCommand>& cmds,
              strcmp(name, "SET") == 0) {
         ++j;
       }
-      if (j - i >= 2) {
+      if (j - i >= 2 && batch_admissible(i, j, /*write=*/true)) {
         CoalescedSets(cmds, i, j, out);
         coalesced_.fetch_add(j - i, std::memory_order_relaxed);
         i = j;
@@ -145,6 +163,43 @@ void CommandTable::ExecuteBatch(const std::vector<RespCommand>& cmds,
     ExecuteOne(cmds[i], out, close_connection, shutdown_server);
     ++i;
   }
+}
+
+bool CommandTable::ClusterAdmits(const RespCommand& cmd, uint8_t flags,
+                                 std::string* out) {
+  if (cluster_ == nullptr || flags == 0) return true;
+  if ((flags & kFlagWrite) && cluster_->is_replica()) {
+    AppendError(out,
+                "READONLY You can't write against a read only replica.");
+    return false;
+  }
+  // One snapshot fetch per command; CheckMoved (second fetch) only runs on
+  // the rare misrouted path to format the -MOVED payload.
+  cluster_net::NodeClusterState::RouteChecker checker =
+      cluster_->route_checker();
+  std::string moved;
+  auto admit = [&](const Slice& key) {
+    if (!checker.Misrouted(key)) return true;
+    if (!cluster_->CheckMoved(key, &moved)) {
+      moved = "MOVED 0 stale-route ?:0";  // Routing changed mid-check.
+    }
+    AppendError(out, moved);
+    return false;
+  };
+  if ((flags & kFlagKey) && cmd.args.size() > 1) {
+    if (!admit(cmd.args[1])) return false;
+  }
+  if (flags & kFlagKeysAll) {
+    for (size_t i = 1; i < cmd.args.size(); ++i) {
+      if (!admit(cmd.args[i])) return false;
+    }
+  }
+  if (flags & kFlagKeysPairs) {
+    for (size_t i = 1; i < cmd.args.size(); i += 2) {
+      if (!admit(cmd.args[i])) return false;
+    }
+  }
+  return true;
 }
 
 void CommandTable::CoalescedGets(const std::vector<RespCommand>& cmds,
@@ -177,7 +232,20 @@ void CommandTable::CoalescedSets(const std::vector<RespCommand>& cmds,
     values.push_back(cmds[i].args[2]);
   }
   std::vector<Status> statuses;
-  db_->MultiSet(keys, values, &statuses);
+  {
+    // Apply + oplog-append atomically so replicas see writes in apply
+    // order (see NodeClusterState::write_order_mu).
+    std::unique_lock<std::mutex> order_lock;
+    if (cluster_ != nullptr) {
+      order_lock = std::unique_lock<std::mutex>(cluster_->write_order_mu());
+    }
+    db_->MultiSet(keys, values, &statuses);
+    if (cluster_ != nullptr) {
+      for (size_t i = 0; i < statuses.size(); ++i) {
+        if (statuses[i].ok()) cluster_->RecordSet(keys[i], values[i], 0);
+      }
+    }
+  }
   for (const Status& s : statuses) {
     if (s.ok()) {
       AppendSimpleString(out, kOk);
@@ -206,24 +274,33 @@ void CommandTable::ExecuteOne(const RespCommand& cmd, std::string* out,
     size_t min_argc;
     size_t max_argc;  // 0 = unbounded.
     void (CommandTable::*handler)(const RespCommand&, std::string*);
+    uint8_t flags;
   };
   static constexpr Entry kTable[] = {
-      {"GET", 2, 2, &CommandTable::Get},
-      {"SET", 3, 5, &CommandTable::Set},
-      {"DEL", 2, 0, &CommandTable::Del},
-      {"EXISTS", 2, 0, &CommandTable::Exists},
-      {"MGET", 2, 0, &CommandTable::MGet},
-      {"MSET", 3, 0, &CommandTable::MSet},
-      {"EXPIRE", 3, 3, &CommandTable::Expire},
-      {"TTL", 2, 2, &CommandTable::Ttl},
-      {"INCR", 2, 2, &CommandTable::Incr},
-      {"HSET", 4, 0, &CommandTable::HSet},
-      {"HGET", 3, 3, &CommandTable::HGet},
-      {"LPUSH", 3, 0, &CommandTable::LPush},
-      {"LRANGE", 4, 4, &CommandTable::LRange},
-      {"ZADD", 4, 0, &CommandTable::ZAdd},
-      {"ZRANGE", 4, 5, &CommandTable::ZRange},
-      {"INFO", 1, 2, &CommandTable::Info},
+      {"GET", 2, 2, &CommandTable::Get, kFlagKey},
+      {"SET", 3, 5, &CommandTable::Set, kFlagKey | kFlagWrite},
+      {"DEL", 2, 0, &CommandTable::Del, kFlagKeysAll | kFlagWrite},
+      {"EXISTS", 2, 0, &CommandTable::Exists, kFlagKeysAll},
+      {"MGET", 2, 0, &CommandTable::MGet, kFlagKeysAll},
+      {"MSET", 3, 0, &CommandTable::MSet, kFlagKeysPairs | kFlagWrite},
+      {"EXPIRE", 3, 3, &CommandTable::Expire, kFlagKey | kFlagWrite},
+      {"TTL", 2, 2, &CommandTable::Ttl, kFlagKey},
+      {"INCR", 2, 2, &CommandTable::Incr, kFlagKey | kFlagWrite},
+      {"HSET", 4, 0, &CommandTable::HSet, kFlagKey | kFlagWrite},
+      {"HGET", 3, 3, &CommandTable::HGet, kFlagKey},
+      {"LPUSH", 3, 0, &CommandTable::LPush, kFlagKey | kFlagWrite},
+      {"LRANGE", 4, 4, &CommandTable::LRange, kFlagKey},
+      {"ZADD", 4, 0, &CommandTable::ZAdd, kFlagKey | kFlagWrite},
+      {"ZRANGE", 4, 5, &CommandTable::ZRange, kFlagKey},
+      {"INFO", 1, 2, &CommandTable::Info, 0},
+      {"SCAN", 2, 4, &CommandTable::Scan, 0},
+      {"DBSIZE", 1, 1, &CommandTable::DbSize, 0},
+      {"FLUSHALL", 1, 1, &CommandTable::FlushAll, kFlagWrite},
+      {"CLUSTER", 2, 3, &CommandTable::Cluster, 0},
+      {"REPLICAOF", 3, 3, &CommandTable::ReplicaOf, 0},
+      {"REPLPULL", 4, 4, &CommandTable::ReplPull, 0},
+      {"REPLSNAPSHOT", 3, 3, &CommandTable::ReplSnapshot, 0},
+      {"WAIT", 3, 3, &CommandTable::Wait, 0},
   };
 
   if (strcmp(name, "PING") == 0) {
@@ -260,6 +337,10 @@ void CommandTable::ExecuteOne(const RespCommand& cmd, std::string* out,
     if (argc < entry.min_argc ||
         (entry.max_argc != 0 && argc > entry.max_argc)) {
       AppendWrongArity(out, name);
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (!ClusterAdmits(cmd, entry.flags, out)) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
@@ -303,17 +384,27 @@ void CommandTable::Set(const RespCommand& cmd, std::string* out) {
       AppendError(out, "ERR invalid expire time in 'set' command");
       return;
     }
-    if (EqualsIgnoreCase(cmd.args[3], "EX")) {
+    if (EqualsUpper(cmd.args[3], "EX")) {
       ttl_micros = static_cast<uint64_t>(amount) * kMicrosPerSecond;
-    } else if (EqualsIgnoreCase(cmd.args[3], "PX")) {
+    } else if (EqualsUpper(cmd.args[3], "PX")) {
       ttl_micros = static_cast<uint64_t>(amount) * 1000;
     } else {
       AppendError(out, "ERR syntax error");
       return;
     }
   }
-  Status s = ttl_micros == 0 ? db_->Set(cmd.args[1], cmd.args[2])
-                             : db_->SetEx(cmd.args[1], cmd.args[2], ttl_micros);
+  Status s;
+  {
+    std::unique_lock<std::mutex> order_lock;
+    if (cluster_ != nullptr) {
+      order_lock = std::unique_lock<std::mutex>(cluster_->write_order_mu());
+    }
+    s = ttl_micros == 0 ? db_->Set(cmd.args[1], cmd.args[2])
+                        : db_->SetEx(cmd.args[1], cmd.args[2], ttl_micros);
+    if (s.ok() && cluster_ != nullptr) {
+      cluster_->RecordSet(cmd.args[1], cmd.args[2], ttl_micros);
+    }
+  }
   if (s.ok()) {
     AppendSimpleString(out, kOk);
   } else {
@@ -336,7 +427,16 @@ void CommandTable::Del(const RespCommand& cmd, std::string* out) {
       std::string scratch;
       existed = db_->storage()->Read(cmd.args[i], &scratch).ok();
     }
-    Status s = db_->Delete(cmd.args[i]);
+    Status s;
+    {
+      std::unique_lock<std::mutex> order_lock;
+      if (cluster_ != nullptr) {
+        order_lock =
+            std::unique_lock<std::mutex>(cluster_->write_order_mu());
+      }
+      s = db_->Delete(cmd.args[i]);
+      if (s.ok() && cluster_ != nullptr) cluster_->RecordDelete(cmd.args[i]);
+    }
     if (s.ok() && existed) ++removed;
   }
   AppendInteger(out, removed);
@@ -383,7 +483,18 @@ void CommandTable::MSet(const RespCommand& cmd, std::string* out) {
     values.push_back(cmd.args[i + 1]);
   }
   std::vector<Status> statuses;
-  db_->MultiSet(keys, values, &statuses);
+  {
+    std::unique_lock<std::mutex> order_lock;
+    if (cluster_ != nullptr) {
+      order_lock = std::unique_lock<std::mutex>(cluster_->write_order_mu());
+    }
+    db_->MultiSet(keys, values, &statuses);
+    if (cluster_ != nullptr) {
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (statuses[i].ok()) cluster_->RecordSet(keys[i], values[i], 0);
+      }
+    }
+  }
   for (const Status& s : statuses) {
     if (!s.ok()) {
       AppendStatusError(out, s);
@@ -399,15 +510,26 @@ void CommandTable::Expire(const RespCommand& cmd, std::string* out) {
     AppendError(out, "ERR value is not an integer or out of range");
     return;
   }
+  std::unique_lock<std::mutex> order_lock;
+  if (cluster_ != nullptr) {
+    order_lock = std::unique_lock<std::mutex>(cluster_->write_order_mu());
+  }
   if (seconds <= 0) {
     // Redis deletes the key on a non-positive TTL.
     bool existed = db_->cache()->Exists(cmd.args[1]);
-    if (existed) db_->Delete(cmd.args[1]);
+    if (existed) {
+      db_->Delete(cmd.args[1]);
+      if (cluster_ != nullptr) cluster_->RecordDelete(cmd.args[1]);
+    }
     AppendInteger(out, existed ? 1 : 0);
     return;
   }
-  Status s = db_->cache()->Expire(
-      cmd.args[1], static_cast<uint64_t>(seconds) * kMicrosPerSecond);
+  const uint64_t ttl_micros =
+      static_cast<uint64_t>(seconds) * kMicrosPerSecond;
+  Status s = db_->cache()->Expire(cmd.args[1], ttl_micros);
+  if (s.ok() && cluster_ != nullptr) {
+    cluster_->RecordExpire(cmd.args[1], ttl_micros);
+  }
   AppendInteger(out, s.ok() ? 1 : 0);
 }
 
@@ -448,8 +570,19 @@ void CommandTable::Incr(const RespCommand& cmd, std::string* out) {
       return;
     }
     const std::string next = std::to_string(value + 1);
-    s = create ? db_->Cas(cmd.args[1], "", next, /*allow_create=*/true)
-               : db_->Cas(cmd.args[1], current, next);
+    {
+      std::unique_lock<std::mutex> order_lock;
+      if (cluster_ != nullptr) {
+        order_lock =
+            std::unique_lock<std::mutex>(cluster_->write_order_mu());
+      }
+      s = create ? db_->Cas(cmd.args[1], "", next, /*allow_create=*/true)
+                 : db_->Cas(cmd.args[1], current, next);
+      // Replicate the outcome, not the increment: replays are idempotent.
+      if (s.ok() && cluster_ != nullptr) {
+        cluster_->RecordSet(cmd.args[1], next, 0);
+      }
+    }
     if (s.ok()) {
       AppendInteger(out, value + 1);
       return;
@@ -555,7 +688,7 @@ void CommandTable::ZRange(const RespCommand& cmd, std::string* out) {
   }
   bool with_scores = false;
   if (cmd.args.size() == 5) {
-    if (!EqualsIgnoreCase(cmd.args[4], "WITHSCORES")) {
+    if (!EqualsUpper(cmd.args[4], "WITHSCORES")) {
       AppendError(out, "ERR syntax error");
       return;
     }
@@ -590,6 +723,18 @@ void CommandTable::Info(const RespCommand& cmd, std::string* out) {
   add("engine:%s", db_->name().c_str());
   if (info_extra_) info_extra_(&body);
 
+  body += "\r\n# Cluster\r\n";
+  if (cluster_ != nullptr) {
+    cluster_->AppendInfo(&body);
+  } else {
+    add("cluster_enabled:0");
+    if (db_->replicator() != nullptr) {
+      add("inprocess_replica_lag:%zu", db_->replicator()->lag());
+      add("inprocess_replica_applied:%" PRIu64,
+          db_->replicator()->applied_ops());
+    }
+  }
+
   body += "\r\n# Stats\r\n";
   add("total_commands_processed:%" PRIu64, commands());
   add("dispatch_batches:%" PRIu64, batches());
@@ -619,6 +764,230 @@ void CommandTable::Info(const RespCommand& cmd, std::string* out) {
   add("keys_cached:%" PRIu64, stats.keys_cached);
 
   AppendBulk(out, body);
+}
+
+void CommandTable::Scan(const RespCommand& cmd, std::string* out) {
+  int64_t cursor = 0;
+  if (!ParseArgInt(cmd.args[1], &cursor) || cursor < 0) {
+    AppendError(out, "ERR invalid cursor");
+    return;
+  }
+  int64_t count = 10;
+  if (cmd.args.size() > 2) {
+    if (cmd.args.size() != 4 || !EqualsUpper(cmd.args[2], "COUNT") ||
+        !ParseArgInt(cmd.args[3], &count) || count <= 0) {
+      AppendError(out, "ERR syntax error");
+      return;
+    }
+  }
+  std::vector<std::string> keys;
+  uint64_t next = db_->cache()->Scan(static_cast<uint64_t>(cursor),
+                                     static_cast<size_t>(count), &keys);
+  AppendArrayHeader(out, 2);
+  AppendBulk(out, std::to_string(next));
+  AppendArrayHeader(out, keys.size());
+  for (const std::string& key : keys) AppendBulk(out, key);
+}
+
+void CommandTable::DbSize(const RespCommand& cmd, std::string* out) {
+  (void)cmd;
+  AppendInteger(out,
+                static_cast<int64_t>(db_->cache()->GetUsage().keys));
+}
+
+void CommandTable::FlushAll(const RespCommand& cmd, std::string* out) {
+  (void)cmd;
+  if (db_->storage() != nullptr) {
+    // A cache-only wipe would quietly resurrect from the storage tier on
+    // the next miss; refuse rather than lie.
+    AppendError(out,
+                "ERR FLUSHALL wipes the cache tier only and this instance "
+                "has a storage tier (write-through/write-back)");
+    return;
+  }
+  std::unique_lock<std::mutex> order_lock;
+  if (cluster_ != nullptr) {
+    order_lock = std::unique_lock<std::mutex>(cluster_->write_order_mu());
+  }
+  db_->cache()->Clear();
+  if (cluster_ != nullptr) cluster_->RecordFlush();
+  AppendSimpleString(out, kOk);
+}
+
+void CommandTable::Cluster(const RespCommand& cmd, std::string* out) {
+  char sub[16];
+  if (!UpperName(cmd.args[1], sub, 16)) {
+    AppendError(out, "ERR unknown CLUSTER subcommand");
+    return;
+  }
+  if (cluster_ == nullptr) {
+    AppendError(out, "ERR This instance has cluster support disabled");
+    return;
+  }
+  if (strcmp(sub, "EPOCH") == 0) {
+    AppendInteger(out, static_cast<int64_t>(cluster_->epoch()));
+  } else if (strcmp(sub, "MYID") == 0) {
+    AppendBulk(out, cluster_->id());
+  } else if (strcmp(sub, "NODES") == 0) {
+    std::shared_ptr<const cluster_net::RoutingView> view = cluster_->routing();
+    AppendBulk(out, view == nullptr ? std::string() : view->wire.Serialize());
+  } else if (strcmp(sub, "SETSLOTS") == 0) {
+    if (cmd.args.size() != 3) {
+      AppendWrongArity(out, "CLUSTER");
+      return;
+    }
+    Status s = cluster_->InstallRouting(cmd.args[2].ToString());
+    if (s.ok()) {
+      AppendSimpleString(out, kOk);
+    } else {
+      AppendStatusError(out, s);
+    }
+  } else {
+    AppendError(out, "ERR unknown CLUSTER subcommand");
+  }
+}
+
+void CommandTable::ReplicaOf(const RespCommand& cmd, std::string* out) {
+  if (cluster_ == nullptr) {
+    AppendError(out, "ERR This instance has cluster support disabled");
+    return;
+  }
+  if (EqualsUpper(cmd.args[1], "NO") &&
+      EqualsUpper(cmd.args[2], "ONE")) {
+    cluster_->StopReplication();  // Promotion: keep serving as a master.
+    AppendSimpleString(out, kOk);
+    return;
+  }
+  int64_t port = 0;
+  if (!ParseArgInt(cmd.args[2], &port) || port <= 0 || port > 65535) {
+    AppendError(out, "ERR invalid master port");
+    return;
+  }
+  Status s = cluster_->StartReplicaOf(cmd.args[1].ToString(),
+                                      static_cast<uint16_t>(port));
+  if (s.ok()) {
+    AppendSimpleString(out, kOk);
+  } else {
+    AppendStatusError(out, s);
+  }
+}
+
+void CommandTable::ReplPull(const RespCommand& cmd, std::string* out) {
+  if (cluster_ == nullptr) {
+    AppendError(out, "ERR This instance has cluster support disabled");
+    return;
+  }
+  int64_t from = 0, max_ops = 0;
+  if (!ParseArgInt(cmd.args[2], &from) || from <= 0 ||
+      !ParseArgInt(cmd.args[3], &max_ops) || max_ops <= 0) {
+    AppendError(out, "ERR invalid REPLPULL arguments");
+    return;
+  }
+  cluster_net::OpLog* log = cluster_->oplog();
+  cluster_->NoteReplicaAck(cmd.args[1].ToString(),
+                           static_cast<uint64_t>(from) - 1);
+  std::vector<cluster_net::ReplOp> ops;
+  if (!log->Read(static_cast<uint64_t>(from), static_cast<size_t>(max_ops),
+                 &ops)) {
+    char msg[64];
+    snprintf(msg, sizeof(msg), "REPLGAP %llu %llu",
+             static_cast<unsigned long long>(log->min_seq()),
+             static_cast<unsigned long long>(log->head_seq()));
+    AppendError(out, msg);
+    return;
+  }
+  AppendArrayHeader(out, ops.size() + 1);
+  AppendInteger(out, static_cast<int64_t>(log->head_seq()));
+  for (const cluster_net::ReplOp& op : ops) {
+    AppendArrayHeader(out, 5);
+    AppendInteger(out, static_cast<int64_t>(op.seq));
+    switch (op.type) {
+      case cluster_net::ReplOp::Type::kSet:
+        AppendBulk(out, "SET");
+        break;
+      case cluster_net::ReplOp::Type::kDelete:
+        AppendBulk(out, "DEL");
+        break;
+      case cluster_net::ReplOp::Type::kFlushAll:
+        AppendBulk(out, "FLUSH");
+        break;
+      case cluster_net::ReplOp::Type::kExpire:
+        AppendBulk(out, "EXPIRE");
+        break;
+    }
+    AppendBulk(out, op.key);
+    AppendBulk(out, op.value);
+    AppendInteger(out, static_cast<int64_t>(op.ttl_micros));
+  }
+}
+
+void CommandTable::ReplSnapshot(const RespCommand& cmd, std::string* out) {
+  if (cluster_ == nullptr) {
+    AppendError(out, "ERR This instance has cluster support disabled");
+    return;
+  }
+  int64_t cursor = 0, count = 0;
+  if (!ParseArgInt(cmd.args[1], &cursor) || cursor < 0 ||
+      !ParseArgInt(cmd.args[2], &count) || count <= 0) {
+    AppendError(out, "ERR invalid REPLSNAPSHOT arguments");
+    return;
+  }
+  std::vector<std::string> keys;
+  uint64_t next = db_->cache()->Scan(static_cast<uint64_t>(cursor),
+                                     static_cast<size_t>(count), &keys);
+  // String values only: rich types are node-local in this reproduction.
+  // Each entry ships (key, value, remaining-TTL) so a resynced replica
+  // keeps the same expiry behavior as one that streamed incrementally.
+  struct SnapshotEntry {
+    std::string key;
+    std::string value;
+    uint64_t ttl_micros;
+  };
+  std::vector<SnapshotEntry> entries;
+  entries.reserve(keys.size());
+  for (std::string& key : keys) {
+    std::string value;
+    if (!db_->Get(key, &value).ok()) continue;
+    Result<uint64_t> ttl = db_->cache()->Ttl(key);
+    entries.push_back({std::move(key), std::move(value),
+                       ttl.ok() ? *ttl : uint64_t{0}});
+  }
+  AppendArrayHeader(out, 2 + entries.size() * 3);
+  AppendBulk(out, std::to_string(next));
+  AppendInteger(out, static_cast<int64_t>(cluster_->oplog()->head_seq()));
+  for (const SnapshotEntry& e : entries) {
+    AppendBulk(out, e.key);
+    AppendBulk(out, e.value);
+    AppendInteger(out, static_cast<int64_t>(e.ttl_micros));
+  }
+}
+
+// WAIT occupies its dispatch worker while polling. The executor's
+// stall-aware scale-up activates a reserve thread so queued REPLPULLs
+// (which advance the acks WAIT is watching) keep flowing — but kSingle
+// mode pins max_threads to 1, so there WAIT can only report the acks
+// already in; run cluster masters in multi/elastic mode.
+void CommandTable::Wait(const RespCommand& cmd, std::string* out) {
+  int64_t num_replicas = 0, timeout_ms = 0;
+  if (!ParseArgInt(cmd.args[1], &num_replicas) || num_replicas < 0 ||
+      !ParseArgInt(cmd.args[2], &timeout_ms) || timeout_ms < 0) {
+    AppendError(out, "ERR invalid WAIT arguments");
+    return;
+  }
+  if (cluster_ == nullptr) {
+    AppendInteger(out, 0);
+    return;
+  }
+  const uint64_t target = cluster_->oplog()->head_seq();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  size_t acked = cluster_->CountReplicasAtLeast(target);
+  while (acked < static_cast<size_t>(num_replicas) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    acked = cluster_->CountReplicasAtLeast(target);
+  }
+  AppendInteger(out, static_cast<int64_t>(acked));
 }
 
 }  // namespace server

@@ -25,12 +25,25 @@
 #include "server/resp.h"
 
 namespace tierbase {
+namespace cluster_net {
+class NodeClusterState;
+}  // namespace cluster_net
+
 namespace server {
 
 class CommandTable {
  public:
   /// `db` is not owned and must outlive the table.
   explicit CommandTable(TierBase* db);
+
+  /// Attaches cluster membership (not owned; must outlive the table).
+  /// Enables the CLUSTER/REPLICAOF/REPLPULL/REPLSNAPSHOT/WAIT vocabulary,
+  /// -MOVED checks against the installed routing snapshot, -READONLY
+  /// rejection of writes while a replica, and oplog recording of applied
+  /// string mutations. Call before the server starts dispatching.
+  void set_cluster(cluster_net::NodeClusterState* cluster) {
+    cluster_ = cluster;
+  }
 
   /// Extra "# Server"-section lines for INFO (the Server object injects
   /// connection and executor gauges here). Called on the dispatch thread.
@@ -73,6 +86,19 @@ class CommandTable {
   void ZAdd(const RespCommand& cmd, std::string* out);
   void ZRange(const RespCommand& cmd, std::string* out);
   void Info(const RespCommand& cmd, std::string* out);
+  void Scan(const RespCommand& cmd, std::string* out);
+  void DbSize(const RespCommand& cmd, std::string* out);
+  void FlushAll(const RespCommand& cmd, std::string* out);
+  void Cluster(const RespCommand& cmd, std::string* out);
+  void ReplicaOf(const RespCommand& cmd, std::string* out);
+  void ReplPull(const RespCommand& cmd, std::string* out);
+  void ReplSnapshot(const RespCommand& cmd, std::string* out);
+  void Wait(const RespCommand& cmd, std::string* out);
+
+  /// Cluster gate shared by every keyed handler: emits -READONLY for
+  /// writes on a replica and -MOVED for misrouted keys. Returns false when
+  /// an error was emitted (the command must not execute).
+  bool ClusterAdmits(const RespCommand& cmd, uint8_t flags, std::string* out);
 
   /// Executes cmds[begin..end) single GETs as one MultiGet.
   void CoalescedGets(const std::vector<RespCommand>& cmds, size_t begin,
@@ -82,6 +108,7 @@ class CommandTable {
                      size_t end, std::string* out);
 
   TierBase* db_;
+  cluster_net::NodeClusterState* cluster_ = nullptr;
   InfoExtra info_extra_;
 
   std::atomic<uint64_t> commands_{0};

@@ -1,6 +1,8 @@
 #include "server/resp.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstring>
 
 namespace tierbase {
 namespace server {
@@ -283,6 +285,41 @@ ParseResult ParseReply(const char* buf, size_t len, RespValue* out,
   ParseResult r = ParseReplyAt(buf, len, &pos, out, error, 0);
   if (r == ParseResult::kOk) *consumed = pos;
   return r;
+}
+
+bool EqualsUpper(const Slice& arg, const char* upper_word) {
+  size_t n = strlen(upper_word);
+  if (arg.size() != n) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::toupper(static_cast<unsigned char>(arg[i])) != upper_word[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AppendValue(std::string* out, const RespValue& v) {
+  switch (v.type) {
+    case RespValue::Type::kSimpleString:
+      AppendSimpleString(out, v.str);
+      break;
+    case RespValue::Type::kError:
+      AppendError(out, v.str);
+      break;
+    case RespValue::Type::kInteger:
+      AppendInteger(out, v.integer);
+      break;
+    case RespValue::Type::kBulkString:
+      AppendBulk(out, v.str);
+      break;
+    case RespValue::Type::kNull:
+      AppendNullBulk(out);
+      break;
+    case RespValue::Type::kArray:
+      AppendArrayHeader(out, v.elements.size());
+      for (const RespValue& e : v.elements) AppendValue(out, e);
+      break;
+  }
 }
 
 }  // namespace server

@@ -101,6 +101,14 @@ struct RespValue {
 ParseResult ParseReply(const char* buf, size_t len, RespValue* out,
                        size_t* consumed, std::string* error);
 
+/// Re-encodes a parsed reply onto the wire (the proxy relays replies from
+/// data nodes to its own clients this way).
+void AppendValue(std::string* out, const RespValue& v);
+
+/// True when `arg` equals `upper_word` case-insensitively; `upper_word`
+/// must already be uppercase (command/keyword matching).
+bool EqualsUpper(const Slice& arg, const char* upper_word);
+
 }  // namespace server
 }  // namespace tierbase
 

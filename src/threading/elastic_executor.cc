@@ -86,13 +86,23 @@ void ElasticExecutor::WorkerLoop(int worker_id) {
 void ElasticExecutor::ControlLoop() {
   int up_votes = 0;
   int down_votes = 0;
+  uint64_t last_completed = completed_.load(std::memory_order_relaxed);
   while (true) {
     Clock::Real()->SleepMicros(options_.control_interval_micros);
     std::unique_lock<std::mutex> lock(mu_);
     if (shutdown_) return;
     size_t depth = queue_.size();
 
-    if (depth >= options_.scale_up_depth &&
+    // Stall detection: work is queued but nothing completed for a whole
+    // control interval — every worker is blocked (a WAIT command polling
+    // for replica acks, a slow storage flush). Activate a reserve thread
+    // even though the queue is shallow, or the blocked worker starves the
+    // very commands (e.g. REPLPULL) that would unblock it.
+    uint64_t now_completed = completed_.load(std::memory_order_relaxed);
+    bool stalled = depth > 0 && now_completed == last_completed;
+    last_completed = now_completed;
+
+    if ((depth >= options_.scale_up_depth || stalled) &&
         desired_threads_ < options_.max_threads) {
       if (++up_votes >= options_.up_votes) {
         up_votes = 0;

@@ -1,0 +1,624 @@
+// Tests for the networked cluster subsystem (src/cluster_net/): wire
+// routing, the coordinator control plane, -MOVED handling, the smart
+// client's scatter–gather, wire replication with gap-triggered full
+// resync, replica promotion, kill-a-master-under-YCSB continuity, and the
+// RESP proxy.
+//
+// Everything boots in-process on loopback with ephemeral ports, so the
+// suite also runs under ASan/UBSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster_net/cluster_client.h"
+#include "cluster_net/coordinator_service.h"
+#include "cluster_net/node_state.h"
+#include "cluster_net/oplog.h"
+#include "cluster_net/proxy.h"
+#include "cluster_net/routing.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "tierbase/workload.h"
+
+namespace tierbase {
+namespace cluster_net {
+namespace {
+
+using server::Client;
+using server::RespValue;
+
+TEST(WireRoutingTest, SerializeParseRoundTrip) {
+  WireRouting routing;
+  routing.epoch = 7;
+  routing.virtual_nodes = 32;
+  routing.nodes.push_back({"n1", "127.0.0.1", 7001, false, "n1", true});
+  routing.nodes.push_back({"r1", "127.0.0.1", 7002, true, "n1", true});
+  routing.nodes.push_back({"n2", "10.0.0.5", 7003, false, "n2", false});
+
+  WireRouting parsed;
+  ASSERT_TRUE(WireRouting::Parse(routing.Serialize(), &parsed).ok());
+  EXPECT_EQ(7u, parsed.epoch);
+  EXPECT_EQ(32, parsed.virtual_nodes);
+  ASSERT_EQ(3u, parsed.nodes.size());
+  EXPECT_EQ("r1", parsed.nodes[1].id);
+  EXPECT_TRUE(parsed.nodes[1].is_replica);
+  EXPECT_EQ("n1", parsed.nodes[1].shard);
+  EXPECT_FALSE(parsed.nodes[2].healthy);
+  EXPECT_EQ(7003, parsed.nodes[2].port);
+
+  // The ring only contains shards with a healthy master: n2 is down.
+  cluster::Router router = parsed.BuildRouter();
+  EXPECT_TRUE(router.Contains("n1"));
+  EXPECT_FALSE(router.Contains("n2"));
+  EXPECT_EQ(nullptr, parsed.MasterOfShard("n2"));
+  ASSERT_NE(nullptr, parsed.ReplicaOfShard("n1"));
+  EXPECT_EQ("r1", parsed.ReplicaOfShard("n1")->id);
+}
+
+TEST(WireRoutingTest, ParseRejectsGarbage) {
+  WireRouting parsed;
+  EXPECT_FALSE(WireRouting::Parse("", &parsed).ok());
+  EXPECT_FALSE(WireRouting::Parse("epoch:x vnodes:64\n", &parsed).ok());
+  EXPECT_FALSE(
+      WireRouting::Parse("epoch:1 vnodes:64\nn1 nocolon master n1 up\n",
+                         &parsed)
+          .ok());
+  EXPECT_FALSE(
+      WireRouting::Parse("epoch:1 vnodes:64\nn1 h:1 emperor n1 up\n", &parsed)
+          .ok());
+}
+
+TEST(OpLogTest, SequencesAndGapDetection) {
+  OpLog log(4);
+  for (int i = 0; i < 3; ++i) {
+    ReplOp op;
+    op.key = "k" + std::to_string(i);
+    log.Append(std::move(op));
+  }
+  EXPECT_EQ(3u, log.head_seq());
+  EXPECT_EQ(1u, log.min_seq());
+
+  std::vector<ReplOp> ops;
+  ASSERT_TRUE(log.Read(2, 16, &ops));
+  ASSERT_EQ(2u, ops.size());
+  EXPECT_EQ(2u, ops[0].seq);
+  EXPECT_EQ("k2", ops[1].key);
+
+  // Reading past the head is an empty (not failed) read.
+  ASSERT_TRUE(log.Read(4, 16, &ops));
+  EXPECT_TRUE(ops.empty());
+
+  // Overrun the ring: seq 1 and 2 fall out; reading them is a gap.
+  for (int i = 3; i < 6; ++i) {
+    ReplOp op;
+    op.key = "k" + std::to_string(i);
+    log.Append(std::move(op));
+  }
+  EXPECT_EQ(6u, log.head_seq());
+  EXPECT_EQ(3u, log.min_seq());
+  EXPECT_FALSE(log.Read(1, 16, &ops));
+  ASSERT_TRUE(log.Read(3, 16, &ops));
+  EXPECT_EQ(4u, ops.size());
+}
+
+// ---------------------------------------------------------------------------
+// Live-cluster fixture: coordinator + N data nodes on loopback.
+// ---------------------------------------------------------------------------
+
+struct DataNode {
+  std::unique_ptr<TierBase> db;
+  std::unique_ptr<server::Server> srv;
+  std::unique_ptr<NodeClusterState> cluster;
+  std::string id;
+
+  uint16_t port() const { return srv->port(); }
+};
+
+class ClusterNetTest : public ::testing::Test {
+ protected:
+  void StartCoordinator(uint64_t probe_interval_micros = 0) {
+    CoordinatorService::Options options;
+    options.port = 0;
+    options.virtual_nodes = 32;
+    options.probe_interval_micros = probe_interval_micros;
+    coordinator_ = std::make_unique<CoordinatorService>(options);
+    ASSERT_TRUE(coordinator_->Start().ok());
+  }
+
+  DataNode* StartNode(const std::string& id, size_t oplog_cap = 65536) {
+    auto node = std::make_unique<DataNode>();
+    node->id = id;
+    TierBaseOptions options;
+    options.policy = CachingPolicy::kCacheOnly;
+    options.cache.shards = 2;
+    auto db = TierBase::Open(options, nullptr);
+    EXPECT_TRUE(db.ok());
+    node->db = std::move(*db);
+
+    NodeClusterState::Options cluster_options;
+    cluster_options.id = id;
+    cluster_options.oplog_capacity = oplog_cap;
+    node->cluster = std::make_unique<NodeClusterState>(node->db.get(),
+                                                       cluster_options);
+
+    server::ServerOptions server_options;
+    server_options.net.port = 0;
+    server_options.executor.max_threads = 2;
+    node->srv =
+        std::make_unique<server::Server>(node->db.get(), server_options);
+    node->srv->commands()->set_cluster(node->cluster.get());
+    EXPECT_TRUE(node->srv->Start().ok());
+    nodes_.push_back(std::move(node));
+    return nodes_.back().get();
+  }
+
+  Status Register(const DataNode& node, const std::string& replica_of = "") {
+    return coordinator_->AddNode(node.id, "127.0.0.1", node.port(),
+                                 replica_of);
+  }
+
+  std::unique_ptr<NetClusterClient> SmartClient() {
+    NetClusterClient::Options options;
+    options.coordinators.push_back("127.0.0.1:" +
+                                   std::to_string(coordinator_->port()));
+    auto client = NetClusterClient::Connect(options);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  DataNode* Find(const std::string& id) {
+    for (auto& node : nodes_) {
+      if (node->id == id) return node.get();
+    }
+    return nullptr;
+  }
+
+  void TearDown() override {
+    for (auto& node : nodes_) {
+      // Stop replication links before servers so pullers don't spin
+      // against closed listeners during teardown.
+      node->cluster->StopReplication();
+    }
+    for (auto& node : nodes_) node->srv->Stop();
+    if (coordinator_ != nullptr) coordinator_->Stop();
+  }
+
+  std::unique_ptr<CoordinatorService> coordinator_;
+  std::vector<std::unique_ptr<DataNode>> nodes_;
+};
+
+TEST_F(ClusterNetTest, CoordinatorRegistersRoutesAndServesNodes) {
+  StartCoordinator();
+  DataNode* n1 = StartNode("n1");
+  DataNode* n2 = StartNode("n2");
+  ASSERT_TRUE(Register(*n1).ok());
+  ASSERT_TRUE(Register(*n2).ok());
+
+  // Registration pushed routing to the data nodes (CLUSTER SETSLOTS).
+  EXPECT_EQ(coordinator_->epoch(), n2->cluster->epoch());
+  EXPECT_EQ(coordinator_->epoch(), n1->cluster->epoch());
+
+  // Control-plane vocabulary over the wire.
+  Client cli;
+  ASSERT_TRUE(cli.Connect("127.0.0.1", coordinator_->port()).ok());
+  RespValue v;
+  ASSERT_TRUE(cli.Call({"CLUSTER", "EPOCH"}, &v).ok());
+  EXPECT_EQ(static_cast<int64_t>(coordinator_->epoch()), v.integer);
+  ASSERT_TRUE(cli.Call({"CLUSTER", "NODES"}, &v).ok());
+  WireRouting parsed;
+  ASSERT_TRUE(WireRouting::Parse(v.str, &parsed).ok());
+  EXPECT_EQ(2u, parsed.nodes.size());
+  ASSERT_TRUE(cli.Call({"CLUSTER", "ROUTE", "somekey"}, &v).ok());
+  EXPECT_TRUE(v.str.rfind("n1 ", 0) == 0 || v.str.rfind("n2 ", 0) == 0)
+      << v.str;
+  // Duplicate registration is rejected.
+  ASSERT_TRUE(cli.Call({"CLUSTER", "ADDNODE", "n1", "127.0.0.1", "1"}, &v)
+                  .ok());
+  EXPECT_TRUE(v.IsError());
+}
+
+TEST_F(ClusterNetTest, MisroutedKeysAnswerMoved) {
+  StartCoordinator();
+  DataNode* n1 = StartNode("n1");
+  DataNode* n2 = StartNode("n2");
+  ASSERT_TRUE(Register(*n1).ok());
+  ASSERT_TRUE(Register(*n2).ok());
+
+  // Find keys owned by each shard via the coordinator's own router.
+  cluster::Router router = coordinator_->Routing().BuildRouter();
+  std::string n1_key, n2_key;
+  for (int i = 0; n1_key.empty() || n2_key.empty(); ++i) {
+    ASSERT_LT(i, 10000);
+    std::string key = "key" + std::to_string(i);
+    (router.Route(key) == "n1" ? n1_key : n2_key) = key;
+  }
+
+  Client cli;
+  ASSERT_TRUE(cli.Connect("127.0.0.1", n1->port()).ok());
+  RespValue v;
+  // Right node: executes; wrong node: -MOVED naming the owner.
+  ASSERT_TRUE(cli.Call({"SET", n1_key, "v"}, &v).ok());
+  EXPECT_EQ("OK", v.str);
+  ASSERT_TRUE(cli.Call({"SET", n2_key, "v"}, &v).ok());
+  ASSERT_TRUE(v.IsError());
+  EXPECT_EQ(0u, v.str.find("MOVED ")) << v.str;
+  EXPECT_NE(std::string::npos,
+            v.str.find(std::to_string(n2->port())));
+  EXPECT_GE(n1->cluster->moved_replies(), 1u);
+  // MGET with any misrouted key is rejected the same way.
+  ASSERT_TRUE(cli.Call({"MGET", n1_key, n2_key}, &v).ok());
+  EXPECT_TRUE(v.IsError());
+}
+
+TEST_F(ClusterNetTest, SmartClientRoutesAndScatterGathers) {
+  StartCoordinator();
+  DataNode* n1 = StartNode("n1");
+  DataNode* n2 = StartNode("n2");
+  ASSERT_TRUE(Register(*n1).ok());
+  ASSERT_TRUE(Register(*n2).ok());
+  auto client = SmartClient();
+
+  // Point ops route per key.
+  const int kKeys = 200;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(
+        client->Set("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  // Both nodes hold a share of the keyspace.
+  uint64_t n1_keys = n1->db->cache()->GetUsage().keys;
+  uint64_t n2_keys = n2->db->cache()->GetUsage().keys;
+  EXPECT_GT(n1_keys, 0u);
+  EXPECT_GT(n2_keys, 0u);
+  EXPECT_EQ(static_cast<uint64_t>(kKeys), n1_keys + n2_keys);
+
+  // Batched reads scatter per node and stitch replies back in order.
+  std::vector<std::string> key_storage;
+  for (int i = 0; i < kKeys; ++i) key_storage.push_back("k" + std::to_string(i));
+  std::vector<Slice> keys(key_storage.begin(), key_storage.end());
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  client->MultiGet(keys, &values, &statuses);
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(statuses[i].ok()) << statuses[i].ToString();
+    EXPECT_EQ("v" + std::to_string(i), values[i]);
+  }
+  NetClusterClient::Stats stats = client->GetStats();
+  EXPECT_EQ(2u, stats.node_batches.size());  // One MGET sub-batch per node.
+
+  // Batched writes the same way; missing keys come back NotFound.
+  std::vector<Slice> wkeys{keys[0], keys[1]};
+  std::vector<Slice> wvalues{"x0", "x1"};
+  client->MultiSet(wkeys, wvalues, &statuses);
+  ASSERT_TRUE(statuses[0].ok());
+  std::string value;
+  ASSERT_TRUE(client->Get("k0", &value).ok());
+  EXPECT_EQ("x0", value);
+  EXPECT_TRUE(client->Get("nosuch", &value).IsNotFound());
+  EXPECT_TRUE(client->Delete("k0").ok());
+  EXPECT_TRUE(client->Get("k0", &value).IsNotFound());
+}
+
+TEST_F(ClusterNetTest, WireReplicationStreamsAndWaitAcks) {
+  StartCoordinator();
+  DataNode* n1 = StartNode("n1");
+  DataNode* r1 = StartNode("r1");
+  ASSERT_TRUE(Register(*n1).ok());
+  ASSERT_TRUE(Register(*r1, /*replica_of=*/"n1").ok());
+  EXPECT_TRUE(r1->cluster->is_replica());
+
+  Client cli;
+  ASSERT_TRUE(cli.Connect("127.0.0.1", n1->port()).ok());
+  RespValue v;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        cli.Call({"SET", "rk" + std::to_string(i), std::to_string(i)}, &v)
+            .ok());
+  }
+  ASSERT_TRUE(cli.Call({"DEL", "rk0"}, &v).ok());
+  ASSERT_TRUE(cli.Call({"EXPIRE", "rk1", "100"}, &v).ok());
+  EXPECT_EQ(1, v.integer);
+
+  // WAIT blocks until the replica acked the master's head sequence.
+  ASSERT_TRUE(cli.Call({"WAIT", "1", "5000"}, &v).ok());
+  EXPECT_GE(v.integer, 1) << "replica never caught up";
+
+  // The replica applied the stream: values present, deletes applied.
+  // (The ack covers the pull; applying precedes acking, so no extra wait.)
+  std::string value;
+  for (int i = 1; i < 100; ++i) {
+    ASSERT_TRUE(r1->db->Get("rk" + std::to_string(i), &value).ok())
+        << "rk" << i;
+    EXPECT_EQ(std::to_string(i), value);
+  }
+  EXPECT_TRUE(r1->db->Get("rk0", &value).IsNotFound());
+  // TTLs replicate too (EXPIRE streams as its own op type).
+  Result<uint64_t> ttl = r1->db->cache()->Ttl("rk1");
+  ASSERT_TRUE(ttl.ok());
+  EXPECT_GT(*ttl, 0u);
+
+  // Replicas reject direct client writes.
+  Client rcli;
+  ASSERT_TRUE(rcli.Connect("127.0.0.1", r1->port()).ok());
+  ASSERT_TRUE(rcli.Call({"SET", "direct", "write"}, &v).ok());
+  ASSERT_TRUE(v.IsError());
+  EXPECT_EQ(0u, v.str.find("READONLY")) << v.str;
+
+  // INFO surfaces the replication link.
+  ASSERT_TRUE(rcli.Call({"INFO"}, &v).ok());
+  EXPECT_NE(std::string::npos, v.str.find("role:replica"));
+  EXPECT_NE(std::string::npos, v.str.find("replica_lag_ops:"));
+}
+
+TEST_F(ClusterNetTest, LateReplicaFullResyncsAcrossOplogGap) {
+  StartCoordinator();
+  // Tiny oplog: by the time the replica attaches, seq 1 has been dropped,
+  // so the first pull hits REPLGAP and the replica snapshots instead.
+  DataNode* n1 = StartNode("n1", /*oplog_cap=*/8);
+  ASSERT_TRUE(Register(*n1).ok());
+
+  Client cli;
+  ASSERT_TRUE(cli.Connect("127.0.0.1", n1->port()).ok());
+  RespValue v;
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(
+        cli.Call({"SET", "gk" + std::to_string(i), std::to_string(i)}, &v)
+            .ok());
+  }
+  ASSERT_TRUE(cli.Call({"SET", "gkttl", "x", "EX", "100"}, &v).ok());
+
+  DataNode* r1 = StartNode("r1", /*oplog_cap=*/8);
+  ASSERT_TRUE(Register(*r1, "n1").ok());
+  ASSERT_TRUE(cli.Call({"WAIT", "1", "5000"}, &v).ok());
+  EXPECT_GE(v.integer, 1);
+  EXPECT_GE(r1->cluster->full_resyncs(), 1u);
+  EXPECT_EQ(601u, r1->db->cache()->GetUsage().keys);
+  std::string value;
+  ASSERT_TRUE(r1->db->Get("gk599", &value).ok());
+  EXPECT_EQ("599", value);
+  // Snapshot pages carry remaining TTLs: the resynced key still expires.
+  Result<uint64_t> ttl = r1->db->cache()->Ttl("gkttl");
+  ASSERT_TRUE(ttl.ok());
+  EXPECT_GT(*ttl, 0u);
+}
+
+TEST_F(ClusterNetTest, FailoverPromotesReplicaAndClientsConverge) {
+  StartCoordinator();
+  DataNode* n1 = StartNode("n1");
+  DataNode* n2 = StartNode("n2");
+  DataNode* r1 = StartNode("r1");
+  ASSERT_TRUE(Register(*n1).ok());
+  ASSERT_TRUE(Register(*n2).ok());
+  ASSERT_TRUE(Register(*r1, "n1").ok());
+
+  auto client = SmartClient();
+  const int kKeys = 100;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(
+        client->Set("f" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  // Let the replica drain the stream before the kill.
+  Client cli;
+  ASSERT_TRUE(cli.Connect("127.0.0.1", n1->port()).ok());
+  RespValue v;
+  ASSERT_TRUE(cli.Call({"WAIT", "1", "5000"}, &v).ok());
+  ASSERT_GE(v.integer, 1);
+  cli.Close();
+
+  const uint64_t epoch_before = coordinator_->epoch();
+
+  // Kill the master. The next op routed to it fails, the client reports
+  // the failure, the coordinator promotes r1 and bumps the epoch, and the
+  // retried op lands on the promoted replica — no client restart.
+  n1->srv->Stop();
+  std::string value;
+  int served = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    Status s = client->Get("f" + std::to_string(i), &value);
+    if (s.ok()) {
+      EXPECT_EQ("v" + std::to_string(i), value);
+      ++served;
+    }
+  }
+  // The lost-update window is bounded: every key survives because the
+  // replica was caught up at kill time.
+  EXPECT_EQ(kKeys, served);
+  EXPECT_GT(coordinator_->epoch(), epoch_before);
+  EXPECT_EQ(1u, coordinator_->failovers());
+  EXPECT_FALSE(r1->cluster->is_replica());
+
+  // Promotion is observable via CLUSTER EPOCH and INFO role.
+  Client rcli;
+  ASSERT_TRUE(rcli.Connect("127.0.0.1", r1->port()).ok());
+  ASSERT_TRUE(rcli.Call({"CLUSTER", "EPOCH"}, &v).ok());
+  EXPECT_EQ(static_cast<int64_t>(coordinator_->epoch()), v.integer);
+  ASSERT_TRUE(rcli.Call({"INFO"}, &v).ok());
+  EXPECT_NE(std::string::npos, v.str.find("role:master"));
+
+  // Writes to the shard now land on the promoted node.
+  ASSERT_TRUE(client->Set("f0", "after-failover").ok());
+  ASSERT_TRUE(client->Get("f0", &value).ok());
+  EXPECT_EQ("after-failover", value);
+}
+
+TEST_F(ClusterNetTest, KillMasterUnderYcsbKeepsServing) {
+  StartCoordinator();
+  DataNode* n1 = StartNode("n1");
+  DataNode* n2 = StartNode("n2");
+  DataNode* r1 = StartNode("r1");
+  ASSERT_TRUE(Register(*n1).ok());
+  ASSERT_TRUE(Register(*n2).ok());
+  ASSERT_TRUE(Register(*r1, "n1").ok());
+
+  auto client = SmartClient();
+  workload::YcsbOptions options = workload::WorkloadA();
+  options.record_count = 2000;
+  options.operation_count = 6000;
+  workload::RunnerOptions runner;
+  runner.batch_size = 8;
+
+  workload::RunResult load = workload::RunLoadPhase(client.get(), options,
+                                                    runner);
+  ASSERT_EQ(0u, load.errors);
+  Client cli;
+  ASSERT_TRUE(cli.Connect("127.0.0.1", n1->port()).ok());
+  RespValue v;
+  ASSERT_TRUE(cli.Call({"WAIT", "1", "5000"}, &v).ok());
+  ASSERT_GE(v.integer, 1);
+  cli.Close();
+
+  // Kill n1 mid-run from a side thread.
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    n1->srv->Stop();
+  });
+  workload::RunResult run = workload::RunPhase(client.get(), options, runner);
+  killer.join();
+
+  // The run completes; ops that raced the kill are the only casualties
+  // (bounded by one batch per retry budget), and service continued on the
+  // promoted replica + surviving master.
+  EXPECT_EQ(options.operation_count, run.ops);
+  EXPECT_LT(run.errors, options.operation_count / 10);
+  EXPECT_EQ(1u, coordinator_->failovers());
+  EXPECT_FALSE(r1->cluster->is_replica());
+
+  // And the cluster still serves everything afterwards.
+  workload::RunResult after = workload::RunPhase(client.get(), options,
+                                                 runner);
+  EXPECT_EQ(0u, after.errors);
+}
+
+TEST_F(ClusterNetTest, ProxyServesNaiveClientsAndScatterGathers) {
+  StartCoordinator();
+  DataNode* n1 = StartNode("n1");
+  DataNode* n2 = StartNode("n2");
+  ASSERT_TRUE(Register(*n1).ok());
+  ASSERT_TRUE(Register(*n2).ok());
+
+  ClusterProxy::Options options;
+  options.port = 0;
+  options.backend.coordinators.push_back(
+      "127.0.0.1:" + std::to_string(coordinator_->port()));
+  ClusterProxy proxy(options);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  Client cli;
+  ASSERT_TRUE(cli.Connect("127.0.0.1", proxy.port()).ok());
+  RespValue v;
+  ASSERT_TRUE(cli.Call({"PING"}, &v).ok());
+  EXPECT_EQ("PONG", v.str);
+
+  // Point ops, batch ops, and rich-type forwards, all through the proxy.
+  ASSERT_TRUE(cli.Call({"SET", "pk", "pv"}, &v).ok());
+  EXPECT_EQ("OK", v.str);
+  ASSERT_TRUE(cli.Call({"GET", "pk"}, &v).ok());
+  EXPECT_EQ("pv", v.str);
+  ASSERT_TRUE(cli.Call({"MSET", "a", "1", "b", "2", "c", "3"}, &v).ok());
+  EXPECT_EQ("OK", v.str);
+  ASSERT_TRUE(cli.Call({"MGET", "a", "b", "c", "nope"}, &v).ok());
+  ASSERT_EQ(4u, v.elements.size());
+  EXPECT_EQ("1", v.elements[0].str);
+  EXPECT_EQ("3", v.elements[2].str);
+  EXPECT_TRUE(v.elements[3].IsNull());
+  ASSERT_TRUE(cli.Call({"INCR", "counter"}, &v).ok());
+  EXPECT_EQ(1, v.integer);
+  ASSERT_TRUE(cli.Call({"LPUSH", "list", "x", "y"}, &v).ok());
+  EXPECT_EQ(2, v.integer);
+  ASSERT_TRUE(cli.Call({"LRANGE", "list", "0", "-1"}, &v).ok());
+  ASSERT_EQ(2u, v.elements.size());
+  ASSERT_TRUE(cli.Call({"DEL", "a", "b", "nope"}, &v).ok());
+  EXPECT_EQ(2, v.integer);
+
+  // A pipelined GET train becomes one cluster scatter–gather.
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(
+        cli.Call({"SET", "pp" + std::to_string(i), std::to_string(i)}, &v)
+            .ok());
+  }
+  for (int i = 0; i < 32; ++i) cli.Append({"GET", "pp" + std::to_string(i)});
+  ASSERT_TRUE(cli.Flush().ok());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(cli.ReadReply(&v).ok());
+    EXPECT_EQ(std::to_string(i), v.str);
+  }
+
+  // INFO reports per-node routed-batch counters.
+  ASSERT_TRUE(cli.Call({"INFO"}, &v).ok());
+  EXPECT_NE(std::string::npos, v.str.find("routed_batches_n1:"));
+  EXPECT_NE(std::string::npos, v.str.find("routed_batches_n2:"));
+
+  // Both nodes got a share of the writes.
+  EXPECT_GT(n1->db->cache()->GetUsage().keys, 0u);
+  EXPECT_GT(n2->db->cache()->GetUsage().keys, 0u);
+
+  proxy.Stop();
+}
+
+TEST_F(ClusterNetTest, YcsbThroughProxyAndSmartClientMatchOpCounts) {
+  StartCoordinator();
+  DataNode* n1 = StartNode("n1");
+  DataNode* n2 = StartNode("n2");
+  ASSERT_TRUE(Register(*n1).ok());
+  ASSERT_TRUE(Register(*n2).ok());
+
+  ClusterProxy::Options proxy_options;
+  proxy_options.port = 0;
+  proxy_options.backend.coordinators.push_back(
+      "127.0.0.1:" + std::to_string(coordinator_->port()));
+  ClusterProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  auto smart = SmartClient();
+  auto remote = server::RemoteEngine::Connect("127.0.0.1", proxy.port());
+  ASSERT_TRUE(remote.ok());
+
+  // Every standard mix, through the smart client and through the proxy,
+  // must account for exactly the same op counts as in-process execution.
+  for (char name : {'A', 'B', 'C', 'D', 'E', 'F'}) {
+    workload::YcsbOptions options;
+    ASSERT_TRUE(workload::WorkloadByName(name, &options));
+    options.record_count = 300;
+    options.operation_count = 400;
+    options.dataset.num_records = 300;
+    workload::RunnerOptions runner;
+    runner.batch_size = (name == 'A') ? 8 : 1;  // Exercise scatter-gather.
+
+    TierBaseOptions local_options;
+    local_options.cache.shards = 4;
+    auto local = TierBase::Open(local_options, nullptr);
+    ASSERT_TRUE(local.ok());
+    workload::RunResult local_load =
+        workload::RunLoadPhase(local->get(), options, runner);
+    workload::RunResult local_run =
+        workload::RunPhase(local->get(), options, runner);
+
+    workload::RunResult smart_load =
+        workload::RunLoadPhase(smart.get(), options, runner);
+    workload::RunResult smart_run =
+        workload::RunPhase(smart.get(), options, runner);
+    EXPECT_EQ(local_load.ops, smart_load.ops) << "workload " << name;
+    EXPECT_EQ(local_run.ops, smart_run.ops) << "workload " << name;
+    EXPECT_EQ(0u, smart_load.errors + smart_run.errors)
+        << "workload " << name;
+
+    workload::RunResult proxy_load =
+        workload::RunLoadPhase(remote->get(), options, runner);
+    workload::RunResult proxy_run =
+        workload::RunPhase(remote->get(), options, runner);
+    EXPECT_EQ(local_load.ops, proxy_load.ops) << "workload " << name;
+    EXPECT_EQ(local_run.ops, proxy_run.ops) << "workload " << name;
+    EXPECT_EQ(0u, proxy_load.errors + proxy_run.errors)
+        << "workload " << name;
+  }
+
+  proxy.Stop();
+}
+
+}  // namespace
+}  // namespace cluster_net
+}  // namespace tierbase

@@ -331,3 +331,93 @@ TEST(ClusterClientTest, FailoverCostIsOneRefreshNotPerKey) {
 }  // namespace
 }  // namespace cluster
 }  // namespace tierbase
+
+// Router edge cases the networked path (src/cluster_net/) leans on: a
+// stale routing snapshot keeps routing to a removed instance (which is
+// exactly what produces -MOVED / failed connects until the epoch-bump
+// refresh), and virtual nodes bound the ownership skew that scatter-gather
+// batch sizing inherits.
+namespace tierbase {
+namespace cluster {
+namespace {
+
+TEST(RouterTest, StaleSnapshotStillRoutesToRemovedInstance) {
+  Coordinator coordinator;
+  ASSERT_TRUE(coordinator.AddInstance(MakeInstance("n1")).ok());
+  ASSERT_TRUE(coordinator.AddInstance(MakeInstance("n2")).ok());
+  Coordinator::RoutingSnapshot stale = coordinator.GetRouting();
+
+  // Find a key the stale snapshot sends to n1, then remove n1.
+  std::string n1_key;
+  for (int i = 0; n1_key.empty(); ++i) {
+    ASSERT_LT(i, 10000);
+    std::string key = "key" + std::to_string(i);
+    if (stale.router.Route(key) == "n1") n1_key = key;
+  }
+  ASSERT_TRUE(coordinator.ReportFailure("n1").ok());
+
+  // The stale copy still names the dead owner (a client acting on it gets
+  // Unavailable/-MOVED); the fresh snapshot has a new owner and a bumped
+  // epoch — the signal that triggers the pull-based refresh.
+  EXPECT_EQ("n1", stale.router.Route(n1_key));
+  Coordinator::RoutingSnapshot fresh = coordinator.GetRouting();
+  EXPECT_GT(fresh.epoch, stale.epoch);
+  EXPECT_EQ("n2", fresh.router.Route(n1_key));
+}
+
+TEST(RouterTest, RemovedInstanceKeysFallToSuccessorsOnly) {
+  Router router(64);
+  for (const char* id : {"a", "b", "c", "d"}) router.AddInstance(id);
+  std::map<std::string, std::string> before;
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = "key" + std::to_string(i);
+    before[key] = router.Route(key);
+  }
+  router.RemoveInstance("b");
+  for (const auto& [key, owner] : before) {
+    std::string now = router.Route(key);
+    if (owner == "b") {
+      EXPECT_NE("b", now);
+    } else {
+      // Keys not owned by the removed instance must not remap at all.
+      EXPECT_EQ(owner, now) << key;
+    }
+  }
+}
+
+TEST(RouterTest, VirtualNodesBoundOwnershipSkew) {
+  // With 128 vnodes per instance, no instance's uniform-keyspace share may
+  // stray past 2x from the fair 1/4 — the even-sharding tolerance the
+  // scatter-gather batch split relies on for balanced sub-batches.
+  Router router(128);
+  for (int n = 0; n < 4; ++n) router.AddInstance("node" + std::to_string(n));
+  auto shares = router.OwnershipShares();
+  ASSERT_EQ(4u, shares.size());
+  double min_share = 1.0, max_share = 0.0;
+  for (const auto& [id, share] : shares) {
+    min_share = std::min(min_share, share);
+    max_share = std::max(max_share, share);
+  }
+  EXPECT_GT(min_share, 0.25 / 2);
+  EXPECT_LT(max_share, 0.25 * 2);
+  EXPECT_LT(max_share / min_share, 3.0);
+}
+
+TEST(RouterTest, SingleNodeRingSurvivesRemovalOfOthers) {
+  // Shrinking to one instance must leave that instance owning everything
+  // (the degenerate ring the cluster passes through during rolling kills).
+  Router router;
+  router.AddInstance("a");
+  router.AddInstance("b");
+  router.RemoveInstance("b");
+  EXPECT_EQ(1u, router.num_instances());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ("a", router.Route("key" + std::to_string(i)));
+  }
+  router.RemoveInstance("a");
+  EXPECT_EQ("", router.Route("key"));
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace tierbase

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstring>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -678,6 +679,57 @@ TEST_F(ServerTest, ConcurrentClientsInterleave) {
   EXPECT_EQ(0, failures.load());
   EXPECT_EQ(static_cast<uint64_t>(kClients * kOpsPerClient),
             db_->GetStats().sets);
+}
+
+TEST_F(ServerTest, ScanDbSizeFlushAll) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(Connect(&client).ok());
+  RespValue v;
+
+  ASSERT_TRUE(client.Call({"DBSIZE"}, &v).ok());
+  EXPECT_EQ(0, v.integer);
+
+  const int kKeys = 137;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(
+        client.Call({"SET", "s" + std::to_string(i), "v"}, &v).ok());
+  }
+  ASSERT_TRUE(client.Call({"HSET", "h1", "f", "v"}, &v).ok());
+  ASSERT_TRUE(client.Call({"DBSIZE"}, &v).ok());
+  EXPECT_EQ(kKeys + 1, v.integer);
+
+  // A full cursor walk visits every key exactly once (stable keyspace).
+  std::set<std::string> seen;
+  std::string cursor = "0";
+  int pages = 0;
+  do {
+    ASSERT_TRUE(client.Call({"SCAN", cursor, "COUNT", "20"}, &v).ok());
+    ASSERT_EQ(RespValue::Type::kArray, v.type);
+    ASSERT_EQ(2u, v.elements.size());
+    cursor = v.elements[0].str;
+    for (const RespValue& key : v.elements[1].elements) {
+      EXPECT_TRUE(seen.insert(key.str).second) << "duplicate " << key.str;
+    }
+    ASSERT_LT(++pages, 200);
+  } while (cursor != "0");
+  EXPECT_EQ(static_cast<size_t>(kKeys + 1), seen.size());
+  EXPECT_TRUE(seen.count("h1"));
+
+  // Cursor/syntax validation.
+  ASSERT_TRUE(client.Call({"SCAN", "notanumber"}, &v).ok());
+  EXPECT_TRUE(v.IsError());
+  ASSERT_TRUE(client.Call({"SCAN", "0", "MATCH", "x*"}, &v).ok());
+  EXPECT_TRUE(v.IsError());
+
+  ASSERT_TRUE(client.Call({"FLUSHALL"}, &v).ok());
+  EXPECT_EQ("OK", v.str);
+  ASSERT_TRUE(client.Call({"DBSIZE"}, &v).ok());
+  EXPECT_EQ(0, v.integer);
+  ASSERT_TRUE(client.Call({"GET", "s0"}, &v).ok());
+  EXPECT_TRUE(v.IsNull());
+  ASSERT_TRUE(client.Call({"SCAN", "0", "COUNT", "100"}, &v).ok());
+  EXPECT_TRUE(v.elements[1].elements.empty());
 }
 
 }  // namespace
