@@ -15,6 +15,9 @@
 //   --max-threads N     executor thread cap (default 4)
 //   --shards N          cache shards (default 4)
 //   --memory-budget B   cache budget in bytes; 0 = unlimited (default 0)
+//   --wal-sync M        storage/WAL sync mode: interval (default, fsync at
+//                       most once a second) | every (fsync per record —
+//                       every acknowledged write survives kill -9)
 //
 // Cluster membership (see README "Running a cluster"):
 //   --cluster-id ID     join a cluster under this node id: enables the
@@ -58,6 +61,7 @@ int Usage(const char* argv0) {
           "          [--policy cache-only|wal|write-through|write-back]\n"
           "          [--dir PATH] [--threads single|multi|elastic]\n"
           "          [--max-threads N] [--shards N] [--memory-budget B]\n"
+          "          [--wal-sync interval|every]\n"
           "          [--cluster-id ID] [--replicaof HOST:PORT]\n"
           "          [--oplog-cap N]\n",
           argv0);
@@ -76,6 +80,7 @@ int main(int argc, char** argv) {
   int max_threads = 4;
   int shards = 4;
   size_t memory_budget = 0;
+  std::string wal_sync = "interval";
   std::string cluster_id;
   std::string replicaof;
   size_t oplog_cap = 65536;
@@ -106,6 +111,8 @@ int main(int argc, char** argv) {
       shards = atoi(next("--shards"));
     } else if (strcmp(argv[i], "--memory-budget") == 0) {
       memory_budget = strtoull(next("--memory-budget"), nullptr, 10);
+    } else if (strcmp(argv[i], "--wal-sync") == 0) {
+      wal_sync = next("--wal-sync");
     } else if (strcmp(argv[i], "--cluster-id") == 0) {
       cluster_id = next("--cluster-id");
     } else if (strcmp(argv[i], "--replicaof") == 0) {
@@ -117,6 +124,7 @@ int main(int argc, char** argv) {
     }
   }
   if (port < 0 || port > 65535) return Usage(argv[0]);
+  if (wal_sync != "interval" && wal_sync != "every") return Usage(argv[0]);
 
   TierBaseOptions options;
   options.cache.shards = shards;
@@ -130,6 +138,7 @@ int main(int argc, char** argv) {
     options.policy = CachingPolicy::kWalFile;
     if (dir.empty()) dir = env::MakeTempDir("tb_server");
     options.wal_dir = dir;
+    if (wal_sync == "every") options.wal_sync_interval_micros = 0;
   } else if (policy == "write-through" || policy == "write-back") {
     options.policy = policy == "write-through" ? CachingPolicy::kWriteThrough
                                                : CachingPolicy::kWriteBack;
@@ -141,6 +150,7 @@ int main(int argc, char** argv) {
     }
     lsm::LsmOptions lsm_options;
     lsm_options.dir = dir + "/storage";
+    if (wal_sync == "every") lsm_options.wal_mode = lsm::WalMode::kFileSync;
     storage = LsmStorageAdapter::Open(lsm_options);
     if (!storage.ok()) {
       fprintf(stderr, "storage tier: %s\n",

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Crash smoke: boots tierbase_server with the write-back policy and
+# per-record WAL sync, loads a known baseline key set, waits until the
+# write-back tier has drained it into durable storage (INFO wb_dirty:0),
+# then kill -9s the server mid-YCSB and restarts it on the same data
+# directory. Recovery must report zero lost synced keys: every baseline
+# key reads back with its exact value.
+#
+# Used by the CI crash-recovery job; runnable locally:
+#
+#   ./scripts/crash_smoke.sh ./build
+set -euo pipefail
+
+BUILD_DIR="${1:-./build}"
+SERVER="$BUILD_DIR/tierbase_server"
+CLI="$BUILD_DIR/tierbase_cli"
+YCSB="$BUILD_DIR/ycsb_runner"
+BASELINE_KEYS="${BASELINE_KEYS:-100}"
+
+DATA_DIR="$(mktemp -d /tmp/tb_crash_smoke.XXXXXX)"
+PORT_FILE="$DATA_DIR/port"
+SERVER_PID=""
+YCSB_PID=""
+
+fail() { echo "CRASH SMOKE FAIL: $1" >&2; exit 1; }
+cleanup() {
+  [ -n "$YCSB_PID" ] && kill -9 "$YCSB_PID" 2>/dev/null || true
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$DATA_DIR"
+}
+trap cleanup EXIT
+
+[ -x "$SERVER" ] || fail "missing $SERVER"
+[ -x "$CLI" ] || fail "missing $CLI"
+[ -x "$YCSB" ] || fail "missing $YCSB"
+
+boot_server() {
+  rm -f "$PORT_FILE"
+  "$SERVER" --port 0 --port-file "$PORT_FILE" \
+            --policy write-back --dir "$DATA_DIR/db" --wal-sync every &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$PORT_FILE" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server died during startup"
+    sleep 0.1
+  done
+  [ -s "$PORT_FILE" ] || fail "server never wrote the port file"
+  PORT="$(cat "$PORT_FILE")"
+}
+
+boot_server
+echo "crash-smoke: server up on port $PORT (pid $SERVER_PID)"
+
+# Baseline: keys whose synced durability we will assert after the crash.
+for i in $(seq 1 "$BASELINE_KEYS"); do
+  out="$("$CLI" -p "$PORT" SET "stable:$i" "value-$i")" \
+    || fail "SET stable:$i failed"
+  [ "$out" = "OK" ] || fail "SET stable:$i: got '$out'"
+done
+
+# Wait for the write-back tier to drain the baseline into storage; with
+# --wal-sync every a drained entry is durable the moment it is flushed.
+drained=""
+for _ in $(seq 1 100); do
+  if "$CLI" -p "$PORT" INFO | grep -q '^wb_dirty:0'; then
+    drained=1
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$drained" ] || fail "write-back tier never drained the baseline"
+echo "crash-smoke: baseline of $BASELINE_KEYS keys drained to storage"
+
+# Background YCSB traffic so the kill lands mid-write-storm.
+"$YCSB" --workload A --records 2000 --ops 200000 --batch 16 \
+        --remote "127.0.0.1:$PORT" >/dev/null 2>&1 &
+YCSB_PID=$!
+sleep 1
+
+echo "crash-smoke: kill -9 $SERVER_PID mid-YCSB"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+wait "$YCSB_PID" 2>/dev/null || true
+YCSB_PID=""
+
+boot_server
+echo "crash-smoke: server restarted on port $PORT (pid $SERVER_PID)"
+
+lost=0
+for i in $(seq 1 "$BASELINE_KEYS"); do
+  out="$("$CLI" -p "$PORT" GET "stable:$i")" || fail "GET stable:$i failed"
+  [ "$out" = "\"value-$i\"" ] || { echo "lost/torn stable:$i -> $out"; lost=$((lost + 1)); }
+done
+[ "$lost" -eq 0 ] || fail "recovery lost $lost of $BASELINE_KEYS synced keys"
+echo "crash-smoke: recovery reports zero lost synced keys"
+
+"$CLI" -p "$PORT" INFO | grep -E '^(storage_wal_|wal_|wb_flush_error)' || true
+
+out="$("$CLI" -p "$PORT" SHUTDOWN)" || fail "SHUTDOWN failed"
+[ "$out" = "OK" ] || fail "SHUTDOWN: got '$out'"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+if pgrep -x tierbase_server >/dev/null; then
+  fail "leaked tierbase_server process"
+fi
+echo "crash-smoke: PASS"

@@ -172,19 +172,23 @@ std::string NodeClusterState::master_endpoint() const {
   return master_host_ + ":" + std::to_string(master_port_);
 }
 
-void NodeClusterState::ApplyOp(const ReplOp& op) {
+Status NodeClusterState::ApplyOp(const ReplOp& op) {
+  // An engine refusal (WAL append error, write-back flush error, OOM on a
+  // durable replica) must not be swallowed: recording the op as applied
+  // while the engine dropped it would silently diverge this replica from
+  // its master. The caller keeps replica_applied_ put so the op is
+  // re-pulled once the engine heals.
+  Status s;
   switch (op.type) {
     case ReplOp::Type::kSet:
-      if (op.ttl_micros == 0) {
-        db_->Set(op.key, op.value);
-      } else {
-        db_->SetEx(op.key, op.value, op.ttl_micros);
-      }
-      RecordSet(op.key, op.value, op.ttl_micros);
+      s = op.ttl_micros == 0 ? db_->Set(op.key, op.value)
+                             : db_->SetEx(op.key, op.value, op.ttl_micros);
+      if (s.ok()) RecordSet(op.key, op.value, op.ttl_micros);
       break;
     case ReplOp::Type::kDelete:
-      db_->Delete(op.key);
-      RecordDelete(op.key);
+      s = db_->Delete(op.key);
+      if (s.IsNotFound()) s = Status::OK();  // Deleting absent = applied.
+      if (s.ok()) RecordDelete(op.key);
       break;
     case ReplOp::Type::kExpire:
       // May miss if the key never reached this replica; Expire's NotFound
@@ -197,6 +201,8 @@ void NodeClusterState::ApplyOp(const ReplOp& op) {
       RecordFlush();
       break;
   }
+  if (!s.ok()) apply_failures_.fetch_add(1, std::memory_order_relaxed);
+  return s;
 }
 
 Status NodeClusterState::FullResync(server::Client* client) {
@@ -232,7 +238,7 @@ Status NodeClusterState::FullResync(server::Client* client) {
       op.key = std::move(reply.elements[i].str);
       op.value = std::move(reply.elements[i + 1].str);
       op.ttl_micros = static_cast<uint64_t>(reply.elements[i + 2].integer);
-      ApplyOp(op);
+      TIERBASE_RETURN_IF_ERROR(ApplyOp(op));
     }
     cursor = reply.elements[0].str;
   } while (cursor != "0");
@@ -284,7 +290,11 @@ bool NodeClusterState::PullOnce(server::Client* client) {
     op.key = e.elements[2].str;
     op.value = e.elements[3].str;
     op.ttl_micros = static_cast<uint64_t>(e.elements[4].integer);
-    ApplyOp(op);
+    if (!ApplyOp(op).ok()) {
+      // Don't advance past the failed op: it will be re-pulled, and the
+      // lag it accumulates is visible in INFO (replica_lag_ops).
+      return false;
+    }
     replica_applied_.store(op.seq, std::memory_order_release);
   }
   // Ops arrived: poll again immediately. Empty pull: let the caller idle.
@@ -342,6 +352,7 @@ void NodeClusterState::AppendInfo(std::string* out) const {
     add("replica_applied_seq:%" PRIu64, replica_applied_seq());
     add("replica_lag_ops:%" PRIu64, replica_lag());
     add("full_resyncs:%" PRIu64, full_resyncs());
+    add("replica_apply_failures:%" PRIu64, apply_failures());
   }
   if (db_->replicator() != nullptr) {
     add("inprocess_replica_lag:%zu", db_->replicator()->lag());

@@ -126,6 +126,10 @@ class NodeClusterState {
   uint64_t replica_lag() const;
   std::string master_endpoint() const;
   uint64_t full_resyncs() const { return full_resyncs_.load(); }
+  /// Replicated ops the local engine refused (e.g. a WAL/flush error on a
+  /// durable replica). Non-zero means the replica is stalled, not silently
+  /// diverging: replica_applied_ stops advancing so the op is re-pulled.
+  uint64_t apply_failures() const { return apply_failures_.load(); }
 
   uint64_t moved_replies() const { return moved_replies_.load(); }
 
@@ -138,7 +142,7 @@ class NodeClusterState {
   /// connection trouble).
   bool PullOnce(server::Client* client);
   Status FullResync(server::Client* client);
-  void ApplyOp(const ReplOp& op);
+  Status ApplyOp(const ReplOp& op);
 
   TierBase* db_;
   Options options_;
@@ -162,6 +166,7 @@ class NodeClusterState {
   std::atomic<uint64_t> replica_applied_{0};
   std::atomic<uint64_t> master_head_seen_{0};
   std::atomic<uint64_t> full_resyncs_{0};
+  std::atomic<uint64_t> apply_failures_{0};
 
   std::atomic<uint64_t> moved_replies_{0};
 };

@@ -10,14 +10,13 @@
 #include <cstring>
 
 namespace tierbase {
-namespace env {
 
 namespace {
 
 class PosixWritableFile final : public WritableFile {
  public:
-  PosixWritableFile(std::string path, int fd)
-      : path_(std::move(path)), fd_(fd) {}
+  PosixWritableFile(std::string path, int fd, uint64_t initial_size = 0)
+      : path_(std::move(path)), fd_(fd), size_(initial_size) {}
   ~PosixWritableFile() override {
     if (fd_ >= 0) close(fd_);
   }
@@ -95,28 +94,135 @@ class PosixRandomAccessFile final : public RandomAccessFile {
   uint64_t size_;
 };
 
+class PosixEnv final : public Env {
+ public:
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* file) override {
+    int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return Status::IOError("cannot create " + path);
+    *file = std::make_unique<PosixWritableFile>(path, fd);
+    return Status::OK();
+  }
+
+  Status NewAppendableFile(const std::string& path,
+                           std::unique_ptr<WritableFile>* file) override {
+    int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return Status::IOError("cannot open for append " + path);
+    struct stat st;
+    if (fstat(fd, &st) != 0) {
+      close(fd);
+      return Status::IOError("cannot stat " + path);
+    }
+    *file = std::make_unique<PosixWritableFile>(
+        path, fd, static_cast<uint64_t>(st.st_size));
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& path,
+      std::unique_ptr<RandomAccessFile>* file) override {
+    int fd = open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::IOError("cannot open " + path);
+    struct stat st;
+    if (fstat(fd, &st) != 0) {
+      close(fd);
+      return Status::IOError("cannot stat " + path);
+    }
+    *file = std::make_unique<PosixRandomAccessFile>(
+        path, fd, static_cast<uint64_t>(st.st_size));
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& path) override {
+    if (mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IOError("mkdir failed: " + path);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IOError("unlink failed: " + path);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError("rename failed: " + from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return access(path.c_str(), F_OK) == 0;
+  }
+
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* names) override {
+    names->clear();
+    DIR* dir = opendir(path.c_str());
+    if (dir == nullptr) return Status::IOError("opendir failed: " + path);
+    struct dirent* entry;
+    while ((entry = readdir(dir)) != nullptr) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") names->push_back(std::move(name));
+    }
+    closedir(dir);
+    return Status::OK();
+  }
+
+  uint64_t FileSize(const std::string& path) override {
+    struct stat st;
+    if (stat(path.c_str(), &st) != 0) return 0;
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    if (truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Status::IOError("truncate failed: " + path);
+    }
+    return Status::OK();
+  }
+};
+
+std::atomic<Env*>& GlobalEnvSlot() {
+  static std::atomic<Env*> slot{nullptr};
+  return slot;
+}
+
 }  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* posix = new PosixEnv();  // Never freed: outlives statics.
+  return posix;
+}
+
+namespace env {
+
+Env* SwapGlobalEnv(Env* e) {
+  Env* prev = GlobalEnvSlot().exchange(e);
+  return prev == nullptr ? Env::Default() : prev;
+}
+
+Env* GlobalEnv() {
+  Env* e = GlobalEnvSlot().load(std::memory_order_acquire);
+  return e == nullptr ? Env::Default() : e;
+}
 
 Status NewWritableFile(const std::string& path,
                        std::unique_ptr<WritableFile>* file) {
-  int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return Status::IOError("cannot create " + path);
-  *file = std::make_unique<PosixWritableFile>(path, fd);
-  return Status::OK();
+  return GlobalEnv()->NewWritableFile(path, file);
+}
+
+Status NewAppendableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* file) {
+  return GlobalEnv()->NewAppendableFile(path, file);
 }
 
 Status NewRandomAccessFile(const std::string& path,
                            std::unique_ptr<RandomAccessFile>* file) {
-  int fd = open(path.c_str(), O_RDONLY);
-  if (fd < 0) return Status::IOError("cannot open " + path);
-  struct stat st;
-  if (fstat(fd, &st) != 0) {
-    close(fd);
-    return Status::IOError("cannot stat " + path);
-  }
-  *file = std::make_unique<PosixRandomAccessFile>(
-      path, fd, static_cast<uint64_t>(st.st_size));
-  return Status::OK();
+  return GlobalEnv()->NewRandomAccessFile(path, file);
 }
 
 Status ReadFileToString(const std::string& path, std::string* out) {
@@ -134,47 +240,31 @@ Status WriteStringToFileSync(const std::string& path, const Slice& data) {
 }
 
 Status CreateDirIfMissing(const std::string& path) {
-  if (mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
-    return Status::IOError("mkdir failed: " + path);
-  }
-  return Status::OK();
+  return GlobalEnv()->CreateDirIfMissing(path);
 }
 
 Status RemoveFile(const std::string& path) {
-  if (unlink(path.c_str()) != 0 && errno != ENOENT) {
-    return Status::IOError("unlink failed: " + path);
-  }
-  return Status::OK();
+  return GlobalEnv()->RemoveFile(path);
 }
 
 Status RenameFile(const std::string& from, const std::string& to) {
-  if (rename(from.c_str(), to.c_str()) != 0) {
-    return Status::IOError("rename failed: " + from + " -> " + to);
-  }
-  return Status::OK();
+  return GlobalEnv()->RenameFile(from, to);
 }
 
 bool FileExists(const std::string& path) {
-  return access(path.c_str(), F_OK) == 0;
+  return GlobalEnv()->FileExists(path);
 }
 
 Status ListDir(const std::string& path, std::vector<std::string>* names) {
-  names->clear();
-  DIR* dir = opendir(path.c_str());
-  if (dir == nullptr) return Status::IOError("opendir failed: " + path);
-  struct dirent* entry;
-  while ((entry = readdir(dir)) != nullptr) {
-    std::string name = entry->d_name;
-    if (name != "." && name != "..") names->push_back(std::move(name));
-  }
-  closedir(dir);
-  return Status::OK();
+  return GlobalEnv()->ListDir(path, names);
 }
 
 uint64_t FileSize(const std::string& path) {
-  struct stat st;
-  if (stat(path.c_str(), &st) != 0) return 0;
-  return static_cast<uint64_t>(st.st_size);
+  return GlobalEnv()->FileSize(path);
+}
+
+Status Truncate(const std::string& path, uint64_t size) {
+  return GlobalEnv()->Truncate(path, size);
 }
 
 Status RemoveDirRecursive(const std::string& path) {

@@ -39,6 +39,14 @@ struct WriteBackOptions {
   size_t max_batch = 256;
   /// Backpressure: writers block when this many entries are dirty.
   size_t max_dirty = 8192;
+  /// Failed flushes are retried with exponential backoff starting here
+  /// and capped at the max; the flush error clears on the first success.
+  uint64_t retry_backoff_micros = 1'000;
+  uint64_t retry_backoff_max_micros = 500'000;
+  /// After this many consecutive flush failures, FlushAll and shutdown
+  /// stop waiting for the storage tier to heal and surface the error
+  /// (entries stay dirty; the flusher keeps retrying until shutdown).
+  size_t max_flush_failures = 16;
 };
 
 struct DeferredFetchOptions {

@@ -58,10 +58,22 @@ UsageStats LsmStorageAdapter::GetUsage() const { return store_->GetUsage(); }
 
 Status LsmStorageAdapter::WaitIdle() { return store_->WaitIdle(); }
 
+StorageAdapter::WalRecoveryStats LsmStorageAdapter::GetWalRecoveryStats()
+    const {
+  lsm::LsmStore::Stats stats = store_->GetStats();
+  return {stats.wal_records_replayed, stats.wal_truncated_tails,
+          stats.wal_skipped_bytes};
+}
+
 Status MockStorageAdapter::MaybeFail() {
-  if (options_.fail_every == 0) return Status::OK();
+  if (options_.fail_every == 0 && options_.fail_first == 0) {
+    return Status::OK();
+  }
   uint64_t n = op_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (n % options_.fail_every == 0) {
+  if (options_.fail_first > 0 && n <= options_.fail_first) {
+    return Status::IOError("mock-storage: injected failure");
+  }
+  if (options_.fail_every != 0 && n % options_.fail_every == 0) {
     return Status::IOError("mock-storage: injected failure");
   }
   return Status::OK();

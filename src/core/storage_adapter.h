@@ -47,6 +47,15 @@ class StorageAdapter {
   virtual UsageStats GetUsage() const = 0;
   virtual Status WaitIdle() { return Status::OK(); }
 
+  /// Crash-recovery audit trail of the storage tier's own WAL (what the
+  /// last Open replayed). Zero for adapters without a WAL.
+  struct WalRecoveryStats {
+    uint64_t records_replayed = 0;
+    uint64_t truncated_tails = 0;
+    uint64_t skipped_bytes = 0;
+  };
+  virtual WalRecoveryStats GetWalRecoveryStats() const { return {}; }
+
   struct Counters {
     uint64_t reads = 0;
     uint64_t writes = 0;       // Individual ops, incl. batched ones.
@@ -82,6 +91,7 @@ class LsmStorageAdapter : public StorageAdapter {
                    std::vector<bool>* found) override;
   UsageStats GetUsage() const override;
   Status WaitIdle() override;
+  WalRecoveryStats GetWalRecoveryStats() const override;
 
   lsm::LsmStore* store() { return store_.get(); }
 
@@ -98,6 +108,8 @@ class MockStorageAdapter : public StorageAdapter {
   struct Options {
     uint64_t latency_micros = 0;     // Injected per remote call.
     uint64_t fail_every = 0;         // Every Nth write fails (0 = never).
+    uint64_t fail_first = 0;         // The first N writes fail, then the
+                                     // "storage tier" heals (0 = never).
     Clock* clock = Clock::Real();
   };
 

@@ -1,5 +1,8 @@
 #include "core/tierbase.h"
 
+#include <limits>
+#include <map>
+
 #include "common/coding.h"
 #include "common/env.h"
 #include "common/logging.h"
@@ -137,48 +140,112 @@ Status TierBase::Init() {
 
 Status TierBase::RecoverFromWal() {
   const std::string wal_path = options_.wal_dir + "/tierbase.wal";
+  const std::string compact_path = wal_path + ".compact";
+  // A leftover .compact is a crash mid-compaction (before the rename):
+  // unreferenced and possibly incomplete — discard it.
+  TIERBASE_RETURN_IF_ERROR(env::RemoveFile(compact_path));
 
-  // Collect surviving records: backing file first (older), then the PMem
-  // ring (newest). Replay order preserves last-writer-wins.
-  std::vector<std::string> records;
-  if (env::FileExists(wal_path)) {
-    auto reader = lsm::WalReader::Open(wal_path);
-    if (reader.ok()) {
-      std::string rec;
-      while ((*reader)->ReadRecord(&rec)) records.push_back(rec);
-    }
-  }
-  if (wal_ring_ != nullptr) {
-    std::vector<std::string> batch;
-    do {
-      TIERBASE_RETURN_IF_ERROR(wal_ring_->Drain(1024, &batch));
-      for (auto& rec : batch) records.push_back(std::move(rec));
-    } while (!batch.empty());
-  }
-
-  // Fresh WAL (startup rewrite), then replay through the normal path so
-  // recovered state is re-logged compactly.
-  lsm::WalOptions wal_options;
-  wal_options.sync_mode = lsm::WalSyncMode::kInterval;
-  wal_options.sync_interval_micros = options_.wal_sync_interval_micros;
-  auto wal = lsm::WalWriter::Open(wal_path, wal_options);
-  if (!wal.ok()) return wal.status();
-  wal_ = std::move(*wal);
-
-  for (const auto& rec : records) {
+  // Fold the surviving history straight into its live state (last writer
+  // wins; deletes cancel earlier sets): backing file first (older), then
+  // the PMem ring (newest).
+  std::map<std::string, std::string> live;
+  auto fold = [&](const Slice& rec) -> Status {
     char op;
     Slice key, value;
     if (!DecodeMutation(rec, &op, &key, &value)) {
-      TB_LOG_WARN("tierbase: skipping corrupt WAL record during recovery");
-      continue;
+      // The CRC passed but the payload doesn't parse: writer-side damage,
+      // not a torn write. Refuse to guess.
+      return Status::Corruption("tierbase wal: undecodable record payload");
     }
-    TIERBASE_RETURN_IF_ERROR(LogMutation(key, value, op == kOpDelete));
+    ++wal_replayed_records_;
     if (op == kOpDelete) {
-      cache_->Delete(key);
+      live.erase(key.ToString());
     } else {
-      TIERBASE_RETURN_IF_ERROR(cache_->Set(key, value));
+      live[key.ToString()] = value.ToString();
+    }
+    return Status::OK();
+  };
+
+  if (env::FileExists(wal_path)) {
+    auto reader = lsm::WalReader::Open(wal_path);
+    if (!reader.ok()) return reader.status();
+    std::string rec;
+    bool done = false;
+    while (!done) {
+      switch ((*reader)->ReadRecord(&rec)) {
+        case lsm::WalRead::kOk:
+          TIERBASE_RETURN_IF_ERROR(fold(rec));
+          break;
+        case lsm::WalRead::kEof:
+          done = true;
+          break;
+        case lsm::WalRead::kTruncatedTail:
+          // Recoverable: the torn suffix never made it to a sync. The
+          // compaction rewrite below drops it for good.
+          TB_LOG_WARN(
+              "tierbase recovery: %s: torn tail, skipping %llu bytes (%s)",
+              wal_path.c_str(),
+              static_cast<unsigned long long>((*reader)->skipped_bytes()),
+              (*reader)->damage().c_str());
+          ++wal_truncated_tails_;
+          wal_skipped_bytes_ += (*reader)->skipped_bytes();
+          done = true;
+          break;
+        case lsm::WalRead::kCorruption:
+          return Status::Corruption(
+              "tierbase wal: " + (*reader)->damage() + " at offset " +
+              std::to_string((*reader)->offset()));
+      }
     }
   }
+  size_t ring_resident = 0;
+  if (wal_ring_ != nullptr) {
+    // Non-destructive: the ring's durable head only advances once the
+    // compacted log below is durable. A destructive drain here would
+    // leave these acknowledged records in memory only, and a crash (or a
+    // failed compaction write) mid-recovery would lose them for good.
+    std::vector<std::string> ring_records;
+    TIERBASE_RETURN_IF_ERROR(
+        wal_ring_->Peek(std::numeric_limits<size_t>::max(), &ring_records));
+    ring_resident = ring_records.size();
+    for (const auto& rec : ring_records) {
+      TIERBASE_RETURN_IF_ERROR(fold(rec));
+    }
+  }
+
+  // Compact the log: write the live records to a temp file, sync it, then
+  // atomically replace the old log. A crash before the rename keeps the
+  // old log (and the ring contents), after it the compacted one — synced
+  // data survives either way. (The previous startup-rewrite scheme
+  // truncated the log in place and re-appended un-synced, so a crash
+  // right after a reboot lost every previously acknowledged record.)
+  lsm::WalOptions wal_options;
+  wal_options.sync_mode = lsm::WalSyncMode::kInterval;
+  wal_options.sync_interval_micros = options_.wal_sync_interval_micros;
+  {
+    auto compact = lsm::WalWriter::Open(compact_path, wal_options);
+    if (!compact.ok()) return compact.status();
+    for (const auto& [key, value] : live) {
+      TIERBASE_RETURN_IF_ERROR(
+          (*compact)->AddRecord(EncodeMutation(kOpSet, key, value)));
+    }
+    TIERBASE_RETURN_IF_ERROR((*compact)->Sync());
+  }
+  TIERBASE_RETURN_IF_ERROR(env::RenameFile(compact_path, wal_path));
+  // The ring records are now durable in the compacted log; retire them.
+  if (wal_ring_ != nullptr && ring_resident > 0) {
+    TIERBASE_RETURN_IF_ERROR(wal_ring_->Discard(ring_resident));
+  }
+
+  // Populate the cache from the folded live state.
+  for (const auto& [key, value] : live) {
+    TIERBASE_RETURN_IF_ERROR(cache_->Set(key, value));
+  }
+
+  // Continue appending to the compacted log (never O_TRUNC).
+  auto wal = lsm::WalWriter::Open(wal_path, wal_options, /*append=*/true);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(*wal);
   return Status::OK();
 }
 
@@ -190,15 +257,18 @@ Status TierBase::LogMutation(const Slice& key, const Slice& value,
     return wal_->AddRecord(rec);
   }
   // WAL-PMem: durable on the ring per record; batch-moved to the file when
-  // the ring fills (§4.3 "batch-moved to cloud storage").
+  // the ring fills (§4.3 "batch-moved to cloud storage"). Peek + sync +
+  // discard: the ring's durable head must not advance before the file
+  // copy is synced, or a crash in between loses acknowledged records.
   Status s = wal_ring_->Append(rec);
   if (s.IsBusy()) {
     std::vector<std::string> batch;
-    TIERBASE_RETURN_IF_ERROR(wal_ring_->Drain(1024, &batch));
+    TIERBASE_RETURN_IF_ERROR(wal_ring_->Peek(1024, &batch));
     for (const auto& r : batch) {
       TIERBASE_RETURN_IF_ERROR(wal_->AddRecord(r));
     }
     TIERBASE_RETURN_IF_ERROR(wal_->Sync());
+    TIERBASE_RETURN_IF_ERROR(wal_ring_->Discard(batch.size()));
     s = wal_ring_->Append(rec);
   }
   return s;
@@ -624,8 +694,17 @@ TierBase::Stats TierBase::GetStats() const {
   s.bytes_cached = cache_usage.memory_bytes;
   s.pmem_bytes = cache_usage.pmem_bytes;
   s.keys_cached = cache_usage.keys;
+  s.wal_replayed_records = wal_replayed_records_;
+  s.wal_truncated_tails = wal_truncated_tails_;
+  s.wal_skipped_bytes = wal_skipped_bytes_;
+  if (storage_ != nullptr) s.storage_wal = storage_->GetWalRecoveryStats();
   if (write_through_ != nullptr) s.write_through = write_through_->GetStats();
-  if (write_back_ != nullptr) s.write_back = write_back_->GetStats();
+  if (write_back_ != nullptr) {
+    s.write_back = write_back_->GetStats();
+    s.write_back_dirty = write_back_->dirty_count();
+    Status fe = write_back_->flush_error();
+    if (!fe.ok()) s.flush_error = fe.ToString();
+  }
   if (fetcher_ != nullptr) s.deferred_fetch = fetcher_->GetStats();
   return s;
 }

@@ -1,5 +1,6 @@
 #include "core/write_back.h"
 
+#include <algorithm>
 #include <chrono>
 #include <vector>
 
@@ -127,11 +128,21 @@ Result<size_t> WriteBackManager::FlushBatch() {
 
   std::lock_guard<std::mutex> lock(mu_);
   if (!s.ok()) {
-    // Leave entries dirty; record the error so writers observe it.
+    // Leave entries dirty; record the error so writers observe it. The
+    // flusher retries with backoff and a later success clears the error.
     flush_error_ = s;
+    ++stats_.flush_failures;
+    ++consecutive_flush_failures_;
     space_cv_.notify_all();
+    clean_cv_.notify_all();  // FlushAll re-checks its failure bound.
     return s;
   }
+  if (!flush_error_.ok()) {
+    // Storage healed: un-latch so writers stop bouncing.
+    flush_error_ = Status::OK();
+    ++stats_.flush_retries;
+  }
+  consecutive_flush_failures_ = 0;
   for (const auto& [key, gen] : taken) {
     auto it = dirty_.find(key);
     if (it != dirty_.end() && it->second.gen == gen) {
@@ -146,20 +157,31 @@ Result<size_t> WriteBackManager::FlushBatch() {
 }
 
 void WriteBackManager::FlusherLoop() {
+  uint64_t backoff_micros = 0;  // 0 = healthy, no backoff pending.
   while (true) {
     {
       std::unique_lock<std::mutex> lock(mu_);
-      flush_cv_.wait_for(
-          lock, std::chrono::microseconds(options_.flush_interval_micros),
-          [this] {
-            return shutting_down_ || flush_waiters_ > 0 ||
-                   dirty_.size() >= options_.flush_threshold;
-          });
-      if (shutting_down_ && dirty_.empty()) return;
-      if (!flush_error_.ok()) return;
+      if (backoff_micros > 0) {
+        // Retry backoff after a failed flush. Deliberately ignores
+        // flush_waiters_/threshold wakeups: hammering a failing storage
+        // tier harder doesn't help.
+        flush_cv_.wait_for(lock, std::chrono::microseconds(backoff_micros),
+                           [this] { return shutting_down_; });
+      } else {
+        flush_cv_.wait_for(
+            lock, std::chrono::microseconds(options_.flush_interval_micros),
+            [this] {
+              return shutting_down_ || flush_waiters_ > 0 ||
+                     dirty_.size() >= options_.flush_threshold;
+            });
+      }
+      if (shutting_down_ &&
+          (dirty_.empty() ||
+           consecutive_flush_failures_ >= options_.max_flush_failures)) {
+        return;  // Clean, or the storage tier stayed down: give up.
+      }
     }
     Result<size_t> flushed = FlushBatch();
-    if (!flushed.ok()) return;
     // Keep draining without sleeping while there is a backlog.
     while (flushed.ok() && *flushed > 0) {
       {
@@ -171,10 +193,17 @@ void WriteBackManager::FlusherLoop() {
       }
       flushed = FlushBatch();
     }
+    if (!flushed.ok()) {
+      backoff_micros =
+          backoff_micros == 0
+              ? options_.retry_backoff_micros
+              : std::min(backoff_micros * 2, options_.retry_backoff_max_micros);
+      continue;
+    }
+    backoff_micros = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (shutting_down_ && dirty_.empty()) return;
-      if (!flush_error_.ok()) return;
     }
   }
 }
@@ -182,12 +211,14 @@ void WriteBackManager::FlusherLoop() {
 Status WriteBackManager::FlushAll() {
   std::unique_lock<std::mutex> lock(mu_);
   ++flush_waiters_;
-  while (!dirty_.empty() && flush_error_.ok() && !shutting_down_) {
+  while (!dirty_.empty() && !shutting_down_ &&
+         consecutive_flush_failures_ < options_.max_flush_failures) {
     flush_cv_.notify_all();
     clean_cv_.wait_for(lock, std::chrono::milliseconds(5));
   }
   --flush_waiters_;
-  return flush_error_;
+  if (!dirty_.empty() && !flush_error_.ok()) return flush_error_;
+  return Status::OK();
 }
 
 size_t WriteBackManager::dirty_count() const {
@@ -198,6 +229,11 @@ size_t WriteBackManager::dirty_count() const {
 WriteBackManager::Stats WriteBackManager::GetStats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+Status WriteBackManager::flush_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flush_error_;
 }
 
 }  // namespace tierbase

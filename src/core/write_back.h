@@ -62,8 +62,15 @@ class WriteBackManager {
     uint64_t flush_batches = 0;
     uint64_t flushed_ops = 0;
     uint64_t backpressure_waits = 0;
+    uint64_t flush_failures = 0;   // Storage batches that errored.
+    uint64_t flush_retries = 0;    // Successful flushes that cleared an
+                                   // error (storage healed).
   };
   Stats GetStats() const;
+
+  /// The last flush error, or OK. No longer latched forever: retried with
+  /// backoff by the flusher and cleared by the next successful flush.
+  Status flush_error() const;
 
  private:
   struct DirtyEntry {
@@ -94,7 +101,8 @@ class WriteBackManager {
 
   std::thread flusher_;
   Stats stats_;
-  Status flush_error_;
+  Status flush_error_;                     // Cleared on flush success.
+  size_t consecutive_flush_failures_ = 0;  // Bounds FlushAll/shutdown waits.
 };
 
 }  // namespace tierbase

@@ -1,6 +1,7 @@
 #include "lsm/lsm_store.h"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 
 #include "common/coding.h"
@@ -97,30 +98,69 @@ Status LsmStore::RecoverWals() {
   }
   std::sort(wal_numbers.begin(), wal_numbers.end());
 
-  for (uint64_t number : wal_numbers) {
+  for (size_t i = 0; i < wal_numbers.size(); ++i) {
+    const uint64_t number = wal_numbers[i];
+    const bool newest = i + 1 == wal_numbers.size();
     versions_->BumpFileNumber(number);
     auto reader = WalReader::Open(versions_->WalFileName(number));
     if (!reader.ok()) return reader.status();
     std::string record;
-    while ((*reader)->ReadRecord(&record)) {
-      TIERBASE_RETURN_IF_ERROR(ReplayWalRecord(record));
-    }
-  }
-
-  if (ring_ != nullptr) {
-    std::vector<std::string> records;
-    // Drain everything resident; recovered records go through the normal
-    // write path (and land in the fresh WAL created right after).
-    while (true) {
-      TIERBASE_RETURN_IF_ERROR(ring_->Drain(256, &records));
-      if (records.empty()) break;
-      for (const auto& rec : records) {
-        TIERBASE_RETURN_IF_ERROR(ReplayWalRecord(rec));
+    bool done = false;
+    while (!done) {
+      switch ((*reader)->ReadRecord(&record)) {
+        case WalRead::kOk:
+          TIERBASE_RETURN_IF_ERROR(ReplayWalRecord(record));
+          ++stats_.wal_records_replayed;
+          break;
+        case WalRead::kEof:
+          done = true;
+          break;
+        case WalRead::kTruncatedTail:
+          // Recoverable only on the newest WAL: rotation syncs a log
+          // before retiring it, so a torn tail on an older WAL means
+          // acknowledged data vanished.
+          if (!newest) {
+            return Status::Corruption(
+                "wal " + versions_->WalFileName(number) +
+                ": truncated before the newest log (" + (*reader)->damage() +
+                ")");
+          }
+          TB_LOG_WARN("lsm recovery: %s: torn tail, skipping %llu bytes (%s)",
+                      versions_->WalFileName(number).c_str(),
+                      static_cast<unsigned long long>(
+                          (*reader)->skipped_bytes()),
+                      (*reader)->damage().c_str());
+          ++stats_.wal_truncated_tails;
+          stats_.wal_skipped_bytes += (*reader)->skipped_bytes();
+          done = true;
+          break;
+        case WalRead::kCorruption:
+          return Status::Corruption(
+              "wal " + versions_->WalFileName(number) + ": " +
+              (*reader)->damage() + " at offset " +
+              std::to_string((*reader)->offset()));
       }
     }
   }
 
-  // Flush recovered state so old WAL files can be removed.
+  size_t ring_resident = 0;
+  if (ring_ != nullptr) {
+    // Replay ring-resident records non-destructively: the ring's durable
+    // head only advances after the flush below has made them durable in
+    // an SST — a destructive drain would leave them in the volatile
+    // memtable only, and a crash mid-recovery would lose them for good.
+    std::vector<std::string> records;
+    TIERBASE_RETURN_IF_ERROR(
+        ring_->Peek(std::numeric_limits<size_t>::max(), &records));
+    ring_resident = records.size();
+    for (const auto& rec : records) {
+      TIERBASE_RETURN_IF_ERROR(ReplayWalRecord(rec));
+      ++stats_.wal_records_replayed;
+    }
+  }
+
+  // Flush recovered state so old WAL files (and ring records) can be
+  // retired — they stay in place until the SST + manifest are durable.
   if (mem_->num_entries() > 0) {
     imm_ = mem_;
     mem_ = std::make_shared<MemTable>();
@@ -128,6 +168,9 @@ Status LsmStore::RecoverWals() {
   }
   for (uint64_t number : wal_numbers) {
     TIERBASE_RETURN_IF_ERROR(env::RemoveFile(versions_->WalFileName(number)));
+  }
+  if (ring_ != nullptr && ring_resident > 0) {
+    TIERBASE_RETURN_IF_ERROR(ring_->Discard(ring_resident));
   }
   return Status::OK();
 }
@@ -159,15 +202,16 @@ Status LsmStore::LogRecord(const Slice& record) {
       Status s = ring_->Append(record);
       if (s.IsBusy()) {
         // Ring full: batch-move resident records to the file log, then
-        // retry. The file write needs no fsync for durability — the ring
-        // header advance is already durable — but we sync to bound loss if
-        // the simulated PMem device itself is dropped.
+        // retry. Peek + sync + discard, in that order — the ring's
+        // durable head must not advance before the file copy is synced,
+        // or a crash in between loses acknowledged records.
         std::vector<std::string> batch;
-        TIERBASE_RETURN_IF_ERROR(ring_->Drain(1024, &batch));
+        TIERBASE_RETURN_IF_ERROR(ring_->Peek(1024, &batch));
         for (const auto& rec : batch) {
           TIERBASE_RETURN_IF_ERROR(wal_->AddRecord(rec));
         }
         TIERBASE_RETURN_IF_ERROR(wal_->Sync());
+        TIERBASE_RETURN_IF_ERROR(ring_->Discard(batch.size()));
         s = ring_->Append(record);
       }
       return s;
@@ -224,12 +268,17 @@ Status LsmStore::SwitchMemtable(std::unique_lock<std::mutex>& lock) {
   (void)lock;
   if (options_.wal_mode == WalMode::kPmem) {
     // Move everything resident in the ring to the current file log so the
-    // ring only ever holds records of the live memtable.
+    // ring only ever holds records of the live memtable. Peek + sync +
+    // discard keeps the records durable somewhere at every instant.
     std::vector<std::string> batch;
     do {
-      TIERBASE_RETURN_IF_ERROR(ring_->Drain(1024, &batch));
+      TIERBASE_RETURN_IF_ERROR(ring_->Peek(1024, &batch));
       for (const auto& rec : batch) {
         TIERBASE_RETURN_IF_ERROR(wal_->AddRecord(rec));
+      }
+      if (!batch.empty()) {
+        TIERBASE_RETURN_IF_ERROR(wal_->Sync());
+        TIERBASE_RETURN_IF_ERROR(ring_->Discard(batch.size()));
       }
     } while (!batch.empty());
     TIERBASE_RETURN_IF_ERROR(wal_->Sync());

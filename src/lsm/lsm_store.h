@@ -80,6 +80,10 @@ class LsmStore : public KvEngine {
     uint64_t bytes_flushed = 0;
     uint64_t bytes_compacted = 0;
     uint64_t write_stalls = 0;
+    // Recovery audit trail (set once by Open's WAL replay).
+    uint64_t wal_records_replayed = 0;
+    uint64_t wal_truncated_tails = 0;  // WALs that ended in a torn write.
+    uint64_t wal_skipped_bytes = 0;    // Torn-suffix bytes dropped at tails.
   };
   Stats GetStats() const;
 

@@ -7,9 +7,11 @@ namespace tierbase {
 namespace lsm {
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
-                                                   const WalOptions& options) {
+                                                   const WalOptions& options,
+                                                   bool append) {
   std::unique_ptr<WritableFile> file;
-  Status s = env::NewWritableFile(path, &file);
+  Status s = append ? env::NewAppendableFile(path, &file)
+                    : env::NewWritableFile(path, &file);
   if (!s.ok()) return s;
   return std::unique_ptr<WalWriter>(new WalWriter(std::move(file), options));
 }
@@ -57,16 +59,37 @@ Result<std::unique_ptr<WalReader>> WalReader::Open(const std::string& path) {
   return std::unique_ptr<WalReader>(new WalReader(std::move(contents)));
 }
 
-bool WalReader::ReadRecord(std::string* record) {
-  if (pos_ + 8 > contents_.size()) return false;
+WalRead WalReader::ReadRecord(std::string* record) {
+  if (sticky_ != WalRead::kOk) return sticky_;
+  if (pos_ == contents_.size()) return WalRead::kEof;
+  if (pos_ + 8 > contents_.size()) {
+    damage_ = "partial record header at tail";
+    return sticky_ = WalRead::kTruncatedTail;
+  }
   uint32_t crc = crc32c::Unmask(DecodeFixed32(contents_.data() + pos_));
-  uint32_t len = DecodeFixed32(contents_.data() + pos_ + 4);
-  if (pos_ + 8 + len > contents_.size()) return false;  // Truncated tail.
+  uint64_t len = DecodeFixed32(contents_.data() + pos_ + 4);
+  if (pos_ + 8 + len > contents_.size()) {
+    // The payload runs past EOF: either the append was torn mid-payload,
+    // or the 8-byte header itself was torn and the length field is
+    // garbage. Both are tail damage — nothing readable follows.
+    damage_ = "partial record payload at tail";
+    return sticky_ = WalRead::kTruncatedTail;
+  }
   const char* payload = contents_.data() + pos_ + 8;
-  if (crc32c::Value(payload, len) != crc) return false;  // Corrupt tail.
-  record->assign(payload, len);
+  if (crc32c::Value(payload, static_cast<size_t>(len)) != crc) {
+    if (pos_ + 8 + len == contents_.size()) {
+      // Point-in-time recovery semantics (RocksDB's default): a checksum
+      // mismatch on the final record is indistinguishable from a torn
+      // write persisted out of order — treat it as tail damage.
+      damage_ = "crc mismatch on final record";
+      return sticky_ = WalRead::kTruncatedTail;
+    }
+    damage_ = "crc mismatch mid-log";
+    return sticky_ = WalRead::kCorruption;
+  }
+  record->assign(payload, static_cast<size_t>(len));
   pos_ += 8 + len;
-  return true;
+  return WalRead::kOk;
 }
 
 Status PmemWal::AddRecord(const Slice& record) {
@@ -79,12 +102,17 @@ Status PmemWal::AddRecord(const Slice& record) {
 }
 
 Status PmemWal::Drain(size_t max_records) {
+  // Crash-safe hand-off: the ring's durable head only advances once the
+  // records are synced into the backing file log — a plain destructive
+  // drain would leave them nowhere durable until the file sync.
   std::vector<std::string> batch;
-  TIERBASE_RETURN_IF_ERROR(ring_->Drain(max_records, &batch));
+  TIERBASE_RETURN_IF_ERROR(ring_->Peek(max_records, &batch));
+  if (batch.empty()) return Status::OK();
   for (const auto& rec : batch) {
     TIERBASE_RETURN_IF_ERROR(backing_log_->AddRecord(rec));
   }
-  return Status::OK();
+  TIERBASE_RETURN_IF_ERROR(backing_log_->Sync());
+  return ring_->Discard(batch.size());
 }
 
 }  // namespace lsm

@@ -40,8 +40,12 @@ struct WalOptions {
 /// Append-only log writer over a file.
 class WalWriter {
  public:
+  /// `append` reopens an existing log and continues after its last record
+  /// (the crash-safe recovery path: already-synced records stay synced).
+  /// The default truncates — only correct for brand-new log files.
   static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
-                                                 const WalOptions& options);
+                                                 const WalOptions& options,
+                                                 bool append = false);
   /// Flushes buffered records to the OS on clean shutdown (interval mode
   /// buffers appends between syncs).
   ~WalWriter() {
@@ -62,19 +66,45 @@ class WalWriter {
   uint64_t last_sync_micros_ = 0;
 };
 
-/// Sequential log reader; stops at the first corrupt/truncated record.
+/// Outcome of one WalReader::ReadRecord call. The reader distinguishes a
+/// clean tail from damage, and tail damage from mid-log damage — the
+/// difference between "crash mid-append, recoverable" and "acknowledged
+/// data lost, surface it":
+enum class WalRead {
+  kOk,             // *record holds the next complete, CRC-verified record.
+  kEof,            // Clean end of log: the last record ended exactly at EOF.
+  kTruncatedTail,  // Partial record at the tail (torn final write). All
+                   // complete records were already returned; skipped_bytes()
+                   // counts the torn suffix. Recoverable: log and continue.
+  kCorruption,     // CRC/framing damage before the tail — records after the
+                   // damage point are unreachable. Callers must surface
+                   // Status::Corruption, not silently succeed.
+};
+
+/// Sequential log reader. Complete records before any damage are always
+/// returned; a torn final record never poisons replay of earlier records.
 class WalReader {
  public:
   static Result<std::unique_ptr<WalReader>> Open(const std::string& path);
 
-  /// Returns false at end-of-log.
-  bool ReadRecord(std::string* record);
+  /// Damage outcomes are sticky: once kTruncatedTail/kCorruption is
+  /// returned, every subsequent call repeats it.
+  WalRead ReadRecord(std::string* record);
+
+  uint64_t offset() const { return pos_; }          // Parse position.
+  uint64_t size() const { return contents_.size(); }
+  /// Bytes from the damage point to EOF (after a non-kOk/kEof outcome).
+  uint64_t skipped_bytes() const { return contents_.size() - pos_; }
+  /// Human-readable damage detail (after kTruncatedTail/kCorruption).
+  const std::string& damage() const { return damage_; }
 
  private:
   explicit WalReader(std::string contents) : contents_(std::move(contents)) {}
 
   std::string contents_;
   size_t pos_ = 0;
+  WalRead sticky_ = WalRead::kOk;  // Latched damage state.
+  std::string damage_;
 };
 
 /// WAL backed by a persistent-memory ring buffer (paper §4.3): every record

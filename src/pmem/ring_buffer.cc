@@ -171,6 +171,45 @@ Status PmemRingBuffer::Drain(size_t max_records,
   return PersistHeader();
 }
 
+Status PmemRingBuffer::Peek(size_t max_records,
+                            std::vector<std::string>* out) const {
+  out->clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t pos = head_;
+  while (out->size() < max_records && pos < tail_) {
+    std::string rec_header;
+    TIERBASE_RETURN_IF_ERROR(ReadCircular(pos, kRecordHeader, &rec_header));
+    uint32_t crc = crc32c::Unmask(DecodeFixed32(rec_header.data()));
+    uint32_t len = DecodeFixed32(rec_header.data() + 4);
+    std::string payload;
+    TIERBASE_RETURN_IF_ERROR(ReadCircular(pos + kRecordHeader, len, &payload));
+    if (crc32c::Value(payload.data(), payload.size()) != crc) {
+      return Status::Corruption("pmem-ring: record crc mismatch on peek");
+    }
+    out->push_back(std::move(payload));
+    pos += kRecordHeader + len;
+  }
+  return Status::OK();
+}
+
+Status PmemRingBuffer::Discard(size_t n) {
+  if (n == 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (n > record_count_) {
+    return Status::InvalidArgument("pmem-ring: discard past resident count");
+  }
+  uint64_t pos = head_;
+  for (size_t i = 0; i < n; ++i) {
+    std::string rec_header;
+    TIERBASE_RETURN_IF_ERROR(ReadCircular(pos, kRecordHeader, &rec_header));
+    uint32_t len = DecodeFixed32(rec_header.data() + 4);
+    pos += kRecordHeader + len;
+  }
+  head_ = pos;
+  record_count_ -= n;
+  return PersistHeader();
+}
+
 size_t PmemRingBuffer::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return record_count_;

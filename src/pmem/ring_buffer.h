@@ -41,7 +41,18 @@ class PmemRingBuffer {
   /// Pops up to `max_records` committed records in FIFO order into `out`
   /// and durably advances the head. This is the "batch move to cloud
   /// storage" step; the caller owns writing them to the slow tier.
+  /// NOTE: the head advance is durable *before* the caller has persisted
+  /// the records anywhere else — for a crash-safe hand-off use
+  /// Peek() + (write + sync elsewhere) + Discard() instead.
   Status Drain(size_t max_records, std::vector<std::string>* out);
+
+  /// Non-destructive Drain: reads up to `max_records` committed records
+  /// without moving the durable head. Pair with Discard() once the
+  /// records are durable in the next tier.
+  Status Peek(size_t max_records, std::vector<std::string>* out) const;
+
+  /// Durably advances the head past the first `n` resident records.
+  Status Discard(size_t n);
 
   /// Records currently resident (committed, not yet drained).
   size_t pending() const;

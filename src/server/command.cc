@@ -319,6 +319,26 @@ void CommandTable::ExecuteOne(const RespCommand& cmd, std::string* out,
     return;
   }
   if (strcmp(name, "SHUTDOWN") == 0) {
+    bool nosave = false;
+    if (argc == 2 && EqualsUpper(cmd.args[1], "NOSAVE")) {
+      nosave = true;
+    } else if (argc != 1) {
+      AppendWrongArity(out, name);
+      return;
+    }
+    // A polite shutdown must not lose acknowledged dirty entries: drain
+    // the write-back tier (and sync the WAL / wait out storage) before
+    // acking. On drain failure refuse to stop — data would be lost;
+    // SHUTDOWN NOSAVE forces the exit.
+    if (!nosave) {
+      Status drain = db_->WaitIdle();
+      if (!drain.ok()) {
+        AppendError(out, "ERR shutdown aborted, flush failed (" +
+                             drain.ToString() + "); SHUTDOWN NOSAVE forces");
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
     // Reply before stopping so a synchronous client sees the ack; the
     // event loop flushes pending output during teardown.
     AppendSimpleString(out, kOk);
@@ -755,6 +775,25 @@ void CommandTable::Info(const RespCommand& cmd, std::string* out) {
   add("write_through_storage_writes:%" PRIu64,
       stats.write_through.storage_writes);
   add("deferred_fetches:%" PRIu64, stats.deferred_fetch.fetches);
+
+  body += "\r\n# Persistence\r\n";
+  add("policy:%s", db_->name().c_str());
+  add("wb_dirty:%" PRIu64, stats.write_back_dirty);
+  add("wb_flush_batches:%" PRIu64, stats.write_back.flush_batches);
+  add("wb_flushed_ops:%" PRIu64, stats.write_back.flushed_ops);
+  add("wb_flush_failures:%" PRIu64, stats.write_back.flush_failures);
+  add("wb_flush_retries:%" PRIu64, stats.write_back.flush_retries);
+  add("wb_backpressure_waits:%" PRIu64, stats.write_back.backpressure_waits);
+  add("wb_flush_error:%s",
+      stats.flush_error.empty() ? "ok" : stats.flush_error.c_str());
+  add("wal_replayed_records:%" PRIu64, stats.wal_replayed_records);
+  add("wal_truncated_tails:%" PRIu64, stats.wal_truncated_tails);
+  add("wal_skipped_bytes:%" PRIu64, stats.wal_skipped_bytes);
+  add("storage_wal_replayed_records:%" PRIu64,
+      stats.storage_wal.records_replayed);
+  add("storage_wal_truncated_tails:%" PRIu64,
+      stats.storage_wal.truncated_tails);
+  add("storage_wal_skipped_bytes:%" PRIu64, stats.storage_wal.skipped_bytes);
 
   body += "\r\n# Memory\r\n";
   add("bytes_cached:%" PRIu64, stats.bytes_cached);

@@ -447,6 +447,65 @@ TEST(WriteBackManagerTest, BatchesReduceRemoteCalls) {
   EXPECT_EQ(storage.size(), 256u);
 }
 
+// Regression (crash-safety audit): flush_error_ used to latch forever —
+// the flusher thread exited on the first storage failure and every later
+// MarkDirty bounced. One transient failure must now be retried with
+// backoff, the manager must drain on its own, and the error must clear.
+TEST(WriteBackManagerTest, TransientFlushFailureRetriesAndClears) {
+  MockStorageAdapter::Options mock_options;
+  mock_options.fail_first = 1;  // First storage batch fails, then heals.
+  MockStorageAdapter storage(mock_options);
+  WriteBackOptions options;
+  options.flush_threshold = 1;  // Flush eagerly.
+  options.flush_interval_micros = 1'000;
+  options.retry_backoff_micros = 500;
+  options.retry_backoff_max_micros = 2'000;
+  WriteBackManager manager(&storage, options);
+  ASSERT_TRUE(manager.MarkDirty("k", "v", false).ok());
+
+  // The manager must drain without any outside nudge beyond FlushAll.
+  ASSERT_TRUE(manager.FlushAll().ok());
+  EXPECT_EQ(manager.dirty_count(), 0u);
+  std::string value;
+  ASSERT_TRUE(storage.Read("k", &value).ok());
+  EXPECT_EQ(value, "v");
+
+  auto stats = manager.GetStats();
+  EXPECT_GE(stats.flush_failures, 1u);
+  EXPECT_GE(stats.flush_retries, 1u);
+  EXPECT_TRUE(manager.flush_error().ok());  // Cleared on success.
+
+  // Writes flow again after the error cleared.
+  ASSERT_TRUE(manager.MarkDirty("k2", "v2", false).ok());
+  ASSERT_TRUE(manager.FlushAll().ok());
+  EXPECT_EQ(storage.size(), 2u);
+}
+
+// A storage tier that stays down must not hang FlushAll or the destructor:
+// after max_flush_failures consecutive failures both give up and surface
+// the error, leaving the entries dirty.
+TEST(WriteBackManagerTest, PersistentFlushFailureSurfacesBounded) {
+  MockStorageAdapter::Options mock_options;
+  mock_options.fail_every = 1;  // Every write fails.
+  MockStorageAdapter storage(mock_options);
+  WriteBackOptions options;
+  options.flush_threshold = 1;
+  options.flush_interval_micros = 500;
+  options.retry_backoff_micros = 100;
+  options.retry_backoff_max_micros = 500;
+  options.max_flush_failures = 4;
+  {
+    WriteBackManager manager(&storage, options);
+    ASSERT_TRUE(manager.MarkDirty("k", "v", false).ok());
+    Status s = manager.FlushAll();
+    EXPECT_TRUE(s.IsIOError()) << s.ToString();
+    EXPECT_EQ(manager.dirty_count(), 1u);  // Entry stays dirty, not lost.
+    EXPECT_FALSE(manager.flush_error().ok());
+    // Destructor must terminate despite the un-flushable entry.
+  }
+  EXPECT_EQ(storage.size(), 0u);
+}
+
 // --- DeferredFetcher. ---
 
 TEST(DeferredFetcherTest, FetchesFromStorage) {

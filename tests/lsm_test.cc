@@ -177,13 +177,14 @@ TEST_F(WalTest, WriteReadRoundTrip) {
   auto reader = WalReader::Open(path);
   ASSERT_TRUE(reader.ok());
   std::string record;
-  ASSERT_TRUE((*reader)->ReadRecord(&record));
+  ASSERT_EQ((*reader)->ReadRecord(&record), WalRead::kOk);
   EXPECT_EQ(record, "first record");
-  ASSERT_TRUE((*reader)->ReadRecord(&record));
+  ASSERT_EQ((*reader)->ReadRecord(&record), WalRead::kOk);
   EXPECT_TRUE(record.empty());
-  ASSERT_TRUE((*reader)->ReadRecord(&record));
+  ASSERT_EQ((*reader)->ReadRecord(&record), WalRead::kOk);
   EXPECT_EQ(record.size(), 100000u);
-  EXPECT_FALSE((*reader)->ReadRecord(&record));
+  EXPECT_EQ((*reader)->ReadRecord(&record), WalRead::kEof);  // Clean tail.
+  EXPECT_EQ((*reader)->ReadRecord(&record), WalRead::kEof);  // Stable.
 }
 
 TEST_F(WalTest, TruncatedTailIgnored) {
@@ -205,9 +206,13 @@ TEST_F(WalTest, TruncatedTailIgnored) {
   auto reader = WalReader::Open(path);
   ASSERT_TRUE(reader.ok());
   std::string record;
-  ASSERT_TRUE((*reader)->ReadRecord(&record));
+  ASSERT_EQ((*reader)->ReadRecord(&record), WalRead::kOk);
   EXPECT_EQ(record, "complete");
-  EXPECT_FALSE((*reader)->ReadRecord(&record));  // Torn record dropped.
+  // Torn record dropped — and reported as tail truncation, NOT clean EOF
+  // and NOT corruption.
+  EXPECT_EQ((*reader)->ReadRecord(&record), WalRead::kTruncatedTail);
+  EXPECT_GT((*reader)->skipped_bytes(), 0u);
+  EXPECT_EQ((*reader)->ReadRecord(&record), WalRead::kTruncatedTail);
 }
 
 TEST_F(WalTest, CorruptRecordStopsReplay) {
@@ -227,9 +232,40 @@ TEST_F(WalTest, CorruptRecordStopsReplay) {
   auto reader = WalReader::Open(path);
   ASSERT_TRUE(reader.ok());
   std::string record;
-  ASSERT_TRUE((*reader)->ReadRecord(&record));
+  ASSERT_EQ((*reader)->ReadRecord(&record), WalRead::kOk);
   EXPECT_EQ(record, "good one");
-  EXPECT_FALSE((*reader)->ReadRecord(&record));  // CRC mismatch detected.
+  // The damaged record is the final one, so a CRC mismatch is
+  // indistinguishable from an out-of-order torn write: tail truncation.
+  EXPECT_EQ((*reader)->ReadRecord(&record), WalRead::kTruncatedTail);
+}
+
+TEST_F(WalTest, MidLogCorruptionSurfaced) {
+  std::string path = dir_ + "/midcorrupt.wal";
+  {
+    auto writer = WalWriter::Open(path, WalOptions());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AddRecord("good one").ok());
+    ASSERT_TRUE((*writer)->AddRecord("bad one").ok());
+    ASSERT_TRUE((*writer)->AddRecord("after the damage").ok());
+    ASSERT_TRUE((*writer)->Sync().ok());
+  }
+  std::string contents;
+  ASSERT_TRUE(env::ReadFileToString(path, &contents).ok());
+  // Flip a payload bit of the middle record (record 2 starts at 8+8 and
+  // spans 8 header + 7 payload bytes).
+  contents[8 + 8 + 8 + 3] ^= 0x55;
+  ASSERT_TRUE(env::WriteStringToFileSync(path, contents).ok());
+
+  auto reader = WalReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::string record;
+  ASSERT_EQ((*reader)->ReadRecord(&record), WalRead::kOk);
+  EXPECT_EQ(record, "good one");
+  // Damage with readable records after it is real corruption: it must not
+  // read as a clean tail (the old reader silently dropped the suffix).
+  EXPECT_EQ((*reader)->ReadRecord(&record), WalRead::kCorruption);
+  EXPECT_EQ((*reader)->ReadRecord(&record), WalRead::kCorruption);
+  EXPECT_GT((*reader)->skipped_bytes(), 0u);
 }
 
 // --- Bloom filter. ---

@@ -572,6 +572,85 @@ TEST_F(ServerTest, ShutdownCommandStopsServer) {
   EXPECT_FALSE(Connect(&late).ok());
 }
 
+// A polite SHUTDOWN must drain the write-back tier before the event loop
+// exits: dirty acknowledged entries land in storage, never in the void.
+TEST_F(ServerTest, ShutdownDrainsWriteBackTier) {
+  MockStorageAdapter storage;
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteBack;
+  // Neither interval nor threshold ever triggers on its own: every entry
+  // stays dirty until something explicitly drains.
+  options.write_back.flush_interval_micros = 60'000'000;
+  options.write_back.flush_threshold = 1 << 30;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  db_ = std::move(*db);
+  ServerOptions server_options;
+  server_options.net.port = 0;
+  srv_ = std::make_unique<Server>(db_.get(), server_options);
+  ASSERT_TRUE(srv_->Start().ok());
+
+  Client client;
+  ASSERT_TRUE(Connect(&client).ok());
+  RespValue v;
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(
+        client.Call({"SET", "dirty" + std::to_string(i), "v"}, &v).ok());
+  }
+  EXPECT_EQ(db_->GetStats().write_back_dirty, 32u);  // All unflushed.
+  ASSERT_TRUE(client.Call({"INFO"}, &v).ok());
+  EXPECT_NE(v.str.find("# Persistence"), std::string::npos);
+  EXPECT_NE(v.str.find("wb_dirty:32"), std::string::npos);
+
+  ASSERT_TRUE(client.Call({"SHUTDOWN"}, &v).ok());
+  EXPECT_EQ("OK", v.str);
+  srv_->Wait();
+  srv_->Stop();
+  EXPECT_EQ(storage.size(), 32u);  // Drained, not dropped.
+  EXPECT_EQ(db_->GetStats().write_back_dirty, 0u);
+  // Tear down before `storage` (a test-body local) goes out of scope.
+  srv_.reset();
+  db_.reset();
+}
+
+// SHUTDOWN with a broken storage tier refuses to lose the dirty entries;
+// SHUTDOWN NOSAVE overrides.
+TEST_F(ServerTest, ShutdownAbortsWhenFlushFailsUnlessNosave) {
+  MockStorageAdapter::Options mock_options;
+  mock_options.fail_every = 1;  // Storage is down for good.
+  MockStorageAdapter storage(mock_options);
+  TierBaseOptions options;
+  options.policy = CachingPolicy::kWriteBack;
+  options.write_back.flush_interval_micros = 60'000'000;
+  options.write_back.flush_threshold = 1 << 30;
+  options.write_back.retry_backoff_micros = 200;
+  options.write_back.retry_backoff_max_micros = 1'000;
+  options.write_back.max_flush_failures = 3;
+  auto db = TierBase::Open(options, &storage);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  db_ = std::move(*db);
+  ServerOptions server_options;
+  server_options.net.port = 0;
+  srv_ = std::make_unique<Server>(db_.get(), server_options);
+  ASSERT_TRUE(srv_->Start().ok());
+
+  Client client;
+  ASSERT_TRUE(Connect(&client).ok());
+  RespValue v;
+  ASSERT_TRUE(client.Call({"SET", "k", "v"}, &v).ok());  // Acked: dirty.
+  ASSERT_TRUE(client.Call({"SHUTDOWN"}, &v).ok());
+  EXPECT_TRUE(v.IsError()) << v.str;  // Refused: the flush failed.
+  ASSERT_TRUE(client.Call({"PING"}, &v).ok());  // Still serving.
+  EXPECT_EQ("PONG", v.str);
+
+  ASSERT_TRUE(client.Call({"SHUTDOWN", "NOSAVE"}, &v).ok());
+  EXPECT_EQ("OK", v.str);
+  srv_->Wait();
+  srv_->Stop();
+  srv_.reset();
+  db_.reset();
+}
+
 TEST_F(ServerTest, RemoteEngineBasics) {
   StartServer();
   auto remote = RemoteEngine::Connect("127.0.0.1", srv_->port());
