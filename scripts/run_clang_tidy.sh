@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over every implementation file in src/ using the
+# compile_commands.json of an existing build directory, so the lint always
+# sees exactly the flags the real build uses (no second flag list to drift).
+#
+# Usage: scripts/run_clang_tidy.sh [build_dir] [-- extra clang-tidy args]
+#   build_dir defaults to ./build; it is configured on the fly (with
+#   CMAKE_EXPORT_COMPILE_COMMANDS=ON) when it does not exist yet.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: '$TIDY' not found on PATH." >&2
+  echo "Install clang-tidy or set CLANG_TIDY=/path/to/clang-tidy." >&2
+  exit 2
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+fi
+
+mapfile -t FILES < <(find src -name '*.cc' | sort)
+echo "clang-tidy ($("$TIDY" --version | head -1)): ${#FILES[@]} files"
+
+# run-clang-tidy parallelizes when available; otherwise loop.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "$TIDY" -p "$BUILD_DIR" -quiet \
+    "$@" "${FILES[@]}"
+else
+  FAILED=0
+  for f in "${FILES[@]}"; do
+    "$TIDY" -p "$BUILD_DIR" --quiet "$@" "$f" || FAILED=1
+  done
+  exit $FAILED
+fi

@@ -4,6 +4,7 @@
 #include <iterator>
 
 #include "common/hash.h"
+#include "common/mutex.h"
 
 namespace tierbase {
 namespace cache {
@@ -314,21 +315,21 @@ Status HashEngine::SetEx(const Slice& key, const Slice& value,
                          uint64_t ttl_micros) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   return SetLocked(shard, key, hash, value, ttl_micros);
 }
 
 Status HashEngine::Get(const Slice& key, std::string* value) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   return GetLocked(shard, key, hash, value);
 }
 
 Status HashEngine::Delete(const Slice& key) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = shard.table.Find(key, hash);
   if (e == nullptr) return Status::NotFound("");
   RemoveEntryLocked(shard, e);
@@ -373,7 +374,7 @@ void HashEngine::MultiGet(const std::vector<Slice>& keys,
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (shard_begin[s] == shard_begin[s + 1]) continue;
     Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(&shard.mu);
     multi_shard_locks_.fetch_add(1, std::memory_order_relaxed);
     for (uint32_t pos = shard_begin[s]; pos < shard_begin[s + 1]; ++pos) {
       const uint32_t i = order[pos];
@@ -397,7 +398,7 @@ void HashEngine::MultiSet(const std::vector<Slice>& keys,
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (shard_begin[s] == shard_begin[s + 1]) continue;
     Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(&shard.mu);
     multi_shard_locks_.fetch_add(1, std::memory_order_relaxed);
     for (uint32_t pos = shard_begin[s]; pos < shard_begin[s + 1]; ++pos) {
       const uint32_t i = order[pos];
@@ -410,7 +411,7 @@ Status HashEngine::Cas(const Slice& key, const Slice& expected,
                        const Slice& value, bool allow_create) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   Status s = FindLocked(shard, key, hash, ValueKind::kString, false, &e);
   if (s.IsNotFound()) {
@@ -433,7 +434,7 @@ Status HashEngine::Cas(const Slice& key, const Slice& expected,
 bool HashEngine::Exists(const Slice& key) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = shard.table.Find(key, hash);
   if (e == nullptr) return false;
   if (IsExpiredLocked(*e)) {
@@ -449,7 +450,7 @@ bool HashEngine::Exists(const Slice& key) {
 Status HashEngine::Expire(const Slice& key, uint64_t ttl_micros) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = shard.table.Find(key, hash);
   if (e == nullptr || IsExpiredLocked(*e)) {
     return Status::NotFound("");
@@ -462,7 +463,7 @@ Status HashEngine::Expire(const Slice& key, uint64_t ttl_micros) {
 Result<uint64_t> HashEngine::Ttl(const Slice& key) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = shard.table.Find(key, hash);
   if (e == nullptr || IsExpiredLocked(*e)) {
     return Status::NotFound("");
@@ -476,7 +477,7 @@ Result<uint64_t> HashEngine::Ttl(const Slice& key) {
 Status HashEngine::LPush(const Slice& key, const Slice& value) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   TIERBASE_RETURN_IF_ERROR(
       FindLocked(shard, key, hash, ValueKind::kList, true, &e));
@@ -488,7 +489,7 @@ Status HashEngine::LPush(const Slice& key, const Slice& value) {
 Status HashEngine::RPush(const Slice& key, const Slice& value) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   TIERBASE_RETURN_IF_ERROR(
       FindLocked(shard, key, hash, ValueKind::kList, true, &e));
@@ -500,7 +501,7 @@ Status HashEngine::RPush(const Slice& key, const Slice& value) {
 Status HashEngine::LPop(const Slice& key, std::string* value) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   TIERBASE_RETURN_IF_ERROR(
       FindLocked(shard, key, hash, ValueKind::kList, false, &e));
@@ -514,7 +515,7 @@ Status HashEngine::LPop(const Slice& key, std::string* value) {
 Status HashEngine::RPop(const Slice& key, std::string* value) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   TIERBASE_RETURN_IF_ERROR(
       FindLocked(shard, key, hash, ValueKind::kList, false, &e));
@@ -528,7 +529,7 @@ Status HashEngine::RPop(const Slice& key, std::string* value) {
 Result<uint64_t> HashEngine::LLen(const Slice& key) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   Status s = FindLocked(shard, key, hash, ValueKind::kList, false, &e);
   if (s.IsNotFound()) return uint64_t{0};
@@ -541,7 +542,7 @@ Status HashEngine::LRange(const Slice& key, int64_t start, int64_t stop,
   out->clear();
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   Status s = FindLocked(shard, key, hash, ValueKind::kList, false, &e);
   if (s.IsNotFound()) return Status::OK();
@@ -563,7 +564,7 @@ Status HashEngine::HSet(const Slice& key, const Slice& field,
                         const Slice& value) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   TIERBASE_RETURN_IF_ERROR(
       FindLocked(shard, key, hash, ValueKind::kHash, true, &e));
@@ -583,7 +584,7 @@ Status HashEngine::HGet(const Slice& key, const Slice& field,
                         std::string* value) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   TIERBASE_RETURN_IF_ERROR(
       FindLocked(shard, key, hash, ValueKind::kHash, false, &e));
@@ -596,7 +597,7 @@ Status HashEngine::HGet(const Slice& key, const Slice& field,
 Status HashEngine::HDel(const Slice& key, const Slice& field) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   TIERBASE_RETURN_IF_ERROR(
       FindLocked(shard, key, hash, ValueKind::kHash, false, &e));
@@ -611,7 +612,7 @@ Status HashEngine::HDel(const Slice& key, const Slice& field) {
 Result<uint64_t> HashEngine::HLen(const Slice& key) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   Status s = FindLocked(shard, key, hash, ValueKind::kHash, false, &e);
   if (s.IsNotFound()) return uint64_t{0};
@@ -624,7 +625,7 @@ Status HashEngine::HGetAll(
   out->clear();
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   Status s = FindLocked(shard, key, hash, ValueKind::kHash, false, &e);
   if (s.IsNotFound()) return Status::OK();
@@ -638,7 +639,7 @@ Status HashEngine::HGetAll(
 Status HashEngine::SAdd(const Slice& key, const Slice& member) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   TIERBASE_RETURN_IF_ERROR(
       FindLocked(shard, key, hash, ValueKind::kSet, true, &e));
@@ -651,7 +652,7 @@ Status HashEngine::SAdd(const Slice& key, const Slice& member) {
 Status HashEngine::SRem(const Slice& key, const Slice& member) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   TIERBASE_RETURN_IF_ERROR(
       FindLocked(shard, key, hash, ValueKind::kSet, false, &e));
@@ -665,7 +666,7 @@ Status HashEngine::SRem(const Slice& key, const Slice& member) {
 Result<bool> HashEngine::SIsMember(const Slice& key, const Slice& member) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   Status s = FindLocked(shard, key, hash, ValueKind::kSet, false, &e);
   if (s.IsNotFound()) return false;
@@ -676,7 +677,7 @@ Result<bool> HashEngine::SIsMember(const Slice& key, const Slice& member) {
 Result<uint64_t> HashEngine::SCard(const Slice& key) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   Status s = FindLocked(shard, key, hash, ValueKind::kSet, false, &e);
   if (s.IsNotFound()) return uint64_t{0};
@@ -689,7 +690,7 @@ Result<uint64_t> HashEngine::SCard(const Slice& key) {
 Status HashEngine::ZAdd(const Slice& key, double score, const Slice& member) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   TIERBASE_RETURN_IF_ERROR(
       FindLocked(shard, key, hash, ValueKind::kZSet, true, &e));
@@ -710,7 +711,7 @@ Status HashEngine::ZAdd(const Slice& key, double score, const Slice& member) {
 Result<double> HashEngine::ZScore(const Slice& key, const Slice& member) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   Status s = FindLocked(shard, key, hash, ValueKind::kZSet, false, &e);
   if (!s.ok()) return s;
@@ -725,7 +726,7 @@ Status HashEngine::ZRangeByScore(const Slice& key, double min_score,
   out->clear();
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   Status s = FindLocked(shard, key, hash, ValueKind::kZSet, false, &e);
   if (s.IsNotFound()) return Status::OK();
@@ -744,7 +745,7 @@ Status HashEngine::ZRange(const Slice& key, int64_t start, int64_t stop,
   out->clear();
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   Status s = FindLocked(shard, key, hash, ValueKind::kZSet, false, &e);
   if (s.IsNotFound()) return Status::OK();
@@ -766,7 +767,7 @@ Status HashEngine::ZRange(const Slice& key, int64_t start, int64_t stop,
 Result<uint64_t> HashEngine::ZCard(const Slice& key) {
   const uint64_t hash = Hash64(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   Entry* e = nullptr;
   Status s = FindLocked(shard, key, hash, ValueKind::kZSet, false, &e);
   if (s.IsNotFound()) return uint64_t{0};
@@ -779,7 +780,7 @@ Result<uint64_t> HashEngine::ZCard(const Slice& key) {
 UsageStats HashEngine::GetUsage() const {
   UsageStats usage;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    common::MutexLock lock(&shard->mu);
     usage.memory_bytes += shard->charged;
     usage.keys += shard->table.size;
   }
@@ -790,7 +791,7 @@ UsageStats HashEngine::GetUsage() const {
 uint64_t HashEngine::lru_touches() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    common::MutexLock lock(&shard->mu);
     total += shard->lru_touches;
   }
   return total;
@@ -807,7 +808,7 @@ void HashEngine::SetEvictionFilter(EvictionFilter filter) {
 size_t HashEngine::SweepExpired() {
   size_t removed = 0;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    common::MutexLock lock(&shard->mu);
     for (size_t b = 0; b < shard->table.buckets.size(); ++b) {
       Entry* e = shard->table.buckets[b];
       while (e != nullptr) {
@@ -835,7 +836,7 @@ uint64_t HashEngine::Scan(uint64_t cursor, size_t count,
   size_t bucket_idx = static_cast<size_t>(cursor & ((uint64_t{1} << 48) - 1));
   while (shard_idx < shards_.size()) {
     Shard& shard = *shards_[shard_idx];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(&shard.mu);
     const size_t buckets = shard.table.buckets.size();
     if (bucket_idx >= buckets) {
       ++shard_idx;
@@ -866,7 +867,7 @@ uint64_t HashEngine::Scan(uint64_t cursor, size_t count,
 
 void HashEngine::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    common::MutexLock lock(&shard->mu);
     for (size_t b = 0; b < shard->table.buckets.size(); ++b) {
       Entry* e = shard->table.buckets[b];
       while (e != nullptr) {

@@ -37,7 +37,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -45,6 +44,7 @@
 
 #include "common/clock.h"
 #include "common/kv_engine.h"
+#include "common/mutex.h"
 #include "compression/compressor.h"
 #include "pmem/pmem_allocator.h"
 
@@ -242,12 +242,12 @@ class HashEngine : public KvEngine {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    Table table;
-    Entry* lru_head = nullptr;  // Most recently used.
-    Entry* lru_tail = nullptr;  // Eviction candidate.
-    size_t charged = 0;
-    uint64_t lru_touches = 0;
+    mutable common::Mutex mu;
+    Table table GUARDED_BY(mu);
+    Entry* lru_head GUARDED_BY(mu) = nullptr;  // Most recently used.
+    Entry* lru_tail GUARDED_BY(mu) = nullptr;  // Eviction candidate.
+    size_t charged GUARDED_BY(mu) = 0;
+    uint64_t lru_touches GUARDED_BY(mu) = 0;
   };
 
   size_t ShardIndex(uint64_t hash) const {
@@ -258,37 +258,47 @@ class HashEngine : public KvEngine {
   }
   Shard& ShardFor(uint64_t hash) { return *shards_[ShardIndex(hash)]; }
 
-  static void LruPushFront(Shard& shard, Entry* e);
-  static void LruUnlink(Shard& shard, Entry* e);
+  static void LruPushFront(Shard& shard, Entry* e)
+      EXCLUSIVE_LOCKS_REQUIRED(shard.mu);
+  static void LruUnlink(Shard& shard, Entry* e)
+      EXCLUSIVE_LOCKS_REQUIRED(shard.mu);
 
-  /// All Locked helpers require the shard mutex.
+  /// All Locked helpers require the shard mutex (checked statically via
+  /// the `shard.mu` capability expression on the reference parameter).
   bool IsExpiredLocked(const Entry& e) const;
-  void RemoveEntryLocked(Shard& shard, Entry* e);
-  void TouchLocked(Shard& shard, Entry* e);
-  Status ChargeLocked(Shard& shard, Entry* e, size_t new_charge);
+  void RemoveEntryLocked(Shard& shard, Entry* e)
+      EXCLUSIVE_LOCKS_REQUIRED(shard.mu);
+  void TouchLocked(Shard& shard, Entry* e)
+      EXCLUSIVE_LOCKS_REQUIRED(shard.mu);
+  Status ChargeLocked(Shard& shard, Entry* e, size_t new_charge)
+      EXCLUSIVE_LOCKS_REQUIRED(shard.mu);
   /// Evicts from the LRU tail until `needed` more bytes fit. `protect`,
   /// when non-null, names an entry that must survive (the one being
   /// charged).
   Status EvictLocked(Shard& shard, size_t needed,
-                     const Entry* protect = nullptr);
+                     const Entry* protect = nullptr)
+      EXCLUSIVE_LOCKS_REQUIRED(shard.mu);
   size_t EntryCharge(const Entry& e) const;
 
   /// Returns the entry if present & live, creating when `create` with the
   /// given kind. WrongType → InvalidArgument. `hash` is Hash64(key).
   Status FindLocked(Shard& shard, const Slice& key, uint64_t hash,
-                    ValueKind kind, bool create, Entry** out);
+                    ValueKind kind, bool create, Entry** out)
+      EXCLUSIVE_LOCKS_REQUIRED(shard.mu);
   /// Full string-set path (create/overwrite + TTL + store), shared by
   /// SetEx and MultiSet.
   Status SetLocked(Shard& shard, const Slice& key, uint64_t hash,
-                   const Slice& value, uint64_t ttl_micros);
+                   const Slice& value, uint64_t ttl_micros)
+      EXCLUSIVE_LOCKS_REQUIRED(shard.mu);
   /// Get path under the shard lock, shared by Get and MultiGet.
   Status GetLocked(Shard& shard, const Slice& key, uint64_t hash,
-                   std::string* value);
+                   std::string* value) EXCLUSIVE_LOCKS_REQUIRED(shard.mu);
 
   /// Materializes a string entry's value (decompress / PMem fetch).
   Status LoadStringLocked(const Entry& e, std::string* out) const;
   /// Stores a string value into the entry (compress / PMem placement).
-  Status StoreStringLocked(Shard& shard, Entry* e, const Slice& value);
+  Status StoreStringLocked(Shard& shard, Entry* e, const Slice& value)
+      EXCLUSIVE_LOCKS_REQUIRED(shard.mu);
 
   /// Computes hashes and a per-shard grouping of [0, n) so Multi ops can
   /// visit each shard once. Returns, via `order`, the indices sorted by

@@ -1,4 +1,5 @@
 #include "cluster/coordinator.h"
+#include "common/mutex.h"
 
 namespace tierbase::cluster {
 
@@ -7,7 +8,7 @@ Coordinator::Coordinator(int virtual_nodes_per_instance, int replicas)
       router_(virtual_nodes_per_instance) {}
 
 Status Coordinator::AddInstance(std::unique_ptr<Instance> instance) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (const auto& existing : instances_) {
     if (existing->id() == instance->id()) {
       return Status::InvalidArgument("duplicate instance id: " +
@@ -21,7 +22,7 @@ Status Coordinator::AddInstance(std::unique_ptr<Instance> instance) {
 }
 
 Status Coordinator::ReportFailure(const std::string& instance_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (auto& inst : instances_) {
     if (inst->id() == instance_id) {
       inst->set_healthy(false);
@@ -38,7 +39,7 @@ Status Coordinator::ReportFailure(const std::string& instance_id) {
 }
 
 Status Coordinator::Recover(const std::string& instance_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (auto& inst : instances_) {
     if (inst->id() == instance_id) {
       if (inst->healthy()) return Status::OK();
@@ -52,12 +53,12 @@ Status Coordinator::Recover(const std::string& instance_id) {
 }
 
 uint64_t Coordinator::epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return epoch_;
 }
 
 Coordinator::RoutingSnapshot Coordinator::GetRouting() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   RoutingSnapshot snap;
   snap.epoch = epoch_;
   snap.router = router_;
@@ -66,7 +67,7 @@ Coordinator::RoutingSnapshot Coordinator::GetRouting() const {
 }
 
 Instance* Coordinator::Find(const std::string& instance_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (auto& inst : instances_) {
     if (inst->id() == instance_id) return inst.get();
   }
@@ -74,7 +75,7 @@ Instance* Coordinator::Find(const std::string& instance_id) {
 }
 
 std::vector<Instance*> Coordinator::instances() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<Instance*> out;
   out.reserve(instances_.size());
   for (auto& inst : instances_) out.push_back(inst.get());
@@ -82,7 +83,7 @@ std::vector<Instance*> Coordinator::instances() {
 }
 
 size_t Coordinator::healthy_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   size_t n = 0;
   for (const auto& inst : instances_) {
     if (inst->healthy()) ++n;

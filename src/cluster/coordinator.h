@@ -10,12 +10,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/instance.h"
 #include "cluster/router.h"
+#include "common/mutex.h"
 
 namespace tierbase::cluster {
 
@@ -47,11 +47,11 @@ class Coordinator {
   size_t healthy_count() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   int replicas_;
-  uint64_t epoch_ = 1;
-  Router router_;
-  std::vector<std::unique_ptr<Instance>> instances_;
+  uint64_t epoch_ GUARDED_BY(mu_) = 1;
+  Router router_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Instance>> instances_ GUARDED_BY(mu_);
 };
 
 }  // namespace tierbase::cluster

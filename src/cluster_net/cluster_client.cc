@@ -1,4 +1,5 @@
 #include "cluster_net/cluster_client.h"
+#include "common/mutex.h"
 
 #include <cstdlib>
 #include <cstring>
@@ -33,7 +34,7 @@ Result<std::unique_ptr<NetClusterClient>> NetClusterClient::Connect(
   }
   std::unique_ptr<NetClusterClient> client(
       new NetClusterClient(std::move(options)));
-  std::lock_guard<std::mutex> lock(client->mu_);
+  common::MutexLock lock(&client->mu_);
   Status s = client->RefreshRoutingLocked();
   if (!s.ok()) return s;
   return client;
@@ -151,7 +152,7 @@ Status NetClusterClient::WithRetriesLocked(const Slice& key, Op op) {
 }
 
 Status NetClusterClient::Set(const Slice& key, const Slice& value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return WithRetriesLocked(key, [&](server::Client* conn) {
     server::RespValue reply;
     TIERBASE_RETURN_IF_ERROR(conn->Call({"SET", key, value}, &reply));
@@ -162,7 +163,7 @@ Status NetClusterClient::Set(const Slice& key, const Slice& value) {
 }
 
 Status NetClusterClient::Get(const Slice& key, std::string* value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return WithRetriesLocked(key, [&](server::Client* conn) {
     server::RespValue reply;
     TIERBASE_RETURN_IF_ERROR(conn->Call({"GET", key}, &reply));
@@ -175,7 +176,7 @@ Status NetClusterClient::Get(const Slice& key, std::string* value) {
 }
 
 Status NetClusterClient::Delete(const Slice& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return WithRetriesLocked(key, [&](server::Client* conn) {
     server::RespValue reply;
     TIERBASE_RETURN_IF_ERROR(conn->Call({"DEL", key}, &reply));
@@ -188,7 +189,7 @@ Status NetClusterClient::Delete(const Slice& key) {
 Status NetClusterClient::Forward(const std::vector<Slice>& args,
                                  const Slice& key,
                                  server::RespValue* reply) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return WithRetriesLocked(key, [&](server::Client* conn) {
     TIERBASE_RETURN_IF_ERROR(conn->Call(args, reply));
     if (IsStaleRouteReply(*reply)) return StaleRouteMarker(reply->str);
@@ -207,7 +208,7 @@ void NetClusterClient::MultiGet(const std::vector<Slice>& keys,
   values->assign(keys.size(), std::string());
   statuses->assign(keys.size(), Status::Unavailable("not attempted"));
   if (keys.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
 
   std::vector<bool> pending(keys.size(), true);
   for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
@@ -313,7 +314,7 @@ void NetClusterClient::MultiSet(const std::vector<Slice>& keys,
                                 std::vector<Status>* statuses) {
   statuses->assign(keys.size(), Status::Unavailable("not attempted"));
   if (keys.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
 
   std::vector<bool> pending(keys.size(), true);
   for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
@@ -401,7 +402,7 @@ void NetClusterClient::MultiSet(const std::vector<Slice>& keys,
 
 UsageStats NetClusterClient::GetUsage() const {
   UsageStats total;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto* self = const_cast<NetClusterClient*>(this);
   for (const NodeRecord& node : routing_.nodes) {
     if (node.is_replica || !node.healthy) continue;
@@ -422,7 +423,7 @@ UsageStats NetClusterClient::GetUsage() const {
 }
 
 Status NetClusterClient::WaitIdle() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (auto it = conns_.begin(); it != conns_.end();) {
     server::RespValue reply;
     if (it->second->connected() &&
@@ -436,12 +437,12 @@ Status NetClusterClient::WaitIdle() {
 }
 
 uint64_t NetClusterClient::epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return routing_.epoch;
 }
 
 NetClusterClient::Stats NetClusterClient::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return stats_;
 }
 

@@ -24,13 +24,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "cluster_net/routing.h"
 #include "common/kv_engine.h"
+#include "common/mutex.h"
 #include "server/client.h"
 
 namespace tierbase::cluster_net {
@@ -84,25 +84,31 @@ class NetClusterClient : public KvEngine {
       : options_(std::move(options)) {}
 
   // All Locked methods require mu_.
-  Status RefreshRoutingLocked();
-  void ReportFailureLocked(const std::string& node_id);
+  Status RefreshRoutingLocked() EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  void ReportFailureLocked(const std::string& node_id)
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
   /// Connection to the healthy master of `shard` (cached; reconnects on
   /// demand). Null with *why set when the shard has no reachable master.
   server::Client* MasterConnLocked(const std::string& shard, Status* why,
-                                   std::string* node_id);
+                                   std::string* node_id)
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
   Status CoordinatorCallLocked(const std::vector<Slice>& args,
-                               server::RespValue* reply);
+                               server::RespValue* reply)
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
   template <typename Op>
-  Status WithRetriesLocked(const Slice& key, Op op);
+  Status WithRetriesLocked(const Slice& key, Op op)
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
 
   Options options_;
-  mutable std::mutex mu_;
-  WireRouting routing_;
-  cluster::Router router_{64};
-  std::map<std::string, std::unique_ptr<server::Client>> conns_;  // By node.
-  std::set<std::string> reported_;  // Failure reports this snapshot.
-  server::Client coordinator_;
-  Stats stats_;
+  mutable common::Mutex mu_;
+  WireRouting routing_ GUARDED_BY(mu_);
+  cluster::Router router_ GUARDED_BY(mu_){64};
+  std::map<std::string, std::unique_ptr<server::Client>> conns_
+      GUARDED_BY(mu_);  // By node.
+  std::set<std::string> reported_ GUARDED_BY(mu_);  // Failure reports this
+                                                    // snapshot.
+  server::Client coordinator_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace tierbase::cluster_net

@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/mutex.h"
 #include "server/client.h"
 
 namespace tierbase::cluster_net {
@@ -79,12 +80,12 @@ void CoordinatorService::Wait() {
 }
 
 uint64_t CoordinatorService::epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return routing_.epoch;
 }
 
 WireRouting CoordinatorService::Routing() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return routing_;
 }
 
@@ -123,7 +124,7 @@ Status CoordinatorService::AddNode(const std::string& id,
   }
   NodeRecord master_of_shard;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (routing_.FindNode(id) != nullptr) {
       return Status::InvalidArgument("duplicate node id: " + id);
     }
@@ -166,7 +167,7 @@ Status CoordinatorService::MarkFailed(const std::string& id) {
   NodeRecord promoted;
   bool have_promotion = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     NodeRecord* failed = nullptr;
     for (NodeRecord& n : routing_.nodes) {
       if (n.id == id) failed = &n;
@@ -202,7 +203,7 @@ Status CoordinatorService::Recover(const std::string& id) {
   NodeRecord current_master;
   bool as_replica = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     NodeRecord* rec = nullptr;
     for (NodeRecord& n : routing_.nodes) {
       if (n.id == id) rec = &n;

@@ -25,12 +25,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cluster_net/routing.h"
+#include "common/mutex.h"
 #include "server/event_loop.h"
 
 namespace tierbase::cluster_net {
@@ -85,14 +85,16 @@ class CoordinatorService {
   void ProbeLoop();
 
   Options options_;
-  mutable std::mutex mu_;
-  WireRouting routing_;
+  mutable common::Mutex mu_;
+  WireRouting routing_ GUARDED_BY(mu_);
 
   std::unique_ptr<server::EventLoop> loop_;
   std::thread loop_thread_;
   std::thread probe_thread_;
   std::atomic<bool> stop_probe_{false};
   std::atomic<uint64_t> failovers_{0};
+  // Start/Stop lifecycle flag; those calls must come from one thread (the
+  // owner), so it needs no lock.
   bool running_ = false;
 };
 

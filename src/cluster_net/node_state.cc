@@ -1,4 +1,5 @@
 #include "cluster_net/node_state.h"
+#include "common/mutex.h"
 
 #include <chrono>
 #include <cinttypes>
@@ -36,7 +37,7 @@ Status NodeClusterState::InstallRouting(const std::string& payload) {
   WireRouting wire;
   TIERBASE_RETURN_IF_ERROR(WireRouting::Parse(payload, &wire));
   auto view = std::make_shared<const RoutingView>(std::move(wire));
-  std::lock_guard<std::mutex> lock(routing_mu_);
+  common::MutexLock lock(&routing_mu_);
   // Never roll the epoch backwards (a slow push racing a newer one).
   if (routing_view_ != nullptr &&
       routing_view_->wire.epoch > view->wire.epoch) {
@@ -47,7 +48,7 @@ Status NodeClusterState::InstallRouting(const std::string& payload) {
 }
 
 std::shared_ptr<const RoutingView> NodeClusterState::routing() const {
-  std::lock_guard<std::mutex> lock(routing_mu_);
+  common::MutexLock lock(&routing_mu_);
   return routing_view_;
 }
 
@@ -108,13 +109,13 @@ void NodeClusterState::RecordFlush() {
 
 void NodeClusterState::NoteReplicaAck(const std::string& replica_id,
                                       uint64_t acked) {
-  std::lock_guard<std::mutex> lock(acks_mu_);
+  common::MutexLock lock(&acks_mu_);
   uint64_t& slot = replica_acks_[replica_id];
   if (acked > slot) slot = acked;
 }
 
 size_t NodeClusterState::CountReplicasAtLeast(uint64_t target) const {
-  std::lock_guard<std::mutex> lock(acks_mu_);
+  common::MutexLock lock(&acks_mu_);
   size_t n = 0;
   for (const auto& [id, acked] : replica_acks_) {
     (void)id;
@@ -124,7 +125,7 @@ size_t NodeClusterState::CountReplicasAtLeast(uint64_t target) const {
 }
 
 size_t NodeClusterState::connected_replicas() const {
-  std::lock_guard<std::mutex> lock(acks_mu_);
+  common::MutexLock lock(&acks_mu_);
   return replica_acks_.size();
 }
 
@@ -135,7 +136,7 @@ size_t NodeClusterState::connected_replicas() const {
 Status NodeClusterState::StartReplicaOf(const std::string& host,
                                         uint16_t port) {
   StopReplication();
-  std::lock_guard<std::mutex> lock(link_mu_);
+  common::MutexLock lock(&link_mu_);
   master_host_ = host;
   master_port_ = port;
   stop_pull_.store(false, std::memory_order_release);
@@ -152,7 +153,7 @@ void NodeClusterState::StopReplication() {
   // against a freshly spawned puller.
   std::thread to_join;
   {
-    std::lock_guard<std::mutex> lock(link_mu_);
+    common::MutexLock lock(&link_mu_);
     stop_pull_.store(true, std::memory_order_release);
     to_join = std::move(pull_thread_);
   }
@@ -167,7 +168,7 @@ uint64_t NodeClusterState::replica_lag() const {
 }
 
 std::string NodeClusterState::master_endpoint() const {
-  std::lock_guard<std::mutex> lock(link_mu_);
+  common::MutexLock lock(&link_mu_);
   if (master_port_ == 0) return "";
   return master_host_ + ":" + std::to_string(master_port_);
 }
@@ -306,7 +307,7 @@ void NodeClusterState::PullLoop() {
   std::string host;
   uint16_t port = 0;
   {
-    std::lock_guard<std::mutex> lock(link_mu_);
+    common::MutexLock lock(&link_mu_);
     host = master_host_;
     port = master_port_;
   }

@@ -30,12 +30,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "cluster_net/oplog.h"
 #include "cluster_net/routing.h"
+#include "common/mutex.h"
 #include "core/tierbase.h"
 #include "server/client.h"
 
@@ -103,7 +103,7 @@ class NodeClusterState {
   /// Serializes engine-apply + oplog-append for replicated writes, so the
   /// oplog order always matches the apply order under multi-threaded
   /// dispatch (two racing SETs of one key must not replicate reversed).
-  std::mutex& write_order_mu() { return write_order_mu_; }
+  common::Mutex& write_order_mu() { return write_order_mu_; }
 
   // --- Master side. ---
   OpLog* oplog() { return &oplog_; }
@@ -148,19 +148,19 @@ class NodeClusterState {
   Options options_;
   OpLog oplog_;
 
-  mutable std::mutex routing_mu_;
-  std::shared_ptr<const RoutingView> routing_view_;
-  std::mutex write_order_mu_;
+  mutable common::Mutex routing_mu_;
+  std::shared_ptr<const RoutingView> routing_view_ GUARDED_BY(routing_mu_);
+  common::Mutex write_order_mu_;
 
   // Replica-ack table (master side).
-  mutable std::mutex acks_mu_;
-  std::map<std::string, uint64_t> replica_acks_;
+  mutable common::Mutex acks_mu_;
+  std::map<std::string, uint64_t> replica_acks_ GUARDED_BY(acks_mu_);
 
   // Replica link (replica side).
-  mutable std::mutex link_mu_;
-  std::string master_host_;
-  uint16_t master_port_ = 0;
-  std::thread pull_thread_;
+  mutable common::Mutex link_mu_;
+  std::string master_host_ GUARDED_BY(link_mu_);
+  uint16_t master_port_ GUARDED_BY(link_mu_) = 0;
+  std::thread pull_thread_ GUARDED_BY(link_mu_);
   std::atomic<bool> stop_pull_{false};
   std::atomic<bool> is_replica_{false};
   std::atomic<uint64_t> replica_applied_{0};

@@ -10,9 +10,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace tierbase::cluster_net {
 
@@ -37,7 +38,7 @@ class OpLog {
   /// Assigns the next sequence number, appends, and drops the oldest entry
   /// beyond capacity. Returns the assigned sequence.
   uint64_t Append(ReplOp op) {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     op.seq = next_seq_++;
     log_.push_back(std::move(op));
     while (log_.size() > capacity_) log_.pop_front();
@@ -49,7 +50,7 @@ class OpLog {
   /// with the ring bound and must full-resync).
   bool Read(uint64_t from, size_t max_ops, std::vector<ReplOp>* out) const {
     out->clear();
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (from < MinSeqLocked()) return false;
     for (const ReplOp& op : log_) {
       if (op.seq < from) continue;
@@ -61,25 +62,25 @@ class OpLog {
 
   /// Last assigned sequence (0 = nothing appended yet).
   uint64_t head_seq() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return next_seq_ - 1;
   }
 
   /// Oldest sequence still retained (head+1 when the log is empty).
   uint64_t min_seq() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return MinSeqLocked();
   }
 
  private:
-  uint64_t MinSeqLocked() const {
+  uint64_t MinSeqLocked() const EXCLUSIVE_LOCKS_REQUIRED(mu_) {
     return log_.empty() ? next_seq_ : log_.front().seq;
   }
 
-  mutable std::mutex mu_;
-  size_t capacity_;
-  std::deque<ReplOp> log_;
-  uint64_t next_seq_ = 1;
+  mutable common::Mutex mu_;
+  const size_t capacity_;
+  std::deque<ReplOp> log_ GUARDED_BY(mu_);
+  uint64_t next_seq_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace tierbase::cluster_net

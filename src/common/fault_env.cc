@@ -1,4 +1,5 @@
 #include "common/fault_env.h"
+#include "common/mutex.h"
 
 #include <algorithm>
 
@@ -73,19 +74,19 @@ class FaultWritableFile final : public WritableFile {
 FaultInjectionEnv::FaultInjectionEnv(Env* base) : base_(base) {}
 
 bool FaultInjectionEnv::MutationAllowed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return active_;
 }
 
 void FaultInjectionEnv::NoteCreate(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ++creates_;
   files_[path] = FileState{};  // O_TRUNC semantics: fresh state.
 }
 
 void FaultInjectionEnv::NoteOpenAppend(const std::string& path,
                                        uint64_t existing_size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ++creates_;
   // Bytes present at open are assumed durable — they survived the "boot".
   files_[path] = FileState{existing_size, existing_size};
@@ -93,13 +94,13 @@ void FaultInjectionEnv::NoteOpenAppend(const std::string& path,
 
 void FaultInjectionEnv::NoteAppend(const std::string& path,
                                    uint64_t new_size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ++writes_;
   files_[path].size = new_size;
 }
 
 bool FaultInjectionEnv::NoteSyncAttempt() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ++syncs_;
   if (fail_sync_countdown_ > 0 && --fail_sync_countdown_ == 0) {
     return false;  // This is the Nth sync: fail, don't mark durable.
@@ -108,7 +109,7 @@ bool FaultInjectionEnv::NoteSyncAttempt() {
 }
 
 void FaultInjectionEnv::NoteSynced(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it != files_.end()) it->second.synced_size = it->second.size;
 }
@@ -116,7 +117,7 @@ void FaultInjectionEnv::NoteSynced(const std::string& path) {
 Status FaultInjectionEnv::NewWritableFile(
     const std::string& path, std::unique_ptr<WritableFile>* file) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (!active_) {
       return Status::IOError("fault: filesystem inactive: " + path);
     }
@@ -135,7 +136,7 @@ Status FaultInjectionEnv::NewWritableFile(
 Status FaultInjectionEnv::NewAppendableFile(
     const std::string& path, std::unique_ptr<WritableFile>* file) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (!active_) {
       return Status::IOError("fault: filesystem inactive: " + path);
     }
@@ -168,7 +169,7 @@ Status FaultInjectionEnv::RemoveFile(const std::string& path) {
     return Status::IOError("fault: filesystem inactive: " + path);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     files_.erase(path);
   }
   return base_->RemoveFile(path);
@@ -180,7 +181,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
     return Status::IOError("fault: filesystem inactive: " + from);
   }
   TIERBASE_RETURN_IF_ERROR(base_->RenameFile(from, to));
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = files_.find(from);
   if (it != files_.end()) {
     files_[to] = it->second;
@@ -207,7 +208,7 @@ Status FaultInjectionEnv::Truncate(const std::string& path, uint64_t size) {
     return Status::IOError("fault: filesystem inactive: " + path);
   }
   TIERBASE_RETURN_IF_ERROR(base_->Truncate(path, size));
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it != files_.end()) {
     it->second.size = std::min(it->second.size, size);
@@ -217,12 +218,12 @@ Status FaultInjectionEnv::Truncate(const std::string& path, uint64_t size) {
 }
 
 void FaultInjectionEnv::SetFilesystemActive(bool active) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   active_ = active;
 }
 
 bool FaultInjectionEnv::filesystem_active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return active_;
 }
 
@@ -231,7 +232,7 @@ Status FaultInjectionEnv::DropUnsyncedFileData(size_t tear_keep_bytes) {
   // it (the base env never re-enters this one).
   std::vector<std::pair<std::string, uint64_t>> cuts;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     for (auto& [path, state] : files_) {
       if (state.size <= state.synced_size) continue;
       uint64_t keep = state.synced_size +
@@ -256,7 +257,7 @@ Status FaultInjectionEnv::DropUnsyncedFileData(size_t tear_keep_bytes) {
 
 Status FaultInjectionEnv::TearFile(const std::string& path, uint64_t size) {
   TIERBASE_RETURN_IF_ERROR(base_->Truncate(path, size));
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it != files_.end()) {
     it->second.size = std::min(it->second.size, size);
@@ -266,40 +267,40 @@ Status FaultInjectionEnv::TearFile(const std::string& path, uint64_t size) {
 }
 
 void FaultInjectionEnv::FailNthSync(int n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   fail_sync_countdown_ = n;
 }
 
 void FaultInjectionEnv::FailNextFileCreations(int n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   fail_creates_remaining_ = n;
 }
 
 uint64_t FaultInjectionEnv::synced_size(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = files_.find(path);
   return it == files_.end() ? 0 : it->second.synced_size;
 }
 
 uint64_t FaultInjectionEnv::unsynced_bytes(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return 0;
   return it->second.size - it->second.synced_size;
 }
 
 uint64_t FaultInjectionEnv::sync_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return syncs_;
 }
 
 uint64_t FaultInjectionEnv::write_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return writes_;
 }
 
 uint64_t FaultInjectionEnv::files_created() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return creates_;
 }
 

@@ -30,11 +30,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/env.h"
+#include "common/mutex.h"
 
 namespace tierbase {
 
@@ -107,14 +107,14 @@ class FaultInjectionEnv : public Env {
 
  private:
   Env* base_;
-  mutable std::mutex mu_;
-  bool active_ = true;
-  int fail_sync_countdown_ = 0;      // 0 = disarmed.
-  int fail_creates_remaining_ = 0;
-  uint64_t syncs_ = 0;
-  uint64_t writes_ = 0;
-  uint64_t creates_ = 0;
-  std::map<std::string, FileState> files_;
+  mutable common::Mutex mu_;
+  bool active_ GUARDED_BY(mu_) = true;
+  int fail_sync_countdown_ GUARDED_BY(mu_) = 0;  // 0 = disarmed.
+  int fail_creates_remaining_ GUARDED_BY(mu_) = 0;
+  uint64_t syncs_ GUARDED_BY(mu_) = 0;
+  uint64_t writes_ GUARDED_BY(mu_) = 0;
+  uint64_t creates_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, FileState> files_ GUARDED_BY(mu_);
 };
 
 /// RAII: installs `env` as the process-global Env for the scope.

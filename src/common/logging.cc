@@ -1,9 +1,9 @@
 #include "common/logging.h"
+#include "common/mutex.h"
 
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 namespace tierbase {
 
@@ -31,7 +31,7 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-std::mutex g_log_mutex;
+common::Mutex g_log_mutex;
 
 }  // namespace
 
@@ -57,7 +57,7 @@ void LogV(LogLevel level, const char* file, int line, const char* fmt, ...) {
   va_start(ap, fmt);
   vsnprintf(msg, sizeof(msg), fmt, ap);
   va_end(ap);
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  common::MutexLock lock(&g_log_mutex);
   fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg);
 }
 

@@ -1,0 +1,95 @@
+// Clang thread-safety annotation macros (the Abseil/LevelDB idiom).
+//
+// These attach locking contracts to types, members and functions so that
+// Clang's -Wthread-safety analysis can prove, at compile time, that every
+// access to a guarded member happens with the right mutex held. Under any
+// other compiler (or when the attribute is unavailable) they expand to
+// nothing, so the annotations cost nothing outside the analysis build.
+//
+// Conventions used throughout this tree (see README "Correctness tooling"):
+//   * Every mutable member shared between threads is GUARDED_BY(mu_).
+//   * Private helpers that expect the caller to hold a lock are suffixed
+//     `Locked` and annotated EXCLUSIVE_LOCKS_REQUIRED(mu_).
+//   * Functions that leave a lock in a different state than they found it
+//     are annotated ACQUIRE/RELEASE (e.g. scoped lock holders).
+//   * The rare access deliberately outside the contract (e.g. a destructor
+//     that is by definition single-threaded) uses NO_THREAD_SAFETY_ANALYSIS
+//     with a comment saying why.
+//
+// Build with -DTIERBASE_THREAD_SAFETY=ON (Clang only) to turn violations
+// into hard errors: the locking discipline is then enforced by the
+// compiler rather than by review.
+
+#ifndef TIERBASE_COMMON_THREAD_ANNOTATIONS_H_
+#define TIERBASE_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+// Documents that a member is protected by the given capability (mutex).
+// Reads and writes to the member then require the mutex to be held.
+#define GUARDED_BY(x) TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+// Like GUARDED_BY, but for pointer members: the pointer itself may be read
+// freely, while the pointed-to data is protected by the mutex.
+#define PT_GUARDED_BY(x) \
+  TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+// Marks a class as a capability (something that can be held/acquired).
+// Applied to Mutex itself.
+#define CAPABILITY(x) TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+// Marks an RAII class whose lifetime equals a critical section.
+#define SCOPED_CAPABILITY TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+// The function acquires the capability (and must not already hold it).
+#define ACQUIRE(...) \
+  TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+// The function releases the capability (and must hold it on entry).
+#define RELEASE(...) \
+  TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+// The function may be called only with the capability held (it neither
+// acquires nor releases it). This is the annotation for *Locked helpers.
+#define EXCLUSIVE_LOCKS_REQUIRED(...) \
+  TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define SHARED_LOCKS_REQUIRED(...) \
+  TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+// The function may be called only when the capability is NOT held (it
+// acquires it internally, so holding it would deadlock).
+#define LOCKS_EXCLUDED(...) \
+  TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+// Try-acquire: returns `success_value` when the capability was acquired.
+#define TRY_ACQUIRE(...) \
+  TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+// Runtime assertion that the capability is already held; teaches the
+// analysis the fact without acquiring (common::Mutex::AssertHeld).
+#define ASSERT_EXCLUSIVE_LOCK(...) \
+  TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(__VA_ARGS__))
+
+// The function returns a reference to the named capability.
+#define LOCK_RETURNED(x) TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+// Documents a required acquisition order between two capabilities.
+#define ACQUIRED_BEFORE(...) \
+  TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+// Opts a function out of the analysis entirely. Use sparingly, with a
+// comment explaining why the contract cannot be expressed.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  TIERBASE_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // TIERBASE_COMMON_THREAD_ANNOTATIONS_H_

@@ -11,7 +11,7 @@ void CompressionMonitor::Observe(size_t original_bytes,
   // EMA update under the lock: contention here is acceptable because
   // Observe is called on the (already slow) compression path.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (!has_ema_.load(std::memory_order_relaxed)) {
       ema_ratio_.store(ratio);
       has_ema_.store(true, std::memory_order_relaxed);
@@ -46,7 +46,7 @@ void CompressionMonitor::MaybeTrigger() {
     retrain_count_.fetch_add(1, std::memory_order_relaxed);
     RetrainCallback cb;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       cb = on_retrain_;
     }
     if (cb) cb();
@@ -54,7 +54,7 @@ void CompressionMonitor::MaybeTrigger() {
 }
 
 void CompressionMonitor::Rebase() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   options_.baseline_ratio = ema_ratio_.load();
 }
 

@@ -14,7 +14,8 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace tierbase {
 
@@ -43,7 +44,7 @@ class CompressionMonitor {
 
   /// Installs / replaces the re-train hook.
   void SetRetrainCallback(RetrainCallback cb) {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     on_retrain_ = std::move(cb);
   }
 
@@ -58,8 +59,8 @@ class CompressionMonitor {
   void MaybeTrigger();
 
   CompressionMonitorOptions options_;
-  RetrainCallback on_retrain_;
-  std::mutex mu_;
+  common::Mutex mu_;
+  RetrainCallback on_retrain_ GUARDED_BY(mu_);
 
   std::atomic<double> ema_ratio_{0.0};
   std::atomic<uint64_t> observed_{0};

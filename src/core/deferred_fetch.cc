@@ -15,7 +15,7 @@ void DeferredFetcher::LeaderDrain() {
     std::vector<std::string> keys;
     std::vector<std::shared_ptr<PendingKey>> entries;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       for (auto& [k, p] : pending_) {
         if (p->done) continue;
         if (keys.size() >= options_.max_batch) break;
@@ -33,7 +33,7 @@ void DeferredFetcher::LeaderDrain() {
     Status s = storage_->MultiRead(keys, &values, &found);
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       ++stats_.batch_calls;
       for (size_t i = 0; i < entries.size(); ++i) {
         entries[i]->done = true;
@@ -46,9 +46,9 @@ void DeferredFetcher::LeaderDrain() {
         pending_.erase(keys[i]);
       }
     }
-    cv_.notify_all();
+    cv_.SignalAll();
   }
-  cv_.notify_all();
+  cv_.SignalAll();
 }
 
 Status DeferredFetcher::Fetch(const Slice& key, std::string* value) {
@@ -59,7 +59,7 @@ Status DeferredFetcher::Fetch(const Slice& key, std::string* value) {
   std::shared_ptr<PendingKey> mine;
   bool leader = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     ++stats_.fetches;
     auto it = pending_.find(key.ToString());
     if (it != pending_.end()) {
@@ -87,8 +87,8 @@ Status DeferredFetcher::Fetch(const Slice& key, std::string* value) {
   }
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return mine->done; });
+    common::MutexLock lock(&mu_);
+    while (!mine->done) cv_.Wait();
   }
   if (!mine->error.ok()) return mine->error;
   if (!mine->found) return Status::NotFound("");
@@ -130,7 +130,7 @@ void DeferredFetcher::FetchMany(const std::vector<Slice>& keys,
   std::vector<std::shared_ptr<PendingKey>> mine(n);
   bool leader = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     for (size_t i = 0; i < n; ++i) {
       ++stats_.fetches;
       std::string k = keys[i].ToString();
@@ -154,13 +154,10 @@ void DeferredFetcher::FetchMany(const std::vector<Slice>& keys,
   if (leader) LeaderDrain();
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] {
-      for (const auto& p : mine) {
-        if (!p->done) return false;
-      }
-      return true;
-    });
+    common::MutexLock lock(&mu_);
+    for (const auto& p : mine) {
+      while (!p->done) cv_.Wait();
+    }
   }
   for (size_t i = 0; i < n; ++i) {
     if (!mine[i]->error.ok()) {
@@ -174,7 +171,7 @@ void DeferredFetcher::FetchMany(const std::vector<Slice>& keys,
 }
 
 DeferredFetcher::Stats DeferredFetcher::GetStats() const {
-  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mu_));
+  common::MutexLock lock(&mu_);
   return stats_;
 }
 

@@ -6,14 +6,14 @@
 #ifndef TIERBASE_CORE_DEFERRED_FETCH_H_
 #define TIERBASE_CORE_DEFERRED_FETCH_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/options.h"
 #include "core/storage_adapter.h"
 
@@ -59,11 +59,15 @@ class DeferredFetcher {
   DeferredFetchOptions options_;
   Clock* clock_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<std::string, std::shared_ptr<PendingKey>> pending_;
-  bool batch_leader_active_ = false;
-  Stats stats_;
+  mutable common::Mutex mu_;
+  common::CondVar cv_{&mu_};
+  /// Keys with a storage read in flight (or forming). The PendingKey
+  /// payload is written by the batch leader under mu_ and read by waiters
+  /// only after observing done == true under mu_.
+  std::unordered_map<std::string, std::shared_ptr<PendingKey>> pending_
+      GUARDED_BY(mu_);
+  bool batch_leader_active_ GUARDED_BY(mu_) = false;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace tierbase

@@ -9,23 +9,23 @@ Replicator::Replicator(Options options) : options_(std::move(options)) {
 
 Replicator::~Replicator() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     shutting_down_ = true;
+    apply_cv_.SignalAll();
+    space_cv_.SignalAll();
   }
-  apply_cv_.notify_all();
-  space_cv_.notify_all();
   if (apply_thread_.joinable()) apply_thread_.join();
 }
 
 void Replicator::Append(Op op) {
-  std::unique_lock<std::mutex> lock(mu_);
-  space_cv_.wait(lock, [this] {
-    return shutting_down_ || oplog_.size() < options_.max_lag_ops;
-  });
+  common::MutexLock lock(&mu_);
+  while (!shutting_down_ && oplog_.size() >= options_.max_lag_ops) {
+    space_cv_.Wait();
+  }
   if (shutting_down_) return;
   op.seq = next_seq_++;
   oplog_.push_back(std::move(op));
-  apply_cv_.notify_one();
+  apply_cv_.Signal();
 }
 
 void Replicator::ReplicateSet(const Slice& key, const Slice& value) {
@@ -40,17 +40,15 @@ void Replicator::ApplyLoop() {
   while (true) {
     Op op;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      apply_cv_.wait(lock, [this] {
-        return shutting_down_ || !oplog_.empty();
-      });
+      common::MutexLock lock(&mu_);
+      while (!shutting_down_ && oplog_.empty()) apply_cv_.Wait();
       if (oplog_.empty()) {
         if (shutting_down_) return;
         continue;
       }
       op = std::move(oplog_.front());
       oplog_.pop_front();
-      space_cv_.notify_one();
+      space_cv_.Signal();
     }
     if (op.is_delete) {
       replica_->Delete(op.key);
@@ -58,27 +56,25 @@ void Replicator::ApplyLoop() {
       replica_->Set(op.key, op.value);
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       applied_seq_ = op.seq;
-      if (oplog_.empty()) caught_up_cv_.notify_all();
+      if (oplog_.empty()) caught_up_cv_.SignalAll();
     }
   }
 }
 
 void Replicator::WaitCaughtUp() {
-  std::unique_lock<std::mutex> lock(mu_);
-  caught_up_cv_.wait(lock, [this] {
-    return shutting_down_ || oplog_.empty();
-  });
+  common::MutexLock lock(&mu_);
+  while (!shutting_down_ && !oplog_.empty()) caught_up_cv_.Wait();
 }
 
 uint64_t Replicator::applied_ops() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return applied_seq_;
 }
 
 size_t Replicator::lag() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return oplog_.size();
 }
 

@@ -7,14 +7,14 @@
 #ifndef TIERBASE_CORE_REPLICATION_H_
 #define TIERBASE_CORE_REPLICATION_H_
 
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "cache/hash_engine.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace tierbase {
 
@@ -55,14 +55,14 @@ class Replicator {
   Options options_;
   std::unique_ptr<cache::HashEngine> replica_;
 
-  mutable std::mutex mu_;
-  std::condition_variable apply_cv_;
-  std::condition_variable space_cv_;
-  std::condition_variable caught_up_cv_;
-  std::deque<Op> oplog_;
-  uint64_t next_seq_ = 1;
-  uint64_t applied_seq_ = 0;
-  bool shutting_down_ = false;
+  mutable common::Mutex mu_;
+  common::CondVar apply_cv_{&mu_};
+  common::CondVar space_cv_{&mu_};
+  common::CondVar caught_up_cv_{&mu_};
+  std::deque<Op> oplog_ GUARDED_BY(mu_);
+  uint64_t next_seq_ GUARDED_BY(mu_) = 1;
+  uint64_t applied_seq_ GUARDED_BY(mu_) = 0;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
   std::thread apply_thread_;
 };
 

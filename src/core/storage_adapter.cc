@@ -83,7 +83,7 @@ Status MockStorageAdapter::Write(const Slice& key, const Slice& value) {
   InjectLatency();
   TIERBASE_RETURN_IF_ERROR(MaybeFail());
   writes_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   map_[key.ToString()] = value.ToString();
   return Status::OK();
 }
@@ -92,7 +92,7 @@ Status MockStorageAdapter::Delete(const Slice& key) {
   InjectLatency();
   TIERBASE_RETURN_IF_ERROR(MaybeFail());
   writes_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   map_.erase(key.ToString());
   return Status::OK();
 }
@@ -100,7 +100,7 @@ Status MockStorageAdapter::Delete(const Slice& key) {
 Status MockStorageAdapter::Read(const Slice& key, std::string* value) {
   InjectLatency();
   reads_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = map_.find(key.ToString());
   if (it == map_.end()) return Status::NotFound("");
   *value = it->second;
@@ -112,7 +112,7 @@ Status MockStorageAdapter::WriteBatch(const std::vector<BatchOp>& ops) {
   TIERBASE_RETURN_IF_ERROR(MaybeFail());
   batch_calls_.fetch_add(1, std::memory_order_relaxed);
   writes_.fetch_add(ops.size(), std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (const auto& op : ops) {
     if (op.is_delete) {
       map_.erase(op.key);
@@ -131,7 +131,7 @@ Status MockStorageAdapter::MultiRead(const std::vector<std::string>& keys,
   reads_.fetch_add(keys.size(), std::memory_order_relaxed);
   values->assign(keys.size(), "");
   found->assign(keys.size(), false);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (size_t i = 0; i < keys.size(); ++i) {
     auto it = map_.find(keys[i]);
     if (it != map_.end()) {
@@ -143,7 +143,7 @@ Status MockStorageAdapter::MultiRead(const std::vector<std::string>& keys,
 }
 
 UsageStats MockStorageAdapter::GetUsage() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   UsageStats usage;
   usage.keys = map_.size();
   for (const auto& [k, v] : map_) usage.disk_bytes += k.size() + v.size() + 32;
@@ -151,7 +151,7 @@ UsageStats MockStorageAdapter::GetUsage() const {
 }
 
 size_t MockStorageAdapter::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return map_.size();
 }
 

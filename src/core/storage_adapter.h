@@ -10,12 +10,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/kv_engine.h"
+#include "common/mutex.h"
 #include "lsm/lsm_store.h"
 
 namespace tierbase {
@@ -137,8 +137,8 @@ class MockStorageAdapter : public StorageAdapter {
   }
 
   Options options_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> map_;
+  mutable common::Mutex mu_;
+  std::map<std::string, std::string> map_ GUARDED_BY(mu_);
   std::atomic<uint64_t> op_counter_{0};
 };
 

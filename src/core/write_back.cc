@@ -15,16 +15,16 @@ WriteBackManager::WriteBackManager(StorageAdapter* storage,
 WriteBackManager::~WriteBackManager() {
   FlushAll();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     shutting_down_ = true;
+    flush_cv_.SignalAll();
   }
-  flush_cv_.notify_all();
   if (flusher_.joinable()) flusher_.join();
 }
 
 Status WriteBackManager::MarkDirty(const Slice& key, const Slice& value,
                                    bool is_delete) {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (!flush_error_.ok()) return flush_error_;
 
   // Backpressure: block while the dirty set is at capacity (§4.1.2 "a
@@ -33,8 +33,8 @@ Status WriteBackManager::MarkDirty(const Slice& key, const Slice& value,
   while (dirty_.size() >= options_.max_dirty &&
          dirty_.find(key.ToString()) == dirty_.end()) {
     ++stats_.backpressure_waits;
-    flush_cv_.notify_all();
-    space_cv_.wait(lock);
+    flush_cv_.SignalAll();
+    space_cv_.Wait();
     if (!flush_error_.ok()) return flush_error_;
   }
 
@@ -46,21 +46,21 @@ Status WriteBackManager::MarkDirty(const Slice& key, const Slice& value,
   it->second.gen = next_gen_++;
 
   if (dirty_.size() >= options_.flush_threshold) {
-    flush_cv_.notify_all();
+    flush_cv_.SignalAll();
   }
   return Status::OK();
 }
 
 Status WriteBackManager::MarkDirtyBatch(const std::vector<Slice>& keys,
                                         const std::vector<Slice>& values) {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (size_t i = 0; i < keys.size(); ++i) {
     if (!flush_error_.ok()) return flush_error_;
     while (dirty_.size() >= options_.max_dirty &&
            dirty_.find(keys[i].ToString()) == dirty_.end()) {
       ++stats_.backpressure_waits;
-      flush_cv_.notify_all();
-      space_cv_.wait(lock);
+      flush_cv_.SignalAll();
+      space_cv_.Wait();
       if (!flush_error_.ok()) return flush_error_;
     }
     ++stats_.updates;
@@ -71,19 +71,19 @@ Status WriteBackManager::MarkDirtyBatch(const std::vector<Slice>& keys,
     it->second.gen = next_gen_++;
   }
   if (dirty_.size() >= options_.flush_threshold) {
-    flush_cv_.notify_all();
+    flush_cv_.SignalAll();
   }
   return Status::OK();
 }
 
 bool WriteBackManager::IsDirty(const Slice& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return dirty_.find(key.ToString()) != dirty_.end();
 }
 
 bool WriteBackManager::GetDirty(const Slice& key, std::string* value,
                                 bool* is_delete) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = dirty_.find(key.ToString());
   if (it == dirty_.end()) return false;
   *value = it->second.value;
@@ -99,7 +99,7 @@ void WriteBackManager::GetDirtyBatch(const std::vector<Slice>& keys,
   found->assign(n, false);
   values->assign(n, std::string());
   deletes->assign(n, false);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (size_t i = 0; i < n; ++i) {
     auto it = dirty_.find(keys[i].ToString());
     if (it == dirty_.end()) continue;
@@ -115,7 +115,7 @@ Result<size_t> WriteBackManager::FlushBatch() {
   std::vector<StorageAdapter::BatchOp> batch;
   std::vector<std::pair<std::string, uint64_t>> taken;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     for (const auto& [key, entry] : dirty_) {
       if (batch.size() >= options_.max_batch) break;
       batch.push_back({key, entry.value, entry.is_delete});
@@ -126,15 +126,15 @@ Result<size_t> WriteBackManager::FlushBatch() {
 
   Status s = storage_->WriteBatch(batch);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (!s.ok()) {
     // Leave entries dirty; record the error so writers observe it. The
     // flusher retries with backoff and a later success clears the error.
     flush_error_ = s;
     ++stats_.flush_failures;
     ++consecutive_flush_failures_;
-    space_cv_.notify_all();
-    clean_cv_.notify_all();  // FlushAll re-checks its failure bound.
+    space_cv_.SignalAll();
+    clean_cv_.SignalAll();  // FlushAll re-checks its failure bound.
     return s;
   }
   if (!flush_error_.ok()) {
@@ -151,8 +151,8 @@ Result<size_t> WriteBackManager::FlushBatch() {
   }
   ++stats_.flush_batches;
   stats_.flushed_ops += batch.size();
-  space_cv_.notify_all();
-  if (dirty_.empty()) clean_cv_.notify_all();
+  space_cv_.SignalAll();
+  if (dirty_.empty()) clean_cv_.SignalAll();
   return batch.size();
 }
 
@@ -160,20 +160,23 @@ void WriteBackManager::FlusherLoop() {
   uint64_t backoff_micros = 0;  // 0 = healthy, no backoff pending.
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       if (backoff_micros > 0) {
         // Retry backoff after a failed flush. Deliberately ignores
         // flush_waiters_/threshold wakeups: hammering a failing storage
         // tier harder doesn't help.
-        flush_cv_.wait_for(lock, std::chrono::microseconds(backoff_micros),
-                           [this] { return shutting_down_; });
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(backoff_micros);
+        while (!shutting_down_ && flush_cv_.WaitUntil(deadline)) {
+        }
       } else {
-        flush_cv_.wait_for(
-            lock, std::chrono::microseconds(options_.flush_interval_micros),
-            [this] {
-              return shutting_down_ || flush_waiters_ > 0 ||
-                     dirty_.size() >= options_.flush_threshold;
-            });
+        auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(options_.flush_interval_micros);
+        while (!(shutting_down_ || flush_waiters_ > 0 ||
+                 dirty_.size() >= options_.flush_threshold) &&
+               flush_cv_.WaitUntil(deadline)) {
+        }
       }
       if (shutting_down_ &&
           (dirty_.empty() ||
@@ -185,7 +188,7 @@ void WriteBackManager::FlusherLoop() {
     // Keep draining without sleeping while there is a backlog.
     while (flushed.ok() && *flushed > 0) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::MutexLock lock(&mu_);
         if (dirty_.size() < options_.flush_threshold && !shutting_down_ &&
             flush_waiters_ == 0) {
           break;
@@ -202,19 +205,19 @@ void WriteBackManager::FlusherLoop() {
     }
     backoff_micros = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       if (shutting_down_ && dirty_.empty()) return;
     }
   }
 }
 
 Status WriteBackManager::FlushAll() {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ++flush_waiters_;
   while (!dirty_.empty() && !shutting_down_ &&
          consecutive_flush_failures_ < options_.max_flush_failures) {
-    flush_cv_.notify_all();
-    clean_cv_.wait_for(lock, std::chrono::milliseconds(5));
+    flush_cv_.SignalAll();
+    clean_cv_.WaitFor(5'000);
   }
   --flush_waiters_;
   if (!dirty_.empty() && !flush_error_.ok()) return flush_error_;
@@ -222,17 +225,17 @@ Status WriteBackManager::FlushAll() {
 }
 
 size_t WriteBackManager::dirty_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return dirty_.size();
 }
 
 WriteBackManager::Stats WriteBackManager::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return stats_;
 }
 
 Status WriteBackManager::flush_error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return flush_error_;
 }
 

@@ -5,14 +5,14 @@
 #ifndef TIERBASE_CORE_WRITE_BACK_H_
 #define TIERBASE_CORE_WRITE_BACK_H_
 
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/options.h"
 #include "core/storage_adapter.h"
 
@@ -88,21 +88,24 @@ class WriteBackManager {
   WriteBackOptions options_;
   Clock* clock_;
 
-  mutable std::mutex mu_;
-  std::condition_variable flush_cv_;     // Wakes the flusher.
-  std::condition_variable space_cv_;     // Wakes backpressured writers.
-  std::condition_variable clean_cv_;     // Signals "all clean".
-  std::unordered_map<std::string, DirtyEntry> dirty_;
-  uint64_t next_gen_ = 1;
-  bool shutting_down_ = false;
-  int flush_waiters_ = 0;  // FlushAll calls in progress; while > 0 the
-                           // flusher flushes regardless of
-                           // threshold/interval.
+  mutable common::Mutex mu_;
+  common::CondVar flush_cv_{&mu_};  // Wakes the flusher.
+  common::CondVar space_cv_{&mu_};  // Wakes backpressured writers.
+  common::CondVar clean_cv_{&mu_};  // Signals "all clean".
+  std::unordered_map<std::string, DirtyEntry> dirty_ GUARDED_BY(mu_);
+  uint64_t next_gen_ GUARDED_BY(mu_) = 1;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
+  int flush_waiters_ GUARDED_BY(mu_) = 0;  // FlushAll calls in progress;
+                                           // while > 0 the flusher flushes
+                                           // regardless of
+                                           // threshold/interval.
 
   std::thread flusher_;
-  Stats stats_;
-  Status flush_error_;                     // Cleared on flush success.
-  size_t consecutive_flush_failures_ = 0;  // Bounds FlushAll/shutdown waits.
+  Stats stats_ GUARDED_BY(mu_);
+  Status flush_error_ GUARDED_BY(mu_);  // Cleared on flush success.
+  size_t consecutive_flush_failures_ GUARDED_BY(mu_) = 0;  // Bounds
+                                                           // FlushAll and
+                                                           // shutdown waits.
 };
 
 }  // namespace tierbase

@@ -4,16 +4,16 @@
 
 namespace tierbase {
 
-void PerKeyCoalescer::DrainLocked(std::unique_lock<std::mutex>& lock,
-                                  const std::string& key, KeyState* ks) {
+void PerKeyCoalescer::DrainLocked(const std::string& key, KeyState* ks) {
+  mu_.AssertHeld();
   while (ks->pending) {
     std::string v = ks->latest_value;
     bool d = ks->latest_is_delete;
     uint64_t g = ks->latest_gen;
     ks->pending = false;
-    lock.unlock();
+    mu_.Unlock();
     Status s = write_fn_(key, v, d);
-    lock.lock();
+    mu_.Lock();
     ++storage_writes_;
     if (s.ok()) {
       ks->flushed_gen = std::max(ks->flushed_gen, g);
@@ -21,19 +21,19 @@ void PerKeyCoalescer::DrainLocked(std::unique_lock<std::mutex>& lock,
       ks->last_error = s;
     }
     ks->processed_gen = std::max(ks->processed_gen, g);
-    ks->cv.notify_all();
+    ks->cv.SignalAll();
   }
 }
 
 Status PerKeyCoalescer::Write(const Slice& key, const Slice& value,
                               bool is_delete) {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   ++submitted_;
 
   std::string key_str = key.ToString();
   auto it = keys_.find(key_str);
   if (it == keys_.end()) {
-    it = keys_.emplace(key_str, std::make_unique<KeyState>()).first;
+    it = keys_.emplace(key_str, std::make_unique<KeyState>(&mu_)).first;
   }
   KeyState* ks = it->second.get();
   const uint64_t my_gen = ks->next_gen++;
@@ -50,11 +50,11 @@ Status PerKeyCoalescer::Write(const Slice& key, const Slice& value,
       // Leader: flush the latest pending value until none is newer. Each
       // storage write covers every generation at or below the one written.
       ks->in_flight = true;
-      DrainLocked(lock, key_str, ks);
+      DrainLocked(key_str, ks);
       ks->in_flight = false;
-      ks->cv.notify_all();
+      ks->cv.SignalAll();
     } else {
-      ks->cv.wait(lock, [&] { return ks->processed_gen >= my_gen; });
+      while (ks->processed_gen < my_gen) ks->cv.Wait();
     }
     result = ks->flushed_gen >= my_gen
                  ? Status::OK()
@@ -64,18 +64,18 @@ Status PerKeyCoalescer::Write(const Slice& key, const Slice& value,
   } else {
     // No coalescing: one storage write per update, per-key FIFO order.
     std::string v = value.ToString();
-    ks->cv.wait(lock, [&] {
-      return ks->processed_gen == my_gen - 1 && !ks->in_flight;
-    });
+    while (!(ks->processed_gen == my_gen - 1 && !ks->in_flight)) {
+      ks->cv.Wait();
+    }
     ks->in_flight = true;
-    lock.unlock();
+    mu_.Unlock();
     Status s = write_fn_(key_str, v, is_delete);
-    lock.lock();
+    mu_.Lock();
     ++storage_writes_;
     ks->processed_gen = my_gen;
     if (s.ok()) ks->flushed_gen = my_gen;
     ks->in_flight = false;
-    ks->cv.notify_all();
+    ks->cv.SignalAll();
     result = s;
   }
 
@@ -83,6 +83,7 @@ Status PerKeyCoalescer::Write(const Slice& key, const Slice& value,
   if (ks->waiters == 0 && !ks->in_flight && !ks->pending) {
     keys_.erase(key_str);
   }
+  mu_.Unlock();
   return result;
 }
 
@@ -115,7 +116,7 @@ void PerKeyCoalescer::WriteBatch(const std::vector<Slice>& keys,
   std::unordered_map<std::string, size_t> reg_of;  // key → regs index.
   std::vector<size_t> reg_for_op(n);
 
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   submitted_ += n;
   for (size_t i = 0; i < n; ++i) {
     std::string k = keys[i].ToString();
@@ -124,7 +125,7 @@ void PerKeyCoalescer::WriteBatch(const std::vector<Slice>& keys,
       auto key_it = keys_.find(it->first);
       if (key_it == keys_.end()) {
         key_it =
-            keys_.emplace(it->first, std::make_unique<KeyState>()).first;
+            keys_.emplace(it->first, std::make_unique<KeyState>(&mu_)).first;
       }
       Reg r;
       r.ks = key_it->second.get();
@@ -160,9 +161,9 @@ void PerKeyCoalescer::WriteBatch(const std::vector<Slice>& keys,
   }
 
   if (!batch.empty()) {
-    lock.unlock();
+    mu_.Unlock();
     Status s = batch_write_fn_(batch);
-    lock.lock();
+    mu_.Lock();
     ++batch_calls_;
     storage_writes_ += batch.size();
     for (size_t r = 0; r < regs.size(); ++r) {
@@ -174,19 +175,18 @@ void PerKeyCoalescer::WriteBatch(const std::vector<Slice>& keys,
         reg.ks->last_error = s;
       }
       reg.ks->processed_gen = std::max(reg.ks->processed_gen, reg.gen);
-      reg.ks->cv.notify_all();
+      reg.ks->cv.SignalAll();
       // Serve any writers that queued behind the batch, then step down.
-      DrainLocked(lock, reg_keys[r], reg.ks);
+      DrainLocked(reg_keys[r], reg.ks);
       reg.ks->in_flight = false;
-      reg.ks->cv.notify_all();
+      reg.ks->cv.SignalAll();
     }
   }
 
   for (size_t r = 0; r < regs.size(); ++r) {
     Reg& reg = regs[r];
     if (reg.delegated) {
-      reg.ks->cv.wait(lock,
-                      [&] { return reg.ks->processed_gen >= reg.gen; });
+      while (reg.ks->processed_gen < reg.gen) reg.ks->cv.Wait();
     }
   }
 
@@ -206,10 +206,11 @@ void PerKeyCoalescer::WriteBatch(const std::vector<Slice>& keys,
       keys_.erase(reg_keys[r]);
     }
   }
+  mu_.Unlock();
 }
 
 PerKeyCoalescer::Stats PerKeyCoalescer::GetStats() const {
-  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mu_));
+  common::MutexLock lock(&mu_);
   return Stats{submitted_, storage_writes_, batch_calls_};
 }
 

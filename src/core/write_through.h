@@ -13,15 +13,15 @@
 #ifndef TIERBASE_CORE_WRITE_THROUGH_H_
 #define TIERBASE_CORE_WRITE_THROUGH_H_
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/slice.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 
 namespace tierbase {
@@ -71,7 +71,12 @@ class PerKeyCoalescer {
   Stats GetStats() const;
 
  private:
+  /// Per-key coalescing state. Every field is guarded by the coalescer's
+  /// mu_ (the cv is bound to it); KeyState lives in keys_, which the same
+  /// mutex guards, so the analysis checks access through the map.
   struct KeyState {
+    explicit KeyState(common::Mutex* mu) : cv(mu) {}
+
     uint64_t next_gen = 1;
     uint64_t flushed_gen = 0;    // Highest generation durably in storage.
     uint64_t processed_gen = 0;  // Highest generation whose write finished.
@@ -82,24 +87,25 @@ class PerKeyCoalescer {
     uint64_t latest_gen = 0;
     Status last_error;
     int waiters = 0;
-    std::condition_variable cv;
+    common::CondVar cv;
   };
 
   /// Leader drain loop: flushes the key's latest pending value until no
-  /// newer one arrives. Requires `lock` held; releases it around storage
-  /// calls. The caller owns ks->in_flight.
-  void DrainLocked(std::unique_lock<std::mutex>& lock,
-                   const std::string& key, KeyState* ks);
+  /// newer one arrives. Requires mu_ held; releases it around storage
+  /// calls (re-held on return). The caller owns ks->in_flight.
+  void DrainLocked(const std::string& key, KeyState* ks)
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
 
   StorageWriteFn write_fn_;
   BatchStorageWriteFn batch_write_fn_;
   bool coalesce_;
 
-  std::mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<KeyState>> keys_;
-  uint64_t submitted_ = 0;
-  uint64_t storage_writes_ = 0;
-  uint64_t batch_calls_ = 0;
+  mutable common::Mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<KeyState>> keys_
+      GUARDED_BY(mu_);
+  uint64_t submitted_ GUARDED_BY(mu_) = 0;
+  uint64_t storage_writes_ GUARDED_BY(mu_) = 0;
+  uint64_t batch_calls_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tierbase

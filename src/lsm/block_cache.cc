@@ -13,7 +13,7 @@ std::shared_ptr<Block> BlockCache::Lookup(uint64_t file_number,
                                           uint64_t offset) {
   Key key{file_number, offset};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -28,7 +28,7 @@ void BlockCache::Insert(uint64_t file_number, uint64_t offset,
                         std::shared_ptr<Block> block) {
   Key key{file_number, offset};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) return;  // Racing insert; keep existing.
   shard.charge += block->size();
@@ -48,7 +48,7 @@ void BlockCache::EvictIfNeeded(Shard& shard) {
 
 void BlockCache::EraseFile(uint64_t file_number) {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(&shard.mu);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       if (it->first.file_number == file_number) {
         shard.charge -= it->second->size();
@@ -64,7 +64,7 @@ void BlockCache::EraseFile(uint64_t file_number) {
 size_t BlockCache::TotalCharge() const {
   size_t total = 0;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(shard.mu));
+    common::MutexLock lock(&shard.mu);
     total += shard.charge;
   }
   return total;

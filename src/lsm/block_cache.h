@@ -8,10 +8,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "lsm/block.h"
 
 namespace tierbase {
@@ -46,16 +46,18 @@ class BlockCache {
     }
   };
   struct Shard {
-    std::mutex mu;
-    std::list<std::pair<Key, std::shared_ptr<Block>>> lru;  // Front = MRU.
-    std::unordered_map<Key, decltype(lru)::iterator, KeyHash> index;
-    size_t charge = 0;
+    mutable common::Mutex mu;
+    // Front = MRU.
+    std::list<std::pair<Key, std::shared_ptr<Block>>> lru GUARDED_BY(mu);
+    std::unordered_map<Key, decltype(lru)::iterator, KeyHash> index
+        GUARDED_BY(mu);
+    size_t charge GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const Key& k) {
     return shards_[KeyHash()(k) % shards_.size()];
   }
-  void EvictIfNeeded(Shard& shard);
+  void EvictIfNeeded(Shard& shard) EXCLUSIVE_LOCKS_REQUIRED(shard.mu);
 
   size_t capacity_per_shard_;
   std::vector<Shard> shards_;

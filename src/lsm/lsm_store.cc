@@ -78,10 +78,10 @@ Status LsmStore::Init() {
 
 LsmStore::~LsmStore() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     shutting_down_ = true;
+    bg_cv_.SignalAll();
   }
-  bg_cv_.notify_all();
   if (bg_thread_.joinable()) bg_thread_.join();
 }
 
@@ -222,19 +222,19 @@ Status LsmStore::LogRecord(const Slice& record) {
 
 Status LsmStore::WriteInternal(const Slice& key, const Slice& value,
                                ValueType type) {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (bg_error_set_) return bg_error_;
 
   // Stall when both memtables are full.
   while (mem_->ApproximateMemoryUsage() >= options_.memtable_bytes &&
          imm_ != nullptr) {
     ++stats_.write_stalls;
-    bg_cv_.notify_all();
-    stall_cv_.wait(lock);
+    bg_cv_.SignalAll();
+    stall_cv_.Wait();
     if (bg_error_set_) return bg_error_;
   }
   if (mem_->ApproximateMemoryUsage() >= options_.memtable_bytes) {
-    TIERBASE_RETURN_IF_ERROR(SwitchMemtable(lock));
+    TIERBASE_RETURN_IF_ERROR(SwitchMemtable());
   }
 
   TIERBASE_RETURN_IF_ERROR(LogRecord(
@@ -264,8 +264,8 @@ Status LsmStore::ApplyBatch(const std::vector<BatchOp>& batch) {
   return Status::OK();
 }
 
-Status LsmStore::SwitchMemtable(std::unique_lock<std::mutex>& lock) {
-  (void)lock;
+Status LsmStore::SwitchMemtable() {
+  mu_.AssertHeld();
   if (options_.wal_mode == WalMode::kPmem) {
     // Move everything resident in the ring to the current file log so the
     // ring only ever holds records of the live memtable. Peek + sync +
@@ -303,7 +303,7 @@ Status LsmStore::SwitchMemtable(std::unique_lock<std::mutex>& lock) {
     wal_ = std::move(*wal);
   }
 
-  bg_cv_.notify_all();
+  bg_cv_.SignalAll();
   return Status::OK();
 }
 
@@ -312,7 +312,7 @@ Status LsmStore::Get(const Slice& key, std::string* value) {
   std::shared_ptr<const Version> version;
   SequenceNumber snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     mem = mem_;
     imm = imm_;
     version = versions_->current();
@@ -366,9 +366,10 @@ uint64_t LsmStore::MaxBytesForLevel(int level) const {
 
 void LsmStore::BackgroundWork() {
   while (true) {
+    bool have_imm = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      bg_cv_.wait(lock, [this] {
+      common::MutexLock lock(&mu_);
+      auto needs_work = [this]() EXCLUSIVE_LOCKS_REQUIRED(mu_) {
         if (shutting_down_) return true;
         if (imm_ != nullptr) return true;
         auto v = versions_->current();
@@ -380,29 +381,27 @@ void LsmStore::BackgroundWork() {
           if (v->LevelBytes(level) > MaxBytesForLevel(level)) return true;
         }
         return false;
-      });
+      };
+      while (!needs_work()) bg_cv_.Wait();
       if (shutting_down_ && imm_ == nullptr) return;
+      have_imm = imm_ != nullptr;
     }
 
     Status s = Status::OK();
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (imm_ != nullptr) {
-        lock.unlock();
-        s = FlushImmutable();
-      }
-    }
+    if (have_imm) s = FlushImmutable();
     if (s.ok()) s = MaybeCompact();
 
-    if (!s.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
-      TB_LOG_ERROR("lsm background error: %s", s.ToString().c_str());
-      bg_error_set_ = true;
-      bg_error_ = s;
-      stall_cv_.notify_all();
-      return;
+    {
+      common::MutexLock lock(&mu_);
+      if (!s.ok()) {
+        TB_LOG_ERROR("lsm background error: %s", s.ToString().c_str());
+        bg_error_set_ = true;
+        bg_error_ = s;
+        stall_cv_.SignalAll();
+        return;
+      }
+      stall_cv_.SignalAll();
     }
-    stall_cv_.notify_all();
   }
 }
 
@@ -410,7 +409,7 @@ Status LsmStore::FlushImmutable() {
   std::shared_ptr<MemTable> imm;
   uint64_t old_wal = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     imm = imm_;
     old_wal = imm_wal_number_;
   }
@@ -418,14 +417,14 @@ Status LsmStore::FlushImmutable() {
 
   uint64_t file_number;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     file_number = versions_->NewFileNumber();
   }
 
   std::unique_ptr<WritableFile> file;
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     path = versions_->TableFileName(file_number);
   }
   TIERBASE_RETURN_IF_ERROR(env::NewWritableFile(path, &file));
@@ -447,7 +446,7 @@ Status LsmStore::FlushImmutable() {
   meta->table = *table;
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     VersionEdit edit;
     edit.added.push_back({0, meta});
     TIERBASE_RETURN_IF_ERROR(versions_->Apply(edit));
@@ -459,12 +458,15 @@ Status LsmStore::FlushImmutable() {
   if (old_wal != 0) {
     std::string wal_path;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       wal_path = versions_->WalFileName(old_wal);
     }
     env::RemoveFile(wal_path);
   }
-  stall_cv_.notify_all();
+  {
+    common::MutexLock lock(&mu_);
+    stall_cv_.SignalAll();
+  }
   return Status::OK();
 }
 
@@ -473,7 +475,7 @@ Status LsmStore::MaybeCompact() {
     int best_level = -1;
     double best_score = 1.0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       auto v = versions_->current();
       double l0_score = static_cast<double>(v->levels[0].size()) /
                         options_.l0_compaction_trigger;
@@ -500,7 +502,7 @@ Status LsmStore::CompactLevel(int level) {
   std::vector<std::shared_ptr<FileMeta>> next_inputs;
   std::shared_ptr<const Version> version;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     version = versions_->current();
     if (level == 0) {
       inputs = version->levels[0];
@@ -552,6 +554,7 @@ Status LsmStore::CompactLevel(int level) {
 
   InternalKeyComparator cmp;
   VersionEdit edit;
+  uint64_t bytes_compacted = 0;  // Folded into stats_ under mu_ at apply.
   std::unique_ptr<TableBuilder> builder;
   uint64_t out_number = 0;
   std::string out_path;
@@ -560,7 +563,7 @@ Status LsmStore::CompactLevel(int level) {
 
   auto open_output = [&]() -> Status {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       out_number = versions_->NewFileNumber();
       out_path = versions_->TableFileName(out_number);
     }
@@ -589,7 +592,7 @@ Status LsmStore::CompactLevel(int level) {
     if (!table.ok()) return table.status();
     meta->table = *table;
     edit.added.push_back({target_level, meta});
-    stats_.bytes_compacted += meta->size;
+    bytes_compacted += meta->size;
     builder.reset();
     out_path.clear();
     return Status::OK();
@@ -633,9 +636,10 @@ Status LsmStore::CompactLevel(int level) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     TIERBASE_RETURN_IF_ERROR(versions_->Apply(edit));
     ++stats_.compactions;
+    stats_.bytes_compacted += bytes_compacted;
   }
 
   // Delete obsolete inputs and drop their cached blocks.
@@ -643,7 +647,7 @@ Status LsmStore::CompactLevel(int level) {
     for (const auto& f : files) {
       std::string p;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::MutexLock lock(&mu_);
         p = versions_->TableFileName(f->number);
       }
       block_cache_->EraseFile(f->number);
@@ -658,7 +662,7 @@ Status LsmStore::CompactLevel(int level) {
 Status LsmStore::WaitIdle() {
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       if (bg_error_set_) return bg_error_;
       auto v = versions_->current();
       bool busy = imm_ != nullptr ||
@@ -668,7 +672,7 @@ Status LsmStore::WaitIdle() {
         busy = v->LevelBytes(level) > MaxBytesForLevel(level);
       }
       if (!busy) return Status::OK();
-      bg_cv_.notify_all();
+      bg_cv_.SignalAll();
     }
     Clock::Real()->SleepMicros(1000);
   }
@@ -676,13 +680,13 @@ Status LsmStore::WaitIdle() {
 
 Status LsmStore::FlushForTesting() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     while (imm_ != nullptr) {
-      bg_cv_.notify_all();
-      stall_cv_.wait(lock);
+      bg_cv_.SignalAll();
+      stall_cv_.Wait();
     }
     if (mem_->num_entries() > 0) {
-      TIERBASE_RETURN_IF_ERROR(SwitchMemtable(lock));
+      TIERBASE_RETURN_IF_ERROR(SwitchMemtable());
     }
   }
   return WaitIdle();
@@ -690,7 +694,7 @@ Status LsmStore::FlushForTesting() {
 
 UsageStats LsmStore::GetUsage() const {
   UsageStats usage;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   usage.memory_bytes = mem_->ApproximateMemoryUsage() +
                        (imm_ ? imm_->ApproximateMemoryUsage() : 0) +
                        block_cache_->TotalCharge();
@@ -704,7 +708,7 @@ UsageStats LsmStore::GetUsage() const {
 }
 
 LsmStore::Stats LsmStore::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return stats_;
 }
 

@@ -70,7 +70,7 @@ Status VersionSet::Recover() {
       BumpFileNumber(f->number);
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   current_ = v;
   return Status::OK();
 }
@@ -100,7 +100,7 @@ Status VersionSet::Apply(const VersionEdit& edit) {
   }
 
   TIERBASE_RETURN_IF_ERROR(SaveManifest(*next));
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   current_ = next;
   return Status::OK();
 }

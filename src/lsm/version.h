@@ -11,10 +11,10 @@
 #define TIERBASE_LSM_VERSION_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "lsm/internal_key.h"
 #include "lsm/table.h"
@@ -67,7 +67,7 @@ class VersionSet {
   Status Apply(const VersionEdit& edit);
 
   std::shared_ptr<const Version> current() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return current_;
   }
 
@@ -89,8 +89,9 @@ class VersionSet {
 
   std::string dir_;
   BlockCache* block_cache_;
-  mutable std::mutex mu_;
-  std::shared_ptr<const Version> current_;
+  mutable common::Mutex mu_;
+  std::shared_ptr<const Version> current_ GUARDED_BY(mu_);
+  // Serialized by the engine mutex (see Apply's contract), not by mu_.
   uint64_t next_file_number_ = 1;
   SequenceNumber last_sequence_ = 0;
 };

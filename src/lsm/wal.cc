@@ -17,7 +17,7 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
 }
 
 Status WalWriter::AddRecord(const Slice& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::string framed;
   framed.reserve(8 + record.size());
   PutFixed32(&framed,
@@ -47,7 +47,7 @@ Status WalWriter::AddRecord(const Slice& record) {
 }
 
 Status WalWriter::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   last_sync_micros_ = options_.clock->NowMicros();
   return file_->Sync();
 }

@@ -12,12 +12,12 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/env.h"
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "pmem/ring_buffer.h"
@@ -60,10 +60,11 @@ class WalWriter {
   WalWriter(std::unique_ptr<WritableFile> file, const WalOptions& options)
       : file_(std::move(file)), options_(options) {}
 
-  std::unique_ptr<WritableFile> file_;
+  std::unique_ptr<WritableFile> file_;  // Never reseated; calls serialize
+                                        // under mu_.
   WalOptions options_;
-  std::mutex mu_;
-  uint64_t last_sync_micros_ = 0;
+  common::Mutex mu_;
+  uint64_t last_sync_micros_ GUARDED_BY(mu_) = 0;
 };
 
 /// Outcome of one WalReader::ReadRecord call. The reader distinguishes a

@@ -25,7 +25,7 @@ PmemPtr PmemAllocator::Allocate(size_t size) {
   int cls = ClassFor(size);
   size_t block = ClassSize(cls);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (!free_lists_[cls].empty()) {
     PmemPtr ptr = free_lists_[cls].back();
     free_lists_[cls].pop_back();
@@ -44,7 +44,7 @@ PmemPtr PmemAllocator::Allocate(size_t size) {
 void PmemAllocator::Free(PmemPtr ptr, size_t size) {
   if (ptr == kInvalidPmemPtr) return;
   int cls = ClassFor(size);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   free_lists_[cls].push_back(ptr);
   bytes_in_use_ -= ClassSize(cls);
 }

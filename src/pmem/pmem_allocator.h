@@ -6,9 +6,9 @@
 #define TIERBASE_PMEM_PMEM_ALLOCATOR_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "pmem/pmem_device.h"
 
@@ -37,7 +37,7 @@ class PmemAllocator {
   Status Load(PmemPtr ptr, size_t size, std::string* out) const;
 
   uint64_t bytes_in_use() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return bytes_in_use_;
   }
   uint64_t region_size() const { return region_size_; }
@@ -52,10 +52,11 @@ class PmemAllocator {
   uint64_t region_start_;
   uint64_t region_size_;
 
-  mutable std::mutex mu_;
-  uint64_t bump_;                              // Next never-used offset.
-  std::vector<std::vector<uint64_t>> free_lists_;  // Per size class.
-  uint64_t bytes_in_use_ = 0;
+  mutable common::Mutex mu_;
+  uint64_t bump_ GUARDED_BY(mu_);  // Next never-used offset.
+  std::vector<std::vector<uint64_t>> free_lists_
+      GUARDED_BY(mu_);  // Per size class.
+  uint64_t bytes_in_use_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tierbase

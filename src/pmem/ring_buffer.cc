@@ -20,11 +20,9 @@ Result<std::unique_ptr<PmemRingBuffer>> PmemRingBuffer::Open(
   std::string header;
   TIERBASE_RETURN_IF_ERROR(device->Read(0, kHeaderSize, &header));
   uint64_t magic = DecodeFixed64(header.data());
-  if (magic == kMagic) {
-    Status s = ring->RecoverHeader();
-    if (!s.ok()) return s;
-  } else {
-    Status s = ring->InitHeader();
+  {
+    common::MutexLock lock(&ring->mu_);
+    Status s = magic == kMagic ? ring->RecoverHeader() : ring->InitHeader();
     if (!s.ok()) return s;
   }
   return ring;
@@ -120,7 +118,7 @@ Status PmemRingBuffer::ReadCircular(uint64_t logical, size_t n,
 
 Status PmemRingBuffer::Append(const Slice& record) {
   if (record.empty()) return Status::InvalidArgument("pmem-ring: empty record");
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
 
   size_t need = kRecordHeader + record.size();
   if (need > data_capacity_) {
@@ -151,7 +149,7 @@ Status PmemRingBuffer::Append(const Slice& record) {
 Status PmemRingBuffer::Drain(size_t max_records,
                              std::vector<std::string>* out) {
   out->clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   uint64_t pos = head_;
   while (out->size() < max_records && pos < tail_) {
     std::string rec_header;
@@ -174,7 +172,7 @@ Status PmemRingBuffer::Drain(size_t max_records,
 Status PmemRingBuffer::Peek(size_t max_records,
                             std::vector<std::string>* out) const {
   out->clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   uint64_t pos = head_;
   while (out->size() < max_records && pos < tail_) {
     std::string rec_header;
@@ -194,7 +192,7 @@ Status PmemRingBuffer::Peek(size_t max_records,
 
 Status PmemRingBuffer::Discard(size_t n) {
   if (n == 0) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (n > record_count_) {
     return Status::InvalidArgument("pmem-ring: discard past resident count");
   }
@@ -211,12 +209,12 @@ Status PmemRingBuffer::Discard(size_t n) {
 }
 
 size_t PmemRingBuffer::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return record_count_;
 }
 
 size_t PmemRingBuffer::free_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return data_capacity_ - static_cast<size_t>(tail_ - head_);
 }
 

@@ -14,10 +14,10 @@
 #define TIERBASE_PMEM_RING_BUFFER_H_
 
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "pmem/pmem_device.h"
@@ -63,9 +63,9 @@ class PmemRingBuffer {
  private:
   explicit PmemRingBuffer(PmemDevice* device);
 
-  Status InitHeader();
-  Status RecoverHeader();
-  Status PersistHeader();
+  Status InitHeader() EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  Status RecoverHeader() EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  Status PersistHeader() EXCLUSIVE_LOCKS_REQUIRED(mu_);
 
   uint64_t DataOffset(uint64_t logical) const {
     return kHeaderSize + (logical % data_capacity_);
@@ -77,10 +77,11 @@ class PmemRingBuffer {
   PmemDevice* device_;
   size_t data_capacity_;
 
-  mutable std::mutex mu_;
-  uint64_t head_ = 0;  // Logical byte position of the oldest record.
-  uint64_t tail_ = 0;  // Logical byte position one past the newest record.
-  size_t record_count_ = 0;
+  mutable common::Mutex mu_;
+  // Logical byte positions of the oldest record / one past the newest.
+  uint64_t head_ GUARDED_BY(mu_) = 0;
+  uint64_t tail_ GUARDED_BY(mu_) = 0;
+  size_t record_count_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tierbase

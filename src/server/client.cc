@@ -198,7 +198,7 @@ Result<std::unique_ptr<RemoteEngine>> RemoteEngine::Connect(
 }
 
 Status RemoteEngine::Set(const Slice& key, const Slice& value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   RespValue reply;
   TIERBASE_RETURN_IF_ERROR(client_.Call({"SET", key, value}, &reply));
   if (reply.IsError()) return ErrorToStatus(reply);
@@ -206,7 +206,7 @@ Status RemoteEngine::Set(const Slice& key, const Slice& value) {
 }
 
 Status RemoteEngine::Get(const Slice& key, std::string* value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   RespValue reply;
   TIERBASE_RETURN_IF_ERROR(client_.Call({"GET", key}, &reply));
   if (reply.IsError()) return ErrorToStatus(reply);
@@ -216,7 +216,7 @@ Status RemoteEngine::Get(const Slice& key, std::string* value) {
 }
 
 Status RemoteEngine::Delete(const Slice& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   RespValue reply;
   TIERBASE_RETURN_IF_ERROR(client_.Call({"DEL", key}, &reply));
   if (reply.IsError()) return ErrorToStatus(reply);
@@ -229,7 +229,7 @@ void RemoteEngine::MultiGet(const std::vector<Slice>& keys,
   values->assign(keys.size(), std::string());
   statuses->assign(keys.size(), Status::OK());
   if (keys.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<Slice> args;
   args.reserve(keys.size() + 1);
   args.emplace_back("MGET");
@@ -260,7 +260,7 @@ void RemoteEngine::MultiSet(const std::vector<Slice>& keys,
                             std::vector<Status>* statuses) {
   statuses->assign(keys.size(), Status::OK());
   if (keys.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<Slice> args;
   args.reserve(keys.size() * 2 + 1);
   args.emplace_back("MSET");
@@ -281,7 +281,7 @@ void RemoteEngine::MultiSet(const std::vector<Slice>& keys,
 
 UsageStats RemoteEngine::GetUsage() const {
   UsageStats usage;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   RespValue reply;
   if (!client_.Call({"INFO"}, &reply).ok() ||
       reply.type != RespValue::Type::kBulkString) {
@@ -299,7 +299,7 @@ UsageStats RemoteEngine::GetUsage() const {
 }
 
 Status RemoteEngine::WaitIdle() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   RespValue reply;
   TIERBASE_RETURN_IF_ERROR(client_.Call({"PING"}, &reply));
   if (reply.IsError()) return ErrorToStatus(reply);

@@ -21,11 +21,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/kv_engine.h"
+#include "common/mutex.h"
 #include "server/resp.h"
 
 namespace tierbase {
@@ -98,7 +98,10 @@ class RemoteEngine : public KvEngine {
  private:
   explicit RemoteEngine(std::string endpoint) : endpoint_(std::move(endpoint)) {}
 
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
+  // Serialized by mu_ on every KvEngine path. Not GUARDED_BY: the client()
+  // escape hatch hands the raw connection to single-threaded callers (CLI,
+  // tests) that bypass the engine interface entirely.
   mutable Client client_;
   std::string endpoint_;
 };

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "cluster_net/node_state.h"
+#include "common/mutex.h"
 
 namespace tierbase {
 namespace server {
@@ -235,10 +236,8 @@ void CommandTable::CoalescedSets(const std::vector<RespCommand>& cmds,
   {
     // Apply + oplog-append atomically so replicas see writes in apply
     // order (see NodeClusterState::write_order_mu).
-    std::unique_lock<std::mutex> order_lock;
-    if (cluster_ != nullptr) {
-      order_lock = std::unique_lock<std::mutex>(cluster_->write_order_mu());
-    }
+    common::OptionalMutexLock order_lock(
+      cluster_ != nullptr ? &cluster_->write_order_mu() : nullptr);
     db_->MultiSet(keys, values, &statuses);
     if (cluster_ != nullptr) {
       for (size_t i = 0; i < statuses.size(); ++i) {
@@ -415,10 +414,8 @@ void CommandTable::Set(const RespCommand& cmd, std::string* out) {
   }
   Status s;
   {
-    std::unique_lock<std::mutex> order_lock;
-    if (cluster_ != nullptr) {
-      order_lock = std::unique_lock<std::mutex>(cluster_->write_order_mu());
-    }
+    common::OptionalMutexLock order_lock(
+      cluster_ != nullptr ? &cluster_->write_order_mu() : nullptr);
     s = ttl_micros == 0 ? db_->Set(cmd.args[1], cmd.args[2])
                         : db_->SetEx(cmd.args[1], cmd.args[2], ttl_micros);
     if (s.ok() && cluster_ != nullptr) {
@@ -449,11 +446,8 @@ void CommandTable::Del(const RespCommand& cmd, std::string* out) {
     }
     Status s;
     {
-      std::unique_lock<std::mutex> order_lock;
-      if (cluster_ != nullptr) {
-        order_lock =
-            std::unique_lock<std::mutex>(cluster_->write_order_mu());
-      }
+      common::OptionalMutexLock order_lock(
+        cluster_ != nullptr ? &cluster_->write_order_mu() : nullptr);
       s = db_->Delete(cmd.args[i]);
       if (s.ok() && cluster_ != nullptr) cluster_->RecordDelete(cmd.args[i]);
     }
@@ -504,10 +498,8 @@ void CommandTable::MSet(const RespCommand& cmd, std::string* out) {
   }
   std::vector<Status> statuses;
   {
-    std::unique_lock<std::mutex> order_lock;
-    if (cluster_ != nullptr) {
-      order_lock = std::unique_lock<std::mutex>(cluster_->write_order_mu());
-    }
+    common::OptionalMutexLock order_lock(
+      cluster_ != nullptr ? &cluster_->write_order_mu() : nullptr);
     db_->MultiSet(keys, values, &statuses);
     if (cluster_ != nullptr) {
       for (size_t i = 0; i < keys.size(); ++i) {
@@ -530,10 +522,8 @@ void CommandTable::Expire(const RespCommand& cmd, std::string* out) {
     AppendError(out, "ERR value is not an integer or out of range");
     return;
   }
-  std::unique_lock<std::mutex> order_lock;
-  if (cluster_ != nullptr) {
-    order_lock = std::unique_lock<std::mutex>(cluster_->write_order_mu());
-  }
+  common::OptionalMutexLock order_lock(
+    cluster_ != nullptr ? &cluster_->write_order_mu() : nullptr);
   if (seconds <= 0) {
     // Redis deletes the key on a non-positive TTL.
     bool existed = db_->cache()->Exists(cmd.args[1]);
@@ -591,11 +581,8 @@ void CommandTable::Incr(const RespCommand& cmd, std::string* out) {
     }
     const std::string next = std::to_string(value + 1);
     {
-      std::unique_lock<std::mutex> order_lock;
-      if (cluster_ != nullptr) {
-        order_lock =
-            std::unique_lock<std::mutex>(cluster_->write_order_mu());
-      }
+      common::OptionalMutexLock order_lock(
+        cluster_ != nullptr ? &cluster_->write_order_mu() : nullptr);
       s = create ? db_->Cas(cmd.args[1], "", next, /*allow_create=*/true)
                  : db_->Cas(cmd.args[1], current, next);
       // Replicate the outcome, not the increment: replays are idempotent.
@@ -844,10 +831,8 @@ void CommandTable::FlushAll(const RespCommand& cmd, std::string* out) {
                 "has a storage tier (write-through/write-back)");
     return;
   }
-  std::unique_lock<std::mutex> order_lock;
-  if (cluster_ != nullptr) {
-    order_lock = std::unique_lock<std::mutex>(cluster_->write_order_mu());
-  }
+  common::OptionalMutexLock order_lock(
+    cluster_ != nullptr ? &cluster_->write_order_mu() : nullptr);
   db_->cache()->Clear();
   if (cluster_ != nullptr) cluster_->RecordFlush();
   AppendSimpleString(out, kOk);

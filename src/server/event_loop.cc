@@ -36,7 +36,7 @@ Connection::Connection(EventLoop* loop, int fd, uint64_t id)
 void Connection::CompleteBatch(std::string&& output, bool close_after,
                                bool shutdown_server) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (detached_) return;  // Peer already gone; nobody will read this.
     done_output_ = std::move(output);
     done_close_ = close_after;
@@ -137,7 +137,7 @@ void EventLoop::CloseConnection(const std::shared_ptr<Connection>& conn) {
   {
     // Detach first so an in-flight CompleteBatch discards its output
     // instead of waking the loop for a dead socket.
-    std::lock_guard<std::mutex> lock(conn->mu_);
+    common::MutexLock lock(&conn->mu_);
     conn->detached_ = true;
   }
   close(conn->fd_);
@@ -194,7 +194,7 @@ bool EventLoop::TryDispatch(const std::shared_ptr<Connection>& conn) {
   // Register for completion pickup before handing off: CompleteBatch may
   // run before dispatcher_ returns.
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
+    common::MutexLock lock(&completions_mu_);
     completions_.push_back(conn);
   }
   dispatcher_(conn, std::move(batch));
@@ -204,7 +204,7 @@ bool EventLoop::TryDispatch(const std::shared_ptr<Connection>& conn) {
 void EventLoop::DrainCompletions() {
   std::vector<std::weak_ptr<Connection>> ready;
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
+    common::MutexLock lock(&completions_mu_);
     ready.swap(completions_);
   }
   std::vector<std::weak_ptr<Connection>> still_pending;
@@ -213,7 +213,7 @@ void EventLoop::DrainCompletions() {
     if (conn == nullptr) continue;
     bool done = false;
     {
-      std::lock_guard<std::mutex> lock(conn->mu_);
+      common::MutexLock lock(&conn->mu_);
       if (conn->done_) {
         conn->out_buf.append(conn->done_output_);
         conn->done_output_.clear();
@@ -238,7 +238,7 @@ void EventLoop::DrainCompletions() {
     }
   }
   if (!still_pending.empty()) {
-    std::lock_guard<std::mutex> lock(completions_mu_);
+    common::MutexLock lock(&completions_mu_);
     for (auto& weak : still_pending) completions_.push_back(std::move(weak));
   }
 }

@@ -27,11 +27,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "server/resp.h"
 
@@ -91,12 +91,13 @@ class Connection {
   bool busy = false;     // A dispatch batch is in flight.
   bool closing = false;  // Close once out_buf drains.
 
-  // --- Cross-thread completion slot (guarded by mu_). ---
-  std::mutex mu_;
-  std::string done_output_;
-  bool done_ = false;
-  bool done_close_ = false;
-  bool detached_ = false;  // Loop dropped the connection (peer died).
+  // --- Cross-thread completion slot. ---
+  common::Mutex mu_;
+  std::string done_output_ GUARDED_BY(mu_);
+  bool done_ GUARDED_BY(mu_) = false;
+  bool done_close_ GUARDED_BY(mu_) = false;
+  bool detached_ GUARDED_BY(mu_) = false;  // Loop dropped the connection
+                                           // (peer died).
 };
 
 class EventLoop {
@@ -162,9 +163,10 @@ class EventLoop {
   std::unordered_map<int, std::shared_ptr<Connection>> conns_;
 
   // Completion queue: connections whose batch finished (loop scans their
-  // slots). Guarded by completions_mu_.
-  std::mutex completions_mu_;
-  std::vector<std::weak_ptr<Connection>> completions_;
+  // slots).
+  common::Mutex completions_mu_;
+  std::vector<std::weak_ptr<Connection>> completions_
+      GUARDED_BY(completions_mu_);
 
   std::atomic<bool> stop_requested_{false};
   std::atomic<uint64_t> accepted_{0};

@@ -9,7 +9,7 @@ ElasticExecutor::ElasticExecutor(ElasticOptions options)
     : options_(options) {
   options_.max_threads = std::max(1, options_.max_threads);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     desired_threads_ =
         options_.mode == ThreadMode::kMulti ? options_.max_threads : 1;
     for (int i = 0; i < desired_threads_; ++i) SpawnWorkerLocked();
@@ -22,6 +22,7 @@ ElasticExecutor::ElasticExecutor(ElasticOptions options)
 ElasticExecutor::~ElasticExecutor() { Shutdown(); }
 
 void ElasticExecutor::SpawnWorkerLocked() {
+  mu_.AssertHeld();
   ++alive_workers_;
   workers_.emplace_back(&ElasticExecutor::WorkerLoop, this,
                         static_cast<int>(workers_.size()));
@@ -29,30 +30,30 @@ void ElasticExecutor::SpawnWorkerLocked() {
 }
 
 void ElasticExecutor::Submit(Task task) {
-  std::unique_lock<std::mutex> lock(mu_);
-  space_cv_.wait(lock, [this] {
-    return shutdown_ || queue_.size() < options_.max_queue;
-  });
+  common::MutexLock lock(&mu_);
+  while (!shutdown_ && queue_.size() >= options_.max_queue) {
+    space_cv_.Wait();
+  }
   if (shutdown_) return;
   queue_.push_back(std::move(task));
-  task_cv_.notify_one();
+  task_cv_.Signal();
 }
 
 void ElasticExecutor::Execute(const Task& task) {
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  common::Mutex done_mu;
+  common::CondVar done_cv(&done_mu);
   bool done = false;
   Submit([&] {
     task();
     // Notify while holding the lock: the waiter owns done_cv on its
     // stack, and may only destroy it once it re-acquires done_mu — which
-    // this critical section delays until notify_one has completed.
-    std::lock_guard<std::mutex> lock(done_mu);
+    // this critical section delays until Signal has completed.
+    common::MutexLock lock(&done_mu);
     done = true;
-    done_cv.notify_one();
+    done_cv.Signal();
   });
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done; });
+  common::MutexLock lock(&done_mu);
+  while (!done) done_cv.Wait();
 }
 
 void ElasticExecutor::WorkerLoop(int worker_id) {
@@ -60,11 +61,11 @@ void ElasticExecutor::WorkerLoop(int worker_id) {
   while (true) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_cv_.wait(lock, [this] {
-        return shutdown_ || !queue_.empty() ||
-               alive_workers_ > desired_threads_;
-      });
+      common::MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty() &&
+             alive_workers_ <= desired_threads_) {
+        task_cv_.Wait();
+      }
       if (shutdown_ && queue_.empty()) return;
       // Retire surplus workers only when the queue is calm, so a scale-down
       // decision never abandons queued work.
@@ -76,7 +77,7 @@ void ElasticExecutor::WorkerLoop(int worker_id) {
       if (queue_.empty()) continue;
       task = std::move(queue_.front());
       queue_.pop_front();
-      space_cv_.notify_one();
+      space_cv_.Signal();
     }
     task();
     completed_.fetch_add(1, std::memory_order_relaxed);
@@ -89,7 +90,7 @@ void ElasticExecutor::ControlLoop() {
   uint64_t last_completed = completed_.load(std::memory_order_relaxed);
   while (true) {
     Clock::Real()->SleepMicros(options_.control_interval_micros);
-    std::unique_lock<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (shutdown_) return;
     size_t depth = queue_.size();
 
@@ -112,7 +113,7 @@ void ElasticExecutor::ControlLoop() {
         // joined at shutdown.
         SpawnWorkerLocked();
         scale_ups_.fetch_add(1, std::memory_order_relaxed);
-        task_cv_.notify_all();
+        task_cv_.SignalAll();
       }
     } else {
       up_votes = 0;
@@ -121,7 +122,7 @@ void ElasticExecutor::ControlLoop() {
           down_votes = 0;
           --desired_threads_;
           scale_downs_.fetch_add(1, std::memory_order_relaxed);
-          task_cv_.notify_all();
+          task_cv_.SignalAll();
         }
       } else {
         down_votes = 0;
@@ -132,14 +133,21 @@ void ElasticExecutor::ControlLoop() {
 
 void ElasticExecutor::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (shutdown_) return;
     shutdown_ = true;
+    task_cv_.SignalAll();
+    space_cv_.SignalAll();
   }
-  task_cv_.notify_all();
-  space_cv_.notify_all();
   if (controller_.joinable()) controller_.join();
-  for (auto& w : workers_) {
+  // The controller is joined, so no new workers can be spawned; swap the
+  // handles out under the lock and join them outside it.
+  std::vector<std::thread> workers;
+  {
+    common::MutexLock lock(&mu_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) {
     if (w.joinable()) w.join();
   }
   active_threads_.store(0, std::memory_order_relaxed);

@@ -15,14 +15,14 @@
 #define TIERBASE_THREADING_ELASTIC_EXECUTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace tierbase {
 namespace threading {
@@ -78,7 +78,7 @@ class ElasticExecutor {
     return active_threads_.load(std::memory_order_relaxed);
   }
   size_t queue_depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return queue_.size();
   }
   uint64_t completed() const {
@@ -89,21 +89,32 @@ class ElasticExecutor {
   uint64_t scale_downs() const { return scale_downs_.load(); }
 
  private:
+  // Lock ordering. `mu_` is the executor's only lock; it protects the
+  // queue and the pool-size state below. It is NEVER held while a task
+  // runs (WorkerLoop drops it before invoking the task), so tasks may
+  // freely take their own locks — every lock acquired inside a task is
+  // strictly ordered AFTER mu_ and can never participate in a cycle with
+  // it. Execute()'s per-call completion mutex is such a leaf: it is only
+  // acquired from task context and from the calling thread, both with
+  // mu_ released. SpawnWorkerLocked asserts the ordering contract with
+  // mu_.AssertHeld() (a real runtime check in debug builds).
   void WorkerLoop(int worker_id);
   void ControlLoop();
-  void SpawnWorkerLocked();
+  void SpawnWorkerLocked() EXCLUSIVE_LOCKS_REQUIRED(mu_);
 
   ElasticOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable task_cv_;      // Workers wait for tasks.
-  std::condition_variable space_cv_;     // Producers wait for queue space.
-  std::deque<Task> queue_;
-  bool shutdown_ = false;
-  int desired_threads_ = 1;
-  int alive_workers_ = 0;  // Workers currently in their loop (under mu_).
+  mutable common::Mutex mu_;
+  common::CondVar task_cv_{&mu_};   // Workers wait for tasks.
+  common::CondVar space_cv_{&mu_};  // Producers wait for queue space.
+  std::deque<Task> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  int desired_threads_ GUARDED_BY(mu_) = 1;
+  int alive_workers_ GUARDED_BY(mu_) = 0;  // Workers currently in their loop.
 
-  std::vector<std::thread> workers_;
+  /// Worker handles. Mutated under mu_ (spawn); Shutdown swaps the vector
+  /// out under mu_ and joins outside it.
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
   std::thread controller_;
 
   std::atomic<int> active_threads_{0};

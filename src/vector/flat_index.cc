@@ -19,7 +19,7 @@ const char* MetricName(Metric metric) {
 FlatIndex::FlatIndex(const IndexOptions& options) : options_(options) {}
 
 Status FlatIndex::Add(uint64_t id, const float* data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = slots_.find(id);
   if (it != slots_.end()) {
     std::memcpy(&data_[it->second * options_.dim], data,
@@ -34,7 +34,7 @@ Status FlatIndex::Add(uint64_t id, const float* data) {
 }
 
 Status FlatIndex::Remove(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = slots_.find(id);
   if (it == slots_.end()) return Status::NotFound("vector id");
   size_t slot = it->second;
@@ -53,13 +53,13 @@ Status FlatIndex::Remove(uint64_t id) {
 }
 
 bool FlatIndex::Contains(uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return slots_.count(id) > 0;
 }
 
 Status FlatIndex::Search(const float* query, size_t k,
                          std::vector<SearchResult>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   out->clear();
   if (k == 0) return Status::OK();
   // Max-heap of the best k seen so far.
@@ -83,12 +83,12 @@ Status FlatIndex::Search(const float* query, size_t k,
 }
 
 size_t FlatIndex::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return ids_.size();
 }
 
 uint64_t FlatIndex::MemoryBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return data_.capacity() * sizeof(float) +
          ids_.capacity() * sizeof(uint64_t) +
          slots_.size() * (sizeof(uint64_t) + sizeof(size_t) + 16);

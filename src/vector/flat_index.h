@@ -5,10 +5,10 @@
 #ifndef TIERBASE_VECTOR_FLAT_INDEX_H_
 #define TIERBASE_VECTOR_FLAT_INDEX_H_
 
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "vector/vector_index.h"
 
 namespace tierbase {
@@ -32,11 +32,11 @@ class FlatIndex : public VectorIndex {
 
  private:
   IndexOptions options_;
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   // Dense storage with an id index; removal swaps with the back.
-  std::vector<float> data_;          // size() * dim floats.
-  std::vector<uint64_t> ids_;        // Slot -> id.
-  std::unordered_map<uint64_t, size_t> slots_;  // Id -> slot.
+  std::vector<float> data_ GUARDED_BY(mu_);    // size() * dim floats.
+  std::vector<uint64_t> ids_ GUARDED_BY(mu_);  // Slot -> id.
+  std::unordered_map<uint64_t, size_t> slots_ GUARDED_BY(mu_);  // Id -> slot.
 };
 
 }  // namespace vector

@@ -141,7 +141,7 @@ void HnswIndex::Link(uint32_t from, uint32_t to, int level, size_t cap) {
 }
 
 Status HnswIndex::Add(uint64_t id, const float* data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return AddLocked(id, data);
 }
 
@@ -200,7 +200,7 @@ Status HnswIndex::AddLocked(uint64_t id, const float* data) {
 }
 
 Status HnswIndex::Remove(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = by_id_.find(id);
   if (it == by_id_.end() || nodes_[it->second].deleted) {
     return Status::NotFound("vector id");
@@ -237,14 +237,14 @@ void HnswIndex::RebuildLocked() {
 }
 
 bool HnswIndex::Contains(uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = by_id_.find(id);
   return it != by_id_.end() && !nodes_[it->second].deleted;
 }
 
 Status HnswIndex::Search(const float* query, size_t k,
                          std::vector<SearchResult>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   out->clear();
   if (k == 0 || empty_ || live_ == 0) return Status::OK();
 
@@ -265,27 +265,27 @@ Status HnswIndex::Search(const float* query, size_t k,
 }
 
 size_t HnswIndex::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return live_;
 }
 
 size_t HnswIndex::tombstones() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return dead_;
 }
 
 int HnswIndex::max_level() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return max_level_;
 }
 
 uint64_t HnswIndex::rebuilds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return rebuilds_;
 }
 
 uint64_t HnswIndex::MemoryBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   uint64_t total = data_.capacity() * sizeof(float);
   for (const auto& node : nodes_) {
     for (const auto& adj : node.neighbors) {

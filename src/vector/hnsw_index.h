@@ -14,10 +14,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "vector/vector_index.h"
 
@@ -57,38 +57,43 @@ class HnswIndex : public VectorIndex {
   // All private helpers require mu_ (search uses it shared via the single
   // mutex; the cache tier wraps whole collections in their own locks, so
   // a simple mutex keeps the implementation auditable).
-  float Dist(const float* a, uint32_t node) const;
-  int RandomLevel();
+  float Dist(const float* a, uint32_t node) const
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  int RandomLevel() EXCLUSIVE_LOCKS_REQUIRED(mu_);
   /// Greedy descent to the closest node at `level`, starting from `entry`.
-  uint32_t GreedyClosest(const float* query, uint32_t entry, int level) const;
+  uint32_t GreedyClosest(const float* query, uint32_t entry, int level) const
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
   /// Best-first search at one layer; returns up to `ef` (distance, node)
   /// pairs, closest first. `include_deleted` keeps tombstones (used while
   /// routing during construction).
   std::vector<std::pair<float, uint32_t>> SearchLayer(const float* query,
                                                       uint32_t entry, int level,
-                                                      size_t ef) const;
+                                                      size_t ef) const
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
   /// Heuristic neighbour selection (keeps diverse edges, cap `m`).
   std::vector<uint32_t> SelectNeighbors(
       const float* query, std::vector<std::pair<float, uint32_t>> candidates,
-      size_t m) const;
-  void Link(uint32_t from, uint32_t to, int level, size_t cap);
-  Status AddLocked(uint64_t id, const float* data);
-  void RebuildLocked();
+      size_t m) const EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  void Link(uint32_t from, uint32_t to, int level, size_t cap)
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  Status AddLocked(uint64_t id, const float* data)
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  void RebuildLocked() EXCLUSIVE_LOCKS_REQUIRED(mu_);
 
   IndexOptions options_;
-  mutable std::mutex mu_;
-  Random rng_;
+  mutable common::Mutex mu_;
+  Random rng_ GUARDED_BY(mu_);
 
-  std::vector<Node> nodes_;
-  std::vector<float> data_;  // nodes_.size() * dim.
-  std::unordered_map<uint64_t, uint32_t> by_id_;
-  uint32_t entry_point_ = 0;
-  bool empty_ = true;
-  int max_level_ = 0;
-  size_t live_ = 0;
-  size_t dead_ = 0;
-  uint64_t rebuilds_ = 0;
-  double level_mult_ = 0;
+  std::vector<Node> nodes_ GUARDED_BY(mu_);
+  std::vector<float> data_ GUARDED_BY(mu_);  // nodes_.size() * dim.
+  std::unordered_map<uint64_t, uint32_t> by_id_ GUARDED_BY(mu_);
+  uint32_t entry_point_ GUARDED_BY(mu_) = 0;
+  bool empty_ GUARDED_BY(mu_) = true;
+  int max_level_ GUARDED_BY(mu_) = 0;
+  size_t live_ GUARDED_BY(mu_) = 0;
+  size_t dead_ GUARDED_BY(mu_) = 0;
+  uint64_t rebuilds_ GUARDED_BY(mu_) = 0;
+  double level_mult_ = 0;  // Set once in the constructor.
 };
 
 }  // namespace vector

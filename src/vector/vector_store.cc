@@ -5,7 +5,7 @@ namespace vector {
 
 Status VectorStore::CreateCollection(const std::string& name,
                                      const IndexOptions& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = collections_.find(name);
   if (it != collections_.end()) {
     const IndexOptions& existing = it->second.options;
@@ -23,19 +23,19 @@ Status VectorStore::CreateCollection(const std::string& name,
 }
 
 Status VectorStore::DropCollection(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return collections_.erase(name) > 0
              ? Status::OK()
              : Status::NotFound("collection: " + name);
 }
 
 bool VectorStore::HasCollection(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return collections_.count(name) > 0;
 }
 
 std::vector<std::string> VectorStore::Collections() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(collections_.size());
   for (const auto& [name, c] : collections_) names.push_back(name);
@@ -49,7 +49,7 @@ VectorIndex* VectorStore::Find(const std::string& name) const {
 
 Status VectorStore::Add(const std::string& collection, uint64_t id,
                         const std::vector<float>& data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   VectorIndex* index = Find(collection);
   if (index == nullptr) return Status::NotFound("collection: " + collection);
   if (data.size() != index->dim()) {
@@ -59,7 +59,7 @@ Status VectorStore::Add(const std::string& collection, uint64_t id,
 }
 
 Status VectorStore::Remove(const std::string& collection, uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   VectorIndex* index = Find(collection);
   if (index == nullptr) return Status::NotFound("collection: " + collection);
   return index->Remove(id);
@@ -68,7 +68,7 @@ Status VectorStore::Remove(const std::string& collection, uint64_t id) {
 Status VectorStore::Search(const std::string& collection,
                            const std::vector<float>& query, size_t k,
                            std::vector<SearchResult>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   VectorIndex* index = Find(collection);
   if (index == nullptr) return Status::NotFound("collection: " + collection);
   if (query.size() != index->dim()) {
@@ -78,14 +78,14 @@ Status VectorStore::Search(const std::string& collection,
 }
 
 Result<size_t> VectorStore::Size(const std::string& collection) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   VectorIndex* index = Find(collection);
   if (index == nullptr) return Status::NotFound("collection: " + collection);
   return index->size();
 }
 
 uint64_t VectorStore::MemoryBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& [name, c] : collections_) total += c.index->MemoryBytes();
   return total;

@@ -7,11 +7,11 @@
 #define TIERBASE_VECTOR_VECTOR_STORE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "vector/vector_index.h"
 
@@ -40,14 +40,15 @@ class VectorStore {
   uint64_t MemoryBytes() const;
 
  private:
-  VectorIndex* Find(const std::string& name) const;
+  VectorIndex* Find(const std::string& name) const
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
 
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   struct Collection {
     IndexOptions options;
     std::unique_ptr<VectorIndex> index;
   };
-  std::unordered_map<std::string, Collection> collections_;
+  std::unordered_map<std::string, Collection> collections_ GUARDED_BY(mu_);
 };
 
 }  // namespace vector

@@ -4,7 +4,7 @@ namespace tierbase {
 namespace workload {
 
 void RecordingEngine::Record(OpType type, const Slice& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::string k = key.ToString();
   auto [it, inserted] = key_index_.emplace(k, keys_.size());
   if (inserted) keys_.push_back(k);
@@ -12,7 +12,7 @@ void RecordingEngine::Record(OpType type, const Slice& key) {
 }
 
 Trace RecordingEngine::ToTrace(const DatasetOptions& dataset) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   Trace trace;
   trace.ops = ops_;
   trace.key_space = keys_.size();
@@ -21,7 +21,7 @@ Trace RecordingEngine::ToTrace(const DatasetOptions& dataset) const {
 }
 
 std::vector<std::string> RecordingEngine::Keys() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return keys_;
 }
 

@@ -11,12 +11,12 @@
 #ifndef TIERBASE_WORKLOAD_RECORDER_H_
 #define TIERBASE_WORKLOAD_RECORDER_H_
 
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/kv_engine.h"
+#include "common/mutex.h"
 #include "workload/trace.h"
 
 namespace tierbase {
@@ -53,7 +53,7 @@ class RecordingEngine : public KvEngine {
   std::vector<std::string> Keys() const;
 
   size_t recorded_ops() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return ops_.size();
   }
 
@@ -61,10 +61,10 @@ class RecordingEngine : public KvEngine {
   void Record(OpType type, const Slice& key);
 
   KvEngine* inner_;
-  mutable std::mutex mu_;
-  std::vector<TraceOp> ops_;
-  std::vector<std::string> keys_;
-  std::unordered_map<std::string, uint64_t> key_index_;
+  mutable common::Mutex mu_;
+  std::vector<TraceOp> ops_ GUARDED_BY(mu_);
+  std::vector<std::string> keys_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, uint64_t> key_index_ GUARDED_BY(mu_);
 };
 
 }  // namespace workload

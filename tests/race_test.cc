@@ -1,0 +1,302 @@
+// Race-stress suite: hammers every cross-thread seam in the system with
+// small, timed workloads. The suite is designed to run under
+// ThreadSanitizer (cmake -DTIERBASE_SANITIZE=thread); each test is also a
+// functional regression test, so the suite stays in the tier-1 run even
+// without TSan. Every scenario targets one specific seam:
+//
+//   * cache eviction vs cross-shard MultiGet/MultiSet batches
+//   * the write-back FlusherLoop vs foreground Set/FlushAll
+//   * ElasticExecutor controller scale-up vs concurrent Submit/Execute
+//   * the replication apply thread vs concurrent reads
+//   * the server event loop vs a SHUTDOWN drain under client load
+//   * oplog appends vs concurrent REPLPULL-style range reads
+//
+// Iteration counts are sized so the whole suite finishes well under a
+// minute even at TSan's slowdown on one core.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/hash_engine.h"
+#include "cluster_net/oplog.h"
+#include "core/replication.h"
+#include "core/storage_adapter.h"
+#include "core/tierbase.h"
+#include "core/write_back.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "threading/elastic_executor.h"
+
+namespace tierbase {
+namespace {
+
+std::string Key(int t, int i) {
+  return "k" + std::to_string(t) + "_" + std::to_string(i);
+}
+
+// --- Seam 1: cross-shard Multi ops vs eviction. -------------------------
+
+TEST(RaceTest, CacheMultiOpsVsEviction) {
+  cache::HashEngineOptions opt;
+  opt.shards = 4;
+  opt.memory_budget = 64 << 10;  // Small enough that writers evict.
+  cache::HashEngine engine(opt);
+
+  constexpr int kWriters = 2;
+  constexpr int kRounds = 200;
+  constexpr int kBatch = 16;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&engine, t] {
+      std::string value(256, 'v');
+      for (int r = 0; r < kRounds; ++r) {
+        std::vector<std::string> key_strs;
+        for (int i = 0; i < kBatch; ++i) key_strs.push_back(Key(t, i + r));
+        std::vector<Slice> keys(key_strs.begin(), key_strs.end());
+        std::vector<Slice> values(kBatch, Slice(value));
+        std::vector<Status> statuses;
+        engine.MultiSet(keys, values, &statuses);
+        std::vector<std::string> out;
+        engine.MultiGet(keys, &out, &statuses);
+      }
+    });
+  }
+  // A reader sweeping stats and scanning while the writers churn the LRU.
+  threads.emplace_back([&engine, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)engine.GetUsage();
+      (void)engine.lru_touches();
+      std::vector<std::string> keys;
+      (void)engine.Scan(0, 64, &keys);
+      (void)engine.SweepExpired();
+    }
+  });
+
+  for (int t = 0; t < kWriters; ++t) threads[t].join();
+  stop.store(true, std::memory_order_release);
+  threads.back().join();
+
+  EXPECT_GT(engine.evictions(), 0u);
+  // Budget is enforced (per shard) at all times.
+  EXPECT_LE(engine.GetUsage().memory_bytes, opt.memory_budget + (16 << 10));
+}
+
+// --- Seam 2: write-back flusher vs foreground writes and FlushAll. ------
+
+TEST(RaceTest, WriteBackFlusherVsForeground) {
+  MockStorageAdapter storage;
+  WriteBackOptions opt;
+  opt.flush_threshold = 8;
+  opt.flush_interval_micros = 500;
+  opt.max_batch = 16;
+  opt.max_dirty = 64;  // Small: exercises backpressure blocking too.
+  WriteBackManager wb(&storage, opt);
+
+  constexpr int kWriters = 2;
+  constexpr int kOps = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&wb, t] {
+      for (int i = 0; i < kOps; ++i) {
+        std::string k = Key(t, i % 50);  // Re-dirty keys: merge path.
+        ASSERT_TRUE(wb.MarkDirty(k, "v" + std::to_string(i), false).ok());
+        std::string v;
+        bool del = false;
+        (void)wb.GetDirty(k, &v, &del);
+        (void)wb.IsDirty(k);
+      }
+    });
+  }
+  // FlushAll racing the interval-driven flusher and the writers.
+  threads.emplace_back([&wb] {
+    for (int i = 0; i < 20; ++i) ASSERT_TRUE(wb.FlushAll().ok());
+  });
+  for (auto& th : threads) th.join();
+
+  ASSERT_TRUE(wb.FlushAll().ok());
+  EXPECT_EQ(wb.dirty_count(), 0u);
+  EXPECT_TRUE(wb.flush_error().ok());
+  // Every distinct key reached storage.
+  EXPECT_EQ(storage.size(), static_cast<size_t>(kWriters * 50));
+  // Re-dirtying merged at least some updates into pending entries.
+  EXPECT_GT(wb.GetStats().merged_updates, 0u);
+}
+
+// --- Seam 3: ElasticExecutor scale-up vs Submit/Execute. ----------------
+
+TEST(RaceTest, ExecutorScaleUpVsSubmit) {
+  threading::ElasticOptions opt;
+  opt.mode = threading::ThreadMode::kElastic;
+  opt.max_threads = 4;
+  opt.scale_up_depth = 4;
+  opt.control_interval_micros = 1'000;  // Fast controller: lots of churn.
+  opt.up_votes = 1;
+  opt.down_votes = 2;
+  auto executor = std::make_unique<threading::ElasticExecutor>(opt);
+
+  constexpr int kSubmitters = 3;
+  constexpr int kTasks = 500;
+  std::atomic<int> done{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&executor, &done] {
+      for (int i = 0; i < kTasks; ++i) {
+        if (i % 16 == 0) {
+          executor->Execute([&done] { done.fetch_add(1); });
+        } else {
+          executor->Submit([&done] { done.fetch_add(1); });
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Shutdown drains the queue: every submitted task ran exactly once.
+  executor->Shutdown();
+  EXPECT_EQ(done.load(), kSubmitters * kTasks);
+}
+
+// --- Seam 4: replication apply thread vs concurrent reads. --------------
+
+TEST(RaceTest, ReplicatorApplyVsReads) {
+  Replicator::Options opt;
+  opt.max_lag_ops = 64;  // Small oplog: appenders hit the space wait.
+  Replicator repl(opt);
+
+  constexpr int kWriters = 2;
+  constexpr int kOps = 300;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&repl, t] {
+      for (int i = 0; i < kOps; ++i) {
+        repl.ReplicateSet(Key(t, i % 40), "v" + std::to_string(i));
+        if (i % 10 == 9) repl.ReplicateDelete(Key(t, i % 40));
+      }
+    });
+  }
+  threads.emplace_back([&repl, &stop] {
+    std::string v;
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)repl.applied_ops();
+      (void)repl.lag();
+      (void)repl.mutable_replica()->Get("k0_0", &v);
+    }
+  });
+  for (int t = 0; t < kWriters; ++t) threads[t].join();
+  repl.WaitCaughtUp();
+  stop.store(true, std::memory_order_release);
+  threads.back().join();
+
+  EXPECT_EQ(repl.lag(), 0u);
+  // k0_18 is only ever Set, never Deleted (i%40==18 never has i%10==9),
+  // so once caught up it must be visible on the replica.
+  std::string v;
+  EXPECT_TRUE(repl.mutable_replica()->Get(Key(0, 18), &v).ok());
+}
+
+// --- Seam 5: server event loop vs SHUTDOWN drain under load. ------------
+
+TEST(RaceTest, ServerShutdownDrainUnderLoad) {
+  TierBaseOptions db_opt;
+  db_opt.policy = CachingPolicy::kCacheOnly;
+  db_opt.cache.shards = 4;
+  auto db = TierBase::Open(db_opt, nullptr);
+  ASSERT_TRUE(db.ok());
+
+  server::ServerOptions srv_opt;
+  srv_opt.executor.mode = threading::ThreadMode::kElastic;
+  srv_opt.executor.max_threads = 3;
+  srv_opt.executor.control_interval_micros = 1'000;
+  server::Server srv(db.value().get(), srv_opt);
+  ASSERT_TRUE(srv.Start().ok());
+  const uint16_t port = srv.port();
+
+  constexpr int kClients = 3;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([port, t] {
+      server::Client c;
+      if (!c.Connect("127.0.0.1", port).ok()) return;
+      for (int i = 0; i < 150; ++i) {
+        // Pipeline a small burst; replies may die mid-drain once SHUTDOWN
+        // lands — IO errors are expected, data races are not.
+        for (int j = 0; j < 4; ++j) {
+          c.Append({"SET", Key(t, i * 4 + j), "v"});
+        }
+        if (!c.Flush().ok()) return;
+        server::RespValue reply;
+        for (int j = 0; j < 4; ++j) {
+          if (!c.ReadReply(&reply).ok()) return;
+        }
+      }
+    });
+  }
+  // Let the clients build up traffic, then shut down through the command
+  // path (exercises the drain deadline against in-flight batches).
+  std::thread shutdowner([port] {
+    server::Client c;
+    if (!c.Connect("127.0.0.1", port).ok()) return;
+    server::RespValue reply;
+    (void)c.Call({"SHUTDOWN"}, &reply);
+  });
+  srv.Wait();
+  for (auto& th : clients) th.join();
+  shutdowner.join();
+  srv.Stop();
+  SUCCEED();  // The assertion is "no race / no deadlock / clean exit".
+}
+
+// --- Seam 6: oplog appends vs REPLPULL-style range reads. ---------------
+
+TEST(RaceTest, OplogAppendVsRangeReads) {
+  cluster_net::OpLog oplog(128);  // Bounded ring: readers race the bound.
+
+  constexpr int kAppenders = 2;
+  constexpr int kOps = 500;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kAppenders; ++t) {
+    threads.emplace_back([&oplog, t] {
+      for (int i = 0; i < kOps; ++i) {
+        cluster_net::ReplOp op;
+        op.type = cluster_net::ReplOp::Type::kSet;
+        op.key = Key(t, i);
+        op.value = "v";
+        oplog.Append(std::move(op));
+      }
+    });
+  }
+  threads.emplace_back([&oplog, &stop] {
+    uint64_t from = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<cluster_net::ReplOp> ops;
+      if (!oplog.Read(from, 64, &ops)) {
+        from = oplog.min_seq();  // Fell off the ring: "full resync".
+        continue;
+      }
+      uint64_t prev = from - 1;
+      for (const auto& op : ops) {
+        ASSERT_GT(op.seq, prev);  // Strictly increasing within a pull.
+        prev = op.seq;
+      }
+      if (!ops.empty()) from = ops.back().seq + 1;
+    }
+  });
+  for (int t = 0; t < kAppenders; ++t) threads[t].join();
+  stop.store(true, std::memory_order_release);
+  threads.back().join();
+
+  EXPECT_EQ(oplog.head_seq(), static_cast<uint64_t>(kAppenders * kOps));
+  EXPECT_GE(oplog.min_seq(), oplog.head_seq() - 128 + 1);
+}
+
+}  // namespace
+}  // namespace tierbase
