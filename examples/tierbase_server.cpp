@@ -19,6 +19,14 @@
 //                       most once a second) | every (fsync per record —
 //                       every acknowledged write survives kill -9)
 //
+// Overload protection (see README "Fault tolerance"):
+//   --max-clients N     reject accepts past N live connections with
+//                       "-ERR max clients reached"; 0 = unlimited (default)
+//   --max-out-buffer B  disconnect a connection whose pending replies
+//                       exceed B bytes (default 64 MiB)
+//   --busy-watermark N  shed commands with -BUSY while N dispatch batches
+//                       are already in flight; 0 = unlimited (default)
+//
 // Cluster membership (see README "Running a cluster"):
 //   --cluster-id ID     join a cluster under this node id: enables the
 //                       CLUSTER/REPLICAOF/REPLPULL/WAIT vocabulary, -MOVED
@@ -62,6 +70,8 @@ int Usage(const char* argv0) {
           "          [--dir PATH] [--threads single|multi|elastic]\n"
           "          [--max-threads N] [--shards N] [--memory-budget B]\n"
           "          [--wal-sync interval|every]\n"
+          "          [--max-clients N] [--max-out-buffer B]\n"
+          "          [--busy-watermark N]\n"
           "          [--cluster-id ID] [--replicaof HOST:PORT]\n"
           "          [--oplog-cap N]\n",
           argv0);
@@ -81,6 +91,9 @@ int main(int argc, char** argv) {
   int shards = 4;
   size_t memory_budget = 0;
   std::string wal_sync = "interval";
+  size_t max_clients = 0;
+  size_t max_out_buffer = 64u << 20;
+  size_t busy_watermark = 0;
   std::string cluster_id;
   std::string replicaof;
   size_t oplog_cap = 65536;
@@ -113,6 +126,12 @@ int main(int argc, char** argv) {
       memory_budget = strtoull(next("--memory-budget"), nullptr, 10);
     } else if (strcmp(argv[i], "--wal-sync") == 0) {
       wal_sync = next("--wal-sync");
+    } else if (strcmp(argv[i], "--max-clients") == 0) {
+      max_clients = strtoull(next("--max-clients"), nullptr, 10);
+    } else if (strcmp(argv[i], "--max-out-buffer") == 0) {
+      max_out_buffer = strtoull(next("--max-out-buffer"), nullptr, 10);
+    } else if (strcmp(argv[i], "--busy-watermark") == 0) {
+      busy_watermark = strtoull(next("--busy-watermark"), nullptr, 10);
     } else if (strcmp(argv[i], "--cluster-id") == 0) {
       cluster_id = next("--cluster-id");
     } else if (strcmp(argv[i], "--replicaof") == 0) {
@@ -170,6 +189,9 @@ int main(int argc, char** argv) {
   server::ServerOptions server_options;
   server_options.net.host = host;
   server_options.net.port = static_cast<uint16_t>(port);
+  server_options.net.max_connections = max_clients;
+  server_options.net.max_out_buffer = max_out_buffer;
+  server_options.net.max_dispatch_inflight = busy_watermark;
   if (threads == "single") {
     server_options.executor.mode = threading::ThreadMode::kSingle;
   } else if (threads == "multi") {

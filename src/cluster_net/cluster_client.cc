@@ -35,6 +35,7 @@ Result<std::unique_ptr<NetClusterClient>> NetClusterClient::Connect(
   std::unique_ptr<NetClusterClient> client(
       new NetClusterClient(std::move(options)));
   common::MutexLock lock(&client->mu_);
+  client->coordinator_.set_transport(client->options_.transport);
   Status s = client->RefreshRoutingLocked();
   if (!s.ok()) return s;
   return client;
@@ -53,7 +54,8 @@ Status NetClusterClient::CoordinatorCallLocked(const std::vector<Slice>& args,
       uint16_t port = 0;
       last = server::ParseHostPort(spec, &host, &port);
       if (!last.ok()) continue;
-      last = coordinator_.Connect(host, port);
+      last = coordinator_.Connect(host, port,
+                                  options_.coordinator_timeout_micros);
       if (!last.ok()) continue;
     }
     last = coordinator_.Call(args, reply);
@@ -88,9 +90,33 @@ void NetClusterClient::ReportFailureLocked(const std::string& node_id) {
   CoordinatorCallLocked({"CLUSTER", "FAIL", node_id}, &reply);
 }
 
+common::CircuitBreaker* NetClusterClient::BreakerLocked(
+    const std::string& node_id) {
+  auto it = breakers_.find(node_id);
+  if (it == breakers_.end()) {
+    common::CircuitBreakerOptions bo = options_.breaker;
+    if (bo.clock == nullptr) bo.clock = options_.clock;
+    it = breakers_
+             .emplace(node_id, std::make_unique<common::CircuitBreaker>(bo))
+             .first;
+  }
+  return it->second.get();
+}
+
+void NetClusterClient::BackoffLocked(common::RetryState* retry) {
+  uint64_t micros = retry->NextBackoffMicros();
+  if (micros == 0) return;
+  ++stats_.backoff_waits;
+  const Clock* clock =
+      options_.clock != nullptr ? options_.clock : Clock::Real();
+  clock->SleepMicros(micros);
+}
+
 server::Client* NetClusterClient::MasterConnLocked(const std::string& shard,
                                                    Status* why,
-                                                   std::string* node_id) {
+                                                   std::string* node_id,
+                                                   bool* fast_fail) {
+  if (fast_fail != nullptr) *fast_fail = false;
   const NodeRecord* master = routing_.MasterOfShard(shard);
   if (master == nullptr) {
     *why = Status::Unavailable("no healthy master for shard " + shard);
@@ -99,10 +125,23 @@ server::Client* NetClusterClient::MasterConnLocked(const std::string& shard,
   }
   *node_id = master->id;
   auto it = conns_.find(master->id);
+  // An established connection is served without consulting the breaker:
+  // an open breaker means dialing fails, and a live socket is the best
+  // evidence that is no longer true (its ops will half-close the loop via
+  // RecordSuccess/RecordFailure either way).
   if (it != conns_.end() && it->second->connected()) return it->second.get();
+  common::CircuitBreaker* breaker = BreakerLocked(master->id);
+  if (!breaker->Allow()) {
+    *why = Status::Unavailable("circuit open for node " + master->id);
+    if (fast_fail != nullptr) *fast_fail = true;
+    return nullptr;
+  }
   auto conn = std::make_unique<server::Client>();
-  *why = conn->Connect(master->host, master->port);
+  conn->set_transport(options_.transport);
+  *why = conn->Connect(master->host, master->port,
+                       options_.node_timeout_micros);
   if (!why->ok()) {
+    breaker->RecordFailure();
     conns_.erase(master->id);
     return nullptr;
   }
@@ -114,7 +153,9 @@ server::Client* NetClusterClient::MasterConnLocked(const std::string& shard,
 template <typename Op>
 Status NetClusterClient::WithRetriesLocked(const Slice& key, Op op) {
   Status last = Status::Unavailable("empty cluster");
+  common::RetryState retry(options_.retry, options_.clock, options_.seed);
   for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
+    if (attempt > 0) BackoffLocked(&retry);
     std::string shard = router_.Route(key);
     if (shard.empty()) {
       last = Status::Unavailable("no shards in the ring");
@@ -124,21 +165,30 @@ Status NetClusterClient::WithRetriesLocked(const Slice& key, Op op) {
     }
     Status why;
     std::string node_id;
-    server::Client* conn = MasterConnLocked(shard, &why, &node_id);
+    bool fast_fail = false;
+    server::Client* conn = MasterConnLocked(shard, &why, &node_id, &fast_fail);
     if (conn == nullptr) {
       last = why;
+      // Breaker open: fail the op now. Reporting/refreshing again would
+      // just churn the coordinator — the breaker's half-open probe is the
+      // designated way back.
+      if (fast_fail) return last;
       if (!node_id.empty()) ReportFailureLocked(node_id);
       RefreshRoutingLocked();
       continue;
     }
     Status s = op(conn);
-    if (s.IsIOError()) {
+    if (s.IsIOError() || s.IsTimedOut()) {
       // Connection-level failure: the node is likely down.
       last = s;
+      BreakerLocked(node_id)->RecordFailure();
       ReportFailureLocked(node_id);
       RefreshRoutingLocked();
       continue;
     }
+    // The node answered — that's breaker success even if the answer was
+    // "stale route" or an application error.
+    BreakerLocked(node_id)->RecordSuccess();
     if (s.IsBusy()) {
       // Stale route (-MOVED / -READONLY): refresh, no failure report.
       last = Status::Unavailable(s.message());
@@ -227,12 +277,21 @@ void NetClusterClient::MultiGet(const std::vector<Slice>& keys,
       std::string shard = router_.Route(keys[i]);
       Status why;
       std::string node_id;
+      bool fast_fail = false;
       server::Client* conn =
-          shard.empty() ? nullptr : MasterConnLocked(shard, &why, &node_id);
+          shard.empty()
+              ? nullptr
+              : MasterConnLocked(shard, &why, &node_id, &fast_fail);
       if (conn == nullptr) {
         (*statuses)[i] = shard.empty()
                              ? Status::Unavailable("no shards in the ring")
                              : why;
+        if (fast_fail) {
+          // Breaker open: this key fails fast and finally; the other
+          // shards' keys in the batch proceed untouched.
+          pending[i] = false;
+          continue;
+        }
         if (!node_id.empty()) ReportFailureLocked(node_id);
         need_refresh = true;
         continue;
@@ -254,6 +313,7 @@ void NetClusterClient::MultiGet(const std::vector<Slice>& keys,
       Status s = g.conn->Flush();
       if (!s.ok()) {
         for (size_t i : g.indices) (*statuses)[i] = s;
+        BreakerLocked(g.node_id)->RecordFailure();
         ReportFailureLocked(g.node_id);
         g.conn = nullptr;
         need_refresh = true;
@@ -269,10 +329,12 @@ void NetClusterClient::MultiGet(const std::vector<Slice>& keys,
       Status s = g.conn->ReadReply(&reply);
       if (!s.ok()) {
         for (size_t i : g.indices) (*statuses)[i] = s;
+        BreakerLocked(g.node_id)->RecordFailure();
         ReportFailureLocked(g.node_id);
         need_refresh = true;
         continue;
       }
+      BreakerLocked(g.node_id)->RecordSuccess();
       if (IsStaleRouteReply(reply)) {
         ++stats_.moved_redirects;
         for (size_t i : g.indices) {
@@ -332,12 +394,21 @@ void NetClusterClient::MultiSet(const std::vector<Slice>& keys,
       std::string shard = router_.Route(keys[i]);
       Status why;
       std::string node_id;
+      bool fast_fail = false;
       server::Client* conn =
-          shard.empty() ? nullptr : MasterConnLocked(shard, &why, &node_id);
+          shard.empty()
+              ? nullptr
+              : MasterConnLocked(shard, &why, &node_id, &fast_fail);
       if (conn == nullptr) {
         (*statuses)[i] = shard.empty()
                              ? Status::Unavailable("no shards in the ring")
                              : why;
+        if (fast_fail) {
+          // Breaker open: this key fails fast and finally; the other
+          // shards' keys in the batch proceed untouched.
+          pending[i] = false;
+          continue;
+        }
         if (!node_id.empty()) ReportFailureLocked(node_id);
         need_refresh = true;
         continue;
@@ -361,6 +432,7 @@ void NetClusterClient::MultiSet(const std::vector<Slice>& keys,
       Status s = g.conn->Flush();
       if (!s.ok()) {
         for (size_t i : g.indices) (*statuses)[i] = s;
+        BreakerLocked(g.node_id)->RecordFailure();
         ReportFailureLocked(g.node_id);
         g.conn = nullptr;
         need_refresh = true;
@@ -375,10 +447,12 @@ void NetClusterClient::MultiSet(const std::vector<Slice>& keys,
       Status s = g.conn->ReadReply(&reply);
       if (!s.ok()) {
         for (size_t i : g.indices) (*statuses)[i] = s;
+        BreakerLocked(g.node_id)->RecordFailure();
         ReportFailureLocked(g.node_id);
         need_refresh = true;
         continue;
       }
+      BreakerLocked(g.node_id)->RecordSuccess();
       if (IsStaleRouteReply(reply)) {
         ++stats_.moved_redirects;
         for (size_t i : g.indices) {
@@ -443,7 +517,13 @@ uint64_t NetClusterClient::epoch() const {
 
 NetClusterClient::Stats NetClusterClient::GetStats() const {
   common::MutexLock lock(&mu_);
-  return stats_;
+  Stats stats = stats_;
+  for (const auto& [id, breaker] : breakers_) {
+    stats.breaker_trips += breaker->trips();
+    stats.breaker_fast_fails += breaker->fast_fails();
+    stats.breaker_states[id] = breaker->state_name();
+  }
+  return stats;
 }
 
 }  // namespace tierbase::cluster_net

@@ -29,8 +29,12 @@
 #include <vector>
 
 #include "cluster_net/routing.h"
+#include "common/circuit_breaker.h"
+#include "common/clock.h"
 #include "common/kv_engine.h"
 #include "common/mutex.h"
+#include "common/retry.h"
+#include "common/transport.h"
 #include "server/client.h"
 
 namespace tierbase::cluster_net {
@@ -42,6 +46,32 @@ class NetClusterClient : public KvEngine {
     std::vector<std::string> coordinators;
     /// Routing refreshes (and retries) per operation before giving up.
     int max_retries = 3;
+    /// Backoff between failed attempts of one operation. Short by design:
+    /// a data-path client waits milliseconds, not the replica link's
+    /// seconds.
+    common::RetryPolicy retry = [] {
+      common::RetryPolicy p;
+      p.initial_backoff_micros = 1'000;
+      p.max_backoff_micros = 100'000;
+      return p;
+    }();
+    /// Per-node circuit breaker: after `failure_threshold` consecutive
+    /// connect/I-O failures the node's keys fail fast with Unavailable
+    /// ("circuit open") instead of re-dialing a dead endpoint on every op.
+    common::CircuitBreakerOptions breaker;
+    /// Connect/IO budget for coordinator control-plane calls.
+    uint64_t coordinator_timeout_micros = 2'000'000;
+    /// Connect/IO budget per data-node operation. Bounded by default: a
+    /// black-holed node (partitioned, SIGSTOPped) must turn into a
+    /// TimedOut → failure report → failover, not a client hung forever.
+    /// 0 = unbounded blocking I/O.
+    uint64_t node_timeout_micros = 5'000'000;
+    /// Injectable time for backoffs and breakers; nullptr = wall clock.
+    const Clock* clock = nullptr;
+    /// Dial through this transport instead of the process default.
+    common::Transport* transport = nullptr;
+    /// Seed for backoff jitter (deterministic in tests).
+    uint64_t seed = 1;
   };
 
   static Result<std::unique_ptr<NetClusterClient>> Connect(Options options);
@@ -74,6 +104,13 @@ class NetClusterClient : public KvEngine {
     uint64_t route_refreshes = 0;
     uint64_t moved_redirects = 0;
     uint64_t failures_reported = 0;
+    /// Backoff sleeps taken between failed attempts.
+    uint64_t backoff_waits = 0;
+    /// Aggregated over all per-node breakers.
+    uint64_t breaker_trips = 0;
+    uint64_t breaker_fast_fails = 0;
+    /// "closed" | "open" | "half_open", per node id.
+    std::map<std::string, std::string> breaker_states;
     /// Scatter–gather sub-batches shipped, per node id.
     std::map<std::string, uint64_t> node_batches;
   };
@@ -89,8 +126,17 @@ class NetClusterClient : public KvEngine {
       EXCLUSIVE_LOCKS_REQUIRED(mu_);
   /// Connection to the healthy master of `shard` (cached; reconnects on
   /// demand). Null with *why set when the shard has no reachable master.
+  /// *fast_fail (if non-null) is set when the node's circuit breaker
+  /// rejected the attempt without dialing — the caller should give up on
+  /// the key immediately instead of reporting/refreshing.
   server::Client* MasterConnLocked(const std::string& shard, Status* why,
-                                   std::string* node_id)
+                                   std::string* node_id,
+                                   bool* fast_fail = nullptr)
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  common::CircuitBreaker* BreakerLocked(const std::string& node_id)
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  /// One jittered backoff sleep (counted in stats).
+  void BackoffLocked(common::RetryState* retry)
       EXCLUSIVE_LOCKS_REQUIRED(mu_);
   Status CoordinatorCallLocked(const std::vector<Slice>& args,
                                server::RespValue* reply)
@@ -107,6 +153,10 @@ class NetClusterClient : public KvEngine {
       GUARDED_BY(mu_);  // By node.
   std::set<std::string> reported_ GUARDED_BY(mu_);  // Failure reports this
                                                     // snapshot.
+  // Breakers persist across routing refreshes (keyed by node id): a
+  // refresh must not grant a dead node a fresh set of failures.
+  std::map<std::string, std::unique_ptr<common::CircuitBreaker>> breakers_
+      GUARDED_BY(mu_);
   server::Client coordinator_ GUARDED_BY(mu_);
   Stats stats_ GUARDED_BY(mu_);
 };

@@ -91,13 +91,11 @@ WireRouting CoordinatorService::Routing() const {
 
 Status CoordinatorService::CallNode(const NodeRecord& node,
                                     const std::vector<Slice>& args,
-                                    server::RespValue* reply) {
-  // Bounded I/O: a hung node must cost the control plane at most a couple
-  // of seconds, not a kernel TCP timeout (the loop thread runs this).
-  constexpr uint64_t kNodeIoTimeoutMicros = 2'000'000;
+                                    server::RespValue* reply) const {
   server::Client client;
+  client.set_transport(options_.transport);
   TIERBASE_RETURN_IF_ERROR(
-      client.Connect(node.host, node.port, kNodeIoTimeoutMicros));
+      client.Connect(node.host, node.port, options_.node_io_timeout_micros));
   TIERBASE_RETURN_IF_ERROR(client.Call(args, reply));
   if (reply->IsError()) return Status::IOError(reply->str);
   return Status::OK();
@@ -253,7 +251,12 @@ void CoordinatorService::ProbeLoop() {
     for (const NodeRecord& node : snapshot.nodes) {
       if (!node.healthy) continue;
       server::RespValue reply;
-      if (!CallNode(node, {"PING"}, &reply).ok()) MarkFailed(node.id);
+      probes_sent_.fetch_add(1, std::memory_order_relaxed);
+      if (!CallNode(node, {"PING"}, &reply).ok()) {
+        probe_failures_.fetch_add(1, std::memory_order_relaxed);
+        probe_marked_failed_.fetch_add(1, std::memory_order_relaxed);
+        MarkFailed(node.id);
+      }
     }
   }
 }
@@ -294,6 +297,21 @@ void CoordinatorService::Execute(
       body += line;
       snprintf(line, sizeof(line), "failovers:%" PRIu64 "\r\n",
                failovers_.load());
+      body += line;
+      snprintf(line, sizeof(line), "probe_interval_micros:%" PRIu64 "\r\n",
+               options_.probe_interval_micros);
+      body += line;
+      snprintf(line, sizeof(line), "node_io_timeout_micros:%" PRIu64 "\r\n",
+               options_.node_io_timeout_micros);
+      body += line;
+      snprintf(line, sizeof(line), "probes_sent:%" PRIu64 "\r\n",
+               probes_sent_.load());
+      body += line;
+      snprintf(line, sizeof(line), "probe_failures:%" PRIu64 "\r\n",
+               probe_failures_.load());
+      body += line;
+      snprintf(line, sizeof(line), "probe_marked_failed:%" PRIu64 "\r\n",
+               probe_marked_failed_.load());
       body += line;
       server::AppendBulk(out, body);
     } else if (EqualsUpper(name, "CLUSTER") && cmd.args.size() >= 2) {

@@ -31,6 +31,7 @@
 
 #include "cluster_net/routing.h"
 #include "common/mutex.h"
+#include "common/transport.h"
 #include "server/event_loop.h"
 
 namespace tierbase::cluster_net {
@@ -43,6 +44,13 @@ class CoordinatorService {
     int virtual_nodes = 64;
     /// PING every node this often and fail unresponsive ones; 0 = off.
     uint64_t probe_interval_micros = 0;
+    /// Per-call I/O budget for control-plane RPCs to data nodes (probes,
+    /// SETSLOTS pushes, REPLICAOF wiring). A hung node costs the control
+    /// plane at most this, not a kernel TCP timeout.
+    uint64_t node_io_timeout_micros = 2'000'000;
+    /// Dial data nodes through this transport instead of the process
+    /// default (tests inject partitions here).
+    common::Transport* transport = nullptr;
   };
 
   explicit CoordinatorService(Options options);
@@ -71,6 +79,10 @@ class CoordinatorService {
   WireRouting Routing() const;
 
   uint64_t failovers() const { return failovers_.load(); }
+  uint64_t probes_sent() const { return probes_sent_.load(); }
+  uint64_t probe_failures() const { return probe_failures_.load(); }
+  /// Nodes the prober (not a client report) marked failed.
+  uint64_t probe_marked_failed() const { return probe_marked_failed_.load(); }
 
  private:
   void Execute(const std::vector<server::RespCommand>& cmds, std::string* out,
@@ -78,10 +90,10 @@ class CoordinatorService {
   void ExecuteCluster(const server::RespCommand& cmd, std::string* out);
   /// Best-effort CLUSTER SETSLOTS push to every healthy node.
   void PushRouting();
-  /// Best-effort one-shot command to a node (REPLICAOF wiring, probes).
-  static Status CallNode(const NodeRecord& node,
-                         const std::vector<Slice>& args,
-                         server::RespValue* reply);
+  /// Best-effort one-shot command to a node (REPLICAOF wiring, probes),
+  /// bounded by options_.node_io_timeout_micros.
+  Status CallNode(const NodeRecord& node, const std::vector<Slice>& args,
+                  server::RespValue* reply) const;
   void ProbeLoop();
 
   Options options_;
@@ -93,6 +105,9 @@ class CoordinatorService {
   std::thread probe_thread_;
   std::atomic<bool> stop_probe_{false};
   std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> probes_sent_{0};
+  std::atomic<uint64_t> probe_failures_{0};
+  std::atomic<uint64_t> probe_marked_failed_{0};
   // Start/Stop lifecycle flag; those calls must come from one thread (the
   // owner), so it needs no lock.
   bool running_ = false;

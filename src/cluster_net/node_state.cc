@@ -9,7 +9,6 @@ namespace tierbase::cluster_net {
 
 namespace {
 
-constexpr uint64_t kBackoffMicros = 20'000;  // After a failed pull/connect.
 constexpr uint64_t kSleepSliceMicros = 2'000;
 
 void SleepMicrosChecking(uint64_t micros, const std::atomic<bool>& stop) {
@@ -304,6 +303,7 @@ bool NodeClusterState::PullOnce(server::Client* client) {
 
 void NodeClusterState::PullLoop() {
   server::Client client;
+  client.set_transport(options_.transport);
   std::string host;
   uint16_t port = 0;
   {
@@ -311,19 +311,38 @@ void NodeClusterState::PullLoop() {
     host = master_host_;
     port = master_port_;
   }
+  // Jittered exponential backoff against an unreachable master: without it
+  // a dead master gets hammered with connect() 50×/s forever, and a fleet
+  // of replicas reconnects in lockstep the instant it returns. Seeded from
+  // the node id so chaos tests replay the exact schedule.
+  uint64_t seed = 1;
+  for (char c : options_.id) seed = seed * 131 + static_cast<uint8_t>(c);
+  common::RetryState retry(options_.pull_retry, nullptr, seed);
+  auto backoff = [&] {
+    uint64_t micros = retry.NextBackoffMicros();
+    pull_backoffs_.fetch_add(1, std::memory_order_relaxed);
+    last_pull_backoff_micros_.store(micros, std::memory_order_relaxed);
+    SleepMicrosChecking(micros, stop_pull_);
+  };
   while (!stop_pull_.load(std::memory_order_acquire)) {
     if (!client.connected()) {
-      if (!client.Connect(host, port).ok()) {
-        SleepMicrosChecking(kBackoffMicros, stop_pull_);
+      if (!client.Connect(host, port, options_.pull_io_timeout_micros).ok()) {
+        backoff();
         continue;
       }
+      pull_connects_.fetch_add(1, std::memory_order_relaxed);
     }
     if (!PullOnce(&client)) {
       if (!client.connected()) {
-        SleepMicrosChecking(kBackoffMicros, stop_pull_);
+        backoff();
       } else {
+        // Connected and idle (or a full resync just completed): the link
+        // is healthy, so reset the ladder and poll at the idle interval.
+        retry.RecordSuccess();
         SleepMicrosChecking(options_.pull_interval_micros, stop_pull_);
       }
+    } else {
+      retry.RecordSuccess();
     }
   }
 }
@@ -354,6 +373,9 @@ void NodeClusterState::AppendInfo(std::string* out) const {
     add("replica_lag_ops:%" PRIu64, replica_lag());
     add("full_resyncs:%" PRIu64, full_resyncs());
     add("replica_apply_failures:%" PRIu64, apply_failures());
+    add("replica_pull_connects:%" PRIu64, pull_connects());
+    add("replica_pull_backoffs:%" PRIu64, pull_backoffs());
+    add("replica_last_backoff_micros:%" PRIu64, last_pull_backoff_micros());
   }
   if (db_->replicator() != nullptr) {
     add("inprocess_replica_lag:%zu", db_->replicator()->lag());

@@ -36,6 +36,8 @@
 #include "cluster_net/oplog.h"
 #include "cluster_net/routing.h"
 #include "common/mutex.h"
+#include "common/retry.h"
+#include "common/transport.h"
 #include "core/tierbase.h"
 #include "server/client.h"
 
@@ -59,6 +61,18 @@ class NodeClusterState {
     /// Replica idle poll interval between empty REPLPULLs.
     uint64_t pull_interval_micros = 2000;
     size_t pull_max_ops = 512;
+    /// Backoff for the pull link against an unreachable master: jittered
+    /// exponential from 20 ms up to 1 s instead of hammering connect().
+    common::RetryPolicy pull_retry;
+    /// Connect/IO budget for the pull link. Bounded by default so a
+    /// black-holed master (partitioned, SIGSTOPped) turns into a failed
+    /// pull → backoff → reconnect instead of a read() stuck forever —
+    /// a stuck pull thread would also hang the REPLICAOF NO ONE that
+    /// promotes this replica (StopReplication joins it). 0 = unbounded.
+    uint64_t pull_io_timeout_micros = 2'000'000;
+    /// Dial through this transport instead of the process default (tests
+    /// inject partitions here).
+    common::Transport* transport = nullptr;
   };
 
   NodeClusterState(TierBase* db, Options options);
@@ -133,6 +147,14 @@ class NodeClusterState {
 
   uint64_t moved_replies() const { return moved_replies_.load(); }
 
+  /// Successful (re)connects of the pull link.
+  uint64_t pull_connects() const { return pull_connects_.load(); }
+  /// Backoff sleeps taken by the pull link (failed connect or failed pull).
+  uint64_t pull_backoffs() const { return pull_backoffs_.load(); }
+  uint64_t last_pull_backoff_micros() const {
+    return last_pull_backoff_micros_.load();
+  }
+
   /// "# Cluster" INFO section lines (each "key:value\r\n").
   void AppendInfo(std::string* out) const;
 
@@ -167,6 +189,9 @@ class NodeClusterState {
   std::atomic<uint64_t> master_head_seen_{0};
   std::atomic<uint64_t> full_resyncs_{0};
   std::atomic<uint64_t> apply_failures_{0};
+  std::atomic<uint64_t> pull_connects_{0};
+  std::atomic<uint64_t> pull_backoffs_{0};
+  std::atomic<uint64_t> last_pull_backoff_micros_{0};
 
   std::atomic<uint64_t> moved_replies_{0};
 };

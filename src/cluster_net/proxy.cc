@@ -12,6 +12,17 @@ namespace {
 using server::EqualsUpper;
 
 void AppendStatus(std::string* out, const Status& s) {
+  // Robustness contract: Unavailable (dead shard / open breaker) and Busy
+  // (overload shed) keep their distinct error classes on the wire so
+  // clients can tell "retry elsewhere/later" from a hard error.
+  if (s.IsUnavailable()) {
+    server::AppendError(out, "UNAVAILABLE " + s.message());
+    return;
+  }
+  if (s.IsBusy()) {
+    server::AppendError(out, "BUSY " + s.message());
+    return;
+  }
   server::AppendError(out, "ERR " + s.ToString());
 }
 
@@ -312,6 +323,13 @@ void ClusterProxy::Info(std::string* out) {
   add("failures_reported:%" PRIu64, stats.failures_reported);
   for (const auto& [node, batches] : stats.node_batches) {
     add("routed_batches_%s:%" PRIu64, node.c_str(), batches);
+  }
+  body += "\r\n# Robustness\r\n";
+  add("backoff_waits:%" PRIu64, stats.backoff_waits);
+  add("breaker_trips:%" PRIu64, stats.breaker_trips);
+  add("breaker_fast_fails:%" PRIu64, stats.breaker_fast_fails);
+  for (const auto& [node, state] : stats.breaker_states) {
+    add("breaker_state_%s:%s", node.c_str(), state.c_str());
   }
   server::AppendBulk(out, body);
 }

@@ -1,0 +1,97 @@
+#include "common/circuit_breaker.h"
+
+namespace tierbase {
+namespace common {
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()) {}
+
+bool CircuitBreaker::Allow() {
+  MutexLock lock(&mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      uint64_t now = clock_->NowMicros();
+      if (now - opened_at_micros_ >= options_.open_duration_micros) {
+        state_ = State::kHalfOpen;
+        probe_inflight_ = true;
+        return true;
+      }
+      ++fast_fails_;
+      return false;
+    }
+    case State::kHalfOpen:
+      if (!probe_inflight_) {
+        // The previous probe resolved (closed or re-opened the breaker)
+        // between our state load and now — only reachable via races, and
+        // then state_ is no longer kHalfOpen. Defensive: one probe only.
+        probe_inflight_ = true;
+        return true;
+      }
+      ++fast_fails_;
+      return false;
+  }
+  return true;  // Unreachable; keeps GCC's -Wreturn-type happy.
+}
+
+void CircuitBreaker::RecordSuccess() {
+  MutexLock lock(&mu_);
+  // Success closes from any state: a late reply from an "open" node is
+  // the strongest possible evidence it is back.
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_inflight_ = false;
+}
+
+void CircuitBreaker::RecordFailure() {
+  MutexLock lock(&mu_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        state_ = State::kOpen;
+        opened_at_micros_ = clock_->NowMicros();
+        ++trips_;
+      }
+      break;
+    case State::kHalfOpen:
+      // Probe failed: back to a full cooldown.
+      state_ = State::kOpen;
+      opened_at_micros_ = clock_->NowMicros();
+      probe_inflight_ = false;
+      ++trips_;
+      break;
+    case State::kOpen:
+      // Stragglers from attempts admitted before the trip; stay open
+      // without extending the cooldown (the node deserves its probe).
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  MutexLock lock(&mu_);
+  return state_;
+}
+
+std::string CircuitBreaker::state_name() const {
+  switch (state()) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+uint64_t CircuitBreaker::trips() const {
+  MutexLock lock(&mu_);
+  return trips_;
+}
+
+uint64_t CircuitBreaker::fast_fails() const {
+  MutexLock lock(&mu_);
+  return fast_fails_;
+}
+
+}  // namespace common
+}  // namespace tierbase

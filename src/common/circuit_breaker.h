@@ -1,0 +1,73 @@
+// Per-endpoint circuit breaker: after `failure_threshold` consecutive
+// failures the breaker opens and Allow() fails fast (no connect attempt,
+// no timeout wait) until `open_duration_micros` has passed; then exactly
+// one caller gets a half-open probe. Probe success closes the breaker,
+// probe failure re-opens it for another cooldown.
+//
+// NetClusterClient and the proxy keep one breaker per data node so a dead
+// shard costs its callers an immediate -UNAVAILABLE instead of a connect
+// timeout per request, while the rest of the keyspace keeps serving.
+//
+// Thread-safe; time is injectable (ManualClock) so trip/half-open/close
+// transitions are unit-testable without real sleeps.
+
+#ifndef TIERBASE_COMMON_CIRCUIT_BREAKER_H_
+#define TIERBASE_COMMON_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+
+namespace tierbase {
+namespace common {
+
+struct CircuitBreakerOptions {
+  // Consecutive failures before the breaker trips open.
+  uint32_t failure_threshold = 5;
+  // Cooldown before a half-open probe is granted.
+  uint64_t open_duration_micros = 1'000'000;
+  // nullptr = wall clock.
+  const Clock* clock = nullptr;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const CircuitBreakerOptions& options = {});
+
+  /// True if the caller may attempt the operation. While open, returns
+  /// false (counted as a fast-fail) until the cooldown elapses, then
+  /// grants a single half-open probe; concurrent callers keep failing
+  /// fast until that probe reports back.
+  bool Allow();
+
+  /// Report the outcome of an allowed attempt.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  /// "closed" | "open" | "half_open" — for INFO / stats surfaces.
+  std::string state_name() const;
+  uint64_t trips() const;
+  uint64_t fast_fails() const;
+
+ private:
+  const CircuitBreakerOptions options_;
+  const Clock* clock_;
+
+  mutable Mutex mu_;
+  State state_ GUARDED_BY(mu_) = State::kClosed;
+  uint32_t consecutive_failures_ GUARDED_BY(mu_) = 0;
+  uint64_t opened_at_micros_ GUARDED_BY(mu_) = 0;
+  bool probe_inflight_ GUARDED_BY(mu_) = false;
+  uint64_t trips_ GUARDED_BY(mu_) = 0;
+  uint64_t fast_fails_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace common
+}  // namespace tierbase
+
+#endif  // TIERBASE_COMMON_CIRCUIT_BREAKER_H_

@@ -1,0 +1,185 @@
+#include "common/fault_transport.h"
+
+#include "common/clock.h"
+
+namespace tierbase {
+namespace common {
+
+class FaultInjectionTransport::FaultConn : public TransportConn {
+ public:
+  FaultConn(FaultInjectionTransport* parent, std::string endpoint,
+            std::unique_ptr<TransportConn> inner)
+      : parent_(parent),
+        endpoint_(std::move(endpoint)),
+        inner_(std::move(inner)) {}
+
+  Status Read(char* buf, size_t len, size_t* n) override {
+    *n = 0;
+    if (broken_) return Status::IOError("connection reset (injected)");
+    if (tainted_) {
+      // An earlier write on this connection was swallowed; the peer never
+      // saw the request, so a real read would hang. Fail deterministically.
+      return Status::TimedOut("recv: timed out (injected)");
+    }
+    size_t cap = 0;
+    uint64_t latency = 0;
+    OpFault fault = parent_->NextOpFault(endpoint_, /*is_read=*/true, &cap,
+                                         &latency);
+    if (latency > 0) Clock::Real()->SleepMicros(latency);
+    switch (fault) {
+      case OpFault::kReset:
+        broken_ = true;
+        inner_->Close();
+        return Status::IOError("connection reset (injected)");
+      case OpFault::kTimeout:
+        return Status::TimedOut("recv: timed out (injected)");
+      case OpFault::kSwallowWrite:
+      case OpFault::kNone:
+        break;
+    }
+    if (cap != 0 && len > cap) len = cap;
+    return inner_->Read(buf, len, n);
+  }
+
+  Status Write(const char* buf, size_t len, size_t* n) override {
+    *n = 0;
+    if (broken_) return Status::IOError("connection reset (injected)");
+    size_t cap = 0;
+    uint64_t latency = 0;
+    OpFault fault = parent_->NextOpFault(endpoint_, /*is_read=*/false, &cap,
+                                         &latency);
+    if (latency > 0) Clock::Real()->SleepMicros(latency);
+    switch (fault) {
+      case OpFault::kReset:
+        broken_ = true;
+        inner_->Close();
+        return Status::IOError("connection reset (injected)");
+      case OpFault::kSwallowWrite:
+        // Pretend the bytes left; the peer never sees them, so replies
+        // will never come (see tainted_ in Read).
+        tainted_ = true;
+        *n = len;
+        return Status::OK();
+      case OpFault::kTimeout:
+      case OpFault::kNone:
+        break;
+    }
+    if (cap != 0 && len > cap) len = cap;
+    return inner_->Write(buf, len, n);
+  }
+
+  void Close() override { inner_->Close(); }
+
+ private:
+  FaultInjectionTransport* const parent_;
+  const std::string endpoint_;
+  std::unique_ptr<TransportConn> inner_;
+  bool broken_ = false;   // Saw an injected reset; dead like real TCP.
+  bool tainted_ = false;  // A write was swallowed; reads would hang.
+};
+
+FaultInjectionTransport::FaultInjectionTransport(Transport* base,
+                                                 uint64_t seed)
+    : base_(base != nullptr ? base : Transport::Default()), rng_(seed) {}
+
+FaultInjectionTransport::~FaultInjectionTransport() = default;
+
+Status FaultInjectionTransport::Connect(
+    const std::string& host, uint16_t port, uint64_t timeout_micros,
+    std::unique_ptr<TransportConn>* conn) {
+  conn->reset();
+  const std::string endpoint = host + ":" + std::to_string(port);
+  {
+    MutexLock lock(&mu_);
+    EndpointState& st = endpoints_[endpoint];
+    ++st.stats.connect_attempts;
+    switch (st.partition) {
+      case Partition::kRefuse:
+      case Partition::kDown:
+        ++st.stats.connects_failed;
+        return Status::IOError("connect: connection refused (injected)");
+      case Partition::kBlackhole:
+        ++st.stats.connects_failed;
+        return Status::TimedOut("connect: timed out (injected)");
+      default:
+        break;
+    }
+  }
+  std::unique_ptr<TransportConn> inner;
+  Status s = base_->Connect(host, port, timeout_micros, &inner);
+  if (!s.ok()) {
+    MutexLock lock(&mu_);
+    ++endpoints_[endpoint].stats.connects_failed;
+    return s;
+  }
+  conn->reset(new FaultConn(this, endpoint, std::move(inner)));
+  return Status::OK();
+}
+
+void FaultInjectionTransport::SetPartition(const std::string& endpoint,
+                                           Partition mode) {
+  MutexLock lock(&mu_);
+  endpoints_[endpoint].partition = mode;
+}
+
+void FaultInjectionTransport::SetShortIo(const std::string& endpoint,
+                                         bool enabled) {
+  MutexLock lock(&mu_);
+  endpoints_[endpoint].short_io = enabled;
+}
+
+void FaultInjectionTransport::SetLatencyMicros(const std::string& endpoint,
+                                               uint64_t micros) {
+  MutexLock lock(&mu_);
+  endpoints_[endpoint].latency_micros = micros;
+}
+
+FaultInjectionTransport::EndpointStats FaultInjectionTransport::GetStats(
+    const std::string& endpoint) const {
+  MutexLock lock(&mu_);
+  auto it = endpoints_.find(endpoint);
+  return it != endpoints_.end() ? it->second.stats : EndpointStats{};
+}
+
+FaultInjectionTransport::OpFault FaultInjectionTransport::NextOpFault(
+    const std::string& endpoint, bool is_read, size_t* io_cap,
+    uint64_t* latency_micros) {
+  MutexLock lock(&mu_);
+  auto it = endpoints_.find(endpoint);
+  if (it == endpoints_.end()) {
+    *io_cap = 0;
+    *latency_micros = 0;
+    return OpFault::kNone;
+  }
+  EndpointState& st = it->second;
+  *io_cap = st.short_io ? static_cast<size_t>(rng_.Range(1, 64)) : 0;
+  *latency_micros = st.latency_micros;
+  switch (st.partition) {
+    case Partition::kReset:
+    case Partition::kDown:
+      ++st.stats.faults_injected;
+      return OpFault::kReset;
+    case Partition::kBlackhole:
+      ++st.stats.faults_injected;
+      return is_read ? OpFault::kTimeout : OpFault::kSwallowWrite;
+    case Partition::kBlackholeIn:
+      if (is_read) {
+        ++st.stats.faults_injected;
+        return OpFault::kTimeout;
+      }
+      return OpFault::kNone;
+    case Partition::kBlackholeOut:
+      if (!is_read) {
+        ++st.stats.faults_injected;
+        return OpFault::kSwallowWrite;
+      }
+      return OpFault::kNone;
+    case Partition::kRefuse:
+    case Partition::kNone:
+      return OpFault::kNone;
+  }
+  return OpFault::kNone;
+}
+
+}  // namespace common
+}  // namespace tierbase

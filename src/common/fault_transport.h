@@ -1,0 +1,106 @@
+// FaultInjectionTransport: the network counterpart of FaultInjectionEnv.
+// Wraps a base Transport and injects faults per endpoint ("host:port"),
+// deterministically (seeded Random, no real-time dependence):
+//
+//   * kRefuse      — new connects fail (ECONNREFUSED-style); established
+//                    connections keep working.
+//   * kReset       — established connections fail mid-stream (ECONNRESET-
+//                    style IOError on the next Read/Write); new connects
+//                    succeed.
+//   * kDown        — kRefuse + kReset: the node is dead to this transport.
+//   * kBlackhole   — packets vanish in both directions: connects and reads
+//                    time out, writes are silently swallowed. Models a
+//                    network partition (vs. a dead process, which refuses).
+//   * kBlackholeIn — reads from the endpoint time out; writes still flow.
+//   * kBlackholeOut— writes are swallowed (and the peer therefore never
+//                    answers, so subsequent reads on that connection time
+//                    out too). One-way partition, outbound.
+//
+// Orthogonal knobs: short I/O (each Read/Write is truncated to a seeded
+// 1..64-byte slice, exercising every partial-I/O loop) and fixed added
+// latency per op. Counters per endpoint let tests assert *how* a component
+// coped (connect attempts while partitioned, faults injected, ...).
+//
+// Scoping: faults key on the dial-target endpoint string. Tests that must
+// not perturb their own control connections pass the fault transport only
+// to the component under test via its Options::transport field rather than
+// swapping the process-wide global.
+
+#ifndef TIERBASE_COMMON_FAULT_TRANSPORT_H_
+#define TIERBASE_COMMON_FAULT_TRANSPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/random.h"
+#include "common/transport.h"
+
+namespace tierbase {
+namespace common {
+
+class FaultInjectionTransport : public Transport {
+ public:
+  enum class Partition {
+    kNone,
+    kRefuse,
+    kReset,
+    kDown,
+    kBlackhole,
+    kBlackholeIn,
+    kBlackholeOut,
+  };
+
+  struct EndpointStats {
+    uint64_t connect_attempts = 0;
+    uint64_t connects_failed = 0;
+    uint64_t faults_injected = 0;  // Read/write faults (not connects).
+  };
+
+  explicit FaultInjectionTransport(Transport* base = nullptr,
+                                   uint64_t seed = 42);
+  ~FaultInjectionTransport() override;
+
+  Status Connect(const std::string& host, uint16_t port,
+                 uint64_t timeout_micros,
+                 std::unique_ptr<TransportConn>* conn) override;
+
+  /// Sets the partition mode for "host:port". kNone heals the endpoint;
+  /// connections that already observed a fault stay broken (a real TCP
+  /// reset kills the connection, not the route).
+  void SetPartition(const std::string& endpoint, Partition mode);
+  /// Truncate each Read/Write on `endpoint` to a seeded 1..64-byte slice.
+  void SetShortIo(const std::string& endpoint, bool enabled);
+  /// Busy-free fixed delay added to each op on `endpoint` (real sleep —
+  /// keep it small in tests).
+  void SetLatencyMicros(const std::string& endpoint, uint64_t micros);
+
+  EndpointStats GetStats(const std::string& endpoint) const;
+
+ private:
+  class FaultConn;
+  struct EndpointState {
+    Partition partition = Partition::kNone;
+    bool short_io = false;
+    uint64_t latency_micros = 0;
+    EndpointStats stats;
+  };
+
+  /// The fault (if any) to inject for one op, decided under mu_.
+  enum class OpFault { kNone, kReset, kTimeout, kSwallowWrite };
+  OpFault NextOpFault(const std::string& endpoint, bool is_read,
+                      size_t* io_cap, uint64_t* latency_micros);
+
+  Transport* const base_;
+
+  mutable Mutex mu_;
+  Random rng_ GUARDED_BY(mu_);
+  std::map<std::string, EndpointState> endpoints_ GUARDED_BY(mu_);
+};
+
+}  // namespace common
+}  // namespace tierbase
+
+#endif  // TIERBASE_COMMON_FAULT_TRANSPORT_H_

@@ -1,0 +1,127 @@
+// Shared retry/backoff policy for every networking component that must
+// survive a flaky peer: the replica REPLPULL loop, NetClusterClient's
+// route-and-retry path, and the coordinator's control-plane calls.
+//
+// Before this existed each caller hard-coded its own constant (the replica
+// pull loop hammered connect() every 20 ms forever against a dead master).
+// RetryPolicy centralises the three knobs that actually matter:
+//
+//   * capped exponential backoff — failures space out instead of hot-looping,
+//   * decorrelated jitter — concurrent retriers don't synchronise into
+//     thundering herds (next = Range(base, prev * 3), capped),
+//   * budgets — a max attempt count and/or an overall deadline, after which
+//     the caller gives up instead of retrying into the void.
+//
+// RetryState is the per-operation cursor over a policy. It is deliberately
+// deterministic: time comes from an injectable Clock and jitter from a
+// seeded Random, so chaos tests replay byte-identical schedules.
+//
+//   common::RetryState retry(policy, clock, seed);
+//   while (!(s = TryOnce()).ok()) {
+//     if (!retry.CanRetry()) break;
+//     clock->SleepMicros(retry.NextBackoffMicros());
+//   }
+//   if (s.ok()) retry.RecordSuccess();   // resets the backoff ladder
+
+#ifndef TIERBASE_COMMON_RETRY_H_
+#define TIERBASE_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace tierbase {
+namespace common {
+
+struct RetryPolicy {
+  // First backoff, and the ceiling the exponential ladder saturates at.
+  uint64_t initial_backoff_micros = 20'000;
+  uint64_t max_backoff_micros = 1'000'000;
+  // Decorrelated jitter (AWS architecture-blog variant): each backoff is
+  // drawn uniformly from [initial, prev * 3], capped. With jitter off the
+  // ladder is plain doubling — useful for exact-schedule unit tests.
+  bool jitter = true;
+  // 0 = unbounded. Counts tries, so max_attempts = 3 allows 2 retries.
+  uint32_t max_attempts = 0;
+  // Overall budget measured from RetryState construction (or the last
+  // RecordSuccess). 0 = unbounded. Backoffs are clamped to the remaining
+  // budget and CanRetry() turns false once it is exhausted.
+  uint64_t deadline_micros = 0;
+};
+
+class RetryState {
+ public:
+  explicit RetryState(const RetryPolicy& policy,
+                      const Clock* clock = nullptr, uint64_t seed = 1)
+      : policy_(policy),
+        clock_(clock != nullptr ? clock : Clock::Real()),
+        rng_(seed),
+        start_micros_(clock_->NowMicros()) {}
+
+  /// True while the attempt count and deadline budgets both have room.
+  bool CanRetry() {
+    if (policy_.max_attempts != 0 && attempts_ >= policy_.max_attempts) {
+      return false;
+    }
+    if (policy_.deadline_micros != 0 &&
+        clock_->NowMicros() - start_micros_ >= policy_.deadline_micros) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Advances the ladder and returns the next backoff. Call once per
+  /// failed attempt, then sleep for the returned duration.
+  uint64_t NextBackoffMicros() {
+    ++attempts_;
+    uint64_t base = policy_.initial_backoff_micros;
+    uint64_t next;
+    if (last_backoff_micros_ == 0) {
+      next = base;
+    } else if (policy_.jitter) {
+      uint64_t hi = std::max(base, SaturatingMul3(last_backoff_micros_));
+      next = rng_.Range(base, std::min(hi, policy_.max_backoff_micros));
+    } else {
+      next = last_backoff_micros_ * 2;
+    }
+    next = std::min(next, policy_.max_backoff_micros);
+    if (policy_.deadline_micros != 0) {
+      uint64_t elapsed = clock_->NowMicros() - start_micros_;
+      uint64_t remaining = policy_.deadline_micros > elapsed
+                               ? policy_.deadline_micros - elapsed
+                               : 0;
+      next = std::min(next, remaining);
+    }
+    last_backoff_micros_ = next;
+    return next;
+  }
+
+  /// Resets the ladder and both budgets; the connection is healthy again.
+  void RecordSuccess() {
+    attempts_ = 0;
+    last_backoff_micros_ = 0;
+    start_micros_ = clock_->NowMicros();
+  }
+
+  uint32_t attempts() const { return attempts_; }
+  uint64_t last_backoff_micros() const { return last_backoff_micros_; }
+
+ private:
+  static uint64_t SaturatingMul3(uint64_t v) {
+    return v > UINT64_MAX / 3 ? UINT64_MAX : v * 3;
+  }
+
+  const RetryPolicy policy_;
+  const Clock* clock_;
+  Random rng_;
+  uint64_t start_micros_;
+  uint32_t attempts_ = 0;
+  uint64_t last_backoff_micros_ = 0;
+};
+
+}  // namespace common
+}  // namespace tierbase
+
+#endif  // TIERBASE_COMMON_RETRY_H_

@@ -75,6 +75,7 @@ class Status {
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsOutOfSpace() const { return code_ == Code::kOutOfSpace; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }

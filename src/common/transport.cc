@@ -1,0 +1,175 @@
+#include "common/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace tierbase {
+namespace common {
+
+namespace {
+
+class PosixConn : public TransportConn {
+ public:
+  explicit PosixConn(int fd, bool bounded) : fd_(fd), bounded_(bounded) {}
+  ~PosixConn() override { Close(); }
+
+  Status Read(char* buf, size_t len, size_t* n) override {
+    *n = 0;
+    if (fd_ < 0) return Status::IOError("not connected");
+    for (;;) {
+      ssize_t rc = recv(fd_, buf, len, 0);
+      if (rc >= 0) {
+        *n = static_cast<size_t>(rc);
+        return Status::OK();
+      }
+      if (errno == EINTR) continue;
+      if (bounded_ && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return Status::TimedOut("recv: timed out");
+      }
+      return Status::IOError(std::string("recv: ") + strerror(errno));
+    }
+  }
+
+  Status Write(const char* buf, size_t len, size_t* n) override {
+    *n = 0;
+    if (fd_ < 0) return Status::IOError("not connected");
+    for (;;) {
+      ssize_t rc = send(fd_, buf, len, MSG_NOSIGNAL);
+      if (rc >= 0) {
+        *n = static_cast<size_t>(rc);
+        return Status::OK();
+      }
+      if (errno == EINTR) continue;
+      if (bounded_ && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return Status::TimedOut("send: timed out");
+      }
+      return Status::IOError(std::string("send: ") + strerror(errno));
+    }
+  }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+  const bool bounded_;  // SO_RCVTIMEO/SNDTIMEO armed: EAGAIN == timeout.
+};
+
+class PosixTransport : public Transport {
+ public:
+  Status Connect(const std::string& host, uint16_t port,
+                 uint64_t timeout_micros,
+                 std::unique_ptr<TransportConn>* conn) override {
+    conn->reset();
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IOError(std::string("socket: ") + strerror(errno));
+    }
+    sockaddr_in addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      // Not a dotted-quad literal; resolve it ("localhost", DNS names).
+      addrinfo hints;
+      memset(&hints, 0, sizeof(hints));
+      hints.ai_family = AF_INET;
+      hints.ai_socktype = SOCK_STREAM;
+      addrinfo* result = nullptr;
+      int rc = getaddrinfo(host.c_str(), nullptr, &hints, &result);
+      if (rc != 0 || result == nullptr) {
+        close(fd);
+        if (result != nullptr) freeaddrinfo(result);
+        return Status::InvalidArgument("cannot resolve host: " + host);
+      }
+      addr.sin_addr =
+          reinterpret_cast<sockaddr_in*>(result->ai_addr)->sin_addr;
+      freeaddrinfo(result);
+    }
+    if (timeout_micros == 0) {
+      if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+        Status s =
+            Status::IOError(std::string("connect: ") + strerror(errno));
+        close(fd);
+        return s;
+      }
+    } else {
+      // Bounded connect: nonblocking + poll, then per-op socket timeouts.
+      int flags = fcntl(fd, F_GETFL, 0);
+      fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+      int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      if (rc != 0 && errno != EINPROGRESS) {
+        Status s =
+            Status::IOError(std::string("connect: ") + strerror(errno));
+        close(fd);
+        return s;
+      }
+      if (rc != 0) {
+        pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        pfd.revents = 0;
+        int pr = poll(&pfd, 1, static_cast<int>(timeout_micros / 1000));
+        int err = 0;
+        socklen_t err_len = sizeof(err);
+        if (pr > 0) {
+          getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+        }
+        if (pr <= 0 || err != 0) {
+          Status s = pr <= 0 ? Status::TimedOut("connect: timed out")
+                             : Status::IOError(std::string("connect: ") +
+                                               strerror(err));
+          close(fd);
+          return s;
+        }
+      }
+      fcntl(fd, F_SETFL, flags);
+      timeval tv;
+      tv.tv_sec = static_cast<time_t>(timeout_micros / 1'000'000);
+      tv.tv_usec = static_cast<suseconds_t>(timeout_micros % 1'000'000);
+      setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    conn->reset(new PosixConn(fd, timeout_micros != 0));
+    return Status::OK();
+  }
+};
+
+std::atomic<Transport*> g_transport{nullptr};
+
+}  // namespace
+
+Transport* Transport::Default() {
+  static PosixTransport* posix = new PosixTransport();
+  return posix;
+}
+
+Transport* GlobalTransport() {
+  Transport* t = g_transport.load(std::memory_order_acquire);
+  return t != nullptr ? t : Transport::Default();
+}
+
+Transport* SwapGlobalTransport(Transport* transport) {
+  Transport* prev = g_transport.exchange(transport, std::memory_order_acq_rel);
+  return prev != nullptr ? prev : Transport::Default();
+}
+
+}  // namespace common
+}  // namespace tierbase

@@ -1,0 +1,68 @@
+// The client-side transport seam: every outbound TCP connection in the
+// tree — server::Client (and through it the replica REPLPULL loop, the
+// coordinator prober, NetClusterClient, and the proxy) — is made through a
+// Transport, so tests can swap in FaultInjectionTransport and subject the
+// whole cluster stack to deterministic partitions, resets, short I/O and
+// latency (the FaultInjectionEnv idiom from the storage layer, applied to
+// sockets).
+//
+//   Transport::Default()      — the real Posix socket implementation.
+//   GlobalTransport()         — process-wide default used by Client when no
+//                               per-component override is set; swappable
+//                               like common::Env's global.
+//
+// Conventions:
+//   * Read() returning OK with *n == 0 means clean EOF (peer closed).
+//   * Write() may be partial; callers loop.
+//   * A bounded connect (timeout_micros > 0) also arms per-op socket
+//     timeouts; an op that exceeds them fails with Status::TimedOut.
+
+#ifndef TIERBASE_COMMON_TRANSPORT_H_
+#define TIERBASE_COMMON_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace tierbase {
+namespace common {
+
+class TransportConn {
+ public:
+  virtual ~TransportConn() = default;
+
+  /// Reads up to `len` bytes into `buf`. OK with *n == 0 is clean EOF.
+  virtual Status Read(char* buf, size_t len, size_t* n) = 0;
+  /// Writes up to `len` bytes from `buf`; partial writes set *n < len.
+  virtual Status Write(const char* buf, size_t len, size_t* n) = 0;
+  virtual void Close() = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Establishes a TCP connection (TCP_NODELAY). timeout_micros == 0 means
+  /// an unbounded blocking connect with unbounded per-op I/O; > 0 bounds
+  /// the connect (nonblocking + poll) and arms SO_RCVTIMEO/SO_SNDTIMEO so
+  /// each subsequent Read/Write times out with Status::TimedOut.
+  virtual Status Connect(const std::string& host, uint16_t port,
+                         uint64_t timeout_micros,
+                         std::unique_ptr<TransportConn>* conn) = 0;
+
+  /// The real Posix socket transport (singleton, never deleted).
+  static Transport* Default();
+};
+
+/// Process-wide transport, Transport::Default() unless swapped. Swapping is
+/// for tests; production code leaves it alone.
+Transport* GlobalTransport();
+Transport* SwapGlobalTransport(Transport* transport);
+
+}  // namespace common
+}  // namespace tierbase
+
+#endif  // TIERBASE_COMMON_TRANSPORT_H_

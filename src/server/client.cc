@@ -1,15 +1,5 @@
 #include "server/client.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netdb.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 
@@ -21,83 +11,15 @@ Client::~Client() { Close(); }
 Status Client::Connect(const std::string& host, uint16_t port,
                        uint64_t timeout_micros) {
   Close();
-  fd_ = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    return Status::IOError(std::string("socket: ") + strerror(errno));
-  }
-  sockaddr_in addr;
-  memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    // Not a dotted-quad literal; resolve it ("localhost", DNS names).
-    addrinfo hints;
-    memset(&hints, 0, sizeof(hints));
-    hints.ai_family = AF_INET;
-    hints.ai_socktype = SOCK_STREAM;
-    addrinfo* result = nullptr;
-    int rc = getaddrinfo(host.c_str(), nullptr, &hints, &result);
-    if (rc != 0 || result == nullptr) {
-      Close();
-      if (result != nullptr) freeaddrinfo(result);
-      return Status::InvalidArgument("cannot resolve host: " + host);
-    }
-    addr.sin_addr =
-        reinterpret_cast<sockaddr_in*>(result->ai_addr)->sin_addr;
-    freeaddrinfo(result);
-  }
-  if (timeout_micros == 0) {
-    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-        0) {
-      Status s = Status::IOError(std::string("connect: ") + strerror(errno));
-      Close();
-      return s;
-    }
-  } else {
-    // Bounded connect: nonblocking + poll, then per-op socket timeouts.
-    int flags = fcntl(fd_, F_GETFL, 0);
-    fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
-    int rc = connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-    if (rc != 0 && errno != EINPROGRESS) {
-      Status s = Status::IOError(std::string("connect: ") + strerror(errno));
-      Close();
-      return s;
-    }
-    if (rc != 0) {
-      pollfd pfd;
-      pfd.fd = fd_;
-      pfd.events = POLLOUT;
-      pfd.revents = 0;
-      int pr = poll(&pfd, 1, static_cast<int>(timeout_micros / 1000));
-      int err = 0;
-      socklen_t err_len = sizeof(err);
-      if (pr > 0) {
-        getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &err_len);
-      }
-      if (pr <= 0 || err != 0) {
-        Status s = Status::IOError(
-            pr <= 0 ? "connect: timed out"
-                    : std::string("connect: ") + strerror(err));
-        Close();
-        return s;
-      }
-    }
-    fcntl(fd_, F_SETFL, flags);
-    timeval tv;
-    tv.tv_sec = static_cast<time_t>(timeout_micros / 1'000'000);
-    tv.tv_usec = static_cast<suseconds_t>(timeout_micros % 1'000'000);
-    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  }
-  int one = 1;
-  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return Status::OK();
+  common::Transport* transport =
+      transport_ != nullptr ? transport_ : common::GlobalTransport();
+  return transport->Connect(host, port, timeout_micros, &conn_);
 }
 
 void Client::Close() {
-  if (fd_ >= 0) {
-    close(fd_);
-    fd_ = -1;
+  if (conn_ != nullptr) {
+    conn_->Close();
+    conn_.reset();
   }
   send_buf_.clear();
   recv_buf_.clear();
@@ -110,25 +32,24 @@ void Client::Append(const std::vector<Slice>& args) {
 }
 
 Status Client::Flush() {
-  if (fd_ < 0) return Status::IOError("client not connected");
+  if (conn_ == nullptr) return Status::IOError("client not connected");
   size_t sent = 0;
   while (sent < send_buf_.size()) {
-    ssize_t n = send(fd_, send_buf_.data() + sent, send_buf_.size() - sent,
-                     MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      Status s = Status::IOError(std::string("send: ") + strerror(errno));
+    size_t n = 0;
+    Status s = conn_->Write(send_buf_.data() + sent,
+                            send_buf_.size() - sent, &n);
+    if (!s.ok()) {
       Close();
       return s;
     }
-    sent += static_cast<size_t>(n);
+    sent += n;
   }
   send_buf_.clear();
   return Status::OK();
 }
 
 Status Client::ReadReply(RespValue* reply) {
-  if (fd_ < 0) return Status::IOError("client not connected");
+  if (conn_ == nullptr) return Status::IOError("client not connected");
   for (;;) {
     if (recv_pos_ < recv_buf_.size()) {
       size_t consumed = 0;
@@ -151,18 +72,17 @@ Status Client::ReadReply(RespValue* reply) {
       }
     }
     char chunk[16384];
-    ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    size_t n = 0;
+    Status s = conn_->Read(chunk, sizeof(chunk), &n);
+    if (!s.ok()) {
+      Close();
+      return s;
+    }
     if (n == 0) {
       Close();
       return Status::IOError("connection closed by server");
     }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      Status s = Status::IOError(std::string("recv: ") + strerror(errno));
-      Close();
-      return s;
-    }
-    recv_buf_.append(chunk, static_cast<size_t>(n));
+    recv_buf_.append(chunk, n);
   }
 }
 

@@ -26,6 +26,7 @@
 
 #include "common/kv_engine.h"
 #include "common/mutex.h"
+#include "common/transport.h"
 #include "server/resp.h"
 
 namespace tierbase {
@@ -50,7 +51,12 @@ class Client {
   Status Connect(const std::string& host, uint16_t port,
                  uint64_t timeout_micros);
   void Close();
-  bool connected() const { return fd_ >= 0; }
+  bool connected() const { return conn_ != nullptr; }
+
+  /// Dials through `transport` instead of the process-wide default. Must
+  /// be set before Connect(); tests use this to scope injected network
+  /// faults to one component. nullptr restores the global transport.
+  void set_transport(common::Transport* transport) { transport_ = transport; }
 
   /// Encodes one command (array of bulks) into the send buffer.
   void Append(const std::vector<Slice>& args);
@@ -63,7 +69,8 @@ class Client {
   Status Call(const std::vector<Slice>& args, RespValue* reply);
 
  private:
-  int fd_ = -1;
+  common::Transport* transport_ = nullptr;  // nullptr = GlobalTransport().
+  std::unique_ptr<common::TransportConn> conn_;
   std::string send_buf_;
   std::string recv_buf_;
   size_t recv_pos_ = 0;  // Parsed-up-to offset within recv_buf_.

@@ -98,6 +98,17 @@ void AppendStatusError(std::string* out, const Status& s) {
                 "of value");
     return;
   }
+  // Robustness contract (mirrored by the proxy): Unavailable and Busy keep
+  // their own error classes on the wire so clients can tell "retry
+  // elsewhere/later" from a hard error.
+  if (s.IsUnavailable()) {
+    AppendError(out, "UNAVAILABLE " + s.message());
+    return;
+  }
+  if (s.IsBusy()) {
+    AppendError(out, "BUSY " + s.message());
+    return;
+  }
   AppendError(out, "ERR " + s.ToString());
 }
 
@@ -781,6 +792,11 @@ void CommandTable::Info(const RespCommand& cmd, std::string* out) {
   add("storage_wal_truncated_tails:%" PRIu64,
       stats.storage_wal.truncated_tails);
   add("storage_wal_skipped_bytes:%" PRIu64, stats.storage_wal.skipped_bytes);
+
+  if (info_robustness_) {
+    body += "\r\n# Robustness\r\n";
+    info_robustness_(&body);
+  }
 
   body += "\r\n# Memory\r\n";
   add("bytes_cached:%" PRIu64, stats.bytes_cached);

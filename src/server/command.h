@@ -50,6 +50,12 @@ class CommandTable {
   using InfoExtra = std::function<void(std::string* out)>;
   void set_info_extra(InfoExtra extra) { info_extra_ = std::move(extra); }
 
+  /// Lines for the INFO "# Robustness" section (overload-protection limits
+  /// and counters owned by the event loop / Server).
+  void set_info_robustness(InfoExtra extra) {
+    info_robustness_ = std::move(extra);
+  }
+
   /// Executes a pipelined batch, appending one reply per command to *out.
   /// Sets *close_connection for QUIT/SHUTDOWN (reply still sent first) and
   /// *shutdown_server for SHUTDOWN.
@@ -110,6 +116,7 @@ class CommandTable {
   TierBase* db_;
   cluster_net::NodeClusterState* cluster_ = nullptr;
   InfoExtra info_extra_;
+  InfoExtra info_robustness_;
 
   std::atomic<uint64_t> commands_{0};
   std::atomic<uint64_t> batches_{0};
@@ -118,7 +125,8 @@ class CommandTable {
 };
 
 /// Appends a `-...` RESP error translated from a Status (WrongType maps to
-/// -WRONGTYPE, everything else to -ERR <code>: <msg>).
+/// -WRONGTYPE, Unavailable to -UNAVAILABLE, Busy to -BUSY, everything else
+/// to -ERR <code>: <msg>).
 void AppendStatusError(std::string* out, const Status& s);
 
 }  // namespace server

@@ -120,6 +120,19 @@ void EventLoop::AcceptNew() {
       TB_LOG_WARN("server: accept failed: %s", strerror(errno));
       return;
     }
+    if (options_.max_connections > 0 &&
+        conns_.size() >= options_.max_connections) {
+      // Overload guard: answer with a clean error instead of silently
+      // dropping the handshake. The fresh fd is still blocking (accepted
+      // sockets do not inherit the listener's O_NONBLOCK on Linux), so the
+      // short write either completes or fails immediately — never EAGAIN.
+      static const char kReject[] = "-ERR max clients reached\r\n";
+      ssize_t unused = send(fd, kReject, sizeof(kReject) - 1, MSG_NOSIGNAL);
+      (void)unused;
+      close(fd);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     if (!SetNonBlocking(fd).ok()) {
       close(fd);
       continue;
@@ -139,6 +152,12 @@ void EventLoop::CloseConnection(const std::shared_ptr<Connection>& conn) {
     // instead of waking the loop for a dead socket.
     common::MutexLock lock(&conn->mu_);
     conn->detached_ = true;
+  }
+  if (conn->busy) {
+    // The peer died with a batch still executing; its completion will be
+    // discarded via detach, so release the dispatch-queue slot here.
+    conn->busy = false;
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
   }
   close(conn->fd_);
   conns_.erase(conn->fd_);
@@ -164,6 +183,21 @@ bool EventLoop::TryDispatch(const std::shared_ptr<Connection>& conn) {
     // Still drop what the parser consumed (blank inline keepalives), or
     // an idle-but-chatty client's buffer would grow and re-parse forever.
     if (consumed > 0) conn->in_buf.erase(0, consumed);
+    return true;
+  }
+
+  if (options_.max_dispatch_inflight > 0 &&
+      inflight_.load(std::memory_order_relaxed) >=
+          options_.max_dispatch_inflight) {
+    // Load shedding: the dispatch queue is at its high watermark, so
+    // answer each parsed command with -BUSY instead of queueing behind
+    // work the server is already failing to keep up with. The connection
+    // stays open; the client decides when to retry.
+    for (size_t i = 0; i < cmds.size(); ++i) {
+      AppendError(&conn->out_buf, "BUSY dispatch queue full, retry later");
+    }
+    busy_shed_.fetch_add(cmds.size(), std::memory_order_relaxed);
+    conn->in_buf.erase(0, consumed);
     return true;
   }
 
@@ -197,6 +231,7 @@ bool EventLoop::TryDispatch(const std::shared_ptr<Connection>& conn) {
     common::MutexLock lock(&completions_mu_);
     completions_.push_back(conn);
   }
+  inflight_.fetch_add(1, std::memory_order_relaxed);
   dispatcher_(conn, std::move(batch));
   return true;
 }
@@ -230,7 +265,21 @@ void EventLoop::DrainCompletions() {
     // reused by a newly accepted connection after this one closed.
     auto it = conns_.find(conn->fd_);
     if (it == conns_.end() || it->second != conn) continue;  // Peer died.
-    conn->busy = false;
+    if (conn->busy) {
+      // (CloseConnection releases the slot for peers that died mid-batch.)
+      conn->busy = false;
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    if (options_.max_out_buffer > 0 &&
+        conn->out_buf.size() > options_.max_out_buffer) {
+      // Slow-consumer guard: replies are piling up faster than the peer
+      // drains them. Checked here — after the batch's output lands, before
+      // any flush attempt — so the decision is deterministic regardless of
+      // kernel buffer sizes.
+      slow_consumer_.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(conn);
+      continue;
+    }
     HandleWritable(conn);  // Opportunistic flush without waiting for poll.
     it = conns_.find(conn->fd_);
     if (it != conns_.end() && it->second == conn && !conn->closing) {

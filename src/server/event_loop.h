@@ -50,6 +50,18 @@ struct EventLoopOptions {
   int poll_interval_ms = 100;
   /// After Stop()/SHUTDOWN, pending replies get this long to flush.
   uint64_t drain_deadline_micros = 2'000'000;
+
+  // --- Overload protection (see README "Fault tolerance"). ---
+  /// 0 = unlimited. Accepts past this many live connections are answered
+  /// with "-ERR max clients reached" and closed instead of admitted.
+  size_t max_connections = 0;
+  /// A connection whose pending replies exceed this is disconnected (a
+  /// slow consumer must not buffer the server's memory without bound).
+  size_t max_out_buffer = 64u << 20;
+  /// 0 = unlimited. While this many dispatch batches are in flight across
+  /// all connections, newly parsed commands are shed with "-BUSY" instead
+  /// of queueing behind them.
+  size_t max_dispatch_inflight = 0;
 };
 
 class EventLoop;
@@ -134,6 +146,10 @@ class EventLoop {
   /// depth actually achieved).
   uint64_t max_batch_commands() const { return max_batch_.load(); }
   uint64_t protocol_errors() const { return protocol_errors_.load(); }
+  uint64_t connections_rejected() const { return rejected_.load(); }
+  uint64_t slow_consumer_disconnects() const { return slow_consumer_.load(); }
+  uint64_t busy_shed_commands() const { return busy_shed_.load(); }
+  uint64_t dispatch_inflight() const { return inflight_.load(); }
 
  private:
   friend class Connection;
@@ -175,6 +191,10 @@ class EventLoop {
   std::atomic<uint64_t> commands_{0};
   std::atomic<uint64_t> max_batch_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> rejected_{0};       // max_connections rejects.
+  std::atomic<uint64_t> slow_consumer_{0};  // out_buf cap disconnects.
+  std::atomic<uint64_t> busy_shed_{0};      // Commands answered -BUSY.
+  std::atomic<uint64_t> inflight_{0};       // Batches dispatched, not done.
 };
 
 }  // namespace server

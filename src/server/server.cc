@@ -36,6 +36,24 @@ Server::Server(TierBase* db, ServerOptions options)
       add("protocol_errors:%" PRIu64, loop_->protocol_errors());
     }
   });
+  table_.set_info_robustness([this](std::string* out) {
+    char line[128];
+    auto add = [&](const char* fmt, auto... args) {
+      snprintf(line, sizeof(line), fmt, args...);
+      *out += line;
+      *out += "\r\n";
+    };
+    add("max_connections:%zu", options_.net.max_connections);
+    add("max_out_buffer:%zu", options_.net.max_out_buffer);
+    add("max_dispatch_inflight:%zu", options_.net.max_dispatch_inflight);
+    if (loop_ != nullptr) {
+      add("connections_rejected:%" PRIu64, loop_->connections_rejected());
+      add("slow_consumer_disconnects:%" PRIu64,
+          loop_->slow_consumer_disconnects());
+      add("busy_shed_commands:%" PRIu64, loop_->busy_shed_commands());
+      add("dispatch_inflight:%" PRIu64, loop_->dispatch_inflight());
+    }
+  });
 }
 
 Server::~Server() { Stop(); }

@@ -10,6 +10,7 @@
 //   * the replication apply thread vs concurrent reads
 //   * the server event loop vs a SHUTDOWN drain under client load
 //   * oplog appends vs concurrent REPLPULL-style range reads
+//   * the circuit breaker state machine vs concurrent callers
 //
 // Iteration counts are sized so the whole suite finishes well under a
 // minute even at TSan's slowdown on one core.
@@ -24,6 +25,8 @@
 
 #include "cache/hash_engine.h"
 #include "cluster_net/oplog.h"
+#include "common/circuit_breaker.h"
+#include "common/clock.h"
 #include "core/replication.h"
 #include "core/storage_adapter.h"
 #include "core/tierbase.h"
@@ -296,6 +299,51 @@ TEST(RaceTest, OplogAppendVsRangeReads) {
 
   EXPECT_EQ(oplog.head_seq(), static_cast<uint64_t>(kAppenders * kOps));
   EXPECT_GE(oplog.min_seq(), oplog.head_seq() - 128 + 1);
+}
+
+// --- Seam 7: circuit breaker state machine under concurrent callers. ----
+
+TEST(RaceTest, CircuitBreakerConcurrentCallers) {
+  // NetClusterClient and the proxy share per-node breakers across their
+  // dispatch threads: Allow / RecordSuccess / RecordFailure race freely,
+  // and the half-open gate must admit exactly one probe per cooldown.
+  ManualClock clock;
+  common::CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  options.open_duration_micros = 10;
+  options.clock = &clock;
+  common::CircuitBreaker breaker(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 2000;
+  std::atomic<uint64_t> allowed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&breaker, &clock, &allowed, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        if (breaker.Allow()) {
+          allowed.fetch_add(1, std::memory_order_relaxed);
+          // Mixed outcomes keep the machine cycling through every state.
+          if ((t + i) % 3 == 0) {
+            breaker.RecordFailure();
+          } else {
+            breaker.RecordSuccess();
+          }
+        }
+        // Advancing time from every thread races cooldown expiry against
+        // concurrent Allow calls (the half-open transition).
+        if (i % 16 == 0) clock.Advance(5);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_GT(allowed.load(), 0u);
+  // Counters stayed coherent and the machine landed in a legal state.
+  (void)breaker.trips();
+  (void)breaker.fast_fails();
+  std::string name = breaker.state_name();
+  EXPECT_TRUE(name == "closed" || name == "open" || name == "half_open");
 }
 
 }  // namespace
