@@ -17,6 +17,7 @@
 // Flags: --smoke (tiny counts, CI bit-rot guard), --json <path>,
 //        --records N, --ops N.
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -24,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_telemetry.h"
 #include "cluster_net/cluster_client.h"
 #include "cluster_net/coordinator_service.h"
 #include "cluster_net/node_state.h"
@@ -43,7 +45,51 @@ struct Row {
   std::string op;
   int pipeline = 1;
   double kops = 0;
+  // Data-node-observed latency for the row, gathered over every node the
+  // mode touches via LATENCY HISTOGRAM. cnt sums node-side commands (one
+  // scatter–gather MGET/MSET sub-batch counts once); percentiles take the
+  // per-node max — the straggler bound on the gather.
+  ServerLatency server;
 };
+
+/// The node-side histograms a row's traffic can land on: raw pipelines
+/// coalesce into the get/set histograms, the smart client and proxy send
+/// MGET/MSET sub-batches.
+std::vector<std::string> NodeCmds(const std::string& op) {
+  return op == "get" ? std::vector<std::string>{"get", "mget"}
+                     : std::vector<std::string>{"set", "mset"};
+}
+
+bool ResetNodeLatency(const std::vector<server::Client*>& admins,
+                      const std::string& op) {
+  for (server::Client* a : admins) {
+    for (const std::string& cmd : NodeCmds(op)) {
+      if (!ResetServerLatency(a, cmd)) return false;
+    }
+  }
+  return true;
+}
+
+ServerLatency GatherNodeLatency(const std::vector<server::Client*>& admins,
+                                const std::string& op) {
+  ServerLatency out;
+  out.ok = true;
+  for (server::Client* a : admins) {
+    for (const std::string& cmd : NodeCmds(op)) {
+      ServerLatency one = FetchServerLatency(a, cmd);
+      if (!one.ok) {
+        out.ok = false;
+        return out;
+      }
+      out.cnt += one.cnt;
+      out.p50_us = std::max(out.p50_us, one.p50_us);
+      out.p99_us = std::max(out.p99_us, one.p99_us);
+      out.p999_us = std::max(out.p999_us, one.p999_us);
+      out.max_us = std::max(out.max_us, one.max_us);
+    }
+  }
+  return out;
+}
 
 std::string BenchKey(uint64_t i) {
   char buf[32];
@@ -181,8 +227,11 @@ void EmitJson(FILE* f, uint64_t records, uint64_t ops,
     const Row& r = rows[i];
     fprintf(f,
             "    {\"mode\": \"%s\", \"op\": \"%s\", \"pipeline\": %d, "
-            "\"kops\": %.1f}%s\n",
-            r.mode.c_str(), r.op.c_str(), r.pipeline, r.kops,
+            "\"kops\": %.1f, \"srv_cnt\": %" PRIu64
+            ", \"srv_p50_us\": %" PRIu64 ", \"srv_p99_us\": %" PRIu64
+            "}%s\n",
+            r.mode.c_str(), r.op.c_str(), r.pipeline, r.kops, r.server.cnt,
+            r.server.p50_us, r.server.p99_us,
             i + 1 < rows.size() ? "," : "");
   }
   fprintf(f, "  ]\n}\n");
@@ -260,23 +309,43 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
+  // Admin connections for node-side telemetry (LATENCY RESET/HISTOGRAM
+  // around each row).
+  server::Client solo_admin, n1_admin, n2_admin;
+  if (!solo_admin.Connect("127.0.0.1", solo.srv->port()).ok() ||
+      !n1_admin.Connect("127.0.0.1", n1.srv->port()).ok() ||
+      !n2_admin.Connect("127.0.0.1", n2.srv->port()).ok()) {
+    fprintf(stderr, "admin connect failed\n");
+    return 1;
+  }
+  const std::vector<server::Client*> solo_admins = {&solo_admin};
+  const std::vector<server::Client*> cluster_admins = {&n1_admin, &n2_admin};
+
   std::vector<Row> rows;
   auto run = [&](const std::string& mode, const std::string& op,
-                 int pipeline, double kops) {
+                 int pipeline, double kops, const ServerLatency& server) {
     Row row;
     row.mode = mode;
     row.op = op;
     row.pipeline = pipeline;
     row.kops = kops;
+    row.server = server;
     rows.push_back(row);
-    printf("%-13s %-4s pipeline=%-3d %10.1f kops\n", mode.c_str(),
-           op.c_str(), pipeline, kops);
+    printf("%-13s %-4s pipeline=%-3d %10.1f kops  srv(cnt=%" PRIu64
+           " p50=%" PRIu64 "us p99=%" PRIu64 "us)\n",
+           mode.c_str(), op.c_str(), pipeline, kops, server.cnt,
+           server.p50_us, server.p99_us);
     fflush(stdout);
   };
 
   for (const char* op : {"get", "set"}) {
     for (int pipeline : {1, 8, 32}) {
       const uint64_t row_ops = pipeline == 1 ? ops / 8 : ops;
+
+      if (!ResetNodeLatency(solo_admins, op)) {
+        fprintf(stderr, "LATENCY RESET failed\n");
+        return 1;
+      }
       double kops =
           DrivePipelined(solo.srv->port(), op, records, row_ops, pipeline) /
           1e3;
@@ -284,22 +353,45 @@ int Main(int argc, char** argv) {
         fprintf(stderr, "direct run failed\n");
         return 1;
       }
-      run("direct-1node", op, pipeline, kops);
+      ServerLatency server = GatherNodeLatency(solo_admins, op);
+      if (!server.ok) {
+        fprintf(stderr, "LATENCY HISTOGRAM failed\n");
+        return 1;
+      }
+      run("direct-1node", op, pipeline, kops, server);
 
+      if (!ResetNodeLatency(cluster_admins, op)) {
+        fprintf(stderr, "LATENCY RESET failed\n");
+        return 1;
+      }
       kops = DriveSmart(smart->get(), op, records, row_ops, pipeline) / 1e3;
       if (kops == 0) {
         fprintf(stderr, "smart run failed\n");
         return 1;
       }
-      run("smart-2node", op, pipeline, kops);
+      server = GatherNodeLatency(cluster_admins, op);
+      if (!server.ok) {
+        fprintf(stderr, "LATENCY HISTOGRAM failed\n");
+        return 1;
+      }
+      run("smart-2node", op, pipeline, kops, server);
 
+      if (!ResetNodeLatency(cluster_admins, op)) {
+        fprintf(stderr, "LATENCY RESET failed\n");
+        return 1;
+      }
       kops = DrivePipelined(proxy.port(), op, records, row_ops, pipeline) /
              1e3;
       if (kops == 0) {
         fprintf(stderr, "proxy run failed\n");
         return 1;
       }
-      run("proxy-2node", op, pipeline, kops);
+      server = GatherNodeLatency(cluster_admins, op);
+      if (!server.ok) {
+        fprintf(stderr, "LATENCY HISTOGRAM failed\n");
+        return 1;
+      }
+      run("proxy-2node", op, pipeline, kops, server);
     }
   }
 

@@ -15,7 +15,9 @@
 //
 // Flags: --smoke (tiny op counts, CI bit-rot guard), --json <path>,
 //        --records N, --ops N (ops per pipelined row; unpipelined rows
-//        run ops/8).
+//        run ops/8), --no-telemetry (disable the server's per-command
+//        clocking — run both ways to price the telemetry layer; the
+//        srv_* columns read 0 with it off).
 
 #include <cinttypes>
 #include <cstdio>
@@ -25,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_telemetry.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "core/tierbase.h"
@@ -43,6 +46,10 @@ struct Row {
   double kops = 0;
   double p50_us = 0;
   double p99_us = 0;
+  // Server-observed latency for the same row (LATENCY HISTOGRAM <op>,
+  // dispatch -> reply; per command, so coalesced trains count each
+  // member). The client-vs-server gap is loopback + parse + queue time.
+  ServerLatency server;
 };
 
 std::string BenchKey(uint64_t i) {
@@ -107,9 +114,12 @@ void EmitJson(FILE* f, uint64_t records, uint64_t ops,
     const Row& r = rows[i];
     fprintf(f,
             "    {\"op\": \"%s\", \"connections\": %d, \"pipeline\": %d, "
-            "\"kops\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+            "\"kops\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+            "\"srv_cnt\": %" PRIu64 ", \"srv_p50_us\": %" PRIu64
+            ", \"srv_p99_us\": %" PRIu64 "}%s\n",
             r.op.c_str(), r.connections, r.pipeline, r.kops, r.p50_us,
-            r.p99_us, i + 1 < rows.size() ? "," : "");
+            r.p99_us, r.server.cnt, r.server.p50_us, r.server.p99_us,
+            i + 1 < rows.size() ? "," : "");
   }
   fprintf(f, "  ]\n}\n");
 }
@@ -118,6 +128,7 @@ int Main(int argc, char** argv) {
   uint64_t records = 100000;
   uint64_t ops = 400000;  // Per pipelined row; unpipelined rows run ops/8.
   std::string json_path;
+  bool telemetry = true;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--smoke") == 0) {
       records = 2000;
@@ -128,9 +139,12 @@ int Main(int argc, char** argv) {
       records = strtoull(argv[++i], nullptr, 10);
     } else if (strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
       ops = strtoull(argv[++i], nullptr, 10);
+    } else if (strcmp(argv[i], "--no-telemetry") == 0) {
+      telemetry = false;
     } else {
       fprintf(stderr,
-              "usage: %s [--smoke] [--json path] [--records N] [--ops N]\n",
+              "usage: %s [--smoke] [--json path] [--records N] [--ops N] "
+              "[--no-telemetry]\n",
               argv[0]);
       return 2;
     }
@@ -148,6 +162,7 @@ int Main(int argc, char** argv) {
   server_options.net.port = 0;
   server_options.executor.mode = threading::ThreadMode::kSingle;
   server::Server srv(db->get(), server_options);
+  srv.commands()->set_telemetry_enabled(telemetry);
   Status s = srv.Start();
   if (!s.ok()) {
     fprintf(stderr, "server: %s\n", s.ToString().c_str());
@@ -181,11 +196,23 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // Admin connection for server-side telemetry: resets the op's latency
+  // histogram before each row and fetches the snapshot after it.
+  server::Client admin;
+  if (!admin.Connect("127.0.0.1", srv.port()).ok()) {
+    fprintf(stderr, "admin connect failed\n");
+    return 1;
+  }
+
   std::vector<Row> rows;
   for (const char* op : {"get", "set"}) {
     for (int connections : {1, 2, 4}) {
       for (int pipeline : {1, 32}) {
         const uint64_t row_ops = pipeline == 1 ? ops / 8 : ops;
+        if (!ResetServerLatency(&admin, op)) {
+          fprintf(stderr, "LATENCY RESET failed\n");
+          return 1;
+        }
         const uint64_t per_conn =
             row_ops / static_cast<uint64_t>(connections);
         std::vector<std::thread> threads;
@@ -222,10 +249,17 @@ int Main(int argc, char** argv) {
             seconds > 0 ? static_cast<double>(total) / seconds / 1e3 : 0;
         row.p50_us = static_cast<double>(merged.Percentile(0.50));
         row.p99_us = static_cast<double>(merged.Percentile(0.99));
+        row.server = FetchServerLatency(&admin, op);
+        if (!row.server.ok) {
+          fprintf(stderr, "LATENCY HISTOGRAM failed\n");
+          return 1;
+        }
         rows.push_back(row);
         printf("%-4s conns=%d pipeline=%-3d %10.1f kops  p50=%6.0fus "
-               "p99=%6.0fus\n",
-               op, connections, pipeline, row.kops, row.p50_us, row.p99_us);
+               "p99=%6.0fus  srv(cnt=%" PRIu64 " p50=%" PRIu64
+               "us p99=%" PRIu64 "us)\n",
+               op, connections, pipeline, row.kops, row.p50_us, row.p99_us,
+               row.server.cnt, row.server.p50_us, row.server.p99_us);
         fflush(stdout);
       }
     }

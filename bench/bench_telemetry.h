@@ -1,0 +1,73 @@
+// Server-side telemetry sampling for the loopback benches.
+//
+// The server clocks every command itself (dispatch -> reply) into
+// per-command LatencyHistograms and exposes the snapshots over RESP as
+// LATENCY HISTOGRAM <cmd>. The benches reset the relevant histogram
+// before each row and fetch it after, so every row reports the
+// server-observed latency next to the client-observed round-trip
+// numbers — the gap between the two is loopback + parse + queue time.
+
+#ifndef TIERBASE_BENCH_BENCH_TELEMETRY_H_
+#define TIERBASE_BENCH_BENCH_TELEMETRY_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "server/client.h"
+
+namespace tierbase {
+namespace bench {
+
+/// One parsed LATENCY HISTOGRAM snapshot (microseconds).
+struct ServerLatency {
+  bool ok = false;
+  uint64_t cnt = 0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
+  uint64_t max_us = 0;
+};
+
+/// LATENCY RESET <cmd>: zeroes the server's histogram for one command so
+/// the next fetch covers exactly one bench row.
+inline bool ResetServerLatency(server::Client* client,
+                               const std::string& cmd) {
+  server::RespValue reply;
+  return client->Call({"LATENCY", "RESET", cmd}, &reply).ok() &&
+         !reply.IsError();
+}
+
+/// LATENCY HISTOGRAM <cmd>: fetches and parses the server's snapshot.
+/// Returns ok=false on transport errors or an unparsable reply (e.g. a
+/// server running with --no-telemetry still answers, with cnt=0).
+inline ServerLatency FetchServerLatency(server::Client* client,
+                                        const std::string& cmd) {
+  ServerLatency out;
+  server::RespValue reply;
+  if (!client->Call({"LATENCY", "HISTOGRAM", cmd}, &reply).ok() ||
+      reply.type != server::RespValue::Type::kArray ||
+      reply.elements.size() < 2) {
+    return out;
+  }
+  // Flattened [name, "cnt=..,p50=..,p99=..,p999=..,max=..", ...] pairs;
+  // with an explicit <cmd> the reply holds exactly one pair.
+  unsigned long long cnt = 0, p50 = 0, p99 = 0, p999 = 0, max = 0;
+  if (sscanf(reply.elements[1].str.c_str(),
+             "cnt=%llu,p50=%llu,p99=%llu,p999=%llu,max=%llu", &cnt, &p50,
+             &p99, &p999, &max) != 5) {
+    return out;
+  }
+  out.ok = true;
+  out.cnt = cnt;
+  out.p50_us = p50;
+  out.p99_us = p99;
+  out.p999_us = p999;
+  out.max_us = max;
+  return out;
+}
+
+}  // namespace bench
+}  // namespace tierbase
+
+#endif  // TIERBASE_BENCH_BENCH_TELEMETRY_H_

@@ -3,16 +3,30 @@
 //   ./build/tierbase_cli -p 6380 PING              # one-shot command
 //   ./build/tierbase_cli -p 6380 SET user:1 alice
 //   ./build/tierbase_cli -p 6380                   # REPL on stdin
+//   ./build/tierbase_cli -p 6380 --monitor         # repeated-INFO diff
 //
 // Flags: -h/--host HOST (default 127.0.0.1), -p/--port PORT (default
 // 6380). Replies print in redis-cli notation: simple strings bare, bulk
 // strings quoted, integers as "(integer) n", errors as "(error) ...",
 // arrays numbered.
+//
+// Monitor mode (README "Observability"): samples the server's telemetry
+// every interval and prints only the numeric keys that changed, with the
+// delta and per-second rate — a poor man's `watch` that reads rates off
+// the counters instead of raw totals.
+//   --monitor           sample INFO repeatedly, print changed keys
+//   --metrics           sample METRICS (Prometheus exposition) instead
+//   --interval-ms N     sampling interval (default 1000)
+//   --count N           stop after N diffs; 0 = until interrupted
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "tierbase/server.h"
@@ -78,6 +92,89 @@ std::vector<std::string> Tokenize(const std::string& line) {
   return tokens;
 }
 
+/// Strict numeric parse: the whole token must be a number.
+bool NumericValue(const std::string& s, double* v) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *v = strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size() && std::isfinite(*v);
+}
+
+/// One telemetry sample: every numeric key in INFO ("key:value" lines)
+/// or METRICS (Prometheus "name value" samples; the label set stays part
+/// of the key so histogram buckets diff individually).
+bool SampleNumeric(server::Client* client, bool use_metrics,
+                   std::map<std::string, double>* out) {
+  server::RespValue reply;
+  Status s = client->Call({use_metrics ? "METRICS" : "INFO"}, &reply);
+  if (!s.ok() || reply.IsError() ||
+      reply.type != server::RespValue::Type::kBulkString) {
+    return false;
+  }
+  out->clear();
+  const std::string& body = reply.str;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    std::string key, value;
+    if (use_metrics) {
+      size_t space = line.rfind(' ');
+      if (space == std::string::npos) continue;
+      key = line.substr(0, space);
+      value = line.substr(space + 1);
+    } else {
+      size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      key = line.substr(0, colon);
+      value = line.substr(colon + 1);
+    }
+    double v = 0;
+    if (NumericValue(value, &v)) (*out)[key] = v;
+  }
+  return true;
+}
+
+int RunMonitor(server::Client* client, bool use_metrics, long interval_ms,
+               long count) {
+  std::map<std::string, double> prev;
+  if (!SampleNumeric(client, use_metrics, &prev)) {
+    fprintf(stderr, "monitor: %s failed\n", use_metrics ? "METRICS" : "INFO");
+    return 1;
+  }
+  printf("monitoring %s: %zu numeric keys, interval %ldms (ctrl-c to "
+         "stop)\n",
+         use_metrics ? "METRICS" : "INFO", prev.size(), interval_ms);
+  fflush(stdout);
+  const double seconds = static_cast<double>(interval_ms) / 1000.0;
+  for (long tick = 1; count == 0 || tick <= count; ++tick) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    std::map<std::string, double> cur;
+    if (!SampleNumeric(client, use_metrics, &cur)) {
+      fprintf(stderr, "monitor: sample failed (server gone?)\n");
+      return 1;
+    }
+    printf("--- tick %ld ---\n", tick);
+    bool changed = false;
+    for (const auto& [key, value] : cur) {
+      auto it = prev.find(key);
+      const double delta = it == prev.end() ? value : value - it->second;
+      if (delta == 0) continue;
+      changed = true;
+      printf("%-40s %14.10g  (%+.10g, %.1f/s)\n", key.c_str(), value, delta,
+             delta / seconds);
+    }
+    if (!changed) printf("(no change)\n");
+    fflush(stdout);
+    prev = std::move(cur);
+  }
+  return 0;
+}
+
 int RunCommand(server::Client* client, const std::vector<std::string>& words) {
   std::vector<Slice> args(words.begin(), words.end());
   server::RespValue reply;
@@ -95,6 +192,10 @@ int RunCommand(server::Client* client, const std::vector<std::string>& words) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 6380;
+  bool monitor = false;
+  bool metrics = false;
+  long interval_ms = 1000;
+  long count = 0;
   int i = 1;
   for (; i < argc; ++i) {
     if ((strcmp(argv[i], "-h") == 0 || strcmp(argv[i], "--host") == 0) &&
@@ -104,9 +205,22 @@ int main(int argc, char** argv) {
                 strcmp(argv[i], "--port") == 0) &&
                i + 1 < argc) {
       port = atoi(argv[++i]);
+    } else if (strcmp(argv[i], "--monitor") == 0) {
+      monitor = true;
+    } else if (strcmp(argv[i], "--metrics") == 0) {
+      monitor = true;
+      metrics = true;
+    } else if (strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
+      interval_ms = atol(argv[++i]);
+    } else if (strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
+      count = atol(argv[++i]);
     } else {
       break;  // First command word.
     }
+  }
+  if (interval_ms <= 0 || count < 0) {
+    fprintf(stderr, "bad --interval-ms/--count\n");
+    return 2;
   }
   if (port <= 0 || port > 65535) {
     fprintf(stderr, "bad port\n");
@@ -120,6 +234,8 @@ int main(int argc, char** argv) {
             s.ToString().c_str());
     return 1;
   }
+
+  if (monitor) return RunMonitor(&client, metrics, interval_ms, count);
 
   if (i < argc) {
     // One-shot: remaining argv is the command.

@@ -27,6 +27,15 @@
 //   --busy-watermark N  shed commands with -BUSY while N dispatch batches
 //                       are already in flight; 0 = unlimited (default)
 //
+// Observability (see README "Observability"):
+//   --slowlog-threshold-micros N
+//                       log commands slower than N micros to SLOWLOG
+//                       (default 10000; 0 logs every command, negative
+//                       disables the slow log)
+//   --no-telemetry      disable per-command clocking, latency histograms
+//                       and the slow log (INFO/METRICS still render; the
+//                       histograms just stay empty)
+//
 // Cluster membership (see README "Running a cluster"):
 //   --cluster-id ID     join a cluster under this node id: enables the
 //                       CLUSTER/REPLICAOF/REPLPULL/WAIT vocabulary, -MOVED
@@ -72,6 +81,7 @@ int Usage(const char* argv0) {
           "          [--wal-sync interval|every]\n"
           "          [--max-clients N] [--max-out-buffer B]\n"
           "          [--busy-watermark N]\n"
+          "          [--slowlog-threshold-micros N] [--no-telemetry]\n"
           "          [--cluster-id ID] [--replicaof HOST:PORT]\n"
           "          [--oplog-cap N]\n",
           argv0);
@@ -97,6 +107,8 @@ int main(int argc, char** argv) {
   std::string cluster_id;
   std::string replicaof;
   size_t oplog_cap = 65536;
+  long long slowlog_threshold = 10'000;
+  bool telemetry = true;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -138,6 +150,11 @@ int main(int argc, char** argv) {
       replicaof = next("--replicaof");
     } else if (strcmp(argv[i], "--oplog-cap") == 0) {
       oplog_cap = strtoull(next("--oplog-cap"), nullptr, 10);
+    } else if (strcmp(argv[i], "--slowlog-threshold-micros") == 0) {
+      slowlog_threshold =
+          strtoll(next("--slowlog-threshold-micros"), nullptr, 10);
+    } else if (strcmp(argv[i], "--no-telemetry") == 0) {
+      telemetry = false;
     } else {
       return Usage(argv[0]);
     }
@@ -204,6 +221,8 @@ int main(int argc, char** argv) {
   server_options.executor.max_threads = max_threads;
 
   server::Server srv(db->get(), server_options);
+  srv.commands()->set_telemetry_enabled(telemetry);
+  srv.commands()->slowlog()->set_threshold_micros(slowlog_threshold);
 
   std::unique_ptr<cluster_net::NodeClusterState> cluster;
   if (!cluster_id.empty()) {

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Scrapes a tierbase server/proxy/coordinator METRICS endpoint (Prometheus
+# text exposition over RESP) and lints the format: every sample must carry
+# a # TYPE, every name must be tierbase_-prefixed, histogram buckets must
+# be cumulative and agree with _count. With a metric name argument it
+# prints just that metric's value (CI asserts op counts this way).
+#
+#   ./scripts/metrics_scrape.sh <port>                 # scrape + lint
+#   ./scripts/metrics_scrape.sh <port> <metric>        # print one value
+#
+# Env: BUILD_DIR (default ./build), HOST (default 127.0.0.1).
+set -euo pipefail
+
+PORT="${1:?usage: metrics_scrape.sh <port> [metric]}"
+METRIC="${2:-}"
+BUILD_DIR="${BUILD_DIR:-./build}"
+HOST="${HOST:-127.0.0.1}"
+CLI="$BUILD_DIR/tierbase_cli"
+
+fail() { echo "metrics_scrape: $1" >&2; exit 1; }
+
+[ -x "$CLI" ] || fail "missing $CLI"
+
+# The CLI prints the METRICS bulk reply quoted; strip the quotes and CRs.
+BODY="$("$CLI" -h "$HOST" -p "$PORT" METRICS | tr -d '\r' \
+        | sed -e '1s/^"//' -e '$s/"$//')" || fail "scrape failed"
+[ -n "$BODY" ] || fail "empty METRICS body"
+
+# Format lint (POSIX awk): comment lines are # HELP/# TYPE; sample lines
+# are <tierbase_name>[{labels}] <number>; histogram bucket counts are
+# nondecreasing in le-order and the +Inf bucket equals _count.
+echo "$BODY" | awk '
+  NF == 0 { next }
+  /^# HELP tierbase_[a-zA-Z0-9_]+ / { next }
+  /^# TYPE tierbase_[a-zA-Z0-9_]+ (counter|gauge|histogram)$/ {
+    typed[$3] = $4
+    next
+  }
+  /^#/ { print "bad comment line " NR ": " $0 > "/dev/stderr"; bad = 1; next }
+  {
+    if ($0 !~ /^tierbase_[a-zA-Z0-9_]+(\{[^{}]*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/) {
+      print "bad sample line " NR ": " $0 > "/dev/stderr"; bad = 1; next
+    }
+    name = $1
+    sub(/\{.*/, "", name)
+    base = name
+    sub(/_(bucket|sum|count)$/, "", base)
+    if (!(name in typed) && !(base in typed)) {
+      print "sample without # TYPE: " name > "/dev/stderr"; bad = 1
+    }
+    if ($1 ~ /_bucket\{le="/) {
+      le = $1
+      sub(/.*le="/, "", le)
+      sub(/".*/, "", le)
+      if (name in last && $2 + 0 < last[name]) {
+        print "non-cumulative buckets: " $1 > "/dev/stderr"; bad = 1
+      }
+      last[name] = $2 + 0
+      if (le == "+Inf") inf[name] = $2 + 0
+    }
+    if (name ~ /_count$/) cnt[name] = $2 + 0
+  }
+  END {
+    for (n in inf) {
+      c = n
+      sub(/_bucket$/, "_count", c)
+      if (!(c in cnt)) {
+        print "histogram missing _count: " n > "/dev/stderr"; bad = 1
+      } else if (cnt[c] != inf[n]) {
+        print "histogram +Inf bucket != _count: " n > "/dev/stderr"; bad = 1
+      }
+    }
+    exit bad
+  }
+' || fail "format lint failed"
+
+if [ -n "$METRIC" ]; then
+  echo "$BODY" | awk -v m="$METRIC" '$1 == m { print $2; found = 1 }
+                                     END { exit found ? 0 : 1 }' \
+    || fail "metric not found: $METRIC"
+else
+  echo "$BODY"
+fi

@@ -1,5 +1,6 @@
 #include "cluster_net/cluster_client.h"
 #include "common/mutex.h"
+#include "common/perf_context.h"
 
 #include <cstdlib>
 #include <cstring>
@@ -258,6 +259,7 @@ void NetClusterClient::MultiGet(const std::vector<Slice>& keys,
   values->assign(keys.size(), std::string());
   statuses->assign(keys.size(), Status::Unavailable("not attempted"));
   if (keys.empty()) return;
+  metrics::ScopedPerfStage fanout_stage(metrics::PerfContext::kNetFanout);
   common::MutexLock lock(&mu_);
 
   std::vector<bool> pending(keys.size(), true);
@@ -326,7 +328,10 @@ void NetClusterClient::MultiGet(const std::vector<Slice>& keys,
     for (auto& [id, g] : groups) {
       if (g.conn == nullptr) continue;  // Flush already failed.
       server::RespValue reply;
+      const uint64_t wait_start = Clock::Real()->NowMicros();
       Status s = g.conn->ReadReply(&reply);
+      stats_.node_fanout_micros[g.node_id] +=
+          Clock::Real()->NowMicros() - wait_start;
       if (!s.ok()) {
         for (size_t i : g.indices) (*statuses)[i] = s;
         BreakerLocked(g.node_id)->RecordFailure();
@@ -376,6 +381,7 @@ void NetClusterClient::MultiSet(const std::vector<Slice>& keys,
                                 std::vector<Status>* statuses) {
   statuses->assign(keys.size(), Status::Unavailable("not attempted"));
   if (keys.empty()) return;
+  metrics::ScopedPerfStage fanout_stage(metrics::PerfContext::kNetFanout);
   common::MutexLock lock(&mu_);
 
   std::vector<bool> pending(keys.size(), true);
@@ -444,7 +450,10 @@ void NetClusterClient::MultiSet(const std::vector<Slice>& keys,
     for (auto& [id, g] : groups) {
       if (g.conn == nullptr) continue;
       server::RespValue reply;
+      const uint64_t wait_start = Clock::Real()->NowMicros();
       Status s = g.conn->ReadReply(&reply);
+      stats_.node_fanout_micros[g.node_id] +=
+          Clock::Real()->NowMicros() - wait_start;
       if (!s.ok()) {
         for (size_t i : g.indices) (*statuses)[i] = s;
         BreakerLocked(g.node_id)->RecordFailure();

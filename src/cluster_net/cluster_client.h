@@ -113,6 +113,11 @@ class NetClusterClient : public KvEngine {
     std::map<std::string, std::string> breaker_states;
     /// Scatter–gather sub-batches shipped, per node id.
     std::map<std::string, uint64_t> node_batches;
+    /// Cumulative micros spent waiting on each node's scatter–gather
+    /// reply, per node id. fanout_micros / batches is the node's mean
+    /// sub-batch latency — the slowest node bounds the whole gather, so a
+    /// skewed entry here names the straggler.
+    std::map<std::string, uint64_t> node_fanout_micros;
   };
   Stats GetStats() const;
 

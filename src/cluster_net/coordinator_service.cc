@@ -32,6 +32,35 @@ CoordinatorService::CoordinatorService(Options options)
     : options_(std::move(options)) {
   routing_.virtual_nodes = options_.virtual_nodes;
   routing_.epoch = 1;
+  RegisterInstruments();
+}
+
+void CoordinatorService::RegisterInstruments() {
+  auto poll = [this](const char* key, const char* help, metrics::MetricType t,
+                     std::function<uint64_t()> fn) {
+    registry_.AddCallback("Coordinator", key, help, t, std::move(fn));
+  };
+  poll("cluster_epoch", "Authoritative routing epoch",
+       metrics::MetricType::kGauge, [this] { return epoch(); });
+  poll("known_nodes", "Nodes in the routing table",
+       metrics::MetricType::kGauge,
+       [this] { return static_cast<uint64_t>(Routing().nodes.size()); });
+  poll("failovers", "Replica promotions performed",
+       metrics::MetricType::kCounter, [this] { return failovers_.load(); });
+  poll("probe_interval_micros", "Probe period (0 = probing off)",
+       metrics::MetricType::kGauge,
+       [this] { return options_.probe_interval_micros; });
+  poll("node_io_timeout_micros", "Control-plane per-call I/O budget",
+       metrics::MetricType::kGauge,
+       [this] { return options_.node_io_timeout_micros; });
+  poll("probes_sent", "Health probes sent", metrics::MetricType::kCounter,
+       [this] { return probes_sent_.load(); });
+  poll("probe_failures", "Health probes that failed",
+       metrics::MetricType::kCounter,
+       [this] { return probe_failures_.load(); });
+  poll("probe_marked_failed", "Nodes failed by the prober",
+       metrics::MetricType::kCounter,
+       [this] { return probe_marked_failed_.load(); });
 }
 
 CoordinatorService::~CoordinatorService() { Stop(); }
@@ -286,33 +315,12 @@ void CoordinatorService::Execute(
     } else if (EqualsUpper(name, "COMMAND")) {
       server::AppendArrayHeader(out, 0);
     } else if (EqualsUpper(name, "INFO")) {
-      WireRouting snapshot = Routing();
-      std::string body = "# Coordinator\r\n";
-      char line[96];
-      snprintf(line, sizeof(line), "cluster_epoch:%" PRIu64 "\r\n",
-               snapshot.epoch);
-      body += line;
-      snprintf(line, sizeof(line), "known_nodes:%zu\r\n",
-               snapshot.nodes.size());
-      body += line;
-      snprintf(line, sizeof(line), "failovers:%" PRIu64 "\r\n",
-               failovers_.load());
-      body += line;
-      snprintf(line, sizeof(line), "probe_interval_micros:%" PRIu64 "\r\n",
-               options_.probe_interval_micros);
-      body += line;
-      snprintf(line, sizeof(line), "node_io_timeout_micros:%" PRIu64 "\r\n",
-               options_.node_io_timeout_micros);
-      body += line;
-      snprintf(line, sizeof(line), "probes_sent:%" PRIu64 "\r\n",
-               probes_sent_.load());
-      body += line;
-      snprintf(line, sizeof(line), "probe_failures:%" PRIu64 "\r\n",
-               probe_failures_.load());
-      body += line;
-      snprintf(line, sizeof(line), "probe_marked_failed:%" PRIu64 "\r\n",
-               probe_marked_failed_.load());
-      body += line;
+      std::string body;
+      registry_.RenderInfo(&body);
+      server::AppendBulk(out, body);
+    } else if (EqualsUpper(name, "METRICS")) {
+      std::string body;
+      registry_.RenderPrometheus(&body);
       server::AppendBulk(out, body);
     } else if (EqualsUpper(name, "CLUSTER") && cmd.args.size() >= 2) {
       ExecuteCluster(cmd, out);

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "cluster_net/routing.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/transport.h"
 #include "server/event_loop.h"
@@ -84,9 +85,14 @@ class CoordinatorService {
   /// Nodes the prober (not a client report) marked failed.
   uint64_t probe_marked_failed() const { return probe_marked_failed_.load(); }
 
+  /// The coordinator's instrument registry (INFO/METRICS source).
+  metrics::MetricsRegistry* registry() { return &registry_; }
+
  private:
   void Execute(const std::vector<server::RespCommand>& cmds, std::string* out,
                bool* close_connection, bool* shutdown_server);
+  /// Registers the coordinator's instruments. Called once from the ctor.
+  void RegisterInstruments();
   void ExecuteCluster(const server::RespCommand& cmd, std::string* out);
   /// Best-effort CLUSTER SETSLOTS push to every healthy node.
   void PushRouting();
@@ -111,6 +117,8 @@ class CoordinatorService {
   // Start/Stop lifecycle flag; those calls must come from one thread (the
   // owner), so it needs no lock.
   bool running_ = false;
+
+  metrics::MetricsRegistry registry_;
 };
 
 }  // namespace tierbase::cluster_net

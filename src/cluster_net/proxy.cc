@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/clock.h"
 #include "server/resp.h"
 
 namespace tierbase::cluster_net {
@@ -28,7 +29,89 @@ void AppendStatus(std::string* out, const Status& s) {
 
 }  // namespace
 
-ClusterProxy::ClusterProxy(Options options) : options_(std::move(options)) {}
+ClusterProxy::ClusterProxy(Options options) : options_(std::move(options)) {
+  RegisterInstruments();
+}
+
+void ClusterProxy::RegisterInstruments() {
+  // Callbacks null-check backend_/loop_: INFO can run (in tests) before
+  // Start() wires them.
+  registry_.AddText("Proxy", "proxy_port",
+                    [this] { return std::to_string(port()); });
+  commands_ = registry_.AddCounter("Proxy", "proxy_commands",
+                                   "Commands executed by the proxy");
+  batches_ = registry_.AddCounter("Proxy", "proxy_batches",
+                                  "Pipelined batches executed");
+  coalesced_ = registry_.AddCounter(
+      "Proxy", "proxy_coalesced_commands",
+      "Commands served through cluster-wide scatter-gather trains");
+  registry_.AddCallback(
+      "Proxy", "connected_clients", "Connections currently open",
+      metrics::MetricType::kGauge,
+      [this] { return loop_ != nullptr ? loop_->connections_active() : 0; });
+  fanout_hist_ = registry_.AddHistogram(
+      "Proxy", "proxy_fanout_latency_us",
+      "Scatter-gather train latency (all nodes shipped and gathered), "
+      "microseconds");
+
+  // One backend-stats snapshot per render; the callbacks below read it.
+  registry_.AddPreRender([this] {
+    info_stats_ = backend_ != nullptr ? backend_->GetStats()
+                                      : NetClusterClient::Stats();
+  });
+  registry_.AddCallback(
+      "Cluster", "cluster_epoch", "Routing snapshot epoch",
+      metrics::MetricType::kGauge,
+      [this] { return backend_ != nullptr ? backend_->epoch() : 0; });
+  registry_.AddCallback("Cluster", "route_refreshes",
+                        "Routing snapshot refreshes",
+                        metrics::MetricType::kCounter,
+                        [this] { return info_stats_.route_refreshes; });
+  registry_.AddCallback("Cluster", "moved_redirects",
+                        "-MOVED replies observed",
+                        metrics::MetricType::kCounter,
+                        [this] { return info_stats_.moved_redirects; });
+  registry_.AddCallback("Cluster", "failures_reported",
+                        "Node failures reported to the coordinator",
+                        metrics::MetricType::kCounter,
+                        [this] { return info_stats_.failures_reported; });
+  // Per-node keys are dynamic (they follow the routing snapshot), so they
+  // render as an INFO-only block.
+  registry_.AddBlock("Cluster", [this](std::string* out) {
+    char line[160];
+    for (const auto& [node, batches] : info_stats_.node_batches) {
+      snprintf(line, sizeof(line), "routed_batches_%s:%" PRIu64 "\r\n",
+               node.c_str(), batches);
+      *out += line;
+    }
+    for (const auto& [node, micros] : info_stats_.node_fanout_micros) {
+      snprintf(line, sizeof(line), "fanout_micros_%s:%" PRIu64 "\r\n",
+               node.c_str(), micros);
+      *out += line;
+    }
+  });
+
+  registry_.AddCallback("Robustness", "backoff_waits",
+                        "Backoff sleeps between failed attempts",
+                        metrics::MetricType::kCounter,
+                        [this] { return info_stats_.backoff_waits; });
+  registry_.AddCallback("Robustness", "breaker_trips",
+                        "Circuit breaker open transitions",
+                        metrics::MetricType::kCounter,
+                        [this] { return info_stats_.breaker_trips; });
+  registry_.AddCallback("Robustness", "breaker_fast_fails",
+                        "Operations rejected by an open breaker",
+                        metrics::MetricType::kCounter,
+                        [this] { return info_stats_.breaker_fast_fails; });
+  registry_.AddBlock("Robustness", [this](std::string* out) {
+    char line[160];
+    for (const auto& [node, state] : info_stats_.breaker_states) {
+      snprintf(line, sizeof(line), "breaker_state_%s:%s\r\n", node.c_str(),
+               state.c_str());
+      *out += line;
+    }
+  });
+}
 
 ClusterProxy::~ClusterProxy() { Stop(); }
 
@@ -84,8 +167,8 @@ void ClusterProxy::Wait() {
 void ClusterProxy::ExecuteBatch(const std::vector<server::RespCommand>& cmds,
                                 std::string* out, bool* close_connection,
                                 bool* shutdown_server) {
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  commands_.fetch_add(cmds.size(), std::memory_order_relaxed);
+  batches_->Inc();
+  commands_->Inc(cmds.size());
   size_t i = 0;
   while (i < cmds.size()) {
     // A pipelined train of plain GETs (or SETs) becomes one cluster-wide
@@ -98,7 +181,7 @@ void ClusterProxy::ExecuteBatch(const std::vector<server::RespCommand>& cmds,
       }
       if (j - i >= 2) {
         BatchedGets(cmds, i, j, out);
-        coalesced_.fetch_add(j - i, std::memory_order_relaxed);
+        coalesced_->Inc(j - i);
         i = j;
         continue;
       }
@@ -111,7 +194,7 @@ void ClusterProxy::ExecuteBatch(const std::vector<server::RespCommand>& cmds,
       }
       if (j - i >= 2) {
         BatchedSets(cmds, i, j, out);
-        coalesced_.fetch_add(j - i, std::memory_order_relaxed);
+        coalesced_->Inc(j - i);
         i = j;
         continue;
       }
@@ -128,7 +211,9 @@ void ClusterProxy::BatchedGets(const std::vector<server::RespCommand>& cmds,
   for (size_t i = begin; i < end; ++i) keys.push_back(cmds[i].args[1]);
   std::vector<std::string> values;
   std::vector<Status> statuses;
+  const uint64_t t0 = Clock::Real()->NowMicros();
   backend_->MultiGet(keys, &values, &statuses);
+  fanout_hist_->Record(Clock::Real()->NowMicros() - t0);
   for (size_t i = 0; i < keys.size(); ++i) {
     if (statuses[i].ok()) {
       server::AppendBulk(out, values[i]);
@@ -150,7 +235,9 @@ void ClusterProxy::BatchedSets(const std::vector<server::RespCommand>& cmds,
     values.push_back(cmds[i].args[2]);
   }
   std::vector<Status> statuses;
+  const uint64_t t0 = Clock::Real()->NowMicros();
   backend_->MultiSet(keys, values, &statuses);
+  fanout_hist_->Record(Clock::Real()->NowMicros() - t0);
   for (const Status& s : statuses) {
     if (s.ok()) {
       server::AppendSimpleString(out, "OK");
@@ -196,6 +283,12 @@ void ClusterProxy::ExecuteOne(const server::RespCommand& cmd,
   }
   if (EqualsUpper(name, "INFO")) {
     Info(out);
+    return;
+  }
+  if (EqualsUpper(name, "METRICS")) {
+    std::string body;
+    registry_.RenderPrometheus(&body);
+    server::AppendBulk(out, body);
     return;
   }
   if (EqualsUpper(name, "GET") && argc == 2) {
@@ -301,36 +394,7 @@ void ClusterProxy::ExecuteOne(const server::RespCommand& cmd,
 
 void ClusterProxy::Info(std::string* out) {
   std::string body;
-  char line[160];
-  auto add = [&](const char* fmt, auto... args) {
-    snprintf(line, sizeof(line), fmt, args...);
-    body += line;
-    body += "\r\n";
-  };
-  NetClusterClient::Stats stats = backend_->GetStats();
-  body += "# Proxy\r\n";
-  add("proxy_port:%u", static_cast<unsigned>(port()));
-  add("proxy_commands:%" PRIu64, commands_.load());
-  add("proxy_batches:%" PRIu64, batches_.load());
-  add("proxy_coalesced_commands:%" PRIu64, coalesced_.load());
-  if (loop_ != nullptr) {
-    add("connected_clients:%" PRIu64, loop_->connections_active());
-  }
-  body += "\r\n# Cluster\r\n";
-  add("cluster_epoch:%" PRIu64, backend_->epoch());
-  add("route_refreshes:%" PRIu64, stats.route_refreshes);
-  add("moved_redirects:%" PRIu64, stats.moved_redirects);
-  add("failures_reported:%" PRIu64, stats.failures_reported);
-  for (const auto& [node, batches] : stats.node_batches) {
-    add("routed_batches_%s:%" PRIu64, node.c_str(), batches);
-  }
-  body += "\r\n# Robustness\r\n";
-  add("backoff_waits:%" PRIu64, stats.backoff_waits);
-  add("breaker_trips:%" PRIu64, stats.breaker_trips);
-  add("breaker_fast_fails:%" PRIu64, stats.breaker_fast_fails);
-  for (const auto& [node, state] : stats.breaker_states) {
-    add("breaker_state_%s:%s", node.c_str(), state.c_str());
-  }
+  registry_.RenderInfo(&body);
   server::AppendBulk(out, body);
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cluster_net/cluster_client.h"
+#include "common/metrics.h"
 #include "server/event_loop.h"
 #include "threading/elastic_executor.h"
 
@@ -57,6 +58,9 @@ class ClusterProxy {
 
   NetClusterClient* backend() { return backend_.get(); }
 
+  /// The proxy's instrument registry (INFO/METRICS source).
+  metrics::MetricsRegistry* registry() { return &registry_; }
+
  private:
   void ExecuteBatch(const std::vector<server::RespCommand>& cmds,
                     std::string* out, bool* close_connection,
@@ -68,6 +72,8 @@ class ClusterProxy {
   void BatchedSets(const std::vector<server::RespCommand>& cmds, size_t begin,
                    size_t end, std::string* out);
   void Info(std::string* out);
+  /// Registers the proxy's instruments. Called once from the ctor.
+  void RegisterInstruments();
 
   Options options_;
   std::unique_ptr<NetClusterClient> backend_;
@@ -76,9 +82,16 @@ class ClusterProxy {
   std::thread loop_thread_;
   bool running_ = false;
 
-  std::atomic<uint64_t> commands_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> coalesced_{0};
+  metrics::MetricsRegistry registry_;
+  metrics::Counter* commands_ = nullptr;
+  metrics::Counter* batches_ = nullptr;
+  metrics::Counter* coalesced_ = nullptr;
+  metrics::LatencyHistogram* fanout_hist_ = nullptr;
+
+  // One backend-stats snapshot per registry render (pre-render hook);
+  // written and read only inside registry renders, which the registry
+  // serializes under its own lock.
+  NetClusterClient::Stats info_stats_;
 };
 
 }  // namespace tierbase::cluster_net

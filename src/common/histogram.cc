@@ -49,6 +49,12 @@ void Histogram::AddBucketCount(int bucket, uint64_t count) {
   max_ = std::max(max_, edge);
 }
 
+void Histogram::SetExactTotals(uint64_t sum, uint64_t max) {
+  if (count_ == 0) return;
+  sum_ = sum;
+  max_ = max;
+}
+
 void Histogram::Merge(const Histogram& other) {
   for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
   count_ += other.count_;
@@ -82,26 +88,6 @@ std::string Histogram::Summary() const {
            static_cast<unsigned long long>(Percentile(0.999)),
            static_cast<unsigned long long>(max_));
   return buf;
-}
-
-void ConcurrentHistogram::Add(uint64_t value) {
-  int b = Histogram::BucketFor(value);
-  buckets_[static_cast<size_t>(b)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(value, std::memory_order_relaxed);
-  uint64_t prev = max_.load(std::memory_order_relaxed);
-  while (value > prev &&
-         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
-  }
-}
-
-Histogram ConcurrentHistogram::Snapshot() const {
-  Histogram h;
-  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
-    h.AddBucketCount(
-        i, buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed));
-  }
-  return h;
 }
 
 }  // namespace tierbase

@@ -1,12 +1,12 @@
-// Log-bucketed latency histogram with percentile queries. A thread-safe
-// variant is provided for the benchmark harness (many client threads record
-// concurrently; readers snapshot at the end).
+// Log-bucketed latency histogram with percentile queries. The thread-safe
+// variant lives in common/metrics.h (metrics::LatencyHistogram): writers
+// record into lock-striped atomic buckets and readers snapshot into this
+// plain Histogram for reporting.
 
 #ifndef TIERBASE_COMMON_HISTOGRAM_H_
 #define TIERBASE_COMMON_HISTOGRAM_H_
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -29,10 +29,15 @@ class Histogram {
   void Merge(const Histogram& other);
 
   /// Adds `count` observations into `bucket` directly (used when merging
-  /// from a ConcurrentHistogram whose per-value detail is already lost).
+  /// from an atomic histogram whose per-value detail is already lost).
   void AddBucketCount(int bucket, uint64_t count);
 
+  /// Replaces the bucket-edge-derived sum/max with exact totals maintained
+  /// alongside atomic buckets (metrics::LatencyHistogram::Snapshot).
+  void SetExactTotals(uint64_t sum, uint64_t max);
+
   uint64_t Count() const { return count_; }
+  uint64_t Sum() const { return sum_; }
   uint64_t Min() const { return count_ ? min_ : 0; }
   uint64_t Max() const { return max_; }
   double Mean() const {
@@ -50,6 +55,10 @@ class Histogram {
   static int BucketFor(uint64_t value);
   /// Largest value mapping into `bucket`.
   static uint64_t BucketUpperEdge(int bucket);
+  /// Raw count in `bucket` (Prometheus cumulative-bucket exposition).
+  uint64_t BucketCount(int bucket) const {
+    return buckets_[static_cast<size_t>(bucket)];
+  }
 
  private:
   std::array<uint64_t, kNumBuckets> buckets_;
@@ -57,24 +66,6 @@ class Histogram {
   uint64_t sum_;
   uint64_t min_;
   uint64_t max_;
-};
-
-/// Thread-safe histogram: Add() touches only atomics; Snapshot() produces a
-/// plain Histogram for reporting.
-class ConcurrentHistogram {
- public:
-  ConcurrentHistogram() {
-    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  }
-
-  void Add(uint64_t value);
-  Histogram Snapshot() const;
-
- private:
-  std::array<std::atomic<uint64_t>, Histogram::kNumBuckets> buckets_{};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_{0};
-  std::atomic<uint64_t> max_{0};
 };
 
 }  // namespace tierbase

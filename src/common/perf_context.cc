@@ -1,0 +1,72 @@
+#include "common/perf_context.h"
+
+#include <cstdio>
+
+namespace tierbase {
+namespace metrics {
+
+namespace internal {
+#if defined(__GNUC__) || defined(__clang__)
+__thread PerfContext* tls_perf_context = nullptr;
+#else
+thread_local PerfContext* tls_perf_context = nullptr;
+#endif
+}  // namespace internal
+
+const char* PerfContext::StageName(int stage) {
+  switch (stage) {
+    case kParse:
+      return "parse";
+    case kQueueWait:
+      return "queue_wait";
+    case kCacheProbe:
+      return "cache_probe";
+    case kStorageRead:
+      return "storage_read";
+    case kStorageWrite:
+      return "storage_write";
+    case kWalAppend:
+      return "wal_append";
+    case kOplogAppend:
+      return "oplog_append";
+    case kReplicaWait:
+      return "replica_wait";
+    case kNetFanout:
+      return "net_fanout";
+    default:
+      return "unknown";
+  }
+}
+
+void PerfContext::Reset() { *this = PerfContext(); }
+
+uint64_t PerfContext::StageSum() const {
+  uint64_t sum = 0;
+  for (int s = 0; s < kNumStages; ++s) sum += stage_micros_[s];
+  return sum;
+}
+
+void PerfContext::AppendReport(std::string* out) const {
+  char buf[96];
+  for (int s = 0; s < kNumStages; ++s) {
+    snprintf(buf, sizeof(buf), "%s_micros:%llu\r\n%s_calls:%llu\r\n",
+             StageName(s), static_cast<unsigned long long>(stage_micros_[s]),
+             StageName(s), static_cast<unsigned long long>(stage_calls_[s]));
+    out->append(buf);
+  }
+  snprintf(buf, sizeof(buf), "stage_sum_micros:%llu\r\n",
+           static_cast<unsigned long long>(StageSum()));
+  out->append(buf);
+  snprintf(buf, sizeof(buf), "wall_micros:%llu\r\n",
+           static_cast<unsigned long long>(wall_micros_));
+  out->append(buf);
+  snprintf(buf, sizeof(buf), "commands:%llu\r\n",
+           static_cast<unsigned long long>(commands_));
+  out->append(buf);
+  snprintf(buf, sizeof(buf), "batches:%llu\r\n",
+           static_cast<unsigned long long>(batches_));
+  out->append(buf);
+}
+
+}  // namespace metrics
+}  // namespace tierbase

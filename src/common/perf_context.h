@@ -1,0 +1,143 @@
+// Per-request performance tracing, after RocksDB's PerfContext: an opt-in
+// accumulator that attributes a request's microseconds to pipeline stages
+// (parse, queue wait, cache probe, storage read/write, WAL append, oplog
+// append, replica wait, network fan-out).
+//
+// A connection that issued PERF ON owns one PerfContext. The server
+// installs it into thread-local storage for the duration of each dispatched
+// batch (ScopedPerfContext); instrumentation points anywhere below — the
+// command table, TierBase, the LSM tier, the cluster state — time
+// themselves with ScopedPerfStage, which is a single thread-local load and
+// a branch when tracing is off. No stage code takes a lock or allocates.
+//
+// The PerfContext itself is plain (non-atomic) state: only one batch per
+// connection is in flight at a time, and consecutive batches are ordered
+// through the executor's queue, so accesses are sequenced even when they
+// land on different executor threads.
+
+#ifndef TIERBASE_COMMON_PERF_CONTEXT_H_
+#define TIERBASE_COMMON_PERF_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace tierbase {
+namespace metrics {
+
+class PerfContext {
+ public:
+  enum Stage : int {
+    kParse = 0,     // RESP bytes -> commands (event-loop thread).
+    kQueueWait,     // Dispatch enqueue -> executor pickup.
+    kCacheProbe,    // Memory-tier lookups/inserts.
+    kStorageRead,   // Storage-tier fetches (LSM Get/MultiGet).
+    kStorageWrite,  // Write-through/write-back storage writes.
+    kWalAppend,     // Cache-tier WAL mutation logging.
+    kOplogAppend,   // Cluster replication oplog recording.
+    kReplicaWait,   // WAIT blocking on replica acks.
+    kNetFanout,     // Scatter-gather I/O to other nodes (proxy/client).
+    kNumStages
+  };
+  static const char* StageName(int stage);
+
+  void AddStage(int stage, uint64_t micros) {
+    stage_micros_[stage] += micros;
+    stage_calls_[stage] += 1;
+  }
+
+  /// Accumulates one executed batch: wall time dispatch->reply plus the
+  /// number of commands it carried.
+  void AddBatch(uint64_t wall_micros, uint64_t commands) {
+    wall_micros_ += wall_micros;
+    commands_ += commands;
+    batches_ += 1;
+  }
+
+  void Reset();
+
+  /// "key:value\r\n" report lines: per-stage micros/calls, wall micros,
+  /// command/batch counts, and the stage sum (PERF GET).
+  void AppendReport(std::string* out) const;
+
+  uint64_t stage_micros(int stage) const { return stage_micros_[stage]; }
+  uint64_t stage_calls(int stage) const { return stage_calls_[stage]; }
+  uint64_t wall_micros() const { return wall_micros_; }
+  uint64_t commands() const { return commands_; }
+  uint64_t batches() const { return batches_; }
+  uint64_t StageSum() const;
+
+ private:
+  uint64_t stage_micros_[kNumStages] = {};
+  uint64_t stage_calls_[kNumStages] = {};
+  uint64_t wall_micros_ = 0;
+  uint64_t commands_ = 0;
+  uint64_t batches_ = 0;
+};
+
+namespace internal {
+// `__thread` (not C++ `thread_local`): an extern `thread_local` access
+// compiles to an init-on-first-use wrapper check on every load, which
+// costs measurably on the per-op hot path. `__thread` requires constant
+// initialization — which a null pointer is — and compiles to one
+// %fs-relative load.
+#if defined(__GNUC__) || defined(__clang__)
+extern __thread PerfContext* tls_perf_context;
+#else
+extern thread_local PerfContext* tls_perf_context;
+#endif
+}  // namespace internal
+
+/// The context tracing the current request, or nullptr when tracing is off
+/// (the common case — callers must tolerate null).
+inline PerfContext* CurrentPerfContext() {
+  return internal::tls_perf_context;
+}
+
+/// Installs `ctx` as the current thread's context for the scope (the server
+/// wraps each traced batch execution in one of these). Nestable; restores
+/// the previous context on exit. Passing nullptr is a no-op scope.
+class ScopedPerfContext {
+ public:
+  explicit ScopedPerfContext(PerfContext* ctx)
+      : prev_(internal::tls_perf_context) {
+    if (ctx != nullptr) internal::tls_perf_context = ctx;
+  }
+  ~ScopedPerfContext() { internal::tls_perf_context = prev_; }
+
+  ScopedPerfContext(const ScopedPerfContext&) = delete;
+  ScopedPerfContext& operator=(const ScopedPerfContext&) = delete;
+
+ private:
+  PerfContext* const prev_;
+};
+
+/// Times one stage of the current request. When no context is installed
+/// the constructor is a TLS load plus a branch — cheap enough to leave in
+/// the hot path unconditionally.
+class ScopedPerfStage {
+ public:
+  explicit ScopedPerfStage(int stage)
+      : ctx_(CurrentPerfContext()), stage_(stage) {
+    if (ctx_ != nullptr) start_ = Clock::Real()->NowMicros();
+  }
+  ~ScopedPerfStage() {
+    if (ctx_ != nullptr) {
+      ctx_->AddStage(stage_, Clock::Real()->NowMicros() - start_);
+    }
+  }
+
+  ScopedPerfStage(const ScopedPerfStage&) = delete;
+  ScopedPerfStage& operator=(const ScopedPerfStage&) = delete;
+
+ private:
+  PerfContext* const ctx_;
+  const int stage_;
+  uint64_t start_ = 0;
+};
+
+}  // namespace metrics
+}  // namespace tierbase
+
+#endif  // TIERBASE_COMMON_PERF_CONTEXT_H_

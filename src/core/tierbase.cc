@@ -6,6 +6,7 @@
 #include "common/coding.h"
 #include "common/env.h"
 #include "common/logging.h"
+#include "common/perf_context.h"
 
 namespace tierbase {
 
@@ -251,6 +252,7 @@ Status TierBase::RecoverFromWal() {
 
 Status TierBase::LogMutation(const Slice& key, const Slice& value,
                              bool is_delete) {
+  metrics::ScopedPerfStage wal_stage(metrics::PerfContext::kWalAppend);
   std::string rec =
       EncodeMutation(is_delete ? kOpDelete : kOpSet, key, value);
   if (options_.policy == CachingPolicy::kWalFile) {
@@ -303,7 +305,11 @@ Status TierBase::SetInternal(const Slice& key, const Slice& value,
       // coalescer's pending slot) and only applied to the main cache after
       // the storage tier acknowledges; on failure the cache entry is
       // invalidated so subsequent reads fetch the authoritative value.
-      Status s = write_through_->Write(key, value, /*is_delete=*/false);
+      Status s;
+      {
+        metrics::ScopedPerfStage st(metrics::PerfContext::kStorageWrite);
+        s = write_through_->Write(key, value, /*is_delete=*/false);
+      }
       if (!s.ok()) {
         cache_->Delete(key);
         return s;
@@ -336,7 +342,11 @@ Status TierBase::SetInternal(const Slice& key, const Slice& value,
 Status TierBase::Get(const Slice& key, std::string* value) {
   stats_gets_.fetch_add(1, std::memory_order_relaxed);
 
-  Status s = cache_->Get(key, value);
+  Status s;
+  {
+    metrics::ScopedPerfStage probe(metrics::PerfContext::kCacheProbe);
+    s = cache_->Get(key, value);
+  }
   if (s.ok()) {
     stats_hits_.fetch_add(1, std::memory_order_relaxed);
     return s;
@@ -364,7 +374,10 @@ Status TierBase::Get(const Slice& key, std::string* value) {
 
   stats_misses_.fetch_add(1, std::memory_order_relaxed);
 
-  s = fetcher_->Fetch(key, value);
+  {
+    metrics::ScopedPerfStage read_stage(metrics::PerfContext::kStorageRead);
+    s = fetcher_->Fetch(key, value);
+  }
   if (!s.ok()) return s;
 
   if (options_.populate_on_miss) {
@@ -385,7 +398,10 @@ void TierBase::MultiGet(const std::vector<Slice>& keys,
   const size_t n = keys.size();
   stats_gets_.fetch_add(n, std::memory_order_relaxed);
 
-  cache_->MultiGet(keys, values, statuses);
+  {
+    metrics::ScopedPerfStage probe(metrics::PerfContext::kCacheProbe);
+    cache_->MultiGet(keys, values, statuses);
+  }
 
   uint64_t hits = 0;
   std::vector<uint32_t> misses;
@@ -440,7 +456,10 @@ void TierBase::MultiGet(const std::vector<Slice>& keys,
   for (uint32_t i : misses) miss_keys.push_back(keys[i]);
   std::vector<std::string> fetched;
   std::vector<Status> fetch_statuses;
-  fetcher_->FetchMany(miss_keys, &fetched, &fetch_statuses);
+  {
+    metrics::ScopedPerfStage read_stage(metrics::PerfContext::kStorageRead);
+    fetcher_->FetchMany(miss_keys, &fetched, &fetch_statuses);
+  }
 
   std::vector<Slice> populate_keys;
   std::vector<Slice> populate_values;
@@ -513,7 +532,10 @@ void TierBase::MultiSet(const std::vector<Slice>& keys,
       // §4.1.1 batched: the whole batch is coalesced into one storage
       // call; the cache is updated only for acknowledged writes and
       // invalidated for failed ones.
-      write_through_->WriteBatch(keys, values, statuses);
+      {
+        metrics::ScopedPerfStage st(metrics::PerfContext::kStorageWrite);
+        write_through_->WriteBatch(keys, values, statuses);
+      }
       std::vector<Slice> ok_keys, ok_values;
       std::vector<uint32_t> ok_index;
       for (size_t i = 0; i < n; ++i) {
@@ -583,7 +605,11 @@ Status TierBase::Delete(const Slice& key) {
       return s;
     }
     case CachingPolicy::kWriteThrough: {
-      Status s = write_through_->Write(key, Slice(), /*is_delete=*/true);
+      Status s;
+      {
+        metrics::ScopedPerfStage st(metrics::PerfContext::kStorageWrite);
+        s = write_through_->Write(key, Slice(), /*is_delete=*/true);
+      }
       if (!s.ok()) {
         cache_->Delete(key);  // Invalidate regardless.
         return s;

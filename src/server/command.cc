@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "cluster_net/node_state.h"
+#include "common/clock.h"
 #include "common/mutex.h"
 
 namespace tierbase {
@@ -19,11 +20,16 @@ namespace {
 
 // Cluster admission flags per table entry: which arguments are keys (for
 // -MOVED ownership checks) and whether the command mutates (for -READONLY
-// on replicas).
+// on replicas). Doubles as the SLOWLOG redaction map: key positions are
+// kept, value positions dropped.
 constexpr uint8_t kFlagKey = 1;        // args[1] is a key.
 constexpr uint8_t kFlagKeysAll = 2;    // args[1..] are keys.
 constexpr uint8_t kFlagKeysPairs = 4;  // args[1,3,5..] are keys (MSET).
 constexpr uint8_t kFlagWrite = 8;
+
+// SLOWLOG entries keep at most this many keys per command (Redis caps
+// logged args the same way).
+constexpr size_t kSlowlogMaxKeys = 8;
 
 /// Uppercases a command name into `buf`; false if it can't be a command
 /// (too long for any table entry).
@@ -37,11 +43,17 @@ bool UpperName(const Slice& name, char* buf, size_t cap) {
   return true;
 }
 
+std::string LowerName(const char* name) {
+  std::string out;
+  for (const char* c = name; *c != '\0'; ++c) {
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*c))));
+  }
+  return out;
+}
+
 void AppendWrongArity(std::string* out, const char* upper_name) {
   std::string msg = "ERR wrong number of arguments for '";
-  for (const char* c = upper_name; *c != '\0'; ++c) {
-    msg.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*c))));
-  }
+  msg += LowerName(upper_name);
   msg += "' command";
   AppendError(out, msg);
 }
@@ -88,6 +100,8 @@ std::string FormatDouble(double v) {
 constexpr const char* kOk = "OK";
 constexpr uint64_t kMicrosPerSecond = 1'000'000;
 
+uint64_t NowMicros() { return Clock::Real()->NowMicros(); }
+
 }  // namespace
 
 void AppendStatusError(std::string* out, const Status& s) {
@@ -112,13 +126,214 @@ void AppendStatusError(std::string* out, const Status& s) {
   AppendError(out, "ERR " + s.ToString());
 }
 
-CommandTable::CommandTable(TierBase* db) : db_(db) {}
+// Dispatch table. Arity rules: {min, max} inclusive argument counts
+// (command name included); parity constraints checked in the handlers.
+const CommandTable::Spec CommandTable::kSpecs[] = {
+    {"GET", 2, 2, &CommandTable::Get, kFlagKey},
+    {"SET", 3, 5, &CommandTable::Set, kFlagKey | kFlagWrite},
+    {"DEL", 2, 0, &CommandTable::Del, kFlagKeysAll | kFlagWrite},
+    {"EXISTS", 2, 0, &CommandTable::Exists, kFlagKeysAll},
+    {"MGET", 2, 0, &CommandTable::MGet, kFlagKeysAll},
+    {"MSET", 3, 0, &CommandTable::MSet, kFlagKeysPairs | kFlagWrite},
+    {"EXPIRE", 3, 3, &CommandTable::Expire, kFlagKey | kFlagWrite},
+    {"TTL", 2, 2, &CommandTable::Ttl, kFlagKey},
+    {"INCR", 2, 2, &CommandTable::Incr, kFlagKey | kFlagWrite},
+    {"HSET", 4, 0, &CommandTable::HSet, kFlagKey | kFlagWrite},
+    {"HGET", 3, 3, &CommandTable::HGet, kFlagKey},
+    {"LPUSH", 3, 0, &CommandTable::LPush, kFlagKey | kFlagWrite},
+    {"LRANGE", 4, 4, &CommandTable::LRange, kFlagKey},
+    {"ZADD", 4, 0, &CommandTable::ZAdd, kFlagKey | kFlagWrite},
+    {"ZRANGE", 4, 5, &CommandTable::ZRange, kFlagKey},
+    {"INFO", 1, 2, &CommandTable::Info, 0},
+    {"SCAN", 2, 4, &CommandTable::Scan, 0},
+    {"DBSIZE", 1, 1, &CommandTable::DbSize, 0},
+    {"FLUSHALL", 1, 1, &CommandTable::FlushAll, kFlagWrite},
+    {"CLUSTER", 2, 3, &CommandTable::Cluster, 0},
+    {"REPLICAOF", 3, 3, &CommandTable::ReplicaOf, 0},
+    {"REPLPULL", 4, 4, &CommandTable::ReplPull, 0},
+    {"REPLSNAPSHOT", 3, 3, &CommandTable::ReplSnapshot, 0},
+    {"WAIT", 3, 3, &CommandTable::Wait, 0},
+    {"SLOWLOG", 2, 3, &CommandTable::SlowLogCmd, 0},
+    {"LATENCY", 2, 3, &CommandTable::Latency, 0},
+    {"METRICS", 1, 1, &CommandTable::Metrics, 0},
+};
+const size_t CommandTable::kNumSpecs =
+    sizeof(CommandTable::kSpecs) / sizeof(CommandTable::kSpecs[0]);
+
+CommandTable::CommandTable(TierBase* db) : db_(db) { RegisterInstruments(); }
+
+void CommandTable::RegisterInstruments() {
+  // Section registration order fixes the INFO section order.
+  registry_.AddText("Server", "engine", [this] { return db_->name(); });
+  registry_.AddText("Server", "telemetry",
+                    [this] { return telemetry_ ? "on" : "off"; });
+
+  // Cluster membership attaches after construction (set_cluster), and its
+  // key set is dynamic (role-dependent), so the whole section is a block.
+  registry_.AddBlock("Cluster", [this](std::string* out) {
+    char line[96];
+    if (cluster_ != nullptr) {
+      cluster_->AppendInfo(out);
+      return;
+    }
+    out->append("cluster_enabled:0\r\n");
+    if (db_->replicator() != nullptr) {
+      snprintf(line, sizeof(line), "inprocess_replica_lag:%zu\r\n",
+               db_->replicator()->lag());
+      out->append(line);
+      snprintf(line, sizeof(line), "inprocess_replica_applied:%" PRIu64 "\r\n",
+               db_->replicator()->applied_ops());
+      out->append(line);
+    }
+  });
+
+  // One aggregated engine snapshot per render; the per-key callbacks below
+  // read fields out of it instead of re-locking every cache shard each.
+  registry_.AddPreRender([this] { info_stats_ = db_->GetStats(); });
+  auto stat = [this](const char* section, const char* key, const char* help,
+                     std::function<uint64_t()> fn,
+                     metrics::MetricType type = metrics::MetricType::kCounter) {
+    registry_.AddCallback(section, key, help, type, std::move(fn));
+  };
+
+  commands_ = registry_.AddCounter("Stats", "total_commands_processed",
+                                   "Commands executed");
+  batches_ = registry_.AddCounter("Stats", "dispatch_batches",
+                                  "Pipelined batches executed");
+  coalesced_ = registry_.AddCounter(
+      "Stats", "coalesced_commands",
+      "Commands served through coalesced MultiGet/MultiSet trains");
+  errors_ = registry_.AddCounter("Stats", "command_errors",
+                                 "Commands answered with an error reply");
+  stat("Stats", "gets", "Engine point reads",
+       [this] { return info_stats_.gets; });
+  stat("Stats", "sets", "Engine point writes",
+       [this] { return info_stats_.sets; });
+  stat("Stats", "keyspace_hits", "Cache-tier read hits",
+       [this] { return info_stats_.cache_hits; });
+  stat("Stats", "keyspace_misses", "Cache-tier read misses",
+       [this] { return info_stats_.cache_misses; });
+  stat("Stats", "evicted_keys", "Keys evicted by the cache budget",
+       [this] { return info_stats_.evictions; });
+  stat("Stats", "expired_keys", "Keys removed by TTL expiry",
+       [this] { return info_stats_.expirations; });
+  stat("Stats", "lru_touches", "LRU promotions on hit",
+       [this] { return info_stats_.lru_touches; });
+  stat("Stats", "multi_shard_locks", "Multi-op shard lock rounds",
+       [this] { return info_stats_.multi_shard_locks; });
+  stat("Stats", "multi_batches", "MultiGet/MultiSet engine batches",
+       [this] { return info_stats_.multi_batches; });
+  stat("Stats", "storage_populates", "Cache fills from the storage tier",
+       [this] { return info_stats_.storage_populates; });
+  stat("Stats", "write_back_flushed_ops",
+       "Dirty entries flushed to storage",
+       [this] { return info_stats_.write_back.flushed_ops; });
+  stat("Stats", "write_back_flush_batches", "Write-back flush batches",
+       [this] { return info_stats_.write_back.flush_batches; });
+  stat("Stats", "write_through_storage_writes",
+       "Synchronous storage-tier writes",
+       [this] { return info_stats_.write_through.storage_writes; });
+  stat("Stats", "deferred_fetches", "Deferred storage fetches",
+       [this] { return info_stats_.deferred_fetch.fetches; });
+
+  // # Commandstats: one latency histogram per command family, recorded
+  // dispatch -> reply. [kNumSpecs] catches pre-table commands (PING,
+  // QUIT, SHUTDOWN, COMMAND, PERF) and unknown names.
+  cmd_hist_.resize(kNumSpecs + 1);
+  for (size_t i = 0; i < kNumSpecs; ++i) {
+    std::string lower = LowerName(kSpecs[i].name);
+    cmd_hist_[i] = registry_.AddHistogram(
+        "Commandstats", "cmd_" + lower + "_latency_us",
+        std::string(kSpecs[i].name) +
+            " latency, dispatch to reply, microseconds");
+    if (strcmp(kSpecs[i].name, "GET") == 0) {
+      get_spec_index_ = static_cast<int>(i);
+    } else if (strcmp(kSpecs[i].name, "SET") == 0) {
+      set_spec_index_ = static_cast<int>(i);
+    }
+  }
+  cmd_hist_[kNumSpecs] = registry_.AddHistogram(
+      "Commandstats", "cmd_other_latency_us",
+      "Latency of pre-table and unknown commands, microseconds");
+
+  registry_.AddText("Persistence", "policy", [this] { return db_->name(); });
+  stat("Persistence", "wb_dirty", "Dirty write-back entries pending flush",
+       [this] { return info_stats_.write_back_dirty; },
+       metrics::MetricType::kGauge);
+  stat("Persistence", "wb_flush_batches", "Write-back flush batches",
+       [this] { return info_stats_.write_back.flush_batches; });
+  stat("Persistence", "wb_flushed_ops", "Dirty entries flushed",
+       [this] { return info_stats_.write_back.flushed_ops; });
+  stat("Persistence", "wb_flush_failures", "Write-back flush failures",
+       [this] { return info_stats_.write_back.flush_failures; });
+  stat("Persistence", "wb_flush_retries", "Write-back flush retries",
+       [this] { return info_stats_.write_back.flush_retries; });
+  stat("Persistence", "wb_backpressure_waits",
+       "Writes stalled on the dirty-set cap",
+       [this] { return info_stats_.write_back.backpressure_waits; });
+  registry_.AddText("Persistence", "wb_flush_error", [this] {
+    return info_stats_.flush_error.empty() ? std::string("ok")
+                                           : info_stats_.flush_error;
+  });
+  stat("Persistence", "wal_replayed_records", "Cache WAL records replayed",
+       [this] { return info_stats_.wal_replayed_records; });
+  stat("Persistence", "wal_truncated_tails", "Cache WAL tails truncated",
+       [this] { return info_stats_.wal_truncated_tails; });
+  stat("Persistence", "wal_skipped_bytes", "Cache WAL bytes skipped",
+       [this] { return info_stats_.wal_skipped_bytes; });
+  stat("Persistence", "storage_wal_replayed_records",
+       "Storage WAL records replayed",
+       [this] { return info_stats_.storage_wal.records_replayed; });
+  stat("Persistence", "storage_wal_truncated_tails",
+       "Storage WAL tails truncated",
+       [this] { return info_stats_.storage_wal.truncated_tails; });
+  stat("Persistence", "storage_wal_skipped_bytes",
+       "Storage WAL bytes skipped",
+       [this] { return info_stats_.storage_wal.skipped_bytes; });
+
+  stat("Memory", "bytes_cached", "Bytes resident in the cache tier",
+       [this] { return info_stats_.bytes_cached; },
+       metrics::MetricType::kGauge);
+  stat("Memory", "pmem_bytes", "Bytes resident in the pmem tier",
+       [this] { return info_stats_.pmem_bytes; },
+       metrics::MetricType::kGauge);
+
+  stat("Keyspace", "keys_cached", "Keys resident in the cache tier",
+       [this] { return info_stats_.keys_cached; },
+       metrics::MetricType::kGauge);
+  stat("Keyspace", "slowlog_len", "Entries currently in the slow log",
+       [this] { return static_cast<uint64_t>(slowlog_.Len()); },
+       metrics::MetricType::kGauge);
+}
 
 void CommandTable::ExecuteBatch(const std::vector<RespCommand>& cmds,
                                 std::string* out, bool* close_connection,
-                                bool* shutdown_server) {
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  commands_.fetch_add(cmds.size(), std::memory_order_relaxed);
+                                bool* shutdown_server, PerfState* perf,
+                                const BatchTiming* timing) {
+  batches_->Inc();
+  commands_->Inc(cmds.size());
+
+  // PERF tracing: install the connection's context for this batch. The
+  // enabled flag is sampled once — PERF ON inside the batch takes effect
+  // from the next batch on.
+  metrics::PerfContext* pctx =
+      (perf != nullptr && perf->enabled) ? &perf->ctx : nullptr;
+  uint64_t exec_start = 0;
+  uint64_t upstream_micros = 0;  // parse + queue wait, part of wall time.
+  if (pctx != nullptr) {
+    exec_start = NowMicros();
+    if (timing != nullptr) {
+      pctx->AddStage(metrics::PerfContext::kParse, timing->parse_micros);
+      upstream_micros = timing->parse_micros;
+      if (timing->dispatched_at_micros != 0 &&
+          exec_start > timing->dispatched_at_micros) {
+        const uint64_t queue_wait = exec_start - timing->dispatched_at_micros;
+        pctx->AddStage(metrics::PerfContext::kQueueWait, queue_wait);
+        upstream_micros += queue_wait;
+      }
+    }
+  }
+  metrics::ScopedPerfContext perf_scope(pctx);
 
   // Coalesced batches must be uniformly admissible in cluster mode: every
   // key owned here and (for SETs) not a read-only replica. A train with
@@ -151,8 +366,16 @@ void CommandTable::ExecuteBatch(const std::vector<RespCommand>& cmds,
         ++j;
       }
       if (j - i >= 2 && batch_admissible(i, j, /*write=*/false)) {
+        const uint64_t t0 = telemetry_ ? NowMicros() : 0;
         CoalescedGets(cmds, i, j, out);
-        coalesced_.fetch_add(j - i, std::memory_order_relaxed);
+        if (telemetry_) {
+          const uint64_t elapsed = NowMicros() - t0;
+          RecordLatency(get_spec_index_, elapsed, j - i);
+          if (slowlog_.ShouldLog(elapsed)) {
+            RecordSlowTrain(cmds, i, j, elapsed);
+          }
+        }
+        coalesced_->Inc(j - i);
         i = j;
         continue;
       }
@@ -166,15 +389,73 @@ void CommandTable::ExecuteBatch(const std::vector<RespCommand>& cmds,
         ++j;
       }
       if (j - i >= 2 && batch_admissible(i, j, /*write=*/true)) {
+        const uint64_t t0 = telemetry_ ? NowMicros() : 0;
         CoalescedSets(cmds, i, j, out);
-        coalesced_.fetch_add(j - i, std::memory_order_relaxed);
+        if (telemetry_) {
+          const uint64_t elapsed = NowMicros() - t0;
+          RecordLatency(set_spec_index_, elapsed, j - i);
+          if (slowlog_.ShouldLog(elapsed)) {
+            RecordSlowTrain(cmds, i, j, elapsed);
+          }
+        }
+        coalesced_->Inc(j - i);
         i = j;
         continue;
       }
     }
-    ExecuteOne(cmds[i], out, close_connection, shutdown_server);
+    ExecuteOne(cmds[i], out, close_connection, shutdown_server, perf);
     ++i;
   }
+
+  if (pctx != nullptr) {
+    pctx->AddBatch(NowMicros() - exec_start + upstream_micros, cmds.size());
+  }
+}
+
+void CommandTable::RecordLatency(int spec_index, uint64_t micros,
+                                 uint64_t count) {
+  const size_t idx =
+      spec_index >= 0 ? static_cast<size_t>(spec_index) : kNumSpecs;
+  cmd_hist_[idx]->Record(micros, count);
+}
+
+void CommandTable::RecordSlow(const RespCommand& cmd, uint8_t flags,
+                              uint64_t micros) {
+  std::vector<std::string> args;
+  args.push_back(cmd.args[0].ToString());
+  size_t total_keys = 0;
+  auto push_key = [&](const Slice& key) {
+    ++total_keys;
+    if (args.size() <= kSlowlogMaxKeys) args.push_back(key.ToString());
+  };
+  if ((flags & kFlagKey) && cmd.args.size() > 1) push_key(cmd.args[1]);
+  if (flags & kFlagKeysAll) {
+    for (size_t i = 1; i < cmd.args.size(); ++i) push_key(cmd.args[i]);
+  }
+  if (flags & kFlagKeysPairs) {
+    for (size_t i = 1; i < cmd.args.size(); i += 2) push_key(cmd.args[i]);
+  }
+  if (total_keys > kSlowlogMaxKeys) {
+    args.push_back("... (" + std::to_string(total_keys - kSlowlogMaxKeys) +
+                   " more keys)");
+  }
+  slowlog_.Add(micros, std::move(args));
+}
+
+void CommandTable::RecordSlowTrain(const std::vector<RespCommand>& cmds,
+                                   size_t begin, size_t end,
+                                   uint64_t micros) {
+  std::vector<std::string> args;
+  args.push_back(cmds[begin].args[0].ToString());
+  const size_t keys = end - begin;
+  for (size_t k = begin; k < end && k - begin < kSlowlogMaxKeys; ++k) {
+    args.push_back(cmds[k].args[1].ToString());
+  }
+  if (keys > kSlowlogMaxKeys) {
+    args.push_back("... (" + std::to_string(keys - kSlowlogMaxKeys) +
+                   " more keys)");
+  }
+  slowlog_.Add(micros, std::move(args));
 }
 
 bool CommandTable::ClusterAdmits(const RespCommand& cmd, uint8_t flags,
@@ -229,7 +510,7 @@ void CommandTable::CoalescedGets(const std::vector<RespCommand>& cmds,
       AppendNullBulk(out);
     } else {
       AppendStatusError(out, statuses[i]);
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_->Inc();
     }
   }
 }
@@ -251,6 +532,8 @@ void CommandTable::CoalescedSets(const std::vector<RespCommand>& cmds,
       cluster_ != nullptr ? &cluster_->write_order_mu() : nullptr);
     db_->MultiSet(keys, values, &statuses);
     if (cluster_ != nullptr) {
+      metrics::ScopedPerfStage oplog_stage(
+          metrics::PerfContext::kOplogAppend);
       for (size_t i = 0; i < statuses.size(); ++i) {
         if (statuses[i].ok()) cluster_->RecordSet(keys[i], values[i], 0);
       }
@@ -261,57 +544,43 @@ void CommandTable::CoalescedSets(const std::vector<RespCommand>& cmds,
       AppendSimpleString(out, kOk);
     } else {
       AppendStatusError(out, s);
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_->Inc();
     }
   }
 }
 
 void CommandTable::ExecuteOne(const RespCommand& cmd, std::string* out,
-                              bool* close_connection, bool* shutdown_server) {
+                              bool* close_connection, bool* shutdown_server,
+                              PerfState* perf) {
+  int spec_index = -1;
+  if (!telemetry_) {
+    ExecuteOneImpl(cmd, out, close_connection, shutdown_server, perf,
+                   &spec_index);
+    return;
+  }
+  const uint64_t t0 = NowMicros();
+  ExecuteOneImpl(cmd, out, close_connection, shutdown_server, perf,
+                 &spec_index);
+  const uint64_t elapsed = NowMicros() - t0;
+  RecordLatency(spec_index, elapsed, 1);
+  if (slowlog_.ShouldLog(elapsed) && !cmd.args.empty()) {
+    RecordSlow(cmd, spec_index >= 0 ? kSpecs[spec_index].flags : 0, elapsed);
+  }
+}
+
+void CommandTable::ExecuteOneImpl(const RespCommand& cmd, std::string* out,
+                                  bool* close_connection,
+                                  bool* shutdown_server, PerfState* perf,
+                                  int* spec_index) {
+  *spec_index = -1;
   char name[16];
   if (cmd.args.empty() || !UpperName(cmd.args[0], name, 16)) {
     AppendError(out, "ERR unknown command");
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Inc();
     return;
   }
   const size_t argc = cmd.args.size();
   const size_t before_errors = out->size();
-
-  // Dispatch. Arity rules: {min, max} inclusive argument counts
-  // (command name included); parity constraints checked in the handlers.
-  struct Entry {
-    const char* name;
-    size_t min_argc;
-    size_t max_argc;  // 0 = unbounded.
-    void (CommandTable::*handler)(const RespCommand&, std::string*);
-    uint8_t flags;
-  };
-  static constexpr Entry kTable[] = {
-      {"GET", 2, 2, &CommandTable::Get, kFlagKey},
-      {"SET", 3, 5, &CommandTable::Set, kFlagKey | kFlagWrite},
-      {"DEL", 2, 0, &CommandTable::Del, kFlagKeysAll | kFlagWrite},
-      {"EXISTS", 2, 0, &CommandTable::Exists, kFlagKeysAll},
-      {"MGET", 2, 0, &CommandTable::MGet, kFlagKeysAll},
-      {"MSET", 3, 0, &CommandTable::MSet, kFlagKeysPairs | kFlagWrite},
-      {"EXPIRE", 3, 3, &CommandTable::Expire, kFlagKey | kFlagWrite},
-      {"TTL", 2, 2, &CommandTable::Ttl, kFlagKey},
-      {"INCR", 2, 2, &CommandTable::Incr, kFlagKey | kFlagWrite},
-      {"HSET", 4, 0, &CommandTable::HSet, kFlagKey | kFlagWrite},
-      {"HGET", 3, 3, &CommandTable::HGet, kFlagKey},
-      {"LPUSH", 3, 0, &CommandTable::LPush, kFlagKey | kFlagWrite},
-      {"LRANGE", 4, 4, &CommandTable::LRange, kFlagKey},
-      {"ZADD", 4, 0, &CommandTable::ZAdd, kFlagKey | kFlagWrite},
-      {"ZRANGE", 4, 5, &CommandTable::ZRange, kFlagKey},
-      {"INFO", 1, 2, &CommandTable::Info, 0},
-      {"SCAN", 2, 4, &CommandTable::Scan, 0},
-      {"DBSIZE", 1, 1, &CommandTable::DbSize, 0},
-      {"FLUSHALL", 1, 1, &CommandTable::FlushAll, kFlagWrite},
-      {"CLUSTER", 2, 3, &CommandTable::Cluster, 0},
-      {"REPLICAOF", 3, 3, &CommandTable::ReplicaOf, 0},
-      {"REPLPULL", 4, 4, &CommandTable::ReplPull, 0},
-      {"REPLSNAPSHOT", 3, 3, &CommandTable::ReplSnapshot, 0},
-      {"WAIT", 3, 3, &CommandTable::Wait, 0},
-  };
 
   if (strcmp(name, "PING") == 0) {
     if (argc == 1) {
@@ -345,7 +614,7 @@ void CommandTable::ExecuteOne(const RespCommand& cmd, std::string* out,
       if (!drain.ok()) {
         AppendError(out, "ERR shutdown aborted, flush failed (" +
                              drain.ToString() + "); SHUTDOWN NOSAVE forces");
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        errors_->Inc();
         return;
       }
     }
@@ -361,22 +630,54 @@ void CommandTable::ExecuteOne(const RespCommand& cmd, std::string* out,
     AppendArrayHeader(out, 0);
     return;
   }
+  if (strcmp(name, "PERF") == 0) {
+    // Handled before the table: PERF mutates the connection's own tracing
+    // state, which only the batch path carries.
+    if (argc != 2) {
+      AppendWrongArity(out, name);
+      errors_->Inc();
+      return;
+    }
+    if (perf == nullptr) {
+      AppendError(out, "ERR PERF requires a client connection");
+      errors_->Inc();
+      return;
+    }
+    if (EqualsUpper(cmd.args[1], "ON")) {
+      perf->ctx.Reset();
+      perf->enabled = true;
+      AppendSimpleString(out, kOk);
+    } else if (EqualsUpper(cmd.args[1], "OFF")) {
+      perf->enabled = false;
+      AppendSimpleString(out, kOk);
+    } else if (EqualsUpper(cmd.args[1], "GET")) {
+      std::string report;
+      perf->ctx.AppendReport(&report);
+      AppendBulk(out, report);
+    } else {
+      AppendError(out, "ERR unknown PERF subcommand, try ON|OFF|GET");
+      errors_->Inc();
+    }
+    return;
+  }
 
-  for (const Entry& entry : kTable) {
+  for (size_t si = 0; si < kNumSpecs; ++si) {
+    const Spec& entry = kSpecs[si];
     if (strcmp(name, entry.name) != 0) continue;
+    *spec_index = static_cast<int>(si);
     if (argc < entry.min_argc ||
         (entry.max_argc != 0 && argc > entry.max_argc)) {
       AppendWrongArity(out, name);
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_->Inc();
       return;
     }
     if (!ClusterAdmits(cmd, entry.flags, out)) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_->Inc();
       return;
     }
     (this->*entry.handler)(cmd, out);
     if (out->size() > before_errors && (*out)[before_errors] == '-') {
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_->Inc();
     }
     return;
   }
@@ -386,7 +687,7 @@ void CommandTable::ExecuteOne(const RespCommand& cmd, std::string* out,
              std::min<size_t>(cmd.args[0].size(), 64));
   msg += "'";
   AppendError(out, msg);
-  errors_.fetch_add(1, std::memory_order_relaxed);
+  errors_->Inc();
 }
 
 void CommandTable::Get(const RespCommand& cmd, std::string* out) {
@@ -430,6 +731,7 @@ void CommandTable::Set(const RespCommand& cmd, std::string* out) {
     s = ttl_micros == 0 ? db_->Set(cmd.args[1], cmd.args[2])
                         : db_->SetEx(cmd.args[1], cmd.args[2], ttl_micros);
     if (s.ok() && cluster_ != nullptr) {
+      metrics::ScopedPerfStage oplog_stage(metrics::PerfContext::kOplogAppend);
       cluster_->RecordSet(cmd.args[1], cmd.args[2], ttl_micros);
     }
   }
@@ -460,7 +762,11 @@ void CommandTable::Del(const RespCommand& cmd, std::string* out) {
       common::OptionalMutexLock order_lock(
         cluster_ != nullptr ? &cluster_->write_order_mu() : nullptr);
       s = db_->Delete(cmd.args[i]);
-      if (s.ok() && cluster_ != nullptr) cluster_->RecordDelete(cmd.args[i]);
+      if (s.ok() && cluster_ != nullptr) {
+        metrics::ScopedPerfStage oplog_stage(
+            metrics::PerfContext::kOplogAppend);
+        cluster_->RecordDelete(cmd.args[i]);
+      }
     }
     if (s.ok() && existed) ++removed;
   }
@@ -513,6 +819,7 @@ void CommandTable::MSet(const RespCommand& cmd, std::string* out) {
       cluster_ != nullptr ? &cluster_->write_order_mu() : nullptr);
     db_->MultiSet(keys, values, &statuses);
     if (cluster_ != nullptr) {
+      metrics::ScopedPerfStage oplog_stage(metrics::PerfContext::kOplogAppend);
       for (size_t i = 0; i < keys.size(); ++i) {
         if (statuses[i].ok()) cluster_->RecordSet(keys[i], values[i], 0);
       }
@@ -598,6 +905,8 @@ void CommandTable::Incr(const RespCommand& cmd, std::string* out) {
                  : db_->Cas(cmd.args[1], current, next);
       // Replicate the outcome, not the increment: replays are idempotent.
       if (s.ok() && cluster_ != nullptr) {
+        metrics::ScopedPerfStage oplog_stage(
+            metrics::PerfContext::kOplogAppend);
         cluster_->RecordSet(cmd.args[1], next, 0);
       }
     }
@@ -727,85 +1036,97 @@ void CommandTable::ZRange(const RespCommand& cmd, std::string* out) {
 
 void CommandTable::Info(const RespCommand& cmd, std::string* out) {
   (void)cmd;  // Section filters are accepted but the full report is sent.
-  TierBase::Stats stats = db_->GetStats();
-
   std::string body;
-  char line[160];
-  auto add = [&](const char* fmt, auto... args) {
-    snprintf(line, sizeof(line), fmt, args...);
-    body += line;
-    body += "\r\n";
-  };
-
-  body += "# Server\r\n";
-  add("engine:%s", db_->name().c_str());
-  if (info_extra_) info_extra_(&body);
-
-  body += "\r\n# Cluster\r\n";
-  if (cluster_ != nullptr) {
-    cluster_->AppendInfo(&body);
-  } else {
-    add("cluster_enabled:0");
-    if (db_->replicator() != nullptr) {
-      add("inprocess_replica_lag:%zu", db_->replicator()->lag());
-      add("inprocess_replica_applied:%" PRIu64,
-          db_->replicator()->applied_ops());
-    }
-  }
-
-  body += "\r\n# Stats\r\n";
-  add("total_commands_processed:%" PRIu64, commands());
-  add("dispatch_batches:%" PRIu64, batches());
-  add("coalesced_commands:%" PRIu64, coalesced_commands());
-  add("command_errors:%" PRIu64, errors());
-  add("gets:%" PRIu64, stats.gets);
-  add("sets:%" PRIu64, stats.sets);
-  add("keyspace_hits:%" PRIu64, stats.cache_hits);
-  add("keyspace_misses:%" PRIu64, stats.cache_misses);
-  add("evicted_keys:%" PRIu64, stats.evictions);
-  add("expired_keys:%" PRIu64, stats.expirations);
-  add("lru_touches:%" PRIu64, stats.lru_touches);
-  add("multi_shard_locks:%" PRIu64, stats.multi_shard_locks);
-  add("multi_batches:%" PRIu64, stats.multi_batches);
-  add("storage_populates:%" PRIu64, stats.storage_populates);
-  add("write_back_flushed_ops:%" PRIu64, stats.write_back.flushed_ops);
-  add("write_back_flush_batches:%" PRIu64, stats.write_back.flush_batches);
-  add("write_through_storage_writes:%" PRIu64,
-      stats.write_through.storage_writes);
-  add("deferred_fetches:%" PRIu64, stats.deferred_fetch.fetches);
-
-  body += "\r\n# Persistence\r\n";
-  add("policy:%s", db_->name().c_str());
-  add("wb_dirty:%" PRIu64, stats.write_back_dirty);
-  add("wb_flush_batches:%" PRIu64, stats.write_back.flush_batches);
-  add("wb_flushed_ops:%" PRIu64, stats.write_back.flushed_ops);
-  add("wb_flush_failures:%" PRIu64, stats.write_back.flush_failures);
-  add("wb_flush_retries:%" PRIu64, stats.write_back.flush_retries);
-  add("wb_backpressure_waits:%" PRIu64, stats.write_back.backpressure_waits);
-  add("wb_flush_error:%s",
-      stats.flush_error.empty() ? "ok" : stats.flush_error.c_str());
-  add("wal_replayed_records:%" PRIu64, stats.wal_replayed_records);
-  add("wal_truncated_tails:%" PRIu64, stats.wal_truncated_tails);
-  add("wal_skipped_bytes:%" PRIu64, stats.wal_skipped_bytes);
-  add("storage_wal_replayed_records:%" PRIu64,
-      stats.storage_wal.records_replayed);
-  add("storage_wal_truncated_tails:%" PRIu64,
-      stats.storage_wal.truncated_tails);
-  add("storage_wal_skipped_bytes:%" PRIu64, stats.storage_wal.skipped_bytes);
-
-  if (info_robustness_) {
-    body += "\r\n# Robustness\r\n";
-    info_robustness_(&body);
-  }
-
-  body += "\r\n# Memory\r\n";
-  add("bytes_cached:%" PRIu64, stats.bytes_cached);
-  add("pmem_bytes:%" PRIu64, stats.pmem_bytes);
-
-  body += "\r\n# Keyspace\r\n";
-  add("keys_cached:%" PRIu64, stats.keys_cached);
-
+  registry_.RenderInfo(&body);
   AppendBulk(out, body);
+}
+
+void CommandTable::Metrics(const RespCommand& cmd, std::string* out) {
+  (void)cmd;
+  std::string body;
+  registry_.RenderPrometheus(&body);
+  AppendBulk(out, body);
+}
+
+void CommandTable::SlowLogCmd(const RespCommand& cmd, std::string* out) {
+  char sub[16];
+  if (!UpperName(cmd.args[1], sub, 16)) {
+    AppendError(out, "ERR unknown SLOWLOG subcommand");
+    return;
+  }
+  if (strcmp(sub, "GET") == 0) {
+    int64_t n = 10;
+    if (cmd.args.size() == 3 &&
+        (!ParseArgInt(cmd.args[2], &n) || n < 0)) {
+      AppendError(out, "ERR value is not an integer or out of range");
+      return;
+    }
+    std::vector<SlowLog::Entry> entries =
+        slowlog_.Get(static_cast<size_t>(n));
+    AppendArrayHeader(out, entries.size());
+    for (const SlowLog::Entry& e : entries) {
+      AppendArrayHeader(out, 4);
+      AppendInteger(out, static_cast<int64_t>(e.id));
+      AppendInteger(out, e.unix_seconds);
+      AppendInteger(out, static_cast<int64_t>(e.duration_micros));
+      AppendArrayHeader(out, e.args.size());
+      for (const std::string& a : e.args) AppendBulk(out, a);
+    }
+    return;
+  }
+  if (strcmp(sub, "RESET") == 0) {
+    slowlog_.Reset();
+    AppendSimpleString(out, kOk);
+    return;
+  }
+  if (strcmp(sub, "LEN") == 0) {
+    AppendInteger(out, static_cast<int64_t>(slowlog_.Len()));
+    return;
+  }
+  AppendError(out, "ERR unknown SLOWLOG subcommand, try GET|RESET|LEN");
+}
+
+void CommandTable::Latency(const RespCommand& cmd, std::string* out) {
+  char sub[16];
+  if (!UpperName(cmd.args[1], sub, 16)) {
+    AppendError(out, "ERR unknown LATENCY subcommand");
+    return;
+  }
+  // An optional third arg names one command family (e.g. "get").
+  std::string only_key;
+  if (cmd.args.size() == 3) {
+    only_key = "cmd_";
+    for (size_t i = 0; i < cmd.args[2].size(); ++i) {
+      only_key.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(cmd.args[2][i]))));
+    }
+    only_key += "_latency_us";
+  }
+  std::vector<std::pair<std::string, metrics::LatencyHistogram*>> hists;
+  for (auto& [key, hist] : registry_.Histograms()) {
+    if (only_key.empty() || key == only_key) hists.emplace_back(key, hist);
+  }
+  if (strcmp(sub, "HISTOGRAM") == 0) {
+    if (!only_key.empty() && hists.empty()) {
+      AppendError(out, "ERR no latency histogram for that command");
+      return;
+    }
+    AppendArrayHeader(out, hists.size() * 2);
+    for (auto& [key, hist] : hists) {
+      AppendBulk(out, key);
+      AppendBulk(out, metrics::HistogramInfoValue(hist->Snapshot()));
+    }
+    return;
+  }
+  if (strcmp(sub, "RESET") == 0) {
+    for (auto& [key, hist] : hists) {
+      (void)key;
+      hist->Reset();
+    }
+    AppendInteger(out, static_cast<int64_t>(hists.size()));
+    return;
+  }
+  AppendError(out, "ERR unknown LATENCY subcommand, try HISTOGRAM|RESET");
 }
 
 void CommandTable::Scan(const RespCommand& cmd, std::string* out) {
@@ -1018,6 +1339,7 @@ void CommandTable::Wait(const RespCommand& cmd, std::string* out) {
     AppendInteger(out, 0);
     return;
   }
+  metrics::ScopedPerfStage wait_stage(metrics::PerfContext::kReplicaWait);
   const uint64_t target = cluster_->oplog()->head_seq();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);

@@ -170,6 +170,7 @@ bool EventLoop::TryDispatch(const std::shared_ptr<Connection>& conn) {
   std::vector<RespCommand> cmds;
   size_t consumed = 0;
   std::string error;
+  const uint64_t parse_start = Clock::Real()->NowMicros();
   ParseResult r = ParseRequests(conn->in_buf.data(), conn->in_buf.size(),
                                 &cmds, &consumed, &error);
   if (r == ParseResult::kError) {
@@ -203,20 +204,21 @@ bool EventLoop::TryDispatch(const std::shared_ptr<Connection>& conn) {
 
   // Package the batch: the raw bytes move with it so the argument Slices
   // survive the trip to the executor thread. (One buffer copy per batch;
-  // no per-argument copies. A straight std::string move would break the
-  // Slices for SSO-small buffers, so the copy is explicit and the Slices
-  // are rebased onto the batch's stable buffer.)
+  // no per-argument copies. The Slices are rebased onto the batch's heap
+  // buffer, which stays put through every later move of the batch.)
   CommandBatch batch;
   const char* old_base = conn->in_buf.data();
-  batch.raw.assign(old_base, consumed);
+  batch.raw = std::make_unique<char[]>(consumed);
+  memcpy(batch.raw.get(), old_base, consumed);
   batch.cmds = std::move(cmds);
   for (RespCommand& cmd : batch.cmds) {
     for (Slice& arg : cmd.args) {
-      arg = Slice(batch.raw.data() + (arg.data() - old_base), arg.size());
+      arg = Slice(batch.raw.get() + (arg.data() - old_base), arg.size());
     }
   }
   conn->in_buf.erase(0, consumed);
   conn->busy = true;
+  batch.parse_micros = Clock::Real()->NowMicros() - parse_start;
 
   batches_.fetch_add(1, std::memory_order_relaxed);
   commands_.fetch_add(batch.cmds.size(), std::memory_order_relaxed);

@@ -70,8 +70,15 @@ class EventLoop;
 /// Slices alias `raw`, so the batch can travel to another thread without
 /// copying any argument.
 struct CommandBatch {
-  std::string raw;
+  /// Heap array, not std::string: the Slices in `cmds` point into it and
+  /// the batch is moved several times on its way to the executor. An
+  /// SSO-small string (e.g. a lone PING, 14 bytes) would relocate its
+  /// bytes on every move and leave the Slices dangling into dead stack
+  /// frames; a unique_ptr's pointee never moves.
+  std::unique_ptr<char[]> raw;
   std::vector<RespCommand> cmds;
+  /// Loop-thread time spent parsing/packaging this batch (PERF kParse).
+  uint64_t parse_micros = 0;
 };
 
 /// Per-connection state. The loop thread owns the socket and the buffers;
@@ -81,6 +88,11 @@ class Connection {
   Connection(EventLoop* loop, int fd, uint64_t id);
 
   uint64_t id() const { return id_; }
+
+  /// Opaque per-connection slot for the dispatcher (the Server parks the
+  /// connection's PERF tracing state here). Only dispatcher tasks touch
+  /// it, and those are serialized by the one-batch-in-flight rule.
+  std::shared_ptr<void> dispatcher_state;
 
   /// Delivers the replies for the in-flight batch. Safe from any thread,
   /// including after the peer (or the whole loop) has gone away — the

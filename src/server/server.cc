@@ -1,59 +1,89 @@
 #include "server/server.h"
 
-#include <cinttypes>
-#include <cstdio>
+#include "common/clock.h"
 
 namespace tierbase {
 namespace server {
 
 Server::Server(TierBase* db, ServerOptions options)
     : db_(db), options_(std::move(options)), table_(db) {
-  table_.set_info_extra([this](std::string* out) {
-    char line[128];
-    auto add = [&](const char* fmt, auto... args) {
-      snprintf(line, sizeof(line), fmt, args...);
-      *out += line;
-      *out += "\r\n";
-    };
-    const char* mode = "single";
-    if (options_.executor.mode == threading::ThreadMode::kMulti) {
-      mode = "multi";
-    } else if (options_.executor.mode == threading::ThreadMode::kElastic) {
-      mode = "elastic";
-    }
-    add("tcp_port:%u", static_cast<unsigned>(port()));
-    add("thread_mode:%s", mode);
-    if (executor_ != nullptr) {
-      add("active_threads:%d", executor_->active_threads());
-      add("executor_scale_ups:%" PRIu64, executor_->scale_ups());
-    }
-    if (loop_ != nullptr) {
-      add("connected_clients:%" PRIu64, loop_->connections_active());
-      add("total_connections_received:%" PRIu64,
-          loop_->connections_accepted());
-      add("dispatched_batches:%" PRIu64, loop_->batches_dispatched());
-      add("max_pipeline_batch:%" PRIu64, loop_->max_batch_commands());
-      add("protocol_errors:%" PRIu64, loop_->protocol_errors());
+  // Server-level instruments join the table's registry so INFO/METRICS
+  // render the whole process from one place. The callbacks null-check
+  // loop_/executor_ because INFO can run between construction and Start().
+  metrics::MetricsRegistry* reg = table_.registry();
+  reg->AddText("Server", "tcp_port",
+               [this] { return std::to_string(port()); });
+  reg->AddText("Server", "thread_mode", [this] {
+    switch (options_.executor.mode) {
+      case threading::ThreadMode::kMulti:
+        return "multi";
+      case threading::ThreadMode::kElastic:
+        return "elastic";
+      default:
+        return "single";
     }
   });
-  table_.set_info_robustness([this](std::string* out) {
-    char line[128];
-    auto add = [&](const char* fmt, auto... args) {
-      snprintf(line, sizeof(line), fmt, args...);
-      *out += line;
-      *out += "\r\n";
-    };
-    add("max_connections:%zu", options_.net.max_connections);
-    add("max_out_buffer:%zu", options_.net.max_out_buffer);
-    add("max_dispatch_inflight:%zu", options_.net.max_dispatch_inflight);
-    if (loop_ != nullptr) {
-      add("connections_rejected:%" PRIu64, loop_->connections_rejected());
-      add("slow_consumer_disconnects:%" PRIu64,
-          loop_->slow_consumer_disconnects());
-      add("busy_shed_commands:%" PRIu64, loop_->busy_shed_commands());
-      add("dispatch_inflight:%" PRIu64, loop_->dispatch_inflight());
-    }
-  });
+  auto poll = [reg](const char* key, const char* help, metrics::MetricType t,
+                    std::function<uint64_t()> fn) {
+    reg->AddCallback("Server", key, help, t, std::move(fn));
+  };
+  poll("active_threads", "Executor threads currently running",
+       metrics::MetricType::kGauge, [this] {
+         return executor_ != nullptr
+                    ? static_cast<uint64_t>(executor_->active_threads())
+                    : 0;
+       });
+  poll("executor_scale_ups", "Elastic executor scale-up events",
+       metrics::MetricType::kCounter,
+       [this] { return executor_ != nullptr ? executor_->scale_ups() : 0; });
+  poll("connected_clients", "Connections currently open",
+       metrics::MetricType::kGauge,
+       [this] { return loop_ != nullptr ? loop_->connections_active() : 0; });
+  poll("total_connections_received", "Connections accepted since start",
+       metrics::MetricType::kCounter, [this] {
+         return loop_ != nullptr ? loop_->connections_accepted() : 0;
+       });
+  poll("dispatched_batches", "Pipeline batches handed to the executor",
+       metrics::MetricType::kCounter,
+       [this] { return loop_ != nullptr ? loop_->batches_dispatched() : 0; });
+  poll("max_pipeline_batch", "Largest pipeline batch dispatched",
+       metrics::MetricType::kGauge,
+       [this] { return loop_ != nullptr ? loop_->max_batch_commands() : 0; });
+  poll("protocol_errors", "Connections dropped for RESP protocol errors",
+       metrics::MetricType::kCounter,
+       [this] { return loop_ != nullptr ? loop_->protocol_errors() : 0; });
+
+  auto guard = [reg](const char* key, const char* help, metrics::MetricType t,
+                     std::function<uint64_t()> fn) {
+    reg->AddCallback("Robustness", key, help, t, std::move(fn));
+  };
+  guard("max_connections", "Connection cap (0 = unlimited)",
+        metrics::MetricType::kGauge, [this] {
+          return static_cast<uint64_t>(options_.net.max_connections);
+        });
+  guard("max_out_buffer", "Per-connection reply buffer cap in bytes",
+        metrics::MetricType::kGauge, [this] {
+          return static_cast<uint64_t>(options_.net.max_out_buffer);
+        });
+  guard("max_dispatch_inflight", "Dispatch queue high watermark (0 = off)",
+        metrics::MetricType::kGauge, [this] {
+          return static_cast<uint64_t>(options_.net.max_dispatch_inflight);
+        });
+  guard("connections_rejected", "Connections refused at the cap",
+        metrics::MetricType::kCounter, [this] {
+          return loop_ != nullptr ? loop_->connections_rejected() : 0;
+        });
+  guard("slow_consumer_disconnects",
+        "Connections dropped for unbounded reply backlog",
+        metrics::MetricType::kCounter, [this] {
+          return loop_ != nullptr ? loop_->slow_consumer_disconnects() : 0;
+        });
+  guard("busy_shed_commands", "Commands answered -BUSY under overload",
+        metrics::MetricType::kCounter,
+        [this] { return loop_ != nullptr ? loop_->busy_shed_commands() : 0; });
+  guard("dispatch_inflight", "Batches dispatched and not yet completed",
+        metrics::MetricType::kGauge,
+        [this] { return loop_ != nullptr ? loop_->dispatch_inflight() : 0; });
 }
 
 Server::~Server() { Stop(); }
@@ -84,12 +114,24 @@ void Server::Dispatch(std::shared_ptr<Connection> conn, CommandBatch batch) {
   // bytes; the parsed Slices stay valid for the task's lifetime.
   auto shared_batch =
       std::make_shared<CommandBatch>(std::move(batch));
-  executor_->Submit([this, conn = std::move(conn), shared_batch] {
+  const uint64_t dispatched_at =
+      table_.telemetry_enabled() ? Clock::Real()->NowMicros() : 0;
+  executor_->Submit([this, conn = std::move(conn), shared_batch,
+                     dispatched_at] {
+    // The connection's PERF state rides in its dispatcher slot; batches
+    // for one connection are serialized, so plain access is safe.
+    if (conn->dispatcher_state == nullptr) {
+      conn->dispatcher_state = std::make_shared<PerfState>();
+    }
+    auto* perf = static_cast<PerfState*>(conn->dispatcher_state.get());
+    BatchTiming timing;
+    timing.parse_micros = shared_batch->parse_micros;
+    timing.dispatched_at_micros = dispatched_at;
     std::string out;
     bool close_connection = false;
     bool shutdown_server = false;
     table_.ExecuteBatch(shared_batch->cmds, &out, &close_connection,
-                        &shutdown_server);
+                        &shutdown_server, perf, &timing);
     conn->CompleteBatch(std::move(out), close_connection, shutdown_server);
   });
 }

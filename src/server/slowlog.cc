@@ -1,0 +1,47 @@
+#include "server/slowlog.h"
+
+#include <algorithm>
+#include <ctime>
+
+namespace tierbase {
+namespace server {
+
+void SlowLog::set_capacity(size_t capacity) {
+  common::MutexLock lock(&mu_);
+  capacity_ = capacity;
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+void SlowLog::Add(uint64_t duration_micros, std::vector<std::string> args) {
+  Entry e;
+  e.duration_micros = duration_micros;
+  e.unix_seconds = static_cast<int64_t>(time(nullptr));
+  e.args = std::move(args);
+  common::MutexLock lock(&mu_);
+  if (capacity_ == 0) return;
+  e.id = next_id_++;
+  ring_.push_back(std::move(e));
+  if (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<SlowLog::Entry> SlowLog::Get(size_t n) const {
+  common::MutexLock lock(&mu_);
+  std::vector<Entry> out;
+  size_t take = std::min(n, ring_.size());
+  out.reserve(take);
+  for (auto it = ring_.rbegin(); take > 0; ++it, --take) out.push_back(*it);
+  return out;
+}
+
+size_t SlowLog::Len() const {
+  common::MutexLock lock(&mu_);
+  return ring_.size();
+}
+
+void SlowLog::Reset() {
+  common::MutexLock lock(&mu_);
+  ring_.clear();
+}
+
+}  // namespace server
+}  // namespace tierbase

@@ -1,0 +1,76 @@
+// SLOWLOG: a bounded ring of the slowest recent commands, after Redis's
+// feature of the same name. The dispatch path compares each command's
+// elapsed microseconds against an atomic threshold (one relaxed load — the
+// fast path pays nothing else); only commands at or over the threshold
+// take the mutex and enter the ring.
+//
+// Entries store *redacted* arguments: the command name and its key
+// arguments only, never values — a slow SET of a 10 MB blob logs as
+// ["SET", "its-key"]. Redaction happens in the command layer, which knows
+// each command's key positions.
+
+#ifndef TIERBASE_SERVER_SLOWLOG_H_
+#define TIERBASE_SERVER_SLOWLOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace tierbase {
+namespace server {
+
+class SlowLog {
+ public:
+  struct Entry {
+    uint64_t id = 0;            // Monotonic, survives RESET (Redis-style).
+    int64_t unix_seconds = 0;   // Wall-clock time the command finished.
+    uint64_t duration_micros = 0;
+    std::vector<std::string> args;  // Redacted: name + keys only.
+  };
+
+  /// Threshold in microseconds: commands taking >= this are logged.
+  /// 0 logs every command; negative disables logging entirely.
+  void set_threshold_micros(int64_t micros) {
+    threshold_micros_.store(micros, std::memory_order_relaxed);
+  }
+  int64_t threshold_micros() const {
+    return threshold_micros_.load(std::memory_order_relaxed);
+  }
+
+  /// Ring capacity; adding past it evicts the oldest entry.
+  void set_capacity(size_t capacity);
+
+  /// Fast-path check: true when a command of this duration must be logged.
+  bool ShouldLog(uint64_t duration_micros) const {
+    int64_t t = threshold_micros_.load(std::memory_order_relaxed);
+    return t >= 0 && duration_micros >= static_cast<uint64_t>(t);
+  }
+
+  /// Appends an entry (caller already passed ShouldLog and redacted args).
+  void Add(uint64_t duration_micros, std::vector<std::string> args);
+
+  /// Newest-first snapshot of up to `n` entries (SLOWLOG GET).
+  std::vector<Entry> Get(size_t n) const;
+
+  size_t Len() const;
+  void Reset();
+
+ private:
+  // Redis defaults: 10ms threshold, 128 entries.
+  std::atomic<int64_t> threshold_micros_{10'000};
+
+  mutable common::Mutex mu_;
+  size_t capacity_ GUARDED_BY(mu_) = 128;
+  uint64_t next_id_ GUARDED_BY(mu_) = 0;
+  std::deque<Entry> ring_ GUARDED_BY(mu_);
+};
+
+}  // namespace server
+}  // namespace tierbase
+
+#endif  // TIERBASE_SERVER_SLOWLOG_H_

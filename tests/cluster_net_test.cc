@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -615,6 +616,114 @@ TEST_F(ClusterNetTest, YcsbThroughProxyAndSmartClientMatchOpCounts) {
     EXPECT_EQ(0u, proxy_load.errors + proxy_run.errors)
         << "workload " << name;
   }
+
+  proxy.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: every cluster binary's INFO parses and its counters move.
+// ---------------------------------------------------------------------------
+
+/// Parses an INFO body into section -> key -> value.
+std::map<std::string, std::map<std::string, std::string>> ParseInfo(
+    const std::string& body) {
+  std::map<std::string, std::map<std::string, std::string>> out;
+  std::string section;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      section = line.substr(line.find_first_not_of("# "));
+      continue;
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    out[section][line.substr(0, colon)] = line.substr(colon + 1);
+  }
+  return out;
+}
+
+TEST_F(ClusterNetTest, ProxyAndCoordinatorInfoParseWithLiveCounters) {
+  StartCoordinator();
+  DataNode* n1 = StartNode("n1");
+  DataNode* n2 = StartNode("n2");
+  ASSERT_TRUE(Register(*n1).ok());
+  ASSERT_TRUE(Register(*n2).ok());
+
+  ClusterProxy::Options options;
+  options.port = 0;
+  options.backend.coordinators.push_back(
+      "127.0.0.1:" + std::to_string(coordinator_->port()));
+  ClusterProxy proxy(options);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  Client cli;
+  ASSERT_TRUE(cli.Connect("127.0.0.1", proxy.port()).ok());
+  RespValue v;
+  ASSERT_TRUE(cli.Call({"INFO"}, &v).ok());
+  ASSERT_EQ(RespValue::Type::kBulkString, v.type);
+  auto info = ParseInfo(v.str);
+  for (const char* section : {"Proxy", "Cluster", "Robustness"}) {
+    EXPECT_TRUE(info.count(section)) << "missing section " << section;
+  }
+  for (const char* key : {"proxy_commands", "proxy_batches",
+                          "proxy_coalesced_commands", "connected_clients",
+                          "proxy_fanout_latency_us"}) {
+    ASSERT_TRUE(info["Proxy"].count(key)) << key;
+  }
+  EXPECT_TRUE(info["Cluster"].count("route_refreshes"));
+  EXPECT_TRUE(info["Robustness"].count("backoff_waits"));
+  const uint64_t commands_before =
+      std::stoull(info["Proxy"]["proxy_commands"]);
+
+  // Drive a scatter-gather train; the fan-out histogram and the command
+  // counter must both see it.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(
+        cli.Call({"SET", "ti" + std::to_string(i), "v"}, &v).ok());
+  }
+  for (int i = 0; i < 16; ++i) cli.Append({"GET", "ti" + std::to_string(i)});
+  ASSERT_TRUE(cli.Flush().ok());
+  for (int i = 0; i < 16; ++i) ASSERT_TRUE(cli.ReadReply(&v).ok());
+
+  ASSERT_TRUE(cli.Call({"INFO"}, &v).ok());
+  auto after = ParseInfo(v.str);
+  EXPECT_GE(std::stoull(after["Proxy"]["proxy_commands"]),
+            commands_before + 32);
+  EXPECT_EQ(0u, after["Proxy"]["proxy_fanout_latency_us"].find("cnt="));
+  EXPECT_NE("cnt=0,", after["Proxy"]["proxy_fanout_latency_us"].substr(0, 6));
+
+  // The proxy's Prometheus exposition carries the same instruments.
+  ASSERT_TRUE(cli.Call({"METRICS"}, &v).ok());
+  ASSERT_EQ(RespValue::Type::kBulkString, v.type);
+  EXPECT_NE(std::string::npos, v.str.find("tierbase_proxy_commands "));
+  EXPECT_NE(std::string::npos,
+            v.str.find("# TYPE tierbase_proxy_fanout_latency_us histogram"));
+  EXPECT_NE(std::string::npos,
+            v.str.find("tierbase_proxy_fanout_latency_us_count "));
+
+  // The coordinator speaks the same surface on its control port.
+  Client coord;
+  ASSERT_TRUE(coord.Connect("127.0.0.1", coordinator_->port()).ok());
+  ASSERT_TRUE(coord.Call({"INFO"}, &v).ok());
+  ASSERT_EQ(RespValue::Type::kBulkString, v.type);
+  auto cinfo = ParseInfo(v.str);
+  ASSERT_TRUE(cinfo.count("Coordinator"));
+  for (const char* key : {"cluster_epoch", "known_nodes", "failovers",
+                          "probes_sent", "probe_failures"}) {
+    ASSERT_TRUE(cinfo["Coordinator"].count(key)) << key;
+  }
+  EXPECT_EQ("2", cinfo["Coordinator"]["known_nodes"]);
+  EXPECT_GE(std::stoull(cinfo["Coordinator"]["cluster_epoch"]), 1u);
+  ASSERT_TRUE(coord.Call({"METRICS"}, &v).ok());
+  EXPECT_NE(std::string::npos, v.str.find("tierbase_cluster_epoch "));
+  EXPECT_NE(std::string::npos,
+            v.str.find("# TYPE tierbase_known_nodes gauge"));
 
   proxy.Stop();
 }

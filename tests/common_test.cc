@@ -17,6 +17,7 @@
 #include "common/env.h"
 #include "common/hash.h"
 #include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -300,15 +301,17 @@ TEST(HistogramTest, MergeEqualsCombined) {
 }
 
 TEST(HistogramTest, ConcurrentMatchesSerial) {
-  ConcurrentHistogram ch;
+  metrics::LatencyHistogram ch;
   Histogram h;
   for (uint64_t v = 0; v < 10000; v += 3) {
-    ch.Add(v);
+    ch.Record(v);
     h.Add(v);
   }
   Histogram snap = ch.Snapshot();
   EXPECT_EQ(snap.Count(), h.Count());
   EXPECT_EQ(snap.Percentile(0.5), h.Percentile(0.5));
+  EXPECT_EQ(snap.Max(), h.Max());
+  EXPECT_EQ(snap.Sum(), h.Sum());
 }
 
 // --- Random / Zipfian. ---

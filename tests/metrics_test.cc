@@ -1,0 +1,314 @@
+// Tests for the telemetry layer (common/metrics.h): the lock-striped
+// atomic LatencyHistogram (bucket boundaries, exact totals, percentile
+// error bound, concurrent recording), the MetricsRegistry (ownership,
+// re-registration, INFO rendering order, pre-render hooks), and the
+// Prometheus text exposition (golden format, cumulative buckets, exact
+// _sum/_count, INFO-only entries skipped).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/metrics.h"
+
+namespace tierbase {
+namespace metrics {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram.
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, ExactTotalsAndCounts) {
+  LatencyHistogram h;
+  h.Record(10);
+  h.Record(100);
+  h.Record(1000, 3);  // Weighted record: 3 observations of 1000us.
+  EXPECT_EQ(5u, h.count());
+
+  Histogram snap = h.Snapshot();
+  EXPECT_EQ(5u, snap.Count());
+  // Sum and max are exact (maintained beside the buckets), not
+  // bucket-edge approximations.
+  EXPECT_EQ(10u + 100u + 3 * 1000u, snap.Sum());
+  EXPECT_EQ(1000u, snap.Max());
+}
+
+TEST(LatencyHistogramTest, PercentileWithinBucketErrorBound) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  Histogram snap = h.Snapshot();
+  // The (exponent, 1/16 sub-bucket) layout bounds relative error by the
+  // sub-bucket width: the reported percentile is the bucket upper edge,
+  // at most ~6.25% above the true value (and never below it).
+  const uint64_t p50 = snap.Percentile(0.50);
+  EXPECT_GE(p50, 500u);
+  EXPECT_LE(p50, 540u);
+  const uint64_t p99 = snap.Percentile(0.99);
+  EXPECT_GE(p99, 990u);
+  EXPECT_LE(p99, 1000u);  // Clamped to the observed max.
+}
+
+TEST(LatencyHistogramTest, BucketBoundariesMatchPlainHistogram) {
+  // The atomic variant must land every value in the same fine bucket as
+  // the plain Histogram it snapshots into — probe the power-of-two edges
+  // and their neighbours where exponent boundaries sit.
+  for (int exp = 0; exp <= 22; ++exp) {
+    const uint64_t edge = 1ull << exp;
+    for (uint64_t v : {edge - 1, edge, edge + 1}) {
+      if (v == 0) continue;
+      LatencyHistogram atomic_h;
+      atomic_h.Record(v);
+      Histogram plain;
+      plain.Add(v);
+      Histogram snap = atomic_h.Snapshot();
+      const int bucket = Histogram::BucketFor(v);
+      EXPECT_EQ(plain.BucketCount(bucket), snap.BucketCount(bucket))
+          << "value " << v;
+      EXPECT_EQ(1u, snap.BucketCount(bucket)) << "value " << v;
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, ResetZeroesEverything) {
+  LatencyHistogram h;
+  h.Record(42, 7);
+  ASSERT_EQ(7u, h.count());
+  h.Reset();
+  EXPECT_EQ(0u, h.count());
+  Histogram snap = h.Snapshot();
+  EXPECT_EQ(0u, snap.Count());
+  EXPECT_EQ(0u, snap.Sum());
+  EXPECT_EQ(0u, snap.Max());
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordersLoseNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t) * 100 + (i % 100) + 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  Histogram snap = h.Snapshot();
+  EXPECT_EQ(kThreads * kPerThread, snap.Count());
+  EXPECT_EQ(static_cast<uint64_t>(kThreads - 1) * 100 + 99 + 1, snap.Max());
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry: instruments and INFO rendering.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, ReRegistrationReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.AddCounter("Stats", "ops", "operations");
+  Counter* c2 = reg.AddCounter("Stats", "ops", "operations");
+  EXPECT_EQ(c1, c2);
+  Gauge* g1 = reg.AddGauge("Stats", "depth", "queue depth");
+  EXPECT_EQ(g1, reg.AddGauge("Stats", "depth", ""));
+  LatencyHistogram* h1 = reg.AddHistogram("Stats", "lat_us", "latency");
+  EXPECT_EQ(h1, reg.AddHistogram("Stats", "lat_us", ""));
+}
+
+TEST(MetricsRegistryTest, RenderInfoSectionsInRegistrationOrder) {
+  MetricsRegistry reg;
+  reg.AddCounter("Server", "uptime_polls", "")->Inc(3);
+  reg.AddCounter("Stats", "ops", "")->Inc(41);
+  reg.AddGauge("Server", "port", "")->Set(6380);
+  reg.AddText("Stats", "policy", [] { return std::string("cache-only"); });
+  reg.AddCallback("Stats", "hits", "", MetricType::kCounter,
+                  [] { return 7u; });
+  reg.AddBlock("Stats", [](std::string* out) {
+    out->append("node_a:1\r\nnode_b:2\r\n");
+  });
+
+  std::string info;
+  reg.RenderInfo(&info);
+  // Sections render in first-registration order; a key added to an
+  // existing section lands in that section regardless of call order.
+  const size_t server = info.find("# Server\r\n");
+  const size_t stats = info.find("# Stats\r\n");
+  ASSERT_NE(std::string::npos, server);
+  ASSERT_NE(std::string::npos, stats);
+  EXPECT_LT(server, stats);
+  EXPECT_LT(info.find("uptime_polls:3\r\n"), stats);
+  EXPECT_LT(info.find("port:6380\r\n"), stats);
+  EXPECT_GT(info.find("ops:41\r\n"), stats);
+  EXPECT_NE(std::string::npos, info.find("policy:cache-only\r\n"));
+  EXPECT_NE(std::string::npos, info.find("hits:7\r\n"));
+  EXPECT_NE(std::string::npos, info.find("node_a:1\r\n"));
+  EXPECT_NE(std::string::npos, info.find("node_b:2\r\n"));
+}
+
+TEST(MetricsRegistryTest, HistogramRendersInfoSummary) {
+  MetricsRegistry reg;
+  LatencyHistogram* h = reg.AddHistogram("Commandstats", "cmd_get", "");
+  h->Record(100, 10);
+  std::string info;
+  reg.RenderInfo(&info);
+  EXPECT_NE(std::string::npos, info.find("cmd_get:cnt=10,p50="));
+  EXPECT_NE(std::string::npos, info.find("max=100"));
+}
+
+TEST(MetricsRegistryTest, PreRenderRunsBeforeEveryRender) {
+  MetricsRegistry reg;
+  std::atomic<uint64_t> source{0};
+  uint64_t snapshot = 0;
+  reg.AddPreRender([&] { snapshot = source.load(); });
+  reg.AddCallback("Stats", "value", "", MetricType::kGauge,
+                  [&] { return snapshot; });
+  source = 17;
+  std::string info;
+  reg.RenderInfo(&info);
+  EXPECT_NE(std::string::npos, info.find("value:17"));
+  source = 99;
+  std::string prom;
+  reg.RenderPrometheus(&prom);
+  EXPECT_NE(std::string::npos, prom.find("tierbase_value 99\n"));
+}
+
+TEST(MetricsRegistryTest, FindHistogramAndEnumeration) {
+  MetricsRegistry reg;
+  LatencyHistogram* get_h = reg.AddHistogram("Commandstats", "cmd_get", "");
+  LatencyHistogram* set_h = reg.AddHistogram("Commandstats", "cmd_set", "");
+  reg.AddCounter("Stats", "ops", "");
+  EXPECT_EQ(get_h, reg.FindHistogram("cmd_get"));
+  EXPECT_EQ(set_h, reg.FindHistogram("cmd_set"));
+  EXPECT_EQ(nullptr, reg.FindHistogram("ops"));
+  EXPECT_EQ(nullptr, reg.FindHistogram("nosuch"));
+  auto all = reg.Histograms();
+  ASSERT_EQ(2u, all.size());
+  EXPECT_EQ("cmd_get", all[0].first);
+  EXPECT_EQ("cmd_set", all[1].first);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition.
+// ---------------------------------------------------------------------------
+
+/// Splits exposition text into lines (newline-terminated).
+std::vector<std::string> Lines(const std::string& body) {
+  std::vector<std::string> out;
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(PrometheusTest, GoldenCounterAndGauge) {
+  MetricsRegistry reg;
+  reg.AddCounter("Stats", "ops_total", "operations served")->Inc(41);
+  reg.AddGauge("Server", "depth", "queue depth")->Set(-3);
+  std::string prom;
+  reg.RenderPrometheus(&prom);
+  // Exact golden block: HELP, TYPE, sample — names tierbase_-prefixed,
+  // sections in registration order (Stats was registered first).
+  EXPECT_EQ(
+      "# HELP tierbase_ops_total operations served\n"
+      "# TYPE tierbase_ops_total counter\n"
+      "tierbase_ops_total 41\n"
+      "# HELP tierbase_depth queue depth\n"
+      "# TYPE tierbase_depth gauge\n"
+      "tierbase_depth -3\n",
+      prom);
+}
+
+TEST(PrometheusTest, SkipsInfoOnlyEntries) {
+  MetricsRegistry reg;
+  reg.AddText("Server", "role", [] { return std::string("master"); });
+  reg.AddBlock("Server",
+               [](std::string* out) { out->append("dynamic:1\r\n"); });
+  reg.AddCounter("Server", "ops", "")->Inc(1);
+  std::string prom;
+  reg.RenderPrometheus(&prom);
+  EXPECT_EQ(std::string::npos, prom.find("role"));
+  EXPECT_EQ(std::string::npos, prom.find("dynamic"));
+  EXPECT_NE(std::string::npos, prom.find("tierbase_ops 1\n"));
+}
+
+TEST(PrometheusTest, SanitizesMetricNames) {
+  MetricsRegistry reg;
+  reg.AddCounter("Stats", "weird-key.name", "a hyphenated key")->Inc(5);
+  std::string prom;
+  reg.RenderPrometheus(&prom);
+  // The sample and TYPE lines carry the sanitized name; the raw key only
+  // survives in free-text HELP.
+  EXPECT_NE(std::string::npos, prom.find("tierbase_weird_key_name 5\n"));
+  EXPECT_NE(std::string::npos,
+            prom.find("# TYPE tierbase_weird_key_name counter\n"));
+  EXPECT_EQ(std::string::npos, prom.find("weird-key"));
+}
+
+TEST(PrometheusTest, HistogramCumulativeBucketsSumAndCount) {
+  MetricsRegistry reg;
+  LatencyHistogram* h = reg.AddHistogram("Commandstats", "lat_us", "latency");
+  h->Record(1);        // <= le=1.
+  h->Record(3);        // <= le=4.
+  h->Record(1000, 2);  // <= le=1024.
+  h->Record(5'000'000);  // Beyond the largest finite edge -> +Inf only.
+  std::string prom;
+  reg.RenderPrometheus(&prom);
+
+  // Parse the bucket series and check cumulative counts at known edges.
+  std::map<std::string, uint64_t> buckets;
+  uint64_t sum = 0, count = 0;
+  for (const std::string& line : Lines(prom)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(std::string::npos, space) << line;
+    const std::string name = line.substr(0, space);
+    const uint64_t value = std::stoull(line.substr(space + 1));
+    if (name.find("_bucket{le=\"") != std::string::npos) {
+      std::string le = name.substr(name.find("le=\"") + 4);
+      le.pop_back();  // Trailing "}.
+      le.pop_back();
+      buckets[le] = value;
+    } else if (name == "tierbase_lat_us_sum") {
+      sum = value;
+    } else if (name == "tierbase_lat_us_count") {
+      count = value;
+    }
+  }
+  EXPECT_EQ(1u, buckets["1"]);
+  EXPECT_EQ(2u, buckets["4"]);
+  EXPECT_EQ(2u, buckets["512"]);
+  EXPECT_EQ(4u, buckets["1024"]);
+  EXPECT_EQ(4u, buckets["4194304"]);  // 2^22: the 5s outlier is beyond it.
+  EXPECT_EQ(5u, buckets["+Inf"]);
+  EXPECT_EQ(5u, count);
+  EXPECT_EQ(1u + 3u + 2 * 1000u + 5'000'000u, sum);  // Exact, not edges.
+
+  // Cumulative invariant: counts never decrease as le grows.
+  uint64_t prev = 0;
+  uint64_t le = 1;
+  for (int i = 0; i < 23; ++i, le <<= 1) {
+    auto it = buckets.find(std::to_string(le));
+    ASSERT_NE(buckets.end(), it) << "missing le=" << le;
+    EXPECT_GE(it->second, prev);
+    prev = it->second;
+  }
+  EXPECT_GE(buckets["+Inf"], prev);
+}
+
+TEST(PrometheusTest, HistogramInfoValueFormat) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Add(50);
+  const std::string v = HistogramInfoValue(h);
+  EXPECT_EQ(0u, v.find("cnt=100,p50="));
+  EXPECT_NE(std::string::npos, v.find(",max=50"));
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace tierbase

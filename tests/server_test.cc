@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -809,6 +810,323 @@ TEST_F(ServerTest, ScanDbSizeFlushAll) {
   EXPECT_TRUE(v.IsNull());
   ASSERT_TRUE(client.Call({"SCAN", "0", "COUNT", "100"}, &v).ok());
   EXPECT_TRUE(v.elements[1].elements.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: INFO structure, SLOWLOG, LATENCY, PERF, METRICS.
+// ---------------------------------------------------------------------------
+
+/// Parses an INFO body into section -> key -> value.
+std::map<std::string, std::map<std::string, std::string>> ParseInfo(
+    const std::string& body) {
+  std::map<std::string, std::map<std::string, std::string>> out;
+  std::string section;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      section = line.substr(line.find_first_not_of("# "));
+      continue;
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    out[section][line.substr(0, colon)] = line.substr(colon + 1);
+  }
+  return out;
+}
+
+TEST_F(ServerTest, InfoParsesWithAdvertisedCountersMonotonic) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(Connect(&client).ok());
+  RespValue v;
+  ASSERT_TRUE(client.Call({"INFO"}, &v).ok());
+  ASSERT_EQ(RespType::kBulkString, v.type);
+  auto info = ParseInfo(v.str);
+
+  // Every advertised section parses out, with its headline keys.
+  for (const char* section : {"Server", "Cluster", "Stats", "Commandstats",
+                              "Persistence", "Memory", "Keyspace",
+                              "Robustness"}) {
+    EXPECT_TRUE(info.count(section)) << "missing section " << section;
+  }
+  for (const char* key :
+       {"total_commands_processed", "dispatch_batches", "command_errors",
+        "keyspace_hits", "keyspace_misses", "gets", "sets"}) {
+    ASSERT_TRUE(info["Stats"].count(key)) << key;
+  }
+  EXPECT_TRUE(info["Server"].count("thread_mode"));
+  EXPECT_TRUE(info["Server"].count("telemetry"));
+  EXPECT_TRUE(info["Memory"].count("bytes_cached"));
+  EXPECT_TRUE(info["Keyspace"].count("keys_cached"));
+  EXPECT_TRUE(info["Keyspace"].count("slowlog_len"));
+  EXPECT_TRUE(info["Commandstats"].count("cmd_get_latency_us"));
+  EXPECT_TRUE(info["Cluster"].count("cluster_enabled"));
+
+  const uint64_t commands_before =
+      std::stoull(info["Stats"]["total_commands_processed"]);
+  const uint64_t gets_before = std::stoull(info["Stats"]["gets"]);
+
+  ASSERT_TRUE(client.Call({"SET", "mono", "v"}, &v).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.Call({"GET", "mono"}, &v).ok());
+  }
+  ASSERT_TRUE(client.Call({"INFO"}, &v).ok());
+  auto after = ParseInfo(v.str);
+  // Counters only move forward, and by at least the traffic we sent.
+  EXPECT_GE(std::stoull(after["Stats"]["total_commands_processed"]),
+            commands_before + 7);  // SET + 5 GETs + the first INFO.
+  EXPECT_GE(std::stoull(after["Stats"]["gets"]), gets_before + 5);
+  EXPECT_GE(std::stoull(after["Stats"]["keyspace_hits"]), 5u);
+}
+
+TEST_F(ServerTest, SlowlogRedactsArgsToKeys) {
+  StartServer();
+  srv_->commands()->slowlog()->set_threshold_micros(0);  // Log everything.
+  Client client;
+  ASSERT_TRUE(Connect(&client).ok());
+  RespValue v;
+  ASSERT_TRUE(client.Call({"SET", "k", "secretvalue"}, &v).ok());
+  ASSERT_TRUE(client.Call({"MSET", "a", "hush1", "b", "hush2"}, &v).ok());
+  ASSERT_TRUE(client.Call({"DEL", "a", "b"}, &v).ok());
+  // Stop logging before inspecting, so the SLOWLOG commands themselves
+  // stay out of the ring.
+  srv_->commands()->slowlog()->set_threshold_micros(-1);
+
+  ASSERT_TRUE(client.Call({"SLOWLOG", "GET", "25"}, &v).ok());
+  ASSERT_EQ(RespType::kArray, v.type);
+  ASSERT_GE(v.elements.size(), 3u);
+  std::map<std::string, std::vector<std::string>> by_name;
+  int64_t prev_id = -1;
+  for (const RespValue& e : v.elements) {
+    ASSERT_EQ(RespType::kArray, e.type);
+    ASSERT_EQ(4u, e.elements.size());
+    // Newest first, ids strictly decreasing.
+    if (prev_id >= 0) {
+      EXPECT_LT(e.elements[0].integer, prev_id);
+    }
+    prev_id = e.elements[0].integer;
+    EXPECT_GT(e.elements[1].integer, 0);  // Unix timestamp.
+    std::vector<std::string> args;
+    for (const RespValue& a : e.elements[3].elements) {
+      args.push_back(a.str);
+      // No values ever reach the log — keys and command names only.
+      EXPECT_EQ(std::string::npos, a.str.find("secret"));
+      EXPECT_EQ(std::string::npos, a.str.find("hush"));
+    }
+    ASSERT_FALSE(args.empty());
+    by_name[args[0]] = args;
+  }
+  EXPECT_EQ((std::vector<std::string>{"SET", "k"}), by_name["SET"]);
+  EXPECT_EQ((std::vector<std::string>{"MSET", "a", "b"}), by_name["MSET"]);
+  EXPECT_EQ((std::vector<std::string>{"DEL", "a", "b"}), by_name["DEL"]);
+}
+
+TEST_F(ServerTest, SlowlogWraparoundThresholdAndIds) {
+  StartServer();
+  SlowLog* log = srv_->commands()->slowlog();
+  log->set_capacity(4);
+  Client client;
+  ASSERT_TRUE(Connect(&client).ok());
+  RespValue v;
+
+  // Nothing logs under an unreachable threshold.
+  log->set_threshold_micros(10'000'000);
+  ASSERT_TRUE(client.Call({"SET", "cold", "v"}, &v).ok());
+  ASSERT_TRUE(client.Call({"SLOWLOG", "LEN"}, &v).ok());
+  EXPECT_EQ(0, v.integer);
+
+  // Ten commands through a 4-entry ring keep the newest four.
+  log->set_threshold_micros(0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        client.Call({"SET", "w" + std::to_string(i), "v"}, &v).ok());
+  }
+  log->set_threshold_micros(-1);
+  ASSERT_TRUE(client.Call({"SLOWLOG", "LEN"}, &v).ok());
+  EXPECT_EQ(4, v.integer);
+  ASSERT_TRUE(client.Call({"SLOWLOG", "GET", "10"}, &v).ok());
+  ASSERT_EQ(4u, v.elements.size());
+  EXPECT_EQ("w9", v.elements[0].elements[3].elements[1].str);
+  EXPECT_EQ("w6", v.elements[3].elements[3].elements[1].str);
+  const int64_t max_id = v.elements[0].elements[0].integer;
+
+  // RESET empties the ring but ids keep climbing (Redis semantics).
+  ASSERT_TRUE(client.Call({"SLOWLOG", "RESET"}, &v).ok());
+  ASSERT_TRUE(client.Call({"SLOWLOG", "LEN"}, &v).ok());
+  EXPECT_EQ(0, v.integer);
+  log->set_threshold_micros(0);
+  ASSERT_TRUE(client.Call({"SET", "fresh", "v"}, &v).ok());
+  log->set_threshold_micros(-1);
+  ASSERT_TRUE(client.Call({"SLOWLOG", "GET", "1"}, &v).ok());
+  ASSERT_EQ(1u, v.elements.size());
+  EXPECT_GT(v.elements[0].elements[0].integer, max_id);
+
+  // A wide multi-key command redacts past 8 keys with a summary tail.
+  log->set_threshold_micros(0);
+  std::vector<Slice> del{"DEL"};
+  std::vector<std::string> storage;
+  for (int i = 0; i < 12; ++i) storage.push_back("d" + std::to_string(i));
+  for (const std::string& k : storage) del.emplace_back(k);
+  ASSERT_TRUE(client.Call(del, &v).ok());
+  log->set_threshold_micros(-1);
+  ASSERT_TRUE(client.Call({"SLOWLOG", "GET", "1"}, &v).ok());
+  ASSERT_EQ(1u, v.elements.size());
+  const RespValue& args = v.elements[0].elements[3];
+  ASSERT_EQ(10u, args.elements.size());  // name + 8 keys + summary.
+  EXPECT_EQ("DEL", args.elements[0].str);
+  EXPECT_EQ("d0", args.elements[1].str);
+  EXPECT_EQ("d7", args.elements[8].str);
+  EXPECT_EQ("... (4 more keys)", args.elements[9].str);
+}
+
+TEST_F(ServerTest, LatencyHistogramAndResetOverWire) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(Connect(&client).ok());
+  RespValue v;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client.Call({"GET", "nosuch"}, &v).ok());
+  }
+  ASSERT_TRUE(client.Call({"LATENCY", "HISTOGRAM", "get"}, &v).ok());
+  ASSERT_EQ(RespType::kArray, v.type);
+  ASSERT_EQ(2u, v.elements.size());
+  EXPECT_EQ("cmd_get_latency_us", v.elements[0].str);
+  EXPECT_EQ(0u, v.elements[1].str.find("cnt=10,p50="));
+
+  // The full listing covers every command family plus the other-bucket.
+  ASSERT_TRUE(client.Call({"LATENCY", "HISTOGRAM"}, &v).ok());
+  ASSERT_GE(v.elements.size(), 2u * 25);
+  bool saw_other = false;
+  for (size_t i = 0; i < v.elements.size(); i += 2) {
+    if (v.elements[i].str == "cmd_other_latency_us") saw_other = true;
+  }
+  EXPECT_TRUE(saw_other);
+
+  ASSERT_TRUE(client.Call({"LATENCY", "RESET", "get"}, &v).ok());
+  EXPECT_EQ(1, v.integer);
+  ASSERT_TRUE(client.Call({"LATENCY", "HISTOGRAM", "get"}, &v).ok());
+  EXPECT_EQ(0u, v.elements[1].str.find("cnt=0,"));
+  ASSERT_TRUE(client.Call({"LATENCY", "HISTOGRAM", "nosuchcmd"}, &v).ok());
+  EXPECT_TRUE(v.IsError());
+}
+
+TEST_F(ServerTest, MetricsCountsMatchOps) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(Connect(&client).ok());
+  RespValue v;
+  ASSERT_TRUE(client.Call({"SET", "m", "v"}, &v).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client.Call({"GET", "m"}, &v).ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client.Call({"SET", "m", "v2"}, &v).ok());
+  }
+  ASSERT_TRUE(client.Call({"METRICS"}, &v).ok());
+  ASSERT_EQ(RespType::kBulkString, v.type);
+  const std::string& prom = v.str;
+
+  auto sample = [&prom](const std::string& name) -> uint64_t {
+    const std::string needle = name + " ";
+    size_t pos = 0;
+    while ((pos = prom.find(needle, pos)) != std::string::npos) {
+      if (pos == 0 || prom[pos - 1] == '\n') {
+        return std::stoull(prom.substr(pos + needle.size()));
+      }
+      pos += needle.size();
+    }
+    ADD_FAILURE() << "metric not found: " << name;
+    return 0;
+  };
+  // Histogram counts account for exactly the commands sent: the METRICS
+  // command itself is still executing, so it is counted in the command
+  // counter but not yet in its own histogram.
+  EXPECT_EQ(10u, sample("tierbase_cmd_get_latency_us_count"));
+  EXPECT_EQ(5u, sample("tierbase_cmd_set_latency_us_count"));
+  EXPECT_EQ(10u,
+            sample("tierbase_cmd_get_latency_us_bucket{le=\"+Inf\"}"));
+  EXPECT_EQ(16u, sample("tierbase_total_commands_processed"));
+  EXPECT_NE(std::string::npos,
+            prom.find("# TYPE tierbase_cmd_get_latency_us histogram\n"));
+  EXPECT_NE(std::string::npos,
+            prom.find("# TYPE tierbase_total_commands_processed counter\n"));
+}
+
+TEST_F(ServerTest, PerfTracingStageSumWithinWall) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(Connect(&client).ok());
+  RespValue v;
+  ASSERT_TRUE(client.Call({"SET", "p", "v"}, &v).ok());
+  ASSERT_TRUE(client.Call({"PERF", "ON"}, &v).ok());
+  EXPECT_EQ("OK", v.str);
+
+  // One pipelined batch: 64 GETs coalesce into a MultiGet train, 64 SETs
+  // into a MultiSet train — both under the connection's PerfContext.
+  for (int i = 0; i < 64; ++i) client.Append({"GET", "p"});
+  for (int i = 0; i < 64; ++i) client.Append({"SET", "p", "v"});
+  ASSERT_TRUE(client.Flush().ok());
+  for (int i = 0; i < 128; ++i) ASSERT_TRUE(client.ReadReply(&v).ok());
+
+  // OFF before GET so the report covers only completed batches — an
+  // in-flight traced batch has its parse/queue stages recorded before
+  // its wall time lands, which would blur the stage-sum invariant.
+  ASSERT_TRUE(client.Call({"PERF", "OFF"}, &v).ok());
+  EXPECT_EQ("OK", v.str);
+  ASSERT_TRUE(client.Call({"PERF", "GET"}, &v).ok());
+  ASSERT_EQ(RespType::kBulkString, v.type);
+  auto report = ParseInfo(v.str)[""];
+  ASSERT_TRUE(report.count("stage_sum_micros"));
+  ASSERT_TRUE(report.count("wall_micros"));
+  const uint64_t stage_sum = std::stoull(report["stage_sum_micros"]);
+  const uint64_t wall = std::stoull(report["wall_micros"]);
+  // Stages partition batch wall time: their sum can never exceed it (the
+  // slack is untracked execution), and the traced batches must have
+  // touched the cache.
+  EXPECT_LE(stage_sum, wall);
+  EXPECT_GT(wall, 0u);
+  // 128 pipelined + the PERF OFF command; the pipelined flush usually
+  // lands as one batch but TCP may split it, so only bound the count.
+  EXPECT_EQ("129", report["commands"]);
+  EXPECT_GE(std::stoull(report["batches"]), 2u);
+  EXPECT_GE(std::stoull(report["cache_probe_calls"]), 1u);
+
+  // Bad subcommands error without touching the tracing state.
+  ASSERT_TRUE(client.Call({"PERF", "BOGUS"}, &v).ok());
+  EXPECT_TRUE(v.IsError());
+}
+
+TEST_F(ServerTest, TelemetryDisabledKeepsServing) {
+  StartServer();
+  srv_->commands()->set_telemetry_enabled(false);
+  srv_->commands()->slowlog()->set_threshold_micros(0);
+  Client client;
+  ASSERT_TRUE(Connect(&client).ok());
+  RespValue v;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client.Call({"SET", "t" + std::to_string(i), "v"}, &v).ok());
+  }
+  // No clocking: histograms stay empty and nothing reaches the slow log,
+  // but INFO/METRICS/LATENCY still render.
+  ASSERT_TRUE(client.Call({"LATENCY", "HISTOGRAM", "set"}, &v).ok());
+  EXPECT_EQ(0u, v.elements[1].str.find("cnt=0,"));
+  ASSERT_TRUE(client.Call({"SLOWLOG", "LEN"}, &v).ok());
+  EXPECT_EQ(0, v.integer);
+  ASSERT_TRUE(client.Call({"INFO"}, &v).ok());
+  auto info = ParseInfo(v.str);
+  EXPECT_EQ("off", info["Server"]["telemetry"]);
+  // Command counting is not gated on telemetry: 8 SETs + LATENCY +
+  // SLOWLOG + this INFO (counted at batch start) = 11.
+  EXPECT_EQ("11", info["Stats"]["total_commands_processed"]);
+  ASSERT_TRUE(client.Call({"METRICS"}, &v).ok());
+  EXPECT_NE(std::string::npos,
+            v.str.find("tierbase_cmd_set_latency_us_count 0\n"));
 }
 
 }  // namespace
