@@ -12,7 +12,9 @@
 //                                           # BENCH_hotpath.json "after"
 //
 // Flags: --smoke (tiny op counts, CI bit-rot guard), --json <path>,
-//        --records N, --ops N.
+//        --records N, --ops N, --analytics (attach a WorkloadAnalytics at
+//        default sampling to every engine — the workload-observatory
+//        overhead A/B; see BENCH_hotpath.json notes_analytics).
 
 #include <chrono>
 #include <cinttypes>
@@ -234,6 +236,8 @@ int Main(int argc, char** argv) {
   uint64_t records = 200000;
   uint64_t ops = 2000000;
   std::string json_path;
+  bool with_analytics = false;
+  uint32_t mrc_rate = 0, hot_rate = 0;  // 0 = library default.
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--smoke") == 0) {
       records = 5000;
@@ -244,9 +248,16 @@ int Main(int argc, char** argv) {
       records = strtoull(argv[++i], nullptr, 10);
     } else if (strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
       ops = strtoull(argv[++i], nullptr, 10);
+    } else if (strcmp(argv[i], "--analytics") == 0) {
+      with_analytics = true;
+    } else if (strcmp(argv[i], "--mrc-rate") == 0 && i + 1 < argc) {
+      mrc_rate = strtoul(argv[++i], nullptr, 10);
+    } else if (strcmp(argv[i], "--hot-rate") == 0 && i + 1 < argc) {
+      hot_rate = strtoul(argv[++i], nullptr, 10);
     } else {
       fprintf(stderr,
-              "usage: %s [--smoke] [--json path] [--records N] [--ops N]\n",
+              "usage: %s [--smoke] [--json path] [--records N] [--ops N] "
+              "[--analytics] [--mrc-rate N] [--hot-rate N]\n",
               argv[0]);
       return 2;
     }
@@ -256,9 +267,21 @@ int Main(int argc, char** argv) {
   Workload w = MakeWorkload(records, ops);
   std::vector<Row> rows;
 
+  // --analytics A/B: same default sampling a production server runs with
+  // unless --mrc-rate/--hot-rate override it (for cost apportioning).
+  analytics::WorkloadAnalyticsOptions aopts;
+  if (mrc_rate != 0) aopts.mrc_sample_rate = mrc_rate;
+  if (hot_rate != 0) aopts.hotkey_sample_rate = hot_rate;
+
   for (int shards : {1, 8}) {
     cache::HashEngineOptions options;
     options.shards = shards;
+    std::unique_ptr<analytics::WorkloadAnalytics> wa;
+    if (with_analytics) {
+      aopts.shards = shards;
+      wa = std::make_unique<analytics::WorkloadAnalytics>(aopts);
+      options.analytics = wa.get();
+    }
     cache::HashEngine engine(options);
     for (const char* dist : {"uniform", "zipfian"}) {
       RunConfig(&engine, "hash", shards, dist, w, &rows);
@@ -269,6 +292,9 @@ int Main(int argc, char** argv) {
     TierBaseOptions options;
     options.policy = CachingPolicy::kCacheOnly;
     options.cache.shards = 1;
+    options.analytics.enabled = with_analytics;
+    if (mrc_rate != 0) options.analytics.mrc_sample_rate = mrc_rate;
+    if (hot_rate != 0) options.analytics.hotkey_sample_rate = hot_rate;
     auto db = TierBase::Open(options, nullptr);
     if (!db.ok()) {
       fprintf(stderr, "tierbase open failed: %s\n",

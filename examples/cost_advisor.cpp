@@ -3,10 +3,26 @@
 // candidate configurations; it measures each candidate's MaxPerf/MaxSpace,
 // computes PC/SC/C, and reports the cost-optimal configuration along with
 // the Theorem-2.1 balance check (|PC - SC| minimal at the optimum).
+//
+// Live mode closes the observe → advise loop against a running server:
+//
+//   ./build/example_cost_advisor --live HOST:PORT
+//
+// fetches the workload observatory's live miss-ratio curve (ANALYTICS MRC)
+// and the cache footprint from INFO, then solves Theorem 5.1 on the
+// *measured* curve — no trace replay — and prints the cost-optimal cache
+// budget (ratio, entries, bytes) with the predicted miss ratio. Cost
+// coefficients are overridable: --pc-cache X --pc-miss X --sc-cache X
+// --pc-storage X --sc-storage X.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
+#include "analytics/workload_analytics.h"
+#include "costmodel/tiered.h"
+#include "server/client.h"
 #include "tierbase/compressor.h"
 #include "tierbase/cost_model.h"
 #include "tierbase/tierbase.h"
@@ -14,18 +30,194 @@
 
 using namespace tierbase;
 
+namespace {
+
+/// Parses the ANALYTICS MRC report body (see analytics::FormatMrcReport)
+/// back into an MrcSnapshot. Returns false on a malformed body.
+bool ParseMrcReport(const std::string& body, analytics::MrcSnapshot* mrc) {
+  size_t pos = 0;
+  size_t expected_points = 0;
+  bool in_points = false;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (!in_points) {
+      size_t colon = line.find(':');
+      if (colon == std::string::npos) return false;
+      const std::string key = line.substr(0, colon);
+      const char* value = line.c_str() + colon + 1;
+      if (key == "sample_rate") {
+        mrc->sample_rate = strtoull(value, nullptr, 10);
+      } else if (key == "scale") {
+        mrc->scale = strtoull(value, nullptr, 10);
+      } else if (key == "sampled_accesses") {
+        mrc->sampled_accesses = strtoull(value, nullptr, 10);
+      } else if (key == "sampled_cold_misses") {
+        mrc->sampled_cold_misses = strtoull(value, nullptr, 10);
+      } else if (key == "tracked_keys") {
+        mrc->sampled_keys = strtoull(value, nullptr, 10);
+      } else if (key == "total_accesses") {
+        mrc->total_accesses = strtoull(value, nullptr, 10);
+      } else if (key == "points") {
+        expected_points = strtoull(value, nullptr, 10);
+        in_points = true;
+      }
+      // shards / estimated_* / knee_entries are derived; skip.
+    } else {
+      analytics::MrcPoint p;
+      char* end = nullptr;
+      p.entries = strtoull(line.c_str(), &end, 10);
+      if (end == line.c_str()) return false;
+      p.miss_ratio = strtod(end, nullptr);
+      mrc->points.push_back(p);
+    }
+  }
+  return mrc->points.size() == expected_points;
+}
+
+/// Pulls one "key:value" numeric out of an INFO body; 0 when absent.
+double InfoNumber(const std::string& body, const std::string& key) {
+  size_t pos = body.find(key + ":");
+  if (pos != std::string::npos && (pos == 0 || body[pos - 1] == '\n')) {
+    return strtod(body.c_str() + pos + key.size() + 1, nullptr);
+  }
+  return 0;
+}
+
+/// Live mode: measured MRC in, cache-budget recommendation out.
+int RunLive(const std::string& target, const costmodel::TieredCostInputs& in) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  Status s = server::ParseHostPort(target, &host, &port);
+  if (!s.ok()) {
+    fprintf(stderr, "--live %s: %s\n", target.c_str(), s.ToString().c_str());
+    return 2;
+  }
+  server::Client client;
+  s = client.Connect(host, port);
+  if (!s.ok()) {
+    fprintf(stderr, "connect %s: %s\n", target.c_str(), s.ToString().c_str());
+    return 1;
+  }
+
+  server::RespValue reply;
+  s = client.Call({"ANALYTICS", "MRC"}, &reply);
+  if (!s.ok() || reply.IsError() ||
+      reply.type != server::RespValue::Type::kBulkString) {
+    fprintf(stderr, "ANALYTICS MRC failed: %s\n",
+            reply.IsError() ? reply.str.c_str() : s.ToString().c_str());
+    return 1;
+  }
+  analytics::MrcSnapshot mrc;
+  if (!ParseMrcReport(reply.str, &mrc)) {
+    fprintf(stderr, "malformed ANALYTICS MRC report\n");
+    return 1;
+  }
+  const uint64_t est_keys = mrc.estimated_keys();
+  if (mrc.points.size() < 2 || est_keys == 0) {
+    fprintf(stderr,
+            "not enough workload observed yet (%zu curve points, %llu "
+            "estimated keys) — let traffic run, then retry\n",
+            mrc.points.size(), static_cast<unsigned long long>(est_keys));
+    return 1;
+  }
+
+  server::RespValue info;
+  s = client.Call({"INFO"}, &info);
+  if (!s.ok() || info.type != server::RespValue::Type::kBulkString) {
+    fprintf(stderr, "INFO failed\n");
+    return 1;
+  }
+  const double keys_cached = InfoNumber(info.str, "keys_cached");
+  const double bytes_cached = InfoNumber(info.str, "bytes_cached");
+  // Estimated per-entry footprint; the recommendation degrades to
+  // entry-count units when the cache is empty.
+  const double entry_bytes =
+      keys_cached > 0 ? bytes_cached / keys_cached : 0;
+
+  // Theorem 5.1 on the measured curve: cache_ratio is the fraction of the
+  // *observed keyspace* resident in cache.
+  auto miss_ratio_fn = [&mrc, est_keys](double cache_ratio) {
+    return mrc.MissRatioAtEntries(
+        static_cast<uint64_t>(cache_ratio * static_cast<double>(est_keys)));
+  };
+  const double cr = costmodel::OptimalCacheRatio(in, miss_ratio_fn);
+  const double mr = miss_ratio_fn(cr);
+  const double opt_entries = cr * static_cast<double>(est_keys);
+
+  printf("live workload @ %s\n", target.c_str());
+  printf("  observed:   ~%llu keys, ~%llu accesses (sample rate 1/%llu, "
+         "%zu curve points)\n",
+         static_cast<unsigned long long>(est_keys),
+         static_cast<unsigned long long>(mrc.estimated_accesses()),
+         static_cast<unsigned long long>(mrc.sample_rate),
+         mrc.points.size());
+  const uint64_t knee = mrc.KneeEntries();
+  if (knee > 0) {
+    printf("  mrc knee:   ~%llu entries (miss ratio %.3f)\n",
+           static_cast<unsigned long long>(knee),
+           mrc.MissRatioAtEntries(knee));
+  }
+  printf("  cache now:  %.0f keys, %.0f bytes\n", keys_cached, bytes_cached);
+  printf("recommended cache budget (Theorem 5.1 on the live curve):\n");
+  printf("  cache ratio CR* = %.3f  (~%.0f entries", cr, opt_entries);
+  if (entry_bytes > 0) {
+    printf(", ~%.0f MiB", opt_entries * entry_bytes / (1 << 20));
+  }
+  printf(")\n");
+  printf("  predicted miss ratio at CR*: %.3f\n", mr);
+  printf("  tiered beats single-tier: %s\n",
+         costmodel::TieredBeatsSingleTier(in, cr, mr) ? "yes" : "no");
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   // Profile selection: --reconciliation for case 2, default user-info.
   workload::TraceProfile profile = workload::TraceProfile::kUserInfo;
   double demand_qps = 50000;
   double demand_gb = 12.0;
+  std::string live_target;
+  // Live-mode coefficients: cache capacity dominates space cost, storage
+  // reads dominate the miss penalty (DRAM-vs-SSD flavored defaults).
+  costmodel::TieredCostInputs live_inputs;
+  live_inputs.pc_cache = 1.0;
+  live_inputs.pc_miss = 6.0;
+  live_inputs.sc_cache = 4.0;
+  live_inputs.pc_storage = 2.0;
+  live_inputs.sc_storage = 1.0;
   for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        fprintf(stderr, "%s needs a value\n", flag);
+        exit(2);
+      }
+      return argv[++i];
+    };
     if (strcmp(argv[i], "--reconciliation") == 0) {
       profile = workload::TraceProfile::kReconciliation;
       demand_qps = 120000;  // Performance-leaning demand.
       demand_gb = 4.0;
+    } else if (strcmp(argv[i], "--live") == 0) {
+      live_target = next("--live");
+    } else if (strcmp(argv[i], "--pc-cache") == 0) {
+      live_inputs.pc_cache = atof(next("--pc-cache"));
+    } else if (strcmp(argv[i], "--pc-miss") == 0) {
+      live_inputs.pc_miss = atof(next("--pc-miss"));
+    } else if (strcmp(argv[i], "--sc-cache") == 0) {
+      live_inputs.sc_cache = atof(next("--sc-cache"));
+    } else if (strcmp(argv[i], "--pc-storage") == 0) {
+      live_inputs.pc_storage = atof(next("--pc-storage"));
+    } else if (strcmp(argv[i], "--sc-storage") == 0) {
+      live_inputs.sc_storage = atof(next("--sc-storage"));
     }
   }
+  if (!live_target.empty()) return RunLive(live_target, live_inputs);
 
   // --- Sample: synthesize (or record) a representative trace. ---
   workload::SynthesizeOptions trace_options;

@@ -14,10 +14,15 @@
 // every interval and prints only the numeric keys that changed, with the
 // delta and per-second rate — a poor man's `watch` that reads rates off
 // the counters instead of raw totals.
-//   --monitor           sample INFO repeatedly, print changed keys
+//   --monitor           sample INFO repeatedly, print changed keys; each
+//                       tick also renders the workload observatory: top-10
+//                       hot keys (HOTKEYS) and the live MRC knee
+//                       (ANALYTICS MRC), when the server has analytics on
 //   --metrics           sample METRICS (Prometheus exposition) instead
 //   --interval-ms N     sampling interval (default 1000)
 //   --count N           stop after N diffs; 0 = until interrupted
+//   --hotkeys [K]       one-shot: print the top K hot keys (default 10)
+//                       with estimated access counts, then exit
 
 #include <chrono>
 #include <cmath>
@@ -139,6 +144,35 @@ bool SampleNumeric(server::Client* client, bool use_metrics,
   return true;
 }
 
+/// Renders the workload-observatory footer for one monitor tick: top hot
+/// keys and the live MRC knee. Quietly does nothing when the server runs
+/// without analytics (or predates the commands).
+void PrintWorkloadFooter(server::Client* client) {
+  server::RespValue hot;
+  if (client->Call({"HOTKEYS", "10"}, &hot).ok() &&
+      hot.type == server::RespValue::Type::kArray && !hot.elements.empty()) {
+    printf("hot keys:");
+    for (size_t i = 0; i + 1 < hot.elements.size(); i += 2) {
+      printf(" %s=%lld", hot.elements[i].str.c_str(),
+             static_cast<long long>(hot.elements[i + 1].integer));
+    }
+    printf("\n");
+  }
+  server::RespValue mrc;
+  if (client->Call({"ANALYTICS", "MRC"}, &mrc).ok() &&
+      mrc.type == server::RespValue::Type::kBulkString) {
+    // Pull knee_entries and its miss ratio out of the report header.
+    const std::string& body = mrc.str;
+    size_t pos = body.find("knee_entries:");
+    if (pos != std::string::npos) {
+      long long knee = atoll(body.c_str() + pos + strlen("knee_entries:"));
+      if (knee > 0) {
+        printf("mrc knee: ~%lld cache entries\n", knee);
+      }
+    }
+  }
+}
+
 int RunMonitor(server::Client* client, bool use_metrics, long interval_ms,
                long count) {
   std::map<std::string, double> prev;
@@ -169,8 +203,37 @@ int RunMonitor(server::Client* client, bool use_metrics, long interval_ms,
              delta / seconds);
     }
     if (!changed) printf("(no change)\n");
+    PrintWorkloadFooter(client);
     fflush(stdout);
     prev = std::move(cur);
+  }
+  return 0;
+}
+
+/// One-shot --hotkeys: the top K hot keys with estimated true counts.
+int RunHotKeys(server::Client* client, long k) {
+  server::RespValue reply;
+  Status s = client->Call({"HOTKEYS", std::to_string(k)}, &reply);
+  if (!s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (reply.IsError()) {
+    fprintf(stderr, "(error) %s\n", reply.str.c_str());
+    return 1;
+  }
+  if (reply.type != server::RespValue::Type::kArray) {
+    fprintf(stderr, "unexpected HOTKEYS reply\n");
+    return 1;
+  }
+  if (reply.elements.empty()) {
+    printf("(no hot keys yet)\n");
+    return 0;
+  }
+  printf("%-4s %-40s %s\n", "#", "key", "est_accesses");
+  for (size_t i = 0; i + 1 < reply.elements.size(); i += 2) {
+    printf("%-4zu %-40s %lld\n", i / 2 + 1, reply.elements[i].str.c_str(),
+           static_cast<long long>(reply.elements[i + 1].integer));
   }
   return 0;
 }
@@ -194,6 +257,8 @@ int main(int argc, char** argv) {
   int port = 6380;
   bool monitor = false;
   bool metrics = false;
+  bool hotkeys = false;
+  long hotkeys_k = 10;
   long interval_ms = 1000;
   long count = 0;
   int i = 1;
@@ -210,6 +275,10 @@ int main(int argc, char** argv) {
     } else if (strcmp(argv[i], "--metrics") == 0) {
       monitor = true;
       metrics = true;
+    } else if (strcmp(argv[i], "--hotkeys") == 0) {
+      hotkeys = true;
+      // Optional numeric K follows.
+      if (i + 1 < argc && atol(argv[i + 1]) > 0) hotkeys_k = atol(argv[++i]);
     } else if (strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
       interval_ms = atol(argv[++i]);
     } else if (strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
@@ -235,6 +304,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (hotkeys) return RunHotKeys(&client, hotkeys_k);
   if (monitor) return RunMonitor(&client, metrics, interval_ms, count);
 
   if (i < argc) {

@@ -41,7 +41,8 @@ int Usage(const char* argv0) {
   fprintf(stderr,
           "usage: %s --coordinator HOST:PORT[,HOST:PORT...]\n"
           "          [--host H] [--port N] [--port-file PATH]\n"
-          "          [--max-threads N]\n",
+          "          [--max-threads N] [--no-analytics]\n"
+          "          [--analytics-sample-rate N]\n",
           argv0);
   return 2;
 }
@@ -75,6 +76,12 @@ int main(int argc, char** argv) {
       port_file = next("--port-file");
     } else if (strcmp(argv[i], "--max-threads") == 0) {
       options.executor.max_threads = atoi(next("--max-threads"));
+    } else if (strcmp(argv[i], "--no-analytics") == 0) {
+      options.analytics.enabled = false;
+    } else if (strcmp(argv[i], "--analytics-sample-rate") == 0) {
+      int rate = atoi(next("--analytics-sample-rate"));
+      if (rate < 1) return Usage(argv[0]);
+      options.analytics.mrc_sample_rate = static_cast<uint32_t>(rate);
     } else {
       return Usage(argv[0]);
     }

@@ -35,6 +35,16 @@
 //   --no-telemetry      disable per-command clocking, latency histograms
 //                       and the slow log (INFO/METRICS still render; the
 //                       histograms just stay empty)
+//   --no-analytics      disable the workload observatory (live MRC,
+//                       HOTKEYS, keyspace shape); ANALYTICS/HOTKEYS then
+//                       return an error and "# Workload" reports off
+//   --analytics-sample-rate N
+//                       SHARDS spatial rate for the live miss-ratio curve:
+//                       ~1/N of the keyspace pays reuse-distance
+//                       bookkeeping (default 64; 1 = exact)
+//   --hotkey-sample-rate N
+//                       temporal rate for the hot-key sketch: every Nth
+//                       access per thread feeds it (default 64)
 //
 // Cluster membership (see README "Running a cluster"):
 //   --cluster-id ID     join a cluster under this node id: enables the
@@ -82,6 +92,8 @@ int Usage(const char* argv0) {
           "          [--max-clients N] [--max-out-buffer B]\n"
           "          [--busy-watermark N]\n"
           "          [--slowlog-threshold-micros N] [--no-telemetry]\n"
+          "          [--no-analytics] [--analytics-sample-rate N]\n"
+          "          [--hotkey-sample-rate N]\n"
           "          [--cluster-id ID] [--replicaof HOST:PORT]\n"
           "          [--oplog-cap N]\n",
           argv0);
@@ -109,6 +121,9 @@ int main(int argc, char** argv) {
   size_t oplog_cap = 65536;
   long long slowlog_threshold = 10'000;
   bool telemetry = true;
+  bool analytics = true;
+  long long analytics_sample_rate = 0;  // 0 = library default.
+  long long hotkey_sample_rate = 0;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -155,6 +170,15 @@ int main(int argc, char** argv) {
           strtoll(next("--slowlog-threshold-micros"), nullptr, 10);
     } else if (strcmp(argv[i], "--no-telemetry") == 0) {
       telemetry = false;
+    } else if (strcmp(argv[i], "--no-analytics") == 0) {
+      analytics = false;
+    } else if (strcmp(argv[i], "--analytics-sample-rate") == 0) {
+      analytics_sample_rate = strtoll(next("--analytics-sample-rate"),
+                                      nullptr, 10);
+      if (analytics_sample_rate < 1) return Usage(argv[0]);
+    } else if (strcmp(argv[i], "--hotkey-sample-rate") == 0) {
+      hotkey_sample_rate = strtoll(next("--hotkey-sample-rate"), nullptr, 10);
+      if (hotkey_sample_rate < 1) return Usage(argv[0]);
     } else {
       return Usage(argv[0]);
     }
@@ -165,6 +189,15 @@ int main(int argc, char** argv) {
   TierBaseOptions options;
   options.cache.shards = shards;
   options.cache.memory_budget = memory_budget;
+  options.analytics.enabled = analytics;
+  if (analytics_sample_rate > 0) {
+    options.analytics.mrc_sample_rate =
+        static_cast<uint32_t>(analytics_sample_rate);
+  }
+  if (hotkey_sample_rate > 0) {
+    options.analytics.hotkey_sample_rate =
+        static_cast<uint32_t>(hotkey_sample_rate);
+  }
 
   Result<std::unique_ptr<LsmStorageAdapter>> storage{
       std::unique_ptr<LsmStorageAdapter>()};

@@ -74,6 +74,29 @@ echo "$BODY" | awk '
   }
 ' || fail "format lint failed"
 
+# Workload-observatory family (PR 9): a server or proxy running with
+# analytics on exposes the whole tierbase_workload_* family together, and
+# the spatially sampled access count can never exceed the total the
+# trackers saw. Components without analytics (coordinator, --no-analytics)
+# expose none of it and skip this check.
+if echo "$BODY" | grep -q '^tierbase_workload_'; then
+  for m in workload_mrc_sample_rate workload_hotkey_sample_rate \
+           workload_shards workload_sampled_accesses \
+           workload_total_accesses workload_tracked_keys \
+           workload_hot_records workload_decays workload_mrc_knee_entries \
+           workload_value_bytes_count workload_ttl_seconds_count \
+           workload_key_bytes_count; do
+    echo "$BODY" | grep -q "^tierbase_$m " \
+      || fail "workload family missing tierbase_$m"
+  done
+  SAMPLED=$(echo "$BODY" \
+    | awk '$1 == "tierbase_workload_sampled_accesses" { print int($2) }')
+  TOTAL=$(echo "$BODY" \
+    | awk '$1 == "tierbase_workload_total_accesses" { print int($2) }')
+  [ "$SAMPLED" -le "$TOTAL" ] \
+    || fail "workload sampled_accesses ($SAMPLED) > total_accesses ($TOTAL)"
+fi
+
 if [ -n "$METRIC" ]; then
   echo "$BODY" | awk -v m="$METRIC" '$1 == m { print $2; found = 1 }
                                      END { exit found ? 0 : 1 }' \

@@ -1,0 +1,277 @@
+#include "analytics/reuse_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tierbase {
+namespace analytics {
+
+namespace {
+constexpr uint64_t kInitialCap = 4096;       // Bits; multiple of 512.
+constexpr uint64_t kInitialSlots = 1024;     // Power of two.
+constexpr uint64_t kBitsPerBlock = 512;
+}  // namespace
+
+double MrcSnapshot::MissRatioAtEntries(uint64_t entries) const {
+  // Greatest point with points[i].entries <= entries.
+  const MrcPoint probe{entries, 0.0};
+  auto it = std::upper_bound(points.begin(), points.end(), probe,
+                             [](const MrcPoint& a, const MrcPoint& b) {
+                               return a.entries < b.entries;
+                             });
+  if (it == points.begin()) return 1.0;
+  return std::prev(it)->miss_ratio;
+}
+
+uint64_t MrcSnapshot::KneeEntries() const {
+  if (points.size() < 3) return 0;
+  const double x0 = std::log(static_cast<double>(points.front().entries));
+  const double x1 = std::log(static_cast<double>(points.back().entries));
+  const double y0 = points.front().miss_ratio;
+  const double y1 = points.back().miss_ratio;
+  if (x1 <= x0 || y0 <= y1) return 0;
+  uint64_t knee = 0;
+  double best = 0;
+  for (const MrcPoint& p : points) {
+    const double x = (std::log(static_cast<double>(p.entries)) - x0) /
+                     (x1 - x0);
+    const double y = (p.miss_ratio - y1) / (y0 - y1);
+    const double below_chord = (1.0 - x) - y;
+    if (below_chord > best) {
+      best = below_chord;
+      knee = p.entries;
+    }
+  }
+  return knee;
+}
+
+uint32_t ReuseTracker::BucketFor(uint64_t distance) {
+  if (distance < kExactLimit) return static_cast<uint32_t>(distance);
+  const int e = 63 - __builtin_clzll(distance);  // >= 7.
+  const uint32_t sub = static_cast<uint32_t>(
+      (distance >> (e - kSubBits)) & ((1u << kSubBits) - 1));
+  return kExactLimit + static_cast<uint32_t>(e - 7) * (1u << kSubBits) + sub;
+}
+
+uint64_t ReuseTracker::BucketUpperEdge(uint32_t bucket) {
+  if (bucket < kExactLimit) return bucket;
+  const uint32_t rel = bucket - kExactLimit;
+  const int e = 7 + static_cast<int>(rel >> kSubBits);
+  const uint64_t sub = rel & ((1u << kSubBits) - 1);
+  return (1ull << e) + ((sub + 1) << (e - kSubBits)) - 1;
+}
+
+ReuseTracker::ReuseTracker(uint64_t sample_rate)
+    : sample_rate_(std::max<uint64_t>(sample_rate, 1)),
+      threshold_(UINT64_MAX / sample_rate_),
+      dist_buckets_(kNumBuckets, 0) {
+  common::MutexLock lock(&mu_);
+  slots_.assign(kInitialSlots, Slot{});
+  slot_shift_ = 64 - __builtin_ctzll(kInitialSlots);
+  ResetRingLocked(kInitialCap);
+}
+
+void ReuseTracker::ResetRingLocked(uint64_t cap) {
+  cap_ = cap;
+  bits_.assign(cap_ / 64, 0);
+  blk_.assign(cap_ / kBitsPerBlock, 0);
+  next_pos_ = 0;
+}
+
+ReuseTracker::Slot* ReuseTracker::FindSlotLocked(uint64_t hash) {
+  const size_t mask = slots_.size() - 1;
+  size_t i = SlotIndex(hash);
+  while (slots_[i].pos != kEmptyPos && slots_[i].hash != hash) {
+    i = (i + 1) & mask;
+  }
+  return &slots_[i];
+}
+
+void ReuseTracker::GrowSlotsLocked() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  --slot_shift_;
+  const size_t mask = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.pos == kEmptyPos) continue;
+    size_t i = SlotIndex(s.hash);
+    while (slots_[i].pos != kEmptyPos) i = (i + 1) & mask;
+    slots_[i] = s;
+  }
+}
+
+void ReuseTracker::SetBitLocked(uint64_t pos) {
+  bits_[pos >> 6] |= 1ull << (pos & 63);
+  ++blk_[pos / kBitsPerBlock];
+}
+
+void ReuseTracker::ClearBitLocked(uint64_t pos) {
+  bits_[pos >> 6] &= ~(1ull << (pos & 63));
+  --blk_[pos / kBitsPerBlock];
+}
+
+uint64_t ReuseTracker::LiveAboveLocked(uint64_t pos) const {
+  // Bits strictly above `pos`: the tail of pos's word, the rest of pos's
+  // 512-bit block, then whole-block popcounts — a short scan of small,
+  // hot arrays instead of a tree walk.
+  const uint64_t word = pos >> 6;
+  const uint64_t block = pos / kBitsPerBlock;
+  uint64_t count =
+      (pos & 63) == 63 ? 0 : __builtin_popcountll(bits_[word] >> (pos & 63) >> 1);
+  const uint64_t block_end = (block + 1) * (kBitsPerBlock / 64);
+  for (uint64_t w = word + 1; w < block_end; ++w) {
+    count += __builtin_popcountll(bits_[w]);
+  }
+  for (uint64_t b = block + 1; b < blk_.size(); ++b) count += blk_[b];
+  return count;
+}
+
+void ReuseTracker::CompactLocked() {
+  // Renumber live keys 0..n-1 in access order; grow the ring while the
+  // live set fills more than half of it.
+  std::vector<std::pair<uint64_t, Slot*>> order;  // (pos, slot)
+  order.reserve(live_);
+  for (Slot& s : slots_) {
+    if (s.pos != kEmptyPos) order.emplace_back(s.pos, &s);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  uint64_t cap = cap_;
+  while (order.size() * 2 > cap) cap *= 2;
+  ResetRingLocked(cap);
+  for (uint64_t i = 0; i < order.size(); ++i) {
+    order[i].second->pos = i;
+    SetBitLocked(i);
+  }
+  next_pos_ = order.size();
+}
+
+void ReuseTracker::RecordOneLocked(uint64_t hash) {
+  ++sampled_accesses_;
+  if (next_pos_ == cap_) CompactLocked();
+  Slot* s = FindSlotLocked(hash);
+  if (s->pos == kEmptyPos) {
+    ++cold_misses_;
+    s->hash = hash;
+    s->pos = next_pos_;
+    ++live_;
+    // Grow at ~0.7 load: prefetched batch probes tolerate slightly longer
+    // runs, and the table is serving-path cache pollution.
+    if (live_ * 10 > slots_.size() * 7) GrowSlotsLocked();
+  } else {
+    // Distinct sampled keys touched since this key's previous access =
+    // live keys positioned after it.
+    ++dist_buckets_[BucketFor(LiveAboveLocked(s->pos))];
+    ClearBitLocked(s->pos);
+    s->pos = next_pos_;
+  }
+  SetBitLocked(next_pos_);
+  ++next_pos_;
+}
+
+void ReuseTracker::RecordBatch(const uint64_t* hashes, size_t n) {
+  constexpr size_t kAhead = 8;  // Overlap independent probe misses.
+  common::MutexLock lock(&mu_);
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kAhead < n) {
+      __builtin_prefetch(&slots_[SlotIndex(hashes[i + kAhead])]);
+    }
+    RecordOneLocked(hashes[i]);
+  }
+}
+
+MrcSnapshot ReuseTracker::Snapshot(uint64_t scale,
+                                   uint64_t total_accesses) const {
+  std::vector<uint64_t> buckets(kNumBuckets, 0);
+  uint64_t sampled = 0, cold = 0, keys = 0;
+  Accumulate(&buckets, &sampled, &cold, &keys);
+  return Render(buckets, sampled, cold, keys, total_accesses, sample_rate_,
+                scale);
+}
+
+void ReuseTracker::Accumulate(std::vector<uint64_t>* buckets,
+                              uint64_t* sampled_accesses, uint64_t* cold_misses,
+                              uint64_t* sampled_keys) const {
+  common::MutexLock lock(&mu_);
+  for (uint32_t b = 0; b < kNumBuckets; ++b) {
+    (*buckets)[b] += dist_buckets_[b];
+  }
+  *sampled_accesses += sampled_accesses_;
+  *cold_misses += cold_misses_;
+  *sampled_keys += live_;
+}
+
+MrcSnapshot ReuseTracker::Render(const std::vector<uint64_t>& buckets,
+                                 uint64_t sampled_accesses,
+                                 uint64_t cold_misses, uint64_t sampled_keys,
+                                 uint64_t total_accesses, uint64_t sample_rate,
+                                 uint64_t scale) {
+  MrcSnapshot s;
+  s.sample_rate = sample_rate;
+  s.scale = scale;
+  s.sampled_accesses = sampled_accesses;
+  s.sampled_cold_misses = cold_misses;
+  s.sampled_keys = sampled_keys;
+  s.total_accesses = total_accesses;
+  if (sampled_accesses == 0) return s;
+  // SHARDS-adj: with skewed popularity the sampled key subset can carry a
+  // disproportionate share of the access stream (a single hot key in or out
+  // of the sample swings the hit mass). Fold the difference between the
+  // expected sample count (total / R) and the actual one into the
+  // smallest-distance buckets — excess sampled accesses are overwhelmingly
+  // short-distance hot-key hits — and normalise by the expected count. At
+  // R = 1 (or when the caller never counted totals) this is a no-op.
+  const double expected =
+      total_accesses > 0
+          ? static_cast<double>(total_accesses) / static_cast<double>(sample_rate)
+          : static_cast<double>(sampled_accesses);
+  std::vector<double> hits(buckets.begin(), buckets.end());
+  double diff = expected - static_cast<double>(sampled_accesses);
+  if (diff > 0) {
+    hits[0] += diff;
+  } else if (diff < 0) {
+    double remove = -diff;
+    for (uint32_t b = 0; b < kNumBuckets && remove > 0; ++b) {
+      const double take = std::min(hits[b], remove);
+      hits[b] -= take;
+      remove -= take;
+    }
+  }
+  const double total = expected > 0 ? expected
+                                    : static_cast<double>(sampled_accesses);
+  double cum_hits = 0;
+  for (uint32_t b = 0; b < kNumBuckets; ++b) {
+    if (hits[b] <= 0) continue;
+    cum_hits += hits[b];
+    MrcPoint p;
+    // Every distance in bucket b fits in a cache of edge+1 sampled keys.
+    p.entries = (BucketUpperEdge(b) + 1) * scale;
+    p.miss_ratio = std::max(0.0, 1.0 - cum_hits / total);
+    s.points.push_back(p);
+  }
+  return s;
+}
+
+void ReuseTracker::Reset() {
+  common::MutexLock lock(&mu_);
+  slots_.assign(kInitialSlots, Slot{});
+  slot_shift_ = 64 - __builtin_ctzll(kInitialSlots);
+  live_ = 0;
+  ResetRingLocked(kInitialCap);
+  std::fill(dist_buckets_.begin(), dist_buckets_.end(), 0);
+  cold_misses_ = 0;
+  sampled_accesses_ = 0;
+}
+
+uint64_t ReuseTracker::sampled_accesses() const {
+  common::MutexLock lock(&mu_);
+  return sampled_accesses_;
+}
+
+uint64_t ReuseTracker::sampled_keys() const {
+  common::MutexLock lock(&mu_);
+  return live_;
+}
+
+}  // namespace analytics
+}  // namespace tierbase

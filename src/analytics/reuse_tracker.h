@@ -1,0 +1,188 @@
+// Online miss-ratio-curve estimation via spatially-sampled reuse
+// distances (Waldspurger et al.'s SHARDS): a key is tracked iff a second
+// hash of its 64-bit hash lands under UINT64_MAX / sample_rate, so ~1/R of
+// the keyspace pays Mattson stack-distance bookkeeping and everything else
+// costs one multiply and a compare. Distances measured among sampled keys,
+// multiplied back by R, estimate true distances. Under skewed popularity a
+// small sample can capture a biased share of the access stream (one hot key
+// in or out of the sample moves the curve), so rendering applies the
+// SHARDS-adj correction: the difference between the expected sample count
+// (total accesses / R) and the actual one is folded into the
+// smallest-distance buckets and the miss ratio is normalised by the
+// expected count.
+//
+// The per-tracker machinery keeps last-access positions in a flat
+// open-addressing hash table (one cache line per probe) and marks live
+// positions in a bitmap with per-512-bit popcounts, so "distinct keys
+// since last access" is a short suffix-popcount scan — a few hundred bytes
+// of mostly L1-resident state instead of a pointer-chasing tree walk.
+// Positions monotonically increase and the position ring compacts
+// (renumbers live keys) when exhausted, keeping the bitmap O(live keys).
+//
+// Thread model: one mutex per tracker, taken only for sampled accesses
+// (~1/R of traffic) and snapshots. The cache engine keeps one tracker per
+// shard and feeds it in batches (see WorkloadAnalytics staging), so the
+// table and bitmap stay warm across a drain and independent probe misses
+// overlap.
+
+#ifndef TIERBASE_ANALYTICS_REUSE_TRACKER_H_
+#define TIERBASE_ANALYTICS_REUSE_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace tierbase {
+namespace analytics {
+
+/// Fibonacci re-mix applied before the SHARDS spatial compare, so the
+/// filter is independent of the engine's shard/bucket use of the same
+/// hash. Shared with the WorkloadAnalytics inline fast path.
+constexpr uint64_t kSpatialMix = 0x9E3779B97F4A7C15ull;
+
+/// One point of an estimated miss-ratio curve: the miss ratio of an LRU
+/// cache holding `entries` keys.
+struct MrcPoint {
+  uint64_t entries = 0;
+  double miss_ratio = 1.0;
+};
+
+/// A rendered curve. `points` is ordered by entries with non-increasing
+/// miss ratio; counts are in sampled units, `scale` converts sampled keys
+/// to estimated keyspace entries (sample_rate, times the shard count for a
+/// merged curve).
+struct MrcSnapshot {
+  std::vector<MrcPoint> points;
+  uint64_t sample_rate = 1;
+  uint64_t scale = 1;
+  uint64_t sampled_accesses = 0;  // Accesses that passed the spatial filter.
+  uint64_t sampled_cold_misses = 0;
+  uint64_t sampled_keys = 0;    // Distinct sampled keys currently tracked.
+  uint64_t total_accesses = 0;  // All accesses, sampled or not.
+
+  uint64_t estimated_accesses() const {
+    return total_accesses != 0 ? total_accesses
+                               : sampled_accesses * sample_rate;
+  }
+  uint64_t estimated_keys() const { return sampled_keys * scale; }
+
+  /// Estimated miss ratio of a cache holding `entries` keys (1.0 below the
+  /// curve's resolution, the cold-miss floor above its top).
+  double MissRatioAtEntries(uint64_t entries) const;
+
+  /// The curve's knee: the point furthest under the chord joining the
+  /// first and last points on a log-entries axis — past it, extra cache
+  /// buys little. 0 when the curve is empty or degenerate.
+  uint64_t KneeEntries() const;
+};
+
+class ReuseTracker {
+ public:
+  /// `sample_rate` R tracks ~1/R of the keyspace; 1 = every key (exact
+  /// distances, used by tests and small deployments).
+  explicit ReuseTracker(uint64_t sample_rate);
+
+  ReuseTracker(const ReuseTracker&) = delete;
+  ReuseTracker& operator=(const ReuseTracker&) = delete;
+
+  /// Records one access to the key with the given engine hash. Lock-free
+  /// rejection for unsampled keys.
+  void Record(uint64_t hash) {
+    if (!Sampled(hash)) return;
+    RecordBatch(&hash, 1);
+  }
+
+  /// Records `n` accesses that already passed the spatial filter (the
+  /// WorkloadAnalytics drain path — its staging buffers only ever hold
+  /// sampled hashes). One mutex acquisition for the whole batch, with the
+  /// hash-table probes prefetched ahead.
+  void RecordBatch(const uint64_t* hashes, size_t n);
+
+  /// Renders this tracker's curve with entries scaled by `scale` (pass the
+  /// sample rate for a per-shard curve; callers merging shards scale by
+  /// rate * shards via Accumulate instead). `total_accesses` is the count
+  /// of ALL accesses (sampled or not) behind this tracker, counted by the
+  /// caller; it drives the SHARDS-adj correction, 0 skips it.
+  MrcSnapshot Snapshot(uint64_t scale, uint64_t total_accesses = 0) const;
+
+  /// Adds this tracker's raw histogram and counters into an accumulator
+  /// (bucket layout is shared by all trackers).
+  void Accumulate(std::vector<uint64_t>* buckets, uint64_t* sampled_accesses,
+                  uint64_t* cold_misses, uint64_t* sampled_keys) const;
+
+  /// Builds a snapshot from accumulated raw counts (see Accumulate),
+  /// applying the SHARDS-adj correction against `total_accesses`.
+  static MrcSnapshot Render(const std::vector<uint64_t>& buckets,
+                            uint64_t sampled_accesses, uint64_t cold_misses,
+                            uint64_t sampled_keys, uint64_t total_accesses,
+                            uint64_t sample_rate, uint64_t scale);
+
+  void Reset();
+
+  uint64_t sample_rate() const { return sample_rate_; }
+  uint64_t sampled_accesses() const;
+  uint64_t sampled_keys() const;
+
+  // --- Distance bucket layout (exact below 128, 16 log sub-buckets per
+  // octave above; shared by every tracker so histograms merge by index). ---
+  static constexpr uint32_t kExactLimit = 128;
+  static constexpr uint32_t kSubBits = 4;
+  static constexpr uint32_t kNumBuckets =
+      kExactLimit + (64 - 7) * (1u << kSubBits);
+  static uint32_t BucketFor(uint64_t distance);
+  static uint64_t BucketUpperEdge(uint32_t bucket);
+
+ private:
+  bool Sampled(uint64_t hash) const {
+    return (hash * kSpatialMix) <= threshold_;
+  }
+
+  /// Last-access position per tracked key: flat open addressing, power-of
+  /// two size, load factor <= 1/2, no per-key deletes (keys leave only via
+  /// Reset). `pos == kEmptyPos` marks a free slot.
+  struct Slot {
+    uint64_t hash = 0;
+    uint64_t pos = kEmptyPos;
+  };
+  static constexpr uint64_t kEmptyPos = UINT64_MAX;
+
+  size_t SlotIndex(uint64_t hash) const EXCLUSIVE_LOCKS_REQUIRED(mu_) {
+    // Distinct mixer from the spatial filter: sampled hashes all satisfy
+    // hash * kSpatialMix <= threshold, so that product's high bits are
+    // useless as a table index.
+    return static_cast<size_t>((hash * 0xFF51AFD7ED558CCDull) >> slot_shift_);
+  }
+  Slot* FindSlotLocked(uint64_t hash) EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  void GrowSlotsLocked() EXCLUSIVE_LOCKS_REQUIRED(mu_);
+
+  void SetBitLocked(uint64_t pos) EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  void ClearBitLocked(uint64_t pos) EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  /// Live keys whose position is strictly greater than `pos`.
+  uint64_t LiveAboveLocked(uint64_t pos) const EXCLUSIVE_LOCKS_REQUIRED(mu_);
+
+  void RecordOneLocked(uint64_t hash) EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  void CompactLocked() EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  void ResetRingLocked(uint64_t cap) EXCLUSIVE_LOCKS_REQUIRED(mu_);
+
+  const uint64_t sample_rate_;
+  const uint64_t threshold_;
+
+  mutable common::Mutex mu_;
+  std::vector<Slot> slots_ GUARDED_BY(mu_);
+  int slot_shift_ GUARDED_BY(mu_) = 64;  // 64 - log2(slots_.size()).
+  uint64_t live_ GUARDED_BY(mu_) = 0;    // Occupied slots.
+  std::vector<uint64_t> bits_ GUARDED_BY(mu_);   // cap_ live-position bits.
+  std::vector<uint16_t> blk_ GUARDED_BY(mu_);    // Popcount per 512 bits.
+  uint64_t cap_ GUARDED_BY(mu_) = 0;             // Multiple of 512.
+  uint64_t next_pos_ GUARDED_BY(mu_) = 0;
+  std::vector<uint64_t> dist_buckets_ GUARDED_BY(mu_);
+  uint64_t cold_misses_ GUARDED_BY(mu_) = 0;
+  uint64_t sampled_accesses_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace analytics
+}  // namespace tierbase
+
+#endif  // TIERBASE_ANALYTICS_REUSE_TRACKER_H_

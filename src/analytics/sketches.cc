@@ -1,0 +1,237 @@
+#include "analytics/sketches.h"
+
+#include <algorithm>
+
+namespace tierbase {
+namespace analytics {
+
+namespace {
+
+uint32_t RoundUpPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(uint32_t width, uint32_t depth)
+    : width_(RoundUpPow2(std::max<uint32_t>(width, 16))),
+      depth_(std::min(std::max<uint32_t>(depth, 1), kBlockCounters)),
+      blocks_(RoundUpPow2(std::max<uint32_t>(
+          width_ * depth_ / kBlockCounters, 1))),
+      counters_(new std::atomic<uint32_t>[static_cast<size_t>(blocks_) *
+                                          kBlockCounters]()) {}
+
+uint32_t CountMinSketch::AddAndEstimate(uint64_t hash, uint32_t inc) {
+  uint32_t est = UINT32_MAX;
+  for (uint32_t row = 0; row < depth_; ++row) {
+    std::atomic<uint32_t>& c = counters_[Index(row, hash)];
+    // Saturate instead of wrapping; decay brings counters back down.
+    uint32_t v = c.load(std::memory_order_relaxed);
+    if (v < UINT32_MAX - inc) {
+      v = c.fetch_add(inc, std::memory_order_relaxed) + inc;
+    } else {
+      c.store(UINT32_MAX, std::memory_order_relaxed);
+      v = UINT32_MAX;
+    }
+    est = std::min(est, v);
+  }
+  return est;
+}
+
+uint32_t CountMinSketch::Estimate(uint64_t hash) const {
+  uint32_t est = UINT32_MAX;
+  for (uint32_t row = 0; row < depth_; ++row) {
+    est = std::min(est,
+                   counters_[Index(row, hash)].load(std::memory_order_relaxed));
+  }
+  return est;
+}
+
+void CountMinSketch::Halve() {
+  const size_t n = static_cast<size_t>(blocks_) * kBlockCounters;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t v = counters_[i].load(std::memory_order_relaxed);
+    counters_[i].store(v >> 1, std::memory_order_relaxed);
+  }
+}
+
+void CountMinSketch::Reset() {
+  const size_t n = static_cast<size_t>(blocks_) * kBlockCounters;
+  for (size_t i = 0; i < n; ++i) {
+    counters_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+SpaceSaving::SpaceSaving(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+void SpaceSaving::PublishMinLocked() {
+  if (cells_.size() < capacity_) {
+    min_count_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  uint64_t min = UINT64_MAX;
+  for (const auto& [hash, cell] : cells_) min = std::min(min, cell.count);
+  min_count_.store(min, std::memory_order_relaxed);
+}
+
+void SpaceSaving::Offer(const Slice& key, uint64_t hash, uint64_t inc,
+                        uint64_t estimate) {
+  common::MutexLock lock(&mu_);
+  OfferLocked(key, hash, inc, estimate);
+}
+
+void SpaceSaving::OfferMany(const Candidate* candidates, size_t n) {
+  common::MutexLock lock(&mu_);
+  for (size_t i = 0; i < n; ++i) {
+    OfferLocked(candidates[i].key, candidates[i].hash, candidates[i].inc,
+                candidates[i].estimate);
+  }
+}
+
+void SpaceSaving::OfferLocked(const Slice& key, uint64_t hash, uint64_t inc,
+                              uint64_t estimate) {
+  auto it = cells_.find(hash);
+  if (it != cells_.end()) {
+    const bool was_min = it->second.count == min_count();
+    it->second.count += inc;
+    // Only a minimum cell's growth can raise the published minimum.
+    if (was_min) PublishMinLocked();
+    return;
+  }
+  if (cells_.size() < capacity_) {
+    Cell cell;
+    cell.key.assign(key.data(), key.size());
+    cell.count = inc;
+    cells_.emplace(hash, std::move(cell));
+    PublishMinLocked();
+    return;
+  }
+  // Replace the minimum cell: the newcomer inherits min as its error
+  // bound and starts at min + inc, capped by the sketch estimate (which
+  // already overestimates the true count — no point exceeding it).
+  auto min_it = cells_.begin();
+  for (auto cit = cells_.begin(); cit != cells_.end(); ++cit) {
+    if (cit->second.count < min_it->second.count) min_it = cit;
+  }
+  const uint64_t min = min_it->second.count;
+  cells_.erase(min_it);
+  Cell cell;
+  cell.key.assign(key.data(), key.size());
+  cell.count = std::max<uint64_t>(std::min(min + inc, estimate), inc);
+  cell.error = std::min(min, cell.count - inc);
+  cells_.emplace(hash, std::move(cell));
+  PublishMinLocked();
+}
+
+std::vector<HotKey> SpaceSaving::TopK(size_t k) const {
+  common::MutexLock lock(&mu_);
+  std::vector<HotKey> out;
+  out.reserve(cells_.size());
+  for (const auto& [hash, cell] : cells_) {
+    out.push_back(HotKey{cell.key, cell.count, cell.error});
+  }
+  std::sort(out.begin(), out.end(), [](const HotKey& a, const HotKey& b) {
+    return a.count != b.count ? a.count > b.count : a.key < b.key;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+void SpaceSaving::Halve() {
+  common::MutexLock lock(&mu_);
+  for (auto it = cells_.begin(); it != cells_.end();) {
+    it->second.count >>= 1;
+    it->second.error >>= 1;
+    if (it->second.count == 0) {
+      it = cells_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  PublishMinLocked();
+}
+
+void SpaceSaving::Reset() {
+  common::MutexLock lock(&mu_);
+  cells_.clear();
+  min_count_.store(0, std::memory_order_relaxed);
+}
+
+HotKeyTracker::HotKeyTracker(size_t capacity, uint64_t decay_interval)
+    : table_(capacity), decay_interval_(decay_interval) {}
+
+void HotKeyTracker::RecordBatch(const Entry* entries, size_t n) {
+  while (n > kChunk) {
+    RecordChunk(entries, kChunk);
+    entries += kChunk;
+    n -= kChunk;
+  }
+  if (n > 0) RecordChunk(entries, n);
+}
+
+void HotKeyTracker::RecordChunk(const Entry* entries, size_t n) {
+  // Dedup pass: aggregate occurrence counts per distinct key via a small
+  // stack-resident open-addressing table (L1-hot, load factor <= 1/2), so
+  // the sketch and table see each distinct key once with inc=count.
+  struct Agg {
+    uint64_t hash;
+    uint32_t first;  // Index of the key's first entry (for its bytes).
+    uint32_t count;
+  };
+  constexpr size_t kSlots = 2 * kChunk;  // Power of two.
+  constexpr uint16_t kEmpty = UINT16_MAX;
+  uint16_t slot_of[kSlots];
+  Agg aggs[kChunk];
+  std::fill(slot_of, slot_of + kSlots, kEmpty);
+  size_t num_aggs = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t h = entries[i].hash;
+    size_t s = h & (kSlots - 1);
+    while (slot_of[s] != kEmpty && aggs[slot_of[s]].hash != h) {
+      s = (s + 1) & (kSlots - 1);
+    }
+    if (slot_of[s] == kEmpty) {
+      slot_of[s] = static_cast<uint16_t>(num_aggs);
+      aggs[num_aggs++] = Agg{h, static_cast<uint32_t>(i), 1};
+    } else {
+      ++aggs[slot_of[s]].count;
+    }
+  }
+  constexpr size_t kAhead = 8;  // Overlap independent sketch-block misses.
+  std::vector<SpaceSaving::Candidate> admitted;
+  admitted.reserve(num_aggs);
+  for (size_t i = 0; i < num_aggs; ++i) {
+    if (i + kAhead < num_aggs) sketch_.Prefetch(aggs[i + kAhead].hash);
+    const uint32_t est = sketch_.AddAndEstimate(aggs[i].hash, aggs[i].count);
+    // Admission filter: a key whose sketch (over-)estimate is below the
+    // table minimum cannot displace anything, so skip the table. The
+    // estimate can run below an *inflated* member count, which at worst
+    // undercounts that member — ranking noise space-saving already has.
+    if (est >= table_.min_count() || est == UINT32_MAX) {
+      admitted.push_back(SpaceSaving::Candidate{entries[aggs[i].first].key,
+                                                aggs[i].hash, est,
+                                                aggs[i].count});
+    }
+  }
+  if (!admitted.empty()) table_.OfferMany(admitted.data(), admitted.size());
+  const uint64_t before = ops_.fetch_add(n, std::memory_order_relaxed);
+  if (decay_interval_ != 0 &&
+      before / decay_interval_ != (before + n) / decay_interval_) {
+    sketch_.Halve();
+    table_.Halve();
+    decays_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HotKeyTracker::Reset() {
+  sketch_.Reset();
+  table_.Reset();
+  ops_.store(0, std::memory_order_relaxed);
+  decays_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace analytics
+}  // namespace tierbase

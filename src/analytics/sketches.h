@@ -1,0 +1,207 @@
+// Frequency sketches for the workload observatory (ROADMAP item 1's
+// sensor layer): a count-min sketch admits candidates into a space-saving
+// top-k table, and periodic decay keeps both tracking the *current* hot
+// set instead of the all-time one (the "filtered space-saving" combination
+// from Homem & Carvalho's frequent-items work).
+//
+// Concurrency: CountMinSketch is an array of relaxed atomics — writers
+// never block and TSan sees only atomic traffic. SpaceSaving holds a
+// mutex, but HotKeyTracker::Record only takes it when the sketch estimate
+// reaches the published minimum count (an atomic), so cold keys — the
+// overwhelming majority under a skewed workload — stay lock-free.
+
+#ifndef TIERBASE_ANALYTICS_SKETCHES_H_
+#define TIERBASE_ANALYTICS_SKETCHES_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/slice.h"
+#include "common/thread_annotations.h"
+
+namespace tierbase {
+namespace analytics {
+
+/// Count-min sketch over 64-bit key hashes, block-based (Caffeine-style):
+/// a key's `depth` counters all live inside one 64-byte block of sixteen
+/// relaxed-atomic u32s, picked by independent nibbles of a second hash —
+/// one cache line touched per Add instead of `depth` scattered rows, at a
+/// slightly higher in-block collision rate (still a strict overestimate).
+class CountMinSketch {
+ public:
+  /// `width * depth` total counters (rounded up to whole 16-counter
+  /// blocks), matching the memory footprint of a classic width x depth
+  /// rectangle. The default (16 KiB) is sized to admission-filter a
+  /// sampled stream without evicting much of the serving working set.
+  explicit CountMinSketch(uint32_t width = 1024, uint32_t depth = 4);
+
+  CountMinSketch(const CountMinSketch&) = delete;
+  CountMinSketch& operator=(const CountMinSketch&) = delete;
+
+  /// Adds `inc` occurrences and returns the new (over-)estimate for the
+  /// key. Counters saturate instead of wrapping.
+  uint32_t AddAndEstimate(uint64_t hash, uint32_t inc = 1);
+  uint32_t Estimate(uint64_t hash) const;
+
+  /// Pulls the key's counter block toward the cache ahead of AddAndEstimate
+  /// (the drain loops run a few records ahead so misses overlap).
+  void Prefetch(uint64_t hash) const {
+    __builtin_prefetch(&counters_[Block(hash) * kBlockCounters]);
+  }
+
+  /// Exponential decay: halves every counter. Concurrent Adds may lose an
+  /// increment across the halving — decay is approximate by design.
+  void Halve();
+  void Reset();
+
+  uint32_t width() const { return width_; }
+  uint32_t depth() const { return depth_; }
+
+ private:
+  static constexpr uint32_t kBlockCounters = 16;  // One 64-byte line.
+
+  size_t Block(uint64_t hash) const { return hash & (blocks_ - 1); }
+  size_t Index(uint32_t row, uint64_t hash) const {
+    // Independent nibbles of a remixed hash pick each row's counter inside
+    // the key's block.
+    const uint64_t h2 = (hash >> 32 | hash << 32) * 0x9E3779B97F4A7C15ull;
+    return Block(hash) * kBlockCounters + ((h2 >> (row * 4)) & 15);
+  }
+
+  uint32_t width_;
+  uint32_t depth_;
+  uint32_t blocks_;  // Power of two; width_*depth_/16 rounded up.
+  std::unique_ptr<std::atomic<uint32_t>[]> counters_;
+};
+
+/// One reported heavy hitter. `count` may overestimate by up to `error`
+/// (the space-saving replacement bound).
+struct HotKey {
+  std::string key;
+  uint64_t count = 0;
+  uint64_t error = 0;
+};
+
+/// Space-saving top-k table (Metwally et al.): at most `capacity` tracked
+/// keys; a new key evicts the current minimum and inherits its count as
+/// the error bound. min_count() is published through an atomic so callers
+/// can skip the mutex for keys that cannot possibly belong.
+///
+/// Cells are keyed by the key's 64-bit engine hash — no string hashing or
+/// allocation on the offer path; the key bytes are copied once on insert,
+/// for reporting. A full 64-bit collision silently merges two keys, odds
+/// the engine's own hash table already lives with.
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(size_t capacity = 128);
+
+  /// Counts `inc` occurrences of `key` (with engine hash `hash`).
+  /// `estimate` is the caller's sketch estimate, used as the admission
+  /// count when the key displaces the minimum (capped at min+inc, the
+  /// classic space-saving bound).
+  void Offer(const Slice& key, uint64_t hash, uint64_t inc,
+             uint64_t estimate);
+
+  /// One admitted (key, estimate) pair from a batch (see OfferMany).
+  /// `inc` carries the key's occurrence count within the batch.
+  struct Candidate {
+    Slice key;
+    uint64_t hash = 0;
+    uint64_t estimate = 0;
+    uint64_t inc = 1;
+  };
+
+  /// Offers `n` candidates under a single mutex acquisition — the
+  /// HotKeyTracker drain path.
+  void OfferMany(const Candidate* candidates, size_t n);
+
+  /// The published minimum tracked count; 0 while the table has room.
+  /// May lag the true minimum low (causing a harmless extra Offer), never
+  /// high.
+  uint64_t min_count() const {
+    return min_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Top `k` keys by count, descending.
+  std::vector<HotKey> TopK(size_t k) const;
+
+  void Halve();
+  void Reset();
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Cell {
+    std::string key;  // For reporting; set once on insert.
+    uint64_t count = 0;
+    uint64_t error = 0;
+  };
+
+  void PublishMinLocked() EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  void OfferLocked(const Slice& key, uint64_t hash, uint64_t inc,
+                   uint64_t estimate) EXCLUSIVE_LOCKS_REQUIRED(mu_);
+
+  const size_t capacity_;
+  mutable common::Mutex mu_;
+  std::unordered_map<uint64_t, Cell> cells_ GUARDED_BY(mu_);
+  std::atomic<uint64_t> min_count_{0};
+};
+
+/// The combined hot-key tracker: every recorded access feeds the sketch;
+/// only keys whose estimate clears the space-saving minimum take the table
+/// lock. Every `decay_interval` records, both structures halve, so counts
+/// approximate an exponentially-weighted recent window.
+class HotKeyTracker {
+ public:
+  HotKeyTracker(size_t capacity, uint64_t decay_interval);
+
+  void Record(const Slice& key, uint64_t hash) {
+    const Entry e{hash, key};
+    RecordBatch(&e, 1);
+  }
+
+  /// One staged hot-key access (key points into the caller's staging
+  /// arena and need only outlive the RecordBatch call).
+  struct Entry {
+    uint64_t hash = 0;
+    Slice key;
+  };
+
+  /// Records `n` accesses: duplicate keys within the batch are aggregated
+  /// first (one sketch/table update with inc=count — under a skewed
+  /// workload a large share of a batch is the same few hot keys), sketch
+  /// blocks are prefetched ahead, and every key that clears the admission
+  /// filter goes to the table under one mutex acquisition.
+  void RecordBatch(const Entry* entries, size_t n);
+
+  /// Top `k` hot keys, counts in *recorded* (sampled, decayed) units; the
+  /// caller scales by its sampling rate.
+  std::vector<HotKey> TopK(size_t k) const { return table_.TopK(k); }
+
+  uint64_t recorded() const { return ops_.load(std::memory_order_relaxed); }
+  uint64_t decays() const { return decays_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+ private:
+  /// One dedup window: bounds the stack scratch RecordChunk uses.
+  static constexpr size_t kChunk = 512;
+
+  void RecordChunk(const Entry* entries, size_t n);
+
+  CountMinSketch sketch_;
+  SpaceSaving table_;
+  const uint64_t decay_interval_;
+  std::atomic<uint64_t> ops_{0};
+  std::atomic<uint64_t> decays_{0};
+};
+
+}  // namespace analytics
+}  // namespace tierbase
+
+#endif  // TIERBASE_ANALYTICS_SKETCHES_H_

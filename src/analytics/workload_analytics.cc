@@ -1,0 +1,321 @@
+#include "analytics/workload_analytics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace tierbase {
+namespace analytics {
+
+namespace {
+
+int RoundUpPow2(int v) {
+  int p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// Staged records per shard before the appending thread drains the buffer.
+// 256 records are ~40us of in-situ batch work — frequent enough to bound
+// the inline drain stall and keep the staging arena + drain scratch
+// L2-resident (the buffers are serving-path cache pollution), rare enough
+// to amortize the batch's structure warm-up.
+constexpr size_t kDrainEntries = 256;
+
+// Packed header preceding the key bytes of one staged hot-gated access.
+struct HotStaged {
+  uint64_t hash;
+  uint32_t value_bytes;  // Saturated.
+  uint32_t ttl_sec;      // Saturated.
+  uint16_t key_len;      // Key bytes truncated to 64 KiB for reporting.
+  uint8_t is_write;
+  uint8_t pad;
+};
+static_assert(sizeof(HotStaged) == 24, "staging header grew");
+
+size_t StagedSize(size_t key_len) {
+  return (sizeof(HotStaged) + key_len + 7) & ~size_t{7};
+}
+
+uint32_t SaturateU32(uint64_t v) {
+  return v > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+WorkloadAnalytics::WorkloadAnalytics(const WorkloadAnalyticsOptions& options)
+    : options_(options),
+      mrc_threshold_(UINT64_MAX /
+                     std::max<uint64_t>(options.mrc_sample_rate, 1)),
+      hot_(options.hotkeys_capacity, options.decay_interval) {
+  const int shards = RoundUpPow2(std::max(options.shards, 1));
+  trackers_.reserve(static_cast<size_t>(shards));
+  stages_.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    trackers_.push_back(
+        std::make_unique<ReuseTracker>(options.mrc_sample_rate));
+    stages_.push_back(std::make_unique<Stage>());
+  }
+  int log2 = 0;
+  while ((1 << log2) < shards) ++log2;
+  shard_shift_ = 64 - log2;
+}
+
+void WorkloadAnalytics::RecordSampled(const Slice& key, uint64_t hash,
+                                      size_t value_bytes, uint64_t ttl_micros,
+                                      bool is_write, bool mrc_sampled,
+                                      bool hot_sampled) {
+  const size_t shard = ShardOf(hash);
+  Stage& st = *stages_[shard];
+  bool drain = false;
+  {
+    common::MutexLock lock(&st.mu);
+    if (mrc_sampled) st.mrc.push_back(hash);
+    if (hot_sampled) {
+      const size_t key_len = std::min<size_t>(key.size(), UINT16_MAX);
+      HotStaged h;
+      h.hash = hash;
+      h.value_bytes = SaturateU32(value_bytes);
+      h.ttl_sec = SaturateU32(ttl_micros / 1'000'000);
+      h.key_len = static_cast<uint16_t>(key_len);
+      h.is_write = is_write ? 1 : 0;
+      h.pad = 0;
+      const size_t off = st.hot.size();
+      st.hot.resize(off + StagedSize(key_len));
+      std::memcpy(&st.hot[off], &h, sizeof(h));
+      std::memcpy(&st.hot[off + sizeof(h)], key.data(), key_len);
+      ++st.hot_entries;
+    }
+    drain = st.mrc.size() >= kDrainEntries || st.hot_entries >= kDrainEntries;
+  }
+  if (hot_sampled) {
+    // The temporal gate fires once per hotkey_sample_rate accesses on this
+    // thread, so it doubles as the batched total-access counter flush.
+    total_accesses_.fetch_add(options_.hotkey_sample_rate,
+                              std::memory_order_relaxed);
+  }
+  if (drain) DrainShard(shard);
+}
+
+void WorkloadAnalytics::DrainShard(size_t shard) const {
+  Stage& st = *stages_[shard];
+  // drain_mu keeps concurrent drains of one shard FIFO: a batch swapped
+  // out first is fully processed before the next swap happens.
+  common::MutexLock drain_lock(&st.drain_mu);
+  std::vector<uint64_t>& mrc = st.mrc_scratch;
+  std::vector<char>& hot = st.hot_scratch;
+  uint32_t hot_entries = 0;
+  {
+    common::MutexLock lock(&st.mu);
+    mrc.swap(st.mrc);
+    hot.swap(st.hot);
+    hot_entries = st.hot_entries;
+    st.hot_entries = 0;
+  }
+  if (!mrc.empty()) {
+    trackers_[shard]->RecordBatch(mrc.data(), mrc.size());
+    mrc.clear();
+  }
+  if (hot_entries == 0) return;
+  std::vector<HotKeyTracker::Entry>& entries = st.entry_scratch;
+  entries.clear();
+  entries.reserve(hot_entries);
+  size_t off = 0;
+  while (off + sizeof(HotStaged) <= hot.size()) {
+    HotStaged h;
+    std::memcpy(&h, &hot[off], sizeof(h));
+    entries.push_back(HotKeyTracker::Entry{
+        h.hash, Slice(&hot[off + sizeof(h)], h.key_len)});
+    if (h.is_write != 0) {
+      value_bytes_.Record(h.value_bytes);
+      ttl_seconds_.Record(h.ttl_sec);
+      key_bytes_.Record(h.key_len);
+    }
+    off += StagedSize(h.key_len);
+  }
+  hot_.RecordBatch(entries.data(), entries.size());
+  hot.clear();
+}
+
+void WorkloadAnalytics::DrainAll() const {
+  for (size_t s = 0; s < stages_.size(); ++s) DrainShard(s);
+}
+
+MrcSnapshot WorkloadAnalytics::Mrc(int shard) const {
+  DrainAll();
+  if (shard >= 0) {
+    if (static_cast<size_t>(shard) >= trackers_.size()) return MrcSnapshot();
+    // Per-shard curve: entries are shard-local keyspace entries. Hash
+    // sharding spreads accesses uniformly, so each tracker's share of the
+    // facade-level total is ~1/shards.
+    return trackers_[static_cast<size_t>(shard)]->Snapshot(
+        options_.mrc_sample_rate, total_accesses() / trackers_.size());
+  }
+  // Merged curve. Each tracker sees 1/shards of the keyspace and a global
+  // LRU cache of E entries gives each shard ~E/shards of them, so merged
+  // histograms scale distances by rate * shards.
+  std::vector<uint64_t> buckets(ReuseTracker::kNumBuckets, 0);
+  uint64_t sampled = 0, cold = 0, keys = 0;
+  for (const auto& t : trackers_) {
+    t->Accumulate(&buckets, &sampled, &cold, &keys);
+  }
+  return ReuseTracker::Render(
+      buckets, sampled, cold, keys, total_accesses(),
+      options_.mrc_sample_rate,
+      static_cast<uint64_t>(options_.mrc_sample_rate) * trackers_.size());
+}
+
+std::vector<HotKey> WorkloadAnalytics::TopKeys(size_t k) const {
+  DrainAll();
+  std::vector<HotKey> top = hot_.TopK(k);
+  for (HotKey& h : top) {
+    h.count *= options_.hotkey_sample_rate;
+    h.error *= options_.hotkey_sample_rate;
+  }
+  return top;
+}
+
+void WorkloadAnalytics::Reset() {
+  total_accesses_.store(0, std::memory_order_relaxed);
+  // Staged-but-unprocessed records are part of what RESET discards; take
+  // each drain_mu so an in-flight drain finishes before its state clears.
+  for (const auto& st : stages_) {
+    common::MutexLock drain_lock(&st->drain_mu);
+    common::MutexLock lock(&st->mu);
+    st->mrc.clear();
+    st->hot.clear();
+    st->hot_entries = 0;
+  }
+  for (const auto& t : trackers_) t->Reset();
+  hot_.Reset();
+  value_bytes_.Reset();
+  ttl_seconds_.Reset();
+  key_bytes_.Reset();
+}
+
+uint64_t WorkloadAnalytics::sampled_accesses() const {
+  DrainAll();
+  uint64_t n = 0;
+  for (const auto& t : trackers_) n += t->sampled_accesses();
+  return n;
+}
+
+uint64_t WorkloadAnalytics::tracked_keys() const {
+  DrainAll();
+  uint64_t n = 0;
+  for (const auto& t : trackers_) n += t->sampled_keys();
+  return n;
+}
+
+std::string FormatMrcReport(const MrcSnapshot& mrc, int shards) {
+  std::string body;
+  char line[128];
+  snprintf(line, sizeof(line), "sample_rate:%" PRIu64 "\r\n",
+           mrc.sample_rate);
+  body.append(line);
+  snprintf(line, sizeof(line), "shards:%d\r\n", shards);
+  body.append(line);
+  snprintf(line, sizeof(line), "scale:%" PRIu64 "\r\n", mrc.scale);
+  body.append(line);
+  snprintf(line, sizeof(line), "sampled_accesses:%" PRIu64 "\r\n",
+           mrc.sampled_accesses);
+  body.append(line);
+  snprintf(line, sizeof(line), "sampled_cold_misses:%" PRIu64 "\r\n",
+           mrc.sampled_cold_misses);
+  body.append(line);
+  snprintf(line, sizeof(line), "tracked_keys:%" PRIu64 "\r\n",
+           mrc.sampled_keys);
+  body.append(line);
+  snprintf(line, sizeof(line), "total_accesses:%" PRIu64 "\r\n",
+           mrc.total_accesses);
+  body.append(line);
+  snprintf(line, sizeof(line), "estimated_accesses:%" PRIu64 "\r\n",
+           mrc.estimated_accesses());
+  body.append(line);
+  snprintf(line, sizeof(line), "estimated_keys:%" PRIu64 "\r\n",
+           mrc.estimated_keys());
+  body.append(line);
+  snprintf(line, sizeof(line), "knee_entries:%" PRIu64 "\r\n",
+           mrc.KneeEntries());
+  body.append(line);
+  snprintf(line, sizeof(line), "points:%zu\r\n", mrc.points.size());
+  body.append(line);
+  for (const MrcPoint& p : mrc.points) {
+    snprintf(line, sizeof(line), "%" PRIu64 " %.6f\r\n", p.entries,
+             p.miss_ratio);
+    body.append(line);
+  }
+  return body;
+}
+
+void RegisterWorkloadInstruments(metrics::MetricsRegistry* registry,
+                                 WorkloadAnalytics* wa) {
+  registry->AddText("Workload", "workload_analytics",
+                    [wa] { return wa != nullptr ? "on" : "off"; });
+  if (wa == nullptr) return;
+  registry->AddCallback(
+      "Workload", "workload_mrc_sample_rate",
+      "SHARDS spatial sampling rate R (1/R of the keyspace tracked)",
+      metrics::MetricType::kGauge,
+      [wa] { return uint64_t{wa->options().mrc_sample_rate}; });
+  registry->AddCallback(
+      "Workload", "workload_hotkey_sample_rate",
+      "Temporal sampling rate N (every Nth access feeds the sketch)",
+      metrics::MetricType::kGauge,
+      [wa] { return uint64_t{wa->options().hotkey_sample_rate}; });
+  registry->AddCallback(
+      "Workload", "workload_shards", "Reuse-distance tracker shards",
+      metrics::MetricType::kGauge,
+      [wa] { return static_cast<uint64_t>(wa->shards()); });
+  registry->AddCallback("Workload", "workload_sampled_accesses",
+                        "Accesses that passed the spatial MRC filter",
+                        metrics::MetricType::kCounter,
+                        [wa] { return wa->sampled_accesses(); });
+  registry->AddCallback("Workload", "workload_total_accesses",
+                        "All accesses seen by the reuse trackers",
+                        metrics::MetricType::kCounter,
+                        [wa] { return wa->total_accesses(); });
+  registry->AddCallback("Workload", "workload_tracked_keys",
+                        "Distinct sampled keys under reuse tracking",
+                        metrics::MetricType::kGauge,
+                        [wa] { return wa->tracked_keys(); });
+  registry->AddCallback(
+      "Workload", "workload_hot_records",
+      "Accesses recorded by the hot-key sketch (sampled units)",
+      metrics::MetricType::kCounter, [wa] { return wa->hot_records(); });
+  registry->AddCallback("Workload", "workload_decays",
+                        "Hot-key sketch decay halvings",
+                        metrics::MetricType::kCounter,
+                        [wa] { return wa->decays(); });
+  registry->AddCallback(
+      "Workload", "workload_mrc_knee_entries",
+      "Knee of the live miss-ratio curve, estimated cache entries",
+      metrics::MetricType::kGauge, [wa] { return wa->Mrc().KneeEntries(); });
+  registry->AddExternalHistogram(
+      "Workload", "workload_value_bytes",
+      "Written value sizes, bytes (temporally sampled)",
+      wa->value_bytes_hist());
+  registry->AddExternalHistogram(
+      "Workload", "workload_ttl_seconds",
+      "Write TTLs, seconds, 0 = no expiry (temporally sampled)",
+      wa->ttl_seconds_hist());
+  registry->AddExternalHistogram(
+      "Workload", "workload_key_bytes",
+      "Written key lengths, bytes (temporally sampled)",
+      wa->key_bytes_hist());
+  // INFO-only: the current top hot keys inline, estimated true counts.
+  registry->AddBlock("Workload", [wa](std::string* out) {
+    std::vector<HotKey> top = wa->TopKeys(5);
+    char line[192];
+    for (size_t i = 0; i < top.size(); ++i) {
+      snprintf(line, sizeof(line),
+               "workload_hotkey_%zu:key=%s,est=%" PRIu64 "\r\n", i,
+               top[i].key.c_str(), top[i].count);
+      out->append(line);
+    }
+  });
+}
+
+}  // namespace analytics
+}  // namespace tierbase

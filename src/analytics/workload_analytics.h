@@ -1,0 +1,215 @@
+// WorkloadAnalytics: the serving-path workload observatory (ROADMAP item
+// 1's sensor layer). Three always-on, sampled instruments:
+//
+//   * live miss-ratio curves — one SHARDS reuse-distance tracker per cache
+//     shard (spatial sampling, default 1/64 of the keyspace); per-shard
+//     curves merge into a whole-cache curve because hash sharding makes
+//     each shard a uniform keyspace sample
+//   * hot keys — count-min sketch + space-saving top-k with periodic
+//     decay, fed by temporal sampling (default every 64th access per
+//     thread) so the sketch sees hot keys at full fidelity scaled down
+//   * keyspace shape — value-size / TTL / key-length histograms recorded
+//     on the (temporally sampled) write path
+//
+// The facade is what the cache engine calls: RecordRead/RecordWrite take
+// the key and its already-computed engine hash, reject unsampled traffic
+// with a couple of arithmetic ops, and never run under a cache shard lock.
+//
+// Sampled traffic is *staged, not processed inline*: the serving thread
+// appends the hash (and, for temporally-sampled accesses, the key bytes)
+// to a per-shard staging buffer — a short uncontended lock plus a
+// sequential, prefetch-friendly append. The Mattson and sketch work runs
+// in batches when a buffer fills or a snapshot is taken, so its cache
+// misses overlap (probes prefetched ahead) and its structures stay warm
+// across the batch instead of being re-faulted one access at a time.
+//
+// Snapshots (Mrc, TopKeys) and Reset are safe against concurrent
+// recording; snapshot paths drain all staged records first, so readings
+// are exact once recording quiesces. A null facade pointer disables
+// everything (--no-analytics).
+
+#ifndef TIERBASE_ANALYTICS_WORKLOAD_ANALYTICS_H_
+#define TIERBASE_ANALYTICS_WORKLOAD_ANALYTICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analytics/reuse_tracker.h"
+#include "analytics/sketches.h"
+#include "common/metrics.h"
+#include "common/slice.h"
+
+namespace tierbase {
+namespace analytics {
+
+struct WorkloadAnalyticsOptions {
+  bool enabled = true;
+  /// SHARDS spatial rate R: ~1/R of the keyspace pays reuse-distance
+  /// bookkeeping. 1 = exact (tests).
+  uint32_t mrc_sample_rate = 64;
+  /// Temporal rate N for the hot-key and write-shape paths: every Nth
+  /// access per thread feeds the sketch. 1 = every access. The default
+  /// keeps the serving-path overhead within the hot-path budget (see
+  /// BENCH_hotpath.json notes_analytics) while a zipfian hot key still
+  /// lands thousands of samples per decay window.
+  uint32_t hotkey_sample_rate = 64;
+  /// Space-saving table size (HOTKEYS k must be <= this).
+  uint32_t hotkeys_capacity = 128;
+  /// Sketch halvings happen every this many *sampled* hot-key records;
+  /// 0 disables decay.
+  uint64_t decay_interval = 1 << 18;
+  /// Reuse-tracker count; 0 = match the cache engine's shard count
+  /// (rounded up to a power of two, same as the engine).
+  int shards = 0;
+};
+
+class WorkloadAnalytics {
+ public:
+  explicit WorkloadAnalytics(const WorkloadAnalyticsOptions& options);
+
+  const WorkloadAnalyticsOptions& options() const { return options_; }
+  int shards() const { return static_cast<int>(trackers_.size()); }
+
+  // --- Hot path (called by the cache engine, outside shard locks).
+  // RecordAccess is inline and branch-only for unsampled traffic: one
+  // __thread counter bump, one multiply-compare against the spatial
+  // threshold, two loads off this object. Everything heavier — reuse
+  // tracker, sketch, the total-access flush — lives out of line in
+  // RecordSampled and runs for ~1/R + 1/N of accesses. ---
+  void RecordRead(const Slice& key, uint64_t hash) {
+    RecordAccess(key, hash, /*value_bytes=*/0, /*ttl_micros=*/0,
+                 /*is_write=*/false);
+  }
+  void RecordWrite(const Slice& key, uint64_t hash, size_t value_bytes,
+                   uint64_t ttl_micros) {
+    RecordAccess(key, hash, value_bytes, ttl_micros, /*is_write=*/true);
+  }
+
+  // --- Snapshots. ---
+  /// Merged whole-cache curve (shard = -1) or one shard's curve. Merged
+  /// entries are estimated whole-cache entries; per-shard entries are
+  /// shard-local. An out-of-range shard yields an empty snapshot.
+  MrcSnapshot Mrc(int shard = -1) const;
+
+  /// Top `k` hot keys with counts scaled back by the temporal sampling
+  /// rate (estimated true access counts in the current decay window).
+  std::vector<HotKey> TopKeys(size_t k) const;
+
+  /// Drops every tracker, sketch and shape histogram (ANALYTICS RESET).
+  void Reset();
+
+  // --- Registry feed (INFO "# Workload" / tierbase_workload_*). ---
+  uint64_t sampled_accesses() const;
+  uint64_t total_accesses() const {
+    return total_accesses_.load(std::memory_order_relaxed);
+  }
+  uint64_t tracked_keys() const;
+  uint64_t hot_records() const { return hot_.recorded(); }
+  uint64_t decays() const { return hot_.decays(); }
+  // The shape-histogram accessors drain staged records so a caller reading
+  // counts right after recording sees them. The registry additionally holds
+  // the raw pointers (AddExternalHistogram), where a scrape may lag by at
+  // most one undrained staging buffer per shard.
+  metrics::LatencyHistogram* value_bytes_hist() {
+    DrainAll();
+    return &value_bytes_;
+  }
+  metrics::LatencyHistogram* ttl_seconds_hist() {
+    DrainAll();
+    return &ttl_seconds_;
+  }
+  metrics::LatencyHistogram* key_bytes_hist() {
+    DrainAll();
+    return &key_bytes_;
+  }
+
+ private:
+  void RecordAccess(const Slice& key, uint64_t hash, size_t value_bytes,
+                    uint64_t ttl_micros, bool is_write) {
+    // Temporal gate: a plain GNU __thread counter (an extern thread_local
+    // init guard costs ~7% here, see BENCH_hotpath.json notes_telemetry).
+    // The counter is shared by all instances on the thread, which only
+    // offsets each instance's gate phase.
+    static __thread uint32_t tl_ops = 0;
+    const bool hot_sampled = ++tl_ops >= options_.hotkey_sample_rate;
+    const bool mrc_sampled = (hash * kSpatialMix) <= mrc_threshold_;
+    if (!hot_sampled && !mrc_sampled) return;
+    if (hot_sampled) tl_ops = 0;
+    RecordSampled(key, hash, value_bytes, ttl_micros, is_write, mrc_sampled,
+                  hot_sampled);
+  }
+
+  void RecordSampled(const Slice& key, uint64_t hash, size_t value_bytes,
+                     uint64_t ttl_micros, bool is_write, bool mrc_sampled,
+                     bool hot_sampled);
+
+  /// Per-shard staging: sampled accesses append here on the serving path;
+  /// batch processing happens on whichever thread fills a buffer past the
+  /// drain threshold, or on a snapshot path. Hot-gated accesses are stored
+  /// as a packed (header, key bytes) arena so the key outlives the call.
+  struct Stage {
+    common::Mutex mu;
+    std::vector<uint64_t> mrc GUARDED_BY(mu);
+    std::vector<char> hot GUARDED_BY(mu);
+    uint32_t hot_entries GUARDED_BY(mu) = 0;
+    /// Serializes batch processing so per-shard record order (which the
+    /// reuse distances depend on) survives concurrent drains.
+    common::Mutex drain_mu;
+    /// Drain-side scratch, double-buffered against the staging vectors so
+    /// steady state allocates nothing: buffers swap in full and swap back
+    /// cleared, keeping their capacity on both sides.
+    std::vector<uint64_t> mrc_scratch GUARDED_BY(drain_mu);
+    std::vector<char> hot_scratch GUARDED_BY(drain_mu);
+    std::vector<HotKeyTracker::Entry> entry_scratch GUARDED_BY(drain_mu);
+  };
+
+  /// Swaps out and processes one shard's staged records.
+  void DrainShard(size_t shard) const;
+  /// Drains every shard: snapshot paths call this first, making readings
+  /// exact once recording quiesces.
+  void DrainAll() const;
+
+  size_t ShardOf(uint64_t hash) const {
+    return shard_shift_ == 64 ? 0 : (hash >> shard_shift_);
+  }
+
+  const WorkloadAnalyticsOptions options_;
+  const uint64_t mrc_threshold_;  // UINT64_MAX / mrc_sample_rate.
+  int shard_shift_ = 64;  // 64 - log2(tracker count), like the engine.
+  // All accesses, sampled or not: advanced by hotkey_sample_rate whenever
+  // the temporal gate fires (exact at rate 1, within one gate window per
+  // thread otherwise). Drives the MRC's SHARDS-adj correction.
+  std::atomic<uint64_t> total_accesses_{0};
+  // Recording state below is mutated by drains, which also run from const
+  // snapshot paths (a snapshot must fold in staged records to be fresh).
+  mutable std::vector<std::unique_ptr<Stage>> stages_;
+  mutable std::vector<std::unique_ptr<ReuseTracker>> trackers_;
+  mutable HotKeyTracker hot_;
+  mutable metrics::LatencyHistogram value_bytes_;
+  mutable metrics::LatencyHistogram ttl_seconds_;
+  mutable metrics::LatencyHistogram key_bytes_;
+};
+
+/// Renders the ANALYTICS MRC reply body shared by the server and the proxy:
+/// self-describing "key:value" header lines (sample_rate, shards, scale,
+/// sampled/estimated totals, knee_entries, points:N) followed by one
+/// "<entries> <miss_ratio>" line per curve point. Lines end in \r\n so the
+/// body is parseable by cost_advisor --live and shell tooling.
+std::string FormatMrcReport(const MrcSnapshot& mrc, int shards);
+
+/// Registers the "# Workload" INFO section / tierbase_workload_* Prometheus
+/// family on a component registry, shared by the server and the proxy:
+/// sampling configuration, sampled/estimated access totals, the live MRC
+/// knee, the three keyspace-shape histograms, and an INFO-only block with
+/// the current top hot keys. `wa` may be null (analytics disabled): the
+/// section then only carries workload_analytics:off. `wa` must outlive the
+/// registry.
+void RegisterWorkloadInstruments(metrics::MetricsRegistry* registry,
+                                 WorkloadAnalytics* wa);
+
+}  // namespace analytics
+}  // namespace tierbase
+
+#endif  // TIERBASE_ANALYTICS_WORKLOAD_ANALYTICS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iterator>
 
+#include "analytics/workload_analytics.h"
 #include "common/hash.h"
 #include "common/mutex.h"
 
@@ -314,6 +315,9 @@ Status HashEngine::Set(const Slice& key, const Slice& value) {
 Status HashEngine::SetEx(const Slice& key, const Slice& value,
                          uint64_t ttl_micros) {
   const uint64_t hash = Hash64(key);
+  if (options_.analytics != nullptr) {
+    options_.analytics->RecordWrite(key, hash, value.size(), ttl_micros);
+  }
   Shard& shard = ShardFor(hash);
   common::MutexLock lock(&shard.mu);
   return SetLocked(shard, key, hash, value, ttl_micros);
@@ -321,6 +325,7 @@ Status HashEngine::SetEx(const Slice& key, const Slice& value,
 
 Status HashEngine::Get(const Slice& key, std::string* value) {
   const uint64_t hash = Hash64(key);
+  if (options_.analytics != nullptr) options_.analytics->RecordRead(key, hash);
   Shard& shard = ShardFor(hash);
   common::MutexLock lock(&shard.mu);
   return GetLocked(shard, key, hash, value);
@@ -370,6 +375,11 @@ void HashEngine::MultiGet(const std::vector<Slice>& keys,
   std::vector<uint64_t> hashes;
   std::vector<uint32_t> order, shard_begin;
   GroupByShard(keys, &hashes, &order, &shard_begin);
+  if (options_.analytics != nullptr) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      options_.analytics->RecordRead(keys[i], hashes[i]);
+    }
+  }
 
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (shard_begin[s] == shard_begin[s + 1]) continue;
@@ -394,6 +404,12 @@ void HashEngine::MultiSet(const std::vector<Slice>& keys,
   std::vector<uint64_t> hashes;
   std::vector<uint32_t> order, shard_begin;
   GroupByShard(keys, &hashes, &order, &shard_begin);
+  if (options_.analytics != nullptr) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      options_.analytics->RecordWrite(keys[i], hashes[i], values[i].size(),
+                                      0);
+    }
+  }
 
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (shard_begin[s] == shard_begin[s + 1]) continue;

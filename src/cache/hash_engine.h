@@ -49,6 +49,11 @@
 #include "pmem/pmem_allocator.h"
 
 namespace tierbase {
+
+namespace analytics {
+class WorkloadAnalytics;
+}  // namespace analytics
+
 namespace cache {
 
 enum class ValueKind : uint8_t {
@@ -79,6 +84,13 @@ struct HashEngineOptions {
   /// PMem placement (null = DRAM only). Not owned.
   PmemAllocator* pmem = nullptr;
   size_t pmem_value_threshold = 64;
+
+  /// Workload-analytics sink (null = no recording). Not owned. The engine
+  /// reports Get/Set/MultiGet/MultiSet accesses with the already-computed
+  /// key hash, outside any shard lock. Deletes and rich-type ops are not
+  /// recorded — the observatory watches the string hot path the cost
+  /// model reasons about.
+  analytics::WorkloadAnalytics* analytics = nullptr;
 };
 
 class HashEngine : public KvEngine {

@@ -1,9 +1,13 @@
 #include "cluster_net/proxy.h"
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/clock.h"
+#include "common/hash.h"
 #include "server/resp.h"
 
 namespace tierbase::cluster_net {
@@ -11,6 +15,20 @@ namespace tierbase::cluster_net {
 namespace {
 
 using server::EqualsUpper;
+
+/// Strict signed-integer parse of a RESP argument (mirrors the server's).
+bool ParseArgInt(const Slice& arg, int64_t* out) {
+  if (arg.empty() || arg.size() > 20) return false;
+  char buf[24];
+  memcpy(buf, arg.data(), arg.size());
+  buf[arg.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  long long v = strtoll(buf, &end, 10);
+  if (errno != 0 || end != buf + arg.size()) return false;
+  *out = v;
+  return true;
+}
 
 void AppendStatus(std::string* out, const Status& s) {
   // Robustness contract: Unavailable (dead shard / open breaker) and Busy
@@ -30,7 +48,28 @@ void AppendStatus(std::string* out, const Status& s) {
 }  // namespace
 
 ClusterProxy::ClusterProxy(Options options) : options_(std::move(options)) {
+  if (options_.analytics.enabled) {
+    analytics::WorkloadAnalyticsOptions aopts = options_.analytics;
+    // No cache engine to inherit a shard count from: a few trackers keep
+    // snapshot-time lock holds short against the routed hot path.
+    if (aopts.shards == 0) aopts.shards = 4;
+    analytics_ = std::make_unique<analytics::WorkloadAnalytics>(aopts);
+  }
   RegisterInstruments();
+}
+
+void ClusterProxy::RecordRead(const Slice& key) {
+  if (analytics_ != nullptr) {
+    analytics_->RecordRead(key, Hash64(key));
+  }
+}
+
+void ClusterProxy::RecordWrite(const Slice& key, size_t value_bytes) {
+  if (analytics_ != nullptr) {
+    // The proxy never sees TTLs on the coalesced string path; shape
+    // histograms carry value/key sizes only.
+    analytics_->RecordWrite(key, Hash64(key), value_bytes, 0);
+  }
 }
 
 void ClusterProxy::RegisterInstruments() {
@@ -111,6 +150,11 @@ void ClusterProxy::RegisterInstruments() {
       *out += line;
     }
   });
+
+  // # Workload: the cluster-wide aggregate view — every routed string
+  // access feeds the proxy's own observatory. Shared registration with the
+  // server's per-node section.
+  analytics::RegisterWorkloadInstruments(&registry_, analytics_.get());
 }
 
 ClusterProxy::~ClusterProxy() { Stop(); }
@@ -209,6 +253,7 @@ void ClusterProxy::BatchedGets(const std::vector<server::RespCommand>& cmds,
   std::vector<Slice> keys;
   keys.reserve(end - begin);
   for (size_t i = begin; i < end; ++i) keys.push_back(cmds[i].args[1]);
+  for (const Slice& key : keys) RecordRead(key);
   std::vector<std::string> values;
   std::vector<Status> statuses;
   const uint64_t t0 = Clock::Real()->NowMicros();
@@ -233,6 +278,7 @@ void ClusterProxy::BatchedSets(const std::vector<server::RespCommand>& cmds,
   for (size_t i = begin; i < end; ++i) {
     keys.push_back(cmds[i].args[1]);
     values.push_back(cmds[i].args[2]);
+    RecordWrite(cmds[i].args[1], cmds[i].args[2].size());
   }
   std::vector<Status> statuses;
   const uint64_t t0 = Clock::Real()->NowMicros();
@@ -291,7 +337,16 @@ void ClusterProxy::ExecuteOne(const server::RespCommand& cmd,
     server::AppendBulk(out, body);
     return;
   }
+  if (EqualsUpper(name, "ANALYTICS") && argc >= 2 && argc <= 3) {
+    Analytics(cmd, out);
+    return;
+  }
+  if (EqualsUpper(name, "HOTKEYS") && argc <= 2) {
+    HotKeys(cmd, out);
+    return;
+  }
   if (EqualsUpper(name, "GET") && argc == 2) {
+    RecordRead(cmd.args[1]);
     std::string value;
     Status s = backend_->Get(cmd.args[1], &value);
     if (s.ok()) {
@@ -304,6 +359,7 @@ void ClusterProxy::ExecuteOne(const server::RespCommand& cmd,
     return;
   }
   if (EqualsUpper(name, "SET") && argc == 3) {
+    RecordWrite(cmd.args[1], cmd.args[2].size());
     Status s = backend_->Set(cmd.args[1], cmd.args[2]);
     if (s.ok()) {
       server::AppendSimpleString(out, "OK");
@@ -314,6 +370,7 @@ void ClusterProxy::ExecuteOne(const server::RespCommand& cmd,
   }
   if (EqualsUpper(name, "MGET") && argc >= 2) {
     std::vector<Slice> keys(cmd.args.begin() + 1, cmd.args.end());
+    for (const Slice& key : keys) RecordRead(key);
     std::vector<std::string> values;
     std::vector<Status> statuses;
     backend_->MultiGet(keys, &values, &statuses);
@@ -340,6 +397,7 @@ void ClusterProxy::ExecuteOne(const server::RespCommand& cmd,
     for (size_t i = 1; i < argc; i += 2) {
       keys.push_back(cmd.args[i]);
       values.push_back(cmd.args[i + 1]);
+      RecordWrite(cmd.args[i], cmd.args[i + 1].size());
     }
     std::vector<Status> statuses;
     backend_->MultiSet(keys, values, &statuses);
@@ -396,6 +454,57 @@ void ClusterProxy::Info(std::string* out) {
   std::string body;
   registry_.RenderInfo(&body);
   server::AppendBulk(out, body);
+}
+
+void ClusterProxy::Analytics(const server::RespCommand& cmd,
+                             std::string* out) {
+  if (analytics_ == nullptr) {
+    server::AppendError(
+        out, "ERR analytics disabled (proxy started with --no-analytics)");
+    return;
+  }
+  if (EqualsUpper(cmd.args[1], "MRC")) {
+    int shard = -1;
+    if (cmd.args.size() == 3) {
+      int64_t v = 0;
+      if (!ParseArgInt(cmd.args[2], &v) || v < 0 ||
+          v >= analytics_->shards()) {
+        server::AppendError(out, "ERR shard index out of range");
+        return;
+      }
+      shard = static_cast<int>(v);
+    }
+    server::AppendBulk(out, analytics::FormatMrcReport(
+                                analytics_->Mrc(shard), analytics_->shards()));
+    return;
+  }
+  if (EqualsUpper(cmd.args[1], "RESET")) {
+    analytics_->Reset();
+    server::AppendSimpleString(out, "OK");
+    return;
+  }
+  server::AppendError(out, "ERR unknown ANALYTICS subcommand, try MRC|RESET");
+}
+
+void ClusterProxy::HotKeys(const server::RespCommand& cmd, std::string* out) {
+  if (analytics_ == nullptr) {
+    server::AppendError(
+        out, "ERR analytics disabled (proxy started with --no-analytics)");
+    return;
+  }
+  int64_t k = 10;
+  if (cmd.args.size() == 2 &&
+      (!ParseArgInt(cmd.args[1], &k) || k <= 0 || k > 10'000)) {
+    server::AppendError(out, "ERR value is not an integer or out of range");
+    return;
+  }
+  std::vector<analytics::HotKey> top =
+      analytics_->TopKeys(static_cast<size_t>(k));
+  server::AppendArrayHeader(out, top.size() * 2);
+  for (const analytics::HotKey& h : top) {
+    server::AppendBulk(out, h.key);
+    server::AppendInteger(out, static_cast<int64_t>(h.count));
+  }
 }
 
 }  // namespace tierbase::cluster_net

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "analytics/workload_analytics.h"
 #include "cluster_net/cluster_client.h"
 #include "common/metrics.h"
 #include "server/event_loop.h"
@@ -38,6 +39,11 @@ class ClusterProxy {
     uint16_t port = 0;  // 0 = ephemeral.
     NetClusterClient::Options backend;
     threading::ElasticOptions executor;
+    /// Workload observatory over the traffic this proxy routes — the
+    /// cluster-wide aggregate view (every node's string traffic passes
+    /// through here). analytics.shards == 0 picks a small default; set
+    /// analytics.enabled = false to disable (--no-analytics).
+    analytics::WorkloadAnalyticsOptions analytics;
   };
 
   explicit ClusterProxy(Options options);
@@ -61,6 +67,9 @@ class ClusterProxy {
   /// The proxy's instrument registry (INFO/METRICS source).
   metrics::MetricsRegistry* registry() { return &registry_; }
 
+  /// Cluster-wide workload observatory; null when disabled.
+  analytics::WorkloadAnalytics* analytics() { return analytics_.get(); }
+
  private:
   void ExecuteBatch(const std::vector<server::RespCommand>& cmds,
                     std::string* out, bool* close_connection,
@@ -72,10 +81,17 @@ class ClusterProxy {
   void BatchedSets(const std::vector<server::RespCommand>& cmds, size_t begin,
                    size_t end, std::string* out);
   void Info(std::string* out);
+  void Analytics(const server::RespCommand& cmd, std::string* out);
+  void HotKeys(const server::RespCommand& cmd, std::string* out);
   /// Registers the proxy's instruments. Called once from the ctor.
   void RegisterInstruments();
 
+  /// Feeds a routed read/write into the observatory (no-op when disabled).
+  void RecordRead(const Slice& key);
+  void RecordWrite(const Slice& key, size_t value_bytes);
+
   Options options_;
+  std::unique_ptr<analytics::WorkloadAnalytics> analytics_;
   std::unique_ptr<NetClusterClient> backend_;
   std::unique_ptr<threading::ElasticExecutor> executor_;
   std::unique_ptr<server::EventLoop> loop_;

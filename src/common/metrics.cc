@@ -169,6 +169,20 @@ LatencyHistogram* MetricsRegistry::AddHistogram(const std::string& section,
   return out;
 }
 
+void MetricsRegistry::AddExternalHistogram(const std::string& section,
+                                           const std::string& key,
+                                           const std::string& help,
+                                           LatencyHistogram* hist) {
+  common::MutexLock lock(&mu_);
+  if (FindLocked(key) != nullptr) return;
+  auto entry = std::make_unique<Entry>();
+  entry->key = key;
+  entry->help = help;
+  entry->type = MetricType::kHistogram;
+  entry->external_histogram = hist;
+  SectionLocked(section)->entries.push_back(std::move(entry));
+}
+
 void MetricsRegistry::AddCallback(const std::string& section,
                                   const std::string& key,
                                   const std::string& help, MetricType type,
@@ -227,7 +241,7 @@ void MetricsRegistry::RenderInfo(std::string* out) const {
           } else if (e->gauge) {
             out->append(std::to_string(e->gauge->value()));
           } else {
-            out->append(HistogramInfoValue(e->histogram->Snapshot()));
+            out->append(HistogramInfoValue(e->hist()->Snapshot()));
           }
           out->append("\r\n");
           break;
@@ -287,7 +301,7 @@ void MetricsRegistry::RenderPrometheus(std::string* out) const {
       // Histogram: cumulative buckets over the coarse edges. Every value
       // in fine bucket i is <= BucketUpperEdge(i), so folding fine buckets
       // whose edge fits under `le` keeps the cumulative invariant exact.
-      Histogram h = e->histogram->Snapshot();
+      Histogram h = e->hist()->Snapshot();
       uint64_t cum = 0;
       int fb = 0;
       uint64_t le = kPromEdgeLow;
@@ -320,7 +334,7 @@ LatencyHistogram* MetricsRegistry::FindHistogram(
     const std::string& key) const {
   common::MutexLock lock(&mu_);
   Entry* e = FindLocked(key);
-  return (e != nullptr && e->histogram) ? e->histogram.get() : nullptr;
+  return e != nullptr ? e->hist() : nullptr;
 }
 
 std::vector<std::pair<std::string, LatencyHistogram*>>
@@ -329,7 +343,7 @@ MetricsRegistry::Histograms() const {
   std::vector<std::pair<std::string, LatencyHistogram*>> out;
   for (const auto& sec : sections_) {
     for (const auto& e : sec->entries) {
-      if (e->histogram) out.emplace_back(e->key, e->histogram.get());
+      if (e->hist() != nullptr) out.emplace_back(e->key, e->hist());
     }
   }
   return out;

@@ -134,6 +134,12 @@ class MetricsRegistry {
                                  const std::string& key,
                                  const std::string& help);
 
+  /// Registers a histogram the caller owns (e.g. the workload analytics'
+  /// shape histograms): rendered, found and listed exactly like an owned
+  /// one. `hist` must outlive the registry.
+  void AddExternalHistogram(const std::string& section, const std::string& key,
+                            const std::string& help, LatencyHistogram* hist);
+
   // --- Callback instruments: the value lives elsewhere (an existing
   // atomic, an aggregated Stats snapshot); the registry polls it at render
   // time. `type` picks the Prometheus exposition type. ---
@@ -179,6 +185,11 @@ class MetricsRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<LatencyHistogram> histogram;
+    LatencyHistogram* external_histogram = nullptr;  // Not owned (kOwned kind).
+
+    LatencyHistogram* hist() const {
+      return histogram ? histogram.get() : external_histogram;
+    }
     std::function<uint64_t()> value_fn;
     std::function<std::string()> text_fn;
     std::function<void(std::string*)> block_fn;

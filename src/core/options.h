@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "analytics/workload_analytics.h"
 #include "cache/hash_engine.h"
 #include "compression/compressor.h"
 
@@ -75,6 +76,13 @@ struct TierBaseOptions {
 
   WriteBackOptions write_back;
   DeferredFetchOptions deferred_fetch;
+
+  /// Workload observatory (live MRC, hot keys, keyspace shape). When
+  /// enabled, TierBase owns a WorkloadAnalytics wired into the cache
+  /// engine's hot path; analytics.shards == 0 inherits cache.shards.
+  /// Disabled ( --no-analytics ) costs literally nothing: the engine's
+  /// sink pointer stays null.
+  analytics::WorkloadAnalyticsOptions analytics;
 };
 
 }  // namespace tierbase

@@ -80,11 +80,20 @@ Result<std::unique_ptr<TierBase>> TierBase::Open(
 }
 
 Status TierBase::Init() {
+  if (options_.analytics.enabled) {
+    analytics::WorkloadAnalyticsOptions aopts = options_.analytics;
+    if (aopts.shards == 0) aopts.shards = options_.cache.shards;
+    analytics_ = std::make_unique<analytics::WorkloadAnalytics>(aopts);
+    options_.cache.analytics = analytics_.get();
+  }
   cache_ = std::make_unique<cache::HashEngine>(options_.cache);
 
   if (options_.replication == ReplicationMode::kMasterReplica) {
     Replicator::Options ropts;
     ropts.replica_engine = options_.cache;
+    // The replica replays the master's oplog; that apply traffic is not
+    // client workload and must not feed the observatory.
+    ropts.replica_engine.analytics = nullptr;
     replicator_ = std::make_unique<Replicator>(ropts);
   }
 

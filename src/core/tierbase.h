@@ -80,6 +80,12 @@ class TierBase : public KvEngine {
   /// surfaces its lag; the wire-replication layer is separate).
   Replicator* replicator() { return replicator_.get(); }
   const Replicator* replicator() const { return replicator_.get(); }
+  /// The workload observatory (live MRC / hot keys / keyspace shape), or
+  /// null when options.analytics.enabled is false.
+  analytics::WorkloadAnalytics* analytics() { return analytics_.get(); }
+  const analytics::WorkloadAnalytics* analytics() const {
+    return analytics_.get();
+  }
 
   /// Aggregated snapshot across the whole instance: the engine's own op
   /// counters plus the cache tier's eviction/recency/batching gauges and
@@ -137,6 +143,9 @@ class TierBase : public KvEngine {
   TierBaseOptions options_;
   StorageAdapter* storage_;
 
+  // Created before cache_ (the engine records into it) and therefore
+  // destroyed after it.
+  std::unique_ptr<analytics::WorkloadAnalytics> analytics_;
   std::unique_ptr<cache::HashEngine> cache_;
   std::unique_ptr<PerKeyCoalescer> write_through_;
   std::unique_ptr<WriteBackManager> write_back_;

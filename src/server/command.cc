@@ -156,6 +156,8 @@ const CommandTable::Spec CommandTable::kSpecs[] = {
     {"SLOWLOG", 2, 3, &CommandTable::SlowLogCmd, 0},
     {"LATENCY", 2, 3, &CommandTable::Latency, 0},
     {"METRICS", 1, 1, &CommandTable::Metrics, 0},
+    {"ANALYTICS", 2, 3, &CommandTable::Analytics, 0},
+    {"HOTKEYS", 1, 2, &CommandTable::HotKeys, 0},
 };
 const size_t CommandTable::kNumSpecs =
     sizeof(CommandTable::kSpecs) / sizeof(CommandTable::kSpecs[0]);
@@ -304,6 +306,11 @@ void CommandTable::RegisterInstruments() {
   stat("Keyspace", "slowlog_len", "Entries currently in the slow log",
        [this] { return static_cast<uint64_t>(slowlog_.Len()); },
        metrics::MetricType::kGauge);
+
+  // # Workload: the observatory's live view of the traffic itself (miss-
+  // ratio curve, hot keys, keyspace shape), fed by the TierBase-owned
+  // WorkloadAnalytics. Shared registration with the proxy.
+  analytics::RegisterWorkloadInstruments(&registry_, db_->analytics());
 }
 
 void CommandTable::ExecuteBatch(const std::vector<RespCommand>& cmds,
@@ -1046,6 +1053,64 @@ void CommandTable::Metrics(const RespCommand& cmd, std::string* out) {
   std::string body;
   registry_.RenderPrometheus(&body);
   AppendBulk(out, body);
+}
+
+void CommandTable::Analytics(const RespCommand& cmd, std::string* out) {
+  analytics::WorkloadAnalytics* wa = db_->analytics();
+  if (wa == nullptr) {
+    AppendError(out,
+                "ERR analytics disabled (server started with --no-analytics)");
+    return;
+  }
+  char sub[16];
+  if (!UpperName(cmd.args[1], sub, 16)) {
+    AppendError(out, "ERR unknown ANALYTICS subcommand");
+    return;
+  }
+  if (strcmp(sub, "MRC") == 0) {
+    // Whole-cache curve by default; ANALYTICS MRC <shard> narrows to one
+    // reuse tracker (shard-local entry counts).
+    int shard = -1;
+    if (cmd.args.size() == 3) {
+      int64_t v = 0;
+      if (!ParseArgInt(cmd.args[2], &v) || v < 0 || v >= wa->shards()) {
+        AppendError(out, "ERR shard index out of range");
+        return;
+      }
+      shard = static_cast<int>(v);
+    }
+    AppendBulk(out, analytics::FormatMrcReport(wa->Mrc(shard), wa->shards()));
+    return;
+  }
+  if (strcmp(sub, "RESET") == 0) {
+    wa->Reset();
+    AppendSimpleString(out, kOk);
+    return;
+  }
+  AppendError(out, "ERR unknown ANALYTICS subcommand, try MRC|RESET");
+}
+
+void CommandTable::HotKeys(const RespCommand& cmd, std::string* out) {
+  analytics::WorkloadAnalytics* wa = db_->analytics();
+  if (wa == nullptr) {
+    AppendError(out,
+                "ERR analytics disabled (server started with --no-analytics)");
+    return;
+  }
+  int64_t k = 10;
+  if (cmd.args.size() == 2 &&
+      (!ParseArgInt(cmd.args[1], &k) || k <= 0 || k > 10'000)) {
+    AppendError(out, "ERR value is not an integer or out of range");
+    return;
+  }
+  std::vector<analytics::HotKey> top = wa->TopKeys(static_cast<size_t>(k));
+  // Flat [key, estimated-count, key, estimated-count, ...] pairs, hottest
+  // first. Counts are estimated true counts in the current decay window.
+  AppendArrayHeader(out, top.size() * 2);
+  for (const analytics::HotKey& h : top) {
+    AppendBulk(out, h.key);
+    AppendInteger(out, static_cast<int64_t>(h.count));
+  }
 }
 
 void CommandTable::SlowLogCmd(const RespCommand& cmd, std::string* out) {

@@ -153,6 +153,8 @@ class CommandTable {
   void SlowLogCmd(const RespCommand& cmd, std::string* out);
   void Latency(const RespCommand& cmd, std::string* out);
   void Metrics(const RespCommand& cmd, std::string* out);
+  void Analytics(const RespCommand& cmd, std::string* out);
+  void HotKeys(const RespCommand& cmd, std::string* out);
 
   /// Registers the registry entries (sections, stats callbacks, and one
   /// latency histogram per command family). Called once from the ctor.

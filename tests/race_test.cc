@@ -24,8 +24,10 @@
 
 #include <gtest/gtest.h>
 
+#include "analytics/workload_analytics.h"
 #include "cache/hash_engine.h"
 #include "cluster_net/oplog.h"
+#include "common/hash.h"
 #include "common/circuit_breaker.h"
 #include "common/clock.h"
 #include "common/histogram.h"
@@ -417,6 +419,84 @@ TEST(RaceTest, LatencyHistogramRecordVsSnapshot) {
   EXPECT_EQ(static_cast<uint64_t>(kWriters) * kRecordsPerWriter * 7,
             snap.Sum());
   EXPECT_EQ(7u, snap.Max());
+}
+
+TEST(RaceTest, WorkloadAnalyticsRecordVsSnapshotAndReset) {
+  // The workload observatory records on every server thread while
+  // INFO/METRICS/ANALYTICS/HOTKEYS snapshot it and ANALYTICS RESET wipes
+  // it, all concurrently. Nothing may tear, deadlock, or crash; snapshot
+  // invariants (non-increasing curve, count coherence) must hold even
+  // mid-reset.
+  analytics::WorkloadAnalyticsOptions options;
+  options.mrc_sample_rate = 2;   // Spatial filter exercised but most keys in.
+  options.hotkey_sample_rate = 2;  // Temporal filter on.
+  options.decay_interval = 4096;   // Force decays during the run.
+  options.shards = 4;
+  analytics::WorkloadAnalytics wa(options);
+
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 50000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&wa, t] {
+      char key[32];
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        // Skewed: half the traffic on 8 hot keys, the rest spread wide.
+        const int k = (i % 2 == 0) ? i % 8 : i % 4096;
+        snprintf(key, sizeof(key), "w%dk%d", t, k);
+        const Slice s(key);
+        const uint64_t hash = Hash64(s.data(), s.size());
+        if (i % 4 == 0) {
+          wa.RecordWrite(s, hash, /*value_bytes=*/100,
+                         /*ttl_micros=*/1'000'000);
+        } else {
+          wa.RecordRead(s, hash);
+        }
+      }
+    });
+  }
+  std::thread reader([&wa, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      analytics::MrcSnapshot mrc = wa.Mrc();
+      double last = 1.0;
+      for (const analytics::MrcPoint& p : mrc.points) {
+        EXPECT_LE(p.miss_ratio, last + 1e-9);
+        last = p.miss_ratio;
+      }
+      for (int s = 0; s < wa.shards(); ++s) wa.Mrc(s);
+      std::vector<analytics::HotKey> top = wa.TopKeys(10);
+      for (size_t i = 1; i < top.size(); ++i) {
+        EXPECT_GE(top[i - 1].count, top[i].count);
+      }
+      wa.tracked_keys();
+      wa.total_accesses();
+    }
+  });
+  std::thread resetter([&wa, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      wa.Reset();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  resetter.join();
+
+  // Quiescent pass: with no concurrent reset, a hot key must surface and
+  // the curve must account for every access it saw.
+  wa.Reset();
+  const Slice hot("hot");
+  const uint64_t hot_hash = Hash64(hot.data(), hot.size());
+  for (int i = 0; i < 1000; ++i) wa.RecordRead(hot, hot_hash);
+  // The total counter flushes at the temporal-gate cadence (rate 2 here),
+  // so up to one gate window per thread may still be pending.
+  EXPECT_GE(wa.total_accesses(), 998u);
+  EXPECT_LE(wa.total_accesses(), 1000u);
+  std::vector<analytics::HotKey> top = wa.TopKeys(1);
+  ASSERT_EQ(1u, top.size());
+  EXPECT_EQ("hot", top[0].key);
 }
 
 }  // namespace

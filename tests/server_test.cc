@@ -173,6 +173,7 @@ class ServerTest : public ::testing::Test {
     TierBaseOptions options;
     options.policy = CachingPolicy::kCacheOnly;
     options.cache.shards = shards;
+    options.analytics = analytics_options_;
     auto db = TierBase::Open(options, nullptr);
     ASSERT_TRUE(db.ok()) << db.status().ToString();
     db_ = std::move(*db);
@@ -195,6 +196,8 @@ class ServerTest : public ::testing::Test {
 
   std::unique_ptr<TierBase> db_;
   std::unique_ptr<Server> srv_;
+  // Tweak before StartServer(); defaults match production.
+  analytics::WorkloadAnalyticsOptions analytics_options_;
 };
 
 /// Raw socket for torture tests: write arbitrary bytes, read with timeout.
@@ -1127,6 +1130,98 @@ TEST_F(ServerTest, TelemetryDisabledKeepsServing) {
   ASSERT_TRUE(client.Call({"METRICS"}, &v).ok());
   EXPECT_NE(std::string::npos,
             v.str.find("tierbase_cmd_set_latency_us_count 0\n"));
+}
+
+TEST_F(ServerTest, AnalyticsAndHotKeysOverWire) {
+  // Exact sampling so a short test workload lands deterministically in
+  // both the reuse trackers and the hot-key sketch.
+  analytics_options_.mrc_sample_rate = 1;
+  analytics_options_.hotkey_sample_rate = 1;
+  StartServer();
+  Client client;
+  ASSERT_TRUE(Connect(&client).ok());
+  RespValue v;
+
+  // Skewed traffic: "hot" gets 40 accesses, 16 cold keys get 2 each.
+  ASSERT_TRUE(client.Call({"SET", "hot", "v"}, &v).ok());
+  for (int i = 0; i < 16; ++i) {
+    const std::string key = "cold" + std::to_string(i);
+    ASSERT_TRUE(client.Call({"SET", key, "v"}, &v).ok());
+    ASSERT_TRUE(client.Call({"GET", key}, &v).ok());
+  }
+  for (int i = 0; i < 39; ++i) {
+    ASSERT_TRUE(client.Call({"GET", "hot"}, &v).ok());
+  }
+
+  // HOTKEYS: flat [key, count] pairs, hottest first.
+  ASSERT_TRUE(client.Call({"HOTKEYS", "3"}, &v).ok());
+  ASSERT_EQ(RespType::kArray, v.type);
+  ASSERT_EQ(6u, v.elements.size());
+  EXPECT_EQ("hot", v.elements[0].str);
+  EXPECT_EQ(40, v.elements[1].integer);
+  ASSERT_TRUE(client.Call({"HOTKEYS", "0"}, &v).ok());
+  EXPECT_TRUE(v.IsError());
+
+  // ANALYTICS MRC: self-describing report; at rate 1 the curve is exact,
+  // so the 40x re-read of "hot" must show up as short-distance hits.
+  ASSERT_TRUE(client.Call({"ANALYTICS", "MRC"}, &v).ok());
+  ASSERT_EQ(RespType::kBulkString, v.type);
+  auto report = ParseInfo(v.str)[""];
+  EXPECT_EQ("1", report["sample_rate"]);
+  EXPECT_EQ("4", report["shards"]);
+  EXPECT_EQ("17", report["tracked_keys"]);
+  // 72 engine accesses: 17 SETs + 16 cold GETs + 39 hot GETs.
+  EXPECT_EQ("72", report["total_accesses"]);
+  EXPECT_GE(std::stoull(report["points"]), 1u);
+
+  // Per-shard curves exist for every shard; out of range errors.
+  for (int s = 0; s < 4; ++s) {
+    ASSERT_TRUE(
+        client.Call({"ANALYTICS", "MRC", std::to_string(s)}, &v).ok());
+    EXPECT_EQ(RespType::kBulkString, v.type) << "shard " << s;
+  }
+  ASSERT_TRUE(client.Call({"ANALYTICS", "MRC", "4"}, &v).ok());
+  EXPECT_TRUE(v.IsError());
+  ASSERT_TRUE(client.Call({"ANALYTICS", "BOGUS"}, &v).ok());
+  EXPECT_TRUE(v.IsError());
+
+  // INFO carries the "# Workload" section with the inline hot keys.
+  ASSERT_TRUE(client.Call({"INFO"}, &v).ok());
+  auto info = ParseInfo(v.str);
+  EXPECT_EQ("on", info["Workload"]["workload_analytics"]);
+  EXPECT_EQ("72", info["Workload"]["workload_total_accesses"]);
+  EXPECT_EQ("key=hot,est=40", info["Workload"]["workload_hotkey_0"]);
+
+  // RESET drops trackers and sketch alike.
+  ASSERT_TRUE(client.Call({"ANALYTICS", "RESET"}, &v).ok());
+  EXPECT_EQ("OK", v.str);
+  ASSERT_TRUE(client.Call({"ANALYTICS", "MRC"}, &v).ok());
+  report = ParseInfo(v.str)[""];
+  EXPECT_EQ("0", report["tracked_keys"]);
+  ASSERT_TRUE(client.Call({"HOTKEYS"}, &v).ok());
+  ASSERT_EQ(RespType::kArray, v.type);
+  EXPECT_TRUE(v.elements.empty());
+}
+
+TEST_F(ServerTest, AnalyticsDisabledOverWire) {
+  analytics_options_.enabled = false;
+  StartServer();
+  Client client;
+  ASSERT_TRUE(Connect(&client).ok());
+  RespValue v;
+  // Serving is unaffected; the observatory commands fail clean.
+  ASSERT_TRUE(client.Call({"SET", "k", "v"}, &v).ok());
+  ASSERT_TRUE(client.Call({"GET", "k"}, &v).ok());
+  EXPECT_EQ("v", v.str);
+  ASSERT_TRUE(client.Call({"ANALYTICS", "MRC"}, &v).ok());
+  ASSERT_TRUE(v.IsError());
+  EXPECT_NE(std::string::npos, v.str.find("analytics disabled"));
+  ASSERT_TRUE(client.Call({"HOTKEYS"}, &v).ok());
+  ASSERT_TRUE(v.IsError());
+  EXPECT_NE(std::string::npos, v.str.find("analytics disabled"));
+  ASSERT_TRUE(client.Call({"INFO"}, &v).ok());
+  auto info = ParseInfo(v.str);
+  EXPECT_EQ("off", info["Workload"]["workload_analytics"]);
 }
 
 }  // namespace
