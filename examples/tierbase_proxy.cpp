@@ -13,6 +13,12 @@
 //   --port N                   listen port; 0 = ephemeral (default 7100)
 //   --port-file PATH           write the bound port once listening
 //   --max-threads N            executor thread cap (default 4)
+//   --io-threads N             event-loop shards for the client side
+//                              (default 1); same multi-reactor core as the
+//                              server — see README "Serving over the network"
+//   --so-reuseport             per-loop SO_REUSEPORT listeners
+//   --tcp-backlog N            listen(2) backlog (default 128)
+//   --force-poll               portable poll(2) backend even on Linux
 //
 // The process exits on SHUTDOWN (or SIGINT/SIGTERM); data nodes are
 // unaffected.
@@ -41,7 +47,8 @@ int Usage(const char* argv0) {
   fprintf(stderr,
           "usage: %s --coordinator HOST:PORT[,HOST:PORT...]\n"
           "          [--host H] [--port N] [--port-file PATH]\n"
-          "          [--max-threads N] [--no-analytics]\n"
+          "          [--max-threads N] [--io-threads N] [--so-reuseport]\n"
+          "          [--tcp-backlog N] [--force-poll] [--no-analytics]\n"
           "          [--analytics-sample-rate N]\n",
           argv0);
   return 2;
@@ -76,6 +83,16 @@ int main(int argc, char** argv) {
       port_file = next("--port-file");
     } else if (strcmp(argv[i], "--max-threads") == 0) {
       options.executor.max_threads = atoi(next("--max-threads"));
+    } else if (strcmp(argv[i], "--io-threads") == 0) {
+      options.io_threads = atoi(next("--io-threads"));
+      if (options.io_threads < 1) return Usage(argv[0]);
+    } else if (strcmp(argv[i], "--so-reuseport") == 0) {
+      options.so_reuseport = true;
+    } else if (strcmp(argv[i], "--tcp-backlog") == 0) {
+      options.tcp_backlog = atoi(next("--tcp-backlog"));
+      if (options.tcp_backlog < 1) return Usage(argv[0]);
+    } else if (strcmp(argv[i], "--force-poll") == 0) {
+      options.force_poll = true;
     } else if (strcmp(argv[i], "--no-analytics") == 0) {
       options.analytics.enabled = false;
     } else if (strcmp(argv[i], "--analytics-sample-rate") == 0) {

@@ -13,6 +13,17 @@
 //   --dir PATH          data directory (WAL / LSM storage tier)
 //   --threads MODE      single | multi | elastic (default elastic)
 //   --max-threads N     executor thread cap (default 4)
+//
+// Multi-reactor serving (see README "Serving over the network"):
+//   --io-threads N      event-loop shards; each connection is owned by one
+//                       loop, accepts are distributed round-robin
+//                       (default 1 — the classic single-reactor shape)
+//   --accept-policy P   round-robin | least-conn accept distribution
+//   --so-reuseport      per-loop SO_REUSEPORT listeners instead of
+//                       accept-distribute (Linux, io-threads > 1)
+//   --tcp-backlog N     listen(2) backlog (default 128)
+//   --force-poll        portable poll(2) backend + self-pipe wakeup even
+//                       where epoll/eventfd are available
 //   --shards N          cache shards (default 4)
 //   --memory-budget B   cache budget in bytes; 0 = unlimited (default 0)
 //   --wal-sync M        storage/WAL sync mode: interval (default, fsync at
@@ -88,6 +99,8 @@ int Usage(const char* argv0) {
           "          [--policy cache-only|wal|write-through|write-back]\n"
           "          [--dir PATH] [--threads single|multi|elastic]\n"
           "          [--max-threads N] [--shards N] [--memory-budget B]\n"
+          "          [--io-threads N] [--accept-policy round-robin|least-conn]\n"
+          "          [--so-reuseport] [--tcp-backlog N] [--force-poll]\n"
           "          [--wal-sync interval|every]\n"
           "          [--max-clients N] [--max-out-buffer B]\n"
           "          [--busy-watermark N]\n"
@@ -116,6 +129,11 @@ int main(int argc, char** argv) {
   size_t max_clients = 0;
   size_t max_out_buffer = 64u << 20;
   size_t busy_watermark = 0;
+  int io_threads = 1;
+  std::string accept_policy = "round-robin";
+  bool so_reuseport = false;
+  int tcp_backlog = 128;
+  bool force_poll = false;
   std::string cluster_id;
   std::string replicaof;
   size_t oplog_cap = 65536;
@@ -159,6 +177,18 @@ int main(int argc, char** argv) {
       max_out_buffer = strtoull(next("--max-out-buffer"), nullptr, 10);
     } else if (strcmp(argv[i], "--busy-watermark") == 0) {
       busy_watermark = strtoull(next("--busy-watermark"), nullptr, 10);
+    } else if (strcmp(argv[i], "--io-threads") == 0) {
+      io_threads = atoi(next("--io-threads"));
+      if (io_threads < 1) return Usage(argv[0]);
+    } else if (strcmp(argv[i], "--accept-policy") == 0) {
+      accept_policy = next("--accept-policy");
+    } else if (strcmp(argv[i], "--so-reuseport") == 0) {
+      so_reuseport = true;
+    } else if (strcmp(argv[i], "--tcp-backlog") == 0) {
+      tcp_backlog = atoi(next("--tcp-backlog"));
+      if (tcp_backlog < 1) return Usage(argv[0]);
+    } else if (strcmp(argv[i], "--force-poll") == 0) {
+      force_poll = true;
     } else if (strcmp(argv[i], "--cluster-id") == 0) {
       cluster_id = next("--cluster-id");
     } else if (strcmp(argv[i], "--replicaof") == 0) {
@@ -242,6 +272,17 @@ int main(int argc, char** argv) {
   server_options.net.max_connections = max_clients;
   server_options.net.max_out_buffer = max_out_buffer;
   server_options.net.max_dispatch_inflight = busy_watermark;
+  server_options.net.io_threads = io_threads;
+  server_options.net.so_reuseport = so_reuseport;
+  server_options.net.backlog = tcp_backlog;
+  server_options.net.force_poll = force_poll;
+  if (accept_policy == "round-robin") {
+    server_options.net.accept_policy = server::AcceptPolicy::kRoundRobin;
+  } else if (accept_policy == "least-conn") {
+    server_options.net.accept_policy = server::AcceptPolicy::kLeastConnections;
+  } else {
+    return Usage(argv[0]);
+  }
   if (threads == "single") {
     server_options.executor.mode = threading::ThreadMode::kSingle;
   } else if (threads == "multi") {

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Multi-reactor smoke: boots tierbase_server with --io-threads 2, holds 64
+# concurrent client connections (pipelined PINGs down each), checks the
+# INFO per-loop accounting (accepts_loop*/connected_clients_loop*), and
+# verifies SHUTDOWN drains every loop and exits cleanly with no leaked
+# process. Used by the CI server-smoke job; runnable locally:
+#
+#   ./scripts/multiloop_smoke.sh ./build
+set -euo pipefail
+
+BUILD_DIR="${1:-./build}"
+SERVER="$BUILD_DIR/tierbase_server"
+CLI="$BUILD_DIR/tierbase_cli"
+PORT_FILE="$(mktemp)"
+rm -f "$PORT_FILE"
+
+fail() { echo "MULTILOOP SMOKE FAIL: $1" >&2; exit 1; }
+
+[ -x "$SERVER" ] || fail "missing $SERVER"
+[ -x "$CLI" ] || fail "missing $CLI"
+
+"$SERVER" --port 0 --port-file "$PORT_FILE" --io-threads 2 &
+SERVER_PID=$!
+
+# Wait for the port file (the server writes it once it is listening).
+for _ in $(seq 1 50); do
+  [ -s "$PORT_FILE" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server died during startup"
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || fail "server never wrote the port file"
+PORT="$(cat "$PORT_FILE")"
+echo "multiloop smoke: server up on port $PORT (pid $SERVER_PID), io-threads 2"
+
+# Hold 64 concurrent connections; pipeline 4 PINGs down each and read the
+# replies back, so both loops carry live traffic at the same time.
+FDS=()
+for i in $(seq 1 64); do
+  exec {fd}<>"/dev/tcp/127.0.0.1/$PORT" || fail "connect $i failed"
+  FDS+=("$fd")
+done
+PINGS='*1\r\n$4\r\nPING\r\n'
+for fd in "${FDS[@]}"; do
+  printf "${PINGS}${PINGS}${PINGS}${PINGS}" >&"$fd"
+done
+for fd in "${FDS[@]}"; do
+  REPLY=""
+  IFS= read -r -N 28 -u "$fd" REPLY || fail "short read on fd $fd"
+  case "$REPLY" in
+    *PONG*PONG*PONG*PONG*) ;;
+    *) fail "bad pipelined reply: $(printf '%q' "$REPLY")" ;;
+  esac
+done
+echo "multiloop smoke: 64 connections held, 256 pipelined PINGs answered"
+
+# Per-loop accounting: both loops must have accepted a share of the 64.
+INFO="$("$CLI" -p "$PORT" INFO)"
+echo "$INFO" | grep -q "io_threads:2" || fail "INFO missing io_threads:2"
+echo "$INFO" | grep -q "connected_clients_loop0:" || fail "INFO missing loop0 clients"
+echo "$INFO" | grep -q "connected_clients_loop1:" || fail "INFO missing loop1 clients"
+ACC0=$(echo "$INFO" | tr -d '\r"' | awk -F: '$1=="accepts_loop0"{print $2}')
+ACC1=$(echo "$INFO" | tr -d '\r"' | awk -F: '$1=="accepts_loop1"{print $2}')
+[ "${ACC0:-0}" -ge 1 ] || fail "loop0 accepted nothing"
+[ "${ACC1:-0}" -ge 1 ] || fail "loop1 accepted nothing"
+[ $((ACC0 + ACC1)) -ge 65 ] || fail "accepts only $((ACC0 + ACC1)), want >= 65"
+echo "multiloop smoke: accept distribution loop0=$ACC0 loop1=$ACC1"
+
+# SHUTDOWN with all 64 connections still open: every loop must drain its
+# clients and the process must exit cleanly.
+"$CLI" -p "$PORT" SHUTDOWN >/dev/null || true
+for _ in $(seq 1 50); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  kill -9 "$SERVER_PID"
+  fail "server still running after SHUTDOWN (leaked process)"
+fi
+RC=0
+wait "$SERVER_PID" || RC=$?
+[ "$RC" -eq 0 ] || fail "server exited with status $RC"
+
+for fd in "${FDS[@]}"; do exec {fd}>&- || true; done
+rm -f "$PORT_FILE"
+echo "multiloop smoke: OK"

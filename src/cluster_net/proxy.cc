@@ -88,6 +88,33 @@ void ClusterProxy::RegisterInstruments() {
       "Proxy", "connected_clients", "Connections currently open",
       metrics::MetricType::kGauge,
       [this] { return loop_ != nullptr ? loop_->connections_active() : 0; });
+  registry_.AddText("Proxy", "io_backend", [this] {
+    return std::string(loop_ != nullptr ? loop_->backend() : "unbound");
+  });
+  registry_.AddCallback(
+      "Proxy", "io_threads", "Event-loop shards serving clients",
+      metrics::MetricType::kGauge, [this] {
+        return loop_ != nullptr ? static_cast<uint64_t>(loop_->io_threads())
+                                : static_cast<uint64_t>(options_.io_threads);
+      });
+  registry_.AddCallback(
+      "Proxy", "loop_wakeups", "Wakeup-channel fires across all loops",
+      metrics::MetricType::kCounter,
+      [this] { return loop_ != nullptr ? loop_->loop_wakeups() : 0; });
+  // Per-loop ownership/accept-balance breakdown (dynamic key set).
+  registry_.AddBlock("Proxy", [this](std::string* out) {
+    if (loop_ == nullptr) return;
+    for (size_t i = 0; i < loop_->shard_count(); ++i) {
+      const server::IoShard* shard = loop_->shard(i);
+      const std::string sfx = "_loop" + std::to_string(i);
+      out->append("connected_clients" + sfx + ":" +
+                  std::to_string(shard->connections_active()) + "\r\n");
+      out->append("accepts" + sfx + ":" +
+                  std::to_string(shard->connections_assigned()) + "\r\n");
+      out->append("loop_wakeups" + sfx + ":" +
+                  std::to_string(shard->wakeups()) + "\r\n");
+    }
+  });
   fanout_hist_ = registry_.AddHistogram(
       "Proxy", "proxy_fanout_latency_us",
       "Scatter-gather train latency (all nodes shipped and gathered), "
@@ -169,6 +196,10 @@ Status ClusterProxy::Start() {
   server::EventLoopOptions net;
   net.host = options_.host;
   net.port = options_.port;
+  net.io_threads = options_.io_threads;
+  net.so_reuseport = options_.so_reuseport;
+  net.force_poll = options_.force_poll;
+  net.backlog = options_.tcp_backlog;
   loop_ = std::make_unique<server::EventLoop>(
       net, [this](std::shared_ptr<server::Connection> conn,
                   server::CommandBatch batch) {

@@ -37,6 +37,17 @@ class ClusterProxy {
   struct Options {
     std::string host = "127.0.0.1";
     uint16_t port = 0;  // 0 = ephemeral.
+    /// Event-loop shards for the client-facing side (--io-threads). The
+    /// proxy rides the same multi-reactor core as the server: each client
+    /// connection is owned by one loop; upstream fan-out stays on the
+    /// executor task serving that batch.
+    int io_threads = 1;
+    /// Per-loop SO_REUSEPORT listeners instead of accept-distribute.
+    bool so_reuseport = false;
+    /// Portable poll(2) backend even where epoll is available.
+    bool force_poll = false;
+    /// listen(2) backlog (--tcp-backlog).
+    int tcp_backlog = 128;
     NetClusterClient::Options backend;
     threading::ElasticOptions executor;
     /// Workload observatory over the traffic this proxy routes — the

@@ -1,446 +1,161 @@
 #include "server/event_loop.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/types.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-
-#include "common/clock.h"
-#include "common/logging.h"
+#include <algorithm>
+#include <thread>
 
 namespace tierbase {
 namespace server {
 
-namespace {
-
-Status SetNonBlocking(int fd) {
-  int flags = fcntl(fd, F_GETFL, 0);
-  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
-    return Status::IOError(std::string("fcntl: ") + strerror(errno));
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
-Connection::Connection(EventLoop* loop, int fd, uint64_t id)
-    : loop_(loop), fd_(fd), id_(id) {}
-
-void Connection::CompleteBatch(std::string&& output, bool close_after,
-                               bool shutdown_server) {
-  {
-    common::MutexLock lock(&mu_);
-    if (detached_) return;  // Peer already gone; nobody will read this.
-    done_output_ = std::move(output);
-    done_close_ = close_after;
-    done_ = true;
-  }
-  // The loop finds us through the completion list it registered at
-  // dispatch time (EventLoop::TryDispatch); just wake it.
-  if (shutdown_server) loop_->Stop();  // Stop() itself notifies the loop.
-  loop_->Notify();
-}
-
 EventLoop::EventLoop(EventLoopOptions options, Dispatcher dispatcher)
     : options_(std::move(options)), dispatcher_(std::move(dispatcher)) {}
 
-EventLoop::~EventLoop() {
-  if (listen_fd_ >= 0) close(listen_fd_);
-  if (wake_read_fd_ >= 0) close(wake_read_fd_);
-  if (wake_write_fd_ >= 0) close(wake_write_fd_);
-}
+EventLoop::~EventLoop() = default;
 
 Status EventLoop::Listen() {
-  int fds[2];
-  if (pipe(fds) != 0) {
-    return Status::IOError(std::string("pipe: ") + strerror(errno));
-  }
-  wake_read_fd_ = fds[0];
-  wake_write_fd_ = fds[1];
-  TIERBASE_RETURN_IF_ERROR(SetNonBlocking(wake_read_fd_));
-  TIERBASE_RETURN_IF_ERROR(SetNonBlocking(wake_write_fd_));
+  const int n = std::max(1, std::min(options_.io_threads, 64));
+  options_.io_threads = n;
+#if defined(__linux__) && defined(SO_REUSEPORT)
+  reuseport_ = options_.so_reuseport && n > 1;
+#else
+  reuseport_ = false;
+#endif
 
-  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::IOError(std::string("socket: ") + strerror(errno));
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<IoShard>(i, options_, this));
+    TIERBASE_RETURN_IF_ERROR(shards_.back()->Open());
   }
-  int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
-  sockaddr_in addr;
-  memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("bad listen host: " + options_.host);
+  // Shard 0 binds first (possibly to an ephemeral port); under
+  // SO_REUSEPORT the siblings then bind the SAME resolved port so the
+  // kernel distributes accepts across all of them. Without reuseport only
+  // shard 0 listens and distributes accepts itself.
+  TIERBASE_RETURN_IF_ERROR(shards_[0]->OpenListener(options_.port, reuseport_));
+  port_ = shards_[0]->listen_port();
+  if (reuseport_) {
+    for (int i = 1; i < n; ++i) {
+      TIERBASE_RETURN_IF_ERROR(shards_[i]->OpenListener(port_, true));
+    }
   }
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    return Status::IOError(std::string("bind: ") + strerror(errno));
-  }
-  if (listen(listen_fd_, options_.backlog) != 0) {
-    return Status::IOError(std::string("listen: ") + strerror(errno));
-  }
-  TIERBASE_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
-
-  socklen_t len = sizeof(addr);
-  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
-      0) {
-    return Status::IOError(std::string("getsockname: ") + strerror(errno));
-  }
-  port_ = ntohs(addr.sin_port);
   return Status::OK();
 }
 
+void EventLoop::Run() {
+  if (shards_.empty()) return;
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size() - 1);
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    threads.emplace_back([shard = shards_[i].get()] { shard->Run(); });
+  }
+  // Shard 0 (the acceptor in non-reuseport mode) runs on the caller's
+  // thread, preserving the classic "Run() on a dedicated thread" shape.
+  shards_[0]->Run();
+  for (std::thread& t : threads) t.join();
+}
+
 void EventLoop::Stop() {
-  stop_requested_.store(true, std::memory_order_release);
-  Notify();
+  for (const std::unique_ptr<IoShard>& shard : shards_) {
+    shard->RequestStop();
+  }
 }
 
-void EventLoop::Notify() {
-  if (wake_write_fd_ < 0) return;
-  char byte = 1;
-  // Nonblocking: if the pipe is full a wakeup is already pending.
-  ssize_t unused = write(wake_write_fd_, &byte, 1);
-  (void)unused;
-}
-
-void EventLoop::AcceptNew() {
-  for (;;) {
-    int fd = accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-      TB_LOG_WARN("server: accept failed: %s", strerror(errno));
-      return;
-    }
-    if (options_.max_connections > 0 &&
-        conns_.size() >= options_.max_connections) {
-      // Overload guard: answer with a clean error instead of silently
-      // dropping the handshake. The fresh fd is still blocking (accepted
-      // sockets do not inherit the listener's O_NONBLOCK on Linux), so the
-      // short write either completes or fails immediately — never EAGAIN.
-      static const char kReject[] = "-ERR max clients reached\r\n";
-      ssize_t unused = send(fd, kReject, sizeof(kReject) - 1, MSG_NOSIGNAL);
-      (void)unused;
-      close(fd);
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    if (!SetNonBlocking(fd).ok()) {
-      close(fd);
-      continue;
-    }
-    int one = 1;
-    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_shared<Connection>(this, fd, next_conn_id_++);
-    conns_.emplace(fd, std::move(conn));
-    accepted_.fetch_add(1, std::memory_order_relaxed);
+bool EventLoop::TryAdmitConnection() {
+  if (options_.max_connections == 0) {
     active_.fetch_add(1, std::memory_order_relaxed);
+    return true;
   }
+  uint64_t cur = active_.load(std::memory_order_relaxed);
+  while (cur < options_.max_connections) {
+    if (active_.compare_exchange_weak(cur, cur + 1,
+                                      std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
 }
 
-void EventLoop::CloseConnection(const std::shared_ptr<Connection>& conn) {
-  {
-    // Detach first so an in-flight CompleteBatch discards its output
-    // instead of waking the loop for a dead socket.
-    common::MutexLock lock(&conn->mu_);
-    conn->detached_ = true;
-  }
-  if (conn->busy) {
-    // The peer died with a batch still executing; its completion will be
-    // discarded via detach, so release the dispatch-queue slot here.
-    conn->busy = false;
-    inflight_.fetch_sub(1, std::memory_order_relaxed);
-  }
-  close(conn->fd_);
-  conns_.erase(conn->fd_);
+void EventLoop::ReleaseConnection() {
   active_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-bool EventLoop::TryDispatch(const std::shared_ptr<Connection>& conn) {
-  if (conn->busy || conn->closing || conn->in_buf.empty()) return true;
-
-  std::vector<RespCommand> cmds;
-  size_t consumed = 0;
-  std::string error;
-  const uint64_t parse_start = Clock::Real()->NowMicros();
-  ParseResult r = ParseRequests(conn->in_buf.data(), conn->in_buf.size(),
-                                &cmds, &consumed, &error);
-  if (r == ParseResult::kError) {
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-    AppendError(&conn->out_buf, "ERR Protocol error: " + error);
-    conn->closing = true;  // Flush the error, then hang up (Redis-style).
-    conn->in_buf.clear();
-    return true;
-  }
-  if (cmds.empty()) {
-    // Still drop what the parser consumed (blank inline keepalives), or
-    // an idle-but-chatty client's buffer would grow and re-parse forever.
-    if (consumed > 0) conn->in_buf.erase(0, consumed);
-    return true;
-  }
-
-  if (options_.max_dispatch_inflight > 0 &&
-      inflight_.load(std::memory_order_relaxed) >=
-          options_.max_dispatch_inflight) {
-    // Load shedding: the dispatch queue is at its high watermark, so
-    // answer each parsed command with -BUSY instead of queueing behind
-    // work the server is already failing to keep up with. The connection
-    // stays open; the client decides when to retry.
-    for (size_t i = 0; i < cmds.size(); ++i) {
-      AppendError(&conn->out_buf, "BUSY dispatch queue full, retry later");
+IoShard* EventLoop::PickShard(IoShard* accepting) {
+  if (reuseport_ || shards_.size() == 1) return accepting;
+  if (options_.accept_policy == AcceptPolicy::kLeastConnections) {
+    IoShard* best = shards_[0].get();
+    uint64_t best_n = best->connections_active();
+    for (size_t i = 1; i < shards_.size(); ++i) {
+      const uint64_t n = shards_[i]->connections_active();
+      if (n < best_n) {
+        best = shards_[i].get();
+        best_n = n;
+      }
     }
-    busy_shed_.fetch_add(cmds.size(), std::memory_order_relaxed);
-    conn->in_buf.erase(0, consumed);
-    return true;
+    return best;
   }
-
-  // Package the batch: the raw bytes move with it so the argument Slices
-  // survive the trip to the executor thread. (One buffer copy per batch;
-  // no per-argument copies. The Slices are rebased onto the batch's heap
-  // buffer, which stays put through every later move of the batch.)
-  CommandBatch batch;
-  const char* old_base = conn->in_buf.data();
-  batch.raw = std::make_unique<char[]>(consumed);
-  memcpy(batch.raw.get(), old_base, consumed);
-  batch.cmds = std::move(cmds);
-  for (RespCommand& cmd : batch.cmds) {
-    for (Slice& arg : cmd.args) {
-      arg = Slice(batch.raw.get() + (arg.data() - old_base), arg.size());
-    }
-  }
-  conn->in_buf.erase(0, consumed);
-  conn->busy = true;
-  batch.parse_micros = Clock::Real()->NowMicros() - parse_start;
-
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  commands_.fetch_add(batch.cmds.size(), std::memory_order_relaxed);
-  uint64_t prev = max_batch_.load(std::memory_order_relaxed);
-  while (batch.cmds.size() > prev &&
-         !max_batch_.compare_exchange_weak(prev, batch.cmds.size())) {
-  }
-
-  // Register for completion pickup before handing off: CompleteBatch may
-  // run before dispatcher_ returns.
-  {
-    common::MutexLock lock(&completions_mu_);
-    completions_.push_back(conn);
-  }
-  inflight_.fetch_add(1, std::memory_order_relaxed);
-  dispatcher_(conn, std::move(batch));
-  return true;
+  // Round-robin, starting at shard 0 so single-connection tests land on
+  // the acceptor loop deterministically.
+  const uint64_t k = rr_next_.fetch_add(1, std::memory_order_relaxed);
+  return shards_[k % shards_.size()].get();
 }
 
-void EventLoop::DrainCompletions() {
-  std::vector<std::weak_ptr<Connection>> ready;
-  {
-    common::MutexLock lock(&completions_mu_);
-    ready.swap(completions_);
-  }
-  std::vector<std::weak_ptr<Connection>> still_pending;
-  for (auto& weak : ready) {
-    std::shared_ptr<Connection> conn = weak.lock();
-    if (conn == nullptr) continue;
-    bool done = false;
-    {
-      common::MutexLock lock(&conn->mu_);
-      if (conn->done_) {
-        conn->out_buf.append(conn->done_output_);
-        conn->done_output_.clear();
-        conn->done_ = false;
-        if (conn->done_close_) conn->closing = true;
-        done = true;
-      }
-    }
-    if (!done) {
-      still_pending.push_back(std::move(weak));
-      continue;
-    }
-    // Identity check, not just fd presence: the fd number may have been
-    // reused by a newly accepted connection after this one closed.
-    auto it = conns_.find(conn->fd_);
-    if (it == conns_.end() || it->second != conn) continue;  // Peer died.
-    if (conn->busy) {
-      // (CloseConnection releases the slot for peers that died mid-batch.)
-      conn->busy = false;
-      inflight_.fetch_sub(1, std::memory_order_relaxed);
-    }
-    if (options_.max_out_buffer > 0 &&
-        conn->out_buf.size() > options_.max_out_buffer) {
-      // Slow-consumer guard: replies are piling up faster than the peer
-      // drains them. Checked here — after the batch's output lands, before
-      // any flush attempt — so the decision is deterministic regardless of
-      // kernel buffer sizes.
-      slow_consumer_.fetch_add(1, std::memory_order_relaxed);
-      CloseConnection(conn);
-      continue;
-    }
-    HandleWritable(conn);  // Opportunistic flush without waiting for poll.
-    it = conns_.find(conn->fd_);
-    if (it != conns_.end() && it->second == conn && !conn->closing) {
-      TryDispatch(conn);  // Pipeline input buffered during execution.
-    }
-  }
-  if (!still_pending.empty()) {
-    common::MutexLock lock(&completions_mu_);
-    for (auto& weak : still_pending) completions_.push_back(std::move(weak));
-  }
+uint64_t EventLoop::connections_accepted() const {
+  uint64_t sum = 0;
+  for (const auto& s : shards_) sum += s->connections_assigned();
+  return sum;
 }
 
-void EventLoop::HandleReadable(const std::shared_ptr<Connection>& conn) {
-  char chunk[16384];
-  for (;;) {
-    ssize_t n = recv(conn->fd_, chunk, sizeof(chunk), 0);
-    if (n > 0) {
-      conn->in_buf.append(chunk, static_cast<size_t>(n));
-      // Enforce the buffer cap here, not in TryDispatch: while a batch is
-      // in flight dispatch is skipped, and that is exactly when a
-      // flooding client could otherwise grow in_buf without bound.
-      if (conn->in_buf.size() > options_.max_read_buffer) {
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-        AppendError(&conn->out_buf, "ERR Protocol error: request too large");
-        conn->closing = true;
-        conn->in_buf.clear();
-        HandleWritable(conn);
-        return;
-      }
-      if (static_cast<size_t>(n) < sizeof(chunk)) break;
-      continue;
-    }
-    if (n == 0) {
-      // Peer closed — possibly mid-frame, possibly mid-dispatch. Tear the
-      // connection down; CompleteBatch output is discarded via detach.
-      CloseConnection(conn);
-      return;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
-    CloseConnection(conn);
-    return;
-  }
-  TryDispatch(conn);
+uint64_t EventLoop::batches_dispatched() const {
+  uint64_t sum = 0;
+  for (const auto& s : shards_) sum += s->batches_dispatched();
+  return sum;
 }
 
-void EventLoop::HandleWritable(const std::shared_ptr<Connection>& conn) {
-  while (!conn->out_buf.empty()) {
-    ssize_t n = send(conn->fd_, conn->out_buf.data(), conn->out_buf.size(),
-                     MSG_NOSIGNAL);
-    if (n > 0) {
-      conn->out_buf.erase(0, static_cast<size_t>(n));
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
-      return;  // Kernel buffer full; poll will re-arm POLLOUT.
-    }
-    CloseConnection(conn);
-    return;
-  }
-  if (conn->closing && !conn->busy) CloseConnection(conn);
+uint64_t EventLoop::commands_dispatched() const {
+  uint64_t sum = 0;
+  for (const auto& s : shards_) sum += s->commands_dispatched();
+  return sum;
 }
 
-void EventLoop::Run() {
-  std::vector<pollfd> fds;
-  std::vector<std::shared_ptr<Connection>> polled;
-  uint64_t stop_seen_at = 0;
+uint64_t EventLoop::max_batch_commands() const {
+  uint64_t m = 0;
+  for (const auto& s : shards_) m = std::max(m, s->max_batch_commands());
+  return m;
+}
 
-  for (;;) {
-    const bool stopping = stop_requested_.load(std::memory_order_acquire);
-    if (stopping) {
-      if (stop_seen_at == 0) {
-        stop_seen_at = Clock::Real()->NowMicros();
-        // Stop accepting at the kernel level too: without the close a
-        // handshake would still complete against the listen backlog and
-        // clients would see a connection that nobody ever serves.
-        close(listen_fd_);
-        listen_fd_ = -1;
-      }
-      // Done when nothing is left to flush or execute, or on deadline.
-      bool pending = false;
-      for (const auto& [fd, conn] : conns_) {
-        if (conn->busy || !conn->out_buf.empty()) {
-          pending = true;
-          break;
-        }
-      }
-      if (!pending || Clock::Real()->NowMicros() - stop_seen_at >
-                          options_.drain_deadline_micros) {
-        break;
-      }
-    }
+uint64_t EventLoop::protocol_errors() const {
+  uint64_t sum = 0;
+  for (const auto& s : shards_) sum += s->protocol_errors();
+  return sum;
+}
 
-    fds.clear();
-    polled.clear();
-    if (!stopping) {
-      fds.push_back({listen_fd_, POLLIN, 0});
-    }
-    fds.push_back({wake_read_fd_, POLLIN, 0});
-    const size_t first_conn = fds.size();
-    for (const auto& [fd, conn] : conns_) {
-      short events = 0;
-      // While a batch is in flight keep reading (pipelining input), and
-      // ask for POLLOUT only when bytes are pending.
-      if (!conn->closing) events |= POLLIN;
-      if (!conn->out_buf.empty()) events |= POLLOUT;
-      if (events == 0) events = POLLIN;  // Still notice hangups.
-      fds.push_back({fd, events, 0});
-      polled.push_back(conn);
-    }
+uint64_t EventLoop::connections_rejected() const {
+  uint64_t sum = 0;
+  for (const auto& s : shards_) sum += s->connections_rejected();
+  return sum;
+}
 
-    int rc = poll(fds.data(), static_cast<nfds_t>(fds.size()),
-                  options_.poll_interval_ms);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      TB_LOG_ERROR("server: poll failed: %s", strerror(errno));
-      break;
-    }
+uint64_t EventLoop::slow_consumer_disconnects() const {
+  uint64_t sum = 0;
+  for (const auto& s : shards_) sum += s->slow_consumer_disconnects();
+  return sum;
+}
 
-    size_t idx = 0;
-    if (!stopping) {
-      if (fds[idx].revents & POLLIN) AcceptNew();
-      ++idx;
-    }
-    if (fds[idx].revents & POLLIN) {
-      char sink[256];
-      while (read(wake_read_fd_, sink, sizeof(sink)) > 0) {
-      }
-    }
+uint64_t EventLoop::busy_shed_commands() const {
+  uint64_t sum = 0;
+  for (const auto& s : shards_) sum += s->busy_shed_commands();
+  return sum;
+}
 
-    for (size_t c = 0; c < polled.size(); ++c) {
-      const pollfd& p = fds[first_conn + c];
-      const std::shared_ptr<Connection>& conn = polled[c];
-      auto alive = [&] {
-        auto it = conns_.find(p.fd);
-        return it != conns_.end() && it->second == conn;
-      };
-      if (!alive()) continue;  // Closed earlier this cycle.
-      if (p.revents & (POLLERR | POLLNVAL)) {
-        CloseConnection(conn);
-        continue;
-      }
-      if (p.revents & POLLIN) {
-        HandleReadable(conn);
-        if (!alive()) continue;
-      } else if (p.revents & POLLHUP) {
-        // POLLHUP without readable data: nothing more will arrive.
-        CloseConnection(conn);
-        continue;
-      }
-      if (p.revents & POLLOUT) HandleWritable(conn);
-    }
+uint64_t EventLoop::dispatch_inflight() const {
+  uint64_t sum = 0;
+  for (const auto& s : shards_) sum += s->dispatch_inflight();
+  return sum;
+}
 
-    DrainCompletions();
-  }
-
-  // Teardown: every remaining socket closes (in-flight completions detach).
-  while (!conns_.empty()) {
-    CloseConnection(conns_.begin()->second);
-  }
+uint64_t EventLoop::loop_wakeups() const {
+  uint64_t sum = 0;
+  for (const auto& s : shards_) sum += s->wakeups();
+  return sum;
 }
 
 }  // namespace server

@@ -1,24 +1,28 @@
-// The network front end's reactor: a poll(2)-based event loop (portable —
-// no epoll/kqueue dependency) multiplexing a nonblocking listener, a
-// self-pipe wakeup channel, and N nonblocking client connections with
-// per-connection read/write buffers.
+// The network front end's multi-reactor core. EventLoop is the facade over
+// N IoShard reactors (io_shard.h): epoll edge-triggered loops on Linux,
+// poll(2) elsewhere, sized by EventLoopOptions::io_threads.
 //
-// Pipelining model. The loop parses every complete RESP command sitting in
-// a connection's read buffer and hands them to the dispatcher as ONE
-// batch; while that batch is in flight the loop keeps reading (and
-// buffering) but does not dispatch again for that connection, so all
-// commands arriving during execution coalesce into the next batch. A
-// client that pipelines N GETs therefore reaches the engine as one
-// N-command batch, which the command layer turns into one MultiGet. This
-// is the mechanism that makes the paper's single event-loop thread
-// (§4.4 kSingle) efficient: batch depth grows exactly when the server
-// falls behind.
+//                       ┌─ IoShard 0 ── owns conns {a, d, ...}
+//   listener ─ accept ──┼─ IoShard 1 ── owns conns {b, e, ...}
+//   (shard 0, or one    └─ IoShard 2 ── owns conns {c, f, ...}
+//    SO_REUSEPORT
+//    listener per shard)
 //
-// Threading. The loop itself is single-threaded. The dispatcher runs
-// batches elsewhere (the Server submits them to an ElasticExecutor) and
-// completes them from any thread via Connection::CompleteBatch(), which
-// enqueues the replies and wakes the loop through the self-pipe. Per-batch
-// ordering per connection is guaranteed by the one-in-flight rule.
+// Accepts land on shard 0 (or on every shard under SO_REUSEPORT) and are
+// distributed round-robin or least-connections; from then on a connection
+// belongs to exactly one loop — its buffers, parser state and reply queue
+// are touched only by that loop's thread, so the read → parse → dispatch →
+// write path never takes a cross-loop lock. Batches still execute on the
+// shared ElasticExecutor; completions come home to the owning loop through
+// the per-connection completion slot plus an eventfd (Linux) / self-pipe
+// wakeup.
+//
+// With io_threads == 1 (the default) this is exactly the classic
+// single-reactor server: one loop, one listener, identical semantics.
+//
+// Stop()/SHUTDOWN quiesces every loop: each shard stops accepting, drains
+// its in-flight batches and pending replies (bounded by
+// drain_deadline_micros), then Run() joins the shard threads and returns.
 
 #ifndef TIERBASE_SERVER_EVENT_LOOP_H_
 #define TIERBASE_SERVER_EVENT_LOOP_H_
@@ -28,106 +32,20 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "common/mutex.h"
 #include "common/status.h"
-#include "server/resp.h"
+#include "server/io_shard.h"
 
 namespace tierbase {
 namespace server {
 
-struct EventLoopOptions {
-  std::string host = "127.0.0.1";
-  /// 0 = kernel-assigned ephemeral port (read it back via port()).
-  uint16_t port = 0;
-  int backlog = 128;
-  /// A connection whose unparsed input exceeds this is dropped (a client
-  /// streaming an over-long frame or garbage without newlines).
-  size_t max_read_buffer = 64u << 20;
-  /// Run() wakes at least this often to evaluate shutdown deadlines.
-  int poll_interval_ms = 100;
-  /// After Stop()/SHUTDOWN, pending replies get this long to flush.
-  uint64_t drain_deadline_micros = 2'000'000;
-
-  // --- Overload protection (see README "Fault tolerance"). ---
-  /// 0 = unlimited. Accepts past this many live connections are answered
-  /// with "-ERR max clients reached" and closed instead of admitted.
-  size_t max_connections = 0;
-  /// A connection whose pending replies exceed this is disconnected (a
-  /// slow consumer must not buffer the server's memory without bound).
-  size_t max_out_buffer = 64u << 20;
-  /// 0 = unlimited. While this many dispatch batches are in flight across
-  /// all connections, newly parsed commands are shed with "-BUSY" instead
-  /// of queueing behind them.
-  size_t max_dispatch_inflight = 0;
-};
-
-class EventLoop;
-
-/// One parsed pipeline batch. Owns the raw request bytes; the command
-/// Slices alias `raw`, so the batch can travel to another thread without
-/// copying any argument.
-struct CommandBatch {
-  /// Heap array, not std::string: the Slices in `cmds` point into it and
-  /// the batch is moved several times on its way to the executor. An
-  /// SSO-small string (e.g. a lone PING, 14 bytes) would relocate its
-  /// bytes on every move and leave the Slices dangling into dead stack
-  /// frames; a unique_ptr's pointee never moves.
-  std::unique_ptr<char[]> raw;
-  std::vector<RespCommand> cmds;
-  /// Loop-thread time spent parsing/packaging this batch (PERF kParse).
-  uint64_t parse_micros = 0;
-};
-
-/// Per-connection state. The loop thread owns the socket and the buffers;
-/// dispatcher threads interact only through CompleteBatch().
-class Connection {
- public:
-  Connection(EventLoop* loop, int fd, uint64_t id);
-
-  uint64_t id() const { return id_; }
-
-  /// Opaque per-connection slot for the dispatcher (the Server parks the
-  /// connection's PERF tracing state here). Only dispatcher tasks touch
-  /// it, and those are serialized by the one-batch-in-flight rule.
-  std::shared_ptr<void> dispatcher_state;
-
-  /// Delivers the replies for the in-flight batch. Safe from any thread,
-  /// including after the peer (or the whole loop) has gone away — the
-  /// output is then discarded. `close_after` closes the connection once
-  /// the replies are flushed; `shutdown_server` additionally stops the
-  /// loop (SHUTDOWN command).
-  void CompleteBatch(std::string&& output, bool close_after,
-                     bool shutdown_server);
-
- private:
-  friend class EventLoop;
-
-  EventLoop* const loop_;
-  const int fd_;
-  const uint64_t id_;
-
-  // --- Loop-thread state. ---
-  std::string in_buf;    // Unparsed request bytes.
-  std::string out_buf;   // Encoded replies awaiting write().
-  bool busy = false;     // A dispatch batch is in flight.
-  bool closing = false;  // Close once out_buf drains.
-
-  // --- Cross-thread completion slot. ---
-  common::Mutex mu_;
-  std::string done_output_ GUARDED_BY(mu_);
-  bool done_ GUARDED_BY(mu_) = false;
-  bool done_close_ GUARDED_BY(mu_) = false;
-  bool detached_ GUARDED_BY(mu_) = false;  // Loop dropped the connection
-                                           // (peer died).
-};
-
 class EventLoop {
  public:
-  /// The dispatcher receives each parsed batch on the loop thread and must
-  /// (eventually, from any thread) call conn->CompleteBatch exactly once.
+  /// The dispatcher receives each parsed batch on the owning loop's thread
+  /// and must (eventually, from any thread) call conn->CompleteBatch
+  /// exactly once. With io_threads > 1 it runs concurrently on several
+  /// loop threads, so it must be thread-safe.
   using Dispatcher =
       std::function<void(std::shared_ptr<Connection> conn, CommandBatch batch)>;
 
@@ -137,76 +55,74 @@ class EventLoop {
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
-  /// Binds and listens; after success port() returns the bound port.
+  /// Creates the shards and binds the listener(s); after success port()
+  /// returns the bound port (shared by every SO_REUSEPORT listener).
   Status Listen();
   uint16_t port() const { return port_; }
 
-  /// Runs until Stop() (or a SHUTDOWN completion). Call on a dedicated
-  /// thread; returns after all sockets are closed.
+  /// Runs until Stop() (or a SHUTDOWN completion): shards 1..N-1 get
+  /// dedicated threads, shard 0 runs on the calling thread. Returns after
+  /// every shard drained and all sockets closed.
   void Run();
 
-  /// Requests a graceful stop: pending replies are flushed (bounded by
-  /// drain_deadline_micros), then every socket closes. Any thread.
+  /// Requests a graceful stop of EVERY loop: pending replies are flushed
+  /// (bounded by drain_deadline_micros), then every socket closes. Any
+  /// thread; async-signal-safe (atomic stores + wakeup-fd writes only).
   void Stop();
 
-  // Gauges for INFO and tests.
-  uint64_t connections_accepted() const { return accepted_.load(); }
+  /// Number of reactor shards actually running (after Listen()).
+  int io_threads() const { return static_cast<int>(shards_.size()); }
+  size_t shard_count() const { return shards_.size(); }
+  /// Per-loop instruments (INFO per-loop block, tests). Valid after
+  /// Listen(); index < shard_count().
+  const IoShard* shard(size_t i) const { return shards_[i].get(); }
+  /// "epoll" or "poll" — the backend the shards run.
+  const char* backend() const {
+    return shards_.empty() ? "unbound" : shards_[0]->backend();
+  }
+
+  // Gauges for INFO and tests — aggregated across all shards.
+  uint64_t connections_accepted() const;
   uint64_t connections_active() const { return active_.load(); }
-  uint64_t batches_dispatched() const { return batches_.load(); }
-  uint64_t commands_dispatched() const { return commands_.load(); }
+  uint64_t batches_dispatched() const;
+  uint64_t commands_dispatched() const;
   /// Largest command count a single dispatch batch carried (pipelining
-  /// depth actually achieved).
-  uint64_t max_batch_commands() const { return max_batch_.load(); }
-  uint64_t protocol_errors() const { return protocol_errors_.load(); }
-  uint64_t connections_rejected() const { return rejected_.load(); }
-  uint64_t slow_consumer_disconnects() const { return slow_consumer_.load(); }
-  uint64_t busy_shed_commands() const { return busy_shed_.load(); }
-  uint64_t dispatch_inflight() const { return inflight_.load(); }
+  /// depth actually achieved, max over shards).
+  uint64_t max_batch_commands() const;
+  uint64_t protocol_errors() const;
+  uint64_t connections_rejected() const;
+  uint64_t slow_consumer_disconnects() const;
+  uint64_t busy_shed_commands() const;
+  uint64_t dispatch_inflight() const;
+  /// Total wakeup-channel fires across all loops (per-loop: shard(i)).
+  uint64_t loop_wakeups() const;
 
  private:
   friend class Connection;
+  friend class IoShard;
 
-  void AcceptNew();
-  void HandleReadable(const std::shared_ptr<Connection>& conn);
-  void HandleWritable(const std::shared_ptr<Connection>& conn);
-  /// Parses conn->in_buf and dispatches one batch if the connection is
-  /// idle. Returns false if the connection was torn down (protocol error).
-  bool TryDispatch(const std::shared_ptr<Connection>& conn);
-  /// Collects completed batches (from the completion slots) into write
-  /// buffers and re-dispatches buffered pipeline input.
-  void DrainCompletions();
-  void CloseConnection(const std::shared_ptr<Connection>& conn);
-  /// Writes one byte into the self-pipe; any thread.
-  void Notify();
+  // --- Services IoShard uses (all thread-safe). ---
+  void DispatchBatch(const std::shared_ptr<Connection>& conn,
+                     CommandBatch&& batch) {
+    dispatcher_(conn, std::move(batch));
+  }
+  /// Global admission control (max_connections spans all loops). True =
+  /// admitted; pair with ReleaseConnection().
+  bool TryAdmitConnection();
+  void ReleaseConnection();
+  /// Picks the loop that will own a freshly accepted connection. Under
+  /// SO_REUSEPORT the kernel already distributed the accept, so the
+  /// accepting shard keeps it.
+  IoShard* PickShard(IoShard* accepting);
 
   EventLoopOptions options_;
   Dispatcher dispatcher_;
-
-  int listen_fd_ = -1;
-  int wake_read_fd_ = -1;
-  int wake_write_fd_ = -1;
+  std::vector<std::unique_ptr<IoShard>> shards_;
   uint16_t port_ = 0;
-  uint64_t next_conn_id_ = 1;
+  bool reuseport_ = false;  // Effective mode (requested AND supported).
 
-  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
-
-  // Completion queue: connections whose batch finished (loop scans their
-  // slots).
-  common::Mutex completions_mu_;
-  std::vector<std::weak_ptr<Connection>> completions_
-      GUARDED_BY(completions_mu_);
-
-  std::atomic<bool> stop_requested_{false};
-  std::atomic<uint64_t> accepted_{0};
-  std::atomic<uint64_t> active_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> commands_{0};
-  std::atomic<uint64_t> max_batch_{0};
-  std::atomic<uint64_t> protocol_errors_{0};
-  std::atomic<uint64_t> rejected_{0};       // max_connections rejects.
-  std::atomic<uint64_t> slow_consumer_{0};  // out_buf cap disconnects.
-  std::atomic<uint64_t> busy_shed_{0};      // Commands answered -BUSY.
-  std::atomic<uint64_t> inflight_{0};       // Batches dispatched, not done.
+  std::atomic<uint64_t> active_{0};   // Admitted, not yet closed. Global.
+  std::atomic<uint64_t> rr_next_{0};  // Round-robin accept cursor.
 };
 
 }  // namespace server

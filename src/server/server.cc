@@ -53,6 +53,38 @@ Server::Server(TierBase* db, ServerOptions options)
        metrics::MetricType::kCounter,
        [this] { return loop_ != nullptr ? loop_->protocol_errors() : 0; });
 
+  // Multi-reactor shape: how many loops, which backend, and the per-loop
+  // breakdown (connection ownership, accept balance, wakeup traffic).
+  reg->AddText("Server", "io_backend", [this] {
+    return std::string(loop_ != nullptr ? loop_->backend()
+                       : options_.net.force_poll ? "poll"
+                                                 : "unbound");
+  });
+  poll("io_threads", "Event-loop shards serving connections",
+       metrics::MetricType::kGauge, [this] {
+         return loop_ != nullptr
+                    ? static_cast<uint64_t>(loop_->io_threads())
+                    : static_cast<uint64_t>(options_.net.io_threads);
+       });
+  poll("loop_wakeups", "Wakeup-channel fires across all loops",
+       metrics::MetricType::kCounter,
+       [this] { return loop_ != nullptr ? loop_->loop_wakeups() : 0; });
+  reg->AddBlock("Server", [this](std::string* out) {
+    if (loop_ == nullptr) return;
+    for (size_t i = 0; i < loop_->shard_count(); ++i) {
+      const IoShard* shard = loop_->shard(i);
+      const std::string sfx = "_loop" + std::to_string(i);
+      out->append("connected_clients" + sfx + ":" +
+                  std::to_string(shard->connections_active()) + "\r\n");
+      out->append("accepts" + sfx + ":" +
+                  std::to_string(shard->connections_assigned()) + "\r\n");
+      out->append("dispatched_batches" + sfx + ":" +
+                  std::to_string(shard->batches_dispatched()) + "\r\n");
+      out->append("loop_wakeups" + sfx + ":" +
+                  std::to_string(shard->wakeups()) + "\r\n");
+    }
+  });
+
   auto guard = [reg](const char* key, const char* help, metrics::MetricType t,
                      std::function<uint64_t()> fn) {
     reg->AddCallback("Robustness", key, help, t, std::move(fn));

@@ -503,6 +503,10 @@ TEST_F(ClusterNetTest, ProxyServesNaiveClientsAndScatterGathers) {
 
   ClusterProxy::Options options;
   options.port = 0;
+  // Two loops on the portable poll(2) backend: the scatter-gather path must
+  // behave identically regardless of reactor backend or shard count.
+  options.io_threads = 2;
+  options.force_poll = true;
   options.backend.coordinators.push_back(
       "127.0.0.1:" + std::to_string(coordinator_->port()));
   ClusterProxy proxy(options);
@@ -569,6 +573,9 @@ TEST_F(ClusterNetTest, YcsbThroughProxyAndSmartClientMatchOpCounts) {
 
   ClusterProxy::Options proxy_options;
   proxy_options.port = 0;
+  // Run the proxy's client side on the multi-reactor core so the YCSB
+  // equivalence check also covers cross-loop accept distribution.
+  proxy_options.io_threads = 2;
   proxy_options.backend.coordinators.push_back(
       "127.0.0.1:" + std::to_string(coordinator_->port()));
   ClusterProxy proxy(proxy_options);

@@ -780,6 +780,42 @@ TEST_F(OverloadTest, SlowConsumerIsDisconnectedAtOutputCap) {
   EXPECT_NE(std::string::npos, v.str.find("slow_consumer_disconnects:1"));
 }
 
+// With two reactor loops, slow-consumer disconnects are detected and
+// accounted by the OWNING loop: one slow client per loop, one disconnect
+// counted on each shard, the aggregate exactly two. (Runs under the TSan
+// build with the rest of the suite — the per-loop counters and the
+// cross-loop aggregation must be race-free.)
+TEST_F(OverloadTest, SlowConsumerAccountingIsPerLoop) {
+  server::ServerOptions options;
+  options.net.io_threads = 2;
+  options.net.max_out_buffer = 16 * 1024;
+  Start(options);
+
+  Client first;   // Round-robin: first accept -> loop 0.
+  Client second;  // Second accept -> loop 1.
+  ASSERT_TRUE(first.Connect("127.0.0.1", srv_->port()).ok());
+  RespValue v;
+  ASSERT_TRUE(first.Call({"PING"}, &v).ok());  // Settled on loop 0.
+  ASSERT_TRUE(second.Connect("127.0.0.1", srv_->port()).ok());
+  ASSERT_TRUE(second.Call({"PING"}, &v).ok());
+
+  std::string big(64 * 1024, 'z');
+  ASSERT_TRUE(first.Call({"SET", "big", big}, &v).ok());
+
+  // Each client's oversized GET reply breaches its loop's out-buffer cap.
+  EXPECT_FALSE(first.Call({"GET", "big"}, &v).ok());
+  EXPECT_FALSE(second.Call({"GET", "big"}, &v).ok());
+  ASSERT_TRUE(WaitFor(
+      [&] { return srv_->loop()->slow_consumer_disconnects() >= 2; }));
+  EXPECT_EQ(1u, srv_->loop()->shard(0)->slow_consumer_disconnects());
+  EXPECT_EQ(1u, srv_->loop()->shard(1)->slow_consumer_disconnects());
+
+  Client fresh;
+  ASSERT_TRUE(fresh.Connect("127.0.0.1", srv_->port()).ok());
+  ASSERT_TRUE(fresh.Call({"INFO"}, &v).ok());
+  EXPECT_NE(std::string::npos, v.str.find("slow_consumer_disconnects:2"));
+}
+
 TEST(EventLoopOverloadTest, ShedsWithBusyAtDispatchWatermark) {
   // Raw EventLoop with a dispatcher that defers completion, so the test
   // controls exactly when the in-flight batch finishes.

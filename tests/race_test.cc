@@ -9,6 +9,10 @@
 //   * ElasticExecutor controller scale-up vs concurrent Submit/Execute
 //   * the replication apply thread vs concurrent reads
 //   * the server event loop vs a SHUTDOWN drain under client load
+//   * multi-reactor accept-distribute (cross-loop connection hand-off)
+//     vs a racing SHUTDOWN
+//   * cross-loop metrics snapshots (INFO render + per-shard gauges) vs
+//     serving traffic on every loop
 //   * oplog appends vs concurrent REPLPULL-style range reads
 //   * the circuit breaker state machine vs concurrent callers
 //   * the lock-striped latency histogram vs snapshot/reset readers
@@ -260,6 +264,116 @@ TEST(RaceTest, ServerShutdownDrainUnderLoad) {
   shutdowner.join();
   srv.Stop();
   SUCCEED();  // The assertion is "no race / no deadlock / clean exit".
+}
+
+// --- Seam 5b: accept-distribute hand-off vs SHUTDOWN. -------------------
+//
+// The multi-reactor acceptor parks fresh sockets in a sibling loop's
+// pending-accept queue; a racing SHUTDOWN must either adopt or cleanly
+// refuse every handed-off fd (no leak, no double close, no race on the
+// admission gauge).
+
+TEST(RaceTest, AcceptDistributeVsShutdown) {
+  TierBaseOptions db_opt;
+  db_opt.policy = CachingPolicy::kCacheOnly;
+  auto db = TierBase::Open(db_opt, nullptr);
+  ASSERT_TRUE(db.ok());
+
+  server::ServerOptions srv_opt;
+  srv_opt.net.io_threads = 3;
+  srv_opt.executor.mode = threading::ThreadMode::kElastic;
+  srv_opt.executor.max_threads = 2;
+  server::Server srv(db.value().get(), srv_opt);
+  ASSERT_TRUE(srv.Start().ok());
+  const uint16_t port = srv.port();
+
+  // Connection churn: every accept crosses the loop hand-off seam.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 3; ++t) {
+    churners.emplace_back([port, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        server::Client c;
+        if (!c.Connect("127.0.0.1", port).ok()) return;  // Stopped.
+        server::RespValue reply;
+        if (!c.Call({"PING"}, &reply).ok()) return;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread shutdowner([port] {
+    server::Client c;
+    if (!c.Connect("127.0.0.1", port).ok()) return;
+    server::RespValue reply;
+    (void)c.Call({"SHUTDOWN"}, &reply);
+  });
+  srv.Wait();
+  stop.store(true, std::memory_order_release);
+  for (auto& th : churners) th.join();
+  shutdowner.join();
+  srv.Stop();
+  // Clean exit and a settled admission gauge: every handed-off fd was
+  // either adopted-then-closed or refused-and-released.
+  EXPECT_EQ(0u, srv.loop()->connections_active());
+}
+
+// --- Seam 5c: cross-loop metrics snapshots vs serving traffic. ----------
+//
+// INFO/METRICS render per-loop gauges from every shard while all loops are
+// serving; the snapshot path must never tear or race against the loops'
+// relaxed counter updates.
+
+TEST(RaceTest, CrossLoopMetricsSnapshotsVsTraffic) {
+  TierBaseOptions db_opt;
+  db_opt.policy = CachingPolicy::kCacheOnly;
+  db_opt.cache.shards = 4;
+  auto db = TierBase::Open(db_opt, nullptr);
+  ASSERT_TRUE(db.ok());
+
+  server::ServerOptions srv_opt;
+  srv_opt.net.io_threads = 4;
+  srv_opt.executor.mode = threading::ThreadMode::kElastic;
+  srv_opt.executor.max_threads = 2;
+  server::Server srv(db.value().get(), srv_opt);
+  ASSERT_TRUE(srv.Start().ok());
+  const uint16_t port = srv.port();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([port, t, &stop] {
+      server::Client c;
+      if (!c.Connect("127.0.0.1", port).ok()) return;
+      server::RespValue reply;
+      int i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!c.Call({"SET", Key(t, i++ & 255), "v"}, &reply).ok()) return;
+      }
+    });
+  }
+  // Snapshot reader: aggregated EventLoop getters, per-shard gauges, and
+  // the full INFO render (which walks the per-loop block) in a tight loop.
+  std::thread reader([&srv, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      server::EventLoop* loop = srv.loop();
+      uint64_t sum = loop->batches_dispatched() + loop->loop_wakeups() +
+                     loop->connections_accepted();
+      for (size_t s = 0; s < loop->shard_count(); ++s) {
+        sum += loop->shard(s)->connections_active() +
+               loop->shard(s)->wakeups();
+      }
+      std::string info;
+      srv.commands()->registry()->RenderInfo(&info);
+      ASSERT_NE(std::string::npos, info.find("connected_clients_loop3"));
+      (void)sum;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : clients) th.join();
+  reader.join();
+  EXPECT_GE(srv.loop()->commands_dispatched(), 4u);
+  srv.Stop();
 }
 
 // --- Seam 6: oplog appends vs REPLPULL-style range reads. ---------------

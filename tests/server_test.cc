@@ -180,6 +180,9 @@ class ServerTest : public ::testing::Test {
 
     ServerOptions server_options;
     server_options.net.port = 0;  // Ephemeral.
+    server_options.net.io_threads = io_threads_;
+    server_options.net.so_reuseport = so_reuseport_;
+    server_options.net.force_poll = force_poll_;
     server_options.executor.mode = mode;
     server_options.executor.max_threads = 2;
     srv_ = std::make_unique<Server>(db_.get(), server_options);
@@ -198,6 +201,9 @@ class ServerTest : public ::testing::Test {
   std::unique_ptr<Server> srv_;
   // Tweak before StartServer(); defaults match production.
   analytics::WorkloadAnalyticsOptions analytics_options_;
+  int io_threads_ = 1;
+  bool so_reuseport_ = false;
+  bool force_poll_ = false;
 };
 
 /// Raw socket for torture tests: write arbitrary bytes, read with timeout.
@@ -560,6 +566,282 @@ TEST_F(ServerTest, ThreadModeMatrix) {
     srv_.reset();
     db_.reset();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-reactor core: --io-threads shards with per-loop ownership.
+// ---------------------------------------------------------------------------
+
+// Every io-threads count × thread-mode combination serves the same traffic:
+// pipelined trains still coalesce per loop, and the accept distribution
+// spreads connections across every shard.
+TEST_F(ServerTest, MultiLoopThreadModeMatrix) {
+  for (int io_threads : {1, 2, 4}) {
+    for (threading::ThreadMode mode :
+         {threading::ThreadMode::kSingle, threading::ThreadMode::kElastic}) {
+      io_threads_ = io_threads;
+      StartServer(mode);
+      ASSERT_EQ(io_threads, srv_->loop()->io_threads());
+
+      // Twice as many clients as loops: round-robin assigns every loop at
+      // least two connections.
+      const int n_clients = io_threads * 2;
+      std::vector<std::unique_ptr<Client>> clients;
+      RespValue v;
+      for (int c = 0; c < n_clients; ++c) {
+        clients.push_back(std::make_unique<Client>());
+        ASSERT_TRUE(Connect(clients.back().get()).ok());
+        ASSERT_TRUE(clients.back()
+                        ->Call({"SET", "k" + std::to_string(c),
+                                "v" + std::to_string(c)},
+                               &v)
+                        .ok());
+      }
+      for (int c = 0; c < n_clients; ++c) {
+        ASSERT_TRUE(clients[c]->Call({"GET", "k" + std::to_string(c)}, &v)
+                        .ok());
+        EXPECT_EQ("v" + std::to_string(c), v.str);
+      }
+
+      // Pipelined coalescing works on whichever loop owns the connection.
+      for (int i = 0; i < 32; ++i) clients[0]->Append({"GET", "k0"});
+      ASSERT_TRUE(clients[0]->Flush().ok());
+      for (int i = 0; i < 32; ++i) {
+        ASSERT_TRUE(clients[0]->ReadReply(&v).ok());
+        EXPECT_EQ("v0", v.str);
+      }
+
+      // Per-loop ownership accounting: the shard gauges cover every
+      // connection exactly once, and round-robin touched every loop. (The
+      // hand-off to a sibling loop is asynchronous; wait for adoption.)
+      EventLoop* loop = srv_->loop();
+      for (int spin = 0; spin < 1000; ++spin) {
+        if (loop->connections_accepted() >=
+            static_cast<uint64_t>(n_clients)) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      uint64_t assigned = 0;
+      for (size_t s = 0; s < loop->shard_count(); ++s) {
+        EXPECT_GE(loop->shard(s)->connections_assigned(), 2u)
+            << "loop " << s << " with io_threads " << io_threads;
+        assigned += loop->shard(s)->connections_assigned();
+      }
+      EXPECT_EQ(assigned, loop->connections_accepted());
+
+      srv_->Stop();
+      srv_.reset();
+      db_.reset();
+    }
+  }
+}
+
+// Backend variants: SO_REUSEPORT per-loop listeners and the portable
+// poll(2) fallback serve identical traffic.
+TEST_F(ServerTest, ReuseportAndForcePollVariants) {
+  struct Variant {
+    bool so_reuseport;
+    bool force_poll;
+  };
+  for (const Variant& variant : {Variant{true, false}, Variant{false, true},
+                                 Variant{true, true}}) {
+    io_threads_ = 2;
+    so_reuseport_ = variant.so_reuseport;
+    force_poll_ = variant.force_poll;
+    StartServer();
+#ifdef __linux__
+    EXPECT_STREQ(variant.force_poll ? "poll" : "epoll",
+                 srv_->loop()->backend());
+#else
+    EXPECT_STREQ("poll", srv_->loop()->backend());
+#endif
+    std::vector<std::unique_ptr<Client>> clients;
+    RespValue v;
+    for (int c = 0; c < 4; ++c) {
+      clients.push_back(std::make_unique<Client>());
+      ASSERT_TRUE(Connect(clients.back().get()).ok());
+      ASSERT_TRUE(
+          clients.back()->Call({"SET", "rk" + std::to_string(c), "x"}, &v)
+              .ok());
+    }
+    for (int c = 0; c < 4; ++c) {
+      ASSERT_TRUE(clients[c]->Call({"GET", "rk" + std::to_string(c)}, &v)
+                      .ok());
+      EXPECT_EQ("x", v.str);
+    }
+    srv_->Stop();
+    srv_.reset();
+    db_.reset();
+  }
+}
+
+// The YCSB acceptance bar holds with two loops: remote op counts match
+// in-process execution exactly.
+TEST_F(ServerTest, MultiLoopYcsbRemoteMatchesInProcess) {
+  io_threads_ = 2;
+  StartServer();
+  auto remote = RemoteEngine::Connect("127.0.0.1", srv_->port());
+  ASSERT_TRUE(remote.ok());
+
+  for (char name : {'A', 'C'}) {
+    workload::YcsbOptions options;
+    ASSERT_TRUE(workload::WorkloadByName(name, &options));
+    options.record_count = 300;
+    options.operation_count = 400;
+    options.dataset.num_records = 300;
+
+    workload::RunnerOptions runner;
+    runner.threads = 1;
+    runner.batch_size = (name == 'A') ? 8 : 1;
+
+    TierBaseOptions local_options;
+    local_options.cache.shards = 4;
+    auto local = TierBase::Open(local_options, nullptr);
+    ASSERT_TRUE(local.ok());
+    workload::RunResult local_load =
+        workload::RunLoadPhase(local->get(), options, runner);
+    workload::RunResult local_run =
+        workload::RunPhase(local->get(), options, runner);
+
+    workload::RunResult remote_load =
+        workload::RunLoadPhase(remote->get(), options, runner);
+    workload::RunResult remote_run =
+        workload::RunPhase(remote->get(), options, runner);
+
+    EXPECT_EQ(local_load.ops, remote_load.ops) << "workload " << name;
+    EXPECT_EQ(local_run.ops, remote_run.ops) << "workload " << name;
+    EXPECT_EQ(0u, remote_load.errors) << "workload " << name;
+    EXPECT_EQ(0u, remote_run.errors) << "workload " << name;
+  }
+}
+
+// A client dying mid-frame on a NON-acceptor loop must not disturb its
+// siblings: loop 1 owns the dying socket (round-robin: second accept),
+// loop 0 keeps serving the healthy one.
+TEST_F(ServerTest, ClientKilledMidFrameOnNonAcceptorLoop) {
+  io_threads_ = 2;
+  StartServer();
+
+  Client healthy;  // First accept -> loop 0 (the acceptor's own loop).
+  ASSERT_TRUE(Connect(&healthy).ok());
+  RespValue v;
+  ASSERT_TRUE(healthy.Call({"SET", "stable", "yes"}, &v).ok());
+
+  {
+    // Second accept -> loop 1. Wait for the cross-loop adoption, then die
+    // mid-multibulk with the frame half-sent.
+    RawConn dying;
+    ASSERT_TRUE(dying.Connect(srv_->port()));
+    for (int spin = 0; spin < 1000; ++spin) {
+      if (srv_->loop()->shard(1)->connections_assigned() >= 1) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_GE(srv_->loop()->shard(1)->connections_assigned(), 1u);
+    ASSERT_TRUE(dying.Send("*3\r\n$3\r\nSET\r\n$4\r\nab"));
+    dying.Close();
+  }
+
+  // Loop 0's connection is untouched, and fresh accepts still distribute.
+  ASSERT_TRUE(healthy.Call({"GET", "stable"}, &v).ok());
+  EXPECT_EQ("yes", v.str);
+  Client fresh;
+  ASSERT_TRUE(Connect(&fresh).ok());
+  ASSERT_TRUE(fresh.Call({"PING"}, &v).ok());
+  EXPECT_EQ("PONG", v.str);
+
+  // Loop 1 eventually notices the hangup and releases the connection.
+  for (int spin = 0; spin < 1000; ++spin) {
+    if (srv_->loop()->shard(1)->connections_active() == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(0u, srv_->loop()->shard(1)->connections_active());
+}
+
+// SHUTDOWN must quiesce EVERY loop: with pipelined batches in flight on
+// all four shards, the drain flushes each loop's replies before Run()
+// returns.
+TEST_F(ServerTest, ShutdownDrainsPipelinedClientsOnEveryLoop) {
+  io_threads_ = 4;
+  StartServer();
+
+  constexpr int kClients = 8;  // Two per loop under round-robin.
+  constexpr int kPings = 100;
+  std::string train;
+  for (int i = 0; i < kPings; ++i) train += "*1\r\n$4\r\nPING\r\n";
+
+  std::vector<std::unique_ptr<RawConn>> conns;
+  for (int c = 0; c < kClients; ++c) {
+    conns.push_back(std::make_unique<RawConn>());
+    ASSERT_TRUE(conns.back()->Connect(srv_->port()));
+    ASSERT_TRUE(conns.back()->Send(train));  // Pipelined, replies unread.
+  }
+
+  // Wait until every loop owns its connections and has dispatched work,
+  // so the SHUTDOWN drain genuinely has in-flight state on all shards.
+  EventLoop* loop = srv_->loop();
+  for (int spin = 0; spin < 2000; ++spin) {
+    if (loop->connections_accepted() >= kClients &&
+        loop->batches_dispatched() >= kClients) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (size_t s = 0; s < loop->shard_count(); ++s) {
+    EXPECT_GE(loop->shard(s)->connections_assigned(), 2u) << "loop " << s;
+  }
+
+  Client shutter;
+  ASSERT_TRUE(Connect(&shutter).ok());
+  RespValue v;
+  ASSERT_TRUE(shutter.Call({"SHUTDOWN"}, &v).ok());
+  EXPECT_EQ("OK", v.str);
+  srv_->Wait();
+
+  // The drain flushed every loop's pending replies before closing: all
+  // eight clients hold their full reply trains.
+  const std::string expect_one = "+PONG\r\n";
+  for (int c = 0; c < kClients; ++c) {
+    std::string replies = conns[c]->ReadAll();
+    EXPECT_EQ(expect_one.size() * kPings, replies.size()) << "client " << c;
+    for (size_t off = 0; off + expect_one.size() <= replies.size();
+         off += expect_one.size()) {
+      ASSERT_EQ(expect_one, replies.substr(off, expect_one.size()))
+          << "client " << c << " offset " << off;
+    }
+  }
+  EXPECT_GE(loop->commands_dispatched(),
+            static_cast<uint64_t>(kClients * kPings));
+}
+
+// INFO "# Server" carries the per-loop breakdown the observability
+// satellite promises: connected_clients_loop<i>, accepts_loop<i>,
+// loop_wakeups_loop<i>, plus io_threads/io_backend.
+TEST_F(ServerTest, InfoReportsPerLoopBreakdown) {
+  io_threads_ = 2;
+  StartServer();
+  std::vector<std::unique_ptr<Client>> clients;
+  RespValue v;
+  for (int c = 0; c < 4; ++c) {
+    clients.push_back(std::make_unique<Client>());
+    ASSERT_TRUE(Connect(clients.back().get()).ok());
+    ASSERT_TRUE(clients.back()->Call({"PING"}, &v).ok());
+  }
+  for (int spin = 0; spin < 1000; ++spin) {
+    if (srv_->loop()->connections_accepted() >= 4) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(clients[0]->Call({"INFO"}, &v).ok());
+  EXPECT_NE(std::string::npos, v.str.find("io_threads:2")) << v.str;
+  EXPECT_NE(std::string::npos, v.str.find("io_backend:")) << v.str;
+  EXPECT_NE(std::string::npos, v.str.find("connected_clients_loop0:"))
+      << v.str;
+  EXPECT_NE(std::string::npos, v.str.find("connected_clients_loop1:"))
+      << v.str;
+  EXPECT_NE(std::string::npos, v.str.find("accepts_loop0:2")) << v.str;
+  EXPECT_NE(std::string::npos, v.str.find("accepts_loop1:2")) << v.str;
+  EXPECT_NE(std::string::npos, v.str.find("loop_wakeups_loop0:")) << v.str;
+  EXPECT_NE(std::string::npos, v.str.find("loop_wakeups_loop1:")) << v.str;
 }
 
 TEST_F(ServerTest, ShutdownCommandStopsServer) {
